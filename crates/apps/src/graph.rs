@@ -1,0 +1,193 @@
+//! Graph algorithms in the navigational style.
+//!
+//! The paper's related-work section credits WAVE with "various graph
+//! algorithms and network control problems" as a natural fit for
+//! self-migrating computations; this module shows MESSENGERS doing the
+//! same. A breadth-first wave floods a logical graph: at each node the
+//! messenger either improves the resident distance and replicates to
+//! all neighbors, or dies. The entire algorithm is the one short script
+//! below — no message loops, no termination detection in user code (the
+//! wave dies out by itself).
+
+use std::collections::VecDeque;
+
+use msgr_core::topology::LogicalTopology;
+use msgr_core::{ClusterConfig, ClusterError, DaemonId, SimCluster};
+use msgr_sim::DetRng;
+use msgr_vm::{Dir, Value};
+
+/// The BFS wave script: carry a tentative distance; improve-and-flood
+/// or die.
+pub const BFS_WAVE_SCRIPT: &str = r#"
+bfs(d) {
+    int go = 1;
+    node int dist;
+    while (go) {
+        if (dist == NULL || d < dist) {
+            dist = d;
+            d = d + 1;
+            hop(ll = "edge");
+        } else {
+            go = 0;
+        }
+    }
+}
+"#;
+
+/// An undirected graph on vertices `0..n`, as an edge list.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Undirected edges (u, v), u ≠ v.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// A connected random graph: a spanning path plus `extra` random
+    /// chords, deterministic in `seed`.
+    pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
+        assert!(n >= 2, "need at least two vertices");
+        let mut rng = DetRng::new(seed);
+        let mut edges = Vec::with_capacity(n - 1 + extra);
+        for v in 1..n {
+            edges.push((v - 1, v));
+        }
+        while edges.len() < n - 1 + extra {
+            let u = rng.below(n as u64) as usize;
+            let v = rng.below(n as u64) as usize;
+            if u != v && !edges.contains(&(u.min(v), u.max(v))) {
+                edges.push((u.min(v), u.max(v)));
+            }
+        }
+        Graph { n, edges }
+    }
+
+    /// Reference BFS distances from `source`.
+    pub fn bfs_reference(&self, source: usize) -> Vec<Option<u32>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        let mut dist = vec![None; self.n];
+        dist[source] = Some(0);
+        let mut q = VecDeque::from([source]);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u].expect("queued implies reached");
+            for &v in &adj[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The graph as a logical topology: vertex `v` becomes node `"v<v>"`
+    /// on daemon `v % daemons`, every edge an undirected link named
+    /// `"edge"`.
+    pub fn topology(&self, daemons: usize) -> LogicalTopology {
+        let name = |v: usize| Value::str(format!("v{v}"));
+        let mut topo = LogicalTopology::new();
+        for v in 0..self.n {
+            topo.node(name(v), DaemonId((v % daemons) as u16));
+        }
+        for &(u, v) in &self.edges {
+            topo.link(name(u), name(v), Value::str("edge"), Dir::Any);
+        }
+        topo
+    }
+}
+
+/// Run the BFS wave from `source` on a simulated cluster; returns the
+/// per-vertex distances (`None` = unreached).
+///
+/// # Errors
+///
+/// Propagates [`ClusterError`].
+pub fn bfs_wave(
+    graph: &Graph,
+    source: usize,
+    cfg: ClusterConfig,
+) -> Result<Vec<Option<u32>>, ClusterError> {
+    let daemons = cfg.daemons;
+    let mut cluster = SimCluster::new(cfg);
+    cluster.build(&graph.topology(daemons))?;
+    let program = msgr_lang::compile(BFS_WAVE_SCRIPT).expect("BFS script compiles");
+    let pid = cluster.register_program(&program);
+    cluster.inject_at(&Value::str(format!("v{source}")), pid, &[Value::Int(0)])?;
+    let report = cluster.run()?;
+    if let Some((mid, err)) = report.faults.first() {
+        return Err(ClusterError::Config(format!("messenger {mid} faulted: {err}")));
+    }
+    Ok((0..graph.n)
+        .map(|v| {
+            cluster
+                .node_var_by_name(&Value::str(format!("v{v}")), "dist")
+                .and_then(|d| d.as_int().ok())
+                .map(|d| d as u32)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msgr_core::config::NetKind;
+
+    fn cfg(daemons: usize) -> ClusterConfig {
+        let mut c = ClusterConfig::new(daemons);
+        c.net = NetKind::Ideal;
+        c
+    }
+
+    #[test]
+    fn wave_matches_reference_on_a_path() {
+        let g = Graph { n: 5, edges: vec![(0, 1), (1, 2), (2, 3), (3, 4)] };
+        let dist = bfs_wave(&g, 0, cfg(2)).unwrap();
+        assert_eq!(dist, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn wave_matches_reference_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = Graph::random_connected(24, 20, seed);
+            let expected = g.bfs_reference(3);
+            let got = bfs_wave(&g, 3, cfg(4)).unwrap();
+            assert_eq!(got, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn wave_from_each_source_is_consistent() {
+        let g = Graph::random_connected(12, 8, 42);
+        for source in [0usize, 5, 11] {
+            assert_eq!(bfs_wave(&g, source, cfg(3)).unwrap(), g.bfs_reference(source));
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_unreached() {
+        // Two components: 0-1-2 and 3-4 (edge list without a bridge).
+        let g = Graph { n: 5, edges: vec![(0, 1), (1, 2), (3, 4)] };
+        let dist = bfs_wave(&g, 0, cfg(2)).unwrap();
+        assert_eq!(dist[0], Some(0));
+        assert_eq!(dist[2], Some(1).map(|_| 2));
+        assert_eq!(dist[3], None);
+        assert_eq!(dist[4], None);
+    }
+
+    #[test]
+    fn random_graph_generator_is_sane() {
+        let g = Graph::random_connected(30, 15, 7);
+        assert_eq!(g.n, 30);
+        assert_eq!(g.edges.len(), 29 + 15);
+        assert!(g.edges.iter().all(|&(u, v)| u < v && v < 30));
+        // Connected by construction.
+        assert!(g.bfs_reference(0).iter().all(Option::is_some));
+        // Deterministic.
+        assert_eq!(g.edges, Graph::random_connected(30, 15, 7).edges);
+    }
+}

@@ -1,0 +1,30 @@
+//! # msgr-apps — the paper's applications
+//!
+//! §3 evaluates two applications, each in three implementations:
+//!
+//! | Application | MESSENGERS | PVM | Sequential C |
+//! |---|---|---|---|
+//! | Mandelbrot manager/worker (§3.1) | Fig. 3 script ([`mandel_msgr`]) | Fig. 2 program ([`mandel_pvm`]) | [`mandel::render_sequential`] |
+//! | Block matrix multiplication (§3.2) | Fig. 11 scripts ([`matmul_msgr`]) | Fig. 9 program ([`matmul_pvm`]) | naive & blocked ([`matmul`]) |
+//!
+//! Every implementation produces a verifiable artifact (the image
+//! checksum / the product matrix) in addition to a simulated runtime, so
+//! the benchmark harness asserts correctness on every data point it
+//! plots.
+
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod codesize;
+pub mod graph;
+pub mod mandel;
+pub mod mandel_msgr;
+pub mod mandel_pvm;
+pub mod matmul;
+pub mod matmul_msgr;
+pub mod matmul_pvm;
+pub mod swarm;
+
+pub use calib::Calib;
+pub use mandel::{MandelScene, MandelWork, Region};
+pub use matmul::{BlockedLayout, MatmulScene};

@@ -1,0 +1,286 @@
+//! The Mandelbrot workload (§3.1.2): kernel, block decomposition,
+//! sequential baseline, and the precomputed work table shared by the
+//! MESSENGERS and PVM implementations.
+
+use crate::calib::Calib;
+
+/// A rectangle of the complex plane: `(x0, y0)` to `(x1, y1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    /// Left edge (real axis).
+    pub x0: f64,
+    /// Bottom edge (imaginary axis).
+    pub y0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Top edge.
+    pub y1: f64,
+}
+
+impl Region {
+    /// The region evaluated throughout the paper: `(-2.0, -1.2, 0.4, 1.2)`.
+    pub fn paper() -> Region {
+        Region { x0: -2.0, y0: -1.2, x1: 0.4, y1: 1.2 }
+    }
+}
+
+/// Escape-time iteration count for the point `(cx, cy)`, in
+/// `1..=max_iter`; interior points return `max_iter`.
+pub fn mandel_iters(cx: f64, cy: f64, max_iter: u32) -> u32 {
+    let mut zx = 0.0f64;
+    let mut zy = 0.0f64;
+    for n in 1..=max_iter {
+        let zx2 = zx * zx;
+        let zy2 = zy * zy;
+        if zx2 + zy2 > 4.0 {
+            return n;
+        }
+        zy = 2.0 * zx * zy + cy;
+        zx = zx2 - zy2 + cx;
+    }
+    max_iter
+}
+
+/// A complete experiment description: the paper varies `size`
+/// (320/640/1280), `grid` (8/16/32), and fixes 512 colors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MandelScene {
+    /// The complex-plane window.
+    pub region: Region,
+    /// Image is `size × size` pixels.
+    pub size: u32,
+    /// Image divided into `grid × grid` blocks.
+    pub grid: u32,
+    /// Iteration cap (= number of colors, 512 in the paper).
+    pub max_iter: u32,
+}
+
+impl MandelScene {
+    /// A paper-standard scene.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `grid` divides `size`.
+    pub fn paper(size: u32, grid: u32) -> Self {
+        assert!(grid > 0 && size.is_multiple_of(grid), "grid {grid} must divide size {size}");
+        MandelScene { region: Region::paper(), size, grid, max_iter: 512 }
+    }
+
+    /// Number of blocks.
+    pub fn blocks(&self) -> u32 {
+        self.grid * self.grid
+    }
+
+    /// Block side length in pixels.
+    pub fn block_side(&self) -> u32 {
+        self.size / self.grid
+    }
+
+    /// Pixels per block.
+    pub fn block_pixels(&self) -> u32 {
+        self.block_side() * self.block_side()
+    }
+
+    /// Pixel origin `(px, py)` of block `idx` (row-major blocks).
+    pub fn block_origin(&self, idx: u32) -> (u32, u32) {
+        let bs = self.block_side();
+        let bx = idx % self.grid;
+        let by = idx / self.grid;
+        (bx * bs, by * bs)
+    }
+}
+
+/// The rendered image plus per-block iteration totals, computed once per
+/// scene and shared by every implementation and processor count (the
+/// actual pixel values are identical across systems; only the
+/// coordination differs).
+#[derive(Debug, Clone)]
+pub struct MandelWork {
+    /// The scene this was computed for.
+    pub scene: MandelScene,
+    /// Row-major iteration counts, one per pixel.
+    pub pixels: Vec<u16>,
+    /// Total iterations per block (compute cost driver).
+    pub block_iters: Vec<u64>,
+}
+
+impl MandelWork {
+    /// Render the scene and tabulate per-block work.
+    pub fn compute(scene: MandelScene) -> Self {
+        let n = scene.size as usize;
+        let mut pixels = vec![0u16; n * n];
+        let (w, h) = (scene.size as f64, scene.size as f64);
+        for py in 0..scene.size {
+            for px in 0..scene.size {
+                let cx = scene.region.x0 + (px as f64 + 0.5) / w * (scene.region.x1 - scene.region.x0);
+                let cy = scene.region.y0 + (py as f64 + 0.5) / h * (scene.region.y1 - scene.region.y0);
+                pixels[(py as usize) * n + px as usize] =
+                    mandel_iters(cx, cy, scene.max_iter) as u16;
+            }
+        }
+        let mut block_iters = vec![0u64; scene.blocks() as usize];
+        let bs = scene.block_side();
+        for idx in 0..scene.blocks() {
+            let (ox, oy) = scene.block_origin(idx);
+            let mut total = 0u64;
+            for dy in 0..bs {
+                for dx in 0..bs {
+                    total += pixels[((oy + dy) as usize) * n + (ox + dx) as usize] as u64;
+                }
+            }
+            block_iters[idx as usize] = total;
+        }
+        MandelWork { scene, pixels, block_iters }
+    }
+
+    /// Total iterations over the whole image.
+    pub fn total_iters(&self) -> u64 {
+        self.block_iters.iter().sum()
+    }
+
+    /// The 8-bit color index displayed for an iteration count (1997 X
+    /// displays used 8-bit colormaps; 512 iteration values fold onto
+    /// 256 colors).
+    pub fn color(iters: u16) -> u8 {
+        (iters & 0xff) as u8
+    }
+
+    /// Serialize one block's colors (1 byte per pixel) — the payload
+    /// both systems ship back to the collector.
+    pub fn block_payload(&self, idx: u32) -> Vec<u8> {
+        let bs = self.scene.block_side();
+        let (ox, oy) = self.scene.block_origin(idx);
+        let n = self.scene.size as usize;
+        let mut out = Vec::with_capacity((bs * bs) as usize);
+        for dy in 0..bs {
+            for dx in 0..bs {
+                out.push(Self::color(self.pixels[((oy + dy) as usize) * n + (ox + dx) as usize]));
+            }
+        }
+        out
+    }
+
+    /// Write a block payload into an image buffer (the collector's
+    /// `deposit`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload length does not match the block size.
+    pub fn deposit_payload(scene: &MandelScene, image: &mut [u8], idx: u32, payload: &[u8]) {
+        let bs = scene.block_side();
+        assert_eq!(payload.len() as u32, bs * bs, "bad payload for block {idx}");
+        let (ox, oy) = scene.block_origin(idx);
+        let n = scene.size as usize;
+        for (k, &v) in payload.iter().enumerate() {
+            let dx = (k as u32) % bs;
+            let dy = (k as u32) / bs;
+            image[((oy + dy) as usize) * n + (ox + dx) as usize] = v;
+        }
+    }
+
+    /// FNV-1a checksum over an 8-bit color image, for
+    /// cross-implementation verification.
+    pub fn checksum(colors: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in colors {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// The reference color image (what the distributed runs must
+    /// reassemble).
+    pub fn color_image(&self) -> Vec<u8> {
+        self.pixels.iter().map(|&p| Self::color(p)).collect()
+    }
+}
+
+/// Sequential-C baseline: the full render on one reference machine.
+/// Returns `(simulated seconds, checksum)`.
+pub fn render_sequential(work: &MandelWork, calib: &Calib) -> (f64, u64) {
+    let pixels = (work.scene.size as u64).pow(2);
+    let ns = calib.mandel_ns(work.total_iters(), pixels);
+    (ns as f64 / 1e9, MandelWork::checksum(&work.color_image()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_escape_behaviour() {
+        // Far outside: escapes immediately (|c| > 2 after one step).
+        assert!(mandel_iters(10.0, 10.0, 512) <= 2);
+        // Origin is interior: never escapes.
+        assert_eq!(mandel_iters(0.0, 0.0, 512), 512);
+        assert_eq!(mandel_iters(-1.0, 0.0, 512), 512); // period-2 bulb
+        // A point just outside the cardioid cusp escapes slowly.
+        let n = mandel_iters(0.26, 0.0, 512);
+        assert!(n > 10 && n < 512, "near-cusp point got {n}");
+    }
+
+    #[test]
+    fn scene_geometry() {
+        let s = MandelScene::paper(320, 8);
+        assert_eq!(s.blocks(), 64);
+        assert_eq!(s.block_side(), 40);
+        assert_eq!(s.block_pixels(), 1600);
+        assert_eq!(s.block_origin(0), (0, 0));
+        assert_eq!(s.block_origin(7), (280, 0));
+        assert_eq!(s.block_origin(8), (0, 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn bad_grid_rejected() {
+        let _ = MandelScene::paper(320, 7);
+    }
+
+    #[test]
+    fn work_table_is_consistent() {
+        let w = MandelWork::compute(MandelScene::paper(64, 4));
+        assert_eq!(w.pixels.len(), 64 * 64);
+        assert_eq!(w.block_iters.len(), 16);
+        assert_eq!(
+            w.total_iters(),
+            w.pixels.iter().map(|&p| p as u64).sum::<u64>()
+        );
+        // The paper's region contains interior points (max_iter) and
+        // fast-escaping points.
+        assert!(w.pixels.contains(&512));
+        assert!(w.pixels.iter().any(|&p| p < 10));
+    }
+
+    #[test]
+    fn payload_round_trip_reassembles_image() {
+        let w = MandelWork::compute(MandelScene::paper(64, 4));
+        let mut image = vec![0u8; 64 * 64];
+        for idx in 0..w.scene.blocks() {
+            let payload = w.block_payload(idx);
+            assert_eq!(payload.len(), w.scene.block_pixels() as usize);
+            MandelWork::deposit_payload(&w.scene, &mut image, idx, &payload);
+        }
+        assert_eq!(image, w.color_image());
+        assert_eq!(MandelWork::checksum(&image), MandelWork::checksum(&w.color_image()));
+    }
+
+    #[test]
+    fn sequential_time_positive_and_deterministic() {
+        let w = MandelWork::compute(MandelScene::paper(64, 4));
+        let c = Calib::default();
+        let (t1, sum1) = render_sequential(&w, &c);
+        let (t2, sum2) = render_sequential(&w, &c);
+        assert!(t1 > 0.0);
+        assert_eq!(t1, t2);
+        assert_eq!(sum1, sum2);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let w = MandelWork::compute(MandelScene::paper(64, 4));
+        let mut bad = w.color_image();
+        bad[100] ^= 1;
+        assert_ne!(MandelWork::checksum(&bad), MandelWork::checksum(&w.color_image()));
+    }
+}

@@ -1,0 +1,253 @@
+//! Mandelbrot with MESSENGERS — the paper's Fig. 3.
+//!
+//! One script, no manager: `create(ALL)` clones the injected messenger
+//! into a worker on every daemon; each worker shuttles between its own
+//! node and the central `init` node over `$last`, pulling tasks with
+//! `next_task()` and depositing results — "the workers are able to
+//! coordinate themselves and hence a separate manager is unnecessary"
+//! (§3.1). The non-preemptive scheduling policy makes `next_task()`
+//! atomic without locks.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use msgr_core::{ClusterConfig, ClusterError, SimCluster, ThreadCluster};
+use msgr_sim::Stats;
+use msgr_vm::Value;
+
+use crate::calib::Calib;
+use crate::mandel::{mandel_iters, MandelScene, MandelWork};
+
+/// The Fig. 3 script, verbatim modulo MSGR-C surface syntax.
+pub const MANAGER_WORKER_SCRIPT: &str = r#"
+manager_worker() {
+    block task, res;
+    create(ALL);
+    hop(ll = $last);
+    while ((task = next_task()) != NULL) {
+        hop(ll = $last);
+        res = compute(task);
+        hop(ll = $last);
+        deposit(res);
+    }
+}
+"#;
+
+/// Outcome of one Mandelbrot run.
+#[derive(Debug, Clone)]
+pub struct MandelRun {
+    /// Runtime in seconds (simulated for [`run_sim`], wall-clock for
+    /// [`run_threads`]).
+    pub seconds: f64,
+    /// Checksum of the assembled image (compare with the sequential
+    /// baseline).
+    pub checksum: u64,
+    /// Execution counters.
+    pub stats: Stats,
+}
+
+fn parse_task(v: &Value) -> Result<u32, String> {
+    v.as_int().map(|i| i as u32).map_err(|e| e.to_string())
+}
+
+/// Run on the simulation platform with `procs` daemons. The work table
+/// supplies real per-block iteration counts; compute time is charged to
+/// the worker's host, and the image is reassembled and checksummed.
+///
+/// # Errors
+///
+/// Propagates [`ClusterError`] from the cluster run.
+pub fn run_sim(
+    work: &Arc<MandelWork>,
+    procs: usize,
+    calib: &Calib,
+    mut cfg: ClusterConfig,
+) -> Result<MandelRun, ClusterError> {
+    cfg.daemons = procs;
+    let mut cluster = SimCluster::new(cfg);
+    let scene = work.scene;
+    let image = Arc::new(Mutex::new(vec![0u8; (scene.size * scene.size) as usize]));
+
+    cluster.register_native("next_task", move |ctx, _args| {
+        ctx.charge(2_000);
+        let next = ctx.node_var("next_block").as_int().unwrap_or(0) as u32;
+        if next >= scene.blocks() {
+            return Ok(Value::Null);
+        }
+        ctx.set_node_var("next_block", Value::Int(next as i64 + 1));
+        Ok(Value::Int(next as i64))
+    });
+
+    {
+        let work = work.clone();
+        let calib = *calib;
+        cluster.register_native("compute", move |ctx, args| {
+            let idx = parse_task(args.first().ok_or("compute needs a task")?)?;
+            let iters = *work
+                .block_iters
+                .get(idx as usize)
+                .ok_or_else(|| format!("block {idx} out of range"))?;
+            ctx.charge(calib.mandel_ns(iters, scene.block_pixels() as u64));
+            let mut payload = Vec::with_capacity(4 + work.block_payload(idx).len());
+            payload.extend_from_slice(&idx.to_le_bytes());
+            payload.extend_from_slice(&work.block_payload(idx));
+            Ok(Value::Blob(Bytes::from(payload)))
+        });
+    }
+
+    {
+        let image = image.clone();
+        cluster.register_native("deposit", move |ctx, args| {
+            let blob = args.first().ok_or("deposit needs a result")?.as_blob().map_err(|e| e.to_string())?;
+            // One copy into the result area.
+            ctx.charge(blob.len() as u64 * 25);
+            let idx = u32::from_le_bytes(blob[..4].try_into().expect("blob header"));
+            MandelWork::deposit_payload(&scene, &mut image.lock(), idx, &blob[4..]);
+            Ok(Value::Null)
+        });
+    }
+
+    let program = msgr_lang::compile(MANAGER_WORKER_SCRIPT)
+        .expect("manager/worker script compiles");
+    let pid = cluster.register_program(&program);
+    cluster.inject(0, pid, &[])?;
+    let report = cluster.run()?;
+    if let Some((mid, err)) = report.faults.first() {
+        return Err(ClusterError::Config(format!("messenger {mid} faulted: {err}")));
+    }
+    let image = image.lock();
+    Ok(MandelRun {
+        seconds: report.sim_seconds,
+        checksum: MandelWork::checksum(&image),
+        stats: report.stats,
+    })
+}
+
+/// Run on the threaded platform: the Mandelbrot kernel genuinely
+/// executes inside `compute` native calls on worker threads.
+///
+/// # Errors
+///
+/// Propagates [`ClusterError`] from the cluster run.
+pub fn run_threads(scene: MandelScene, procs: usize) -> Result<MandelRun, ClusterError> {
+    let mut cluster = ThreadCluster::new(ClusterConfig::new(procs))?;
+    let image = Arc::new(Mutex::new(vec![0u8; (scene.size * scene.size) as usize]));
+
+    cluster.register_native("next_task", move |ctx, _args| {
+        let next = ctx.node_var("next_block").as_int().unwrap_or(0) as u32;
+        if next >= scene.blocks() {
+            return Ok(Value::Null);
+        }
+        ctx.set_node_var("next_block", Value::Int(next as i64 + 1));
+        Ok(Value::Int(next as i64))
+    });
+
+    cluster.register_native("compute", move |_ctx, args| {
+        let idx = parse_task(args.first().ok_or("compute needs a task")?)?;
+        let bs = scene.block_side();
+        let (ox, oy) = scene.block_origin(idx);
+        let mut payload = Vec::with_capacity(4 + (bs * bs) as usize);
+        payload.extend_from_slice(&idx.to_le_bytes());
+        let (w, h) = (scene.size as f64, scene.size as f64);
+        for dy in 0..bs {
+            for dx in 0..bs {
+                let px = ox + dx;
+                let py = oy + dy;
+                let cx =
+                    scene.region.x0 + (px as f64 + 0.5) / w * (scene.region.x1 - scene.region.x0);
+                let cy =
+                    scene.region.y0 + (py as f64 + 0.5) / h * (scene.region.y1 - scene.region.y0);
+                let v = mandel_iters(cx, cy, scene.max_iter) as u16;
+                payload.push(MandelWork::color(v));
+            }
+        }
+        Ok(Value::Blob(Bytes::from(payload)))
+    });
+
+    {
+        let image = image.clone();
+        cluster.register_native("deposit", move |_ctx, args| {
+            let blob = args.first().ok_or("deposit needs a result")?.as_blob().map_err(|e| e.to_string())?;
+            let idx = u32::from_le_bytes(blob[..4].try_into().expect("blob header"));
+            MandelWork::deposit_payload(&scene, &mut image.lock(), idx, &blob[4..]);
+            Ok(Value::Null)
+        });
+    }
+
+    let program = msgr_lang::compile(MANAGER_WORKER_SCRIPT)
+        .expect("manager/worker script compiles");
+    let pid = cluster.register_program(&program);
+    cluster.inject(0, pid, &[])?;
+    let report = cluster.run()?;
+    if let Some((mid, err)) = report.faults.first() {
+        return Err(ClusterError::Config(format!("messenger {mid} faulted: {err}")));
+    }
+    let image = image.lock();
+    Ok(MandelRun {
+        seconds: report.wall_seconds,
+        checksum: MandelWork::checksum(&image),
+        stats: report.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mandel::render_sequential;
+    use msgr_core::config::NetKind;
+
+    fn tiny_work() -> Arc<MandelWork> {
+        Arc::new(MandelWork::compute(MandelScene::paper(64, 4)))
+    }
+
+    #[test]
+    fn sim_image_matches_sequential() {
+        let work = tiny_work();
+        let calib = Calib::default();
+        let (_, expected) = render_sequential(&work, &calib);
+        let run = run_sim(&work, 4, &calib, ClusterConfig::new(4)).unwrap();
+        assert_eq!(run.checksum, expected);
+        assert!(run.seconds > 0.0);
+        // 16 blocks, each shuttling twice over the spoke.
+        assert!(run.stats.counter("hops") >= 32);
+    }
+
+    #[test]
+    fn sim_single_processor_works() {
+        let work = tiny_work();
+        let calib = Calib::default();
+        let (_, expected) = render_sequential(&work, &calib);
+        let run = run_sim(&work, 1, &calib, ClusterConfig::new(1)).unwrap();
+        assert_eq!(run.checksum, expected);
+    }
+
+    #[test]
+    fn more_processors_do_not_change_the_image() {
+        let work = tiny_work();
+        let calib = Calib::default();
+        let mut cfg = ClusterConfig::new(1);
+        cfg.net = NetKind::Ideal;
+        let c1 = run_sim(&work, 2, &calib, cfg.clone()).unwrap().checksum;
+        let c2 = run_sim(&work, 8, &calib, cfg).unwrap().checksum;
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn parallelism_speeds_up_the_sim() {
+        let work = Arc::new(MandelWork::compute(MandelScene::paper(128, 8)));
+        let calib = Calib::default();
+        let t1 = run_sim(&work, 1, &calib, ClusterConfig::new(1)).unwrap().seconds;
+        let t8 = run_sim(&work, 8, &calib, ClusterConfig::new(8)).unwrap().seconds;
+        assert!(t8 < t1, "8 procs ({t8}) should beat 1 ({t1})");
+    }
+
+    #[test]
+    fn threads_compute_the_real_image() {
+        let scene = MandelScene::paper(64, 4);
+        let work = MandelWork::compute(scene);
+        let run = run_threads(scene, 4).unwrap();
+        assert_eq!(run.checksum, MandelWork::checksum(&work.color_image()));
+    }
+}

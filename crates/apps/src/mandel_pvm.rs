@@ -1,0 +1,333 @@
+//! Mandelbrot with PVM — the paper's Fig. 2 manager/worker program.
+//!
+//! The manager spawns one worker per host, sends each a task, then loops:
+//! receive a result, identify the sender, send it the next task, deposit
+//! the result. When tasks run out it collects the stragglers and kills
+//! the workers (here: a poison-pill task). The manager — absent from the
+//! MESSENGERS version — is both extra code and a serialization point.
+
+use std::sync::Arc;
+
+use msgr_pvm::{Buf, Message, PvmNet, PvmSim, PvmSimConfig, Recv, Status, Task, TaskCtx, TaskId};
+use msgr_sim::Stats;
+
+use crate::calib::Calib;
+use crate::mandel::MandelWork;
+
+/// Message tags.
+const TAG_TASK: i32 = 1;
+const TAG_RESULT: i32 = 2;
+/// The poison-pill task index.
+const POISON: i64 = -1;
+
+/// Outcome of a PVM Mandelbrot run.
+#[derive(Debug, Clone)]
+pub struct MandelPvmRun {
+    /// Simulated seconds.
+    pub seconds: f64,
+    /// Image checksum.
+    pub checksum: u64,
+    /// Counters.
+    pub stats: Stats,
+}
+
+struct Worker {
+    work: Arc<MandelWork>,
+    calib: Calib,
+    manager: TaskId,
+}
+
+impl Task for Worker {
+    fn resume(&mut self, ctx: &mut TaskCtx<'_>, msg: Option<Message>) -> Status {
+        let Some(mut m) = msg else {
+            return Status::Recv(Recv::tag(TAG_TASK));
+        };
+        let idx = m.buf.unpack_int().expect("task index");
+        if idx == POISON {
+            return Status::Exit;
+        }
+        let scene = self.work.scene;
+        let iters = self.work.block_iters[idx as usize];
+        ctx.charge(self.calib.mandel_ns(iters, scene.block_pixels() as u64));
+        let mut reply = Buf::new();
+        reply.pack_int(idx);
+        reply.pack_bytes(&self.work.block_payload(idx as u32));
+        ctx.send(self.manager, TAG_RESULT, reply);
+        Status::Recv(Recv::tag(TAG_TASK))
+    }
+}
+
+struct Manager {
+    work: Arc<MandelWork>,
+    calib: Calib,
+    nworkers: usize,
+    workers: Vec<TaskId>,
+    next_task: i64,
+    outstanding: usize,
+    image: Vec<u8>,
+    done: Arc<parking_lot::Mutex<(u64, bool)>>,
+}
+
+impl Manager {
+    fn send_task(&mut self, ctx: &mut TaskCtx<'_>, to: TaskId) {
+        let mut b = Buf::new();
+        b.pack_int(self.next_task);
+        self.next_task += 1;
+        self.outstanding += 1;
+        ctx.send(to, TAG_TASK, b);
+    }
+
+    fn deposit(&mut self, ctx: &mut TaskCtx<'_>, msg: &mut Message) {
+        let idx = msg.buf.unpack_int().expect("result index") as u32;
+        let payload = msg.buf.unpack_bytes().expect("result payload");
+        // The manager copies the result into the image buffer.
+        ctx.charge(payload.len() as u64 * 25);
+        MandelWork::deposit_payload(&self.work.scene, &mut self.image, idx, &payload);
+    }
+}
+
+impl Task for Manager {
+    fn resume(&mut self, ctx: &mut TaskCtx<'_>, msg: Option<Message>) -> Status {
+        let total = self.work.scene.blocks() as i64;
+        if self.workers.is_empty() {
+            // Spawn one worker per host (lines 2-3 of Fig. 2), then prime
+            // each with a task (lines 4-5).
+            for h in 0..self.nworkers {
+                let w = ctx.spawn_on(
+                    h % ctx.nhosts(),
+                    Box::new(Worker {
+                        work: self.work.clone(),
+                        calib: self.calib,
+                        manager: ctx.mytid(),
+                    }),
+                );
+                self.workers.push(w);
+            }
+            for w in self.workers.clone() {
+                if self.next_task < total {
+                    self.send_task(ctx, w);
+                }
+            }
+            return Status::Recv(Recv::tag(TAG_RESULT));
+        }
+        let mut m = msg.expect("resumed with a result");
+        self.outstanding -= 1;
+        let sender = m.from;
+        self.deposit(ctx, &mut m);
+        if self.next_task < total {
+            self.send_task(ctx, sender);
+            return Status::Recv(Recv::tag(TAG_RESULT));
+        }
+        if self.outstanding > 0 {
+            return Status::Recv(Recv::tag(TAG_RESULT));
+        }
+        // All results in: kill the workers (lines 11-15).
+        for w in &self.workers {
+            let mut b = Buf::new();
+            b.pack_int(POISON);
+            ctx.send(*w, TAG_TASK, b);
+        }
+        *self.done.lock() = (MandelWork::checksum(&self.image), true);
+        Status::Exit
+    }
+}
+
+/// Run the Fig. 2 program on `procs` simulated hosts. Worker count =
+/// host count (the paper's configuration); the manager shares host 0
+/// with a worker.
+///
+/// # Errors
+///
+/// Propagates [`msgr_pvm::PvmError`].
+pub fn run_sim(
+    work: &Arc<MandelWork>,
+    procs: usize,
+    calib: &Calib,
+    net: PvmNet,
+) -> Result<MandelPvmRun, msgr_pvm::PvmError> {
+    run_sim_routed(work, procs, calib, net, false)
+}
+
+/// As [`run_sim`], with explicit routing: `direct = true` models
+/// `PvmRouteDirect` (task-to-task TCP, no pvmd copies).
+///
+/// # Errors
+///
+/// Propagates [`msgr_pvm::PvmError`].
+pub fn run_sim_routed(
+    work: &Arc<MandelWork>,
+    procs: usize,
+    calib: &Calib,
+    net: PvmNet,
+    direct: bool,
+) -> Result<MandelPvmRun, msgr_pvm::PvmError> {
+    let mut cfg = PvmSimConfig::new(procs);
+    cfg.net = net;
+    cfg.costs.direct_route = direct;
+    let mut vm = PvmSim::new(cfg);
+    let done = Arc::new(parking_lot::Mutex::new((0u64, false)));
+    vm.root(Box::new(Manager {
+        work: work.clone(),
+        calib: *calib,
+        nworkers: procs,
+        workers: Vec::new(),
+        next_task: 0,
+        outstanding: 0,
+        image: vec![0u8; (work.scene.size * work.scene.size) as usize],
+        done: done.clone(),
+    }));
+    let report = vm.run()?;
+    let (checksum, finished) = *done.lock();
+    assert!(finished, "manager exited without completing");
+    Ok(MandelPvmRun { seconds: report.sim_seconds, checksum, stats: report.stats })
+}
+
+/// Run the Fig. 2 program on real OS threads (the `msgr-pvm` threaded
+/// backend): the manager and workers are genuine concurrent tasks, the
+/// fractal genuinely computes, and the image is assembled from real
+/// messages. Returns wall-clock seconds plus the checksum.
+///
+/// # Panics
+///
+/// Panics if a task misbehaves protocol-wise (buffer underflow), which
+/// would be a bug in this program, not user input.
+pub fn run_threads(scene: crate::mandel::MandelScene, procs: usize) -> MandelPvmRun {
+    use crate::mandel::mandel_iters;
+    use msgr_pvm::{PvmThreads, Recv, ThreadTaskCtx};
+
+    let start = std::time::Instant::now();
+    let image = Arc::new(parking_lot::Mutex::new(vec![
+        0u8;
+        (scene.size * scene.size) as usize
+    ]));
+    let image_out = image.clone();
+
+    let compute_block = move |idx: u32| -> Vec<u8> {
+        let bs = scene.block_side();
+        let (ox, oy) = scene.block_origin(idx);
+        let (w, h) = (scene.size as f64, scene.size as f64);
+        let mut payload = Vec::with_capacity((bs * bs) as usize);
+        for dy in 0..bs {
+            for dx in 0..bs {
+                let cx = scene.region.x0
+                    + ((ox + dx) as f64 + 0.5) / w * (scene.region.x1 - scene.region.x0);
+                let cy = scene.region.y0
+                    + ((oy + dy) as f64 + 0.5) / h * (scene.region.y1 - scene.region.y0);
+                payload.push(MandelWork::color(mandel_iters(cx, cy, scene.max_iter) as u16));
+            }
+        }
+        payload
+    };
+
+    PvmThreads::run(move |ctx: &mut ThreadTaskCtx| {
+        let me = ctx.mytid();
+        let workers: Vec<_> = (0..procs)
+            .map(|_| {
+                ctx.spawn(move |ctx| loop {
+                    let mut m = ctx.recv(Recv::tag(TAG_TASK));
+                    let idx = m.buf.unpack_int().expect("task index");
+                    if idx == POISON {
+                        return;
+                    }
+                    let mut reply = Buf::new();
+                    reply.pack_int(idx);
+                    reply.pack_bytes(&compute_block(idx as u32));
+                    ctx.send(me, TAG_RESULT, reply);
+                })
+            })
+            .collect();
+        let total = scene.blocks() as i64;
+        let mut next = 0i64;
+        for w in &workers {
+            if next < total {
+                let mut b = Buf::new();
+                b.pack_int(next);
+                ctx.send(*w, TAG_TASK, b);
+                next += 1;
+            }
+        }
+        let mut received = 0i64;
+        while received < total {
+            let mut m = ctx.recv(Recv::tag(TAG_RESULT));
+            let idx = m.buf.unpack_int().expect("result index") as u32;
+            let payload = m.buf.unpack_bytes().expect("payload");
+            MandelWork::deposit_payload(&scene, &mut image.lock(), idx, &payload);
+            received += 1;
+            if next < total {
+                let mut b = Buf::new();
+                b.pack_int(next);
+                ctx.send(m.from, TAG_TASK, b);
+                next += 1;
+            }
+        }
+        for w in &workers {
+            let mut b = Buf::new();
+            b.pack_int(POISON);
+            ctx.send(*w, TAG_TASK, b);
+        }
+    });
+    let checksum = MandelWork::checksum(&image_out.lock());
+    MandelPvmRun {
+        seconds: start.elapsed().as_secs_f64(),
+        checksum,
+        stats: msgr_sim::Stats::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mandel::{render_sequential, MandelScene};
+
+    fn tiny_work() -> Arc<MandelWork> {
+        Arc::new(MandelWork::compute(MandelScene::paper(64, 4)))
+    }
+
+    #[test]
+    fn pvm_image_matches_sequential() {
+        let work = tiny_work();
+        let calib = Calib::default();
+        let (_, expected) = render_sequential(&work, &calib);
+        let run = run_sim(&work, 4, &calib, PvmNet::Ethernet100).unwrap();
+        assert_eq!(run.checksum, expected);
+        assert!(run.seconds > 0.0);
+        assert_eq!(run.stats.counter("spawns"), 4);
+    }
+
+    #[test]
+    fn pvm_single_host_works() {
+        let work = tiny_work();
+        let calib = Calib::default();
+        let (_, expected) = render_sequential(&work, &calib);
+        let run = run_sim(&work, 1, &calib, PvmNet::Ethernet100).unwrap();
+        assert_eq!(run.checksum, expected);
+    }
+
+    #[test]
+    fn pvm_parallel_speedup() {
+        let work = Arc::new(MandelWork::compute(MandelScene::paper(128, 8)));
+        let calib = Calib::default();
+        let t1 = run_sim(&work, 1, &calib, PvmNet::Ethernet100).unwrap().seconds;
+        let t8 = run_sim(&work, 8, &calib, PvmNet::Ethernet100).unwrap().seconds;
+        assert!(t8 < t1, "8 hosts ({t8}) should beat 1 ({t1})");
+    }
+
+    #[test]
+    fn threaded_pvm_computes_the_real_image() {
+        let scene = MandelScene::paper(64, 4);
+        let work = MandelWork::compute(scene);
+        let run = run_threads(scene, 4);
+        assert_eq!(run.checksum, MandelWork::checksum(&work.color_image()));
+        assert!(run.seconds > 0.0);
+    }
+
+    #[test]
+    fn message_count_matches_protocol() {
+        let work = tiny_work(); // 16 blocks
+        let calib = Calib::default();
+        let run = run_sim(&work, 2, &calib, PvmNet::Ideal).unwrap();
+        // 16 tasks + 16 results + 2 poison pills (+2 spawn announcements
+        // are not counted as messages).
+        assert_eq!(run.stats.counter("messages"), 34);
+    }
+}

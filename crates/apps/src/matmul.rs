@@ -1,0 +1,271 @@
+//! The matrix-multiplication workload (§3.2): real matrix math,
+//! deterministic test matrices, block layout helpers, and the two
+//! sequential baselines (naive and block-oriented).
+
+use msgr_vm::Matrix;
+
+use crate::calib::Calib;
+
+/// One experiment: an `m × m` processor grid multiplying `n × n`
+/// matrices split into `s × s` blocks (`n = m · s`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatmulScene {
+    /// Blocks per dimension (= grid side; 2 or 3 in the paper).
+    pub m: u32,
+    /// Block side length (the paper's x-axis).
+    pub s: u32,
+}
+
+impl MatmulScene {
+    /// A scene; `n = m * s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(m: u32, s: u32) -> Self {
+        assert!(m > 0 && s > 0, "degenerate scene {m}x{s}");
+        MatmulScene { m, s }
+    }
+
+    /// Full matrix side length.
+    pub fn n(&self) -> u32 {
+        self.m * self.s
+    }
+}
+
+/// Deterministic pseudo-random test matrix (splitmix-style generator) —
+/// every implementation multiplies the same inputs.
+pub fn test_matrix(n: u32, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let data: Vec<f64> = (0..(n as usize * n as usize))
+        .map(|_| (next() % 1000) as f64 / 500.0 - 1.0)
+        .collect();
+    Matrix::from_vec(n, n, data)
+}
+
+/// Real (bit-exact reference) matrix product via the naive triple loop.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn multiply_reference(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "dimension mismatch");
+    let (n, m, p) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(n, p);
+    let cd = c.as_mut_slice();
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    for i in 0..n as usize {
+        for k in 0..m as usize {
+            let aik = ad[i * m as usize + k];
+            for j in 0..p as usize {
+                cd[i * p as usize + j] += aik * bd[k * p as usize + j];
+            }
+        }
+    }
+    c
+}
+
+/// `c += a · b` on raw blocks (the kernel both distributed versions
+/// execute).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn multiply_accumulate(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    assert_eq!(a.cols(), b.rows(), "dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "dimension mismatch");
+    assert_eq!(c.cols(), b.cols(), "dimension mismatch");
+    let (n, m, p) = (a.rows() as usize, a.cols() as usize, b.cols() as usize);
+    let cd = c.as_mut_slice();
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    for i in 0..n {
+        for k in 0..m {
+            let aik = ad[i * m + k];
+            for j in 0..p {
+                cd[i * p + j] += aik * bd[k * p + j];
+            }
+        }
+    }
+}
+
+/// Block extraction / assembly for an `m × m` grid of `s × s` blocks.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockedLayout {
+    /// The scene.
+    pub scene: MatmulScene,
+}
+
+impl BlockedLayout {
+    /// Layout for a scene.
+    pub fn new(scene: MatmulScene) -> Self {
+        BlockedLayout { scene }
+    }
+
+    /// Extract block `(bi, bj)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block indices are out of range or the matrix has
+    /// the wrong size.
+    pub fn block(&self, m: &Matrix, bi: u32, bj: u32) -> Matrix {
+        let s = self.scene.s;
+        assert_eq!(m.rows(), self.scene.n(), "matrix size mismatch");
+        assert!(bi < self.scene.m && bj < self.scene.m, "block index out of range");
+        let mut out = Matrix::zeros(s, s);
+        let od = out.as_mut_slice();
+        let md = m.as_slice();
+        let n = self.scene.n() as usize;
+        for r in 0..s as usize {
+            let src = (bi as usize * s as usize + r) * n + bj as usize * s as usize;
+            od[r * s as usize..(r + 1) * s as usize]
+                .copy_from_slice(&md[src..src + s as usize]);
+        }
+        out
+    }
+
+    /// Assemble a full matrix from row-major blocks (indexed `bi*m+bj`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on wrong block count or block shapes.
+    pub fn assemble(&self, blocks: &[Matrix]) -> Matrix {
+        let mm = self.scene.m as usize;
+        let s = self.scene.s as usize;
+        assert_eq!(blocks.len(), mm * mm, "wrong block count");
+        let n = self.scene.n();
+        let mut out = Matrix::zeros(n, n);
+        let od = out.as_mut_slice();
+        for bi in 0..mm {
+            for bj in 0..mm {
+                let b = &blocks[bi * mm + bj];
+                assert_eq!((b.rows() as usize, b.cols() as usize), (s, s), "bad block shape");
+                let bd = b.as_slice();
+                for r in 0..s {
+                    let dst = (bi * s + r) * n as usize + bj * s;
+                    od[dst..dst + s].copy_from_slice(&bd[r * s..(r + 1) * s]);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Simulated sequential times (seconds): `(naive, blocked)` for the
+/// scene, from the calibrated cache model.
+pub fn sequential_seconds(scene: MatmulScene, calib: &Calib) -> (f64, f64) {
+    let naive = calib.naive_multiply_ns(scene.n()) as f64 / 1e9;
+    let blocked = calib.blocked_multiply_ns(scene.m, scene.s) as f64 / 1e9;
+    (naive, blocked)
+}
+
+/// Max absolute element difference, for verification.
+pub fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_multiply_identity() {
+        let mut eye = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            eye.set(i, i, 1.0);
+        }
+        let a = test_matrix(3, 42);
+        let prod = multiply_reference(&a, &eye);
+        assert_eq!(prod, a);
+        let prod = multiply_reference(&eye, &a);
+        assert_eq!(prod, a);
+    }
+
+    #[test]
+    fn accumulate_matches_reference() {
+        let a = test_matrix(8, 1);
+        let b = test_matrix(8, 2);
+        let mut c = Matrix::zeros(8, 8);
+        multiply_accumulate(&mut c, &a, &b);
+        assert_eq!(c, multiply_reference(&a, &b));
+        // Accumulation adds.
+        multiply_accumulate(&mut c, &a, &b);
+        let twice = multiply_reference(&a, &b);
+        let diff = c
+            .as_slice()
+            .iter()
+            .zip(twice.as_slice())
+            .map(|(x, y)| (x - 2.0 * y).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-9);
+    }
+
+    #[test]
+    fn block_extract_assemble_round_trip() {
+        let scene = MatmulScene::new(3, 4);
+        let layout = BlockedLayout::new(scene);
+        let m = test_matrix(12, 7);
+        let blocks: Vec<Matrix> = (0..3)
+            .flat_map(|bi| (0..3).map(move |bj| (bi, bj)))
+            .map(|(bi, bj)| layout.block(&m, bi, bj))
+            .collect();
+        assert_eq!(layout.assemble(&blocks), m);
+    }
+
+    #[test]
+    fn blocked_product_equals_full_product() {
+        // The block algorithm's math: C[i][j] = Σ_k A[i][k]·B[k][j].
+        let scene = MatmulScene::new(2, 5);
+        let layout = BlockedLayout::new(scene);
+        let a = test_matrix(10, 11);
+        let b = test_matrix(10, 22);
+        let mut blocks = Vec::new();
+        for bi in 0..2 {
+            for bj in 0..2 {
+                let mut c = Matrix::zeros(5, 5);
+                for k in 0..2 {
+                    multiply_accumulate(&mut c, &layout.block(&a, bi, k), &layout.block(&b, k, bj));
+                }
+                blocks.push(c);
+            }
+        }
+        let assembled = layout.assemble(&blocks);
+        let reference = multiply_reference(&a, &b);
+        assert!(max_abs_diff(&assembled, &reference) < 1e-9);
+    }
+
+    #[test]
+    fn test_matrices_are_deterministic_and_seeded() {
+        assert_eq!(test_matrix(6, 5), test_matrix(6, 5));
+        assert_ne!(test_matrix(6, 5), test_matrix(6, 6));
+        // Values bounded in [-1, 1].
+        assert!(test_matrix(16, 9).as_slice().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn sequential_blocked_beats_naive_for_large_n() {
+        let c = Calib::default();
+        let (naive, blocked) = sequential_seconds(MatmulScene::new(3, 500), &c);
+        assert!(blocked < naive);
+        let speedup = naive / blocked;
+        assert!((1.10..1.16).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn scene_dimensions() {
+        assert_eq!(MatmulScene::new(3, 500).n(), 1500);
+    }
+}

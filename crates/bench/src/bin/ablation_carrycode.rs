@@ -1,0 +1,4 @@
+//! Ablation: shared code registry vs WAVE-style carry-code migrations.
+fn main() {
+    println!("{}", msgr_bench::ablation_carrycode());
+}

@@ -1,0 +1,4 @@
+//! Ablation: conservative GVT round interval and optimistic Time Warp.
+fn main() {
+    println!("{}", msgr_bench::ablation_gvt());
+}

@@ -1,0 +1,4 @@
+//! Ablation: shared vs switched media for both systems.
+fn main() {
+    println!("{}", msgr_bench::ablation_network());
+}

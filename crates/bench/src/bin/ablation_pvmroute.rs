@@ -1,0 +1,4 @@
+//! Ablation: PVM pvmd store-and-forward vs direct routing.
+fn main() {
+    println!("{}", msgr_bench::ablation_pvmroute());
+}

@@ -1,0 +1,4 @@
+//! Ablation: where optimistic Time Warp beats conservative GVT.
+fn main() {
+    println!("{}", msgr_bench::ablation_timewarp());
+}

@@ -1,0 +1,4 @@
+//! Fig. 7: the most favorable case (1280x1280, 8x8 grid).
+fn main() {
+    println!("{}", msgr_bench::fig7(&msgr_bench::PAPER_PROCS));
+}

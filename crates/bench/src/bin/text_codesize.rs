@@ -1,0 +1,4 @@
+//! §3.1.1/§3.2.1: the program-size comparison.
+fn main() {
+    println!("{}", msgr_bench::text_codesize());
+}

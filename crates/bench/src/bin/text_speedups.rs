@@ -1,0 +1,4 @@
+//! §3.2.2 text claims: speedups over the sequential algorithms.
+fn main() {
+    println!("{}", msgr_bench::text_speedups());
+}

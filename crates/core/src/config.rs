@@ -1,0 +1,164 @@
+//! Cluster configuration and the calibrated cost model.
+//!
+//! The constants are chosen to reflect the paper's 1997 testbed — 110 MHz
+//! SPARCstation 5s (the reference CPU, speed 1.0) on a 10 Mbit/s shared
+//! Ethernet — so that the *shape* of the evaluation figures reproduces.
+//! See `EXPERIMENTS.md` for the calibration discussion.
+
+use msgr_sim::{SimTime, MILLI};
+
+/// Which network model the simulation platform uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetKind {
+    /// 10 Mbit/s shared-bus Ethernet.
+    Ethernet10,
+    /// 100 Mbit/s shared-bus Ethernet — the testbed implied by the
+    /// paper's absolute runtimes (see EXPERIMENTS.md calibration notes).
+    Ethernet100,
+    /// Full-duplex switched network with the given per-port bits/second.
+    Switched {
+        /// Per-port bandwidth in bits per second.
+        bandwidth_bps: f64,
+    },
+    /// Infinite bandwidth, fixed latency (ablations and fast tests).
+    Ideal,
+}
+
+/// Conservative vs optimistic virtual time (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VtMode {
+    /// Suspended messengers run only once GVT reaches their wake time.
+    #[default]
+    Conservative,
+    /// Time Warp: run eagerly, roll back on stragglers, cancel with
+    /// anti-messengers. Simulation platform only.
+    Optimistic,
+}
+
+/// CPU-cost constants, in reference nanoseconds (1.0-speed machine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Interpreting one bytecode operation. The paper's scripts are
+    /// interpreted; this is the per-statement overhead that makes
+    /// fine-grained Messengers slower than PVM.
+    pub per_op_ns: u64,
+    /// Fixed daemon cost to dispatch one outgoing migration
+    /// (scheduling, headers, system call).
+    pub hop_send_ns: u64,
+    /// Fixed daemon cost to accept one incoming migration.
+    pub hop_recv_ns: u64,
+    /// Serializing / deserializing messenger state, per byte. Messenger
+    /// variables travel as-is — one copy out, one copy in (§2.1: "there
+    /// is no need for copying of data into/out of buffers").
+    pub per_byte_copy_ns: u64,
+    /// Fixed cost to create a logical node / install a link.
+    pub create_node_ns: u64,
+    /// Cost to process one GVT control message.
+    pub gvt_msg_ns: u64,
+    /// Cost to undo one event during a Time-Warp rollback.
+    pub rollback_per_event_ns: u64,
+    /// Per-migration wire header bytes (routing, ids, epoch).
+    pub wire_header_bytes: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            per_op_ns: 2_000,        // ~2 µs/op interpreted on a 110 MHz SS5
+            hop_send_ns: 300_000,    // 300 µs: destination matching, replication, dispatch
+            hop_recv_ns: 220_000,    // 220 µs: accept, decode, schedule
+            per_byte_copy_ns: 25,    // ~40 MB/s memcpy
+            create_node_ns: 80_000,
+            gvt_msg_ns: 40_000,
+            rollback_per_event_ns: 60_000,
+            wire_header_bytes: 64,
+        }
+    }
+}
+
+/// Whether the GVT service runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VtService {
+    /// Enabled iff any registered program uses `M_sched_time_*`.
+    #[default]
+    Auto,
+    /// Always run GVT rounds.
+    On,
+    /// Never run GVT rounds (programs that suspend will stall).
+    Off,
+}
+
+/// Full cluster configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of daemons (= hosts; one daemon per host, as in the paper).
+    pub daemons: usize,
+    /// Network model (simulation platform).
+    pub net: NetKind,
+    /// CPU speed of every host relative to the 110 MHz reference
+    /// (Fig. 12(b)'s 170 MHz machines ≈ 1.55).
+    pub cpu_speed: f64,
+    /// Virtual-time mode.
+    pub vt_mode: VtMode,
+    /// GVT service switch.
+    pub vt_service: VtService,
+    /// Interval between GVT rounds (simulated time).
+    pub gvt_interval: SimTime,
+    /// Carry full program code on every migration (the WAVE-style
+    /// ablation) instead of relying on the shared code registry.
+    pub carry_code: bool,
+    /// Cost model (simulation platform).
+    pub costs: CostModel,
+    /// RNG seed for any randomized choices.
+    pub seed: u64,
+    /// Event budget before a run is declared stalled.
+    pub max_events: u64,
+    /// Fuel per execution segment (bytecode ops) before a messenger is
+    /// killed as runaway.
+    pub segment_fuel: u64,
+}
+
+impl ClusterConfig {
+    /// A configuration for `daemons` hosts with paper-era defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `daemons` is 0 or exceeds `u16::MAX`.
+    pub fn new(daemons: usize) -> Self {
+        assert!(daemons > 0 && daemons <= u16::MAX as usize, "bad daemon count {daemons}");
+        ClusterConfig {
+            daemons,
+            net: NetKind::Ethernet100,
+            cpu_speed: 1.0,
+            vt_mode: VtMode::Conservative,
+            vt_service: VtService::Auto,
+            gvt_interval: 15 * MILLI,
+            carry_code: false,
+            costs: CostModel::default(),
+            seed: 0x5EED,
+            max_events: 200_000_000,
+            segment_fuel: msgr_vm::interp::DEFAULT_FUEL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_era() {
+        let c = ClusterConfig::new(8);
+        assert_eq!(c.daemons, 8);
+        assert_eq!(c.net, NetKind::Ethernet100);
+        assert_eq!(c.cpu_speed, 1.0);
+        assert_eq!(c.vt_mode, VtMode::Conservative);
+        assert!(c.costs.per_op_ns > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad daemon count")]
+    fn zero_daemons_rejected() {
+        let _ = ClusterConfig::new(0);
+    }
+}

@@ -1,0 +1,1081 @@
+//! The MESSENGERS daemon: receives messengers, interprets them, and
+//! forwards them — platform-independent core logic.
+//!
+//! A daemon owns the logical nodes mapped to its host, a ready queue of
+//! arrived messengers, and a virtual-time queue of suspended ones. The
+//! platform (simulated or threaded) feeds it [`Wire`] frames via
+//! [`Daemon::on_wire`] and asks it to execute one non-preemptive segment
+//! at a time via [`Daemon::run_segment`]; both return the reference-CPU
+//! cost of the work so the simulation can charge it to the host.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use msgr_gvt::{Coordinator, CoordinatorAction, CtrlMsg, Participant, PendingQueue, SentRef, TwEntry, TwNode};
+use msgr_sim::Stats;
+use msgr_vm::{
+    interp, wire as vmwire, Dir, EvalCreate, EvalHop, EvalLink, LinkInstance, MessengerId,
+    MessengerState, NativeCtx, NativeRegistry, NetVar, Program, ProgramId, Value, VmError, Vt,
+    Yield,
+};
+
+use crate::config::{ClusterConfig, VtMode};
+use crate::ids::{DaemonId, NodeRef};
+use crate::logical::{LinkRec, LogicalNode, Orient};
+use crate::topology::DaemonTopology;
+use crate::wire::{CreateNode, Migration, Wire};
+
+/// The cluster-wide code registry — the paper's shared file system: "code
+/// does not need to be carried between nodes but can be loaded as
+/// necessary" (§4).
+#[derive(Clone, Default)]
+pub struct CodeCache {
+    map: Arc<RwLock<HashMap<ProgramId, Arc<Program>>>>,
+}
+
+impl std::fmt::Debug for CodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CodeCache({} programs)", self.map.read().len())
+    }
+}
+
+impl CodeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CodeCache::default()
+    }
+
+    /// Register a program; returns its content id.
+    pub fn register(&self, program: &Program) -> ProgramId {
+        let id = program.id();
+        self.map.write().entry(id).or_insert_with(|| Arc::new(program.clone()));
+        id
+    }
+
+    /// Look up a program.
+    pub fn get(&self, id: ProgramId) -> Option<Arc<Program>> {
+        self.map.read().get(&id).cloned()
+    }
+
+    /// Whether any registered program suspends on virtual time.
+    pub fn any_uses_virtual_time(&self) -> bool {
+        self.map.read().values().any(|p| {
+            p.funcs.iter().any(|f| {
+                f.code
+                    .iter()
+                    .any(|op| matches!(op, msgr_vm::Op::SchedAbs | msgr_vm::Op::SchedDlt))
+            })
+        })
+    }
+}
+
+/// A messenger queued for execution at a node of this daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Runnable {
+    /// The messenger.
+    pub state: MessengerState,
+    /// The node it is at.
+    pub at: NodeRef,
+    /// The link it arrived on (`$last`).
+    pub last: Option<LinkInstance>,
+}
+
+/// Side effects a daemon hands back to its platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Transmit a frame (possibly to this daemon itself — the platform
+    /// loops it back, preserving uniform accounting).
+    Send {
+        /// Destination daemon.
+        dst: DaemonId,
+        /// The frame.
+        wire: Wire,
+    },
+    /// The live-messenger population changed (replications, deaths).
+    LiveDelta(i64),
+    /// A messenger died with a runtime error.
+    Fault {
+        /// Which messenger.
+        messenger: MessengerId,
+        /// What went wrong.
+        error: String,
+    },
+    /// A named node came into existence (directory update).
+    DirectoryAdd {
+        /// Node name.
+        name: Value,
+        /// Placement.
+        daemon: DaemonId,
+        /// Reference.
+        node: NodeRef,
+    },
+    /// A named node was deleted.
+    DirectoryRemove {
+        /// Node name.
+        name: Value,
+    },
+}
+
+/// Name → location resolution for virtual hops, provided by the
+/// platform.
+pub trait Directory {
+    /// Where the named node lives, if anywhere.
+    fn lookup(&self, name: &Value) -> Option<(DaemonId, NodeRef)>;
+}
+
+impl Directory for HashMap<Value, (DaemonId, NodeRef)> {
+    fn lookup(&self, name: &Value) -> Option<(DaemonId, NodeRef)> {
+        self.get(name).copied()
+    }
+}
+
+type NodeVars = HashMap<Arc<str>, Value>;
+
+/// One MESSENGERS daemon.
+pub struct Daemon {
+    id: DaemonId,
+    cfg: Arc<ClusterConfig>,
+    topo: Arc<DaemonTopology>,
+    codes: CodeCache,
+    natives: Arc<RwLock<NativeRegistry>>,
+    nodes: HashMap<NodeRef, LogicalNode>,
+    init: NodeRef,
+    node_seq: u64,
+    link_seq: u64,
+    msgr_seq: u64,
+    rr: usize,
+    ready: VecDeque<Runnable>,
+    pending: PendingQueue<Runnable>,
+    // Optimistic-mode queue, ordered by the Time-Warp event key
+    // (vtime, messenger id) so tie-breaking matches straggler detection.
+    opt_queue: std::collections::BTreeMap<(Vt, u64), Runnable>,
+    part: Participant,
+    coord: Option<Coordinator>,
+    tw: HashMap<NodeRef, TwNode<NodeVars, Runnable>>,
+    anti_pending: HashSet<MessengerId>,
+    stats: Stats,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("id", &self.id)
+            .field("nodes", &self.nodes.len())
+            .field("ready", &self.ready.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl Daemon {
+    /// Create daemon `id` of a cluster of `cfg.daemons`, with its `init`
+    /// node. Daemon 0 hosts the GVT coordinator.
+    pub fn new(
+        id: DaemonId,
+        cfg: Arc<ClusterConfig>,
+        topo: Arc<DaemonTopology>,
+        codes: CodeCache,
+        natives: Arc<RwLock<NativeRegistry>>,
+    ) -> Self {
+        let coord = (id.0 == 0).then(|| Coordinator::new(cfg.daemons));
+        let mut d = Daemon {
+            id,
+            cfg,
+            topo,
+            codes,
+            natives,
+            nodes: HashMap::new(),
+            init: NodeRef::new(id.0, 0),
+            node_seq: 0,
+            link_seq: 0,
+            msgr_seq: 0,
+            rr: 0,
+            ready: VecDeque::new(),
+            pending: PendingQueue::new(),
+            opt_queue: std::collections::BTreeMap::new(),
+            part: Participant::new(id.0),
+            coord,
+            tw: HashMap::new(),
+            anti_pending: HashSet::new(),
+            stats: Stats::new(),
+        };
+        let init = d.build_node(Value::str("init"));
+        d.init = init;
+        d
+    }
+
+    /// This daemon's id.
+    pub fn id(&self) -> DaemonId {
+        self.id
+    }
+
+    /// The daemon's `init` node.
+    pub fn init_node(&self) -> NodeRef {
+        self.init
+    }
+
+    /// Counters collected so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Whether any messenger is ready to execute right now.
+    pub fn has_work(&self) -> bool {
+        match self.cfg.vt_mode {
+            VtMode::Conservative => !self.ready.is_empty(),
+            VtMode::Optimistic => !self.opt_queue.is_empty() || !self.ready.is_empty(),
+        }
+    }
+
+    /// Whether anything (ready or suspended) exists on this daemon.
+    pub fn has_any_messengers(&self) -> bool {
+        !self.ready.is_empty() || !self.pending.is_empty() || !self.opt_queue.is_empty()
+    }
+
+    /// The minimum virtual time over all local messengers — this
+    /// daemon's contribution to GVT.
+    pub fn local_min(&self) -> Vt {
+        let ready_min = self
+            .ready
+            .iter()
+            .map(|r| r.state.vtime)
+            .fold(Vt::INFINITY, Vt::min);
+        let pending_min = self.pending.min_wake().unwrap_or(Vt::INFINITY);
+        let opt_min = self
+            .opt_queue
+            .keys()
+            .next()
+            .map(|(t, _)| *t)
+            .unwrap_or(Vt::INFINITY);
+        ready_min.min(pending_min).min(opt_min)
+    }
+
+    /// The GVT this daemon currently knows.
+    pub fn known_gvt(&self) -> Vt {
+        self.part.gvt()
+    }
+
+    /// Total Time-Warp rollbacks performed here.
+    pub fn rollbacks(&self) -> u64 {
+        self.stats.counter("rollbacks")
+    }
+
+    // ---- identifiers -------------------------------------------------------
+
+    fn alloc_node(&mut self) -> NodeRef {
+        self.node_seq += 1;
+        NodeRef::new(self.id.0, self.node_seq)
+    }
+
+    /// Allocate a cluster-unique link instance id.
+    pub fn alloc_link(&mut self) -> LinkInstance {
+        self.link_seq += 1;
+        LinkInstance(((self.id.0 as u64) << 48) | self.link_seq)
+    }
+
+    fn alloc_mid(&mut self) -> MessengerId {
+        self.msgr_seq += 1;
+        MessengerId::compose(self.id.0, self.msgr_seq)
+    }
+
+    // ---- platform-facing construction ---------------------------------------
+
+    /// Create a logical node directly (initial topology construction and
+    /// the `init` node). Named nodes should be announced to the
+    /// directory by the caller.
+    pub fn build_node(&mut self, name: Value) -> NodeRef {
+        let gid = self.alloc_node();
+        self.nodes.insert(gid, LogicalNode::new(gid, name));
+        gid
+    }
+
+    /// Install one half of a link on an existing node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist (construction-time bug).
+    pub fn install_link(&mut self, node: NodeRef, rec: LinkRec) {
+        self.nodes
+            .get_mut(&node)
+            .expect("install_link on missing node")
+            .links
+            .push(rec);
+    }
+
+    /// Look up a program in the shared code registry (platform helper).
+    pub fn codes_get(&self, id: ProgramId) -> Option<Arc<Program>> {
+        self.codes.get(id)
+    }
+
+    /// Iterate this daemon's logical nodes (diagnostics, dumps).
+    pub fn nodes(&self) -> impl Iterator<Item = &LogicalNode> {
+        let mut v: Vec<&LogicalNode> = self.nodes.values().collect();
+        v.sort_by_key(|n| n.gid);
+        v.into_iter()
+    }
+
+    /// Find a local node by name.
+    pub fn find_node(&self, name: &Value) -> Option<NodeRef> {
+        self.nodes
+            .values()
+            .find(|n| n.name.loose_eq(name))
+            .map(|n| n.gid)
+    }
+
+    /// Access a node.
+    pub fn node(&self, gid: NodeRef) -> Option<&LogicalNode> {
+        self.nodes.get(&gid)
+    }
+
+    /// Read a node variable.
+    pub fn node_var(&self, gid: NodeRef, var: &str) -> Option<Value> {
+        self.nodes.get(&gid).map(|n| n.var(var))
+    }
+
+    /// Write a node variable (topology/setup phase).
+    pub fn set_node_var(&mut self, gid: NodeRef, var: &str, v: Value) {
+        if let Some(n) = self.nodes.get_mut(&gid) {
+            n.set_var(var, v);
+        }
+    }
+
+    /// Launch a fresh messenger at `at` (injection). Returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError::Arity`] if `args` do not match the entry
+    /// function.
+    pub fn launch(
+        &mut self,
+        program: &Program,
+        args: &[Value],
+        at: NodeRef,
+    ) -> Result<MessengerId, VmError> {
+        let id = self.alloc_mid();
+        let state = MessengerState::launch(program, id, args)?;
+        self.enqueue(Runnable { state, at, last: None });
+        Ok(id)
+    }
+
+    fn enqueue(&mut self, r: Runnable) {
+        match self.cfg.vt_mode {
+            VtMode::Conservative => {
+                if r.state.vtime <= self.part.gvt() {
+                    self.ready.push_back(r);
+                } else {
+                    self.pending.push(r.state.vtime, r);
+                }
+            }
+            VtMode::Optimistic => {
+                self.opt_queue.insert((r.state.vtime, r.state.id.0), r);
+            }
+        }
+    }
+
+    // ---- wire handling -------------------------------------------------------
+
+    /// Process an incoming frame; returns the CPU cost of accepting it.
+    pub fn on_wire(&mut self, wire: Wire, fx: &mut Vec<Effect>) -> u64 {
+        let c = self.cfg.costs;
+        match wire {
+            Wire::Migrate(m) => {
+                self.part.on_receive(m.epoch, m.vtime);
+                self.stats.bump("migrations_in");
+                if m.anti {
+                    self.annihilate(m.id, fx);
+                    return c.gvt_msg_ns;
+                }
+                let cost = c.hop_recv_ns + m.bytes.len() as u64 * c.per_byte_copy_ns;
+                match vmwire::decode_messenger(m.bytes) {
+                    Ok(state) => {
+                        if self.anti_pending.remove(&m.id) {
+                            // The anti-messenger got here first.
+                            fx.push(Effect::LiveDelta(-1));
+                            self.stats.bump("annihilations");
+                        } else if self.nodes.contains_key(&m.to.1) {
+                            self.enqueue(Runnable { state, at: m.to.1, last: m.via });
+                        } else {
+                            // Destination node was deleted in flight.
+                            fx.push(Effect::LiveDelta(-1));
+                            self.stats.bump("dead_letters");
+                        }
+                    }
+                    Err(e) => {
+                        fx.push(Effect::Fault { messenger: m.id, error: e.to_string() });
+                        fx.push(Effect::LiveDelta(-1));
+                    }
+                }
+                cost
+            }
+            Wire::Create(cn) => {
+                self.part.on_receive(cn.messenger.epoch, cn.messenger.vtime);
+                self.stats.bump("remote_creates");
+                let mut node = LogicalNode::new(cn.gid, cn.name.clone());
+                node.links.push(LinkRec {
+                    inst: cn.inst,
+                    name: cn.link_name.clone(),
+                    orient: cn.orient_at_new,
+                    peer: cn.origin,
+                    peer_name: cn.origin_name.clone(),
+                });
+                self.nodes.insert(cn.gid, node);
+                if cn.name != Value::Null {
+                    fx.push(Effect::DirectoryAdd {
+                        name: cn.name.clone(),
+                        daemon: self.id,
+                        node: cn.gid,
+                    });
+                }
+                let cost = c.create_node_ns
+                    + c.hop_recv_ns
+                    + cn.messenger.bytes.len() as u64 * c.per_byte_copy_ns;
+                match vmwire::decode_messenger(cn.messenger.bytes.clone()) {
+                    Ok(state) => {
+                        self.enqueue(Runnable { state, at: cn.gid, last: Some(cn.inst) });
+                    }
+                    Err(e) => {
+                        fx.push(Effect::Fault { messenger: cn.messenger.id, error: e.to_string() });
+                        fx.push(Effect::LiveDelta(-1));
+                    }
+                }
+                cost
+            }
+            Wire::Unlink { node, inst } => {
+                if let Some(n) = self.nodes.get_mut(&node) {
+                    n.unlink(inst);
+                    // Singleton collection is deferred while messengers
+                    // are present (e.g. the deleting messenger itself has
+                    // just arrived over the link being torn down).
+                    if n.is_singleton() && node != self.init && !self.node_occupied(node) {
+                        self.delete_node(node, fx);
+                    }
+                }
+                c.gvt_msg_ns
+            }
+            Wire::Gvt(msg) => {
+                self.on_gvt(msg, fx);
+                c.gvt_msg_ns
+            }
+            Wire::GvtKick => {
+                self.gvt_begin(fx);
+                0
+            }
+        }
+    }
+
+    /// Whether any queued messenger currently sits at `gid`.
+    fn node_occupied(&self, gid: NodeRef) -> bool {
+        self.ready.iter().any(|r| r.at == gid)
+            || self.opt_queue.values().any(|r| r.at == gid)
+    }
+
+    fn delete_node(&mut self, gid: NodeRef, fx: &mut Vec<Effect>) {
+        if let Some(n) = self.nodes.remove(&gid) {
+            if n.name != Value::Null {
+                fx.push(Effect::DirectoryRemove { name: n.name.clone() });
+            }
+            self.stats.bump("nodes_deleted");
+            // Messengers stranded at the node die.
+            let before = self.ready.len();
+            self.ready.retain(|r| r.at != gid);
+            let killed_ready = before - self.ready.len();
+            let killed_pending = self.pending.drain_matching(|r| r.at == gid).len();
+            let opt_keys: Vec<(Vt, u64)> = self
+                .opt_queue
+                .iter()
+                .filter(|(_, r)| r.at == gid)
+                .map(|(k, _)| *k)
+                .collect();
+            for k in &opt_keys {
+                self.opt_queue.remove(k);
+            }
+            let killed = (killed_ready + killed_pending + opt_keys.len()) as i64;
+            if killed > 0 {
+                fx.push(Effect::LiveDelta(-killed));
+                self.stats.add("stranded_killed", killed as u64);
+            }
+        }
+    }
+
+    // ---- GVT ------------------------------------------------------------------
+
+    fn on_gvt(&mut self, msg: CtrlMsg, fx: &mut Vec<Effect>) {
+        match msg {
+            CtrlMsg::Cut { round } => {
+                let lm = self.local_min();
+                let ack = self.part.on_cut(round, lm);
+                fx.push(Effect::Send { dst: DaemonId(0), wire: Wire::Gvt(ack) });
+            }
+            CtrlMsg::Poll { round } => {
+                let lm = self.local_min();
+                let ack = self.part.on_poll(round, lm);
+                fx.push(Effect::Send { dst: DaemonId(0), wire: Wire::Gvt(ack) });
+            }
+            CtrlMsg::Advance { gvt } => {
+                self.part.on_advance(gvt);
+                if self.cfg.vt_mode == VtMode::Conservative {
+                    while let Some((_, r)) = self.pending.pop_runnable(gvt) {
+                        self.ready.push_back(r);
+                    }
+                } else {
+                    for node in self.tw.values_mut() {
+                        node.fossil_collect(gvt);
+                    }
+                }
+            }
+            ack @ (CtrlMsg::CutAck { .. } | CtrlMsg::PollAck { .. }) => {
+                let Some(coord) = self.coord.as_mut() else {
+                    return;
+                };
+                match coord.on_ack(&ack) {
+                    CoordinatorAction::Wait => {}
+                    CoordinatorAction::PollAll { round } => {
+                        self.broadcast_gvt(CtrlMsg::Poll { round }, fx);
+                    }
+                    CoordinatorAction::Advance { gvt } => {
+                        self.stats.bump("gvt_rounds");
+                        self.broadcast_gvt(CtrlMsg::Advance { gvt }, fx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn broadcast_gvt(&mut self, msg: CtrlMsg, fx: &mut Vec<Effect>) {
+        for d in 0..self.cfg.daemons as u16 {
+            fx.push(Effect::Send { dst: DaemonId(d), wire: Wire::Gvt(msg.clone()) });
+        }
+    }
+
+    /// (Coordinator only.) Start a GVT round; returns `false` if this
+    /// daemon is not the coordinator or a round is already running.
+    pub fn gvt_begin(&mut self, fx: &mut Vec<Effect>) -> bool {
+        let Some(coord) = self.coord.as_mut() else {
+            return false;
+        };
+        let Some(cut) = coord.begin_round() else {
+            return false;
+        };
+        self.broadcast_gvt(cut, fx);
+        true
+    }
+
+    // ---- annihilation (optimistic) -----------------------------------------------
+
+    fn annihilate(&mut self, id: MessengerId, fx: &mut Vec<Effect>) {
+        // 1. Still suspended here?
+        let hit = self.pending.drain_matching(|r| r.state.id == id);
+        if !hit.is_empty() {
+            fx.push(Effect::LiveDelta(-1));
+            self.stats.bump("annihilations");
+            return;
+        }
+        let opt_key = self.opt_queue.keys().find(|(_, i)| *i == id.0).copied();
+        if let Some(k) = opt_key {
+            self.opt_queue.remove(&k);
+            fx.push(Effect::LiveDelta(-1));
+            self.stats.bump("annihilations");
+            return;
+        }
+        // 1b. In the ready queue?
+        let before = self.ready.len();
+        self.ready.retain(|r| r.state.id != id);
+        if self.ready.len() < before {
+            fx.push(Effect::LiveDelta(-1));
+            self.stats.bump("annihilations");
+            return;
+        }
+        // 2. Already processed at one of our nodes? Roll it back.
+        let found = self
+            .tw
+            .iter()
+            .find(|(_, log)| log.contains_input(id.0))
+            .map(|(gid, _)| *gid);
+        if let Some(gid) = found {
+            let rb = self
+                .tw
+                .get_mut(&gid)
+                .and_then(|log| log.annihilate_processed(id.0));
+            if let Some(rb) = rb {
+                self.apply_rollback(gid, rb, fx);
+                fx.push(Effect::LiveDelta(-1));
+                self.stats.bump("annihilations");
+                return;
+            }
+        }
+        // 3. The anti-messenger overtook its positive: stash it.
+        self.anti_pending.insert(id);
+    }
+
+    fn apply_rollback(
+        &mut self,
+        gid: NodeRef,
+        rb: msgr_gvt::Rollback<NodeVars, Runnable>,
+        fx: &mut Vec<Effect>,
+    ) {
+        self.stats.bump("rollbacks");
+        self.stats.add("rolled_back_events", rb.reexecute.len() as u64);
+        if let Some(n) = self.nodes.get_mut(&gid) {
+            n.vars = rb.restore;
+        }
+        for (key, input) in rb.reexecute {
+            self.opt_queue.insert(key, input);
+        }
+        for cancel in rb.cancel {
+            let dst = DaemonId(cancel.dest);
+            if dst == self.id {
+                self.annihilate(MessengerId(cancel.id), fx);
+            } else {
+                self.part.on_send(cancel.ts);
+                self.stats.bump("anti_sent");
+                fx.push(Effect::Send {
+                    dst,
+                    wire: Wire::Migrate(Migration {
+                        id: MessengerId(cancel.id),
+                        vtime: cancel.ts,
+                        epoch: self.part.stamp(),
+                        anti: true,
+                        to: (dst, NodeRef::new(0, 0)),
+                        via: None,
+                        bytes: Bytes::new(),
+                        code_bytes: 0,
+                    }),
+                });
+            }
+        }
+    }
+
+    // ---- execution ---------------------------------------------------------------
+
+    /// Execute one non-preemptive segment. Returns its reference-CPU
+    /// cost, or `None` if nothing is runnable.
+    pub fn run_segment(&mut self, dir: &dyn Directory, fx: &mut Vec<Effect>) -> Option<u64> {
+        match self.cfg.vt_mode {
+            VtMode::Conservative => {
+                let run = self.ready.pop_front()?;
+                Some(self.execute(run, dir, fx, false))
+            }
+            VtMode::Optimistic => {
+                // Drain any conservative-path leftovers first (ready is
+                // unused in optimistic mode except via injection races).
+                if let Some(run) = self.ready.pop_front() {
+                    return Some(self.execute(run, dir, fx, true));
+                }
+                let (&key0, _) = self.opt_queue.iter().next()?;
+                let run = self.opt_queue.remove(&key0).expect("key just observed");
+                // Straggler?
+                let key = (run.state.vtime, run.state.id.0);
+                let straggler = self
+                    .tw
+                    .get(&run.at)
+                    .is_some_and(|log| log.is_straggler(key));
+                if straggler {
+                    let rb = self.tw.get_mut(&run.at).unwrap().rollback(key).unwrap();
+                    let undone = rb.reexecute.len() as u64;
+                    self.apply_rollback(run.at, rb, fx);
+                    self.opt_queue.insert((run.state.vtime, run.state.id.0), run);
+                    return Some(undone * self.cfg.costs.rollback_per_event_ns);
+                }
+                Some(self.execute(run, dir, fx, true))
+            }
+        }
+    }
+
+    fn execute(
+        &mut self,
+        mut run: Runnable,
+        dir: &dyn Directory,
+        fx: &mut Vec<Effect>,
+        optimistic: bool,
+    ) -> u64 {
+        let c = self.cfg.costs;
+        let Some(node) = self.nodes.get(&run.at) else {
+            fx.push(Effect::LiveDelta(-1));
+            self.stats.bump("dead_letters");
+            return c.gvt_msg_ns;
+        };
+        let Some(program) = self.codes.get(run.state.program) else {
+            fx.push(Effect::Fault {
+                messenger: run.state.id,
+                error: format!("program {} not in code registry", run.state.program),
+            });
+            fx.push(Effect::LiveDelta(-1));
+            return c.gvt_msg_ns;
+        };
+
+        // Time-Warp bookkeeping: snapshot before execution.
+        let key = (run.state.vtime, run.state.id.0);
+        let (snapshot, input_copy) = if optimistic {
+            (Some(node.vars.clone()), Some(run.clone()))
+        } else {
+            (None, None)
+        };
+
+        let node_name = node.name.clone();
+        let fuel = self.cfg.segment_fuel;
+        let natives = self.natives.read().clone();
+        let address = self.id.0;
+        // Scoped mutable borrow of the node's variables for the VM.
+        let (yielded, ops, native_ns) = {
+            let node = self.nodes.get_mut(&run.at).expect("checked above");
+            let mut env = SegEnv {
+                vars: &mut node.vars,
+                natives: &natives,
+                address,
+                node_name: node_name.clone(),
+                last: run.last,
+                mid: run.state.id,
+                vtime: run.state.vtime,
+                ops: 0,
+                native_ns: 0,
+            };
+            let y = interp::run(&program, &mut run.state, &mut env, fuel);
+            (y, env.ops, env.native_ns)
+        };
+        let mut cost = ops * c.per_op_ns + native_ns;
+        self.stats.bump("segments");
+        self.stats.add("ops", ops);
+
+        let mut sent: Vec<SentRef> = Vec::new();
+        match yielded {
+            Ok(y) => {
+                cost += self.handle_yield(run.clone(), y, &program, dir, fx, &mut sent);
+            }
+            Err(e) => {
+                fx.push(Effect::Fault { messenger: run.state.id, error: e.to_string() });
+                fx.push(Effect::LiveDelta(-1));
+                self.stats.bump("faults");
+            }
+        }
+
+        if let (Some(pre_state), Some(input)) = (snapshot, input_copy) {
+            let log = self.tw.entry(run.at).or_default();
+            log.record(TwEntry { key, pre_state, input, sent });
+        }
+        cost
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_yield(
+        &mut self,
+        run: Runnable,
+        y: Yield,
+        program: &Program,
+        dir: &dyn Directory,
+        fx: &mut Vec<Effect>,
+        sent: &mut Vec<SentRef>,
+    ) -> u64 {
+        match y {
+            Yield::Terminated(_) => {
+                fx.push(Effect::LiveDelta(-1));
+                self.stats.bump("terminated");
+                0
+            }
+            Yield::SchedAbs(t) => {
+                let mut next = run;
+                next.state.vtime = next.state.vtime.max(t);
+                self.resuspend(next, fx, sent);
+                0
+            }
+            Yield::SchedDlt(dt) => {
+                if dt < 0.0 {
+                    fx.push(Effect::Fault {
+                        messenger: run.state.id,
+                        error: "negative virtual-time delta".to_string(),
+                    });
+                    fx.push(Effect::LiveDelta(-1));
+                    return 0;
+                }
+                let mut next = run;
+                next.state.vtime = next.state.vtime.plus(dt);
+                self.resuspend(next, fx, sent);
+                0
+            }
+            Yield::Hop(eh) => self.do_hop(run, &eh, false, program, dir, fx, sent),
+            Yield::Delete(eh) => self.do_hop(run, &eh, true, program, dir, fx, sent),
+            Yield::Create(ec) => {
+                if self.cfg.vt_mode == VtMode::Optimistic {
+                    fx.push(Effect::Fault {
+                        messenger: run.state.id,
+                        error: "optimistic mode requires a static logical network (create)"
+                            .to_string(),
+                    });
+                    fx.push(Effect::LiveDelta(-1));
+                    return 0;
+                }
+                self.do_create(run, &ec, program, fx)
+            }
+        }
+    }
+
+    /// Re-enqueue a suspended continuation under a fresh id (so that a
+    /// Time-Warp rollback can cancel it like any other send).
+    fn resuspend(&mut self, mut next: Runnable, _fx: &mut [Effect], sent: &mut Vec<SentRef>) {
+        next.state.id = self.alloc_mid();
+        sent.push(SentRef { id: next.state.id.0, dest: self.id.0, ts: next.state.vtime });
+        self.stats.bump("suspensions");
+        self.enqueue(next);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_hop(
+        &mut self,
+        run: Runnable,
+        eh: &EvalHop,
+        delete: bool,
+        program: &Program,
+        dir: &dyn Directory,
+        fx: &mut Vec<Effect>,
+        sent: &mut Vec<SentRef>,
+    ) -> u64 {
+        let c = self.cfg.costs;
+        let mut cost = 0u64;
+        self.stats.bump(if delete { "deletes" } else { "hops" });
+
+        if delete && self.cfg.vt_mode == VtMode::Optimistic {
+            fx.push(Effect::Fault {
+                messenger: run.state.id,
+                error: "optimistic mode requires a static logical network (delete)".to_string(),
+            });
+            fx.push(Effect::LiveDelta(-1));
+            return 0;
+        }
+
+        // Resolve destinations.
+        let mut dests: Vec<(Option<LinkInstance>, DaemonId, NodeRef)> = Vec::new();
+        if eh.ll == EvalLink::Virtual {
+            let name = eh.ln.as_ref().expect("compiler enforces ln on virtual hops");
+            if let Some((d, n)) = dir.lookup(name) {
+                dests.push((None, d, n));
+            }
+            self.stats.bump("virtual_hops");
+        } else if let Some(node) = self.nodes.get(&run.at) {
+            for l in node.matching_links(eh) {
+                dests.push((Some(l.inst), l.peer.0, l.peer.1));
+            }
+        }
+
+        // Delete: tear down traversed links. The local halves go now;
+        // the far halves go by wire, queued AFTER the migrations so the
+        // traveling messenger (FIFO per pair) reaches the peer node
+        // before any singleton collection can remove it.
+        let mut deferred_unlinks: Vec<Effect> = Vec::new();
+        if delete {
+            let insts: Vec<LinkInstance> = dests.iter().filter_map(|d| d.0).collect();
+            if let Some(node) = self.nodes.get_mut(&run.at) {
+                for inst in &insts {
+                    node.unlink(*inst);
+                }
+            }
+            for (inst, daemon, peer) in dests.iter().filter_map(|(i, d, n)| i.map(|i| (i, *d, *n)))
+            {
+                deferred_unlinks
+                    .push(Effect::Send { dst: daemon, wire: Wire::Unlink { node: peer, inst } });
+            }
+            // The current node may have become an empty singleton.
+            let now_singleton = self
+                .nodes
+                .get(&run.at)
+                .is_some_and(|n| n.is_singleton());
+            if now_singleton && run.at != self.init && !self.node_occupied(run.at) {
+                self.delete_node(run.at, fx);
+            }
+        }
+
+        if dests.is_empty() {
+            fx.append(&mut deferred_unlinks);
+            // Replicate to zero destinations: the messenger ceases to
+            // exist (§2.1 hop semantics).
+            fx.push(Effect::LiveDelta(-1));
+            self.stats.bump("hop_no_match");
+            return cost;
+        }
+
+        fx.push(Effect::LiveDelta(dests.len() as i64 - 1));
+        let code_bytes = if self.cfg.carry_code { program.wire_bytes() } else { 0 };
+        for (via, daemon, node) in dests {
+            let mut replica = run.state.clone();
+            replica.id = self.alloc_mid();
+            let bytes = vmwire::encode_messenger(&replica);
+            cost += c.hop_send_ns + bytes.len() as u64 * c.per_byte_copy_ns;
+            self.part.on_send(replica.vtime);
+            self.stats.bump("migrations_out");
+            self.stats.add("migration_bytes", bytes.len() as u64 + code_bytes);
+            sent.push(SentRef { id: replica.id.0, dest: daemon.0, ts: replica.vtime });
+            fx.push(Effect::Send {
+                dst: daemon,
+                wire: Wire::Migrate(Migration {
+                    id: replica.id,
+                    vtime: replica.vtime,
+                    epoch: self.part.stamp(),
+                    anti: false,
+                    to: (daemon, node),
+                    via,
+                    bytes,
+                    code_bytes,
+                }),
+            });
+        }
+        fx.extend(deferred_unlinks);
+        cost
+    }
+
+    fn do_create(
+        &mut self,
+        run: Runnable,
+        ec: &EvalCreate,
+        program: &Program,
+        fx: &mut Vec<Effect>,
+    ) -> u64 {
+        let c = self.cfg.costs;
+        let mut cost = 0u64;
+        self.stats.bump("creates");
+        let origin_name = match self.nodes.get(&run.at) {
+            Some(n) => n.name.clone(),
+            None => {
+                fx.push(Effect::LiveDelta(-1));
+                return cost;
+            }
+        };
+        let code_bytes = if self.cfg.carry_code { program.wire_bytes() } else { 0 };
+        let mut replicas = 0i64;
+
+        for item in &ec.items {
+            let matches = self.topo.matches(self.id, &item.dn, &item.dl, item.ddir);
+            if matches.is_empty() {
+                continue;
+            }
+            let chosen: Vec<DaemonId> = if ec.all {
+                matches
+            } else {
+                // Deterministic round-robin among the matching daemons
+                // (the paper defers the selection rule to [FBDM98]).
+                let pick = matches[self.rr % matches.len()];
+                self.rr += 1;
+                vec![pick]
+            };
+            for daemon in chosen {
+                replicas += 1;
+                let gid = self.alloc_node();
+                let inst = self.alloc_link();
+                let node_name = item.ln.clone().unwrap_or(Value::Null);
+                let link_name = item.ll.clone().unwrap_or(Value::Null);
+                // Orientation at the origin: `+` points origin → new.
+                let orient_origin = match item.ldir {
+                    Dir::Forward => Orient::Out,
+                    Dir::Backward => Orient::In,
+                    Dir::Any => Orient::Undirected,
+                };
+                if let Some(n) = self.nodes.get_mut(&run.at) {
+                    n.links.push(LinkRec {
+                        inst,
+                        name: link_name.clone(),
+                        orient: orient_origin,
+                        peer: (daemon, gid),
+                        peer_name: node_name.clone(),
+                    });
+                }
+                let mut replica = run.state.clone();
+                replica.id = self.alloc_mid();
+                let bytes = vmwire::encode_messenger(&replica);
+                cost += c.create_node_ns + c.hop_send_ns + bytes.len() as u64 * c.per_byte_copy_ns;
+                self.part.on_send(replica.vtime);
+                self.stats.bump("migrations_out");
+                self.stats.add("migration_bytes", bytes.len() as u64 + code_bytes);
+                fx.push(Effect::Send {
+                    dst: daemon,
+                    wire: Wire::Create(Box::new(CreateNode {
+                        gid,
+                        name: node_name,
+                        origin: (self.id, run.at),
+                        origin_name: origin_name.clone(),
+                        inst,
+                        link_name,
+                        orient_at_new: orient_origin.reversed(),
+                        messenger: Migration {
+                            id: replica.id,
+                            vtime: replica.vtime,
+                            epoch: self.part.stamp(),
+                            anti: false,
+                            to: (daemon, gid),
+                            via: Some(inst),
+                            bytes,
+                            code_bytes,
+                        },
+                    })),
+                });
+            }
+        }
+        fx.push(Effect::LiveDelta(replicas - 1));
+        if replicas == 0 {
+            self.stats.bump("create_no_match");
+        }
+        cost
+    }
+}
+
+/// The VM environment for one execution segment: the current node's
+/// variables plus cost metering. Also the [`NativeCtx`] handed to native
+/// functions.
+struct SegEnv<'a> {
+    vars: &'a mut NodeVars,
+    natives: &'a NativeRegistry,
+    address: u16,
+    node_name: Value,
+    last: Option<LinkInstance>,
+    mid: MessengerId,
+    vtime: Vt,
+    ops: u64,
+    native_ns: u64,
+}
+
+impl interp::Env for SegEnv<'_> {
+    fn node_var(&mut self, name: &str) -> Value {
+        self.vars.get(name).cloned().unwrap_or(Value::Null)
+    }
+    fn set_node_var(&mut self, name: &str, v: Value) {
+        self.vars.insert(Arc::from(name), v);
+    }
+    fn net_var(&mut self, var: NetVar) -> Value {
+        match var {
+            NetVar::Address => Value::Int(self.address as i64),
+            NetVar::Last => self.last.map(Value::Link).unwrap_or(Value::Null),
+            NetVar::Node => self.node_name.clone(),
+            NetVar::Time => Value::Float(self.vtime.as_f64()),
+        }
+    }
+    fn call_native(&mut self, name: &str, args: &[Value]) -> Result<Value, VmError> {
+        let natives = self.natives;
+        natives.call(self, name, args)
+    }
+    fn charge_ops(&mut self, ops: u64) {
+        self.ops += ops;
+    }
+}
+
+impl NativeCtx for SegEnv<'_> {
+    fn node_var(&mut self, name: &str) -> Value {
+        self.vars.get(name).cloned().unwrap_or(Value::Null)
+    }
+    fn set_node_var(&mut self, name: &str, v: Value) {
+        self.vars.insert(Arc::from(name), v);
+    }
+    fn charge(&mut self, ref_ns: u64) {
+        self.native_ns += ref_ns;
+    }
+    fn daemon(&self) -> u16 {
+        self.address
+    }
+    fn node_name(&self) -> Value {
+        self.node_name.clone()
+    }
+    fn messenger(&self) -> MessengerId {
+        self.mid
+    }
+    fn vtime(&self) -> Vt {
+        self.vtime
+    }
+}

@@ -1,0 +1,58 @@
+//! Cluster-wide identifiers.
+
+/// A daemon (one per simulated host / one per thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DaemonId(pub u16);
+
+impl std::fmt::Display for DaemonId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// A logical node, identified by `(creating daemon, sequence)`. The
+/// *creating* daemon allocates the id even when the node is instantiated
+/// remotely, which lets the remote-`create` protocol install both link
+/// halves without an acknowledgement round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeRef {
+    /// Daemon that allocated the id.
+    pub creator: u16,
+    /// Per-creator sequence number.
+    pub seq: u64,
+}
+
+impl NodeRef {
+    /// Compose a node reference.
+    pub fn new(creator: u16, seq: u64) -> Self {
+        NodeRef { creator, seq }
+    }
+}
+
+impl std::fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}.{}", self.creator, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DaemonId(3).to_string(), "d3");
+        assert_eq!(NodeRef::new(2, 9).to_string(), "n2.9");
+    }
+
+    #[test]
+    fn node_refs_order_and_hash() {
+        use std::collections::HashSet;
+        let a = NodeRef::new(0, 1);
+        let b = NodeRef::new(0, 2);
+        let c = NodeRef::new(1, 0);
+        assert!(a < b && b < c);
+        let set: HashSet<NodeRef> = [a, b, c, a].into_iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! # msgr-core — the MESSENGERS system
+//!
+//! This crate implements the runtime described in §2 of the paper: "a
+//! collection of daemons instantiated on all physical nodes … A daemon's
+//! task is to continuously receive Messengers arriving from other
+//! daemons, interpret their behaviors … and send them on to their next
+//! destinations."
+//!
+//! ## The three network levels
+//!
+//! 1. **Physical network** — supplied by a *platform*: either the
+//!    deterministic cluster simulator ([`platform::sim`], used for all
+//!    benchmarks; see DESIGN.md for the substitution rationale) or real
+//!    OS threads connected by channels ([`platform::threads`]).
+//! 2. **Daemon network** — a static graph over the daemons
+//!    ([`DaemonTopology`]); `create` statements place new logical nodes
+//!    by matching destination specifications against it.
+//! 3. **Logical network** — application-created nodes and links
+//!    ([`logical`]), persistent and external to any messenger: the
+//!    paper's "exogenous skeleton".
+//!
+//! ## Execution model
+//!
+//! A [`daemon::Daemon`] interprets messengers one at a time
+//! (non-preemptive: yield points are only the navigational statements and
+//! virtual-time suspensions). A `hop` replicates the messenger's
+//! serialized state to every matching link; `create` builds logical
+//! nodes/links, possibly on remote daemons, and moves the messenger
+//! there; `delete` is a hop that destroys the links it traverses.
+//! Suspended messengers wait in a virtual-time queue released by the GVT
+//! protocol (`msgr-gvt`), either conservatively (run only at GVT) or
+//! optimistically (Time Warp with rollback and anti-messengers).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use msgr_core::{ClusterConfig, SimCluster};
+//! use msgr_vm::Value;
+//!
+//! let program = msgr_lang::compile(
+//!     r#"
+//!     main() {
+//!         node int visits;
+//!         visits = visits + 1;
+//!     }
+//!     "#,
+//! )?;
+//! let mut cluster = SimCluster::new(ClusterConfig::new(4));
+//! let pid = cluster.register_program(&program);
+//! cluster.inject(0, pid, &[])?;
+//! let report = cluster.run()?;
+//! assert_eq!(cluster.node_var(0, &Value::str("init"), "visits"), Some(Value::Int(1)));
+//! assert!(report.sim_seconds >= 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod daemon;
+pub mod ids;
+pub mod logical;
+pub mod platform;
+pub mod topology;
+pub mod wire;
+
+pub use config::{ClusterConfig, CostModel, NetKind, VtMode};
+pub use daemon::{CodeCache, Daemon, Effect};
+pub use ids::{DaemonId, NodeRef};
+pub use platform::sim::{SimCluster, SimReport};
+pub use platform::threads::{ThreadCluster, ThreadReport};
+pub use topology::{DaemonTopology, LogicalTopology};
+pub use wire::Wire;
+
+/// Errors surfaced by cluster operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Injection referenced an unregistered program.
+    UnknownProgram,
+    /// Injection arguments did not match the entry function.
+    BadInjection(String),
+    /// The run did not quiesce within its event budget (livelock or
+    /// runaway messenger population).
+    Stalled {
+        /// Events executed before giving up.
+        events: u64,
+    },
+    /// A configuration problem (e.g. optimistic mode on the threaded
+    /// platform).
+    Config(String),
+    /// A named entity was not found.
+    NotFound(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownProgram => write!(f, "program not registered with the cluster"),
+            ClusterError::BadInjection(m) => write!(f, "bad injection: {m}"),
+            ClusterError::Stalled { events } => {
+                write!(f, "cluster failed to quiesce after {events} events")
+            }
+            ClusterError::Config(m) => write!(f, "configuration error: {m}"),
+            ClusterError::NotFound(m) => write!(f, "not found: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

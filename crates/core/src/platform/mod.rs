@@ -1,0 +1,11 @@
+//! Runtime platforms: the deterministic cluster simulator and the real
+//! threaded runtime.
+//!
+//! Both platforms drive the same [`crate::Daemon`] logic; they differ
+//! only in how wires travel and how time passes. Benchmarks use the
+//! simulator (reproducible, scales to 32 "hosts" on one machine, charges
+//! the calibrated 1997 cost model); examples and correctness tests also
+//! run the threaded platform to show real concurrent execution.
+
+pub mod sim;
+pub mod threads;

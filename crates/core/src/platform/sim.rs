@@ -1,0 +1,511 @@
+//! The simulation platform: the whole MESSENGERS cluster inside the
+//! deterministic discrete-event simulator (`msgr-sim`).
+//!
+//! Hosts are CPUs with the configured speed; daemons charge every
+//! execution segment, migration encode/decode, and GVT control message
+//! to their host CPU; wires travel through the configured network model
+//! (shared-bus Ethernet by default). A run ends when the event queue
+//! drains — i.e. when every messenger has terminated.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use msgr_sim::{Cpu, Engine, HostId, IdealNet, NetModel, SharedBus, SimTime, Stats, Switched, MILLI};
+use msgr_vm::{MessengerId, NativeCtx, NativeRegistry, Program, ProgramId, Value};
+
+use crate::config::{ClusterConfig, NetKind, VtService, VtMode};
+use crate::daemon::{CodeCache, Daemon, Effect};
+use crate::ids::{DaemonId, NodeRef};
+use crate::logical::{LinkRec, Orient};
+use crate::topology::{DaemonTopology, LogicalTopology};
+use crate::wire::Wire;
+use crate::ClusterError;
+use msgr_vm::Dir;
+
+/// The world threaded through simulation events.
+struct World {
+    cfg: Arc<ClusterConfig>,
+    daemons: Vec<Daemon>,
+    cpus: Vec<Cpu>,
+    net: Box<dyn NetModel>,
+    directory: HashMap<Value, (DaemonId, NodeRef)>,
+    live: i64,
+    in_flight: u64,
+    gvt_enabled: bool,
+    faults: Vec<(MessengerId, String)>,
+    stats: Stats,
+}
+
+impl World {
+    fn outstanding(&self) -> bool {
+        self.in_flight > 0 || self.daemons.iter().any(Daemon::has_any_messengers)
+    }
+}
+
+type En = Engine<World>;
+
+fn apply_effects(en: &mut En, w: &mut World, src: DaemonId, at: SimTime, fx: Vec<Effect>) {
+    for f in fx {
+        match f {
+            Effect::Send { dst, wire } => {
+                let bytes = wire.wire_bytes(w.cfg.costs.wire_header_bytes);
+                let arrival = w.net.transfer(at, HostId(src.0 as u32), HostId(dst.0 as u32), bytes);
+                w.in_flight += 1;
+                w.stats.bump("wires");
+                w.stats.add("wire_bytes", bytes);
+                en.schedule_at(arrival, move |en, w| deliver(en, w, dst, wire));
+            }
+            Effect::LiveDelta(d) => w.live += d,
+            Effect::Fault { messenger, error } => {
+                w.faults.push((messenger, error));
+            }
+            Effect::DirectoryAdd { name, daemon, node } => {
+                w.directory.insert(name, (daemon, node));
+            }
+            Effect::DirectoryRemove { name } => {
+                w.directory.remove(&name);
+            }
+        }
+    }
+}
+
+fn deliver(en: &mut En, w: &mut World, dst: DaemonId, wire: Wire) {
+    w.in_flight -= 1;
+    let now = en.now();
+    let mut fx = Vec::new();
+    let cost = w.daemons[dst.0 as usize].on_wire(wire, &mut fx);
+    let (_, end) = w.cpus[dst.0 as usize].run(now, cost);
+    en.schedule_at(end, move |en, w| {
+        apply_effects(en, w, dst, en.now(), fx);
+        tick(en, w, dst);
+    });
+}
+
+fn tick(en: &mut En, w: &mut World, d: DaemonId) {
+    let now = en.now();
+    let i = d.0 as usize;
+    if !w.cpus[i].idle_at(now) {
+        let resume = w.cpus[i].busy_until();
+        en.schedule_at(resume, move |en, w| tick(en, w, d));
+        return;
+    }
+    if !w.daemons[i].has_work() {
+        return;
+    }
+    let mut fx = Vec::new();
+    let directory = std::mem::take(&mut w.directory);
+    let cost = w.daemons[i].run_segment(&directory, &mut fx);
+    w.directory = directory;
+    let Some(cost) = cost else {
+        return;
+    };
+    let (_, end) = w.cpus[i].run(now, cost);
+    en.schedule_at(end, move |en, w| {
+        apply_effects(en, w, d, en.now(), fx);
+        tick(en, w, d);
+    });
+}
+
+fn gvt_tick(en: &mut En, w: &mut World) {
+    if !w.outstanding() {
+        return; // computation finished; let the queue drain
+    }
+    let mut fx = Vec::new();
+    w.daemons[0].gvt_begin(&mut fx);
+    apply_effects(en, w, DaemonId(0), en.now(), fx);
+    let interval = w.cfg.gvt_interval.max(MILLI / 2);
+    en.schedule_in(interval, gvt_tick);
+}
+
+/// Outcome of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Simulated wall-clock of the whole run, in seconds — the number
+    /// the paper's figures plot.
+    pub sim_seconds: f64,
+    /// Discrete events executed.
+    pub events: u64,
+    /// Messenger runtime faults (id, message).
+    pub faults: Vec<(MessengerId, String)>,
+    /// Merged counters: per-daemon stats plus platform stats
+    /// (`wires`, `wire_bytes`, …).
+    pub stats: Stats,
+    /// Live-messenger accounting leak (0 for a clean run).
+    pub live_leak: i64,
+}
+
+/// A MESSENGERS cluster inside the discrete-event simulator.
+///
+/// See the crate-level example. Typical flow: configure → register
+/// programs and natives → build a logical topology (optional) → inject →
+/// [`SimCluster::run`] → inspect node variables and the report.
+pub struct SimCluster {
+    engine: En,
+    world: World,
+    codes: CodeCache,
+    natives: Arc<RwLock<NativeRegistry>>,
+}
+
+impl std::fmt::Debug for SimCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCluster")
+            .field("daemons", &self.world.daemons.len())
+            .field("now", &self.engine.now())
+            .finish()
+    }
+}
+
+impl SimCluster {
+    /// Build a cluster per `cfg`, with a clique daemon topology.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        Self::with_daemon_topology(cfg.clone(), DaemonTopology::clique(cfg.daemons))
+    }
+
+    /// Build a cluster with an explicit daemon topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology size differs from `cfg.daemons`.
+    pub fn with_daemon_topology(cfg: ClusterConfig, topo: DaemonTopology) -> Self {
+        assert_eq!(topo.len(), cfg.daemons, "topology size mismatch");
+        let cfg = Arc::new(cfg);
+        let codes = CodeCache::new();
+        let natives = Arc::new(RwLock::new(NativeRegistry::new()));
+        let topo = Arc::new(topo);
+        let daemons: Vec<Daemon> = (0..cfg.daemons)
+            .map(|i| {
+                Daemon::new(
+                    DaemonId(i as u16),
+                    cfg.clone(),
+                    topo.clone(),
+                    codes.clone(),
+                    natives.clone(),
+                )
+            })
+            .collect();
+        let cpus = (0..cfg.daemons).map(|_| Cpu::new(cfg.cpu_speed)).collect();
+        let net: Box<dyn NetModel> = match cfg.net {
+            NetKind::Ethernet10 => Box::new(SharedBus::ethernet_10mbit()),
+            NetKind::Ethernet100 => Box::new(SharedBus::ethernet_100mbit()),
+            NetKind::Switched { bandwidth_bps } => {
+                Box::new(Switched::new(cfg.daemons, bandwidth_bps, MILLI / 10, 60))
+            }
+            NetKind::Ideal => Box::new(IdealNet::new(MILLI / 10)),
+        };
+        SimCluster {
+            engine: Engine::new(),
+            world: World {
+                cfg,
+                daemons,
+                cpus,
+                net,
+                directory: HashMap::new(),
+                live: 0,
+                in_flight: 0,
+                gvt_enabled: false,
+                faults: Vec::new(),
+                stats: Stats::new(),
+            },
+            codes,
+            natives,
+        }
+    }
+
+    /// Number of daemons.
+    pub fn daemons(&self) -> usize {
+        self.world.daemons.len()
+    }
+
+    /// Register a compiled program cluster-wide (the shared code
+    /// registry).
+    pub fn register_program(&mut self, program: &Program) -> ProgramId {
+        self.codes.register(program)
+    }
+
+    /// Register a native function on every daemon.
+    pub fn register_native(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&mut dyn NativeCtx, &[Value]) -> Result<Value, String> + Send + Sync + 'static,
+    ) {
+        self.natives.write().register(name, f);
+    }
+
+    /// Realize a logical topology (the `net_builder` service): create the
+    /// named nodes on their daemons and install all links.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NotFound`] if a link references an unknown node,
+    /// [`ClusterError::Config`] for placements outside the cluster.
+    pub fn build(&mut self, topo: &LogicalTopology) -> Result<(), ClusterError> {
+        for (name, d) in &topo.nodes {
+            if d.0 as usize >= self.world.daemons.len() {
+                return Err(ClusterError::Config(format!("node placed on missing daemon {d}")));
+            }
+            let gid = self.world.daemons[d.0 as usize].build_node(name.clone());
+            self.world.directory.insert(name.clone(), (*d, gid));
+        }
+        for (from, to, link_name, dir) in &topo.links {
+            let &(fd, fref) = self
+                .world
+                .directory
+                .get(from)
+                .ok_or_else(|| ClusterError::NotFound(format!("node {from}")))?;
+            let &(td, tref) = self
+                .world
+                .directory
+                .get(to)
+                .ok_or_else(|| ClusterError::NotFound(format!("node {to}")))?;
+            let inst = self.world.daemons[fd.0 as usize].alloc_link();
+            let orient_from = match dir {
+                Dir::Forward => Orient::Out,
+                Dir::Backward => Orient::In,
+                Dir::Any => Orient::Undirected,
+            };
+            self.world.daemons[fd.0 as usize].install_link(
+                fref,
+                LinkRec {
+                    inst,
+                    name: link_name.clone(),
+                    orient: orient_from,
+                    peer: (td, tref),
+                    peer_name: to.clone(),
+                },
+            );
+            self.world.daemons[td.0 as usize].install_link(
+                tref,
+                LinkRec {
+                    inst,
+                    name: link_name.clone(),
+                    orient: orient_from.reversed(),
+                    peer: (fd, fref),
+                    peer_name: from.clone(),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Inject a messenger into daemon `d`'s `init` node.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownProgram`] / [`ClusterError::BadInjection`].
+    pub fn inject(
+        &mut self,
+        d: u16,
+        program: ProgramId,
+        args: &[Value],
+    ) -> Result<MessengerId, ClusterError> {
+        let at = self.world.daemons[d as usize].init_node();
+        self.inject_at_node(d, program, args, at)
+    }
+
+    /// Inject a messenger into the named logical node.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimCluster::inject`], plus [`ClusterError::NotFound`].
+    pub fn inject_at(
+        &mut self,
+        node: &Value,
+        program: ProgramId,
+        args: &[Value],
+    ) -> Result<MessengerId, ClusterError> {
+        let &(d, gid) = self
+            .world
+            .directory
+            .get(node)
+            .ok_or_else(|| ClusterError::NotFound(format!("node {node}")))?;
+        self.inject_at_node(d.0, program, args, gid)
+    }
+
+    fn inject_at_node(
+        &mut self,
+        d: u16,
+        program: ProgramId,
+        args: &[Value],
+        at: NodeRef,
+    ) -> Result<MessengerId, ClusterError> {
+        let prog = self.codes.get(program).ok_or(ClusterError::UnknownProgram)?;
+        let id = self.world.daemons[d as usize]
+            .launch(&prog, args, at)
+            .map_err(|e| ClusterError::BadInjection(e.to_string()))?;
+        self.world.live += 1;
+        let dd = DaemonId(d);
+        self.engine.schedule_at(self.engine.now(), move |en, w| tick(en, w, dd));
+        Ok(id)
+    }
+
+    /// Inject a messenger at a *future simulated time* — the paper's
+    /// runtime injection ("arbitrary new Messengers may also be injected
+    /// by the user from the outside (the command shell) at runtime",
+    /// §1). The messenger appears at the named node when the cluster
+    /// clock reaches `at_seconds`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownProgram`] if unregistered,
+    /// [`ClusterError::NotFound`] if the node is unknown *now* (the node
+    /// must already exist when scheduling).
+    pub fn inject_at_time(
+        &mut self,
+        node: &Value,
+        program: ProgramId,
+        args: &[Value],
+        at_seconds: f64,
+    ) -> Result<(), ClusterError> {
+        if self.codes.get(program).is_none() {
+            return Err(ClusterError::UnknownProgram);
+        }
+        let &(d, gid) = self
+            .world
+            .directory
+            .get(node)
+            .ok_or_else(|| ClusterError::NotFound(format!("node {node}")))?;
+        let args = args.to_vec();
+        let when = msgr_sim::from_secs(at_seconds).max(self.engine.now());
+        self.world.live += 1; // counted from scheduling so runs don't quiesce early
+        self.engine.schedule_at(when, move |en, w| {
+            let prog = w.daemons[d.0 as usize]
+                .codes_get(program)
+                .expect("checked at scheduling time");
+            match w.daemons[d.0 as usize].launch(&prog, &args, gid) {
+                Ok(_) => {}
+                Err(e) => {
+                    w.live -= 1;
+                    w.faults.push((MessengerId(0), format!("late injection failed: {e}")));
+                }
+            }
+            tick(en, w, d);
+        });
+        Ok(())
+    }
+
+    /// Read a node variable of a named node (post-run inspection).
+    pub fn node_var_by_name(&self, node: &Value, var: &str) -> Option<Value> {
+        let &(d, gid) = self.world.directory.get(node)?;
+        self.world.daemons[d.0 as usize].node_var(gid, var)
+    }
+
+    /// Read a node variable of daemon `d`'s node named `node` (covers
+    /// unnamed-directory cases like `init`).
+    pub fn node_var(&self, d: u16, node: &Value, var: &str) -> Option<Value> {
+        let daemon = &self.world.daemons[d as usize];
+        let gid = daemon.find_node(node)?;
+        daemon.node_var(gid, var)
+    }
+
+    /// Write a node variable of a named node (pre-run setup, e.g. the
+    /// resident matrix blocks).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NotFound`] if the node is unknown.
+    pub fn set_node_var(
+        &mut self,
+        node: &Value,
+        var: &str,
+        v: Value,
+    ) -> Result<(), ClusterError> {
+        let &(d, gid) = self
+            .world
+            .directory
+            .get(node)
+            .ok_or_else(|| ClusterError::NotFound(format!("node {node}")))?;
+        self.world.daemons[d.0 as usize].set_node_var(gid, var, v);
+        Ok(())
+    }
+
+    /// Run until the cluster quiesces.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Stalled`] if the event budget is exhausted —
+    /// typically a messenger population that never dies.
+    pub fn run(&mut self) -> Result<SimReport, ClusterError> {
+        // Arm the GVT service if needed.
+        let enable = match self.world.cfg.vt_service {
+            VtService::On => true,
+            VtService::Off => false,
+            VtService::Auto => {
+                self.codes.any_uses_virtual_time()
+                    || self.world.cfg.vt_mode == VtMode::Optimistic
+            }
+        };
+        if enable && !self.world.gvt_enabled {
+            self.world.gvt_enabled = true;
+        }
+        if self.world.gvt_enabled {
+            let interval = self.world.cfg.gvt_interval;
+            self.engine.schedule_in(interval, gvt_tick);
+        }
+        let budget = self.world.cfg.max_events;
+        if !self.engine.run_bounded(&mut self.world, budget) {
+            return Err(ClusterError::Stalled { events: self.engine.processed() });
+        }
+        let mut stats = self.world.stats.clone();
+        for d in &self.world.daemons {
+            stats.merge(d.stats());
+        }
+        let net = self.world.net.stats();
+        stats.add("net_messages", net.messages);
+        stats.add("net_payload_bytes", net.payload_bytes);
+        stats.add("net_queueing_ns", net.queueing_ns);
+        Ok(SimReport {
+            sim_seconds: msgr_sim::to_secs(self.engine.now()),
+            events: self.engine.processed(),
+            faults: self.world.faults.clone(),
+            stats,
+            live_leak: self.world.live,
+        })
+    }
+
+    /// The simulated time so far, in seconds.
+    pub fn now_seconds(&self) -> f64 {
+        msgr_sim::to_secs(self.engine.now())
+    }
+
+    /// Direct access to a daemon (tests and diagnostics).
+    pub fn daemon(&self, d: u16) -> &Daemon {
+        &self.world.daemons[d as usize]
+    }
+
+    /// A human-readable dump of the whole logical network: every node
+    /// with its variables and link endpoints, grouped by daemon. For
+    /// debugging and the `msgr` shell's `--dump` flag.
+    pub fn network_dump(&self) -> String {
+        let mut out = String::new();
+        for d in &self.world.daemons {
+            out.push_str(&format!("daemon {}:\n", d.id()));
+            for node in d.nodes() {
+                out.push_str(&format!("  node {} ({})\n", node.name, node.gid));
+                let mut vars: Vec<_> = node.vars.iter().collect();
+                vars.sort_by_key(|(k, _)| k.to_string());
+                for (k, v) in vars {
+                    out.push_str(&format!("    {k} = {v}\n"));
+                }
+                for l in &node.links {
+                    let arrow = match l.orient {
+                        crate::logical::Orient::Out => "->",
+                        crate::logical::Orient::In => "<-",
+                        crate::logical::Orient::Undirected => "--",
+                    };
+                    let name = if l.name == Value::Null {
+                        "~".to_string()
+                    } else {
+                        l.name.to_string()
+                    };
+                    out.push_str(&format!(
+                        "    link {name} {arrow} {} on {} ({})\n",
+                        l.peer_name, l.peer.0, l.peer.1
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

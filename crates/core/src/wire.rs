@@ -1,0 +1,147 @@
+//! Inter-daemon wire protocol.
+//!
+//! Everything daemons exchange travels as one of these frames. Messenger
+//! state is genuinely serialized (`msgr_vm::wire`) — the header fields
+//! are carried alongside for routing without re-decoding. The simulation
+//! platform charges network time for [`Wire::wire_bytes`]; the threaded
+//! platform moves frames over channels.
+
+use bytes::Bytes;
+
+use msgr_gvt::CtrlMsg;
+use msgr_vm::{LinkInstance, MessengerId, Value, Vt};
+
+use crate::ids::{DaemonId, NodeRef};
+use crate::logical::Orient;
+
+/// A migrating messenger's routing header + payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Migration {
+    /// The messenger's id.
+    pub id: MessengerId,
+    /// Its virtual time (for GVT accounting and Time-Warp keys).
+    pub vtime: Vt,
+    /// The sender's GVT epoch (Mattern color).
+    pub epoch: u64,
+    /// True for an anti-messenger (cancels `id`; carries no payload).
+    pub anti: bool,
+    /// Destination logical node.
+    pub to: (DaemonId, NodeRef),
+    /// The link instance traversed (sets `$last`); `None` for virtual
+    /// hops and injections.
+    pub via: Option<LinkInstance>,
+    /// Encoded [`msgr_vm::MessengerState`] (empty for anti-messengers).
+    pub bytes: Bytes,
+    /// Extra payload accounted on the wire when the cluster runs in
+    /// carry-code mode (the WAVE-style ablation): the serialized program
+    /// size.
+    pub code_bytes: u64,
+}
+
+/// A remote `create`: instantiate a node (id pre-allocated by the
+/// origin), install the connecting link's far half, and deliver the
+/// creating messenger into the new node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateNode {
+    /// Pre-allocated id for the new node.
+    pub gid: NodeRef,
+    /// New node's name (`Value::Null` = unnamed).
+    pub name: Value,
+    /// The origin endpoint (current node of the creating messenger).
+    pub origin: (DaemonId, NodeRef),
+    /// Cached name of the origin node.
+    pub origin_name: Value,
+    /// Shared link instance id.
+    pub inst: LinkInstance,
+    /// Link name (`Value::Null` = unnamed).
+    pub link_name: Value,
+    /// Orientation of the link *as stored at the new node*.
+    pub orient_at_new: Orient,
+    /// The messenger replica that continues in the new node.
+    pub messenger: Migration,
+}
+
+/// One wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Wire {
+    /// A messenger migration (or anti-messenger).
+    Migrate(Migration),
+    /// A remote node creation.
+    Create(Box<CreateNode>),
+    /// Remove the far half of a link (from a `delete` traversal).
+    Unlink {
+        /// Node holding the half to remove.
+        node: NodeRef,
+        /// Link instance.
+        inst: LinkInstance,
+    },
+    /// GVT protocol traffic.
+    Gvt(CtrlMsg),
+    /// Local prod for the coordinator daemon to begin a GVT round
+    /// (issued by the platform's interval timer; never crosses the
+    /// network).
+    GvtKick,
+}
+
+impl Wire {
+    /// Bytes this frame occupies on the network, given the per-message
+    /// header overhead from the cost model.
+    pub fn wire_bytes(&self, header: u64) -> u64 {
+        match self {
+            Wire::Migrate(m) => header + m.bytes.len() as u64 + m.code_bytes,
+            Wire::Create(c) => {
+                header + 48 + c.messenger.bytes.len() as u64 + c.messenger.code_bytes
+            }
+            Wire::Unlink { .. } => header + 16,
+            Wire::Gvt(msg) => header + msg.wire_bytes(),
+            Wire::GvtKick => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mig(payload: usize, code: u64) -> Migration {
+        Migration {
+            id: MessengerId(1),
+            vtime: Vt::ZERO,
+            epoch: 0,
+            anti: false,
+            to: (DaemonId(1), NodeRef::new(0, 0)),
+            via: None,
+            bytes: Bytes::from(vec![0u8; payload]),
+            code_bytes: code,
+        }
+    }
+
+    #[test]
+    fn migrate_bytes_include_payload_and_code() {
+        assert_eq!(Wire::Migrate(mig(100, 0)).wire_bytes(64), 164);
+        assert_eq!(Wire::Migrate(mig(100, 500)).wire_bytes(64), 664);
+    }
+
+    #[test]
+    fn control_frames_are_small() {
+        let unlink = Wire::Unlink { node: NodeRef::new(0, 0), inst: LinkInstance(1) };
+        assert!(unlink.wire_bytes(64) < 128);
+        let gvt = Wire::Gvt(CtrlMsg::Cut { round: 3 });
+        assert!(gvt.wire_bytes(64) < 128);
+    }
+
+    #[test]
+    fn create_bytes_include_messenger() {
+        let c = CreateNode {
+            gid: NodeRef::new(0, 1),
+            name: Value::str("a"),
+            origin: (DaemonId(0), NodeRef::new(0, 0)),
+            origin_name: Value::str("init"),
+            inst: LinkInstance(9),
+            link_name: Value::Null,
+            orient_at_new: Orient::In,
+            messenger: mig(200, 0),
+        };
+        assert_eq!(Wire::Create(Box::new(c)).wire_bytes(64), 64 + 48 + 200);
+    }
+}

@@ -1,0 +1,816 @@
+//! End-to-end cluster tests: MSGR-C scripts compiled, injected, and run
+//! on both platforms.
+
+use msgr_core::{ClusterConfig, ClusterError, SimCluster, ThreadCluster};
+use msgr_core::config::{NetKind, VtMode};
+use msgr_core::topology::LogicalTopology;
+use msgr_lang::compile;
+use msgr_vm::{Value, Vt};
+
+fn sim(n: usize) -> SimCluster {
+    let mut cfg = ClusterConfig::new(n);
+    cfg.net = NetKind::Ideal; // fast functional tests
+    SimCluster::new(cfg)
+}
+
+#[test]
+fn single_messenger_updates_node_vars() {
+    let prog = compile(
+        r#"main(a, b) {
+            node int sum;
+            sum = a + b;
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(1);
+    let pid = c.register_program(&prog);
+    c.inject(0, pid, &[Value::Int(19), Value::Int(23)]).unwrap();
+    let report = c.run().unwrap();
+    assert_eq!(report.live_leak, 0);
+    assert!(report.faults.is_empty());
+    assert_eq!(c.node_var(0, &Value::str("init"), "sum"), Some(Value::Int(42)));
+}
+
+#[test]
+fn create_all_spawns_one_worker_per_daemon() {
+    // Each replica marks its daemon's init... actually the new node; it
+    // then reports home by writing into the origin via a hop back.
+    let prog = compile(
+        r#"main() {
+            node int here;
+            create(ALL);
+            here = $address + 1;  /* runs at each created node */
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(4);
+    let pid = c.register_program(&prog);
+    c.inject(2, pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert_eq!(report.live_leak, 0, "faults: {:?}", report.faults);
+    // One new node on every daemon (clique includes self).
+    assert_eq!(report.stats.counter("remote_creates"), 4);
+    assert_eq!(report.stats.counter("terminated"), 4);
+}
+
+#[test]
+fn manager_worker_shuttle_with_last() {
+    // The Fig. 3 skeleton: workers created on all daemons shuttle back
+    // and forth over $last, pulling tasks from the center's node
+    // variables — no manager process exists.
+    let prog = compile(
+        r#"manager_worker() {
+            int task, res;
+            node int next, limit, done, sum;
+            create(ALL);
+            hop(ll = $last);
+            while ((task = take_task()) != NULL) {
+                hop(ll = $last);
+                res = task * task;
+                hop(ll = $last);
+                done = done + 1;
+                sum = sum + res;
+            }
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(4);
+    c.register_native("take_task", |ctx, _args| {
+        let next = ctx.node_var("next").as_int().unwrap_or(0);
+        let limit = ctx.node_var("limit").as_int().unwrap_or(0);
+        if next >= limit {
+            return Ok(Value::Null);
+        }
+        ctx.set_node_var("next", Value::Int(next + 1));
+        Ok(Value::Int(next))
+    });
+    let pid = c.register_program(&prog);
+    // Pre-set the task pool on daemon 1's init node, where we inject.
+    let mid = c.inject(1, pid, &[]);
+    assert!(mid.is_ok());
+    // Find daemon 1's init and set the limit before running.
+    // (Injection is queued; nothing has executed yet.)
+    let d1init = Value::str("init");
+    // Set node vars directly through the daemon accessor.
+    {
+        // `set_node_var` works on directory names; init nodes are per
+        // daemon, so use the daemon-level API via node_var/find…
+        // For tests we reach through the public daemon handle.
+    }
+    // Simplest: run with limit stored via another injected setter script.
+    let setter = compile(r#"set(n) { node int limit; limit = n; }"#).unwrap();
+    let _sid = c.register_program(&setter);
+    // The setter must run first; inject it first (FIFO at the daemon).
+    let mut c2 = sim(4);
+    c2.register_native("take_task", |ctx, _args| {
+        let next = ctx.node_var("next").as_int().unwrap_or(0);
+        let limit = ctx.node_var("limit").as_int().unwrap_or(0);
+        if next >= limit {
+            return Ok(Value::Null);
+        }
+        ctx.set_node_var("next", Value::Int(next + 1));
+        Ok(Value::Int(next))
+    });
+    let sid = c2.register_program(&setter);
+    let pid = c2.register_program(&prog);
+    c2.inject(1, sid, &[Value::Int(10)]).unwrap();
+    c2.inject(1, pid, &[]).unwrap();
+    let report = c2.run().unwrap();
+    assert!(report.faults.is_empty(), "faults: {:?}", report.faults);
+    assert_eq!(report.live_leak, 0);
+    assert_eq!(c2.node_var(1, &d1init, "done"), Some(Value::Int(10)));
+    // sum of squares 0..9 = 285
+    assert_eq!(c2.node_var(1, &d1init, "sum"), Some(Value::Int(285)));
+    // All 10 tasks were taken exactly once despite 4 concurrent workers.
+    assert_eq!(c2.node_var(1, &d1init, "next"), Some(Value::Int(10)));
+}
+
+#[test]
+fn grid_hop_along_named_links() {
+    // Build a 2x2 Fig.-10-style grid and walk a messenger along a row
+    // then up a column.
+    let prog = compile(
+        r#"main() {
+            node int mark;
+            hop(ll = "row");          /* 0,0 -> 0,1 (row is a mesh) */
+            mark = mark + 1;
+            hop(ll = "column"; ldir = +);  /* up the column ring */
+            mark = mark + 10;
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(4);
+    c.build(&LogicalTopology::grid(2, 4)).unwrap();
+    let pid = c.register_program(&prog);
+    c.inject_at(&Value::str("0,0"), pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+    assert_eq!(report.live_leak, 0);
+    // Row hop from 0,0 reaches 0,1 (single row neighbor in a 2x2 mesh).
+    assert_eq!(c.node_var_by_name(&Value::str("0,1"), "mark"), Some(Value::Int(1)));
+    // Column hop with ldir=+ from 0,1 goes to 1,1 ((0-1) mod 2 = 1).
+    assert_eq!(c.node_var_by_name(&Value::str("1,1"), "mark"), Some(Value::Int(10)));
+}
+
+#[test]
+fn hop_replicates_to_all_matches() {
+    let prog = compile(
+        r#"main() {
+            node int hits;
+            hop(ll = "spoke");
+            hits = hits + 1;
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(3);
+    c.build(&LogicalTopology::star(5, 3)).unwrap();
+    let pid = c.register_program(&prog);
+    c.inject_at(&Value::str("hub"), pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert_eq!(report.live_leak, 0);
+    for k in 0..5 {
+        assert_eq!(
+            c.node_var_by_name(&Value::str(format!("leaf{k}")), "hits"),
+            Some(Value::Int(1)),
+            "leaf{k}"
+        );
+    }
+    assert_eq!(report.stats.counter("terminated"), 5);
+}
+
+#[test]
+fn zero_match_hop_kills_messenger() {
+    let prog = compile(r#"main() { hop(ll = "nonexistent"); }"#).unwrap();
+    let mut c = sim(2);
+    let pid = c.register_program(&prog);
+    c.inject(0, pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert_eq!(report.live_leak, 0);
+    assert_eq!(report.stats.counter("hop_no_match"), 1);
+    assert_eq!(report.stats.counter("terminated"), 0);
+}
+
+#[test]
+fn virtual_hop_jumps_by_name() {
+    let prog = compile(
+        r#"main() {
+            node int visited;
+            hop(ll = virtual; ln = "faraway");
+            visited = 1;
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(4);
+    let mut topo = LogicalTopology::new();
+    topo.node(Value::str("faraway"), msgr_core::DaemonId(3));
+    c.build(&topo).unwrap();
+    let pid = c.register_program(&prog);
+    c.inject(0, pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert_eq!(report.live_leak, 0, "{:?}", report.faults);
+    assert_eq!(c.node_var_by_name(&Value::str("faraway"), "visited"), Some(Value::Int(1)));
+    assert_eq!(report.stats.counter("virtual_hops"), 1);
+}
+
+#[test]
+fn delete_tears_down_links_and_singletons() {
+    let prog = compile(
+        r#"main() {
+            node int x;
+            create(ln = "out"; ll = "cord"; dn = 1);
+            /* now at node "out" on daemon 1 */
+            x = 7;
+            delete(ll = "cord");   /* back at init; cord destroyed */
+            x = 9;
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(2);
+    let pid = c.register_program(&prog);
+    c.inject(0, pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+    assert_eq!(report.live_leak, 0);
+    assert_eq!(c.node_var(0, &Value::str("init"), "x"), Some(Value::Int(9)));
+    // "out" became a singleton and was deleted.
+    assert_eq!(report.stats.counter("nodes_deleted"), 1);
+    assert!(c.node_var_by_name(&Value::str("out"), "x").is_none());
+}
+
+#[test]
+fn virtual_time_alternation_conservative() {
+    // Two messengers at one node interleave strictly by virtual time:
+    // A at ticks 0,1,2 appends 'a'; B at 0.5,1.5,2.5 appends 'b'.
+    let prog = compile(
+        r#"main(who, offset) {
+            int k;
+            node string trace;
+            for (k = 0; k < 3; k = k + 1) {
+                M_sched_time_abs(k + offset);
+                trace = trace + who;
+            }
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(2);
+    let pid = c.register_program(&prog);
+    c.inject(0, pid, &[Value::str("a"), Value::Float(0.0)]).unwrap();
+    c.inject(0, pid, &[Value::str("b"), Value::Float(0.5)]).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+    assert_eq!(report.live_leak, 0);
+    assert_eq!(
+        c.node_var(0, &Value::str("init"), "trace"),
+        Some(Value::str("ababab"))
+    );
+    assert!(report.stats.counter("gvt_rounds") > 0);
+}
+
+#[test]
+fn virtual_time_across_daemons() {
+    // distribute/rotate-style alternation across two daemons sharing a
+    // logical ring: each messenger stamps the global order counter.
+    let prog = compile(
+        r#"main(slot) {
+            node int order_ok, counter;
+            M_sched_time_abs(slot);
+            counter = counter + 1;
+            if (counter == slot + 1) order_ok = order_ok + 1;
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(1);
+    let pid = c.register_program(&prog);
+    for slot in 0..6 {
+        c.inject(0, pid, &[Value::Int(slot)]).unwrap();
+    }
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty());
+    assert_eq!(
+        c.node_var(0, &Value::str("init"), "order_ok"),
+        Some(Value::Int(6)),
+        "every messenger must observe the counter at its own slot"
+    );
+}
+
+#[test]
+fn optimistic_matches_conservative() {
+    // A virtual-time workload with cross-daemon hops; optimistic (Time
+    // Warp) must produce the same final node state as conservative.
+    let src = r#"main(k, rounds) {
+            int i;
+            node int acc;
+            for (i = 0; i < rounds; i = i + 1) {
+                M_sched_time_dlt(1.0);
+                acc = acc + k + i;
+                hop(ll = "ring");
+            }
+        }"#;
+    let prog = compile(src).unwrap();
+
+    let run_with = |mode: VtMode| {
+        let mut cfg = ClusterConfig::new(2);
+        cfg.net = NetKind::Ideal;
+        cfg.vt_mode = mode;
+        let mut c = SimCluster::new(cfg);
+        let mut topo = LogicalTopology::new();
+        topo.node(Value::str("r0"), msgr_core::DaemonId(0));
+        topo.node(Value::str("r1"), msgr_core::DaemonId(1));
+        topo.link(Value::str("r0"), Value::str("r1"), Value::str("ring"), msgr_vm::Dir::Any);
+        c.build(&topo).unwrap();
+        let pid = c.register_program(&prog);
+        c.inject_at(&Value::str("r0"), pid, &[Value::Int(1), Value::Int(4)]).unwrap();
+        c.inject_at(&Value::str("r1"), pid, &[Value::Int(100), Value::Int(4)]).unwrap();
+        let report = c.run().unwrap();
+        assert!(report.faults.is_empty(), "{mode:?}: {:?}", report.faults);
+        (
+            c.node_var_by_name(&Value::str("r0"), "acc"),
+            c.node_var_by_name(&Value::str("r1"), "acc"),
+        )
+    };
+    let cons = run_with(VtMode::Conservative);
+    let opt = run_with(VtMode::Optimistic);
+    assert_eq!(cons, opt);
+    assert!(cons.0.is_some());
+}
+
+#[test]
+fn carry_code_inflates_migrations() {
+    let prog = compile(
+        r#"main() { int i; for (i = 0; i < 4; i = i + 1) hop(ll = "spoke"); }"#,
+    )
+    .unwrap();
+    let run_with = |carry: bool| {
+        let mut cfg = ClusterConfig::new(2);
+        cfg.net = NetKind::Ideal;
+        cfg.carry_code = carry;
+        let mut c = SimCluster::new(cfg);
+        c.build(&LogicalTopology::star(1, 2)).unwrap();
+        let pid = c.register_program(&prog);
+        c.inject_at(&Value::str("hub"), pid, &[]).unwrap();
+        let r = c.run().unwrap();
+        r.stats.counter("migration_bytes")
+    };
+    let lean = run_with(false);
+    let fat = run_with(true);
+    assert!(fat > lean * 2, "carry-code should dominate: {fat} vs {lean}");
+}
+
+#[test]
+fn stalled_detection_on_livelock() {
+    // A messenger bouncing between two nodes forever.
+    let prog = compile(r#"main() { while (1) hop(ll = "spoke"); }"#).unwrap();
+    let mut cfg = ClusterConfig::new(2);
+    cfg.net = NetKind::Ideal;
+    cfg.max_events = 20_000;
+    let mut c = SimCluster::new(cfg);
+    c.build(&LogicalTopology::star(1, 2)).unwrap();
+    let pid = c.register_program(&prog);
+    c.inject_at(&Value::str("hub"), pid, &[]).unwrap();
+    match c.run() {
+        Err(ClusterError::Stalled { events }) => assert!(events >= 20_000),
+        other => panic!("expected stall, got {other:?}"),
+    }
+}
+
+#[test]
+fn faulting_messenger_reported_not_fatal() {
+    let prog = compile(r#"main() { int x; x = 1 / 0; }"#).unwrap();
+    let mut c = sim(1);
+    let pid = c.register_program(&prog);
+    c.inject(0, pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert_eq!(report.live_leak, 0);
+    assert_eq!(report.faults.len(), 1);
+    assert!(report.faults[0].1.contains("division by zero"));
+}
+
+#[test]
+fn unknown_program_rejected() {
+    let mut c = sim(1);
+    let err = c.inject(0, msgr_vm::ProgramId(0xDEAD), &[]).unwrap_err();
+    assert_eq!(err, ClusterError::UnknownProgram);
+}
+
+#[test]
+fn bad_arity_injection_rejected() {
+    let prog = compile("main(a) { return a; }").unwrap();
+    let mut c = sim(1);
+    let pid = c.register_program(&prog);
+    let err = c.inject(0, pid, &[]).unwrap_err();
+    assert!(matches!(err, ClusterError::BadInjection(_)));
+}
+
+// ---- threaded platform ----------------------------------------------------
+
+#[test]
+fn threads_basic_node_update() {
+    let prog = compile(
+        r#"main(n) {
+            node int total;
+            total = total + n;
+        }"#,
+    )
+    .unwrap();
+    let mut c = ThreadCluster::new(ClusterConfig::new(2)).unwrap();
+    let pid = c.register_program(&prog);
+    c.inject(0, pid, &[Value::Int(5)]).unwrap();
+    c.inject(0, pid, &[Value::Int(7)]).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty());
+    assert_eq!(c.node_var(0, &Value::str("init"), "total"), Some(Value::Int(12)));
+    assert!(report.wall_seconds < 60.0);
+}
+
+#[test]
+fn threads_create_all_and_shuttle() {
+    let prog = compile(
+        r#"main() {
+            int task;
+            node int next, done;
+            create(ALL);
+            hop(ll = $last);
+            while ((task = grab()) != NULL) {
+                hop(ll = $last);
+                hop(ll = $last);
+                done = done + 1;
+            }
+        }"#,
+    )
+    .unwrap();
+    let mut c = ThreadCluster::new(ClusterConfig::new(4)).unwrap();
+    c.register_native("grab", |ctx, _| {
+        let next = ctx.node_var("next").as_int().unwrap_or(0);
+        if next >= 20 {
+            return Ok(Value::Null);
+        }
+        ctx.set_node_var("next", Value::Int(next + 1));
+        Ok(Value::Int(next))
+    });
+    let pid = c.register_program(&prog);
+    c.inject(0, pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+    assert_eq!(c.node_var(0, &Value::str("init"), "done"), Some(Value::Int(20)));
+    assert_eq!(c.node_var(0, &Value::str("init"), "next"), Some(Value::Int(20)));
+}
+
+#[test]
+fn threads_virtual_time_alternation() {
+    let prog = compile(
+        r#"main(who, offset) {
+            int k;
+            node string trace;
+            for (k = 0; k < 3; k = k + 1) {
+                M_sched_time_abs(k + offset);
+                trace = trace + who;
+            }
+        }"#,
+    )
+    .unwrap();
+    let mut cfg = ClusterConfig::new(2);
+    cfg.gvt_interval = 1_000_000; // 1 ms wall-clock ticks
+    let mut c = ThreadCluster::new(cfg).unwrap();
+    let pid = c.register_program(&prog);
+    c.inject(1, pid, &[Value::str("a"), Value::Float(0.0)]).unwrap();
+    c.inject(1, pid, &[Value::str("b"), Value::Float(0.5)]).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+    assert_eq!(
+        c.node_var(1, &Value::str("init"), "trace"),
+        Some(Value::str("ababab"))
+    );
+}
+
+#[test]
+fn threads_reject_optimistic() {
+    let mut cfg = ClusterConfig::new(2);
+    cfg.vt_mode = VtMode::Optimistic;
+    assert!(matches!(ThreadCluster::new(cfg), Err(ClusterError::Config(_))));
+}
+
+#[test]
+fn vt_zero_wake_runs_immediately() {
+    // M_sched_time_abs(0) at vtime 0 must not deadlock even though GVT
+    // starts at 0.
+    let prog = compile(
+        r#"main() {
+            node int ran;
+            M_sched_time_abs(0.0);
+            ran = 1;
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(2);
+    let pid = c.register_program(&prog);
+    c.inject(0, pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty());
+    assert_eq!(c.node_var(0, &Value::str("init"), "ran"), Some(Value::Int(1)));
+    let _ = Vt::ZERO;
+}
+
+#[test]
+fn create_respects_daemon_topology_patterns() {
+    // A ring daemon network with named links: create(dl = "ring",
+    // ddir = +) must place the node on the clockwise neighbor only.
+    let prog = compile(
+        r#"main() {
+            node int made;
+            create(ln = "next"; ll = "cord"; dl = "ring"; ddir = +);
+            made = $address + 100;   /* runs at the created node */
+        }"#,
+    )
+    .unwrap();
+    let mut cfg = ClusterConfig::new(4);
+    cfg.net = NetKind::Ideal;
+    let mut c = msgr_core::SimCluster::with_daemon_topology(
+        cfg,
+        msgr_core::DaemonTopology::ring(4),
+    );
+    let pid = c.register_program(&prog);
+    c.inject(1, pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+    // Daemon 1's clockwise neighbor is daemon 2.
+    assert_eq!(
+        c.node_var_by_name(&Value::str("next"), "made"),
+        Some(Value::Int(102))
+    );
+}
+
+#[test]
+fn create_with_dn_places_on_named_daemon() {
+    let prog = compile(
+        r#"main(target) {
+            node int made;
+            create(ln = "spot"; dn = target);
+            made = $address;
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(6);
+    let pid = c.register_program(&prog);
+    c.inject(0, pid, &[Value::Int(4)]).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+    assert_eq!(c.node_var_by_name(&Value::str("spot"), "made"), Some(Value::Int(4)));
+}
+
+#[test]
+fn threaded_stress_many_messengers() {
+    // 64 messengers bouncing across 8 daemons, all terminating cleanly.
+    let prog = compile(
+        r#"main(rounds) {
+            int i;
+            node int landings;
+            create(ALL);
+            for (i = 0; i < rounds; i = i + 1) {
+                landings = landings + 1;
+                hop(ll = $last);
+            }
+        }"#,
+    )
+    .unwrap();
+    let mut c = ThreadCluster::new(ClusterConfig::new(8)).unwrap();
+    let pid = c.register_program(&prog);
+    for _ in 0..8 {
+        c.inject(0, pid, &[Value::Int(8)]).unwrap();
+    }
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+    // 8 injections × 8 replicas each → 64 workers... each replica makes
+    // `rounds` hops; total landings = replicas × rounds (first landing
+    // at creation, then ping-pong).
+    assert_eq!(report.stats.counter("terminated"), 64);
+}
+
+#[test]
+fn runtime_injection_at_future_time() {
+    // The paper allows injecting new messengers at runtime; a late
+    // messenger must observe the state its predecessors left behind.
+    let prog = compile(
+        r#"stamp(tag) {
+            node string log;
+            log = log + tag;
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(2);
+    let mut topo = LogicalTopology::new();
+    topo.node(Value::str("board"), msgr_core::DaemonId(1));
+    c.build(&topo).unwrap();
+    let pid = c.register_program(&prog);
+    c.inject_at(&Value::str("board"), pid, &[Value::str("a")]).unwrap();
+    c.inject_at_time(&Value::str("board"), pid, &[Value::str("c")], 2.0).unwrap();
+    c.inject_at_time(&Value::str("board"), pid, &[Value::str("b")], 1.0).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+    assert_eq!(report.live_leak, 0);
+    assert!(report.sim_seconds >= 2.0, "clock must reach the last injection");
+    assert_eq!(
+        c.node_var_by_name(&Value::str("board"), "log"),
+        Some(Value::str("abc")),
+        "injections must run in scheduled order"
+    );
+}
+
+#[test]
+fn logical_network_persists_across_messenger_generations() {
+    // §1: "the logical network is persistent. Unless explicitly
+    // destroyed, it will continue to exist after the Messengers have
+    // moved on or terminated." A builder messenger creates the network;
+    // a *later* generation (injected at a later simulated time, after
+    // the builder has died) navigates it.
+    let builder = compile(
+        r#"build() {
+            create(ln = "annex"; ll = "door"; dn = 1);
+            /* builder dies here, at the annex */
+        }"#,
+    )
+    .unwrap();
+    let visitor = compile(
+        r#"visit() {
+            node int visits;
+            hop(ll = virtual; ln = "annex");
+            visits = visits + 1;
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(2);
+    let bid = c.register_program(&builder);
+    let vid = c.register_program(&visitor);
+    c.inject(0, bid, &[]).unwrap();
+    let run1 = c.run().unwrap();
+    assert!(run1.faults.is_empty(), "{:?}", run1.faults);
+
+    // The builder is long dead; its network remains.
+    c.inject(0, vid, &[]).unwrap();
+    c.inject(1, vid, &[]).unwrap();
+    let run2 = c.run().unwrap();
+    assert!(run2.faults.is_empty(), "{:?}", run2.faults);
+    assert_eq!(
+        c.node_var_by_name(&Value::str("annex"), "visits"),
+        Some(Value::Int(2))
+    );
+}
+
+#[test]
+fn runaway_messenger_is_killed_with_fuel_fault() {
+    let prog = compile(r#"main() { while (1) { } }"#).unwrap();
+    let mut cfg = ClusterConfig::new(1);
+    cfg.net = NetKind::Ideal;
+    cfg.segment_fuel = 50_000;
+    let mut c = SimCluster::new(cfg);
+    let pid = c.register_program(&prog);
+    c.inject(0, pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert_eq!(report.live_leak, 0);
+    assert_eq!(report.faults.len(), 1);
+    assert!(report.faults[0].1.contains("fuel"), "{:?}", report.faults);
+}
+
+#[test]
+fn negative_virtual_time_delta_faults() {
+    let prog = compile(r#"main() { M_sched_time_dlt(0.0 - 1.0); }"#).unwrap();
+    let mut c = sim(1);
+    let pid = c.register_program(&prog);
+    c.inject(0, pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert_eq!(report.faults.len(), 1);
+    assert!(report.faults[0].1.contains("negative"), "{:?}", report.faults);
+    assert_eq!(report.live_leak, 0);
+}
+
+#[test]
+fn backward_hop_traverses_against_orientation() {
+    let prog = compile(
+        r#"main() {
+            node int here;
+            hop(ll = "oneway"; ldir = -);   /* against the arrow */
+            here = $address + 1;
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(2);
+    let mut topo = LogicalTopology::new();
+    topo.node(Value::str("src"), msgr_core::DaemonId(0));
+    topo.node(Value::str("dst"), msgr_core::DaemonId(1));
+    // Arrow points src -> dst; we inject at dst and walk backward to src.
+    topo.link(Value::str("src"), Value::str("dst"), Value::str("oneway"), msgr_vm::Dir::Forward);
+    c.build(&topo).unwrap();
+    let pid = c.register_program(&prog);
+    c.inject_at(&Value::str("dst"), pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty());
+    assert_eq!(c.node_var_by_name(&Value::str("src"), "here"), Some(Value::Int(1)));
+    // Forward from dst must not match (zero-match kills).
+    let prog2 = compile(r#"main() { hop(ll = "oneway"; ldir = +); }"#).unwrap();
+    let pid2 = c.register_program(&prog2);
+    c.inject_at(&Value::str("dst"), pid2, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert_eq!(report.stats.counter("hop_no_match"), 1);
+}
+
+#[test]
+fn unnamed_link_pattern_matches_only_unnamed() {
+    let prog = compile(
+        r#"main() {
+            node int got;
+            hop(ll = ~);     /* unnamed links only */
+            got = 1;
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(3);
+    let mut topo = LogicalTopology::new();
+    topo.node(Value::str("hub2"), msgr_core::DaemonId(0));
+    topo.node(Value::str("named"), msgr_core::DaemonId(1));
+    topo.node(Value::str("anon"), msgr_core::DaemonId(2));
+    topo.link(Value::str("hub2"), Value::str("named"), Value::str("wire"), msgr_vm::Dir::Any);
+    topo.link(Value::str("hub2"), Value::str("anon"), Value::Null, msgr_vm::Dir::Any);
+    c.build(&topo).unwrap();
+    let pid = c.register_program(&prog);
+    c.inject_at(&Value::str("hub2"), pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty());
+    assert_eq!(c.node_var_by_name(&Value::str("anon"), "got"), Some(Value::Int(1)));
+    assert_eq!(c.node_var_by_name(&Value::str("named"), "got"), Some(Value::Null));
+}
+
+#[test]
+fn node_netvar_reports_current_node_name() {
+    let prog = compile(
+        r#"main() {
+            node string whoami;
+            whoami = "" + $node;
+            hop(ll = "spoke");
+            whoami = "" + $node;
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(2);
+    c.build(&LogicalTopology::star(1, 2)).unwrap();
+    let pid = c.register_program(&prog);
+    c.inject_at(&Value::str("hub"), pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+    assert_eq!(
+        c.node_var_by_name(&Value::str("hub"), "whoami"),
+        Some(Value::str("hub"))
+    );
+    assert_eq!(
+        c.node_var_by_name(&Value::str("leaf0"), "whoami"),
+        Some(Value::str("leaf0"))
+    );
+}
+
+#[test]
+fn arrays_travel_with_messengers() {
+    // A messenger fills an array, hops with it, and unloads it remotely.
+    let prog = compile(
+        r#"main(n) {
+            int a[n], i;
+            node int total;
+            for (i = 0; i < n; i = i + 1) a[i] = i + 1;
+            hop(ll = "spoke");
+            for (i = 0; i < n; i = i + 1) total = total + a[i];
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(2);
+    c.build(&LogicalTopology::star(1, 2)).unwrap();
+    let pid = c.register_program(&prog);
+    c.inject_at(&Value::str("hub"), pid, &[Value::Int(10)]).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+    assert_eq!(c.node_var_by_name(&Value::str("leaf0"), "total"), Some(Value::Int(55)));
+}
+
+#[test]
+fn delete_from_hub_does_not_strand_the_traveler() {
+    // The deleting messenger tears down the only link while traveling
+    // over it: it must still arrive, and the now-singleton destination
+    // survives while occupied.
+    let prog = compile(
+        r#"main() {
+            node int landed;
+            create(ln = "island"; ll = "bridge"; dn = 1);
+            hop(ll = $last);          /* back to init */
+            delete(ll = "bridge");    /* burn the bridge while crossing it */
+            landed = 1;
+        }"#,
+    )
+    .unwrap();
+    let mut c = sim(2);
+    let pid = c.register_program(&prog);
+    c.inject(0, pid, &[]).unwrap();
+    let report = c.run().unwrap();
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+    assert_eq!(report.live_leak, 0);
+    assert_eq!(report.stats.counter("dead_letters"), 0, "traveler must not be lost");
+    assert_eq!(
+        c.node_var_by_name(&Value::str("island"), "landed"),
+        Some(Value::Int(1))
+    );
+}

@@ -1,0 +1,176 @@
+//! The per-daemon queue of suspended messengers.
+
+use msgr_vm::Vt;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Entry<T> {
+    wake: Vt,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.wake == other.wake && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.wake, self.seq).cmp(&(other.wake, other.seq))
+    }
+}
+
+/// A priority queue of items keyed by wake-up virtual time, FIFO within
+/// equal times. This is the paper's single-processor virtual-time
+/// implementation ("a priority queue, such that events are time-stamped
+/// with the virtual time at which they are to execute") and the
+/// per-daemon suspension queue in the distributed setting.
+///
+/// # Example
+///
+/// ```
+/// use msgr_gvt::PendingQueue;
+/// use msgr_vm::Vt;
+///
+/// let mut q = PendingQueue::new();
+/// q.push(Vt::new(1.0), "late");
+/// q.push(Vt::new(0.5), "early");
+/// assert_eq!(q.min_wake(), Some(Vt::new(0.5)));
+/// assert_eq!(q.pop_runnable(Vt::new(0.5)), Some((Vt::new(0.5), "early")));
+/// assert_eq!(q.pop_runnable(Vt::new(0.5)), None); // 1.0 > GVT
+/// ```
+#[derive(Debug)]
+pub struct PendingQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+impl<T> Default for PendingQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PendingQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        PendingQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Suspend `item` until virtual time `wake`.
+    pub fn push(&mut self, wake: Vt, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { wake, seq, item }));
+    }
+
+    /// The earliest wake time, if any.
+    pub fn min_wake(&self) -> Option<Vt> {
+        self.heap.peek().map(|Reverse(e)| e.wake)
+    }
+
+    /// Pop the earliest item if its wake time is `<= gvt` (the
+    /// conservative execution rule). Items with equal wake times come out
+    /// in insertion order.
+    pub fn pop_runnable(&mut self, gvt: Vt) -> Option<(Vt, T)> {
+        if self.min_wake()? <= gvt {
+            self.heap.pop().map(|Reverse(e)| (e.wake, e.item))
+        } else {
+            None
+        }
+    }
+
+    /// Pop the earliest item unconditionally (optimistic execution).
+    pub fn pop_min(&mut self) -> Option<(Vt, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.wake, e.item))
+    }
+
+    /// Number of suspended items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Remove every item for which `pred` returns true, returning them
+    /// (used for anti-messenger annihilation). O(n).
+    pub fn drain_matching(&mut self, mut pred: impl FnMut(&T) -> bool) -> Vec<(Vt, T)> {
+        let mut kept = BinaryHeap::new();
+        let mut out = Vec::new();
+        for Reverse(e) in self.heap.drain() {
+            if pred(&e.item) {
+                out.push((e.wake, e.item));
+            } else {
+                kept.push(Reverse(e));
+            }
+        }
+        self.heap = kept;
+        out.sort_by_key(|(wake, _)| *wake);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = PendingQueue::new();
+        q.push(Vt::new(1.0), "b1");
+        q.push(Vt::new(0.5), "a");
+        q.push(Vt::new(1.0), "b2");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_min(), Some((Vt::new(0.5), "a")));
+        assert_eq!(q.pop_min(), Some((Vt::new(1.0), "b1")));
+        assert_eq!(q.pop_min(), Some((Vt::new(1.0), "b2")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_runnable_respects_gvt() {
+        let mut q = PendingQueue::new();
+        q.push(Vt::new(2.0), 20);
+        q.push(Vt::new(1.0), 10);
+        assert_eq!(q.pop_runnable(Vt::new(0.0)), None);
+        assert_eq!(q.pop_runnable(Vt::new(1.0)), Some((Vt::new(1.0), 10)));
+        assert_eq!(q.pop_runnable(Vt::new(1.5)), None);
+        assert_eq!(q.pop_runnable(Vt::new(2.0)), Some((Vt::new(2.0), 20)));
+    }
+
+    #[test]
+    fn drain_matching_removes_and_sorts() {
+        let mut q = PendingQueue::new();
+        for i in 0..10 {
+            q.push(Vt::new(10.0 - i as f64), i);
+        }
+        let evens = q.drain_matching(|i| i % 2 == 0);
+        assert_eq!(evens.len(), 5);
+        assert!(evens.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(q.len(), 5);
+        let odds: Vec<i32> = std::iter::from_fn(|| q.pop_min().map(|(_, i)| i)).collect();
+        assert_eq!(odds, vec![9, 7, 5, 3, 1]);
+    }
+
+    #[test]
+    fn min_wake_tracks_head() {
+        let mut q = PendingQueue::new();
+        assert_eq!(q.min_wake(), None);
+        q.push(Vt::new(3.0), ());
+        q.push(Vt::new(1.0), ());
+        assert_eq!(q.min_wake(), Some(Vt::new(1.0)));
+        q.pop_min();
+        assert_eq!(q.min_wake(), Some(Vt::new(3.0)));
+    }
+}

@@ -1,0 +1,315 @@
+//! Abstract syntax tree for MSGR-C.
+
+use crate::Pos;
+use msgr_vm::Dir;
+
+/// A whole script: one or more functions; the first is the default entry
+/// point for injected messengers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Script {
+    /// The functions, in source order.
+    pub funcs: Vec<Func>,
+}
+
+/// A function definition. Parameters are untyped (MSGR-C values are
+/// dynamically typed; declarations carry a nominal C type only for
+/// initialization defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// The body.
+    pub body: Vec<Stmt>,
+    /// Source position of the definition.
+    pub pos: Pos,
+}
+
+/// Nominal declaration types; they determine the default initializer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeclType {
+    /// `int` → `0`
+    Int,
+    /// `float` / `double` → `0.0`
+    Float,
+    /// `string` → `""`
+    Str,
+    /// `bool` → `false`
+    Bool,
+    /// `block` → `NULL`
+    Block,
+}
+
+/// One declarator: a name, an optional array size (`int a[n];`), and an
+/// optional initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Declarator {
+    /// Declared name.
+    pub name: String,
+    /// Array size expression for `name[size]` declarations.
+    pub array_size: Option<Expr>,
+    /// Optional initializer expression.
+    pub init: Option<Expr>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A pattern in a navigational destination specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pat {
+    /// `*` — wildcard.
+    Wild,
+    /// `~` — unnamed.
+    Unnamed,
+    /// `virtual` — direct jump (only meaningful for `ll`).
+    Virtual,
+    /// An arbitrary expression.
+    Expr(Expr),
+}
+
+/// The destination specification of a `hop` or `delete` statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HopArgs {
+    /// `ln = …` (default `*`).
+    pub ln: Option<Pat>,
+    /// `ll = …` (default `*`).
+    pub ll: Option<Pat>,
+    /// `ldir = …` (default `*`).
+    pub ldir: Option<Dir>,
+}
+
+/// The argument list of a `create` statement: per-key lists plus `ALL`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CreateArgs {
+    /// `ln = n1, n2, …`
+    pub ln: Vec<Pat>,
+    /// `ll = l1, l2, …`
+    pub ll: Vec<Pat>,
+    /// `ldir = d1, d2, …`
+    pub ldir: Vec<Dir>,
+    /// `dn = N1, N2, …`
+    pub dn: Vec<Pat>,
+    /// `dl = L1, L2, …`
+    pub dl: Vec<Pat>,
+    /// `ddir = D1, D2, …`
+    pub ddir: Vec<Dir>,
+    /// The `ALL` flag.
+    pub all: bool,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Messenger-variable declaration (`int i = 0, j;`).
+    Decl {
+        /// Nominal type.
+        ty: DeclType,
+        /// Declarators.
+        decls: Vec<Declarator>,
+    },
+    /// Node-variable declaration (`node block resid_A;`). Without an
+    /// initializer this only introduces the name — it never overwrites an
+    /// existing node variable.
+    NodeDecl {
+        /// Nominal type.
+        ty: DeclType,
+        /// Declarators.
+        decls: Vec<Declarator>,
+    },
+    /// Expression statement (assignments, calls, …).
+    Expr(Expr),
+    /// `if (cond) then else?`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Optional else branch.
+        otherwise: Vec<Stmt>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        /// Optional initializer expression.
+        init: Option<Expr>,
+        /// Optional condition (missing = true).
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return e?;`
+    Return(Option<Expr>, Pos),
+    /// `break;`
+    Break(Pos),
+    /// `continue;`
+    Continue(Pos),
+    /// `hop(...);`
+    Hop(HopArgs, Pos),
+    /// `create(...);`
+    Create(CreateArgs, Pos),
+    /// `delete(...);`
+    Delete(HopArgs, Pos),
+    /// A nested block (scope).
+    Block(Vec<Stmt>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// Float literal.
+    Float(f64, Pos),
+    /// String literal.
+    Str(String, Pos),
+    /// `true` / `false`.
+    Bool(bool, Pos),
+    /// `NULL`.
+    Null(Pos),
+    /// Variable reference (messenger or node variable; resolved by the
+    /// compiler from the declarations in scope).
+    Var(String, Pos),
+    /// Network variable (`$address` …).
+    NetVar(String, Pos),
+    /// Assignment, usable as an expression (value = right-hand side).
+    /// With `index`, the single-level array assignment `a[i] = v`.
+    Assign {
+        /// Target variable name.
+        target: String,
+        /// Index expression for array-element assignment.
+        index: Option<Box<Expr>>,
+        /// Right-hand side.
+        value: Box<Expr>,
+        /// Position of the target.
+        pos: Pos,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Position.
+        pos: Pos,
+    },
+    /// Array indexing `base[idx]` (reads may nest).
+    Index {
+        /// The array expression.
+        base: Box<Expr>,
+        /// The index expression.
+        idx: Box<Expr>,
+        /// Position of the `[`.
+        pos: Pos,
+    },
+    /// Function call — a user function if one with this name exists,
+    /// otherwise a native; `M_sched_time_abs` / `M_sched_time_dlt` /
+    /// `terminate` are intrinsics.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Position of the callee.
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    /// The source position of the expression's head token.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Float(_, p)
+            | Expr::Str(_, p)
+            | Expr::Bool(_, p)
+            | Expr::Null(p)
+            | Expr::Var(_, p)
+            | Expr::NetVar(_, p)
+            | Expr::Un { pos: p, .. }
+            | Expr::Assign { pos: p, .. }
+            | Expr::Index { pos: p, .. }
+            | Expr::Call { pos: p, .. } => *p,
+            Expr::Bin { lhs, .. } => lhs.pos(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_pos_traverses_binops() {
+        let p = Pos { line: 3, col: 9 };
+        let e = Expr::Bin {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Int(1, p)),
+            rhs: Box::new(Expr::Int(2, Pos { line: 3, col: 13 })),
+        };
+        assert_eq!(e.pos(), p);
+    }
+
+    #[test]
+    fn default_hop_args_are_all_wild() {
+        let h = HopArgs::default();
+        assert!(h.ln.is_none() && h.ll.is_none() && h.ldir.is_none());
+    }
+}

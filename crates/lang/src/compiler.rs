@@ -1,0 +1,969 @@
+//! Code generation: AST → `msgr-vm` bytecode.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::{LangError, Phase, Pos};
+use msgr_vm::{
+    Builder, CreateItem, CreateSpec, Dir, HopSpec, LinkPat, NamePat, NetVar, NodePat, Op,
+    Program, Value,
+};
+
+fn cerr(message: impl Into<String>, pos: Pos) -> LangError {
+    LangError { phase: Phase::Compile, message: message.into(), pos }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Binding {
+    Local(u16),
+    NodeVar,
+}
+
+struct LoopCtx {
+    break_patches: Vec<usize>,
+    continue_patches: Vec<usize>,
+}
+
+struct FnCompiler<'a> {
+    builder: &'a mut Builder,
+    signatures: &'a HashMap<String, (u16, u8)>,
+    code: Vec<Op>,
+    scopes: Vec<HashMap<String, Binding>>,
+    next_slot: u16,
+    max_slot: u16,
+    loops: Vec<LoopCtx>,
+}
+
+impl<'a> FnCompiler<'a> {
+    fn new(builder: &'a mut Builder, signatures: &'a HashMap<String, (u16, u8)>) -> Self {
+        FnCompiler {
+            builder,
+            signatures,
+            code: Vec::new(),
+            scopes: vec![HashMap::new()],
+            next_slot: 0,
+            max_slot: 0,
+            loops: Vec::new(),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare_local(&mut self, name: &str, pos: Pos) -> Result<u16, LangError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.contains_key(name) {
+            return Err(cerr(format!("`{name}` already declared in this scope"), pos));
+        }
+        let slot = self.next_slot;
+        if slot == u16::MAX {
+            return Err(cerr("too many local variables", pos));
+        }
+        self.next_slot += 1;
+        self.max_slot = self.max_slot.max(self.next_slot);
+        scope.insert(name.to_string(), Binding::Local(slot));
+        Ok(slot)
+    }
+
+    fn declare_node_var(&mut self, name: &str) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), Binding::NodeVar);
+    }
+
+    fn emit(&mut self, op: Op) -> usize {
+        self.code.push(op);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    fn patch_to_here(&mut self, at: usize) {
+        self.patch(at, self.here());
+    }
+
+    fn patch(&mut self, at: usize, target: usize) {
+        let off = target as i64 - (at as i64 + 1);
+        match &mut self.code[at] {
+            Op::Jump(o)
+            | Op::JumpIfFalse(o)
+            | Op::JumpIfTruePeek(o)
+            | Op::JumpIfFalsePeek(o) => *o = off as i32,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn const_op(&mut self, v: Value) -> Op {
+        Op::Const(self.builder.constant(v))
+    }
+
+    fn name_const(&mut self, name: &str) -> u16 {
+        self.builder.constant(Value::str(name))
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn load_var(&mut self, name: &str, pos: Pos) -> Result<(), LangError> {
+        match self.lookup(name) {
+            Some(Binding::Local(slot)) => {
+                self.emit(Op::LoadLocal(slot));
+                Ok(())
+            }
+            Some(Binding::NodeVar) => {
+                let c = self.name_const(name);
+                self.emit(Op::LoadNode(c));
+                Ok(())
+            }
+            None => Err(cerr(format!("undeclared variable `{name}`"), pos)),
+        }
+    }
+
+    fn store(&mut self, target: &str, pos: Pos) -> Result<(), LangError> {
+        match self.lookup(target) {
+            Some(Binding::Local(slot)) => {
+                self.emit(Op::StoreLocal(slot));
+                Ok(())
+            }
+            Some(Binding::NodeVar) => {
+                let c = self.name_const(target);
+                self.emit(Op::StoreNode(c));
+                Ok(())
+            }
+            None => Err(cerr(format!("assignment to undeclared variable `{target}`"), pos)),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), LangError> {
+        match e {
+            Expr::Int(v, _) => {
+                let op = self.const_op(Value::Int(*v));
+                self.emit(op);
+            }
+            Expr::Float(v, _) => {
+                let op = self.const_op(Value::Float(*v));
+                self.emit(op);
+            }
+            Expr::Str(s, _) => {
+                let op = self.const_op(Value::str(s));
+                self.emit(op);
+            }
+            Expr::Bool(b, _) => {
+                let op = self.const_op(Value::Bool(*b));
+                self.emit(op);
+            }
+            Expr::Null(_) => {
+                let op = self.const_op(Value::Null);
+                self.emit(op);
+            }
+            Expr::Var(name, pos) => match self.lookup(name) {
+                Some(Binding::Local(slot)) => {
+                    self.emit(Op::LoadLocal(slot));
+                }
+                Some(Binding::NodeVar) => {
+                    let c = self.name_const(name);
+                    self.emit(Op::LoadNode(c));
+                }
+                None => return Err(cerr(format!("undeclared variable `{name}`"), *pos)),
+            },
+            Expr::NetVar(name, pos) => {
+                let var = match name.as_str() {
+                    "address" => NetVar::Address,
+                    "last" => NetVar::Last,
+                    "node" => NetVar::Node,
+                    "time" => NetVar::Time,
+                    other => {
+                        return Err(cerr(format!("unknown network variable `${other}`"), *pos))
+                    }
+                };
+                self.emit(Op::LoadNet(var));
+            }
+            Expr::Assign { target, index: None, value, pos } => {
+                self.expr(value)?;
+                self.emit(Op::Dup);
+                self.store(target, *pos)?;
+            }
+            Expr::Assign { target, index: Some(idx), value, pos } => {
+                // a[i] = v  →  load a; eval i; eval v; IndexSet; dup; store a
+                // (the expression's value is the whole updated array, as
+                // close to C's "assignment yields the stored value" as a
+                // value-semantics array allows; statement context pops it).
+                self.load_var(target, *pos)?;
+                self.expr(idx)?;
+                self.expr(value)?;
+                self.emit(Op::IndexSet);
+                self.emit(Op::Dup);
+                self.store(target, *pos)?;
+            }
+            Expr::Index { base, idx, .. } => {
+                self.expr(base)?;
+                self.expr(idx)?;
+                self.emit(Op::IndexGet);
+            }
+            Expr::Un { op, expr, .. } => {
+                self.expr(expr)?;
+                self.emit(match op {
+                    UnOp::Neg => Op::Neg,
+                    UnOp::Not => Op::Not,
+                });
+            }
+            Expr::Bin { op: BinOp::And, lhs, rhs } => {
+                self.expr(lhs)?;
+                let j = self.emit(Op::JumpIfFalsePeek(0));
+                self.emit(Op::Pop);
+                self.expr(rhs)?;
+                self.patch_to_here(j);
+            }
+            Expr::Bin { op: BinOp::Or, lhs, rhs } => {
+                self.expr(lhs)?;
+                let j = self.emit(Op::JumpIfTruePeek(0));
+                self.emit(Op::Pop);
+                self.expr(rhs)?;
+                self.patch_to_here(j);
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                self.expr(lhs)?;
+                self.expr(rhs)?;
+                self.emit(match op {
+                    BinOp::Add => Op::Add,
+                    BinOp::Sub => Op::Sub,
+                    BinOp::Mul => Op::Mul,
+                    BinOp::Div => Op::Div,
+                    BinOp::Mod => Op::Mod,
+                    BinOp::Eq => Op::Eq,
+                    BinOp::Ne => Op::Ne,
+                    BinOp::Lt => Op::Lt,
+                    BinOp::Le => Op::Le,
+                    BinOp::Gt => Op::Gt,
+                    BinOp::Ge => Op::Ge,
+                    BinOp::And | BinOp::Or => unreachable!(),
+                });
+            }
+            Expr::Call { name, args, pos } => self.call(name, args, *pos)?,
+        }
+        Ok(())
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr], pos: Pos) -> Result<(), LangError> {
+        // Virtual-time intrinsics (§2.2) and `terminate`.
+        match name {
+            "M_sched_time_abs" | "M_sched_time_dlt" => {
+                if args.len() != 1 {
+                    return Err(cerr(format!("`{name}` takes exactly one argument"), pos));
+                }
+                self.expr(&args[0])?;
+                self.emit(if name == "M_sched_time_abs" {
+                    Op::SchedAbs
+                } else {
+                    Op::SchedDlt
+                });
+                // The intrinsic's value, if anyone uses it, is NULL.
+                let op = self.const_op(Value::Null);
+                self.emit(op);
+                return Ok(());
+            }
+            "terminate" => {
+                if !args.is_empty() {
+                    return Err(cerr("`terminate` takes no arguments", pos));
+                }
+                self.emit(Op::Halt);
+                let op = self.const_op(Value::Null);
+                self.emit(op);
+                return Ok(());
+            }
+            _ => {}
+        }
+        for a in args {
+            self.expr(a)?;
+        }
+        if args.len() > u8::MAX as usize {
+            return Err(cerr("too many call arguments", pos));
+        }
+        if let Some(&(f, arity)) = self.signatures.get(name) {
+            if args.len() != arity as usize {
+                return Err(cerr(
+                    format!("`{name}` expects {arity} argument(s), got {}", args.len()),
+                    pos,
+                ));
+            }
+            self.emit(Op::Call { f, argc: args.len() as u8 });
+        } else {
+            // Unknown at compile time: a native, resolved by the daemon at
+            // run time (the paper's dynamically loaded C functions).
+            let c = self.name_const(name);
+            self.emit(Op::CallNative { name: c, argc: args.len() as u8 });
+        }
+        Ok(())
+    }
+
+    // ---- navigational specs ------------------------------------------------
+
+    /// Compile a hop/delete destination: returns the static spec after
+    /// emitting operand expressions (ln first, then ll).
+    fn hop_args(&mut self, args: &HopArgs, pos: Pos) -> Result<HopSpec, LangError> {
+        let ln = match &args.ln {
+            None | Some(Pat::Wild) => NodePat::Wild,
+            Some(Pat::Expr(e)) => {
+                self.expr(e)?;
+                NodePat::Expr
+            }
+            Some(Pat::Unnamed) => {
+                return Err(cerr("`~` is not a valid node pattern in hop", pos))
+            }
+            Some(Pat::Virtual) => {
+                return Err(cerr("`virtual` applies to `ll`, not `ln`", pos))
+            }
+        };
+        let ll = match &args.ll {
+            None | Some(Pat::Wild) => LinkPat::Wild,
+            Some(Pat::Unnamed) => LinkPat::Unnamed,
+            Some(Pat::Virtual) => LinkPat::Virtual,
+            Some(Pat::Expr(e)) => {
+                self.expr(e)?;
+                LinkPat::Expr
+            }
+        };
+        if ll == LinkPat::Virtual && ln == NodePat::Wild {
+            return Err(cerr("a virtual hop requires an explicit `ln` destination", pos));
+        }
+        Ok(HopSpec { ln, ll, ldir: args.ldir.unwrap_or(Dir::Any) })
+    }
+
+    fn create_args(&mut self, args: &CreateArgs, pos: Pos) -> Result<CreateSpec, LangError> {
+        let lens = [
+            args.ln.len(),
+            args.ll.len(),
+            args.ldir.len(),
+            args.dn.len(),
+            args.dl.len(),
+            args.ddir.len(),
+        ];
+        let k = lens.iter().copied().max().unwrap_or(0).max(1);
+        for (what, l) in ["ln", "ll", "ldir", "dn", "dl", "ddir"].iter().zip(lens) {
+            if l != 0 && l != k {
+                return Err(cerr(
+                    format!("create: `{what}` has {l} entries but other keys have {k}"),
+                    pos,
+                ));
+            }
+        }
+        let mut items = Vec::with_capacity(k);
+        for i in 0..k {
+            // Operand order per item: ln, ll, dn, dl.
+            let ln = match args.ln.get(i) {
+                None | Some(Pat::Unnamed) => NamePat::Unnamed,
+                Some(Pat::Wild) => {
+                    return Err(cerr("`*` is not a valid name for a created node", pos))
+                }
+                Some(Pat::Virtual) => {
+                    return Err(cerr("`virtual` is not a valid name for a created node", pos))
+                }
+                Some(Pat::Expr(e)) => {
+                    self.expr(e)?;
+                    NamePat::Expr
+                }
+            };
+            let ll = match args.ll.get(i) {
+                None | Some(Pat::Unnamed) => NamePat::Unnamed,
+                Some(Pat::Wild) => {
+                    return Err(cerr("`*` is not a valid name for a created link", pos))
+                }
+                Some(Pat::Virtual) => {
+                    return Err(cerr("`virtual` is not a valid name for a created link", pos))
+                }
+                Some(Pat::Expr(e)) => {
+                    self.expr(e)?;
+                    NamePat::Expr
+                }
+            };
+            let dn = match args.dn.get(i) {
+                None | Some(Pat::Wild) => NodePat::Wild,
+                Some(Pat::Unnamed) => {
+                    return Err(cerr("`~` is not a valid daemon pattern", pos))
+                }
+                Some(Pat::Virtual) => {
+                    return Err(cerr("`virtual` is not a valid daemon pattern", pos))
+                }
+                Some(Pat::Expr(e)) => {
+                    self.expr(e)?;
+                    NodePat::Expr
+                }
+            };
+            let dl = match args.dl.get(i) {
+                None | Some(Pat::Wild) => LinkPat::Wild,
+                Some(Pat::Unnamed) => LinkPat::Unnamed,
+                Some(Pat::Virtual) => {
+                    return Err(cerr("`virtual` is not a valid daemon-link pattern", pos))
+                }
+                Some(Pat::Expr(e)) => {
+                    self.expr(e)?;
+                    LinkPat::Expr
+                }
+            };
+            items.push(CreateItem {
+                ln,
+                ll,
+                ldir: args.ldir.get(i).copied().unwrap_or(Dir::Any),
+                dn,
+                dl,
+                ddir: args.ddir.get(i).copied().unwrap_or(Dir::Any),
+            });
+        }
+        Ok(CreateSpec { items, all: args.all })
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), LangError> {
+        self.scopes.push(HashMap::new());
+        let saved = self.next_slot;
+        for s in body {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        self.next_slot = saved;
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
+        match s {
+            Stmt::Decl { ty, decls } => {
+                for d in decls {
+                    // Evaluate the initializer before the name is in
+                    // scope (C's `int x = x;` footgun is a compile error
+                    // here, which is strictly safer).
+                    if let Some(size) = &d.array_size {
+                        // `int a[n];` → array of n type-defaults.
+                        self.expr(size)?;
+                        let op = self.const_op(default_value(*ty));
+                        self.emit(op);
+                        self.emit(Op::MakeArr);
+                    } else if let Some(init) = &d.init {
+                        self.expr(init)?;
+                    } else {
+                        let op = self.const_op(default_value(*ty));
+                        self.emit(op);
+                    }
+                    let slot = self.declare_local(&d.name, d.pos)?;
+                    self.emit(Op::StoreLocal(slot));
+                }
+            }
+            Stmt::NodeDecl { ty, decls } => {
+                // A node declaration only introduces the name: the
+                // variable lives at whatever node the messenger visits,
+                // reads as NULL until someone stores to it, and is never
+                // clobbered by a declaration (arithmetic coerces NULL to
+                // zero, so counter idioms need no initialization). An
+                // explicit initializer (or array size) does store.
+                for d in decls {
+                    self.declare_node_var(&d.name);
+                    if let Some(size) = &d.array_size {
+                        // Materialize the array only if the node variable
+                        // is still NULL — a later messenger re-declaring
+                        // it must not clobber existing contents.
+                        let c = self.name_const(&d.name);
+                        self.emit(Op::LoadNode(c));
+                        let null_c = self.const_op(Value::Null);
+                        self.emit(null_c);
+                        self.emit(Op::Ne);
+                        let skip = self.emit(Op::JumpIfTruePeek(0));
+                        self.emit(Op::Pop);
+                        self.expr(size)?;
+                        let op = self.const_op(default_value(*ty));
+                        self.emit(op);
+                        self.emit(Op::MakeArr);
+                        self.emit(Op::StoreNode(c));
+                        let done = self.emit(Op::Jump(0));
+                        self.patch_to_here(skip);
+                        self.emit(Op::Pop);
+                        self.patch_to_here(done);
+                    } else if let Some(init) = &d.init {
+                        self.expr(init)?;
+                        let c = self.name_const(&d.name);
+                        self.emit(Op::StoreNode(c));
+                    }
+                }
+            }
+            Stmt::Expr(e) => {
+                // Assignment statements skip the Dup/Pop pair.
+                match e {
+                    Expr::Assign { target, index: None, value, pos } => {
+                        self.expr(value)?;
+                        self.store(target, *pos)?;
+                    }
+                    Expr::Assign { target, index: Some(idx), value, pos } => {
+                        self.load_var(target, *pos)?;
+                        self.expr(idx)?;
+                        self.expr(value)?;
+                        self.emit(Op::IndexSet);
+                        self.store(target, *pos)?;
+                    }
+                    other => {
+                        self.expr(other)?;
+                        self.emit(Op::Pop);
+                    }
+                }
+            }
+            Stmt::If { cond, then, otherwise } => {
+                self.expr(cond)?;
+                let jelse = self.emit(Op::JumpIfFalse(0));
+                self.stmts(then)?;
+                if otherwise.is_empty() {
+                    self.patch_to_here(jelse);
+                } else {
+                    let jend = self.emit(Op::Jump(0));
+                    self.patch_to_here(jelse);
+                    self.stmts(otherwise)?;
+                    self.patch_to_here(jend);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let head = self.here();
+                self.expr(cond)?;
+                let jend = self.emit(Op::JumpIfFalse(0));
+                self.loops.push(LoopCtx { break_patches: vec![], continue_patches: vec![] });
+                self.stmts(body)?;
+                let ctx = self.loops.pop().expect("loop ctx");
+                for p in ctx.continue_patches {
+                    self.patch(p, head);
+                }
+                let jback = self.emit(Op::Jump(0));
+                self.patch(jback, head);
+                self.patch_to_here(jend);
+                for p in ctx.break_patches {
+                    self.patch_to_here(p);
+                }
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                let saved = self.next_slot;
+                if let Some(e) = init {
+                    self.expr(e)?;
+                    self.emit(Op::Pop);
+                }
+                let head = self.here();
+                let jend = match cond {
+                    Some(c) => {
+                        self.expr(c)?;
+                        Some(self.emit(Op::JumpIfFalse(0)))
+                    }
+                    None => None,
+                };
+                self.loops.push(LoopCtx { break_patches: vec![], continue_patches: vec![] });
+                self.stmts(body)?;
+                let ctx = self.loops.pop().expect("loop ctx");
+                let step_at = self.here();
+                for p in ctx.continue_patches {
+                    self.patch(p, step_at);
+                }
+                if let Some(e) = step {
+                    self.expr(e)?;
+                    self.emit(Op::Pop);
+                }
+                let jback = self.emit(Op::Jump(0));
+                self.patch(jback, head);
+                if let Some(j) = jend {
+                    self.patch_to_here(j);
+                }
+                for p in ctx.break_patches {
+                    self.patch_to_here(p);
+                }
+                self.scopes.pop();
+                self.next_slot = saved;
+            }
+            Stmt::Return(value, _) => {
+                match value {
+                    Some(e) => self.expr(e)?,
+                    None => {
+                        let op = self.const_op(Value::Null);
+                        self.emit(op);
+                    }
+                }
+                self.emit(Op::Ret);
+            }
+            Stmt::Break(pos) => {
+                let j = self.emit(Op::Jump(0));
+                match self.loops.last_mut() {
+                    Some(ctx) => ctx.break_patches.push(j),
+                    None => return Err(cerr("`break` outside a loop", *pos)),
+                }
+            }
+            Stmt::Continue(pos) => {
+                let j = self.emit(Op::Jump(0));
+                match self.loops.last_mut() {
+                    Some(ctx) => ctx.continue_patches.push(j),
+                    None => return Err(cerr("`continue` outside a loop", *pos)),
+                }
+            }
+            Stmt::Hop(args, pos) => {
+                let spec = self.hop_args(args, *pos)?;
+                let i = self.builder.hop_spec(spec);
+                self.emit(Op::Hop(i));
+            }
+            Stmt::Delete(args, pos) => {
+                let spec = self.hop_args(args, *pos)?;
+                let i = self.builder.hop_spec(spec);
+                self.emit(Op::Delete(i));
+            }
+            Stmt::Create(args, pos) => {
+                let spec = self.create_args(args, *pos)?;
+                let i = self.builder.create_spec(spec);
+                self.emit(Op::Create(i));
+            }
+            Stmt::Block(body) => self.stmts(body)?,
+        }
+        Ok(())
+    }
+}
+
+fn default_value(ty: DeclType) -> Value {
+    match ty {
+        DeclType::Int => Value::Int(0),
+        DeclType::Float => Value::Float(0.0),
+        DeclType::Str => Value::str(""),
+        DeclType::Bool => Value::Bool(false),
+        DeclType::Block => Value::Null,
+    }
+}
+
+/// Compile a parsed [`Script`] to a [`Program`]. The entry point is the
+/// first function.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] (phase `Compile`) for resolution problems:
+/// undeclared variables, arity mismatches, `break` outside loops, …
+pub fn compile_ast(script: &Script) -> Result<Program, LangError> {
+    let mut signatures: HashMap<String, (u16, u8)> = HashMap::new();
+    for (i, f) in script.funcs.iter().enumerate() {
+        if signatures.contains_key(&f.name) {
+            return Err(cerr(format!("duplicate function `{}`", f.name), f.pos));
+        }
+        if f.params.len() > u8::MAX as usize {
+            return Err(cerr("too many parameters", f.pos));
+        }
+        signatures.insert(f.name.clone(), (i as u16, f.params.len() as u8));
+    }
+    let mut builder = Builder::new();
+    let mut compiled = Vec::new();
+    for f in &script.funcs {
+        let mut fc = FnCompiler::new(&mut builder, &signatures);
+        for (p, _) in f.params.iter().zip(0u16..) {
+            fc.declare_local(p, f.pos)?;
+        }
+        for s in &f.body {
+            fc.stmt(s)?;
+        }
+        let max_slot = fc.max_slot;
+        let code = fc.code;
+        compiled.push((f.name.clone(), f.params.len() as u8, max_slot, code));
+    }
+    let mut entry = None;
+    for (name, arity, n_slots, code) in compiled {
+        let extra = n_slots - arity as u16;
+        let id = builder.function(name, arity, extra, code);
+        if entry.is_none() {
+            entry = Some(id);
+        }
+    }
+    Ok(builder.finish(entry.expect("script has at least one function")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use msgr_vm::{interp, MessengerState, NullEnv, Yield};
+
+    fn compile(src: &str) -> Program {
+        compile_ast(&parse(src).unwrap()).unwrap()
+    }
+
+    fn run_value(src: &str, args: &[Value]) -> Value {
+        let p = compile(src);
+        let mut m = MessengerState::launch(&p, 1.into(), args).unwrap();
+        match interp::run(&p, &mut m, &mut NullEnv, 1_000_000).unwrap() {
+            Yield::Terminated(v) => v,
+            other => panic!("unexpected yield {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        assert_eq!(run_value("main() { return (2 + 3) * 4 - 6 / 2; }", &[]), Value::Int(17));
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let v = run_value(
+            "main(n) { int i, acc; i = 0; acc = 0; while (i < n) { acc = acc + i; i = i + 1; } return acc; }",
+            &[Value::Int(10)],
+        );
+        assert_eq!(v, Value::Int(45));
+    }
+
+    #[test]
+    fn for_loop_with_break_continue() {
+        let v = run_value(
+            r#"main() {
+                int i, acc = 0;
+                for (i = 0; i < 100; i = i + 1) {
+                    if (i % 2 == 0) continue;
+                    if (i > 10) break;
+                    acc = acc + i;
+                }
+                return acc; /* 1+3+5+7+9 = 25 */
+            }"#,
+            &[],
+        );
+        assert_eq!(v, Value::Int(25));
+    }
+
+    #[test]
+    fn recursion_fib() {
+        let v = run_value(
+            r#"fib(n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }"#,
+            &[Value::Int(12)],
+        );
+        assert_eq!(v, Value::Int(144));
+    }
+
+    #[test]
+    fn mutual_recursion_forward_reference() {
+        let v = run_value(
+            r#"
+            is_even(n) { if (n == 0) return true; return is_odd(n - 1); }
+            is_odd(n) { if (n == 0) return false; return is_even(n - 1); }
+            "#,
+            &[Value::Int(10)],
+        );
+        assert_eq!(v, Value::Bool(true));
+    }
+
+    #[test]
+    fn short_circuit_does_not_evaluate_rhs() {
+        // Division by zero on the rhs must be skipped.
+        assert_eq!(
+            run_value("main() { if (false && 1 / 0) return 1; return 2; }", &[]),
+            Value::Int(2)
+        );
+        assert_eq!(
+            run_value("main() { if (true || 1 / 0) return 1; return 2; }", &[]),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn declaration_defaults() {
+        assert_eq!(run_value("main() { int i; return i; }", &[]), Value::Int(0));
+        assert_eq!(run_value("main() { float x; return x; }", &[]), Value::Float(0.0));
+        assert_eq!(run_value("main() { string s; return s; }", &[]), Value::str(""));
+        assert_eq!(run_value("main() { block b; return b; }", &[]), Value::Null);
+        assert_eq!(run_value("main() { bool b; return b; }", &[]), Value::Bool(false));
+    }
+
+    #[test]
+    fn scoping_and_shadowing() {
+        let v = run_value(
+            r#"main() {
+                int x = 1;
+                { int x = 2; }
+                return x;
+            }"#,
+            &[],
+        );
+        assert_eq!(v, Value::Int(1));
+    }
+
+    #[test]
+    fn undeclared_variable_is_an_error() {
+        let e = compile_ast(&parse("main() { return nope; }").unwrap()).unwrap_err();
+        assert!(e.message.contains("undeclared"));
+        let e = compile_ast(&parse("main() { nope = 1; }").unwrap()).unwrap_err();
+        assert!(e.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let e = compile_ast(&parse("main() { int x; int x; }").unwrap()).unwrap_err();
+        assert!(e.message.contains("already declared"));
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let e = compile_ast(&parse("main() { break; }").unwrap()).unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+
+    #[test]
+    fn user_call_arity_checked() {
+        let e =
+            compile_ast(&parse("f(a, b) { return a; } main() { return f(1); }").unwrap())
+                .unwrap_err();
+        assert!(e.message.contains("expects 2"));
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let e = compile_ast(&parse("f() { } f() { }").unwrap()).unwrap_err();
+        assert!(e.message.contains("duplicate function"));
+    }
+
+    #[test]
+    fn unknown_calls_become_natives() {
+        let p = compile("main() { return mystery(1, 2); }");
+        assert!(p.funcs[0]
+            .code
+            .iter()
+            .any(|op| matches!(op, Op::CallNative { argc: 2, .. })));
+    }
+
+    #[test]
+    fn sched_intrinsics_compile() {
+        let p = compile("main() { M_sched_time_abs(1.0); M_sched_time_dlt(0.5); }");
+        let code = &p.funcs[0].code;
+        assert!(code.contains(&Op::SchedAbs));
+        assert!(code.contains(&Op::SchedDlt));
+        let e = compile_ast(&parse("main() { M_sched_time_abs(); }").unwrap()).unwrap_err();
+        assert!(e.message.contains("exactly one"));
+    }
+
+    #[test]
+    fn terminate_compiles_to_halt() {
+        let p = compile("main() { terminate(); return 1; }");
+        assert!(p.funcs[0].code.contains(&Op::Halt));
+        let mut m = MessengerState::launch(&p, 1.into(), &[]).unwrap();
+        assert_eq!(
+            interp::run(&p, &mut m, &mut NullEnv, 100).unwrap(),
+            Yield::Terminated(Value::Null)
+        );
+    }
+
+    #[test]
+    fn node_vars_compile_to_node_ops() {
+        let p = compile("main() { node int acc; acc = acc + 1; }");
+        let code = &p.funcs[0].code;
+        assert!(code.iter().any(|op| matches!(op, Op::LoadNode(_))));
+        assert!(code.iter().any(|op| matches!(op, Op::StoreNode(_))));
+    }
+
+    #[test]
+    fn node_decl_never_stores_without_initializer() {
+        // `node int x;` reads as NULL until assigned and never clobbers
+        // a pre-set value; an initializer does store.
+        let p = compile("main() { node int acc; return acc; }");
+        let run = |pre: Option<Value>| {
+            let mut env = msgr_vm::MapEnv::new();
+            if let Some(v) = pre {
+                env.vars.insert("acc".into(), v);
+            }
+            let mut m = MessengerState::launch(&p, 1.into(), &[]).unwrap();
+            match interp::run(&p, &mut m, &mut env, 1000).unwrap() {
+                Yield::Terminated(v) => v,
+                other => panic!("{other:?}"),
+            }
+        };
+        assert_eq!(run(None), Value::Null);
+        assert_eq!(run(Some(Value::Int(33))), Value::Int(33));
+        let p2 = compile("main() { node int acc = 9; return acc; }");
+        let mut env = msgr_vm::MapEnv::new();
+        let mut m = MessengerState::launch(&p2, 1.into(), &[]).unwrap();
+        assert_eq!(
+            interp::run(&p2, &mut m, &mut env, 1000).unwrap(),
+            Yield::Terminated(Value::Int(9))
+        );
+    }
+
+    #[test]
+    fn hop_spec_compiled() {
+        let p = compile(r#"main() { hop(ln = "init"; ll = "row"; ldir = -); hop(); }"#);
+        assert_eq!(p.hop_specs.len(), 2);
+        assert_eq!(
+            p.hop_specs[0],
+            HopSpec { ln: NodePat::Expr, ll: LinkPat::Expr, ldir: Dir::Backward }
+        );
+        assert_eq!(p.hop_specs[1], HopSpec::default());
+    }
+
+    #[test]
+    fn create_list_length_mismatch_rejected() {
+        let e = compile_ast(&parse("main() { create(ln = a, b; ll = x); }").unwrap());
+        // `a`, `b`, `x` are undeclared vars — use strings to reach the
+        // length check.
+        assert!(e.is_err());
+        let e =
+            compile_ast(&parse(r#"main() { create(ln = "a", "b"; ll = "x"); }"#).unwrap())
+                .unwrap_err();
+        assert!(e.message.contains("entries"));
+    }
+
+    #[test]
+    fn create_all_compiles() {
+        let p = compile("main() { create(ALL); }");
+        assert_eq!(p.create_specs.len(), 1);
+        assert!(p.create_specs[0].all);
+        assert_eq!(p.create_specs[0].items.len(), 1);
+    }
+
+    #[test]
+    fn virtual_hop_requires_ln() {
+        let e = compile_ast(&parse("main() { hop(ll = virtual); }").unwrap()).unwrap_err();
+        assert!(e.message.contains("virtual"));
+    }
+
+    #[test]
+    fn assignment_expression_value_flows() {
+        assert_eq!(
+            run_value("main() { int a, b; a = (b = 21) + b; return a; }", &[]),
+            Value::Int(42)
+        );
+    }
+
+    #[test]
+    fn empty_for_is_infinite_until_break() {
+        assert_eq!(
+            run_value(
+                "main() { int i = 0; for (;;) { i = i + 1; if (i == 5) break; } return i; }",
+                &[]
+            ),
+            Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn string_building_for_node_names() {
+        assert_eq!(
+            run_value(r#"main(i, j) { return "n" + i + "," + j; }"#, &[Value::Int(2), Value::Int(3)]),
+            Value::str("n2,3")
+        );
+    }
+
+    #[test]
+    fn netvar_time_reads_messenger_vtime() {
+        let p = compile("main() { return $time; }");
+        let mut m = MessengerState::launch(&p, 1.into(), &[]).unwrap();
+        m.vtime = msgr_vm::Vt::new(3.5);
+        assert_eq!(
+            interp::run(&p, &mut m, &mut NullEnv, 100).unwrap(),
+            Yield::Terminated(Value::Float(3.5))
+        );
+    }
+
+    #[test]
+    fn unknown_netvar_rejected() {
+        let e = compile_ast(&parse("main() { return $bogus; }").unwrap()).unwrap_err();
+        assert!(e.message.contains("network variable"));
+    }
+
+    #[test]
+    fn slots_are_reused_across_sibling_scopes() {
+        let p = compile(
+            "main() { { int a; a = 1; } { int b; b = 2; } }",
+        );
+        // Both a and b should land in slot 0.
+        assert_eq!(p.funcs[0].n_slots, 1);
+    }
+}

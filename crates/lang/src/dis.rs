@@ -1,0 +1,98 @@
+//! Bytecode disassembler, for debugging and golden tests.
+
+use msgr_vm::{Op, Program};
+
+/// Render a whole program as assembly-like text.
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("; program {}\n", p.id()));
+    for (i, c) in p.consts.iter().enumerate() {
+        out.push_str(&format!("const[{i}] = {c:?}\n"));
+    }
+    for (i, s) in p.hop_specs.iter().enumerate() {
+        out.push_str(&format!("hopspec[{i}] = {s:?}\n"));
+    }
+    for (i, s) in p.create_specs.iter().enumerate() {
+        out.push_str(&format!("createspec[{i}] = all={} items={:?}\n", s.all, s.items));
+    }
+    for (fi, f) in p.funcs.iter().enumerate() {
+        let marker = if fi == p.entry.0 as usize { " (entry)" } else { "" };
+        out.push_str(&format!(
+            "\nfn {}({} args, {} slots){}:\n",
+            f.name, f.arity, f.n_slots, marker
+        ));
+        for (pc, op) in f.code.iter().enumerate() {
+            out.push_str(&format!("  {pc:4}  {}\n", render(p, *op, pc)));
+        }
+    }
+    out
+}
+
+fn render(p: &Program, op: Op, pc: usize) -> String {
+    match op {
+        Op::Const(i) => format!("const     {:?}", p.consts[i as usize]),
+        Op::LoadLocal(i) => format!("lload     {i}"),
+        Op::StoreLocal(i) => format!("lstore    {i}"),
+        Op::LoadNode(i) => format!("nload     {:?}", p.consts[i as usize]),
+        Op::StoreNode(i) => format!("nstore    {:?}", p.consts[i as usize]),
+        Op::LoadNet(v) => format!("netload   {v:?}"),
+        Op::Jump(o) => format!("jmp       -> {}", pc as i64 + 1 + o as i64),
+        Op::JumpIfFalse(o) => format!("jfalse    -> {}", pc as i64 + 1 + o as i64),
+        Op::JumpIfTruePeek(o) => format!("jtrue.pk  -> {}", pc as i64 + 1 + o as i64),
+        Op::JumpIfFalsePeek(o) => format!("jfalse.pk -> {}", pc as i64 + 1 + o as i64),
+        Op::Call { f, argc } => {
+            format!("call      {}/{argc}", p.funcs[f as usize].name)
+        }
+        Op::CallNative { name, argc } => {
+            format!("native    {:?}/{argc}", p.consts[name as usize])
+        }
+        Op::Hop(i) => format!("hop       spec {i}"),
+        Op::Create(i) => format!("create    spec {i}"),
+        Op::Delete(i) => format!("delete    spec {i}"),
+        other => format!("{other:?}").to_lowercase(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn disassembly_mentions_everything() {
+        let p = compile(
+            r#"main() {
+                int i = 0;
+                node int acc;
+                while (i < 3) { i = i + 1; acc = acc + helper(i); }
+                hop(ll = "row");
+                create(ALL);
+            }
+            helper(x) { return x * 2; }"#,
+        )
+        .unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains("fn main(0 args"));
+        assert!(text.contains("(entry)"));
+        assert!(text.contains("fn helper(1 args"));
+        assert!(text.contains("call      helper/1"));
+        assert!(text.contains("nstore"));
+        assert!(text.contains("hop       spec 0"));
+        assert!(text.contains("create    spec 0"));
+        assert!(text.contains("jfalse"));
+    }
+
+    #[test]
+    fn jump_targets_render_as_absolute_pcs() {
+        let p = compile("main() { int i; while (i < 2) i = i + 1; }").unwrap();
+        let text = disassemble(&p);
+        // Every rendered jump target must be a valid pc.
+        let code_len = p.funcs[0].code.len() as i64;
+        for line in text.lines() {
+            if let Some(idx) = line.find("-> ") {
+                let target: i64 = line[idx + 3..].trim().parse().unwrap();
+                assert!((0..=code_len).contains(&target), "bad target in {line}");
+            }
+        }
+    }
+}

@@ -1,0 +1,505 @@
+//! Tokenizer for MSGR-C.
+
+use crate::{LangError, Phase, Pos};
+
+/// Token kinds. Keywords are distinguished from identifiers during
+/// lexing; navigational keywords (`hop`, `create`, …) are contextual and
+/// remain identifiers until the parser classifies them — except the
+/// statement keywords listed here, which cannot be used as identifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (escapes processed).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+    /// Network variable (without the `$`), e.g. `address`.
+    NetVar(String),
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `node` (node-variable qualifier)
+    Node,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `NULL`
+    Null,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `~`
+    Tilde,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// The MSGR-C lexer. Usually used through [`tokenize`].
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    at: usize,
+    line: u32,
+    col: u32,
+}
+
+fn lex_err(message: impl Into<String>, pos: Pos) -> LangError {
+    LangError { phase: Phase::Lex, message: message.into(), pos }
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Lexer { src: source.as_bytes(), at: 0, line: 1, col: 1 }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.at).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.at + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.at += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LangError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(lex_err("unterminated block comment", start))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.at;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.at]).into_owned()
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<TokenKind, LangError> {
+        let start = self.at;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                return Err(lex_err("malformed exponent", pos));
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.at]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| lex_err(format!("bad float literal `{text}`"), pos))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| lex_err(format!("integer literal `{text}` out of range"), pos))
+        }
+    }
+
+    fn string(&mut self, pos: Pos) -> Result<TokenKind, LangError> {
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(lex_err("unterminated string literal", pos)),
+                Some(b'"') => return Ok(TokenKind::Str(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'"') => out.push('"'),
+                    Some(b'0') => out.push('\0'),
+                    other => {
+                        return Err(lex_err(
+                            format!("bad escape `\\{}`", other.map(char::from).unwrap_or(' ')),
+                            pos,
+                        ))
+                    }
+                },
+                Some(c) => out.push(c as char),
+            }
+        }
+    }
+
+    /// Lex the next token.
+    ///
+    /// # Errors
+    ///
+    /// [`LangError`] (phase `Lex`) on malformed input.
+    pub fn next_token(&mut self) -> Result<Token, LangError> {
+        self.skip_trivia()?;
+        let pos = self.pos();
+        let Some(c) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, pos });
+        };
+        let kind = match c {
+            b'0'..=b'9' => self.number(pos)?,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let word = self.ident();
+                match word.as_str() {
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "while" => TokenKind::While,
+                    "for" => TokenKind::For,
+                    "return" => TokenKind::Return,
+                    "break" => TokenKind::Break,
+                    "continue" => TokenKind::Continue,
+                    "node" => TokenKind::Node,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "NULL" => TokenKind::Null,
+                    _ => TokenKind::Ident(word),
+                }
+            }
+            b'$' => {
+                self.bump();
+                let word = self.ident();
+                if word.is_empty() {
+                    return Err(lex_err("`$` must be followed by a network variable name", pos));
+                }
+                TokenKind::NetVar(word)
+            }
+            b'"' => {
+                self.bump();
+                self.string(pos)?
+            }
+            _ => {
+                self.bump();
+                match c {
+                    b'(' => TokenKind::LParen,
+                    b')' => TokenKind::RParen,
+                    b'{' => TokenKind::LBrace,
+                    b'}' => TokenKind::RBrace,
+                    b'[' => TokenKind::LBracket,
+                    b']' => TokenKind::RBracket,
+                    b',' => TokenKind::Comma,
+                    b';' => TokenKind::Semi,
+                    b'+' => TokenKind::Plus,
+                    b'-' => TokenKind::Minus,
+                    b'*' => TokenKind::Star,
+                    b'/' => TokenKind::Slash,
+                    b'%' => TokenKind::Percent,
+                    b'~' => TokenKind::Tilde,
+                    b'=' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            TokenKind::Eq
+                        } else {
+                            TokenKind::Assign
+                        }
+                    }
+                    b'!' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            TokenKind::Ne
+                        } else {
+                            TokenKind::Bang
+                        }
+                    }
+                    b'<' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            TokenKind::Le
+                        } else {
+                            TokenKind::Lt
+                        }
+                    }
+                    b'>' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            TokenKind::Ge
+                        } else {
+                            TokenKind::Gt
+                        }
+                    }
+                    b'&' => {
+                        if self.peek() == Some(b'&') {
+                            self.bump();
+                            TokenKind::AndAnd
+                        } else {
+                            return Err(lex_err("single `&` is not an MSGR-C operator", pos));
+                        }
+                    }
+                    b'|' => {
+                        if self.peek() == Some(b'|') {
+                            self.bump();
+                            TokenKind::OrOr
+                        } else {
+                            return Err(lex_err("single `|` is not an MSGR-C operator", pos));
+                        }
+                    }
+                    other => {
+                        return Err(lex_err(
+                            format!("unexpected character `{}`", other as char),
+                            pos,
+                        ))
+                    }
+                }
+            }
+        };
+        Ok(Token { kind, pos })
+    }
+}
+
+/// Tokenize a whole source file (trailing [`TokenKind::Eof`] included).
+///
+/// # Errors
+///
+/// [`LangError`] (phase `Lex`) on malformed input.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
+    let mut lx = Lexer::new(source);
+    let mut out = Vec::new();
+    loop {
+        let t = lx.next_token()?;
+        let done = t.kind == TokenKind::Eof;
+        out.push(t);
+        if done {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("(){}[],; = == != < <= > >= + - * / % ! && || ~"),
+            vec![
+                LParen, RParen, LBrace, RBrace, LBracket, RBracket, Comma, Semi, Assign, Eq,
+                Ne, Lt, Le, Gt, Ge, Plus, Minus, Star, Slash, Percent, Bang, AndAnd, OrOr,
+                Tilde, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("0 42 3.5 0.5 1e3 2.5e-2"),
+            vec![Int(0), Int(42), Float(3.5), Float(0.5), Float(1e3), Float(2.5e-2), Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("if else while for return break continue node true false NULL hop xyz_1"),
+            vec![
+                If,
+                Else,
+                While,
+                For,
+                Return,
+                Break,
+                Continue,
+                Node,
+                True,
+                False,
+                Null,
+                Ident("hop".into()),
+                Ident("xyz_1".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn net_vars() {
+        assert_eq!(
+            kinds("$last $address"),
+            vec![
+                TokenKind::NetVar("last".into()),
+                TokenKind::NetVar("address".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("$ x").is_err());
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""row" "a\nb\"c""#),
+            vec![
+                TokenKind::Str("row".into()),
+                TokenKind::Str("a\nb\"c".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("\"open").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 // line\n2 /* block\nstill */ 3"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Int(3), TokenKind::Eof]
+        );
+        assert!(tokenize("/* never closed").is_err());
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_characters_error() {
+        let e = tokenize("a @ b").unwrap_err();
+        assert_eq!(e.phase, Phase::Lex);
+        assert_eq!(e.pos, Pos { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn integer_overflow_reported() {
+        assert!(tokenize("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,873 @@
+//! Recursive-descent parser for MSGR-C.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::{LangError, Phase, Pos};
+use msgr_vm::Dir;
+
+struct Parser {
+    toks: Vec<Token>,
+    at: usize,
+}
+
+fn perr(message: impl Into<String>, pos: Pos) -> LangError {
+    LangError { phase: Phase::Parse, message: message.into(), pos }
+}
+
+const TYPE_NAMES: &[(&str, DeclType)] = &[
+    ("int", DeclType::Int),
+    ("float", DeclType::Float),
+    ("double", DeclType::Float),
+    ("string", DeclType::Str),
+    ("bool", DeclType::Bool),
+    ("block", DeclType::Block),
+];
+
+fn type_named(name: &str) -> Option<DeclType> {
+    TYPE_NAMES.iter().find(|(n, _)| *n == name).map(|(_, t)| *t)
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.at]
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.at + 1)
+    }
+
+    fn pos(&self) -> Pos {
+        self.peek().pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.at].clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, LangError> {
+        if self.check(kind) {
+            Ok(self.bump())
+        } else {
+            Err(perr(
+                format!("expected {what}, found {:?}", self.peek().kind),
+                self.pos(),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Pos), LangError> {
+        let pos = self.pos();
+        match self.bump().kind {
+            TokenKind::Ident(s) => Ok((s, pos)),
+            other => Err(perr(format!("expected {what}, found {other:?}"), pos)),
+        }
+    }
+
+    // ---- top level -------------------------------------------------------
+
+    fn script(&mut self) -> Result<Script, LangError> {
+        let mut funcs = Vec::new();
+        while !self.check(&TokenKind::Eof) {
+            funcs.push(self.function()?);
+        }
+        if funcs.is_empty() {
+            return Err(perr("empty script: at least one function required", self.pos()));
+        }
+        Ok(Script { funcs })
+    }
+
+    fn function(&mut self) -> Result<Func, LangError> {
+        let (name, pos) = self.ident("function name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.check(&TokenKind::RParen) {
+            loop {
+                let (p, ppos) = self.ident("parameter name")?;
+                if params.contains(&p) {
+                    return Err(perr(format!("duplicate parameter `{p}`"), ppos));
+                }
+                params.push(p);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let body = self.block_body()?;
+        Ok(Func { name, params, body, pos })
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, LangError> {
+        let mut out = Vec::new();
+        while !self.check(&TokenKind::RBrace) {
+            if self.check(&TokenKind::Eof) {
+                return Err(perr("unexpected end of input inside block", self.pos()));
+            }
+            out.push(self.stmt()?);
+        }
+        self.bump(); // consume `}`
+        Ok(out)
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        match &self.peek().kind {
+            TokenKind::LBrace => {
+                self.bump();
+                Ok(Stmt::Block(self.block_body()?))
+            }
+            TokenKind::Semi => {
+                self.bump();
+                Ok(Stmt::Block(Vec::new()))
+            }
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => self.while_stmt(),
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Return => {
+                let pos = self.bump().pos;
+                let value = if self.check(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi, "`;` after return")?;
+                Ok(Stmt::Return(value, pos))
+            }
+            TokenKind::Break => {
+                let pos = self.bump().pos;
+                self.expect(&TokenKind::Semi, "`;` after break")?;
+                Ok(Stmt::Break(pos))
+            }
+            TokenKind::Continue => {
+                let pos = self.bump().pos;
+                self.expect(&TokenKind::Semi, "`;` after continue")?;
+                Ok(Stmt::Continue(pos))
+            }
+            TokenKind::Node => {
+                self.bump();
+                let (tyname, typos) = self.ident("type name after `node`")?;
+                let ty = type_named(&tyname)
+                    .ok_or_else(|| perr(format!("unknown type `{tyname}`"), typos))?;
+                let decls = self.declarators()?;
+                Ok(Stmt::NodeDecl { ty, decls })
+            }
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                // Declaration: `<type> <ident> ...`
+                if let Some(ty) = type_named(&name) {
+                    if matches!(self.peek2().map(|t| &t.kind), Some(TokenKind::Ident(_))) {
+                        self.bump(); // type name
+                        let decls = self.declarators()?;
+                        return Ok(Stmt::Decl { ty, decls });
+                    }
+                }
+                // Navigational statements.
+                if matches!(self.peek2().map(|t| &t.kind), Some(TokenKind::LParen)) {
+                    match name.as_str() {
+                        "hop" => return self.hop_stmt(false),
+                        "delete" => return self.hop_stmt(true),
+                        "create" => return self.create_stmt(),
+                        _ => {}
+                    }
+                }
+                self.expr_stmt()
+            }
+            _ => self.expr_stmt(),
+        }
+    }
+
+    fn expr_stmt(&mut self) -> Result<Stmt, LangError> {
+        let e = self.expr()?;
+        self.expect(&TokenKind::Semi, "`;` after expression")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn declarators(&mut self) -> Result<Vec<Declarator>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            let (name, pos) = self.ident("variable name")?;
+            let array_size = if self.eat(&TokenKind::LBracket) {
+                let size = self.expr()?;
+                self.expect(&TokenKind::RBracket, "`]` after array size")?;
+                Some(size)
+            } else {
+                None
+            };
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            if array_size.is_some() && init.is_some() {
+                return Err(perr("array declarations take no initializer", pos));
+            }
+            out.push(Declarator { name, array_size, init, pos });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semi, "`;` after declaration")?;
+        Ok(out)
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, LangError> {
+        self.bump();
+        self.expect(&TokenKind::LParen, "`(` after if")?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen, "`)` after condition")?;
+        let then = vec![self.stmt()?];
+        let otherwise = if self.eat(&TokenKind::Else) {
+            vec![self.stmt()?]
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then, otherwise })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, LangError> {
+        self.bump();
+        self.expect(&TokenKind::LParen, "`(` after while")?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen, "`)` after condition")?;
+        let body = vec![self.stmt()?];
+        Ok(Stmt::While { cond, body })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, LangError> {
+        self.bump();
+        self.expect(&TokenKind::LParen, "`(` after for")?;
+        let init = if self.check(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+        self.expect(&TokenKind::Semi, "`;` in for")?;
+        let cond = if self.check(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+        self.expect(&TokenKind::Semi, "`;` in for")?;
+        let step = if self.check(&TokenKind::RParen) { None } else { Some(self.expr()?) };
+        self.expect(&TokenKind::RParen, "`)` after for clauses")?;
+        let body = vec![self.stmt()?];
+        Ok(Stmt::For { init, cond, step, body })
+    }
+
+    // ---- navigational statements ------------------------------------------
+
+    fn dir_pattern(&mut self) -> Result<Dir, LangError> {
+        let pos = self.pos();
+        match self.bump().kind {
+            TokenKind::Plus => Ok(Dir::Forward),
+            TokenKind::Minus => Ok(Dir::Backward),
+            TokenKind::Star => Ok(Dir::Any),
+            other => Err(perr(
+                format!("expected link direction `+`, `-` or `*`, found {other:?}"),
+                pos,
+            )),
+        }
+    }
+
+    fn pattern(&mut self) -> Result<Pat, LangError> {
+        match &self.peek().kind {
+            TokenKind::Star => {
+                self.bump();
+                Ok(Pat::Wild)
+            }
+            TokenKind::Tilde => {
+                self.bump();
+                Ok(Pat::Unnamed)
+            }
+            TokenKind::Ident(s) if s == "virtual" => {
+                self.bump();
+                Ok(Pat::Virtual)
+            }
+            _ => Ok(Pat::Expr(self.expr()?)),
+        }
+    }
+
+    fn hop_stmt(&mut self, is_delete: bool) -> Result<Stmt, LangError> {
+        let pos = self.bump().pos; // `hop` / `delete`
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut args = HopArgs::default();
+        if !self.check(&TokenKind::RParen) {
+            loop {
+                let (key, kpos) = self.ident("destination key (ln/ll/ldir)")?;
+                self.expect(&TokenKind::Assign, "`=` after destination key")?;
+                match key.as_str() {
+                    "ln" => {
+                        if args.ln.is_some() {
+                            return Err(perr("duplicate `ln`", kpos));
+                        }
+                        args.ln = Some(self.pattern()?);
+                    }
+                    "ll" => {
+                        if args.ll.is_some() {
+                            return Err(perr("duplicate `ll`", kpos));
+                        }
+                        args.ll = Some(self.pattern()?);
+                    }
+                    "ldir" => {
+                        if args.ldir.is_some() {
+                            return Err(perr("duplicate `ldir`", kpos));
+                        }
+                        args.ldir = Some(self.dir_pattern()?);
+                    }
+                    other => {
+                        return Err(perr(
+                            format!("unknown hop key `{other}` (expected ln, ll, ldir)"),
+                            kpos,
+                        ))
+                    }
+                }
+                if !self.eat(&TokenKind::Semi) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)` closing hop")?;
+        self.expect(&TokenKind::Semi, "`;` after navigational statement")?;
+        Ok(if is_delete {
+            Stmt::Delete(args, pos)
+        } else {
+            Stmt::Hop(args, pos)
+        })
+    }
+
+    fn create_stmt(&mut self) -> Result<Stmt, LangError> {
+        let pos = self.bump().pos; // `create`
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut args = CreateArgs::default();
+        if !self.check(&TokenKind::RParen) {
+            loop {
+                let (key, kpos) = self.ident("create key (ln/ll/ldir/dn/dl/ddir/ALL)")?;
+                if key == "ALL" {
+                    args.all = true;
+                    if !self.eat(&TokenKind::Semi) {
+                        break;
+                    }
+                    continue;
+                }
+                self.expect(&TokenKind::Assign, "`=` after create key")?;
+                match key.as_str() {
+                    "ln" | "ll" | "dn" | "dl" => {
+                        let mut pats = Vec::new();
+                        loop {
+                            pats.push(self.pattern()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        let target = match key.as_str() {
+                            "ln" => &mut args.ln,
+                            "ll" => &mut args.ll,
+                            "dn" => &mut args.dn,
+                            _ => &mut args.dl,
+                        };
+                        if !target.is_empty() {
+                            return Err(perr(format!("duplicate `{key}`"), kpos));
+                        }
+                        *target = pats;
+                    }
+                    "ldir" | "ddir" => {
+                        let mut dirs = Vec::new();
+                        loop {
+                            // `~` in a direction list means "undirected",
+                            // which we map to Any.
+                            if self.eat(&TokenKind::Tilde) {
+                                dirs.push(Dir::Any);
+                            } else {
+                                dirs.push(self.dir_pattern()?);
+                            }
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        let target = if key == "ldir" { &mut args.ldir } else { &mut args.ddir };
+                        if !target.is_empty() {
+                            return Err(perr(format!("duplicate `{key}`"), kpos));
+                        }
+                        *target = dirs;
+                    }
+                    other => {
+                        return Err(perr(format!("unknown create key `{other}`"), kpos));
+                    }
+                }
+                if !self.eat(&TokenKind::Semi) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)` closing create")?;
+        self.expect(&TokenKind::Semi, "`;` after navigational statement")?;
+        Ok(Stmt::Create(args, pos))
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.logic_or()?;
+        if self.check(&TokenKind::Assign) {
+            let pos = self.bump().pos;
+            let value = self.assignment()?; // right-associative
+            match lhs {
+                Expr::Var(target, tpos) => {
+                    return Ok(Expr::Assign {
+                        target,
+                        index: None,
+                        value: Box::new(value),
+                        pos: tpos,
+                    })
+                }
+                Expr::Index { base, idx, pos: ipos } => match *base {
+                    Expr::Var(target, _) => {
+                        return Ok(Expr::Assign {
+                            target,
+                            index: Some(idx),
+                            value: Box::new(value),
+                            pos: ipos,
+                        })
+                    }
+                    _ => {
+                        return Err(perr(
+                            "array assignment target must be `variable[index]`",
+                            ipos,
+                        ))
+                    }
+                },
+                _ => return Err(perr("assignment target must be a variable", pos)),
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn logic_or(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.logic_and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.logic_and()?;
+            e = Expr::Bin { op: BinOp::Or, lhs: Box::new(e), rhs: Box::new(rhs) };
+        }
+        Ok(e)
+    }
+
+    fn logic_and(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.equality()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.equality()?;
+            e = Expr::Bin { op: BinOp::And, lhs: Box::new(e), rhs: Box::new(rhs) };
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.relational()?;
+        loop {
+            let op = if self.eat(&TokenKind::Eq) {
+                BinOp::Eq
+            } else if self.eat(&TokenKind::Ne) {
+                BinOp::Ne
+            } else {
+                return Ok(e);
+            };
+            let rhs = self.relational()?;
+            e = Expr::Bin { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = if self.eat(&TokenKind::Lt) {
+                BinOp::Lt
+            } else if self.eat(&TokenKind::Le) {
+                BinOp::Le
+            } else if self.eat(&TokenKind::Gt) {
+                BinOp::Gt
+            } else if self.eat(&TokenKind::Ge) {
+                BinOp::Ge
+            } else {
+                return Ok(e);
+            };
+            let rhs = self.additive()?;
+            e = Expr::Bin { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = if self.eat(&TokenKind::Plus) {
+                BinOp::Add
+            } else if self.eat(&TokenKind::Minus) {
+                BinOp::Sub
+            } else {
+                return Ok(e);
+            };
+            let rhs = self.multiplicative()?;
+            e = Expr::Bin { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = if self.eat(&TokenKind::Star) {
+                BinOp::Mul
+            } else if self.eat(&TokenKind::Slash) {
+                BinOp::Div
+            } else if self.eat(&TokenKind::Percent) {
+                BinOp::Mod
+            } else {
+                return Ok(e);
+            };
+            let rhs = self.unary()?;
+            e = Expr::Bin { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        if self.eat(&TokenKind::Minus) {
+            let e = self.unary()?;
+            return Ok(Expr::Un { op: UnOp::Neg, expr: Box::new(e), pos });
+        }
+        if self.eat(&TokenKind::Bang) {
+            let e = self.unary()?;
+            return Ok(Expr::Un { op: UnOp::Not, expr: Box::new(e), pos });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.primary()?;
+        while self.check(&TokenKind::LBracket) {
+            let pos = self.bump().pos;
+            let idx = self.expr()?;
+            self.expect(&TokenKind::RBracket, "`]` after index")?;
+            e = Expr::Index { base: Box::new(e), idx: Box::new(idx), pos };
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        let tok = self.bump();
+        Ok(match tok.kind {
+            TokenKind::Int(v) => Expr::Int(v, pos),
+            TokenKind::Float(v) => Expr::Float(v, pos),
+            TokenKind::Str(s) => Expr::Str(s, pos),
+            TokenKind::True => Expr::Bool(true, pos),
+            TokenKind::False => Expr::Bool(false, pos),
+            TokenKind::Null => Expr::Null(pos),
+            TokenKind::NetVar(name) => Expr::NetVar(name, pos),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                e
+            }
+            TokenKind::Ident(name) => {
+                if self.check(&TokenKind::LParen) {
+                    if matches!(name.as_str(), "hop" | "create" | "delete") {
+                        return Err(perr(
+                            format!("`{name}` is a statement, not an expression"),
+                            pos,
+                        ));
+                    }
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.check(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "`)` closing call")?;
+                    Expr::Call { name, args, pos }
+                } else {
+                    Expr::Var(name, pos)
+                }
+            }
+            other => return Err(perr(format!("unexpected token {other:?}"), pos)),
+        })
+    }
+}
+
+/// Parse MSGR-C source into a [`Script`].
+///
+/// # Errors
+///
+/// Returns the first [`LangError`] found.
+pub fn parse(source: &str) -> Result<Script, LangError> {
+    let toks = tokenize(source)?;
+    let mut p = Parser { toks, at: 0 };
+    p.script()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(src: &str) -> Vec<Stmt> {
+        parse(&format!("main() {{ {src} }}")).unwrap().funcs.remove(0).body
+    }
+
+    #[test]
+    fn function_headers() {
+        let s = parse("f(a, b) { } g() { }").unwrap();
+        assert_eq!(s.funcs.len(), 2);
+        assert_eq!(s.funcs[0].params, vec!["a", "b"]);
+        assert!(s.funcs[1].params.is_empty());
+        assert!(parse("f(a, a) { }").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn declarations() {
+        let b = body("int i, j = 2; node block resid_A; float x = 1.5;");
+        match &b[0] {
+            Stmt::Decl { ty, decls } => {
+                assert_eq!(*ty, DeclType::Int);
+                assert_eq!(decls.len(), 2);
+                assert!(decls[0].init.is_none());
+                assert!(decls[1].init.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(&b[1], Stmt::NodeDecl { ty: DeclType::Block, .. }));
+        assert!(matches!(&b[2], Stmt::Decl { ty: DeclType::Float, .. }));
+    }
+
+    #[test]
+    fn assignment_as_expression() {
+        // The Fig. 3 idiom.
+        let b = body(r#"while ((task = next_task()) != NULL) { x = 1; }"#);
+        match &b[0] {
+            Stmt::While { cond, .. } => match cond {
+                Expr::Bin { op: BinOp::Ne, lhs, .. } => {
+                    assert!(matches!(**lhs, Expr::Assign { .. }));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let b = body("int a, b; a = b = 1;");
+        match &b[1] {
+            Stmt::Expr(Expr::Assign { target, value, .. }) => {
+                assert_eq!(target, "a");
+                assert!(matches!(**value, Expr::Assign { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_assignment_target() {
+        let e = parse("main() { 1 = 2; }").unwrap_err();
+        assert!(e.message.contains("assignment target"));
+    }
+
+    #[test]
+    fn hop_variants() {
+        let b = body(
+            r#"hop();
+               hop(ll = $last);
+               hop(ln = "init"; ll = x; ldir = -);
+               hop(ll = ~);
+               hop(ll = virtual; ln = "hub");
+               delete(ll = "row");"#,
+        );
+        assert!(matches!(&b[0], Stmt::Hop(a, _) if a.ln.is_none() && a.ll.is_none()));
+        match &b[1] {
+            Stmt::Hop(a, _) => assert!(matches!(a.ll, Some(Pat::Expr(Expr::NetVar(_, _))))),
+            other => panic!("{other:?}"),
+        }
+        match &b[2] {
+            Stmt::Hop(a, _) => {
+                assert!(matches!(a.ln, Some(Pat::Expr(Expr::Str(_, _)))));
+                assert!(matches!(a.ll, Some(Pat::Expr(Expr::Var(_, _)))));
+                assert_eq!(a.ldir, Some(Dir::Backward));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(&b[3], Stmt::Hop(a, _) if a.ll == Some(Pat::Unnamed)));
+        assert!(matches!(&b[4], Stmt::Hop(a, _) if a.ll == Some(Pat::Virtual)));
+        assert!(matches!(&b[5], Stmt::Delete(_, _)));
+    }
+
+    #[test]
+    fn create_variants() {
+        let b = body(
+            r#"create(ALL);
+               create(ln = a, b; ll = x, y);
+               create(ln = ~; ldir = +; dn = 3; ALL);"#,
+        );
+        assert!(matches!(&b[0], Stmt::Create(a, _) if a.all && a.ln.is_empty()));
+        match &b[1] {
+            Stmt::Create(a, _) => {
+                assert_eq!(a.ln.len(), 2);
+                assert_eq!(a.ll.len(), 2);
+                assert!(!a.all);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &b[2] {
+            Stmt::Create(a, _) => {
+                assert_eq!(a.ln, vec![Pat::Unnamed]);
+                assert_eq!(a.ldir, vec![Dir::Forward]);
+                assert!(matches!(a.dn[0], Pat::Expr(Expr::Int(3, _))));
+                assert!(a.all);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn navigational_keys_are_validated() {
+        assert!(parse("main() { hop(zz = 1); }").is_err());
+        assert!(parse("main() { hop(ln = 1; ln = 2); }").is_err());
+        assert!(parse("main() { create(qq = 1); }").is_err());
+        assert!(parse("main() { hop(ldir = 5); }").is_err());
+    }
+
+    #[test]
+    fn hop_is_not_an_expression() {
+        let e = parse("main() { x = hop(); }").unwrap_err();
+        assert!(e.message.contains("statement"));
+    }
+
+    #[test]
+    fn control_flow_shapes() {
+        let b = body("if (1) x = 1; else { x = 2; } while (x < 3) x = x + 1; for (i = 0; i < 2; i = i + 1) ;");
+        assert!(matches!(&b[0], Stmt::If { otherwise, .. } if !otherwise.is_empty()));
+        assert!(matches!(&b[1], Stmt::While { .. }));
+        match &b[2] {
+            Stmt::For { init, cond, step, .. } => {
+                assert!(init.is_some() && cond.is_some() && step.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_clauses_optional() {
+        let b = body("for (;;) break;");
+        assert!(matches!(
+            &b[0],
+            Stmt::For { init: None, cond: None, step: None, .. }
+        ));
+    }
+
+    #[test]
+    fn precedence() {
+        // 1 + 2 * 3 == 7 && !0  parses as  ((1 + (2*3)) == 7) && (!0)
+        let b = body("x = 1 + 2 * 3 == 7 && !0;");
+        match &b[0] {
+            Stmt::Expr(Expr::Assign { value, .. }) => match &**value {
+                Expr::Bin { op: BinOp::And, lhs, rhs } => {
+                    assert!(matches!(&**lhs, Expr::Bin { op: BinOp::Eq, .. }));
+                    assert!(matches!(&**rhs, Expr::Un { op: UnOp::Not, .. }));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn calls_and_net_vars() {
+        let b = body(r#"res = compute(task, $address);"#);
+        match &b[0] {
+            Stmt::Expr(Expr::Assign { value, .. }) => match &**value {
+                Expr::Call { name, args, .. } => {
+                    assert_eq!(name, "compute");
+                    assert_eq!(args.len(), 2);
+                    assert!(matches!(&args[1], Expr::NetVar(n, _) if n == "address"));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_fig3_parses() {
+        let src = r#"
+            manager_worker() {
+                block task, res;
+                create(ALL);
+                hop(ll = $last);
+                while ((task = next_task()) != NULL) {
+                    hop(ll = $last);
+                    res = compute(task);
+                    hop(ll = $last);
+                    deposit(res);
+                }
+            }
+        "#;
+        let s = parse(src).unwrap();
+        assert_eq!(s.funcs[0].name, "manager_worker");
+        assert_eq!(s.funcs[0].body.len(), 4);
+    }
+
+    #[test]
+    fn paper_fig11_parses() {
+        let src = r#"
+            distribute_A(s, m, i, j) {
+                block msgr_A;
+                node block resid_A, curr_A;
+                M_sched_time_abs((j - i + m) % m);
+                msgr_A = copy_block(resid_A);
+                hop(ll = "row");
+                curr_A = copy_block(msgr_A);
+            }
+            rotate_B(s, m, i, j) {
+                int k;
+                block msgr_B;
+                node block resid_B, curr_A, C;
+                msgr_B = copy_block(resid_B);
+                for (k = 0; k < m; k = k + 1) {
+                    M_sched_time_dlt(0.5);
+                    C = block_multiply(msgr_B, curr_A, C);
+                    hop(ll = "column"; ldir = +);
+                }
+            }
+        "#;
+        let s = parse(src).unwrap();
+        assert_eq!(s.funcs.len(), 2);
+    }
+
+    #[test]
+    fn nested_blocks_and_empty_stmt() {
+        let b = body("{ { x = 1; } } ;");
+        assert!(matches!(&b[0], Stmt::Block(inner) if matches!(&inner[0], Stmt::Block(_))));
+        assert!(matches!(&b[1], Stmt::Block(e) if e.is_empty()));
+    }
+
+    #[test]
+    fn error_positions_point_at_problem() {
+        let e = parse("main() {\n  x = ;\n}").unwrap_err();
+        assert_eq!(e.pos.line, 2);
+    }
+}

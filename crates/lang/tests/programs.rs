@@ -1,0 +1,350 @@
+//! A battery of complete MSGR-C programs executed through the VM —
+//! language-level integration tests.
+
+use msgr_lang::compile;
+use msgr_vm::{interp, MapEnv, MessengerState, Value, Yield};
+
+fn eval(src: &str, args: &[Value]) -> Value {
+    eval_env(src, args, &mut MapEnv::new())
+}
+
+fn eval_env(src: &str, args: &[Value], env: &mut MapEnv) -> Value {
+    let p = compile(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let mut m = MessengerState::launch(&p, 1.into(), args).unwrap();
+    match interp::run(&p, &mut m, env, 10_000_000).unwrap() {
+        Yield::Terminated(v) => v,
+        other => panic!("unexpected yield {other:?}"),
+    }
+}
+
+#[test]
+fn gcd_euclid() {
+    let src = r#"
+        gcd(a, b) {
+            while (b != 0) {
+                int t = b;
+                b = a % b;
+                a = t;
+            }
+            return a;
+        }
+    "#;
+    assert_eq!(eval(src, &[Value::Int(252), Value::Int(105)]), Value::Int(21));
+    assert_eq!(eval(src, &[Value::Int(17), Value::Int(5)]), Value::Int(1));
+}
+
+#[test]
+fn collatz_steps() {
+    let src = r#"
+        collatz(n) {
+            int steps;
+            while (n != 1) {
+                if (n % 2 == 0) n = n / 2;
+                else n = 3 * n + 1;
+                steps = steps + 1;
+            }
+            return steps;
+        }
+    "#;
+    assert_eq!(eval(src, &[Value::Int(27)]), Value::Int(111));
+}
+
+#[test]
+fn ackermann_small() {
+    let src = r#"
+        ack(m, n) {
+            if (m == 0) return n + 1;
+            if (n == 0) return ack(m - 1, 1);
+            return ack(m - 1, ack(m, n - 1));
+        }
+    "#;
+    assert_eq!(eval(src, &[Value::Int(2), Value::Int(3)]), Value::Int(9));
+    assert_eq!(eval(src, &[Value::Int(3), Value::Int(3)]), Value::Int(61));
+}
+
+#[test]
+fn string_programs() {
+    let src = r#"
+        repeat(s, n) {
+            int i;
+            string out = "";
+            for (i = 0; i < n; i = i + 1) out = out + s + "-";
+            return out;
+        }
+    "#;
+    assert_eq!(eval(src, &[Value::str("ab"), Value::Int(3)]), Value::str("ab-ab-ab-"));
+}
+
+#[test]
+fn float_integration() {
+    // Trapezoidal integration of x^2 over [0, 1].
+    let src = r#"
+        integrate(steps) {
+            float h = 1.0 / steps, x = 0.0, acc = 0.0;
+            int i;
+            for (i = 0; i < steps; i = i + 1) {
+                acc = acc + (x * x + (x + h) * (x + h)) * h / 2.0;
+                x = x + h;
+            }
+            return acc;
+        }
+    "#;
+    let v = eval(src, &[Value::Int(1000)]).as_float().unwrap();
+    assert!((v - 1.0 / 3.0).abs() < 1e-5, "got {v}");
+}
+
+#[test]
+fn logical_operators_short_circuit_with_side_effects() {
+    let src = r#"
+        main() {
+            node int touched;
+            int r = probe(0) && probe(1);   /* rhs skipped: lhs falsy */
+            int s = probe(1) || probe(0);   /* rhs skipped: lhs truthy */
+            int t = probe(1) && probe(1);   /* both run */
+            return touched;
+        }
+        probe(v) {
+            node int touched;
+            touched = touched + 1;
+            return v;
+        }
+    "#;
+    assert_eq!(eval(src, &[]), Value::Int(4));
+}
+
+#[test]
+fn truthiness_in_conditions_is_c_like() {
+    let src = r#"
+        main(x) {
+            if (x) return 1;
+            return 0;
+        }
+    "#;
+    assert_eq!(eval(src, &[Value::Int(0)]), Value::Int(0));
+    assert_eq!(eval(src, &[Value::Int(-7)]), Value::Int(1));
+    assert_eq!(eval(src, &[Value::Float(0.0)]), Value::Int(0));
+    assert_eq!(eval(src, &[Value::Null]), Value::Int(0));
+    assert_eq!(eval(src, &[Value::str("x")]), Value::Int(1));
+}
+
+#[test]
+fn null_coerces_to_zero_in_arithmetic() {
+    // Node variables start as NULL; the paper's counter idiom.
+    let src = r#"
+        main() {
+            node int acc;
+            acc = acc + 5;      /* NULL + 5 == 5 */
+            acc = acc * 2;
+            return acc;
+        }
+    "#;
+    assert_eq!(eval(src, &[]), Value::Int(10));
+}
+
+#[test]
+fn nested_loops_with_labels_emulated_by_flags() {
+    // MSGR-C has no labeled break; typical C-subset workaround.
+    let src = r#"
+        main(limit) {
+            int i, j, found_i = 0 - 1, found_j = 0 - 1, done = 0;
+            for (i = 0; i < limit && !done; i = i + 1) {
+                for (j = 0; j < limit; j = j + 1) {
+                    if (i * j == 12 && i < j) {
+                        found_i = i; found_j = j; done = 1;
+                        break;
+                    }
+                }
+            }
+            return found_i * 100 + found_j;
+        }
+    "#;
+    assert_eq!(eval(src, &[Value::Int(10)]), Value::Int(206)); // 2*6=12
+}
+
+#[test]
+fn sieve_of_eratosthenes_via_node_vars() {
+    // Node variables as a dynamic map: mark composites "c<k>". Unset
+    // node variables are NULL — distinct from 0 (the `task != NULL`
+    // idiom depends on that) — so the script tests `== NULL`.
+    let src = r#"
+        count_primes(n) {
+            int i, j, primes = 0;
+            for (i = 2; i <= n; i = i + 1) {
+                if (marked("c" + i) == NULL) {
+                    primes = primes + 1;
+                    for (j = i * i; j <= n; j = j + i) mark("c" + j);
+                }
+            }
+            return primes;
+        }
+    "#;
+    let mut env = MapEnv::new();
+    env.natives.register("mark", |ctx, args| {
+        let key = args[0].as_str().map_err(|e| e.to_string())?.to_string();
+        ctx.set_node_var(&key, Value::Int(1));
+        Ok(Value::Null)
+    });
+    env.natives.register("marked", |ctx, args| {
+        let key = args[0].as_str().map_err(|e| e.to_string())?;
+        Ok(ctx.node_var(key))
+    });
+    assert_eq!(eval_env(src, &[Value::Int(100)], &mut env), Value::Int(25));
+}
+
+#[test]
+fn comments_everywhere() {
+    let src = r#"
+        // leading comment
+        main(/* none */) {
+            /* block
+               comment */
+            int x = 1; // trailing
+            return x /* inline */ + 1;
+        }
+    "#;
+    assert_eq!(eval(src, &[]), Value::Int(2));
+}
+
+#[test]
+fn division_semantics_match_c() {
+    let src = "main(a, b) { return a / b * 1000 + a % b; }";
+    // Truncated division, remainder takes the dividend's sign.
+    assert_eq!(eval(src, &[Value::Int(7), Value::Int(2)]), Value::Int(3001));
+    assert_eq!(eval(src, &[Value::Int(-7), Value::Int(2)]), Value::Int(-3001));
+}
+
+#[test]
+fn deep_recursion_within_fuel() {
+    let src = r#"
+        down(n) {
+            if (n == 0) return 0;
+            return down(n - 1) + 1;
+        }
+    "#;
+    assert_eq!(eval(src, &[Value::Int(2000)]), Value::Int(2000));
+}
+
+#[test]
+fn fuel_guards_against_runaway_scripts() {
+    let p = compile("main() { while (1) { } }").unwrap();
+    let mut m = MessengerState::launch(&p, 1.into(), &[]).unwrap();
+    let err = interp::run(&p, &mut m, &mut MapEnv::new(), 10_000).unwrap_err();
+    assert_eq!(err, msgr_vm::VmError::FuelExhausted);
+}
+
+#[test]
+fn arrays_declare_index_and_assign() {
+    let src = r#"
+        main(n) {
+            int a[n], i, sum;
+            for (i = 0; i < n; i = i + 1) a[i] = i * i;
+            for (i = 0; i < n; i = i + 1) sum = sum + a[i];
+            return sum;
+        }
+    "#;
+    assert_eq!(eval(src, &[Value::Int(5)]), Value::Int(30)); // 0+1+4+9+16
+}
+
+#[test]
+fn arrays_have_value_semantics() {
+    let src = r#"
+        main() {
+            int a[3], i;
+            int b = 0;
+            a[0] = 7;
+            b = mirror(a);       /* callee mutates its copy */
+            return a[0] * 100 + b;
+        }
+        mirror(arr) {
+            arr[0] = 9;
+            return arr[0];
+        }
+    "#;
+    // Caller's array untouched (7), callee saw its own 9.
+    assert_eq!(eval(src, &[]), Value::Int(709));
+}
+
+#[test]
+fn bubble_sort_in_msgr_c() {
+    let src = r#"
+        main(n, seed) {
+            int a[n], i, j, t;
+            for (i = 0; i < n; i = i + 1) {
+                seed = (seed * 1103515245 + 12345) % 2147483648;
+                a[i] = seed % 1000;
+            }
+            for (i = 0; i < n; i = i + 1)
+                for (j = 0; j + 1 < n - i; j = j + 1)
+                    if (a[j] > a[j + 1]) {
+                        t = a[j];
+                        a[j] = a[j + 1];
+                        a[j + 1] = t;
+                    }
+            /* verify sortedness in-script */
+            for (i = 0; i + 1 < n; i = i + 1)
+                if (a[i] > a[i + 1]) return 0 - 1;
+            return a[0] * 1000000 + a[n - 1];
+        }
+    "#;
+    let v = eval(src, &[Value::Int(24), Value::Int(42)]).as_int().unwrap();
+    assert!(v >= 0, "array must be sorted");
+    let (min, max) = (v / 1_000_000, v % 1_000_000);
+    assert!(min <= max);
+}
+
+#[test]
+fn array_out_of_bounds_is_a_runtime_error() {
+    let p = compile("main() { int a[3]; return a[3]; }").unwrap();
+    let mut m = MessengerState::launch(&p, 1.into(), &[]).unwrap();
+    let err = interp::run(&p, &mut m, &mut MapEnv::new(), 10_000).unwrap_err();
+    assert!(err.to_string().contains("out of bounds"), "{err}");
+    let p = compile("main() { int a[3]; a[0 - 1] = 5; }").unwrap();
+    let mut m = MessengerState::launch(&p, 1.into(), &[]).unwrap();
+    assert!(interp::run(&p, &mut m, &mut MapEnv::new(), 10_000).is_err());
+}
+
+#[test]
+fn array_in_node_variable_is_shared() {
+    let src = r#"
+        main() {
+            node int tally[4];
+            tally[1] = tally[1] + 5;
+            tally[1] = tally[1] + 5;
+            return tally[1];
+        }
+    "#;
+    // Node-array declaration stores the array at the node; updates
+    // read-modify-write through the node variable.
+    assert_eq!(eval(src, &[]), Value::Int(10));
+}
+
+#[test]
+fn nested_array_reads() {
+    // Arrays of arrays via natives are possible; in-language we can at
+    // least read through nested indexing.
+    let mut env = MapEnv::new();
+    env.natives.register("matrix2", |_, _| {
+        use std::sync::Arc;
+        let row0 = Value::Arr(Arc::new(vec![Value::Int(1), Value::Int(2)]));
+        let row1 = Value::Arr(Arc::new(vec![Value::Int(3), Value::Int(4)]));
+        Ok(Value::Arr(Arc::new(vec![row0, row1])))
+    });
+    let v = eval_env("main() { return matrix2()[1][0]; }", &[], &mut env);
+    assert_eq!(v, Value::Int(3));
+}
+
+#[test]
+fn node_array_declaration_does_not_clobber() {
+    // Two "generations" of the same script at one node: the second must
+    // see the first's array contents.
+    let src = r#"
+        main() {
+            node int tally[4];
+            tally[2] = tally[2] + 1;
+            return tally[2];
+        }
+    "#;
+    let mut env = MapEnv::new();
+    assert_eq!(eval_env(src, &[], &mut env), Value::Int(1));
+    assert_eq!(eval_env(src, &[], &mut env), Value::Int(2), "second run must accumulate");
+}

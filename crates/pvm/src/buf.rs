@@ -1,0 +1,258 @@
+//! PVM-style typed message buffers.
+//!
+//! PVM programs marshal data explicitly: `pvm_initsend`, a sequence of
+//! `pvm_pk*` calls, `pvm_send`; the receiver mirrors them with `pvm_upk*`
+//! in the same order. The packing and unpacking copies are genuine here
+//! (`Vec` extends / drains), and [`Buf::byte_len`] is what the transport
+//! charges for them.
+
+/// One packed segment.
+#[derive(Debug, Clone, PartialEq)]
+enum Seg {
+    Ints(Vec<i64>),
+    Floats(Vec<f64>),
+    Str(String),
+    Bytes(Vec<u8>),
+}
+
+impl Seg {
+    fn byte_len(&self) -> u64 {
+        match self {
+            Seg::Ints(v) => 8 * v.len() as u64 + 4,
+            Seg::Floats(v) => 8 * v.len() as u64 + 4,
+            Seg::Str(s) => s.len() as u64 + 4,
+            Seg::Bytes(b) => b.len() as u64 + 4,
+        }
+    }
+}
+
+/// A typed pack/unpack buffer.
+///
+/// # Example
+///
+/// ```
+/// use msgr_pvm::Buf;
+///
+/// let mut b = Buf::new();
+/// b.pack_ints(&[1, 2, 3]).pack_floats(&[0.5]).pack_str("go");
+/// let mut r = b.clone();
+/// assert_eq!(r.unpack_ints().unwrap(), vec![1, 2, 3]);
+/// assert_eq!(r.unpack_floats().unwrap(), vec![0.5]);
+/// assert_eq!(r.unpack_str().unwrap(), "go");
+/// assert!(r.unpack_ints().is_err()); // exhausted
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Buf {
+    segs: Vec<Seg>,
+    cursor: usize,
+}
+
+/// Unpack error: type mismatch or exhausted buffer — PVM's
+/// `PvmNoData` / type confusion, surfaced safely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnpackError(pub &'static str);
+
+impl std::fmt::Display for UnpackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unpack error: {}", self.0)
+    }
+}
+
+impl std::error::Error for UnpackError {}
+
+impl Buf {
+    /// An empty buffer (`pvm_initsend`).
+    pub fn new() -> Self {
+        Buf::default()
+    }
+
+    /// Pack integers (copies the slice).
+    pub fn pack_ints(&mut self, v: &[i64]) -> &mut Self {
+        self.segs.push(Seg::Ints(v.to_vec()));
+        self
+    }
+
+    /// Pack a single integer.
+    pub fn pack_int(&mut self, v: i64) -> &mut Self {
+        self.pack_ints(&[v])
+    }
+
+    /// Pack floats (copies the slice).
+    pub fn pack_floats(&mut self, v: &[f64]) -> &mut Self {
+        self.segs.push(Seg::Floats(v.to_vec()));
+        self
+    }
+
+    /// Pack a string.
+    pub fn pack_str(&mut self, s: &str) -> &mut Self {
+        self.segs.push(Seg::Str(s.to_string()));
+        self
+    }
+
+    /// Pack raw bytes (`pvm_pkbyte`) — copies the slice.
+    pub fn pack_bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.segs.push(Seg::Bytes(b.to_vec()));
+        self
+    }
+
+    /// Unpack the next segment as integers (copies out).
+    ///
+    /// # Errors
+    ///
+    /// [`UnpackError`] on exhaustion or type mismatch.
+    pub fn unpack_ints(&mut self) -> Result<Vec<i64>, UnpackError> {
+        match self.segs.get(self.cursor) {
+            Some(Seg::Ints(v)) => {
+                self.cursor += 1;
+                Ok(v.clone())
+            }
+            Some(_) => Err(UnpackError("expected int segment")),
+            None => Err(UnpackError("buffer exhausted")),
+        }
+    }
+
+    /// Unpack a single integer.
+    ///
+    /// # Errors
+    ///
+    /// [`UnpackError`] on exhaustion, type, or count mismatch.
+    pub fn unpack_int(&mut self) -> Result<i64, UnpackError> {
+        let v = self.unpack_ints()?;
+        if v.len() != 1 {
+            return Err(UnpackError("expected exactly one int"));
+        }
+        Ok(v[0])
+    }
+
+    /// Unpack the next segment as floats (copies out).
+    ///
+    /// # Errors
+    ///
+    /// [`UnpackError`] on exhaustion or type mismatch.
+    pub fn unpack_floats(&mut self) -> Result<Vec<f64>, UnpackError> {
+        match self.segs.get(self.cursor) {
+            Some(Seg::Floats(v)) => {
+                self.cursor += 1;
+                Ok(v.clone())
+            }
+            Some(_) => Err(UnpackError("expected float segment")),
+            None => Err(UnpackError("buffer exhausted")),
+        }
+    }
+
+    /// Unpack the next segment as a string.
+    ///
+    /// # Errors
+    ///
+    /// [`UnpackError`] on exhaustion or type mismatch.
+    pub fn unpack_str(&mut self) -> Result<String, UnpackError> {
+        match self.segs.get(self.cursor) {
+            Some(Seg::Str(s)) => {
+                self.cursor += 1;
+                Ok(s.clone())
+            }
+            Some(_) => Err(UnpackError("expected string segment")),
+            None => Err(UnpackError("buffer exhausted")),
+        }
+    }
+
+    /// Unpack the next segment as raw bytes (copies out).
+    ///
+    /// # Errors
+    ///
+    /// [`UnpackError`] on exhaustion or type mismatch.
+    pub fn unpack_bytes(&mut self) -> Result<Vec<u8>, UnpackError> {
+        match self.segs.get(self.cursor) {
+            Some(Seg::Bytes(b)) => {
+                self.cursor += 1;
+                Ok(b.clone())
+            }
+            Some(_) => Err(UnpackError("expected byte segment")),
+            None => Err(UnpackError("buffer exhausted")),
+        }
+    }
+
+    /// Serialized size in bytes — charged per copy by the transports.
+    pub fn byte_len(&self) -> u64 {
+        self.segs.iter().map(Seg::byte_len).sum::<u64>() + 8
+    }
+
+    /// Number of packed segments.
+    pub fn seg_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Reset the unpack cursor (delivery hands the receiver a rewound
+    /// buffer).
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_in_order() {
+        let mut b = Buf::new();
+        b.pack_int(42).pack_floats(&[1.0, 2.0]).pack_str("hello");
+        assert_eq!(b.seg_count(), 3);
+        assert_eq!(b.unpack_int().unwrap(), 42);
+        assert_eq!(b.unpack_floats().unwrap(), vec![1.0, 2.0]);
+        assert_eq!(b.unpack_str().unwrap(), "hello");
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let mut b = Buf::new();
+        b.pack_int(1);
+        assert_eq!(b.unpack_floats(), Err(UnpackError("expected float segment")));
+        // The failed unpack must not consume the segment.
+        assert_eq!(b.unpack_int().unwrap(), 1);
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut b = Buf::new();
+        assert!(b.unpack_int().is_err());
+        b.pack_int(1);
+        b.unpack_int().unwrap();
+        assert_eq!(b.unpack_ints(), Err(UnpackError("buffer exhausted")));
+    }
+
+    #[test]
+    fn multi_int_guard() {
+        let mut b = Buf::new();
+        b.pack_ints(&[1, 2]);
+        assert!(b.unpack_int().is_err());
+    }
+
+    #[test]
+    fn byte_len_tracks_payload() {
+        let mut b = Buf::new();
+        let empty = b.byte_len();
+        b.pack_floats(&vec![0.0; 1000]);
+        assert!(b.byte_len() >= empty + 8000);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut b = Buf::new();
+        b.pack_bytes(&[1, 2, 3]).pack_int(9);
+        assert_eq!(b.unpack_bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(b.unpack_int().unwrap(), 9);
+        let mut c = Buf::new();
+        c.pack_int(1);
+        assert!(c.unpack_bytes().is_err());
+    }
+
+    #[test]
+    fn rewind_allows_reread() {
+        let mut b = Buf::new();
+        b.pack_int(5);
+        assert_eq!(b.unpack_int().unwrap(), 5);
+        b.rewind();
+        assert_eq!(b.unpack_int().unwrap(), 5);
+    }
+}

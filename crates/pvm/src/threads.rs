@@ -1,0 +1,410 @@
+//! The threaded PVM backend: each task is an OS thread; channels carry
+//! messages; `recv` blocks with selective matching. Used by examples and
+//! by tests that cross-check the simulated backend's semantics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::{Buf, Message, Recv, Tag, TaskId};
+
+struct Inner {
+    mailboxes: Mutex<HashMap<TaskId, Sender<Message>>>,
+    groups: Mutex<HashMap<String, Vec<TaskId>>>,
+    groups_cv: Condvar,
+    barriers: Mutex<HashMap<String, (u64, usize)>>, // name -> (generation, waiting)
+    barriers_cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_tid: Mutex<u32>,
+}
+
+/// A running threaded PVM virtual machine.
+///
+/// # Example
+///
+/// ```
+/// use msgr_pvm::{PvmThreads, Buf, Recv};
+///
+/// let report = PvmThreads::run(|ctx| {
+///     let me = ctx.mytid();
+///     let child = ctx.spawn(move |ctx| {
+///         let mut m = ctx.recv(Recv::any());
+///         let v = m.buf.unpack_int().unwrap();
+///         let mut reply = Buf::new();
+///         reply.pack_int(v + 1);
+///         ctx.send(m.from, 0, reply);
+///     });
+///     let mut b = Buf::new();
+///     b.pack_int(41);
+///     ctx.send(child, 0, b);
+///     let mut m = ctx.recv(Recv::from(child));
+///     assert_eq!(m.buf.unpack_int().unwrap(), 42);
+/// });
+/// assert_eq!(report.tasks, 2);
+/// ```
+pub struct PvmThreads;
+
+/// Summary of a threaded run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadsReport {
+    /// Total tasks that ran (including the root).
+    pub tasks: u32,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+}
+
+/// Per-task handle used inside task bodies.
+pub struct ThreadTaskCtx {
+    me: TaskId,
+    inner: Arc<Inner>,
+    inbox: Receiver<Message>,
+    stash: Vec<Message>,
+}
+
+impl std::fmt::Debug for ThreadTaskCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ThreadTaskCtx({})", self.me)
+    }
+}
+
+impl PvmThreads {
+    /// Start a virtual machine with `root` as task 0; returns when every
+    /// task (root and all spawns, transitively) has finished.
+    pub fn run(root: impl FnOnce(&mut ThreadTaskCtx) + Send + 'static) -> ThreadsReport {
+        let start = std::time::Instant::now();
+        let inner = Arc::new(Inner {
+            mailboxes: Mutex::new(HashMap::new()),
+            groups: Mutex::new(HashMap::new()),
+            groups_cv: Condvar::new(),
+            barriers: Mutex::new(HashMap::new()),
+            barriers_cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+            next_tid: Mutex::new(0),
+        });
+        let root_tid = spawn_internal(&inner, Box::new(root));
+        debug_assert_eq!(root_tid, TaskId(0));
+        // Join until no new threads appear.
+        let mut joined = 0u32;
+        loop {
+            let handle = {
+                let mut hs = inner.handles.lock();
+                if hs.is_empty() {
+                    None
+                } else {
+                    Some(hs.remove(0))
+                }
+            };
+            match handle {
+                Some(h) => {
+                    h.join().expect("task panicked");
+                    joined += 1;
+                }
+                None => break,
+            }
+        }
+        ThreadsReport { tasks: joined, wall_seconds: start.elapsed().as_secs_f64() }
+    }
+}
+
+type TaskFn = Box<dyn FnOnce(&mut ThreadTaskCtx) + Send + 'static>;
+
+fn spawn_internal(inner: &Arc<Inner>, f: TaskFn) -> TaskId {
+    let tid = {
+        let mut n = inner.next_tid.lock();
+        let t = TaskId(*n);
+        *n += 1;
+        t
+    };
+    let (tx, rx) = unbounded();
+    inner.mailboxes.lock().insert(tid, tx);
+    let inner2 = inner.clone();
+    let handle = std::thread::spawn(move || {
+        let mut ctx = ThreadTaskCtx { me: tid, inner: inner2, inbox: rx, stash: Vec::new() };
+        f(&mut ctx);
+        ctx.inner.mailboxes.lock().remove(&tid);
+    });
+    inner.handles.lock().push(handle);
+    tid
+}
+
+impl ThreadTaskCtx {
+    /// This task's id.
+    pub fn mytid(&self) -> TaskId {
+        self.me
+    }
+
+    /// Spawn a new task.
+    pub fn spawn(&mut self, f: impl FnOnce(&mut ThreadTaskCtx) + Send + 'static) -> TaskId {
+        spawn_internal(&self.inner, Box::new(f))
+    }
+
+    /// Send a buffer to another task. Messages to exited tasks are
+    /// silently dropped (PVM returns an error code; the paper's programs
+    /// never send to dead tasks).
+    pub fn send(&self, to: TaskId, tag: Tag, mut buf: Buf) {
+        buf.rewind();
+        let msg = Message { from: self.me, tag, buf };
+        if let Some(tx) = self.inner.mailboxes.lock().get(&to) {
+            let _ = tx.send(msg);
+        }
+    }
+
+    /// Multicast to several tasks.
+    pub fn mcast(&self, to: &[TaskId], tag: Tag, buf: Buf) {
+        for t in to {
+            self.send(*t, tag, buf.clone());
+        }
+    }
+
+    /// Blocking selective receive.
+    pub fn recv(&mut self, sel: Recv) -> Message {
+        if let Some(pos) = self.stash.iter().position(|m| sel.matches(m)) {
+            return self.stash.remove(pos);
+        }
+        loop {
+            let msg = self.inbox.recv().expect("mailbox closed while receiving");
+            if sel.matches(&msg) {
+                return msg;
+            }
+            self.stash.push(msg);
+        }
+    }
+
+    /// Non-blocking receive (`pvm_nrecv`).
+    pub fn try_recv(&mut self, sel: Recv) -> Option<Message> {
+        if let Some(pos) = self.stash.iter().position(|m| sel.matches(m)) {
+            return Some(self.stash.remove(pos));
+        }
+        while let Ok(msg) = self.inbox.try_recv() {
+            if sel.matches(&msg) {
+                return Some(msg);
+            }
+            self.stash.push(msg);
+        }
+        None
+    }
+
+    /// Join a named group; returns this task's instance number.
+    pub fn join_group(&self, name: &str) -> usize {
+        let mut groups = self.inner.groups.lock();
+        let members = groups.entry(name.to_string()).or_default();
+        if let Some(i) = members.iter().position(|t| *t == self.me) {
+            return i;
+        }
+        members.push(self.me);
+        let inst = members.len() - 1;
+        self.inner.groups_cv.notify_all();
+        inst
+    }
+
+    /// The task at `inst` in a group, blocking until it has joined.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 30 s if the member never joins (deadlock guard).
+    pub fn group_tid_blocking(&self, name: &str, inst: usize) -> TaskId {
+        let mut groups = self.inner.groups.lock();
+        loop {
+            if let Some(t) = groups.get(name).and_then(|v| v.get(inst)) {
+                return *t;
+            }
+            let timed_out = self
+                .inner
+                .groups_cv
+                .wait_for(&mut groups, Duration::from_secs(30))
+                .timed_out();
+            assert!(!timed_out, "group member {name}[{inst}] never joined");
+        }
+    }
+
+    /// Current size of a group.
+    pub fn group_size(&self, name: &str) -> usize {
+        self.inner.groups.lock().get(name).map_or(0, Vec::len)
+    }
+
+    /// Block until `count` tasks have called `barrier` with the same
+    /// name (`pvm_barrier`). Reusable: each full round of `count`
+    /// arrivals releases exactly that round.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 30 s if the barrier never fills (deadlock guard).
+    pub fn barrier(&self, name: &str, count: usize) {
+        assert!(count > 0, "barrier needs at least one participant");
+        let mut barriers = self.inner.barriers.lock();
+        let entry = barriers.entry(name.to_string()).or_insert((0, 0));
+        let my_generation = entry.0;
+        entry.1 += 1;
+        if entry.1 >= count {
+            entry.0 += 1;
+            entry.1 = 0;
+            self.inner.barriers_cv.notify_all();
+            return;
+        }
+        loop {
+            let timed_out = self
+                .inner
+                .barriers_cv
+                .wait_for(&mut barriers, Duration::from_secs(30))
+                .timed_out();
+            let released = barriers
+                .get(name)
+                .is_none_or(|(generation, _)| *generation > my_generation);
+            if released {
+                return;
+            }
+            assert!(!timed_out, "barrier `{name}` never filled");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong() {
+        let report = PvmThreads::run(|ctx| {
+            let child = ctx.spawn(|ctx| {
+                for _ in 0..10 {
+                    let mut m = ctx.recv(Recv::tag(1));
+                    let v = m.buf.unpack_int().unwrap();
+                    let mut b = Buf::new();
+                    b.pack_int(v * 3);
+                    ctx.send(m.from, 2, b);
+                }
+            });
+            for i in 0..10 {
+                let mut b = Buf::new();
+                b.pack_int(i);
+                ctx.send(child, 1, b);
+                let mut m = ctx.recv(Recv::from_tag(child, 2));
+                assert_eq!(m.buf.unpack_int().unwrap(), i * 3);
+            }
+        });
+        assert_eq!(report.tasks, 2);
+    }
+
+    #[test]
+    fn selective_recv_stashes_nonmatching() {
+        PvmThreads::run(|ctx| {
+            let me = ctx.mytid();
+            let a = ctx.spawn(move |ctx| {
+                let mut b = Buf::new();
+                b.pack_int(1);
+                ctx.send(me, 1, b);
+            });
+            let b_tid = ctx.spawn(move |ctx| {
+                let mut b = Buf::new();
+                b.pack_int(2);
+                ctx.send(me, 2, b);
+            });
+            // Receive b's message first regardless of arrival order.
+            let mut m2 = ctx.recv(Recv::from(b_tid));
+            assert_eq!(m2.buf.unpack_int().unwrap(), 2);
+            let mut m1 = ctx.recv(Recv::from(a));
+            assert_eq!(m1.buf.unpack_int().unwrap(), 1);
+        });
+    }
+
+    #[test]
+    fn manager_worker_pattern() {
+        // A miniature Fig. 2: manager hands out 25 tasks to 4 workers.
+        let report = PvmThreads::run(|ctx| {
+            let me = ctx.mytid();
+            let workers: Vec<TaskId> = (0..4)
+                .map(|_| {
+                    ctx.spawn(move |ctx| loop {
+                        let mut m = ctx.recv(Recv::any());
+                        let v = m.buf.unpack_int().unwrap();
+                        if v < 0 {
+                            return; // poison pill
+                        }
+                        let mut b = Buf::new();
+                        b.pack_int(v * v);
+                        ctx.send(me, 1, b);
+                    })
+                })
+                .collect();
+            let mut next = 0i64;
+            let total = 25i64;
+            for w in &workers {
+                let mut b = Buf::new();
+                b.pack_int(next);
+                ctx.send(*w, 0, b);
+                next += 1;
+            }
+            let mut sum = 0i64;
+            let mut received = 0i64;
+            while received < total {
+                let mut m = ctx.recv(Recv::tag(1));
+                sum += m.buf.unpack_int().unwrap();
+                received += 1;
+                if next < total {
+                    let mut b = Buf::new();
+                    b.pack_int(next);
+                    ctx.send(m.from, 0, b);
+                    next += 1;
+                }
+            }
+            for w in &workers {
+                let mut b = Buf::new();
+                b.pack_int(-1);
+                ctx.send(*w, 0, b);
+            }
+            assert_eq!(sum, (0..25).map(|v| v * v).sum::<i64>());
+        });
+        assert_eq!(report.tasks, 5);
+    }
+
+    #[test]
+    fn barrier_synchronizes_rounds() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc as StdArc;
+        let peak_before = StdArc::new(AtomicU32::new(0));
+        let pb = peak_before.clone();
+        PvmThreads::run(move |ctx| {
+            let counter = StdArc::new(AtomicU32::new(0));
+            for _ in 0..4 {
+                let counter = counter.clone();
+                let pb = pb.clone();
+                ctx.spawn(move |ctx| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    ctx.barrier("round", 5);
+                    // After the barrier, all five increments must be visible.
+                    pb.fetch_max(counter.load(Ordering::SeqCst), Ordering::SeqCst);
+                });
+            }
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier("round", 5);
+            pb.fetch_max(counter.load(Ordering::SeqCst), Ordering::SeqCst);
+        });
+        assert_eq!(peak_before.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn groups_and_blocking_lookup() {
+        PvmThreads::run(|ctx| {
+            ctx.join_group("mm");
+            let me = ctx.mytid();
+            for _ in 0..3 {
+                ctx.spawn(move |ctx| {
+                    ctx.join_group("mm");
+                    // Everyone can resolve instance 0 (the root).
+                    let leader = ctx.group_tid_blocking("mm", 0);
+                    let mut b = Buf::new();
+                    b.pack_int(7);
+                    ctx.send(leader, 9, b);
+                    let _ = me;
+                });
+            }
+            for _ in 0..3 {
+                let _ = ctx.recv(Recv::tag(9));
+            }
+            assert_eq!(ctx.group_size("mm"), 4);
+        });
+    }
+}

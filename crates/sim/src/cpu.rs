@@ -1,0 +1,139 @@
+//! Host CPUs as FIFO resources.
+//!
+//! A daemon (or PVM task scheduler) charges work to its host CPU; the CPU
+//! serializes work segments in arrival order, which is what produces the
+//! central-manager bottleneck in the paper's manager/worker experiments.
+
+use crate::SimTime;
+
+/// A single simulated processor.
+///
+/// Work is expressed in *reference nanoseconds*: the time the work takes
+/// on a 1.0-speed reference machine (the paper's 110 MHz SPARCstation 5).
+/// The Fig. 12(b) testbed used 170 MHz machines, modeled as
+/// `speed ≈ 1.55`.
+///
+/// # Example
+///
+/// ```
+/// let mut cpu = msgr_sim::Cpu::new(2.0); // twice the reference speed
+/// let (start, end) = cpu.run(100, 1_000);
+/// assert_eq!((start, end), (100, 600));
+/// // A second request queues behind the first:
+/// let (start, end) = cpu.run(0, 1_000);
+/// assert_eq!((start, end), (600, 1_100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    speed: f64,
+    busy_until: SimTime,
+    busy_total: SimTime,
+    segments: u64,
+}
+
+impl Cpu {
+    /// Create a CPU with the given speed factor relative to the reference
+    /// machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not strictly positive and finite.
+    pub fn new(speed: f64) -> Self {
+        assert!(speed.is_finite() && speed > 0.0, "invalid CPU speed {speed}");
+        Cpu { speed, busy_until: 0, busy_total: 0, segments: 0 }
+    }
+
+    /// Reserve `work_ref_ns` reference-nanoseconds of CPU starting no
+    /// earlier than `now`. Returns `(start, end)` of the reserved segment
+    /// and advances the busy horizon to `end`.
+    pub fn run(&mut self, now: SimTime, work_ref_ns: SimTime) -> (SimTime, SimTime) {
+        let start = self.busy_until.max(now);
+        let dur = self.scale(work_ref_ns);
+        let end = start + dur;
+        self.busy_until = end;
+        self.busy_total += dur;
+        self.segments += 1;
+        (start, end)
+    }
+
+    /// Scale reference work to this CPU's local duration.
+    pub fn scale(&self, work_ref_ns: SimTime) -> SimTime {
+        (work_ref_ns as f64 / self.speed).round() as SimTime
+    }
+
+    /// The time at which all reserved work completes.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Whether the CPU is idle at `now`.
+    pub fn idle_at(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Total busy nanoseconds reserved so far (local time).
+    pub fn busy_total(&self) -> SimTime {
+        self.busy_total
+    }
+
+    /// Number of work segments reserved so far.
+    pub fn segments(&self) -> u64 {
+        self.segments
+    }
+
+    /// Utilization over `[0, horizon]`; 0 when `horizon == 0`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == 0 {
+            0.0
+        } else {
+            self.busy_total as f64 / horizon as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_back_to_back_work() {
+        let mut cpu = Cpu::new(1.0);
+        assert_eq!(cpu.run(0, 500), (0, 500));
+        assert_eq!(cpu.run(100, 500), (500, 1000)); // queues behind segment 1
+        assert_eq!(cpu.run(2000, 500), (2000, 2500)); // idle gap
+        assert_eq!(cpu.busy_total(), 1500);
+        assert_eq!(cpu.segments(), 3);
+    }
+
+    #[test]
+    fn speed_scales_duration() {
+        let mut fast = Cpu::new(4.0);
+        assert_eq!(fast.run(0, 1000), (0, 250));
+        let mut slow = Cpu::new(0.5);
+        assert_eq!(slow.run(0, 1000), (0, 2000));
+    }
+
+    #[test]
+    fn idle_and_utilization() {
+        let mut cpu = Cpu::new(1.0);
+        assert!(cpu.idle_at(0));
+        cpu.run(0, 400);
+        assert!(!cpu.idle_at(399));
+        assert!(cpu.idle_at(400));
+        assert!((cpu.utilization(800) - 0.5).abs() < 1e-12);
+        assert_eq!(cpu.utilization(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CPU speed")]
+    fn zero_speed_rejected() {
+        let _ = Cpu::new(0.0);
+    }
+
+    #[test]
+    fn zero_work_is_instant() {
+        let mut cpu = Cpu::new(3.0);
+        assert_eq!(cpu.run(77, 0), (77, 77));
+        assert!(cpu.idle_at(77));
+    }
+}

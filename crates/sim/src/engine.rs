@@ -1,0 +1,268 @@
+//! The discrete-event engine: a virtual clock plus a priority queue of
+//! scheduled callbacks.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated time in nanoseconds since the start of the run.
+pub type SimTime = u64;
+
+type Callback<W> = Box<dyn FnOnce(&mut Engine<W>, &mut W)>;
+
+struct Slot<W> {
+    time: SimTime,
+    seq: u64,
+    cb: Callback<W>,
+}
+
+impl<W> PartialEq for Slot<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Slot<W> {}
+impl<W> PartialOrd for Slot<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Slot<W> {
+    // Reversed: BinaryHeap is a max-heap and we want the earliest event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic discrete-event engine over an arbitrary world type `W`.
+///
+/// Events are closures receiving `(&mut Engine, &mut W)`. Two events
+/// scheduled for the same instant fire in the order they were scheduled,
+/// so runs are reproducible.
+///
+/// # Example
+///
+/// ```
+/// let mut en: msgr_sim::Engine<Vec<u32>> = msgr_sim::Engine::new();
+/// en.schedule_at(10, |_, log| log.push(1));
+/// en.schedule_at(5, |_, log| log.push(0));
+/// let mut log = Vec::new();
+/// en.run(&mut log);
+/// assert_eq!(log, [0, 1]);
+/// ```
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+    queue: BinaryHeap<Slot<W>>,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> std::fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Create an engine with the clock at zero and an empty queue.
+    pub fn new() -> Self {
+        Engine { now: 0, seq: 0, processed: 0, queue: BinaryHeap::new() }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `cb` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past (`time < self.now()`); scheduling
+    /// *at* the current instant is allowed and fires after all
+    /// previously-scheduled events for this instant.
+    pub fn schedule_at(
+        &mut self,
+        time: SimTime,
+        cb: impl FnOnce(&mut Engine<W>, &mut W) + 'static,
+    ) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: t={time} < now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Slot { time, seq, cb: Box::new(cb) });
+    }
+
+    /// Schedule `cb` after a delay of `dt` from now (saturating).
+    pub fn schedule_in(
+        &mut self,
+        dt: SimTime,
+        cb: impl FnOnce(&mut Engine<W>, &mut W) + 'static,
+    ) {
+        self.schedule_at(self.now.saturating_add(dt), cb);
+    }
+
+    /// Execute the single earliest pending event. Returns `false` when the
+    /// queue is empty (the clock does not advance in that case).
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.queue.pop() {
+            None => false,
+            Some(slot) => {
+                debug_assert!(slot.time >= self.now);
+                self.now = slot.time;
+                self.processed += 1;
+                (slot.cb)(self, world);
+                true
+            }
+        }
+    }
+
+    /// Run until the queue drains. Returns the number of events executed.
+    pub fn run(&mut self, world: &mut W) -> u64 {
+        let start = self.processed;
+        while self.step(world) {}
+        self.processed - start
+    }
+
+    /// Run until the queue drains or the clock would pass `deadline`.
+    /// Events scheduled exactly at `deadline` are executed.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> u64 {
+        let start = self.processed;
+        while let Some(slot) = self.queue.peek() {
+            if slot.time > deadline {
+                break;
+            }
+            self.step(world);
+        }
+        self.processed - start
+    }
+
+    /// Run with a hard event-count budget; returns `true` if the queue
+    /// drained within the budget. Guards tests against accidental
+    /// non-termination (e.g. a messenger bouncing forever).
+    pub fn run_bounded(&mut self, world: &mut W, max_events: u64) -> bool {
+        for _ in 0..max_events {
+            if !self.step(world) {
+                return true;
+            }
+        }
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut en: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        en.schedule_at(30, |_, l: &mut Vec<u64>| l.push(30));
+        en.schedule_at(10, |_, l| l.push(10));
+        en.schedule_at(20, |_, l| l.push(20));
+        en.run(&mut log);
+        assert_eq!(log, vec![10, 20, 30]);
+        assert_eq!(en.now(), 30);
+        assert_eq!(en.processed(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut en: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        for i in 0..16 {
+            en.schedule_at(7, move |_, l: &mut Vec<u32>| l.push(i));
+        }
+        en.run(&mut log);
+        assert_eq!(log, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut en: Engine<u32> = Engine::new();
+        fn chain(en: &mut Engine<u32>, depth: u32) {
+            if depth > 0 {
+                en.schedule_in(1, move |en, count| {
+                    *count += 1;
+                    chain(en, depth - 1);
+                });
+            }
+        }
+        chain(&mut en, 5);
+        let mut count = 0;
+        en.run(&mut count);
+        assert_eq!(count, 5);
+        assert_eq!(en.now(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut en: Engine<()> = Engine::new();
+        en.schedule_at(10, |en, _| {
+            en.schedule_at(5, |_, _| {});
+        });
+        en.run(&mut ());
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut en: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        for t in [5u64, 10, 15, 20] {
+            en.schedule_at(t, move |_, l: &mut Vec<u64>| l.push(t));
+        }
+        let n = en.run_until(&mut log, 15);
+        assert_eq!(n, 3);
+        assert_eq!(log, vec![5, 10, 15]);
+        assert_eq!(en.pending(), 1);
+        en.run(&mut log);
+        assert_eq!(log, vec![5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn run_bounded_reports_drain() {
+        let mut en: Engine<()> = Engine::new();
+        for t in 0..10 {
+            en.schedule_at(t, |_, _| {});
+        }
+        assert!(!en.run_bounded(&mut (), 5));
+        assert!(en.run_bounded(&mut (), 100));
+    }
+
+    #[test]
+    fn schedule_at_now_is_allowed() {
+        let mut en: Engine<Vec<&'static str>> = Engine::new();
+        let mut log = Vec::new();
+        en.schedule_at(10, |en, l: &mut Vec<&'static str>| {
+            l.push("outer");
+            en.schedule_at(en.now(), |_, l| l.push("inner"));
+        });
+        en.run(&mut log);
+        assert_eq!(log, vec!["outer", "inner"]);
+        assert_eq!(en.now(), 10);
+    }
+}

@@ -1,0 +1,265 @@
+//! Lightweight measurement plumbing: named counters and log-bucket
+//! histograms, used by the benchmark harness to report per-run detail
+//! (messages sent, bytes moved, rollbacks, GVT rounds, …).
+
+use std::collections::BTreeMap;
+
+/// A monotonically increasing named counter value.
+pub type Counter = u64;
+
+/// A histogram with power-of-two buckets, suitable for latencies and
+/// message sizes spanning several orders of magnitude.
+///
+/// # Example
+///
+/// ```
+/// let mut h = msgr_sim::Histogram::new();
+/// for v in [1u64, 2, 3, 100, 1000] { h.record(v); }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (bucket upper bound containing quantile `q`,
+    /// `0.0 ..= 1.0`). Coarse but monotone; used only for reporting.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << (i - 1).min(63) };
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A bag of named counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    counters: BTreeMap<&'static str, Counter>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Stats {
+    /// An empty stats bag.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Add `n` to the named counter (creating it at zero).
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Increment the named counter by one.
+    pub fn bump(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Read a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record a histogram sample.
+    pub fn record(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().record(v);
+    }
+
+    /// Read a histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, Counter)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merge another stats bag into this one.
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k}: {v}")?;
+        }
+        for (k, h) in &self.histograms {
+            writeln!(
+                f,
+                "{k}: n={} mean={:.1} min={} p50~{} max={}",
+                h.count(),
+                h.mean(),
+                h.min(),
+                h.quantile(0.5),
+                h.max()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.bump("msgs");
+        s.add("msgs", 4);
+        assert_eq!(s.counter("msgs"), 5);
+        assert_eq!(s.counter("other"), 0);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 4, 8, 16, 1024, 65536] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let x = h.quantile(q);
+            assert!(x >= last, "quantile({q}) = {x} < {last}");
+            last = x;
+        }
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Stats::new();
+        a.add("x", 1);
+        a.record("lat", 10);
+        let mut b = Stats::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        b.record("lat", 1000);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 3);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        assert_eq!(a.histogram("lat").unwrap().max(), 1000);
+    }
+
+    #[test]
+    fn zero_sample_bucket() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn display_formats_counters() {
+        let mut s = Stats::new();
+        s.add("alpha", 7);
+        s.record("h", 3);
+        let out = s.to_string();
+        assert!(out.contains("alpha: 7"));
+        assert!(out.contains("h: n=1"));
+    }
+}

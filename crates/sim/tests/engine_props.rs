@@ -1,0 +1,91 @@
+//! Property-based tests for the discrete-event engine.
+
+use msgr_sim::{Engine, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events fire in nondecreasing time order regardless of schedule
+    /// order, and ties fire in insertion order.
+    #[test]
+    fn events_fire_in_time_then_insertion_order(times in proptest::collection::vec(0u64..1000, 1..64)) {
+        let mut en: Engine<Vec<(SimTime, usize)>> = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            en.schedule_at(t, move |en, log: &mut Vec<(SimTime, usize)>| {
+                log.push((en.now(), i));
+            });
+        }
+        let mut log = Vec::new();
+        en.run(&mut log);
+        prop_assert_eq!(log.len(), times.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "insertion order violated on tie");
+            }
+        }
+        // The clock ends at the max scheduled time.
+        prop_assert_eq!(en.now(), times.iter().copied().max().unwrap());
+    }
+
+    /// Cascading events (each schedules the next) preserve determinism:
+    /// two identical runs produce identical traces.
+    #[test]
+    fn cascades_are_deterministic(seed_times in proptest::collection::vec(0u64..100, 1..16)) {
+        fn run(times: &[u64]) -> Vec<SimTime> {
+            let mut en: Engine<Vec<SimTime>> = Engine::new();
+            for &t in times {
+                en.schedule_at(t, move |en, log: &mut Vec<SimTime>| {
+                    log.push(en.now());
+                    if log.len() < 64 {
+                        en.schedule_in(t + 1, |en, log| log.push(en.now()));
+                    }
+                });
+            }
+            let mut log = Vec::new();
+            en.run(&mut log);
+            log
+        }
+        prop_assert_eq!(run(&seed_times), run(&seed_times));
+    }
+
+    /// run_until never executes past the deadline and leaves the rest
+    /// intact.
+    #[test]
+    fn run_until_partitions_cleanly(
+        times in proptest::collection::vec(0u64..1000, 1..64),
+        deadline in 0u64..1000,
+    ) {
+        let mut en: Engine<Vec<SimTime>> = Engine::new();
+        for &t in &times {
+            en.schedule_at(t, move |en, log: &mut Vec<SimTime>| log.push(en.now()));
+        }
+        let mut log = Vec::new();
+        en.run_until(&mut log, deadline);
+        let early = times.iter().filter(|&&t| t <= deadline).count();
+        prop_assert_eq!(log.len(), early);
+        prop_assert!(log.iter().all(|&t| t <= deadline));
+        en.run(&mut log);
+        prop_assert_eq!(log.len(), times.len());
+    }
+
+    /// Shared-bus transfers are FIFO per pair and never earlier than the
+    /// send time plus the frame time.
+    #[test]
+    fn shared_bus_arrivals_are_causal(
+        sends in proptest::collection::vec((0u64..10_000, 0u32..4, 0u32..4, 1u64..10_000), 1..64)
+    ) {
+        use msgr_sim::{NetModel, SharedBus, HostId};
+        let mut bus = SharedBus::new(1e9, 100, 32);
+        let mut sorted = sends.clone();
+        sorted.sort_by_key(|s| s.0);
+        let mut last_arrival = 0;
+        for (t, src, dst, bytes) in sorted {
+            let arr = bus.transfer(t, HostId(src), HostId(dst), bytes);
+            prop_assert!(arr >= t, "arrival before send");
+            if src != dst {
+                prop_assert!(arr >= last_arrival, "global FIFO on a shared medium");
+                last_arrival = arr;
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! VM error type.
+
+use crate::value::Value;
+
+/// A runtime error inside a Messenger. In the daemon, an erroring
+/// messenger is killed and the error is reported through the platform's
+/// fault log — it never takes the daemon down.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// A value had the wrong type for an operation.
+    Type {
+        /// What the operation required.
+        expected: &'static str,
+        /// What it got (type name).
+        got: &'static str,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// Call to an unregistered native function.
+    UnknownNative(String),
+    /// A native function failed.
+    Native(String),
+    /// The per-segment fuel budget was exhausted (runaway loop with no
+    /// navigational statement).
+    FuelExhausted,
+    /// Operand stack underflow / bad code (compiler bug or corrupted
+    /// migration).
+    Corrupt(&'static str),
+    /// Wire decode failure.
+    Decode(String),
+    /// Arity mismatch on a user-function call.
+    Arity {
+        /// Function name.
+        func: String,
+        /// Declared parameter count.
+        expected: u8,
+        /// Supplied argument count.
+        got: u8,
+    },
+}
+
+impl VmError {
+    pub(crate) fn type_error(expected: &'static str, got: &Value) -> VmError {
+        VmError::Type { expected, got: got.type_name() }
+    }
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::Type { expected, got } => {
+                write!(f, "type error: expected {expected}, got {got}")
+            }
+            VmError::DivisionByZero => write!(f, "division by zero"),
+            VmError::UnknownNative(n) => write!(f, "unknown native function `{n}`"),
+            VmError::Native(m) => write!(f, "native function failed: {m}"),
+            VmError::FuelExhausted => write!(f, "fuel exhausted (runaway loop?)"),
+            VmError::Corrupt(m) => write!(f, "corrupt bytecode or state: {m}"),
+            VmError::Decode(m) => write!(f, "wire decode error: {m}"),
+            VmError::Arity { func, expected, got } => {
+                write!(f, "call to `{func}` with {got} args, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            VmError::type_error("int", &Value::str("x")).to_string(),
+            "type error: expected int, got string"
+        );
+        assert_eq!(VmError::DivisionByZero.to_string(), "division by zero");
+        assert!(VmError::UnknownNative("f".into()).to_string().contains("`f`"));
+        let e = VmError::Arity { func: "g".into(), expected: 2, got: 3 };
+        assert!(e.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(VmError::DivisionByZero);
+    }
+}

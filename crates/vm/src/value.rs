@@ -1,0 +1,436 @@
+//! Runtime values.
+//!
+//! MSGR-C is a dynamically-typed C subset: all standard data types other
+//! than pointers (§4). Matrices ([`Matrix`]) stand in for the C arrays
+//! the applications move around ("blocks" of the Mandelbrot image and of
+//! the A/B/C matrices); they are reference-counted so that carrying one
+//! inside a Messenger is cheap in memory while the *wire* codec still
+//! accounts for their full byte size, exactly like the original system
+//! (messenger variables travel with the messenger; no extra buffer
+//! copies — §2.1).
+
+use bytes::Bytes;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::VmError;
+
+/// A dense row-major matrix of `f64`, cheaply cloneable (shared storage,
+/// copy-on-write mutation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: u32,
+    cols: u32,
+    data: Arc<Vec<f64>>,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `u32`.
+    pub fn zeros(rows: u32, cols: u32) -> Self {
+        let n = (rows as u64)
+            .checked_mul(cols as u64)
+            .expect("matrix dimensions overflow");
+        Matrix { rows, cols, data: Arc::new(vec![0.0; n as usize]) }
+    }
+
+    /// Build from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: u32, cols: u32, data: Vec<f64>) -> Self {
+        assert_eq!(data.len() as u64, rows as u64 * cols as u64, "shape mismatch");
+        Matrix { rows, cols, data: Arc::new(data) }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Row-major element view.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: u32, c: u32) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[(r as usize) * self.cols as usize + c as usize]
+    }
+
+    /// Set element at `(r, c)`; clones the storage if shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: u32, c: u32, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        let cols = self.cols as usize;
+        Arc::make_mut(&mut self.data)[(r as usize) * cols + c as usize] = v;
+    }
+
+    /// Mutable row-major element view; clones the storage if shared.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// A deep copy with unshared storage (models the paper's
+    /// `copy_block` native).
+    pub fn deep_copy(&self) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: Arc::new(self.data.as_ref().clone()) }
+    }
+
+    /// Payload size in bytes when serialized (8 bytes per element plus a
+    /// small header) — what a migration carrying this matrix pays on the
+    /// wire.
+    pub fn wire_bytes(&self) -> u64 {
+        8 * self.rows as u64 * self.cols as u64 + 8
+    }
+
+    /// Whether the underlying buffer is shared with another handle.
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.data) > 1
+    }
+}
+
+/// Identifier of a logical-link *instance*. The network variable `$last`
+/// evaluates to one of these so that a Messenger can re-traverse the
+/// specific (possibly unnamed) link it arrived on, as the manager/worker
+/// script of Fig. 3 does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkInstance(pub u64);
+
+impl fmt::Display for LinkInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link#{}", self.0)
+    }
+}
+
+/// A dynamically-typed MSGR-C value.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// The C `NULL`; also the value of never-assigned node variables.
+    #[default]
+    Null,
+    /// Boolean (`true` / `false` literals).
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// Immutable string.
+    Str(Arc<str>),
+    /// Matrix / data block (see [`Matrix`]).
+    Mat(Matrix),
+    /// Raw byte block (e.g. a pixel tile) — cheap to clone, compact on
+    /// the wire.
+    Blob(Bytes),
+    /// A C-style array (value semantics via copy-on-write).
+    Arr(Arc<Vec<Value>>),
+    /// A logical-link instance reference (produced by `$last`).
+    Link(LinkInstance),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// C-style truthiness: `NULL`/0/0.0/false are false; everything else
+    /// (including strings and matrices) is true.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(_) | Value::Mat(_) | Value::Blob(_) | Value::Arr(_) | Value::Link(_) => true,
+        }
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Mat(_) => "block",
+            Value::Blob(_) => "blob",
+            Value::Arr(_) => "array",
+            Value::Link(_) => "link",
+        }
+    }
+
+    /// Interpret as an integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Type`] if the value is not an `Int` or `Bool`.
+    pub fn as_int(&self) -> Result<i64, VmError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Bool(b) => Ok(*b as i64),
+            other => Err(VmError::type_error("int", other)),
+        }
+    }
+
+    /// Interpret as a float (ints widen).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Type`] for non-numeric values.
+    pub fn as_float(&self) -> Result<f64, VmError> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::Bool(b) => Ok(*b as i64 as f64),
+            other => Err(VmError::type_error("float", other)),
+        }
+    }
+
+    /// Interpret as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Type`] if not a string.
+    pub fn as_str(&self) -> Result<&str, VmError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(VmError::type_error("string", other)),
+        }
+    }
+
+    /// Interpret as a matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Type`] if not a matrix.
+    pub fn as_matrix(&self) -> Result<&Matrix, VmError> {
+        match self {
+            Value::Mat(m) => Ok(m),
+            other => Err(VmError::type_error("block", other)),
+        }
+    }
+
+    /// Interpret as an array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Type`] if not an array.
+    pub fn as_array(&self) -> Result<&Arc<Vec<Value>>, VmError> {
+        match self {
+            Value::Arr(a) => Ok(a),
+            other => Err(VmError::type_error("array", other)),
+        }
+    }
+
+    /// Interpret as a byte blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Type`] if not a blob.
+    pub fn as_blob(&self) -> Result<&Bytes, VmError> {
+        match self {
+            Value::Blob(b) => Ok(b),
+            other => Err(VmError::type_error("blob", other)),
+        }
+    }
+
+    /// Equality as used by `==`: `NULL == NULL`, numeric cross-type
+    /// comparison (`1 == 1.0`), otherwise same-variant comparison.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (a, b) => a == b,
+        }
+    }
+
+    /// Approximate serialized size, used for migration cost accounting.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Value::Null | Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) | Value::Link(_) => 9,
+            Value::Str(s) => 5 + s.len() as u64,
+            Value::Mat(m) => 1 + m.wire_bytes(),
+            Value::Blob(b) => 6 + b.len() as u64,
+            Value::Arr(a) => 5 + a.iter().map(Value::wire_bytes).sum::<u64>(),
+        }
+    }
+}
+
+// Values are usable as map keys (node names in the cluster directory).
+// The contract holds as long as no NaN float is used as a name —
+// `Vt::new` and the decoder already reject NaN virtual times, and NaN
+// node names are nonsensical.
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            // Weak but Eq-consistent: equal matrices share a shape.
+            Value::Mat(m) => (m.rows(), m.cols()).hash(state),
+            Value::Blob(b) => b.len().hash(state),
+            Value::Arr(a) => a.len().hash(state),
+            Value::Link(l) => l.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Mat(m) => write!(f, "block[{}x{}]", m.rows(), m.cols()),
+            Value::Blob(b) => write!(f, "blob[{}]", b.len()),
+            Value::Arr(a) => write!(f, "array[{}]", a.len()),
+            Value::Link(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<Matrix> for Value {
+    fn from(v: Matrix) -> Self {
+        Value::Mat(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_basics() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!(m.get(1, 2), 0.0);
+        m.set(1, 2, 5.5);
+        assert_eq!(m.get(1, 2), 5.5);
+        assert_eq!(m.as_slice().len(), 6);
+        assert_eq!(m.wire_bytes(), 56);
+    }
+
+    #[test]
+    fn matrix_copy_on_write() {
+        let mut a = Matrix::zeros(2, 2);
+        let b = a.clone();
+        assert!(a.is_shared());
+        a.set(0, 0, 9.0);
+        assert!(!a.is_shared());
+        assert_eq!(b.get(0, 0), 0.0);
+        assert_eq!(a.get(0, 0), 9.0);
+    }
+
+    #[test]
+    fn deep_copy_unshares() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = a.deep_copy();
+        assert!(!b.is_shared());
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn matrix_oob_panics() {
+        Matrix::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matrix_shape_checked() {
+        let _ = Matrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn truthiness_is_c_like() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(!Value::Float(0.0).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(Value::Int(-1).is_truthy());
+        assert!(Value::str("").is_truthy());
+        assert!(Value::Mat(Matrix::zeros(1, 1)).is_truthy());
+    }
+
+    #[test]
+    fn loose_eq_crosses_numeric_types() {
+        assert!(Value::Int(1).loose_eq(&Value::Float(1.0)));
+        assert!(Value::Float(2.0).loose_eq(&Value::Int(2)));
+        assert!(!Value::Int(1).loose_eq(&Value::Float(1.5)));
+        assert!(Value::Null.loose_eq(&Value::Null));
+        assert!(!Value::Null.loose_eq(&Value::Int(0)));
+        assert!(Value::str("ab").loose_eq(&Value::str("ab")));
+    }
+
+    #[test]
+    fn conversions_and_errors() {
+        assert_eq!(Value::Int(7).as_int().unwrap(), 7);
+        assert_eq!(Value::Bool(true).as_int().unwrap(), 1);
+        assert_eq!(Value::Int(7).as_float().unwrap(), 7.0);
+        assert!(Value::str("x").as_int().is_err());
+        assert!(Value::Null.as_matrix().is_err());
+        assert_eq!(Value::str("hi").as_str().unwrap(), "hi");
+    }
+
+    #[test]
+    fn wire_bytes_accounting() {
+        assert_eq!(Value::Null.wire_bytes(), 1);
+        assert_eq!(Value::Int(1).wire_bytes(), 9);
+        assert_eq!(Value::str("abcd").wire_bytes(), 9);
+        assert_eq!(Value::Mat(Matrix::zeros(10, 10)).wire_bytes(), 809);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Mat(Matrix::zeros(2, 3)).to_string(), "block[2x3]");
+        assert_eq!(Value::Link(LinkInstance(4)).to_string(), "link#4");
+    }
+}

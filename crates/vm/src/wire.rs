@@ -1,0 +1,833 @@
+//! Binary wire codec.
+//!
+//! Everything that crosses a daemon boundary is encoded here: values,
+//! complete messenger states (migration payloads), and — when a program
+//! is not yet in the destination's code registry, or in the carry-code
+//! ablation — whole programs. The paper compiled scripts "into a form of
+//! byte code for more efficient transport and parsing"; this module is
+//! that transport format.
+//!
+//! The format is a simple tagged encoding with LEB128 varints. It is not
+//! self-describing beyond the tags and performs strict validation on
+//! decode: a truncated or corrupted buffer yields [`VmError::Decode`],
+//! never a panic.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::bytecode::{
+    CreateItem, CreateSpec, Dir, FuncId, Function, HopSpec, LinkPat, NamePat, NetVar, NodePat,
+    Op, Program, ProgramId,
+};
+use crate::error::VmError;
+use crate::state::{Frame, MessengerId, MessengerState, Vt};
+use crate::value::{LinkInstance, Matrix, Value};
+
+fn err(msg: &str) -> VmError {
+    VmError::Decode(msg.to_string())
+}
+
+// ---- primitives ---------------------------------------------------------
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, VmError> {
+    let mut v: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        if !buf.has_remaining() {
+            return Err(err("truncated varint"));
+        }
+        let byte = buf.get_u8();
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(err("varint too long"))
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_f64(buf: &mut BytesMut, v: f64) {
+    buf.put_f64_le(v);
+}
+
+fn get_f64(buf: &mut Bytes) -> Result<f64, VmError> {
+    if buf.remaining() < 8 {
+        return Err(err("truncated f64"));
+    }
+    Ok(buf.get_f64_le())
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, VmError> {
+    let n = get_varint(buf)? as usize;
+    if buf.remaining() < n {
+        return Err(err("truncated string"));
+    }
+    let raw = buf.copy_to_bytes(n);
+    String::from_utf8(raw.to_vec()).map_err(|_| err("invalid utf8"))
+}
+
+// ---- values --------------------------------------------------------------
+
+/// Append `v` to `buf`.
+pub fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Bool(b) => {
+            buf.put_u8(1);
+            buf.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.put_u8(2);
+            put_varint(buf, zigzag(*i));
+        }
+        Value::Float(f) => {
+            buf.put_u8(3);
+            put_f64(buf, *f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(4);
+            put_str(buf, s);
+        }
+        Value::Mat(m) => {
+            buf.put_u8(5);
+            put_varint(buf, m.rows() as u64);
+            put_varint(buf, m.cols() as u64);
+            for &x in m.as_slice() {
+                put_f64(buf, x);
+            }
+        }
+        Value::Blob(b) => {
+            buf.put_u8(7);
+            put_varint(buf, b.len() as u64);
+            buf.put_slice(b);
+        }
+        Value::Link(l) => {
+            buf.put_u8(6);
+            put_varint(buf, l.0);
+        }
+        Value::Arr(a) => {
+            buf.put_u8(8);
+            put_varint(buf, a.len() as u64);
+            for v in a.iter() {
+                put_value(buf, v);
+            }
+        }
+    }
+}
+
+/// Decode one value.
+///
+/// # Errors
+///
+/// [`VmError::Decode`] on truncation or unknown tags.
+pub fn get_value(buf: &mut Bytes) -> Result<Value, VmError> {
+    if !buf.has_remaining() {
+        return Err(err("truncated value"));
+    }
+    Ok(match buf.get_u8() {
+        0 => Value::Null,
+        1 => {
+            if !buf.has_remaining() {
+                return Err(err("truncated bool"));
+            }
+            Value::Bool(buf.get_u8() != 0)
+        }
+        2 => Value::Int(unzigzag(get_varint(buf)?)),
+        3 => Value::Float(get_f64(buf)?),
+        4 => Value::str(get_str(buf)?),
+        5 => {
+            let rows = get_varint(buf)? as u32;
+            let cols = get_varint(buf)? as u32;
+            let n = (rows as u64)
+                .checked_mul(cols as u64)
+                .filter(|&n| n <= (1 << 32))
+                .ok_or(err("matrix too large"))? as usize;
+            if buf.remaining() < n * 8 {
+                return Err(err("truncated matrix"));
+            }
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(buf.get_f64_le());
+            }
+            Value::Mat(Matrix::from_vec(rows, cols, data))
+        }
+        6 => Value::Link(LinkInstance(get_varint(buf)?)),
+        7 => {
+            let n = get_varint(buf)? as usize;
+            if buf.remaining() < n {
+                return Err(err("truncated blob"));
+            }
+            Value::Blob(buf.copy_to_bytes(n))
+        }
+        8 => {
+            let n = get_varint(buf)? as usize;
+            if n > 1 << 24 {
+                return Err(err("absurd array length"));
+            }
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(get_value(buf)?);
+            }
+            Value::Arr(std::sync::Arc::new(items))
+        }
+        t => return Err(err(&format!("unknown value tag {t}"))),
+    })
+}
+
+// ---- messenger state -------------------------------------------------------
+
+fn put_frame(buf: &mut BytesMut, f: &Frame) {
+    put_varint(buf, f.func.0 as u64);
+    put_varint(buf, f.pc as u64);
+    put_varint(buf, f.locals.len() as u64);
+    for v in &f.locals {
+        put_value(buf, v);
+    }
+    put_varint(buf, f.stack.len() as u64);
+    for v in &f.stack {
+        put_value(buf, v);
+    }
+}
+
+fn get_frame(buf: &mut Bytes) -> Result<Frame, VmError> {
+    let func = FuncId(get_varint(buf)? as u16);
+    let pc = get_varint(buf)? as u32;
+    let nl = get_varint(buf)? as usize;
+    if nl > 1 << 20 {
+        return Err(err("absurd local count"));
+    }
+    let mut locals = Vec::with_capacity(nl);
+    for _ in 0..nl {
+        locals.push(get_value(buf)?);
+    }
+    let ns = get_varint(buf)? as usize;
+    if ns > 1 << 20 {
+        return Err(err("absurd stack size"));
+    }
+    let mut stack = Vec::with_capacity(ns);
+    for _ in 0..ns {
+        stack.push(get_value(buf)?);
+    }
+    Ok(Frame { func, pc, locals, stack })
+}
+
+/// Serialize a messenger for migration. This is the payload a `hop`
+/// actually ships (plus routing headers added by the daemon layer).
+pub fn encode_messenger(m: &MessengerState) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    put_varint(&mut buf, m.id.0);
+    put_varint(&mut buf, m.program.0);
+    put_f64(&mut buf, m.vtime.as_f64());
+    buf.put_u8(m.anti as u8);
+    put_varint(&mut buf, m.frames.len() as u64);
+    for f in &m.frames {
+        put_frame(&mut buf, f);
+    }
+    buf.freeze()
+}
+
+/// Decode a migrated messenger.
+///
+/// # Errors
+///
+/// [`VmError::Decode`] on any malformed input.
+pub fn decode_messenger(mut buf: Bytes) -> Result<MessengerState, VmError> {
+    let id = MessengerId(get_varint(&mut buf)?);
+    let program = ProgramId(get_varint(&mut buf)?);
+    let vt = get_f64(&mut buf)?;
+    if vt.is_nan() {
+        return Err(err("NaN virtual time"));
+    }
+    if !buf.has_remaining() {
+        return Err(err("truncated messenger"));
+    }
+    let anti = buf.get_u8() != 0;
+    let nf = get_varint(&mut buf)? as usize;
+    if nf > 1 << 16 {
+        return Err(err("absurd frame count"));
+    }
+    let mut frames = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        frames.push(get_frame(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(err("trailing bytes after messenger"));
+    }
+    Ok(MessengerState { id, program, frames, vtime: Vt::new(vt), anti })
+}
+
+// ---- programs -------------------------------------------------------------
+
+fn put_dir(buf: &mut BytesMut, d: Dir) {
+    buf.put_u8(match d {
+        Dir::Forward => 0,
+        Dir::Backward => 1,
+        Dir::Any => 2,
+    });
+}
+
+fn get_dir(buf: &mut Bytes) -> Result<Dir, VmError> {
+    if !buf.has_remaining() {
+        return Err(err("truncated dir"));
+    }
+    Ok(match buf.get_u8() {
+        0 => Dir::Forward,
+        1 => Dir::Backward,
+        2 => Dir::Any,
+        t => return Err(err(&format!("bad dir {t}"))),
+    })
+}
+
+fn put_op(buf: &mut BytesMut, op: &Op) {
+    use Op::*;
+    match op {
+        Const(i) => {
+            buf.put_u8(0);
+            put_varint(buf, *i as u64);
+        }
+        LoadLocal(i) => {
+            buf.put_u8(1);
+            put_varint(buf, *i as u64);
+        }
+        StoreLocal(i) => {
+            buf.put_u8(2);
+            put_varint(buf, *i as u64);
+        }
+        LoadNode(i) => {
+            buf.put_u8(3);
+            put_varint(buf, *i as u64);
+        }
+        StoreNode(i) => {
+            buf.put_u8(4);
+            put_varint(buf, *i as u64);
+        }
+        LoadNet(v) => {
+            buf.put_u8(5);
+            buf.put_u8(match v {
+                NetVar::Address => 0,
+                NetVar::Last => 1,
+                NetVar::Node => 2,
+                NetVar::Time => 3,
+            });
+        }
+        Dup => buf.put_u8(6),
+        Pop => buf.put_u8(7),
+        Add => buf.put_u8(8),
+        Sub => buf.put_u8(9),
+        Mul => buf.put_u8(10),
+        Div => buf.put_u8(11),
+        Mod => buf.put_u8(12),
+        Neg => buf.put_u8(13),
+        Not => buf.put_u8(14),
+        Eq => buf.put_u8(15),
+        Ne => buf.put_u8(16),
+        Lt => buf.put_u8(17),
+        Le => buf.put_u8(18),
+        Gt => buf.put_u8(19),
+        Ge => buf.put_u8(20),
+        Jump(o) => {
+            buf.put_u8(21);
+            put_varint(buf, zigzag(*o as i64));
+        }
+        JumpIfFalse(o) => {
+            buf.put_u8(22);
+            put_varint(buf, zigzag(*o as i64));
+        }
+        JumpIfTruePeek(o) => {
+            buf.put_u8(23);
+            put_varint(buf, zigzag(*o as i64));
+        }
+        JumpIfFalsePeek(o) => {
+            buf.put_u8(24);
+            put_varint(buf, zigzag(*o as i64));
+        }
+        Call { f, argc } => {
+            buf.put_u8(25);
+            put_varint(buf, *f as u64);
+            buf.put_u8(*argc);
+        }
+        CallNative { name, argc } => {
+            buf.put_u8(26);
+            put_varint(buf, *name as u64);
+            buf.put_u8(*argc);
+        }
+        Ret => buf.put_u8(27),
+        Hop(i) => {
+            buf.put_u8(28);
+            put_varint(buf, *i as u64);
+        }
+        Create(i) => {
+            buf.put_u8(29);
+            put_varint(buf, *i as u64);
+        }
+        Delete(i) => {
+            buf.put_u8(30);
+            put_varint(buf, *i as u64);
+        }
+        SchedAbs => buf.put_u8(31),
+        SchedDlt => buf.put_u8(32),
+        Halt => buf.put_u8(33),
+        MakeArr => buf.put_u8(34),
+        IndexGet => buf.put_u8(35),
+        IndexSet => buf.put_u8(36),
+    }
+}
+
+fn get_op(buf: &mut Bytes) -> Result<Op, VmError> {
+    use Op::*;
+    if !buf.has_remaining() {
+        return Err(err("truncated op"));
+    }
+    let tag = buf.get_u8();
+    Ok(match tag {
+        0 => Const(get_varint(buf)? as u16),
+        1 => LoadLocal(get_varint(buf)? as u16),
+        2 => StoreLocal(get_varint(buf)? as u16),
+        3 => LoadNode(get_varint(buf)? as u16),
+        4 => StoreNode(get_varint(buf)? as u16),
+        5 => {
+            if !buf.has_remaining() {
+                return Err(err("truncated netvar"));
+            }
+            LoadNet(match buf.get_u8() {
+                0 => NetVar::Address,
+                1 => NetVar::Last,
+                2 => NetVar::Node,
+                3 => NetVar::Time,
+                t => return Err(err(&format!("bad netvar {t}"))),
+            })
+        }
+        6 => Dup,
+        7 => Pop,
+        8 => Add,
+        9 => Sub,
+        10 => Mul,
+        11 => Div,
+        12 => Mod,
+        13 => Neg,
+        14 => Not,
+        15 => Eq,
+        16 => Ne,
+        17 => Lt,
+        18 => Le,
+        19 => Gt,
+        20 => Ge,
+        21 => Jump(unzigzag(get_varint(buf)?) as i32),
+        22 => JumpIfFalse(unzigzag(get_varint(buf)?) as i32),
+        23 => JumpIfTruePeek(unzigzag(get_varint(buf)?) as i32),
+        24 => JumpIfFalsePeek(unzigzag(get_varint(buf)?) as i32),
+        25 => {
+            let f = get_varint(buf)? as u16;
+            if !buf.has_remaining() {
+                return Err(err("truncated call"));
+            }
+            Call { f, argc: buf.get_u8() }
+        }
+        26 => {
+            let name = get_varint(buf)? as u16;
+            if !buf.has_remaining() {
+                return Err(err("truncated native call"));
+            }
+            CallNative { name, argc: buf.get_u8() }
+        }
+        27 => Ret,
+        28 => Hop(get_varint(buf)? as u16),
+        29 => Create(get_varint(buf)? as u16),
+        30 => Delete(get_varint(buf)? as u16),
+        31 => SchedAbs,
+        32 => SchedDlt,
+        33 => Halt,
+        34 => MakeArr,
+        35 => IndexGet,
+        36 => IndexSet,
+        t => return Err(err(&format!("unknown op tag {t}"))),
+    })
+}
+
+fn put_node_pat(buf: &mut BytesMut, p: NodePat) {
+    buf.put_u8(matches!(p, NodePat::Expr) as u8);
+}
+
+fn get_node_pat(buf: &mut Bytes) -> Result<NodePat, VmError> {
+    if !buf.has_remaining() {
+        return Err(err("truncated pat"));
+    }
+    Ok(match buf.get_u8() {
+        0 => NodePat::Wild,
+        1 => NodePat::Expr,
+        t => return Err(err(&format!("bad node pat {t}"))),
+    })
+}
+
+fn put_link_pat(buf: &mut BytesMut, p: LinkPat) {
+    buf.put_u8(match p {
+        LinkPat::Wild => 0,
+        LinkPat::Unnamed => 1,
+        LinkPat::Expr => 2,
+        LinkPat::Virtual => 3,
+    });
+}
+
+fn get_link_pat(buf: &mut Bytes) -> Result<LinkPat, VmError> {
+    if !buf.has_remaining() {
+        return Err(err("truncated pat"));
+    }
+    Ok(match buf.get_u8() {
+        0 => LinkPat::Wild,
+        1 => LinkPat::Unnamed,
+        2 => LinkPat::Expr,
+        3 => LinkPat::Virtual,
+        t => return Err(err(&format!("bad link pat {t}"))),
+    })
+}
+
+fn put_name_pat(buf: &mut BytesMut, p: NamePat) {
+    buf.put_u8(matches!(p, NamePat::Expr) as u8);
+}
+
+fn get_name_pat(buf: &mut Bytes) -> Result<NamePat, VmError> {
+    if !buf.has_remaining() {
+        return Err(err("truncated pat"));
+    }
+    Ok(match buf.get_u8() {
+        0 => NamePat::Unnamed,
+        1 => NamePat::Expr,
+        t => return Err(err(&format!("bad name pat {t}"))),
+    })
+}
+
+/// Serialize a program (for code-registry shipping and the carry-code
+/// ablation).
+pub fn encode_program(p: &Program) -> Bytes {
+    let mut buf = BytesMut::with_capacity(256);
+    put_varint(&mut buf, p.consts.len() as u64);
+    for c in &p.consts {
+        put_value(&mut buf, c);
+    }
+    put_varint(&mut buf, p.funcs.len() as u64);
+    for f in &p.funcs {
+        put_str(&mut buf, &f.name);
+        buf.put_u8(f.arity);
+        put_varint(&mut buf, f.n_slots as u64);
+        put_varint(&mut buf, f.code.len() as u64);
+        for op in &f.code {
+            put_op(&mut buf, op);
+        }
+    }
+    put_varint(&mut buf, p.hop_specs.len() as u64);
+    for s in &p.hop_specs {
+        put_node_pat(&mut buf, s.ln);
+        put_link_pat(&mut buf, s.ll);
+        put_dir(&mut buf, s.ldir);
+    }
+    put_varint(&mut buf, p.create_specs.len() as u64);
+    for s in &p.create_specs {
+        buf.put_u8(s.all as u8);
+        put_varint(&mut buf, s.items.len() as u64);
+        for it in &s.items {
+            put_name_pat(&mut buf, it.ln);
+            put_name_pat(&mut buf, it.ll);
+            put_dir(&mut buf, it.ldir);
+            put_node_pat(&mut buf, it.dn);
+            put_link_pat(&mut buf, it.dl);
+            put_dir(&mut buf, it.ddir);
+        }
+    }
+    put_varint(&mut buf, p.entry.0 as u64);
+    buf.freeze()
+}
+
+/// Decode a program.
+///
+/// # Errors
+///
+/// [`VmError::Decode`] on malformed input (including an out-of-range
+/// entry function).
+pub fn decode_program(mut buf: Bytes) -> Result<Program, VmError> {
+    let nc = get_varint(&mut buf)? as usize;
+    if nc > u16::MAX as usize {
+        return Err(err("too many constants"));
+    }
+    let mut consts = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        consts.push(get_value(&mut buf)?);
+    }
+    let nf = get_varint(&mut buf)? as usize;
+    if nf > u16::MAX as usize {
+        return Err(err("too many functions"));
+    }
+    let mut funcs = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        let name = get_str(&mut buf)?;
+        if !buf.has_remaining() {
+            return Err(err("truncated function"));
+        }
+        let arity = buf.get_u8();
+        let n_slots = get_varint(&mut buf)? as u16;
+        let ni = get_varint(&mut buf)? as usize;
+        if ni > 1 << 24 {
+            return Err(err("absurd code length"));
+        }
+        let mut code = Vec::with_capacity(ni);
+        for _ in 0..ni {
+            code.push(get_op(&mut buf)?);
+        }
+        funcs.push(Function { name, arity, n_slots, code });
+    }
+    let nh = get_varint(&mut buf)? as usize;
+    let mut hop_specs = Vec::with_capacity(nh.min(1024));
+    for _ in 0..nh {
+        let ln = get_node_pat(&mut buf)?;
+        let ll = get_link_pat(&mut buf)?;
+        let ldir = get_dir(&mut buf)?;
+        hop_specs.push(HopSpec { ln, ll, ldir });
+    }
+    let ncs = get_varint(&mut buf)? as usize;
+    let mut create_specs = Vec::with_capacity(ncs.min(1024));
+    for _ in 0..ncs {
+        if !buf.has_remaining() {
+            return Err(err("truncated create spec"));
+        }
+        let all = buf.get_u8() != 0;
+        let ni = get_varint(&mut buf)? as usize;
+        let mut items = Vec::with_capacity(ni.min(1024));
+        for _ in 0..ni {
+            items.push(CreateItem {
+                ln: get_name_pat(&mut buf)?,
+                ll: get_name_pat(&mut buf)?,
+                ldir: get_dir(&mut buf)?,
+                dn: get_node_pat(&mut buf)?,
+                dl: get_link_pat(&mut buf)?,
+                ddir: get_dir(&mut buf)?,
+            });
+        }
+        create_specs.push(CreateSpec { items, all });
+    }
+    let entry = FuncId(get_varint(&mut buf)? as u16);
+    if entry.0 as usize >= funcs.len() {
+        return Err(err("entry function out of range"));
+    }
+    if buf.has_remaining() {
+        return Err(err("trailing bytes after program"));
+    }
+    Ok(Program { consts, funcs, hop_specs, create_specs, entry })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::Builder;
+
+    fn sample_values() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-1),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Float(3.25),
+            Value::Float(-0.0),
+            Value::Float(f64::INFINITY),
+            Value::str(""),
+            Value::str("héllo ∆"),
+            Value::Mat(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])),
+            Value::Blob(bytes::Bytes::from(vec![0u8, 1, 2, 255])),
+            Value::Arr(std::sync::Arc::new(vec![
+                Value::Int(1),
+                Value::str("two"),
+                Value::Arr(std::sync::Arc::new(vec![Value::Null])),
+            ])),
+            Value::Link(LinkInstance(u64::MAX)),
+        ]
+    }
+
+    #[test]
+    fn value_round_trips() {
+        for v in sample_values() {
+            let mut buf = BytesMut::new();
+            put_value(&mut buf, &v);
+            let mut bytes = buf.freeze();
+            let back = get_value(&mut bytes).unwrap();
+            assert_eq!(back, v, "round trip failed for {v:?}");
+            assert!(!bytes.has_remaining());
+        }
+    }
+
+    #[test]
+    fn messenger_round_trip() {
+        let mut b = Builder::new();
+        let f = b.function("main", 1, 2, vec![Op::Ret]);
+        let p = b.finish(f);
+        let mut m = MessengerState::launch(&p, MessengerId::compose(3, 17), &[Value::Int(5)])
+            .unwrap();
+        m.vtime = Vt::new(2.5);
+        m.frames[0].stack.push(Value::str("pending"));
+        m.frames.push(Frame {
+            func: FuncId(0),
+            pc: 1,
+            locals: vec![Value::Mat(Matrix::zeros(2, 2))],
+            stack: vec![],
+        });
+        let bytes = encode_messenger(&m);
+        let back = decode_messenger(bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let mut b = Builder::new();
+        let f = b.function("main", 0, 0, vec![Op::Halt]);
+        let p = b.finish(f);
+        let m = MessengerState::launch(&p, MessengerId(1), &[]).unwrap();
+        let full = encode_messenger(&m);
+        for cut in 0..full.len() {
+            let slice = full.slice(..cut);
+            assert!(decode_messenger(slice).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut b = Builder::new();
+        let f = b.function("main", 0, 0, vec![Op::Halt]);
+        let p = b.finish(f);
+        let m = MessengerState::launch(&p, MessengerId(1), &[]).unwrap();
+        let mut buf = BytesMut::from(&encode_messenger(&m)[..]);
+        buf.put_u8(0xAB);
+        assert!(decode_messenger(buf.freeze()).is_err());
+    }
+
+    fn rich_program() -> Program {
+        let mut b = Builder::new();
+        let c = b.constant(Value::str("row"));
+        let n = b.constant(Value::Int(12));
+        let hs = b.hop_spec(HopSpec { ln: NodePat::Expr, ll: LinkPat::Expr, ldir: Dir::Backward });
+        let cs = b.create_spec(CreateSpec {
+            items: vec![
+                CreateItem {
+                    ln: NamePat::Expr,
+                    ll: NamePat::Unnamed,
+                    ldir: Dir::Forward,
+                    dn: NodePat::Expr,
+                    dl: LinkPat::Wild,
+                    ddir: Dir::Any,
+                },
+            ],
+            all: true,
+        });
+        let helper = b.function("helper", 2, 1, vec![Op::LoadLocal(0), Op::Ret]);
+        let main = b.function(
+            "main",
+            0,
+            3,
+            vec![
+                Op::Const(c),
+                Op::Const(n),
+                Op::Call { f: helper.0, argc: 2 },
+                Op::Pop,
+                Op::LoadNet(NetVar::Last),
+                Op::Pop,
+                Op::Const(c),
+                Op::Const(c),
+                Op::Hop(hs),
+                Op::Const(c),
+                Op::Const(n),
+                Op::Create(cs),
+                Op::Jump(-3),
+                Op::JumpIfFalse(2),
+                Op::JumpIfTruePeek(1),
+                Op::JumpIfFalsePeek(-1),
+                Op::CallNative { name: c, argc: 0 },
+                Op::Delete(hs),
+                Op::SchedAbs,
+                Op::SchedDlt,
+                Op::MakeArr,
+                Op::IndexGet,
+                Op::IndexSet,
+                Op::Dup,
+                Op::Pop,
+                Op::Neg,
+                Op::Not,
+                Op::Eq,
+                Op::Ne,
+                Op::Lt,
+                Op::Le,
+                Op::Gt,
+                Op::Ge,
+                Op::Mod,
+                Op::Halt,
+            ],
+        );
+        b.finish(main)
+    }
+
+    #[test]
+    fn program_round_trip_preserves_id() {
+        let p = rich_program();
+        let bytes = encode_program(&p);
+        let back = decode_program(bytes).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.id(), p.id());
+    }
+
+    #[test]
+    fn program_truncation_never_panics() {
+        let p = rich_program();
+        let full = encode_program(&p);
+        for cut in 0..full.len() {
+            assert!(decode_program(full.slice(..cut)).is_err(), "cut {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn nan_vtime_rejected() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 1); // id
+        put_varint(&mut buf, 2); // program
+        put_f64(&mut buf, f64::NAN);
+        buf.put_u8(0);
+        put_varint(&mut buf, 0);
+        assert!(decode_messenger(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_varint(&mut b).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 123456, -654321] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Migration-transparency tests: serializing a messenger at every yield
+//! point and resuming the decoded copy must be indistinguishable from
+//! running it in place. This is the property that makes `hop` sound.
+
+use msgr_vm::{interp, wire, MapEnv, MessengerState, Value, Yield};
+
+/// Run a program in a single env; at every yield, round-trip the
+/// messenger through the wire codec before continuing.
+fn run_with_roundtrips(
+    program: &msgr_vm::Program,
+    args: &[Value],
+    env: &mut MapEnv,
+) -> (Vec<Yield>, Value) {
+    let mut m = MessengerState::launch(program, 1.into(), args).unwrap();
+    let mut yields = Vec::new();
+    loop {
+        let y = interp::run(program, &mut m, env, 1_000_000).unwrap();
+        match y {
+            Yield::Terminated(v) => return (yields, v),
+            other => {
+                yields.push(other);
+                // Migrate: encode, drop the original, decode, continue.
+                let bytes = wire::encode_messenger(&m);
+                m = wire::decode_messenger(bytes).unwrap();
+                // Suspensions advance virtual time before resumption.
+                if let Some(Yield::SchedAbs(t)) = yields.last() {
+                    m.vtime = m.vtime.max(*t);
+                }
+                if let Some(Yield::SchedDlt(dt)) = yields.last() {
+                    m.vtime = m.vtime.plus(*dt);
+                }
+            }
+        }
+    }
+}
+
+fn run_in_place(
+    program: &msgr_vm::Program,
+    args: &[Value],
+    env: &mut MapEnv,
+) -> (Vec<Yield>, Value) {
+    let mut m = MessengerState::launch(program, 1.into(), args).unwrap();
+    let mut yields = Vec::new();
+    loop {
+        let y = interp::run(program, &mut m, env, 1_000_000).unwrap();
+        match y {
+            Yield::Terminated(v) => return (yields, v),
+            other => {
+                if let Yield::SchedAbs(t) = &other {
+                    m.vtime = m.vtime.max(*t);
+                }
+                if let Yield::SchedDlt(dt) = &other {
+                    m.vtime = m.vtime.plus(*dt);
+                }
+                yields.push(other);
+            }
+        }
+    }
+}
+
+fn program(src: &str) -> msgr_vm::Program {
+    msgr_lang::compile(src).unwrap()
+}
+
+#[test]
+fn deep_call_stack_survives_migration() {
+    // Suspend from three frames deep, repeatedly.
+    let p = program(
+        r#"
+        main(n) {
+            return outer(n);
+        }
+        outer(n) {
+            int i, acc;
+            for (i = 0; i < n; i = i + 1) acc = acc + middle(i);
+            return acc;
+        }
+        middle(i) { return inner(i) * 2; }
+        inner(i) {
+            M_sched_time_dlt(0.5);
+            return i + 1;
+        }
+        "#,
+    );
+    let mut env1 = MapEnv::new();
+    let mut env2 = MapEnv::new();
+    let (y1, v1) = run_in_place(&p, &[Value::Int(6)], &mut env1);
+    let (y2, v2) = run_with_roundtrips(&p, &[Value::Int(6)], &mut env2);
+    assert_eq!(v1, v2);
+    assert_eq!(v1, Value::Int(42)); // sum of 2*(i+1) for i in 0..6
+    assert_eq!(y1.len(), 6);
+    assert_eq!(y1, y2);
+}
+
+#[test]
+fn operand_stack_contents_survive_migration() {
+    // A suspension in the middle of an expression: partial operands live
+    // on the operand stack across the yield.
+    let p = program(
+        r#"
+        main() {
+            int a = 10;
+            return a * boundary() + a;
+        }
+        boundary() {
+            M_sched_time_dlt(1.0);
+            return 3;
+        }
+        "#,
+    );
+    let (_, v1) = run_in_place(&p, &[], &mut MapEnv::new());
+    let (_, v2) = run_with_roundtrips(&p, &[], &mut MapEnv::new());
+    assert_eq!(v1, Value::Int(40));
+    assert_eq!(v2, Value::Int(40));
+}
+
+#[test]
+fn node_variables_and_messenger_variables_interleave() {
+    let p = program(
+        r#"
+        main(rounds) {
+            int k, mine;
+            node int shared;
+            for (k = 0; k < rounds; k = k + 1) {
+                M_sched_time_dlt(1.0);
+                mine = mine + k;
+                shared = shared + mine;
+            }
+            return mine;
+        }
+        "#,
+    );
+    let mut env1 = MapEnv::new();
+    let mut env2 = MapEnv::new();
+    let (_, v1) = run_in_place(&p, &[Value::Int(5)], &mut env1);
+    let (_, v2) = run_with_roundtrips(&p, &[Value::Int(5)], &mut env2);
+    assert_eq!(v1, v2);
+    assert_eq!(env1.vars.get("shared"), env2.vars.get("shared"));
+}
+
+#[test]
+fn hop_yields_preserve_evaluated_destinations() {
+    let p = program(
+        r#"
+        main(times) {
+            int k;
+            for (k = 0; k < times; k = k + 1) {
+                hop(ln = "target" + k; ll = "wire"; ldir = +);
+            }
+        }
+        "#,
+    );
+    let (y1, _) = run_in_place(&p, &[Value::Int(3)], &mut MapEnv::new());
+    let (y2, _) = run_with_roundtrips(&p, &[Value::Int(3)], &mut MapEnv::new());
+    assert_eq!(y1, y2);
+    assert_eq!(y1.len(), 3);
+    match &y1[2] {
+        Yield::Hop(h) => assert_eq!(h.ln, Some(Value::str("target2"))),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn virtual_time_accumulates_identically() {
+    let p = program(
+        r#"
+        main() {
+            M_sched_time_abs(2.0);
+            M_sched_time_dlt(0.5);
+            M_sched_time_dlt(0.25);
+            return $time;
+        }
+        "#,
+    );
+    let (_, v1) = run_in_place(&p, &[], &mut MapEnv::new());
+    let (_, v2) = run_with_roundtrips(&p, &[], &mut MapEnv::new());
+    assert_eq!(v1, Value::Float(2.75));
+    assert_eq!(v2, v1);
+}

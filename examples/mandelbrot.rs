@@ -1,0 +1,69 @@
+//! The paper's §3.1 application: Mandelbrot via the manager/worker
+//! paradigm — except there is no manager. Workers created with
+//! `create(ALL)` shuttle between their work areas and the central node,
+//! pulling tasks and depositing pixel blocks.
+//!
+//! This example runs the *threaded* platform: the fractal genuinely
+//! computes on worker threads, and the assembled image is rendered as
+//! ASCII art. It then replays the same scene on the simulation platform
+//! to show the paper's 1997-era runtime estimate.
+//!
+//! Run with: `cargo run --release --example mandelbrot`
+
+use std::sync::Arc;
+
+use messengers::apps::calib::Calib;
+use messengers::apps::mandel::{render_sequential, MandelScene, MandelWork};
+use messengers::apps::mandel_msgr;
+use messengers::core::ClusterConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scene = MandelScene::paper(256, 8);
+
+    println!("MESSENGERS manager/worker (Fig. 3) on 8 daemon threads…");
+    let run = mandel_msgr::run_threads(scene, 8)?;
+    println!(
+        "rendered {}x{} in {:.0} ms with {} hops and {} migrations\n",
+        scene.size,
+        scene.size,
+        run.seconds * 1e3,
+        run.stats.counter("hops"),
+        run.stats.counter("migrations_out"),
+    );
+
+    // Verify against the sequential render and draw it.
+    let work = Arc::new(MandelWork::compute(scene));
+    let calib = Calib::default();
+    let (_, expected) = render_sequential(&work, &calib);
+    assert_eq!(run.checksum, expected, "distributed image differs from sequential");
+    draw(&work);
+
+    // The same computation on the simulated 1997 cluster.
+    println!("\nreplaying on the simulated 110 MHz SPARC cluster:");
+    for procs in [1usize, 4, 16] {
+        let sim = mandel_msgr::run_sim(&work, procs, &calib, ClusterConfig::new(procs))?;
+        assert_eq!(sim.checksum, expected);
+        println!("  {procs:>2} processors: {:>7.3} simulated seconds", sim.seconds);
+    }
+    Ok(())
+}
+
+fn draw(work: &MandelWork) {
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let n = work.scene.size as usize;
+    let step = n / 64;
+    for row in (0..n).step_by(step) {
+        let mut line = String::with_capacity(64);
+        for col in (0..n).step_by(step) {
+            let iters = work.pixels[row * n + col] as usize;
+            let shade = if iters >= work.scene.max_iter as usize {
+                shades[9]
+            } else {
+                shades[(iters * 9 / 64).min(8)]
+            };
+            line.push(shade);
+            line.push(shade);
+        }
+        println!("{line}");
+    }
+}

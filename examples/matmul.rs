@@ -1,0 +1,43 @@
+//! The paper's §3.2 application: block matrix multiplication coordinated
+//! entirely by global virtual time — `distribute_A` messengers replicate
+//! A blocks along grid rows at integer ticks, `rotate_B` messengers
+//! multiply and carry B blocks up the columns at half ticks.
+//!
+//! Runs on the simulation platform in both virtual-time modes and checks
+//! the distributed product against a reference multiplication.
+//!
+//! Run with: `cargo run --release --example matmul`
+
+use messengers::apps::calib::Calib;
+use messengers::apps::matmul::{max_abs_diff, multiply_reference, test_matrix};
+use messengers::apps::matmul_msgr::{run_sim, MATMUL_SCRIPTS};
+use messengers::apps::MatmulScene;
+use messengers::core::config::VtMode;
+use messengers::core::ClusterConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("The two messenger scripts (paper Fig. 11):");
+    println!("{MATMUL_SCRIPTS}");
+
+    let scene = MatmulScene::new(3, 32); // 96x96 matrices on a 3x3 grid
+    let a = test_matrix(scene.n(), 7);
+    let b = test_matrix(scene.n(), 8);
+    let reference = multiply_reference(&a, &b);
+    let calib = Calib::default();
+
+    for mode in [VtMode::Conservative, VtMode::Optimistic] {
+        let mut cfg = ClusterConfig::new(9);
+        cfg.vt_mode = mode;
+        let run = run_sim(scene, &a, &b, &calib, cfg)?;
+        let err = max_abs_diff(&run.product, &reference);
+        println!(
+            "{mode:?}: {:.3} simulated s | gvt rounds {} | rollbacks {} | max |err| {err:.2e}",
+            run.seconds,
+            run.stats.counter("gvt_rounds"),
+            run.stats.counter("rollbacks"),
+        );
+        assert!(err < 1e-9, "product mismatch");
+    }
+    println!("both modes computed the exact same product ✓");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Quickstart: compile an MSGR-C script, build a logical network, inject
+//! messengers, and inspect the results — on both platforms.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use messengers::core::topology::LogicalTopology;
+use messengers::core::{ClusterConfig, DaemonId, SimCluster, ThreadCluster};
+use messengers::vm::{Dir, Value};
+
+const SCRIPT: &str = r#"
+// Walk a ring of logical nodes, incrementing a counter at each stop and
+// recording the total distance travelled in the messenger's own state.
+walker(laps, ring_len) {
+    int steps, total = laps * ring_len;
+    node int visits;
+    for (steps = 0; steps < total; steps = steps + 1) {
+        visits = visits + 1;
+        hop(ll = "ring"; ldir = +);
+    }
+    visits = visits + 1000;   // mark the final node
+}
+"#;
+
+fn build_ring(n: usize, daemons: usize) -> LogicalTopology {
+    let mut topo = LogicalTopology::new();
+    for i in 0..n {
+        topo.node(Value::str(format!("r{i}")), DaemonId((i % daemons) as u16));
+    }
+    for i in 0..n {
+        topo.link(
+            Value::str(format!("r{i}")),
+            Value::str(format!("r{}", (i + 1) % n)),
+            Value::str("ring"),
+            Dir::Forward,
+        );
+    }
+    topo
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = messengers::lang::compile(SCRIPT)?;
+    println!("compiled `walker` to {} bytecode ops\n", program.instruction_count());
+
+    // --- Simulation platform: deterministic, with a 1997 cost model ----
+    let mut sim = SimCluster::new(ClusterConfig::new(4));
+    sim.build(&build_ring(8, 4))?;
+    let pid = sim.register_program(&program);
+    sim.inject_at(&Value::str("r0"), pid, &[Value::Int(3), Value::Int(8)])?;
+    let report = sim.run()?;
+    println!(
+        "simulated: {:.3} ms of 1997 cluster time, {} migrations",
+        report.sim_seconds * 1e3,
+        report.stats.counter("migrations_out"),
+    );
+    for i in 0..8 {
+        let v = sim.node_var_by_name(&Value::str(format!("r{i}")), "visits");
+        println!("  r{i}: visits = {}", v.unwrap_or(Value::Null));
+    }
+
+    // --- Threaded platform: real concurrent execution ------------------
+    let mut live = ThreadCluster::new(ClusterConfig::new(4))?;
+    live.build(&build_ring(8, 4))?;
+    let pid = live.register_program(&program);
+    live.inject_at(&Value::str("r0"), pid, &[Value::Int(3), Value::Int(8)])?;
+    let report = live.run()?;
+    println!(
+        "\nthreaded: {:.1} ms wall clock on 4 daemon threads",
+        report.wall_seconds * 1e3
+    );
+    let total: i64 = (0..8)
+        .map(|i| {
+            live.node_var_by_name(&Value::str(format!("r{i}")), "visits")
+                .and_then(|v| v.as_int().ok())
+                .unwrap_or(0)
+        })
+        .sum();
+    println!("total visits across the ring: {total} (24 hops + 1000 end marker)");
+    assert_eq!(total, 3 * 8 + 1000);
+    Ok(())
+}

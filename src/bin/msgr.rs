@@ -1,0 +1,256 @@
+//! `msgr` — the MESSENGERS command shell.
+//!
+//! The paper's users inject messengers "from the shell" into any
+//! daemon's `init` node (§2.1). This binary is that shell, batch-style:
+//! compile an MSGR-C script, optionally build a logical network from a
+//! topology file, inject messengers, run the cluster, and print node
+//! variables.
+//!
+//! ```text
+//! msgr check  script.mc                      # compile only
+//! msgr dis    script.mc                      # disassemble bytecode
+//! msgr run    script.mc [options]
+//!     --daemons N          cluster size (default 4)
+//!     --threads            real threaded runtime (default: simulator)
+//!     --topology FILE      net_builder topology file (node/link lines)
+//!     --entry NAME         entry function (default: first in file)
+//!     --inject WHERE[:a,b] injection point: daemon number or node name,
+//!                          with optional int/float/string arguments
+//!                          (repeatable; default: one messenger at daemon 0)
+//!     --show NODE.VAR      print a node variable after the run (repeatable)
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! msgr run examples/scripts/census.mc --daemons 8 --show init.workers
+//! ```
+
+use std::process::ExitCode;
+
+use messengers::core::topology::LogicalTopology;
+use messengers::core::{ClusterConfig, SimCluster, ThreadCluster};
+use messengers::vm::Value;
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("msgr: {msg}");
+    ExitCode::FAILURE
+}
+
+fn parse_arg_value(raw: &str) -> Value {
+    if let Ok(i) = raw.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        if !f.is_nan() {
+            return Value::Float(f);
+        }
+    }
+    Value::str(raw)
+}
+
+struct Injection {
+    where_: String,
+    args: Vec<Value>,
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match argv.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return fail("usage: msgr <check|dis|run> <script.mc> [options]"),
+    };
+    let (path, opts) = match rest.split_first() {
+        Some((p, o)) => (p.as_str(), o),
+        None => return fail("missing script path"),
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("cannot read `{path}`: {e}")),
+    };
+
+    match cmd {
+        "check" => match messengers::lang::compile(&source) {
+            Ok(p) => {
+                println!(
+                    "ok: {} function(s), {} bytecode ops, program {}",
+                    p.funcs.len(),
+                    p.instruction_count(),
+                    p.id()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        "dis" => match messengers::lang::compile(&source) {
+            Ok(p) => {
+                print!("{}", messengers::lang::dis::disassemble(&p));
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        "run" => run(&source, opts),
+        other => fail(format!("unknown command `{other}`")),
+    }
+}
+
+fn run(source: &str, opts: &[String]) -> ExitCode {
+    let mut daemons = 4usize;
+    let mut threads = false;
+    let mut topology: Option<LogicalTopology> = None;
+    let mut entry: Option<String> = None;
+    let mut injections: Vec<Injection> = Vec::new();
+    let mut shows: Vec<(String, String)> = Vec::new();
+    let mut dump = false;
+
+    let mut it = opts.iter();
+    while let Some(opt) = it.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{opt} needs {what}"))
+        };
+        let result: Result<(), String> = (|| {
+            match opt.as_str() {
+                "--daemons" => {
+                    daemons = take("a count")?.parse().map_err(|_| "bad daemon count".to_string())?;
+                }
+                "--threads" => threads = true,
+                "--dump" => dump = true,
+                "--topology" => {
+                    let file = take("a file")?;
+                    let text = std::fs::read_to_string(&file)
+                        .map_err(|e| format!("cannot read `{file}`: {e}"))?;
+                    topology = Some(LogicalTopology::parse(&text)?);
+                }
+                "--entry" => entry = Some(take("a function name")?),
+                "--inject" => {
+                    let spec = take("an injection point")?;
+                    let (where_, args) = match spec.split_once(':') {
+                        Some((w, a)) => (
+                            w.to_string(),
+                            a.split(',').filter(|s| !s.is_empty()).map(parse_arg_value).collect(),
+                        ),
+                        None => (spec, Vec::new()),
+                    };
+                    injections.push(Injection { where_, args });
+                }
+                "--show" => {
+                    let spec = take("NODE.VAR")?;
+                    let (node, var) = spec
+                        .split_once('.')
+                        .ok_or_else(|| "--show wants NODE.VAR".to_string())?;
+                    shows.push((node.to_string(), var.to_string()));
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            return fail(e);
+        }
+    }
+    if injections.is_empty() {
+        injections.push(Injection { where_: "0".to_string(), args: Vec::new() });
+    }
+
+    let program = match entry {
+        Some(name) => messengers::lang::compile_with_entry(source, &name),
+        None => messengers::lang::compile(source),
+    };
+    let program = match program {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+
+    macro_rules! drive {
+        ($cluster:expr, $run_field:ident, $unit:expr) => {{
+            let mut cluster = $cluster;
+            if let Some(t) = &topology {
+                if let Err(e) = cluster.build(t) {
+                    return fail(e);
+                }
+            }
+            let pid = cluster.register_program(&program);
+            for inj in &injections {
+                let outcome = match inj.where_.parse::<u16>() {
+                    Ok(d) => cluster.inject(d, pid, &inj.args),
+                    Err(_) => cluster.inject_at(&Value::str(&inj.where_), pid, &inj.args),
+                };
+                if let Err(e) = outcome {
+                    return fail(format!("inject at `{}`: {e}", inj.where_));
+                }
+            }
+            match cluster.run() {
+                Ok(report) => {
+                    println!("{:.6} {} | counters:", report.$run_field, $unit);
+                    for (k, v) in report.stats.counters() {
+                        println!("  {k}: {v}");
+                    }
+                    if !report.faults.is_empty() {
+                        for (id, err) in &report.faults {
+                            eprintln!("fault: messenger {id}: {err}");
+                        }
+                    }
+                    for (node, var) in &shows {
+                        let name = Value::str(node);
+                        let v = cluster
+                            .node_var_by_name(&name, var)
+                            .or_else(|| cluster.node_var(0, &name, var));
+                        println!("{node}.{var} = {}", v.unwrap_or(Value::Null));
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }};
+    }
+
+    if threads {
+        if dump {
+            return fail("--dump is only available on the simulation platform");
+        }
+        match ThreadCluster::new(ClusterConfig::new(daemons)) {
+            Ok(c) => drive!(c, wall_seconds, "wall seconds"),
+            Err(e) => fail(e),
+        }
+    } else {
+        let mut cluster = SimCluster::new(ClusterConfig::new(daemons));
+        if let Some(t) = &topology {
+            if let Err(e) = cluster.build(t) {
+                return fail(e);
+            }
+        }
+        let pid = cluster.register_program(&program);
+        for inj in &injections {
+            let outcome = match inj.where_.parse::<u16>() {
+                Ok(d) => cluster.inject(d, pid, &inj.args),
+                Err(_) => cluster.inject_at(&Value::str(&inj.where_), pid, &inj.args),
+            };
+            if let Err(e) = outcome {
+                return fail(format!("inject at `{}`: {e}", inj.where_));
+            }
+        }
+        match cluster.run() {
+            Ok(report) => {
+                println!("{:.6} simulated seconds | counters:", report.sim_seconds);
+                for (k, v) in report.stats.counters() {
+                    println!("  {k}: {v}");
+                }
+                for (id, err) in &report.faults {
+                    eprintln!("fault: messenger {id}: {err}");
+                }
+                for (node, var) in &shows {
+                    let name = Value::str(node);
+                    let v = cluster
+                        .node_var_by_name(&name, var)
+                        .or_else(|| cluster.node_var(0, &name, var));
+                    println!("{node}.{var} = {}", v.unwrap_or(Value::Null));
+                }
+                if dump {
+                    print!("{}", cluster.network_dump());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! # messengers — "Messages versus Messengers in Distributed Programming"
+//!
+//! A from-scratch Rust reproduction of the MESSENGERS system (Fukuda,
+//! Bic, Dillencourt, Cahill; ICDCS 1997): distributed programming with
+//! *self-migrating computations* instead of message passing.
+//!
+//! A Messenger is an autonomous object that navigates an
+//! application-defined **logical network**, carrying its program
+//! (bytecode) and private state, computing at the nodes it visits, and
+//! coordinating with other messengers through shared **node variables**
+//! and system-provided **global virtual time**. Instead of
+//! `send`/`receive`, programs are written with *navigational* statements:
+//!
+//! ```text
+//! manager_worker() {
+//!     block task, res;
+//!     create(ALL);                 // clone a worker onto every daemon
+//!     hop(ll = $last);             // come back to the central node
+//!     while ((task = next_task()) != NULL) {
+//!         hop(ll = $last);         // carry the task to my work area
+//!         res = compute(task);
+//!         hop(ll = $last);         // carry the result back
+//!         deposit(res);
+//!     }
+//! }
+//! ```
+//!
+//! That is the paper's Fig. 3 — a complete parallel manager/worker
+//! program with no manager process and no explicit synchronization.
+//!
+//! ## Crates
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`lang`] | MSGR-C: the C-subset scripting language with `hop`/`create`/`delete` |
+//! | [`vm`] | Bytecode VM; messenger state is plain serializable data |
+//! | [`core`] | Daemons, logical networks, navigation, injection; simulated + threaded platforms |
+//! | [`gvt`] | Global virtual time: conservative protocol + Time-Warp rollback |
+//! | [`pvm`] | The PVM 3.3-like message-passing baseline |
+//! | [`sim`] | Deterministic discrete-event cluster simulator (hosts, Ethernet) |
+//! | [`apps`] | The paper's applications: Mandelbrot, block matrix multiplication |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use messengers::core::{ClusterConfig, SimCluster};
+//! use messengers::vm::Value;
+//!
+//! // A messenger that walks to every daemon and tallies itself.
+//! let program = messengers::lang::compile(
+//!     r#"
+//!     census() {
+//!         node int workers;
+//!         create(ALL);
+//!         workers = workers + 1;
+//!     }
+//!     "#,
+//! )?;
+//!
+//! let mut cluster = SimCluster::new(ClusterConfig::new(8));
+//! let pid = cluster.register_program(&program);
+//! cluster.inject(0, pid, &[])?;
+//! cluster.run()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for runnable programs (including real multi-threaded
+//! execution) and `crates/bench` for the reproduction of every figure in
+//! the paper's evaluation.
+
+#![warn(missing_docs)]
+
+pub use msgr_apps as apps;
+pub use msgr_core as core;
+pub use msgr_gvt as gvt;
+pub use msgr_lang as lang;
+pub use msgr_pvm as pvm;
+pub use msgr_sim as sim;
+pub use msgr_vm as vm;

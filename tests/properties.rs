@@ -1,0 +1,204 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use messengers::vm::{wire, Frame, Matrix, MessengerState, Value, Vt};
+
+// ---- value / messenger codec ------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN is rejected by design.
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        "[a-z0-9 ,._-]{0,24}".prop_map(Value::str),
+        proptest::collection::vec(any::<f64>().prop_filter("finite", |f| f.is_finite()), 1..16)
+            .prop_map(|v| Value::Mat(Matrix::from_vec(1, v.len() as u32, v))),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|v| Value::Blob(bytes::Bytes::from(v))),
+    ];
+    leaf
+}
+
+proptest! {
+    #[test]
+    fn value_codec_round_trips(v in arb_value()) {
+        let mut buf = bytes::BytesMut::new();
+        wire::put_value(&mut buf, &v);
+        let mut bytes = buf.freeze();
+        let back = wire::get_value(&mut bytes).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn messenger_codec_round_trips(
+        locals in proptest::collection::vec(arb_value(), 0..8),
+        stack in proptest::collection::vec(arb_value(), 0..4),
+        vt in 0.0f64..1e9,
+        id in any::<u64>(),
+        pc in any::<u16>(),
+    ) {
+        let m = MessengerState {
+            id: id.into(),
+            program: messengers::vm::ProgramId(42),
+            frames: vec![Frame {
+                func: messengers::vm::FuncId(0),
+                pc: pc as u32,
+                locals,
+                stack,
+            }],
+            vtime: Vt::new(vt),
+            anti: false,
+        };
+        let encoded = wire::encode_messenger(&m);
+        let back = wire::decode_messenger(encoded).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn messenger_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Must return Ok or Err, never panic.
+        let _ = wire::decode_messenger(bytes::Bytes::from(bytes));
+    }
+
+    #[test]
+    fn program_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::decode_program(bytes::Bytes::from(bytes));
+    }
+}
+
+// ---- language: compiled arithmetic matches direct evaluation ---------------
+
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+}
+
+impl E {
+    fn render(&self) -> String {
+        match self {
+            E::Lit(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", -(*v as i64))
+                } else {
+                    v.to_string()
+                }
+            }
+            E::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            E::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            E::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+        }
+    }
+
+    fn eval(&self) -> i64 {
+        match self {
+            E::Lit(v) => *v as i64,
+            E::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            E::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            E::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = (-1000i32..1000).prop_map(E::Lit);
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compiled_arithmetic_matches_host_arithmetic(e in arb_expr()) {
+        let src = format!("main() {{ return {}; }}", e.render());
+        let program = messengers::lang::compile(&src).unwrap();
+        let mut m = MessengerState::launch(&program, 1.into(), &[]).unwrap();
+        let y = messengers::vm::interp::run(
+            &program,
+            &mut m,
+            &mut messengers::vm::NullEnv,
+            1_000_000,
+        )
+        .unwrap();
+        prop_assert_eq!(y, messengers::vm::Yield::Terminated(Value::Int(e.eval())));
+    }
+
+    #[test]
+    fn vt_ordering_is_total_and_monotone(mut ts in proptest::collection::vec(0.0f64..1e12, 1..64)) {
+        let mut vts: Vec<Vt> = ts.iter().map(|&t| Vt::new(t)).collect();
+        vts.sort();
+        ts.sort_by(f64::total_cmp);
+        for (vt, t) in vts.iter().zip(&ts) {
+            prop_assert_eq!(vt.as_f64(), *t);
+        }
+    }
+}
+
+// ---- pending queue ----------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn pending_queue_pops_in_nondecreasing_time_order(
+        items in proptest::collection::vec((0.0f64..1e6, any::<u32>()), 0..128)
+    ) {
+        let mut q = messengers::gvt::PendingQueue::new();
+        for (t, payload) in &items {
+            q.push(Vt::new(*t), *payload);
+        }
+        let mut last = Vt::ZERO;
+        let mut count = 0;
+        while let Some((wake, _)) = q.pop_min() {
+            prop_assert!(wake >= last);
+            last = wake;
+            count += 1;
+        }
+        prop_assert_eq!(count, items.len());
+    }
+
+    #[test]
+    fn pending_queue_pop_runnable_respects_bound(
+        items in proptest::collection::vec(0.0f64..100.0, 1..64),
+        gvt in 0.0f64..100.0,
+    ) {
+        let mut q = messengers::gvt::PendingQueue::new();
+        for (i, t) in items.iter().enumerate() {
+            q.push(Vt::new(*t), i);
+        }
+        let bound = Vt::new(gvt);
+        while let Some((wake, _)) = q.pop_runnable(bound) {
+            prop_assert!(wake <= bound);
+        }
+        // Whatever remains is strictly later than the bound.
+        prop_assert!(q.min_wake().is_none_or(|w| w > bound));
+    }
+}
+
+// ---- PVM buffers -------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn pvm_buf_round_trips(
+        ints in proptest::collection::vec(any::<i64>(), 0..16),
+        floats in proptest::collection::vec(any::<f64>().prop_filter("finite", |f| f.is_finite()), 0..16),
+        text in "[a-z ]{0,32}",
+        raw in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut b = messengers::pvm::Buf::new();
+        b.pack_ints(&ints).pack_floats(&floats).pack_str(&text).pack_bytes(&raw);
+        prop_assert_eq!(b.unpack_ints().unwrap(), ints);
+        prop_assert_eq!(b.unpack_floats().unwrap(), floats);
+        prop_assert_eq!(b.unpack_str().unwrap(), text);
+        prop_assert_eq!(b.unpack_bytes().unwrap(), raw);
+        prop_assert!(b.unpack_ints().is_err());
+    }
+}
