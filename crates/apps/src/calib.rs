@@ -104,10 +104,7 @@ mod tests {
         let naive = c.naive_multiply_ns(1500) as f64;
         let blocked = c.blocked_multiply_ns(3, 500) as f64;
         let speedup = naive / blocked;
-        assert!(
-            (1.10..=1.16).contains(&speedup),
-            "blocked speedup {speedup:.3} not ≈ 1.13"
-        );
+        assert!((1.10..=1.16).contains(&speedup), "blocked speedup {speedup:.3} not ≈ 1.13");
     }
 
     #[test]

@@ -112,8 +112,10 @@ impl MandelWork {
         let (w, h) = (scene.size as f64, scene.size as f64);
         for py in 0..scene.size {
             for px in 0..scene.size {
-                let cx = scene.region.x0 + (px as f64 + 0.5) / w * (scene.region.x1 - scene.region.x0);
-                let cy = scene.region.y0 + (py as f64 + 0.5) / h * (scene.region.y1 - scene.region.y0);
+                let cx =
+                    scene.region.x0 + (px as f64 + 0.5) / w * (scene.region.x1 - scene.region.x0);
+                let cy =
+                    scene.region.y0 + (py as f64 + 0.5) / h * (scene.region.y1 - scene.region.y0);
                 pixels[(py as usize) * n + px as usize] =
                     mandel_iters(cx, cy, scene.max_iter) as u16;
             }
@@ -215,7 +217,7 @@ mod tests {
         // Origin is interior: never escapes.
         assert_eq!(mandel_iters(0.0, 0.0, 512), 512);
         assert_eq!(mandel_iters(-1.0, 0.0, 512), 512); // period-2 bulb
-        // A point just outside the cardioid cusp escapes slowly.
+                                                       // A point just outside the cardioid cusp escapes slowly.
         let n = mandel_iters(0.26, 0.0, 512);
         assert!(n > 10 && n < 512, "near-cusp point got {n}");
     }
@@ -242,10 +244,7 @@ mod tests {
         let w = MandelWork::compute(MandelScene::paper(64, 4));
         assert_eq!(w.pixels.len(), 64 * 64);
         assert_eq!(w.block_iters.len(), 16);
-        assert_eq!(
-            w.total_iters(),
-            w.pixels.iter().map(|&p| p as u64).sum::<u64>()
-        );
+        assert_eq!(w.total_iters(), w.pixels.iter().map(|&p| p as u64).sum::<u64>());
         // The paper's region contains interior points (max_iter) and
         // fast-escaping points.
         assert!(w.pixels.contains(&512));

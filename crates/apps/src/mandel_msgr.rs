@@ -10,8 +10,8 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use msgr_vm::bytes::Bytes;
+use std::sync::Mutex;
 
 use msgr_core::{ClusterConfig, ClusterError, SimCluster, ThreadCluster};
 use msgr_sim::Stats;
@@ -100,24 +100,28 @@ pub fn run_sim(
     {
         let image = image.clone();
         cluster.register_native("deposit", move |ctx, args| {
-            let blob = args.first().ok_or("deposit needs a result")?.as_blob().map_err(|e| e.to_string())?;
+            let blob = args
+                .first()
+                .ok_or("deposit needs a result")?
+                .as_blob()
+                .map_err(|e| e.to_string())?;
             // One copy into the result area.
             ctx.charge(blob.len() as u64 * 25);
             let idx = u32::from_le_bytes(blob[..4].try_into().expect("blob header"));
-            MandelWork::deposit_payload(&scene, &mut image.lock(), idx, &blob[4..]);
+            MandelWork::deposit_payload(&scene, &mut image.lock().unwrap(), idx, &blob[4..]);
             Ok(Value::Null)
         });
     }
 
-    let program = msgr_lang::compile(MANAGER_WORKER_SCRIPT)
-        .expect("manager/worker script compiles");
+    let program =
+        msgr_lang::compile(MANAGER_WORKER_SCRIPT).expect("manager/worker script compiles");
     let pid = cluster.register_program(&program);
     cluster.inject(0, pid, &[])?;
     let report = cluster.run()?;
     if let Some((mid, err)) = report.faults.first() {
         return Err(ClusterError::Config(format!("messenger {mid} faulted: {err}")));
     }
-    let image = image.lock();
+    let image = image.lock().unwrap();
     Ok(MandelRun {
         seconds: report.sim_seconds,
         checksum: MandelWork::checksum(&image),
@@ -169,22 +173,26 @@ pub fn run_threads(scene: MandelScene, procs: usize) -> Result<MandelRun, Cluste
     {
         let image = image.clone();
         cluster.register_native("deposit", move |_ctx, args| {
-            let blob = args.first().ok_or("deposit needs a result")?.as_blob().map_err(|e| e.to_string())?;
+            let blob = args
+                .first()
+                .ok_or("deposit needs a result")?
+                .as_blob()
+                .map_err(|e| e.to_string())?;
             let idx = u32::from_le_bytes(blob[..4].try_into().expect("blob header"));
-            MandelWork::deposit_payload(&scene, &mut image.lock(), idx, &blob[4..]);
+            MandelWork::deposit_payload(&scene, &mut image.lock().unwrap(), idx, &blob[4..]);
             Ok(Value::Null)
         });
     }
 
-    let program = msgr_lang::compile(MANAGER_WORKER_SCRIPT)
-        .expect("manager/worker script compiles");
+    let program =
+        msgr_lang::compile(MANAGER_WORKER_SCRIPT).expect("manager/worker script compiles");
     let pid = cluster.register_program(&program);
     cluster.inject(0, pid, &[])?;
     let report = cluster.run()?;
     if let Some((mid, err)) = report.faults.first() {
         return Err(ClusterError::Config(format!("messenger {mid} faulted: {err}")));
     }
-    let image = image.lock();
+    let image = image.lock().unwrap();
     Ok(MandelRun {
         seconds: report.wall_seconds,
         checksum: MandelWork::checksum(&image),

@@ -65,7 +65,7 @@ struct Manager {
     next_task: i64,
     outstanding: usize,
     image: Vec<u8>,
-    done: Arc<parking_lot::Mutex<(u64, bool)>>,
+    done: Arc<std::sync::Mutex<(u64, bool)>>,
 }
 
 impl Manager {
@@ -127,7 +127,7 @@ impl Task for Manager {
             b.pack_int(POISON);
             ctx.send(*w, TAG_TASK, b);
         }
-        *self.done.lock() = (MandelWork::checksum(&self.image), true);
+        *self.done.lock().unwrap() = (MandelWork::checksum(&self.image), true);
         Status::Exit
     }
 }
@@ -165,7 +165,7 @@ pub fn run_sim_routed(
     cfg.net = net;
     cfg.costs.direct_route = direct;
     let mut vm = PvmSim::new(cfg);
-    let done = Arc::new(parking_lot::Mutex::new((0u64, false)));
+    let done = Arc::new(std::sync::Mutex::new((0u64, false)));
     vm.root(Box::new(Manager {
         work: work.clone(),
         calib: *calib,
@@ -177,7 +177,7 @@ pub fn run_sim_routed(
         done: done.clone(),
     }));
     let report = vm.run()?;
-    let (checksum, finished) = *done.lock();
+    let (checksum, finished) = *done.lock().unwrap();
     assert!(finished, "manager exited without completing");
     Ok(MandelPvmRun { seconds: report.sim_seconds, checksum, stats: report.stats })
 }
@@ -196,10 +196,7 @@ pub fn run_threads(scene: crate::mandel::MandelScene, procs: usize) -> MandelPvm
     use msgr_pvm::{PvmThreads, Recv, ThreadTaskCtx};
 
     let start = std::time::Instant::now();
-    let image = Arc::new(parking_lot::Mutex::new(vec![
-        0u8;
-        (scene.size * scene.size) as usize
-    ]));
+    let image = Arc::new(std::sync::Mutex::new(vec![0u8; (scene.size * scene.size) as usize]));
     let image_out = image.clone();
 
     let compute_block = move |idx: u32| -> Vec<u8> {
@@ -251,7 +248,7 @@ pub fn run_threads(scene: crate::mandel::MandelScene, procs: usize) -> MandelPvm
             let mut m = ctx.recv(Recv::tag(TAG_RESULT));
             let idx = m.buf.unpack_int().expect("result index") as u32;
             let payload = m.buf.unpack_bytes().expect("payload");
-            MandelWork::deposit_payload(&scene, &mut image.lock(), idx, &payload);
+            MandelWork::deposit_payload(&scene, &mut image.lock().unwrap(), idx, &payload);
             received += 1;
             if next < total {
                 let mut b = Buf::new();
@@ -266,12 +263,8 @@ pub fn run_threads(scene: crate::mandel::MandelScene, procs: usize) -> MandelPvm
             ctx.send(*w, TAG_TASK, b);
         }
     });
-    let checksum = MandelWork::checksum(&image_out.lock());
-    MandelPvmRun {
-        seconds: start.elapsed().as_secs_f64(),
-        checksum,
-        stats: msgr_sim::Stats::new(),
-    }
+    let checksum = MandelWork::checksum(&image_out.lock().unwrap());
+    MandelPvmRun { seconds: start.elapsed().as_secs_f64(), checksum, stats: msgr_sim::Stats::new() }
 }
 
 #[cfg(test)]

@@ -44,9 +44,8 @@ pub fn test_matrix(n: u32, seed: u64) -> Matrix {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     };
-    let data: Vec<f64> = (0..(n as usize * n as usize))
-        .map(|_| (next() % 1000) as f64 / 500.0 - 1.0)
-        .collect();
+    let data: Vec<f64> =
+        (0..(n as usize * n as usize)).map(|_| (next() % 1000) as f64 / 500.0 - 1.0).collect();
     Matrix::from_vec(n, n, data)
 }
 
@@ -126,8 +125,7 @@ impl BlockedLayout {
         let n = self.scene.n() as usize;
         for r in 0..s as usize {
             let src = (bi as usize * s as usize + r) * n + bj as usize * s as usize;
-            od[r * s as usize..(r + 1) * s as usize]
-                .copy_from_slice(&md[src..src + s as usize]);
+            od[r * s as usize..(r + 1) * s as usize].copy_from_slice(&md[src..src + s as usize]);
         }
         out
     }
@@ -170,11 +168,7 @@ pub fn sequential_seconds(scene: MatmulScene, calib: &Calib) -> (f64, f64) {
 /// Max absolute element difference, for verification.
 pub fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
     assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
-    a.as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f64::max)
+    a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
 }
 
 #[cfg(test)]

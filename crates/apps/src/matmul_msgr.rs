@@ -19,8 +19,8 @@
 //!    says rotate_B wakes "at time 0.5 + k" (§3.2), so we schedule
 //!    `M_sched_time_abs(k + 0.5)`.
 
-use msgr_core::{ClusterConfig, ClusterError, SimCluster};
 use msgr_core::topology::LogicalTopology;
+use msgr_core::{ClusterConfig, ClusterError, SimCluster};
 use msgr_sim::Stats;
 use msgr_vm::{Matrix, Value};
 
@@ -134,8 +134,7 @@ pub fn run_sim(
 
     let dist = msgr_lang::compile_with_entry(MATMUL_SCRIPTS, "distribute_A")
         .expect("distribute_A compiles");
-    let rot = msgr_lang::compile_with_entry(MATMUL_SCRIPTS, "rotate_B")
-        .expect("rotate_B compiles");
+    let rot = msgr_lang::compile_with_entry(MATMUL_SCRIPTS, "rotate_B").expect("rotate_B compiles");
     let dist_id = cluster.register_program(&dist);
     let rot_id = cluster.register_program(&rot);
     for i in 0..m {

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use msgr_pvm::{Buf, Message, PvmNet, PvmSim, PvmSimConfig, Recv, Status, Task, TaskCtx, TaskId};
 use msgr_sim::Stats;
@@ -92,7 +92,7 @@ impl Worker {
             let mut b = Buf::new();
             b.pack_int((self.i * m + self.j) as i64);
             ctx.send(self.manager, TAG_DONE, b);
-            self.out.lock()[(self.i * m + self.j) as usize] = Some(self.block_c.clone());
+            self.out.lock().unwrap()[(self.i * m + self.j) as usize] = Some(self.block_c.clone());
             return Status::Exit;
         }
         if self.j == (self.i + k) % m {
@@ -238,11 +238,8 @@ pub fn run_sim(
         out: out.clone(),
     }));
     let report = vm.run()?;
-    let blocks: Vec<Matrix> = out
-        .lock()
-        .iter()
-        .map(|o| o.clone().expect("all workers reported"))
-        .collect();
+    let blocks: Vec<Matrix> =
+        out.lock().unwrap().iter().map(|o| o.clone().expect("all workers reported")).collect();
     let layout = BlockedLayout::new(scene);
     Ok(MatmulPvmRun {
         seconds: report.sim_seconds,
@@ -263,10 +260,7 @@ mod tests {
         let run =
             run_sim(scene, &a, &b, &Calib::default(), procs, PvmNet::Ethernet100, 1.0).unwrap();
         let reference = multiply_reference(&a, &b);
-        assert!(
-            max_abs_diff(&run.product, &reference) < 1e-9,
-            "product mismatch for {m}x{m} grid"
-        );
+        assert!(max_abs_diff(&run.product, &reference) < 1e-9, "product mismatch for {m}x{m} grid");
         run
     }
 

@@ -1,31 +1,26 @@
-//! Component-level criterion benchmarks: the costs that the simulation
-//! models (interpreter dispatch, wire codec, GVT round) measured for
-//! real on the host machine.
+//! Component-level benchmarks: the costs that the simulation models
+//! (interpreter dispatch, wire codec, GVT round) measured for real on
+//! the host machine. Plain `harness = false` binary using the in-repo
+//! timing harness (`msgr_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use msgr_bench::harness::{Runner, Throughput};
 
 use msgr_gvt::{Coordinator, CoordinatorAction, CtrlMsg, Participant};
 use msgr_vm::{interp, wire, Matrix, MessengerState, NullEnv, Value, Vt};
 
-fn vm_dispatch(c: &mut Criterion) {
+fn vm_dispatch(r: &mut Runner) {
     // A tight MSGR-C loop: measures interpreter ops/second.
     let program = msgr_lang::compile(
         "main(n) { int i, acc; for (i = 0; i < n; i = i + 1) { acc = acc + i; } return acc; }",
     )
     .unwrap();
-    let mut g = c.benchmark_group("vm");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("dispatch_10k_iterations", |b| {
-        b.iter_batched(
-            || MessengerState::launch(&program, 1.into(), &[Value::Int(10_000)]).unwrap(),
-            |mut m| interp::run(&program, &mut m, &mut NullEnv, u64::MAX).unwrap(),
-            BatchSize::SmallInput,
-        )
+    r.bench_throughput("vm/dispatch_10k_iterations", Throughput::Elements(10_000), || {
+        let mut m = MessengerState::launch(&program, 1.into(), &[Value::Int(10_000)]).unwrap();
+        interp::run(&program, &mut m, &mut NullEnv, u64::MAX).unwrap()
     });
-    g.finish();
 }
 
-fn wire_codec(c: &mut Criterion) {
+fn wire_codec(r: &mut Runner) {
     let program = msgr_lang::compile("main(a, b) { return a; }").unwrap();
     let small =
         MessengerState::launch(&program, 1.into(), &[Value::Int(1), Value::str("state")]).unwrap();
@@ -35,74 +30,62 @@ fn wire_codec(c: &mut Criterion) {
         &[Value::Mat(Matrix::zeros(128, 128)), Value::Int(0)],
     )
     .unwrap();
-    let mut g = c.benchmark_group("codec");
     for (name, state) in [("small_messenger", &small), ("128x128_block_messenger", &big)] {
         let bytes = wire::encode_messenger(state);
-        g.throughput(Throughput::Bytes(bytes.len() as u64));
-        g.bench_function(format!("encode/{name}"), |b| {
-            b.iter(|| wire::encode_messenger(std::hint::black_box(state)))
+        let tp = Throughput::Bytes(bytes.len() as u64);
+        r.bench_throughput(&format!("codec/encode/{name}"), tp, || {
+            wire::encode_messenger(std::hint::black_box(state))
         });
-        g.bench_function(format!("decode/{name}"), |b| {
-            b.iter(|| wire::decode_messenger(std::hint::black_box(bytes.clone())).unwrap())
+        r.bench_throughput(&format!("codec/decode/{name}"), tp, || {
+            wire::decode_messenger(std::hint::black_box(bytes.clone())).unwrap()
         });
     }
-    g.finish();
 }
 
-fn gvt_round(c: &mut Criterion) {
-    c.bench_function("gvt/round_32_participants", |b| {
-        b.iter_batched(
-            || {
-                let parts: Vec<Participant> = (0..32).map(Participant::new).collect();
-                (Coordinator::new(32), parts)
-            },
-            |(mut coord, mut parts)| {
-                let CtrlMsg::Cut { round } = coord.begin_round().unwrap() else {
-                    unreachable!()
-                };
-                let mut out = None;
-                for p in &mut parts {
-                    let ack = p.on_cut(round, Vt::new(1.0));
-                    if let CoordinatorAction::Advance { gvt } = coord.on_ack(&ack) {
-                        out = Some(gvt);
-                    }
+fn gvt_round(r: &mut Runner) {
+    r.bench_with_setup(
+        "gvt/round_32_participants",
+        || {
+            let parts: Vec<Participant> = (0..32).map(Participant::new).collect();
+            (Coordinator::new(32), parts)
+        },
+        |(mut coord, mut parts)| {
+            let CtrlMsg::Cut { round } = coord.begin_round().unwrap() else { unreachable!() };
+            let mut out = None;
+            for p in &mut parts {
+                let ack = p.on_cut(round, Vt::new(1.0));
+                if let CoordinatorAction::Advance { gvt } = coord.on_ack(&ack) {
+                    out = Some(gvt);
                 }
-                out.expect("round completes")
-            },
-            BatchSize::SmallInput,
-        )
-    });
+            }
+            out.expect("round completes")
+        },
+    );
 }
 
-fn kernels(c: &mut Criterion) {
+fn kernels(r: &mut Runner) {
     use msgr_apps::mandel::mandel_iters;
     use msgr_apps::matmul::{multiply_accumulate, test_matrix};
-    let mut g = c.benchmark_group("kernels");
-    g.bench_function("mandel_row_64px", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for i in 0..64 {
-                acc += mandel_iters(-1.5 + i as f64 * 0.03, 0.05, 512);
-            }
-            acc
-        })
+    r.bench("kernels/mandel_row_64px", || {
+        let mut acc = 0u32;
+        for i in 0..64 {
+            acc += mandel_iters(-1.5 + i as f64 * 0.03, 0.05, 512);
+        }
+        acc
     });
     let a = test_matrix(64, 1);
     let bm = test_matrix(64, 2);
-    g.bench_function("block_multiply_64", |b| {
-        b.iter_batched(
-            || Matrix::zeros(64, 64),
-            |mut cmat| {
-                multiply_accumulate(&mut cmat, &a, &bm);
-                cmat
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    r.bench_with_setup(
+        "kernels/block_multiply_64",
+        || Matrix::zeros(64, 64),
+        |mut cmat| {
+            multiply_accumulate(&mut cmat, &a, &bm);
+            cmat
+        },
+    );
 }
 
-fn hop_roundtrip(c: &mut Criterion) {
+fn hop_roundtrip(r: &mut Runner) {
     // Host-side cost of simulating messenger traffic: a walker doing
     // 100 ring hops across 4 daemons (events, encode/decode, matching).
     use msgr_core::topology::LogicalTopology;
@@ -115,30 +98,34 @@ fn hop_roundtrip(c: &mut Criterion) {
         }"#,
     )
     .unwrap();
-    c.bench_function("sim/hop_walk_100", |b| {
-        b.iter(|| {
-            let mut cfg = ClusterConfig::new(4);
-            cfg.net = msgr_core::config::NetKind::Ideal;
-            let mut cluster = SimCluster::new(cfg);
-            let mut topo = LogicalTopology::new();
-            for i in 0..4 {
-                topo.node(Value::str(format!("r{i}")), DaemonId(i as u16));
-            }
-            for i in 0..4 {
-                topo.link(
-                    Value::str(format!("r{i}")),
-                    Value::str(format!("r{}", (i + 1) % 4)),
-                    Value::str("ring"),
-                    Dir::Forward,
-                );
-            }
-            cluster.build(&topo).unwrap();
-            let pid = cluster.register_program(&program);
-            cluster.inject_at(&Value::str("r0"), pid, &[Value::Int(100)]).unwrap();
-            cluster.run().unwrap()
-        })
+    r.bench("sim/hop_walk_100", || {
+        let mut cfg = ClusterConfig::new(4);
+        cfg.net = msgr_core::config::NetKind::Ideal;
+        let mut cluster = SimCluster::new(cfg);
+        let mut topo = LogicalTopology::new();
+        for i in 0..4 {
+            topo.node(Value::str(format!("r{i}")), DaemonId(i as u16));
+        }
+        for i in 0..4 {
+            topo.link(
+                Value::str(format!("r{i}")),
+                Value::str(format!("r{}", (i + 1) % 4)),
+                Value::str("ring"),
+                Dir::Forward,
+            );
+        }
+        cluster.build(&topo).unwrap();
+        let pid = cluster.register_program(&program);
+        cluster.inject_at(&Value::str("r0"), pid, &[Value::Int(100)]).unwrap();
+        cluster.run().unwrap()
     });
 }
 
-criterion_group!(benches, vm_dispatch, wire_codec, gvt_round, kernels, hop_roundtrip);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new();
+    vm_dispatch(&mut r);
+    wire_codec(&mut r);
+    gvt_round(&mut r);
+    kernels(&mut r);
+    hop_roundtrip(&mut r);
+}

@@ -1,11 +1,11 @@
-//! Reduced-scale versions of the paper's figures, as criterion
-//! benchmarks: these measure the *host* cost of regenerating each data
-//! point (the simulations themselves are deterministic). Run the
-//! `fig4`…`fig12b` binaries for the full-scale tables.
+//! Reduced-scale versions of the paper's figures: these measure the
+//! *host* cost of regenerating each data point (the simulations
+//! themselves are deterministic). Run the `fig4`…`fig12b` binaries for
+//! the full-scale tables.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use msgr_bench::harness::Runner;
 
 use msgr_apps::calib::Calib;
 use msgr_apps::mandel::{MandelScene, MandelWork};
@@ -14,39 +14,32 @@ use msgr_apps::{mandel_msgr, mandel_pvm, matmul_msgr, matmul_pvm};
 use msgr_core::ClusterConfig;
 use msgr_pvm::PvmNet;
 
-fn mandel_smoke(c: &mut Criterion) {
+fn mandel_smoke(r: &mut Runner) {
     let calib = Calib::default();
     let work = Arc::new(MandelWork::compute(MandelScene::paper(128, 8)));
-    let mut g = c.benchmark_group("fig4_smoke_128px");
-    g.sample_size(10);
-    g.bench_function("messengers_8procs", |b| {
-        b.iter(|| mandel_msgr::run_sim(&work, 8, &calib, ClusterConfig::new(8)).unwrap())
+    r.bench("fig4_smoke_128px/messengers_8procs", || {
+        mandel_msgr::run_sim(&work, 8, &calib, ClusterConfig::new(8)).unwrap()
     });
-    g.bench_function("pvm_8procs", |b| {
-        b.iter(|| mandel_pvm::run_sim(&work, 8, &calib, PvmNet::Ethernet100).unwrap())
+    r.bench("fig4_smoke_128px/pvm_8procs", || {
+        mandel_pvm::run_sim(&work, 8, &calib, PvmNet::Ethernet100).unwrap()
     });
-    g.finish();
 }
 
-fn matmul_smoke(c: &mut Criterion) {
+fn matmul_smoke(r: &mut Runner) {
     let calib = Calib::default();
     let scene = MatmulScene::new(2, 24);
     let a = test_matrix(scene.n(), 1);
     let b = test_matrix(scene.n(), 2);
-    let mut g = c.benchmark_group("fig12_smoke_s24");
-    g.sample_size(10);
-    g.bench_function("messengers_2x2", |bch| {
-        bch.iter(|| {
-            matmul_msgr::run_sim(scene, &a, &b, &calib, ClusterConfig::new(4)).unwrap()
-        })
+    r.bench("fig12_smoke_s24/messengers_2x2", || {
+        matmul_msgr::run_sim(scene, &a, &b, &calib, ClusterConfig::new(4)).unwrap()
     });
-    g.bench_function("pvm_2x2", |bch| {
-        bch.iter(|| {
-            matmul_pvm::run_sim(scene, &a, &b, &calib, 4, PvmNet::Ethernet100, 1.0).unwrap()
-        })
+    r.bench("fig12_smoke_s24/pvm_2x2", || {
+        matmul_pvm::run_sim(scene, &a, &b, &calib, 4, PvmNet::Ethernet100, 1.0).unwrap()
     });
-    g.finish();
 }
 
-criterion_group!(benches, mandel_smoke, matmul_smoke);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new();
+    mandel_smoke(&mut r);
+    matmul_smoke(&mut r);
+}

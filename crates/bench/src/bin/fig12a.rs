@@ -1,4 +1,12 @@
 //! Fig. 12(a): matrix multiplication on a 2x2 grid (4 procs, 110 MHz).
 fn main() {
-    println!("{}", msgr_bench::matmul_figure("Fig. 12(a)", 2, &[10, 20, 50, 100, 150, 200, 300, 400, 500], 1.0));
+    println!(
+        "{}",
+        msgr_bench::matmul_figure(
+            "Fig. 12(a)",
+            2,
+            &[10, 20, 50, 100, 150, 200, 300, 400, 500],
+            1.0
+        )
+    );
 }

@@ -1,4 +1,12 @@
 //! Fig. 12(b): matrix multiplication on a 3x3 grid (9 procs, 170 MHz).
 fn main() {
-    println!("{}", msgr_bench::matmul_figure("Fig. 12(b)", 3, &[10, 20, 50, 100, 150, 200, 300, 400, 500], 1.55));
+    println!(
+        "{}",
+        msgr_bench::matmul_figure(
+            "Fig. 12(b)",
+            3,
+            &[10, 20, 50, 100, 150, 200, 300, 400, 500],
+            1.55
+        )
+    );
 }

@@ -1,4 +1,7 @@
 //! Fig. 4: Mandelbrot, image 320x320, grids 8/16/32, 1..32 processors.
 fn main() {
-    println!("{}", msgr_bench::mandel_figure("Fig. 4", 320, &msgr_bench::PAPER_PROCS, &[8, 16, 32]));
+    println!(
+        "{}",
+        msgr_bench::mandel_figure("Fig. 4", 320, &msgr_bench::PAPER_PROCS, &[8, 16, 32])
+    );
 }

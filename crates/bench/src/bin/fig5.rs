@@ -1,4 +1,7 @@
 //! Fig. 5: Mandelbrot, image 640x640, grids 8/16/32, 1..32 processors.
 fn main() {
-    println!("{}", msgr_bench::mandel_figure("Fig. 5", 640, &msgr_bench::PAPER_PROCS, &[8, 16, 32]));
+    println!(
+        "{}",
+        msgr_bench::mandel_figure("Fig. 5", 640, &msgr_bench::PAPER_PROCS, &[8, 16, 32])
+    );
 }

@@ -1,4 +1,7 @@
 //! Fig. 6: Mandelbrot, image 1280x1280, grids 8/16/32, 1..32 processors.
 fn main() {
-    println!("{}", msgr_bench::mandel_figure("Fig. 6", 1280, &msgr_bench::PAPER_PROCS, &[8, 16, 32]));
+    println!(
+        "{}",
+        msgr_bench::mandel_figure("Fig. 6", 1280, &msgr_bench::PAPER_PROCS, &[8, 16, 32])
+    );
 }

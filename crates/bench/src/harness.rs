@@ -1,0 +1,229 @@
+//! In-repo micro-benchmark timing harness.
+//!
+//! A dependency-free replacement for criterion, scoped to what the
+//! `benches/` targets actually need: warm up, pick an iteration count
+//! that makes one sample meaningful, take several samples, and report
+//! the median ns/iteration (plus min/max and optional throughput).
+//!
+//! Results are printed as they complete, one line per benchmark:
+//!
+//! ```text
+//! codec/encode/small_messenger           1.234 µs/iter  (min 1.201, max 1.402, 10 samples x 16000 iters)  61.2 MB/s
+//! ```
+//!
+//! Environment knobs: `MSGR_BENCH_SAMPLES` (default 10) and
+//! `MSGR_BENCH_SAMPLE_MS` (target wall-clock per sample, default 20).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Optional per-benchmark throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration (reported as MB/s).
+    Bytes(u64),
+    /// Abstract elements per iteration (reported as Melem/s).
+    Elements(u64),
+}
+
+/// One benchmark's timing summary, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark name.
+    pub name: String,
+    /// Median over samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Samples taken.
+    pub samples: u32,
+}
+
+/// The benchmark runner. Construct one per bench binary, call
+/// [`Runner::bench`] / [`Runner::bench_with_setup`] repeatedly; results
+/// print immediately and accumulate in [`Runner::results`].
+pub struct Runner {
+    samples: u32,
+    sample_budget: Duration,
+    /// All results recorded so far.
+    pub results: Vec<Sample>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new()
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl Runner {
+    /// A runner configured from the environment.
+    pub fn new() -> Runner {
+        Runner {
+            samples: env_u64("MSGR_BENCH_SAMPLES", 10).max(1) as u32,
+            sample_budget: Duration::from_millis(env_u64("MSGR_BENCH_SAMPLE_MS", 20).max(1)),
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmark `f`, timing the whole closure.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        self.run(name, None, |iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Benchmark `f` with a throughput annotation.
+    pub fn bench_throughput<T>(&mut self, name: &str, tp: Throughput, mut f: impl FnMut() -> T) {
+        self.run(name, Some(tp), |iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Benchmark `f` on a fresh input from `setup` each iteration; only
+    /// `f` is timed (criterion's `iter_batched`).
+    pub fn bench_with_setup<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> T,
+    ) {
+        self.run(name, None, |iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(f(input));
+                total += start.elapsed();
+            }
+            total
+        });
+    }
+
+    fn run(&mut self, name: &str, tp: Option<Throughput>, mut timed: impl FnMut(u64) -> Duration) {
+        // Warmup + calibration: grow the iteration count until one
+        // sample costs at least the per-sample budget.
+        let mut iters: u64 = 1;
+        loop {
+            let t = timed(iters);
+            if t >= self.sample_budget || iters >= 1 << 30 {
+                break;
+            }
+            // Aim directly for the budget, with headroom for noise.
+            let scale = self.sample_budget.as_secs_f64() / t.as_secs_f64().max(1e-9);
+            iters = (iters as f64 * scale.clamp(2.0, 100.0)).ceil() as u64;
+        }
+
+        let mut per_iter: Vec<f64> =
+            (0..self.samples).map(|_| timed(iters).as_secs_f64() * 1e9 / iters as f64).collect();
+        per_iter.sort_by(f64::total_cmp);
+        let sample = Sample {
+            name: name.to_string(),
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: *per_iter.last().unwrap(),
+            iters,
+            samples: self.samples,
+        };
+        println!("{}", render(&sample, tp));
+        self.results.push(sample);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn render(s: &Sample, tp: Option<Throughput>) -> String {
+    let mut line = format!(
+        "{:<44} {:>12}/iter  (min {}, max {}, {} samples x {} iters)",
+        s.name,
+        fmt_ns(s.median_ns),
+        fmt_ns(s.min_ns),
+        fmt_ns(s.max_ns),
+        s.samples,
+        s.iters,
+    );
+    match tp {
+        Some(Throughput::Bytes(b)) => {
+            line.push_str(&format!("  {:.1} MB/s", b as f64 / s.median_ns * 1e9 / 1e6));
+        }
+        Some(Throughput::Elements(e)) => {
+            line.push_str(&format!("  {:.2} Melem/s", e as f64 / s.median_ns * 1e9 / 1e6));
+        }
+        None => {}
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_produces_positive_timings() {
+        std::env::set_var("MSGR_BENCH_SAMPLES", "3");
+        std::env::set_var("MSGR_BENCH_SAMPLE_MS", "1");
+        let mut r = Runner::new();
+        r.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        r.bench_with_setup(
+            "sort",
+            || vec![3u32, 1, 2],
+            |mut v| {
+                v.sort();
+                v
+            },
+        );
+        assert_eq!(r.results.len(), 2);
+        assert!(r.results.iter().all(|s| s.median_ns > 0.0));
+        assert!(r.results.iter().all(|s| s.min_ns <= s.median_ns && s.median_ns <= s.max_ns));
+        std::env::remove_var("MSGR_BENCH_SAMPLES");
+        std::env::remove_var("MSGR_BENCH_SAMPLE_MS");
+    }
+
+    #[test]
+    fn rendering_scales_units() {
+        let s = Sample {
+            name: "x".into(),
+            median_ns: 1_500.0,
+            min_ns: 900.0,
+            max_ns: 2_000_000.0,
+            iters: 10,
+            samples: 3,
+        };
+        let line = render(&s, Some(Throughput::Bytes(1500)));
+        assert!(line.contains("1.500 µs"), "{line}");
+        assert!(line.contains("900.0 ns"), "{line}");
+        assert!(line.contains("2.000 ms"), "{line}");
+        assert!(line.contains("MB/s"), "{line}");
+    }
+}

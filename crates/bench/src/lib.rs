@@ -6,6 +6,8 @@
 //! next to the paper's claims. Every data point is verified (image
 //! checksum / product matrix) before its timing is reported.
 
+pub mod harness;
+
 use std::sync::Arc;
 
 use msgr_apps::calib::Calib;
@@ -117,8 +119,7 @@ pub fn fig7(procs: &[usize]) -> Table {
         &["procs", "messengers", "pvm", "seq C", "pvm/messengers", "speedup vs seq"],
     );
     for &p in procs {
-        let m =
-            mandel_msgr::run_sim(&work, p, &calib, ClusterConfig::new(p)).expect("messengers");
+        let m = mandel_msgr::run_sim(&work, p, &calib, ClusterConfig::new(p)).expect("messengers");
         assert_eq!(m.checksum, expected);
         let v = mandel_pvm::run_sim(&work, p, &calib, PvmNet::Ethernet100).expect("pvm");
         assert_eq!(v.checksum, expected);
@@ -310,8 +311,8 @@ pub fn ablation_pvmroute() -> Table {
     for p in [4usize, 16] {
         let routed = mandel_pvm::run_sim(&work, p, &calib, PvmNet::Ethernet100).expect("routed");
         // Direct routing (PvmRouteDirect) is a cost-model switch.
-        let direct =
-            mandel_pvm::run_sim_routed(&work, p, &calib, PvmNet::Ethernet100, true).expect("direct");
+        let direct = mandel_pvm::run_sim_routed(&work, p, &calib, PvmNet::Ethernet100, true)
+            .expect("direct");
         table.row(vec![p.to_string(), fmt_s(routed.seconds), fmt_s(direct.seconds)]);
     }
     table
@@ -377,7 +378,12 @@ pub fn ablation_timewarp() -> Table {
 pub fn text_codesize() -> Table {
     let mut table = Table::new(
         "§3.1.1/§3.2.1: program sizes (non-blank, non-comment lines)",
-        &["application", "MSGR-C (executable)", "PVM pseudo-code (paper)", "PVM executable (this repo)"],
+        &[
+            "application",
+            "MSGR-C (executable)",
+            "PVM pseudo-code (paper)",
+            "PVM executable (this repo)",
+        ],
     );
     for row in msgr_apps::codesize::comparison() {
         table.row(vec![

@@ -1,0 +1,54 @@
+//! Demonstration of msgr-check's shrinking and seed replay on a
+//! deliberately broken property.
+//!
+//! Run with `cargo run -p msgr-check --example failing_demo`. The
+//! property claims every generated vector sums below 100, which is
+//! false; the harness finds a counterexample, shrinks it to the minimal
+//! one-element vector `[100]`, and prints a `MSGR_CHECK_SEED=<n>` line.
+//! The demo then re-runs itself with that seed set, verifying the exact
+//! failing case is reproduced, and exits 0 only if replay matches.
+
+use msgr_check::{prop_assert, replay_choices, run_check, Config, Source};
+
+fn property(s: &mut Source) -> Result<(), String> {
+    let v = s.vec_with(0..32, |s| s.u64_in(0..1000));
+    prop_assert!(v.iter().sum::<u64>() < 100, "sum of {v:?} is >= 100");
+    Ok(())
+}
+
+fn main() {
+    let cfg = Config::default();
+    let failure = run_check(cfg, "demo_sum_below_100", property)
+        .expect_err("this property is deliberately broken");
+
+    println!("{}", failure.report());
+    println!();
+
+    // Show the minimal counterexample's generated value.
+    let minimal = {
+        let cell = std::cell::RefCell::new(Vec::new());
+        let _ = replay_choices(&failure.choices, |s| {
+            *cell.borrow_mut() = s.vec_with(0..32, |s| s.u64_in(0..1000));
+            Err("probe".to_string())
+        });
+        cell.into_inner()
+    };
+    println!("minimal generated input: {minimal:?}");
+    assert_eq!(minimal, vec![100], "shrinking must reach the one-element minimum");
+
+    // Prove the printed seed replays the failure exactly, the way a
+    // developer would: set MSGR_CHECK_SEED and re-check.
+    std::env::set_var(msgr_check::SEED_ENV, failure.seed.to_string());
+    let replayed = run_check(cfg, "demo_sum_below_100", property)
+        .expect_err("replay with the printed seed must reproduce the failure");
+    assert_eq!(replayed.seed, failure.seed);
+    assert_eq!(replayed.original, failure.original, "replayed case must match");
+    assert_eq!(replayed.choices, failure.choices, "replayed shrink must match");
+    std::env::remove_var(msgr_check::SEED_ENV);
+
+    println!(
+        "replay with {}={} reproduced the same minimal counterexample.",
+        msgr_check::SEED_ENV,
+        failure.seed
+    );
+}

@@ -64,10 +64,10 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
-            per_op_ns: 2_000,        // ~2 µs/op interpreted on a 110 MHz SS5
-            hop_send_ns: 300_000,    // 300 µs: destination matching, replication, dispatch
-            hop_recv_ns: 220_000,    // 220 µs: accept, decode, schedule
-            per_byte_copy_ns: 25,    // ~40 MB/s memcpy
+            per_op_ns: 2_000,     // ~2 µs/op interpreted on a 110 MHz SS5
+            hop_send_ns: 300_000, // 300 µs: destination matching, replication, dispatch
+            hop_recv_ns: 220_000, // 220 µs: accept, decode, schedule
+            per_byte_copy_ns: 25, // ~40 MB/s memcpy
             create_node_ns: 80_000,
             gvt_msg_ns: 40_000,
             rollback_per_event_ns: 60_000,

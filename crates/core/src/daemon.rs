@@ -11,10 +11,12 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use bytes::Bytes;
-use parking_lot::RwLock;
+use msgr_vm::bytes::Bytes;
+use std::sync::RwLock;
 
-use msgr_gvt::{Coordinator, CoordinatorAction, CtrlMsg, Participant, PendingQueue, SentRef, TwEntry, TwNode};
+use msgr_gvt::{
+    Coordinator, CoordinatorAction, CtrlMsg, Participant, PendingQueue, SentRef, TwEntry, TwNode,
+};
 use msgr_sim::Stats;
 use msgr_vm::{
     interp, wire as vmwire, Dir, EvalCreate, EvalHop, EvalLink, LinkInstance, MessengerId,
@@ -38,7 +40,7 @@ pub struct CodeCache {
 
 impl std::fmt::Debug for CodeCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CodeCache({} programs)", self.map.read().len())
+        write!(f, "CodeCache({} programs)", self.map.read().unwrap().len())
     }
 }
 
@@ -51,22 +53,20 @@ impl CodeCache {
     /// Register a program; returns its content id.
     pub fn register(&self, program: &Program) -> ProgramId {
         let id = program.id();
-        self.map.write().entry(id).or_insert_with(|| Arc::new(program.clone()));
+        self.map.write().unwrap().entry(id).or_insert_with(|| Arc::new(program.clone()));
         id
     }
 
     /// Look up a program.
     pub fn get(&self, id: ProgramId) -> Option<Arc<Program>> {
-        self.map.read().get(&id).cloned()
+        self.map.read().unwrap().get(&id).cloned()
     }
 
     /// Whether any registered program suspends on virtual time.
     pub fn any_uses_virtual_time(&self) -> bool {
-        self.map.read().values().any(|p| {
+        self.map.read().unwrap().values().any(|p| {
             p.funcs.iter().any(|f| {
-                f.code
-                    .iter()
-                    .any(|op| matches!(op, msgr_vm::Op::SchedAbs | msgr_vm::Op::SchedDlt))
+                f.code.iter().any(|op| matches!(op, msgr_vm::Op::SchedAbs | msgr_vm::Op::SchedDlt))
             })
         })
     }
@@ -238,18 +238,9 @@ impl Daemon {
     /// The minimum virtual time over all local messengers — this
     /// daemon's contribution to GVT.
     pub fn local_min(&self) -> Vt {
-        let ready_min = self
-            .ready
-            .iter()
-            .map(|r| r.state.vtime)
-            .fold(Vt::INFINITY, Vt::min);
+        let ready_min = self.ready.iter().map(|r| r.state.vtime).fold(Vt::INFINITY, Vt::min);
         let pending_min = self.pending.min_wake().unwrap_or(Vt::INFINITY);
-        let opt_min = self
-            .opt_queue
-            .keys()
-            .next()
-            .map(|(t, _)| *t)
-            .unwrap_or(Vt::INFINITY);
+        let opt_min = self.opt_queue.keys().next().map(|(t, _)| *t).unwrap_or(Vt::INFINITY);
         ready_min.min(pending_min).min(opt_min)
     }
 
@@ -298,11 +289,7 @@ impl Daemon {
     ///
     /// Panics if the node does not exist (construction-time bug).
     pub fn install_link(&mut self, node: NodeRef, rec: LinkRec) {
-        self.nodes
-            .get_mut(&node)
-            .expect("install_link on missing node")
-            .links
-            .push(rec);
+        self.nodes.get_mut(&node).expect("install_link on missing node").links.push(rec);
     }
 
     /// Look up a program in the shared code registry (platform helper).
@@ -319,10 +306,7 @@ impl Daemon {
 
     /// Find a local node by name.
     pub fn find_node(&self, name: &Value) -> Option<NodeRef> {
-        self.nodes
-            .values()
-            .find(|n| n.name.loose_eq(name))
-            .map(|n| n.gid)
+        self.nodes.values().find(|n| n.name.loose_eq(name)).map(|n| n.gid)
     }
 
     /// Access a node.
@@ -468,8 +452,7 @@ impl Daemon {
 
     /// Whether any queued messenger currently sits at `gid`.
     fn node_occupied(&self, gid: NodeRef) -> bool {
-        self.ready.iter().any(|r| r.at == gid)
-            || self.opt_queue.values().any(|r| r.at == gid)
+        self.ready.iter().any(|r| r.at == gid) || self.opt_queue.values().any(|r| r.at == gid)
     }
 
     fn delete_node(&mut self, gid: NodeRef, fx: &mut Vec<Effect>) {
@@ -483,12 +466,8 @@ impl Daemon {
             self.ready.retain(|r| r.at != gid);
             let killed_ready = before - self.ready.len();
             let killed_pending = self.pending.drain_matching(|r| r.at == gid).len();
-            let opt_keys: Vec<(Vt, u64)> = self
-                .opt_queue
-                .iter()
-                .filter(|(_, r)| r.at == gid)
-                .map(|(k, _)| *k)
-                .collect();
+            let opt_keys: Vec<(Vt, u64)> =
+                self.opt_queue.iter().filter(|(_, r)| r.at == gid).map(|(k, _)| *k).collect();
             for k in &opt_keys {
                 self.opt_queue.remove(k);
             }
@@ -589,16 +568,9 @@ impl Daemon {
             return;
         }
         // 2. Already processed at one of our nodes? Roll it back.
-        let found = self
-            .tw
-            .iter()
-            .find(|(_, log)| log.contains_input(id.0))
-            .map(|(gid, _)| *gid);
+        let found = self.tw.iter().find(|(_, log)| log.contains_input(id.0)).map(|(gid, _)| *gid);
         if let Some(gid) = found {
-            let rb = self
-                .tw
-                .get_mut(&gid)
-                .and_then(|log| log.annihilate_processed(id.0));
+            let rb = self.tw.get_mut(&gid).and_then(|log| log.annihilate_processed(id.0));
             if let Some(rb) = rb {
                 self.apply_rollback(gid, rb, fx);
                 fx.push(Effect::LiveDelta(-1));
@@ -668,10 +640,7 @@ impl Daemon {
                 let run = self.opt_queue.remove(&key0).expect("key just observed");
                 // Straggler?
                 let key = (run.state.vtime, run.state.id.0);
-                let straggler = self
-                    .tw
-                    .get(&run.at)
-                    .is_some_and(|log| log.is_straggler(key));
+                let straggler = self.tw.get(&run.at).is_some_and(|log| log.is_straggler(key));
                 if straggler {
                     let rb = self.tw.get_mut(&run.at).unwrap().rollback(key).unwrap();
                     let undone = rb.reexecute.len() as u64;
@@ -708,15 +677,12 @@ impl Daemon {
 
         // Time-Warp bookkeeping: snapshot before execution.
         let key = (run.state.vtime, run.state.id.0);
-        let (snapshot, input_copy) = if optimistic {
-            (Some(node.vars.clone()), Some(run.clone()))
-        } else {
-            (None, None)
-        };
+        let (snapshot, input_copy) =
+            if optimistic { (Some(node.vars.clone()), Some(run.clone())) } else { (None, None) };
 
         let node_name = node.name.clone();
         let fuel = self.cfg.segment_fuel;
-        let natives = self.natives.read().clone();
+        let natives = self.natives.read().unwrap().clone();
         let address = self.id.0;
         // Scoped mutable borrow of the node's variables for the VM.
         let (yielded, ops, native_ns) = {
@@ -876,10 +842,7 @@ impl Daemon {
                     .push(Effect::Send { dst: daemon, wire: Wire::Unlink { node: peer, inst } });
             }
             // The current node may have become an empty singleton.
-            let now_singleton = self
-                .nodes
-                .get(&run.at)
-                .is_some_and(|n| n.is_singleton());
+            let now_singleton = self.nodes.get(&run.at).is_some_and(|n| n.is_singleton());
             if now_singleton && run.at != self.init && !self.node_occupied(run.at) {
                 self.delete_node(run.at, fx);
             }

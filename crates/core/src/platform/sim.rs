@@ -10,12 +10,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
-use msgr_sim::{Cpu, Engine, HostId, IdealNet, NetModel, SharedBus, SimTime, Stats, Switched, MILLI};
+use msgr_sim::{
+    Cpu, Engine, HostId, IdealNet, NetModel, SharedBus, SimTime, Stats, Switched, MILLI,
+};
 use msgr_vm::{MessengerId, NativeCtx, NativeRegistry, Program, ProgramId, Value};
 
-use crate::config::{ClusterConfig, NetKind, VtService, VtMode};
+use crate::config::{ClusterConfig, NetKind, VtMode, VtService};
 use crate::daemon::{CodeCache, Daemon, Effect};
 use crate::ids::{DaemonId, NodeRef};
 use crate::logical::{LinkRec, Orient};
@@ -230,7 +232,7 @@ impl SimCluster {
         name: impl Into<String>,
         f: impl Fn(&mut dyn NativeCtx, &[Value]) -> Result<Value, String> + Send + Sync + 'static,
     ) {
-        self.natives.write().register(name, f);
+        self.natives.write().unwrap().register(name, f);
     }
 
     /// Realize a logical topology (the `net_builder` service): create the
@@ -370,9 +372,8 @@ impl SimCluster {
         let when = msgr_sim::from_secs(at_seconds).max(self.engine.now());
         self.world.live += 1; // counted from scheduling so runs don't quiesce early
         self.engine.schedule_at(when, move |en, w| {
-            let prog = w.daemons[d.0 as usize]
-                .codes_get(program)
-                .expect("checked at scheduling time");
+            let prog =
+                w.daemons[d.0 as usize].codes_get(program).expect("checked at scheduling time");
             match w.daemons[d.0 as usize].launch(&prog, &args, gid) {
                 Ok(_) => {}
                 Err(e) => {
@@ -405,12 +406,7 @@ impl SimCluster {
     /// # Errors
     ///
     /// [`ClusterError::NotFound`] if the node is unknown.
-    pub fn set_node_var(
-        &mut self,
-        node: &Value,
-        var: &str,
-        v: Value,
-    ) -> Result<(), ClusterError> {
+    pub fn set_node_var(&mut self, node: &Value, var: &str, v: Value) -> Result<(), ClusterError> {
         let &(d, gid) = self
             .world
             .directory
@@ -432,8 +428,7 @@ impl SimCluster {
             VtService::On => true,
             VtService::Off => false,
             VtService::Auto => {
-                self.codes.any_uses_virtual_time()
-                    || self.world.cfg.vt_mode == VtMode::Optimistic
+                self.codes.any_uses_virtual_time() || self.world.cfg.vt_mode == VtMode::Optimistic
             }
         };
         if enable && !self.world.gvt_enabled {
@@ -494,11 +489,8 @@ impl SimCluster {
                         crate::logical::Orient::In => "<-",
                         crate::logical::Orient::Undirected => "--",
                     };
-                    let name = if l.name == Value::Null {
-                        "~".to_string()
-                    } else {
-                        l.name.to_string()
-                    };
+                    let name =
+                        if l.name == Value::Null { "~".to_string() } else { l.name.to_string() };
                     out.push_str(&format!(
                         "    link {name} {arrow} {} on {} ({})\n",
                         l.peer_name, l.peer.0, l.peer.1

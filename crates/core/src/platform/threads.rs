@@ -1,5 +1,5 @@
-//! The threaded platform: one OS thread per daemon, crossbeam channels
-//! as the physical network, real wall-clock time.
+//! The threaded platform: one OS thread per daemon, `std::sync::mpsc`
+//! channels as the physical network, real wall-clock time.
 //!
 //! This is the "it actually runs" runtime: the same daemons, bytecode,
 //! wire frames, and GVT protocol as the simulation, but with genuine
@@ -14,8 +14,8 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Mutex, RwLock};
 
 use msgr_sim::Stats;
 use msgr_vm::{Dir, MessengerId, NativeCtx, NativeRegistry, Program, ProgramId, Value};
@@ -35,7 +35,7 @@ struct SharedDirectory(Arc<RwLock<DirMap>>);
 
 impl Directory for SharedDirectory {
     fn lookup(&self, name: &Value) -> Option<(DaemonId, NodeRef)> {
-        self.0.read().get(name).copied()
+        self.0.read().unwrap().get(name).copied()
     }
 }
 
@@ -68,9 +68,7 @@ pub struct ThreadCluster {
 
 impl std::fmt::Debug for ThreadCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadCluster")
-            .field("daemons", &self.daemons.len())
-            .finish()
+        f.debug_struct("ThreadCluster").field("daemons", &self.daemons.len()).finish()
     }
 }
 
@@ -124,7 +122,7 @@ impl ThreadCluster {
         name: impl Into<String>,
         f: impl Fn(&mut dyn NativeCtx, &[Value]) -> Result<Value, String> + Send + Sync + 'static,
     ) {
-        self.natives.write().register(name, f);
+        self.natives.write().unwrap().register(name, f);
     }
 
     /// Realize a logical topology before the run.
@@ -139,7 +137,7 @@ impl ThreadCluster {
                 return Err(ClusterError::Config(format!("node placed on missing daemon {d}")));
             }
             let gid = self.daemons[d.0 as usize].build_node(name.clone());
-            self.directory.0.write().insert(name.clone(), (*d, gid));
+            self.directory.0.write().unwrap().insert(name.clone(), (*d, gid));
         }
         for (from, to, link_name, dir) in &topo.links {
             let (fd, fref) = self
@@ -264,7 +262,7 @@ impl ThreadCluster {
     pub fn run(&mut self) -> Result<ThreadReport, ClusterError> {
         let n = self.daemons.len();
         let (senders, receivers): (Vec<Sender<Wire>>, Vec<Receiver<Wire>>) =
-            (0..n).map(|_| unbounded()).unzip();
+            (0..n).map(|_| channel()).unzip();
         let shutdown = Arc::new(AtomicBool::new(false));
         let gvt_needed = match self.cfg.vt_service {
             VtService::On => true,
@@ -274,8 +272,7 @@ impl ThreadCluster {
 
         let start = Instant::now();
         let mut handles = Vec::with_capacity(n);
-        for (i, mut daemon) in self.daemons.drain(..).enumerate() {
-            let rx = receivers[i].clone();
+        for (mut daemon, rx) in self.daemons.drain(..).zip(receivers) {
             let senders = senders.clone();
             let shutdown = shutdown.clone();
             let live = self.live.clone();
@@ -332,7 +329,7 @@ impl ThreadCluster {
         }
         Ok(ThreadReport {
             wall_seconds: start.elapsed().as_secs_f64(),
-            faults: self.faults.lock().clone(),
+            faults: self.faults.lock().unwrap().clone(),
             stats,
         })
     }
@@ -390,13 +387,13 @@ fn apply(
                 live.fetch_add(d, Ordering::SeqCst);
             }
             Effect::Fault { messenger, error } => {
-                faults.lock().push((messenger, error));
+                faults.lock().unwrap().push((messenger, error));
             }
             Effect::DirectoryAdd { name, daemon, node } => {
-                dir.0.write().insert(name, (daemon, node));
+                dir.0.write().unwrap().insert(name, (daemon, node));
             }
             Effect::DirectoryRemove { name } => {
-                dir.0.write().remove(&name);
+                dir.0.write().unwrap().remove(&name);
             }
         }
     }

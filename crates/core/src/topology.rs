@@ -393,7 +393,10 @@ mod tests {
         assert_eq!(t.nodes.len(), 3);
         assert_eq!(t.links.len(), 4);
         assert_eq!(t.nodes[1], (Value::str("west"), DaemonId(1)));
-        assert_eq!(t.links[2], (Value::str("west"), Value::str("east"), Value::str("oneway"), Dir::Forward));
+        assert_eq!(
+            t.links[2],
+            (Value::str("west"), Value::str("east"), Value::str("oneway"), Dir::Forward)
+        );
         assert_eq!(t.links[3].2, Value::Null);
         assert_eq!(t.links[3].3, Dir::Backward);
     }

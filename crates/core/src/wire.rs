@@ -6,10 +6,11 @@
 //! platform charges network time for [`Wire::wire_bytes`]; the threaded
 //! platform moves frames over channels.
 
-use bytes::Bytes;
+use msgr_vm::bytes::{Bytes, BytesMut};
+use msgr_vm::wire::{get_f64, get_value, get_varint, put_f64, put_value, put_varint};
 
 use msgr_gvt::CtrlMsg;
-use msgr_vm::{LinkInstance, MessengerId, Value, Vt};
+use msgr_vm::{LinkInstance, MessengerId, Value, VmError, Vt};
 
 use crate::ids::{DaemonId, NodeRef};
 use crate::logical::Orient;
@@ -99,6 +100,254 @@ impl Wire {
     }
 }
 
+// ---- frame codec -----------------------------------------------------------
+//
+// The threaded platform moves `Wire` values over in-process channels and
+// the simulation platform only *accounts* their size, so neither needs a
+// byte encoding to function. The codec exists so the frame format is
+// pinned down (and property-tested) like the messenger format in
+// `msgr_vm::wire`: tagged fields, LEB128 varints, strict validation —
+// a truncated or corrupted buffer yields `VmError::Decode`, never a
+// panic. It reuses the vm codec's primitives so both layers share one
+// set of encodings.
+
+fn err(msg: &str) -> VmError {
+    VmError::Decode(msg.to_string())
+}
+
+fn get_u8(buf: &mut Bytes, what: &str) -> Result<u8, VmError> {
+    if !buf.has_remaining() {
+        return Err(err(&format!("truncated {what}")));
+    }
+    Ok(buf.get_u8())
+}
+
+fn put_vt(buf: &mut BytesMut, vt: Vt) {
+    put_f64(buf, vt.as_f64());
+}
+
+fn get_vt(buf: &mut Bytes) -> Result<Vt, VmError> {
+    let t = get_f64(buf)?;
+    if t.is_nan() {
+        return Err(err("NaN virtual time"));
+    }
+    Ok(Vt::new(t))
+}
+
+fn put_endpoint(buf: &mut BytesMut, (d, n): (DaemonId, NodeRef)) {
+    put_varint(buf, d.0 as u64);
+    put_node_ref(buf, n);
+}
+
+fn get_endpoint(buf: &mut Bytes) -> Result<(DaemonId, NodeRef), VmError> {
+    let d = DaemonId(get_varint(buf)? as u16);
+    Ok((d, get_node_ref(buf)?))
+}
+
+fn put_node_ref(buf: &mut BytesMut, n: NodeRef) {
+    put_varint(buf, n.creator as u64);
+    put_varint(buf, n.seq);
+}
+
+fn get_node_ref(buf: &mut Bytes) -> Result<NodeRef, VmError> {
+    let creator = get_varint(buf)? as u16;
+    let seq = get_varint(buf)?;
+    Ok(NodeRef { creator, seq })
+}
+
+fn put_migration(buf: &mut BytesMut, m: &Migration) {
+    put_varint(buf, m.id.0);
+    put_vt(buf, m.vtime);
+    put_varint(buf, m.epoch);
+    buf.put_u8(m.anti as u8);
+    put_endpoint(buf, m.to);
+    match m.via {
+        None => buf.put_u8(0),
+        Some(inst) => {
+            buf.put_u8(1);
+            put_varint(buf, inst.0);
+        }
+    }
+    put_varint(buf, m.bytes.len() as u64);
+    buf.put_slice(&m.bytes);
+    put_varint(buf, m.code_bytes);
+}
+
+fn get_migration(buf: &mut Bytes) -> Result<Migration, VmError> {
+    let id = MessengerId(get_varint(buf)?);
+    let vtime = get_vt(buf)?;
+    let epoch = get_varint(buf)?;
+    let anti = get_u8(buf, "anti flag")? != 0;
+    let to = get_endpoint(buf)?;
+    let via = match get_u8(buf, "via flag")? {
+        0 => None,
+        1 => Some(LinkInstance(get_varint(buf)?)),
+        t => return Err(err(&format!("bad via flag {t}"))),
+    };
+    let n = get_varint(buf)? as usize;
+    if buf.remaining() < n {
+        return Err(err("truncated migration payload"));
+    }
+    let bytes = buf.copy_to_bytes(n);
+    let code_bytes = get_varint(buf)?;
+    Ok(Migration { id, vtime, epoch, anti, to, via, bytes, code_bytes })
+}
+
+fn put_orient(buf: &mut BytesMut, o: Orient) {
+    buf.put_u8(match o {
+        Orient::Out => 0,
+        Orient::In => 1,
+        Orient::Undirected => 2,
+    });
+}
+
+fn get_orient(buf: &mut Bytes) -> Result<Orient, VmError> {
+    Ok(match get_u8(buf, "orient")? {
+        0 => Orient::Out,
+        1 => Orient::In,
+        2 => Orient::Undirected,
+        t => return Err(err(&format!("bad orient {t}"))),
+    })
+}
+
+fn put_ctrl(buf: &mut BytesMut, msg: &CtrlMsg) {
+    match msg {
+        CtrlMsg::Cut { round } => {
+            buf.put_u8(0);
+            put_varint(buf, *round);
+        }
+        CtrlMsg::CutAck { round, daemon, lmin, prev_sent, prev_recv, late_min, cur_sent_min } => {
+            buf.put_u8(1);
+            put_varint(buf, *round);
+            put_varint(buf, *daemon as u64);
+            put_vt(buf, *lmin);
+            put_varint(buf, *prev_sent);
+            put_varint(buf, *prev_recv);
+            put_vt(buf, *late_min);
+            put_vt(buf, *cur_sent_min);
+        }
+        CtrlMsg::Poll { round } => {
+            buf.put_u8(2);
+            put_varint(buf, *round);
+        }
+        CtrlMsg::PollAck { round, daemon, lmin, prev_recv, late_min, cur_sent_min } => {
+            buf.put_u8(3);
+            put_varint(buf, *round);
+            put_varint(buf, *daemon as u64);
+            put_vt(buf, *lmin);
+            put_varint(buf, *prev_recv);
+            put_vt(buf, *late_min);
+            put_vt(buf, *cur_sent_min);
+        }
+        CtrlMsg::Advance { gvt } => {
+            buf.put_u8(4);
+            put_vt(buf, *gvt);
+        }
+    }
+}
+
+fn get_ctrl(buf: &mut Bytes) -> Result<CtrlMsg, VmError> {
+    Ok(match get_u8(buf, "ctrl tag")? {
+        0 => CtrlMsg::Cut { round: get_varint(buf)? },
+        1 => CtrlMsg::CutAck {
+            round: get_varint(buf)?,
+            daemon: get_varint(buf)? as u16,
+            lmin: get_vt(buf)?,
+            prev_sent: get_varint(buf)?,
+            prev_recv: get_varint(buf)?,
+            late_min: get_vt(buf)?,
+            cur_sent_min: get_vt(buf)?,
+        },
+        2 => CtrlMsg::Poll { round: get_varint(buf)? },
+        3 => CtrlMsg::PollAck {
+            round: get_varint(buf)?,
+            daemon: get_varint(buf)? as u16,
+            lmin: get_vt(buf)?,
+            prev_recv: get_varint(buf)?,
+            late_min: get_vt(buf)?,
+            cur_sent_min: get_vt(buf)?,
+        },
+        4 => CtrlMsg::Advance { gvt: get_vt(buf)? },
+        t => return Err(err(&format!("unknown ctrl tag {t}"))),
+    })
+}
+
+/// Serialize a frame.
+pub fn encode_frame(w: &Wire) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32);
+    match w {
+        Wire::Migrate(m) => {
+            buf.put_u8(0);
+            put_migration(&mut buf, m);
+        }
+        Wire::Create(c) => {
+            buf.put_u8(1);
+            put_node_ref(&mut buf, c.gid);
+            put_value(&mut buf, &c.name);
+            put_endpoint(&mut buf, c.origin);
+            put_value(&mut buf, &c.origin_name);
+            put_varint(&mut buf, c.inst.0);
+            put_value(&mut buf, &c.link_name);
+            put_orient(&mut buf, c.orient_at_new);
+            put_migration(&mut buf, &c.messenger);
+        }
+        Wire::Unlink { node, inst } => {
+            buf.put_u8(2);
+            put_node_ref(&mut buf, *node);
+            put_varint(&mut buf, inst.0);
+        }
+        Wire::Gvt(msg) => {
+            buf.put_u8(3);
+            put_ctrl(&mut buf, msg);
+        }
+        Wire::GvtKick => buf.put_u8(4),
+    }
+    buf.freeze()
+}
+
+/// Decode a frame.
+///
+/// # Errors
+///
+/// [`VmError::Decode`] on any malformed input, including trailing bytes.
+pub fn decode_frame(mut buf: Bytes) -> Result<Wire, VmError> {
+    let w = match get_u8(&mut buf, "frame tag")? {
+        0 => Wire::Migrate(get_migration(&mut buf)?),
+        1 => {
+            let gid = get_node_ref(&mut buf)?;
+            let name = get_value(&mut buf)?;
+            let origin = get_endpoint(&mut buf)?;
+            let origin_name = get_value(&mut buf)?;
+            let inst = LinkInstance(get_varint(&mut buf)?);
+            let link_name = get_value(&mut buf)?;
+            let orient_at_new = get_orient(&mut buf)?;
+            let messenger = get_migration(&mut buf)?;
+            Wire::Create(Box::new(CreateNode {
+                gid,
+                name,
+                origin,
+                origin_name,
+                inst,
+                link_name,
+                orient_at_new,
+                messenger,
+            }))
+        }
+        2 => {
+            let node = get_node_ref(&mut buf)?;
+            let inst = LinkInstance(get_varint(&mut buf)?);
+            Wire::Unlink { node, inst }
+        }
+        3 => Wire::Gvt(get_ctrl(&mut buf)?),
+        4 => Wire::GvtKick,
+        t => return Err(err(&format!("unknown frame tag {t}"))),
+    };
+    if buf.has_remaining() {
+        return Err(err("trailing bytes after frame"));
+    }
+    Ok(w)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +392,73 @@ mod tests {
             messenger: mig(200, 0),
         };
         assert_eq!(Wire::Create(Box::new(c)).wire_bytes(64), 64 + 48 + 200);
+    }
+
+    fn sample_frames() -> Vec<Wire> {
+        let mut m = mig(5, 7);
+        m.via = Some(LinkInstance(99));
+        m.anti = true;
+        vec![
+            Wire::Migrate(mig(0, 0)),
+            Wire::Migrate(m),
+            Wire::Create(Box::new(CreateNode {
+                gid: NodeRef::new(3, 11),
+                name: Value::str("worker"),
+                origin: (DaemonId(2), NodeRef::new(2, 4)),
+                origin_name: Value::Null,
+                inst: LinkInstance(17),
+                link_name: Value::str("ring"),
+                orient_at_new: Orient::Undirected,
+                messenger: mig(32, 100),
+            })),
+            Wire::Unlink { node: NodeRef::new(1, 2), inst: LinkInstance(u64::MAX) },
+            Wire::Gvt(CtrlMsg::Cut { round: 9 }),
+            Wire::Gvt(CtrlMsg::CutAck {
+                round: 9,
+                daemon: 3,
+                lmin: Vt::new(1.5),
+                prev_sent: 10,
+                prev_recv: 8,
+                late_min: Vt::new(f64::INFINITY),
+                cur_sent_min: Vt::new(2.25),
+            }),
+            Wire::Gvt(CtrlMsg::Poll { round: 10 }),
+            Wire::Gvt(CtrlMsg::PollAck {
+                round: 10,
+                daemon: 0,
+                lmin: Vt::new(0.0),
+                prev_recv: 10,
+                late_min: Vt::new(3.0),
+                cur_sent_min: Vt::new(f64::INFINITY),
+            }),
+            Wire::Gvt(CtrlMsg::Advance { gvt: Vt::new(4.125) }),
+            Wire::GvtKick,
+        ]
+    }
+
+    #[test]
+    fn frame_codec_round_trips_every_variant() {
+        for w in sample_frames() {
+            let bytes = encode_frame(&w);
+            let back = decode_frame(bytes).unwrap();
+            assert_eq!(back, w, "round trip failed for {w:?}");
+        }
+    }
+
+    #[test]
+    fn frame_truncation_never_panics() {
+        for w in sample_frames() {
+            let full = encode_frame(&w);
+            for cut in 0..full.len() {
+                assert!(decode_frame(full.slice(..cut)).is_err(), "cut {cut} of {w:?} decoded");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_trailing_garbage_rejected() {
+        let mut raw = encode_frame(&Wire::GvtKick).to_vec();
+        raw.push(0);
+        assert!(decode_frame(Bytes::from(raw)).is_err());
     }
 }

@@ -1,9 +1,9 @@
 //! End-to-end cluster tests: MSGR-C scripts compiled, injected, and run
 //! on both platforms.
 
-use msgr_core::{ClusterConfig, ClusterError, SimCluster, ThreadCluster};
 use msgr_core::config::{NetKind, VtMode};
 use msgr_core::topology::LogicalTopology;
+use msgr_core::{ClusterConfig, ClusterError, SimCluster, ThreadCluster};
 use msgr_lang::compile;
 use msgr_vm::{Value, Vt};
 
@@ -259,10 +259,7 @@ fn virtual_time_alternation_conservative() {
     let report = c.run().unwrap();
     assert!(report.faults.is_empty(), "{:?}", report.faults);
     assert_eq!(report.live_leak, 0);
-    assert_eq!(
-        c.node_var(0, &Value::str("init"), "trace"),
-        Some(Value::str("ababab"))
-    );
+    assert_eq!(c.node_var(0, &Value::str("init"), "trace"), Some(Value::str("ababab")));
     assert!(report.stats.counter("gvt_rounds") > 0);
 }
 
@@ -323,10 +320,7 @@ fn optimistic_matches_conservative() {
         c.inject_at(&Value::str("r1"), pid, &[Value::Int(100), Value::Int(4)]).unwrap();
         let report = c.run().unwrap();
         assert!(report.faults.is_empty(), "{mode:?}: {:?}", report.faults);
-        (
-            c.node_var_by_name(&Value::str("r0"), "acc"),
-            c.node_var_by_name(&Value::str("r1"), "acc"),
-        )
+        (c.node_var_by_name(&Value::str("r0"), "acc"), c.node_var_by_name(&Value::str("r1"), "acc"))
     };
     let cons = run_with(VtMode::Conservative);
     let opt = run_with(VtMode::Optimistic);
@@ -336,10 +330,8 @@ fn optimistic_matches_conservative() {
 
 #[test]
 fn carry_code_inflates_migrations() {
-    let prog = compile(
-        r#"main() { int i; for (i = 0; i < 4; i = i + 1) hop(ll = "spoke"); }"#,
-    )
-    .unwrap();
+    let prog =
+        compile(r#"main() { int i; for (i = 0; i < 4; i = i + 1) hop(ll = "spoke"); }"#).unwrap();
     let run_with = |carry: bool| {
         let mut cfg = ClusterConfig::new(2);
         cfg.net = NetKind::Ideal;
@@ -476,10 +468,7 @@ fn threads_virtual_time_alternation() {
     c.inject(1, pid, &[Value::str("b"), Value::Float(0.5)]).unwrap();
     let report = c.run().unwrap();
     assert!(report.faults.is_empty(), "{:?}", report.faults);
-    assert_eq!(
-        c.node_var(1, &Value::str("init"), "trace"),
-        Some(Value::str("ababab"))
-    );
+    assert_eq!(c.node_var(1, &Value::str("init"), "trace"), Some(Value::str("ababab")));
 }
 
 #[test]
@@ -524,19 +513,14 @@ fn create_respects_daemon_topology_patterns() {
     .unwrap();
     let mut cfg = ClusterConfig::new(4);
     cfg.net = NetKind::Ideal;
-    let mut c = msgr_core::SimCluster::with_daemon_topology(
-        cfg,
-        msgr_core::DaemonTopology::ring(4),
-    );
+    let mut c =
+        msgr_core::SimCluster::with_daemon_topology(cfg, msgr_core::DaemonTopology::ring(4));
     let pid = c.register_program(&prog);
     c.inject(1, pid, &[]).unwrap();
     let report = c.run().unwrap();
     assert!(report.faults.is_empty(), "{:?}", report.faults);
     // Daemon 1's clockwise neighbor is daemon 2.
-    assert_eq!(
-        c.node_var_by_name(&Value::str("next"), "made"),
-        Some(Value::Int(102))
-    );
+    assert_eq!(c.node_var_by_name(&Value::str("next"), "made"), Some(Value::Int(102)));
 }
 
 #[test]
@@ -649,10 +633,7 @@ fn logical_network_persists_across_messenger_generations() {
     c.inject(1, vid, &[]).unwrap();
     let run2 = c.run().unwrap();
     assert!(run2.faults.is_empty(), "{:?}", run2.faults);
-    assert_eq!(
-        c.node_var_by_name(&Value::str("annex"), "visits"),
-        Some(Value::Int(2))
-    );
+    assert_eq!(c.node_var_by_name(&Value::str("annex"), "visits"), Some(Value::Int(2)));
 }
 
 #[test]
@@ -755,14 +736,8 @@ fn node_netvar_reports_current_node_name() {
     c.inject_at(&Value::str("hub"), pid, &[]).unwrap();
     let report = c.run().unwrap();
     assert!(report.faults.is_empty(), "{:?}", report.faults);
-    assert_eq!(
-        c.node_var_by_name(&Value::str("hub"), "whoami"),
-        Some(Value::str("hub"))
-    );
-    assert_eq!(
-        c.node_var_by_name(&Value::str("leaf0"), "whoami"),
-        Some(Value::str("leaf0"))
-    );
+    assert_eq!(c.node_var_by_name(&Value::str("hub"), "whoami"), Some(Value::str("hub")));
+    assert_eq!(c.node_var_by_name(&Value::str("leaf0"), "whoami"), Some(Value::str("leaf0")));
 }
 
 #[test]
@@ -809,8 +784,5 @@ fn delete_from_hub_does_not_strand_the_traveler() {
     assert!(report.faults.is_empty(), "{:?}", report.faults);
     assert_eq!(report.live_leak, 0);
     assert_eq!(report.stats.counter("dead_letters"), 0, "traveler must not be lost");
-    assert_eq!(
-        c.node_var_by_name(&Value::str("island"), "landed"),
-        Some(Value::Int(1))
-    );
+    assert_eq!(c.node_var_by_name(&Value::str("island"), "landed"), Some(Value::Int(1)));
 }

@@ -4,8 +4,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use bytes::Bytes;
-use parking_lot::RwLock;
+use msgr_vm::bytes::Bytes;
+use std::sync::RwLock;
 
 use msgr_core::config::{ClusterConfig, VtMode};
 use msgr_core::daemon::{CodeCache, Daemon, Effect};

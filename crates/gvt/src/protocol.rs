@@ -425,11 +425,7 @@ mod tests {
     fn quiescent_round_takes_min() {
         let mut coord = Coordinator::new(3);
         let mut parts: Vec<Participant> = (0..3).map(Participant::new).collect();
-        let gvt = run_round(
-            &mut coord,
-            &mut parts,
-            &[Vt::new(5.0), Vt::new(3.0), Vt::new(7.0)],
-        );
+        let gvt = run_round(&mut coord, &mut parts, &[Vt::new(5.0), Vt::new(3.0), Vt::new(7.0)]);
         assert_eq!(gvt, Vt::new(3.0));
         assert_eq!(parts[0].gvt(), Vt::new(3.0));
         assert_eq!(coord.rounds_run(), 1);
@@ -588,11 +584,10 @@ mod tests {
     /// timestamp at publication time.
     #[test]
     fn randomized_safety_gvt_never_overestimates() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use msgr_sim::DetRng;
 
         for seed in 0..20u64 {
-            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut rng = DetRng::new(seed);
             let n = 3usize;
             let mut parts: Vec<Participant> = (0..n as u16).map(Participant::new).collect();
             let mut coord = Coordinator::new(n);
@@ -601,11 +596,7 @@ mod tests {
             let mut queues: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
             let mut flight: Vec<(usize, f64, u64, u32)> = Vec::new();
             let true_min = |queues: &Vec<Vec<f64>>, flight: &Vec<(usize, f64, u64, u32)>| {
-                let q = queues
-                    .iter()
-                    .flatten()
-                    .copied()
-                    .fold(f64::INFINITY, f64::min);
+                let q = queues.iter().flatten().copied().fold(f64::INFINITY, f64::min);
                 let f = flight.iter().map(|x| x.1).fold(f64::INFINITY, f64::min);
                 q.min(f)
             };
@@ -623,7 +614,7 @@ mod tests {
                 flight = still;
                 // Random daemon processes its min and maybe sends a new
                 // message with a larger timestamp.
-                let d = rng.gen_range(0..n);
+                let d = rng.below(n as u64) as usize;
                 if !queues[d].is_empty() {
                     let idx = queues[d]
                         .iter()
@@ -632,11 +623,11 @@ mod tests {
                         .map(|(i, _)| i)
                         .unwrap();
                     let ts = queues[d].remove(idx);
-                    if rng.gen_bool(0.8) {
-                        let nts = ts + rng.gen_range(0.0..2.0);
-                        let dst = rng.gen_range(0..n);
+                    if rng.chance(0.8) {
+                        let nts = ts + rng.range_f64(0.0, 2.0);
+                        let dst = rng.below(n as u64) as usize;
                         parts[d].on_send(Vt::new(nts));
-                        flight.push((dst, nts, parts[d].stamp(), step + rng.gen_range(1..5)));
+                        flight.push((dst, nts, parts[d].stamp(), step + 1 + rng.below(4) as u32));
                     }
                 }
                 // Occasionally run a full round synchronously.
@@ -644,10 +635,7 @@ mod tests {
                     if let Some(CtrlMsg::Cut { round }) = coord.begin_round() {
                         let mut action = CoordinatorAction::Wait;
                         for i in 0..n {
-                            let lm = queues[i]
-                                .iter()
-                                .copied()
-                                .fold(f64::INFINITY, f64::min);
+                            let lm = queues[i].iter().copied().fold(f64::INFINITY, f64::min);
                             let ack = parts[i].on_cut(round, Vt::new(lm));
                             action = coord.on_ack(&ack);
                         }
@@ -671,10 +659,8 @@ mod tests {
                                     }
                                     action = CoordinatorAction::Wait;
                                     for i in 0..n {
-                                        let lm = queues[i]
-                                            .iter()
-                                            .copied()
-                                            .fold(f64::INFINITY, f64::min);
+                                        let lm =
+                                            queues[i].iter().copied().fold(f64::INFINITY, f64::min);
                                         let ack = parts[i].on_poll(round, Vt::new(lm));
                                         action = coord.on_ack(&ack);
                                     }

@@ -183,7 +183,13 @@ mod tests {
         (Vt::new(t), id)
     }
 
-    fn entry(t: f64, id: u64, pre: i64, input: &'static str, sent: Vec<SentRef>) -> TwEntry<i64, &'static str> {
+    fn entry(
+        t: f64,
+        id: u64,
+        pre: i64,
+        input: &'static str,
+        sent: Vec<SentRef>,
+    ) -> TwEntry<i64, &'static str> {
         TwEntry { key: key(t, id), pre_state: pre, input, sent }
     }
 
@@ -208,10 +214,7 @@ mod tests {
         n.record(entry(3.0, 3, 300, "e3", vec![]));
         let rb = n.rollback(key(2.0, 0)).unwrap();
         assert_eq!(rb.restore, 200); // pre-state of the earliest undone (e2)
-        assert_eq!(
-            rb.reexecute,
-            vec![(key(2.0, 2), "e2"), (key(3.0, 3), "e3")]
-        );
+        assert_eq!(rb.reexecute, vec![(key(2.0, 2), "e2"), (key(3.0, 3), "e3")]);
         assert_eq!(rb.cancel, vec![SentRef { id: 22, dest: 3, ts: Vt::new(2.0) }]);
         assert_eq!(n.last_key(), Some(key(1.0, 1)));
         assert_eq!(n.rollbacks(), 1);

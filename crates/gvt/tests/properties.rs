@@ -1,18 +1,19 @@
 //! Property-based tests on the virtual-time machinery.
 
-use proptest::prelude::*;
+use msgr_check::{check, prop_assert, prop_assert_eq, Source};
 
 use msgr_gvt::{Coordinator, CoordinatorAction, CtrlMsg, Participant, TwEntry, TwNode};
 use msgr_vm::Vt;
 
 // ---- Time-Warp log -----------------------------------------------------------
 
-// Feed a random interleaving of record/straggler operations through a
-// TwNode alongside a naive oracle (a sorted list); the node's view of
-// "what has been processed" must always match the oracle.
-proptest! {
-    #[test]
-    fn tw_log_matches_oracle(ops in proptest::collection::vec((0.0f64..64.0, 1u64..1000), 1..64)) {
+/// Feed a random interleaving of record/straggler operations through a
+/// TwNode alongside a naive oracle (a sorted list); the node's view of
+/// "what has been processed" must always match the oracle.
+#[test]
+fn tw_log_matches_oracle() {
+    check("tw_log_matches_oracle", |s: &mut Source| {
+        let ops = s.vec_with(1..64, |s| (s.f64_in(0.0, 64.0), s.u64_in(1..1000)));
         let mut node: TwNode<u64, u64> = TwNode::new();
         let mut oracle: Vec<(Vt, u64)> = Vec::new(); // processed keys, sorted
         let mut version: u64 = 0;
@@ -39,13 +40,15 @@ proptest! {
             prop_assert_eq!(node.last_key(), oracle.last().copied());
             prop_assert_eq!(node.log_len(), oracle.len());
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn fossil_collection_never_loses_the_tail(
-        times in proptest::collection::vec(0.0f64..100.0, 1..64),
-        gvt in 0.0f64..120.0,
-    ) {
+#[test]
+fn fossil_collection_never_loses_the_tail() {
+    check("fossil_collection_never_loses_the_tail", |s: &mut Source| {
+        let times = s.vec_with(1..64, |s| s.f64_in(0.0, 100.0));
+        let gvt = s.f64_in(0.0, 120.0);
         let mut node: TwNode<(), u32> = TwNode::new();
         let mut sorted = times.clone();
         sorted.sort_by(f64::total_cmp);
@@ -68,18 +71,18 @@ proptest! {
         if last.0 > Vt::new(gvt) {
             prop_assert!(node.rollback(last).is_some());
         }
-    }
+        Ok(())
+    });
 }
 
 // ---- GVT protocol --------------------------------------------------------------
 
-// A quiescent system (no messages in flight, all counters consistent)
-// must complete a round in one wave and report exactly the minimum.
-proptest! {
-    #[test]
-    fn quiescent_round_reports_exact_minimum(
-        mins in proptest::collection::vec(0.0f64..1e6, 1..48)
-    ) {
+/// A quiescent system (no messages in flight, all counters consistent)
+/// must complete a round in one wave and report exactly the minimum.
+#[test]
+fn quiescent_round_reports_exact_minimum() {
+    check("quiescent_round_reports_exact_minimum", |s: &mut Source| {
+        let mins = s.vec_with(1..48, |s| s.f64_in(0.0, 1e6));
         let n = mins.len();
         let mut coord = Coordinator::new(n);
         let mut parts: Vec<Participant> = (0..n as u16).map(Participant::new).collect();
@@ -93,15 +96,17 @@ proptest! {
         }
         let expect = mins.iter().copied().fold(f64::INFINITY, f64::min);
         prop_assert_eq!(outcome, Some(Vt::new(expect)));
-    }
+        Ok(())
+    });
+}
 
-    /// Messages recorded through on_send/on_receive in matched pairs keep
-    /// the books balanced: the next quiescent round still completes
-    /// without polling.
-    #[test]
-    fn balanced_traffic_needs_no_polling(
-        transfers in proptest::collection::vec((0u8..8, 0u8..8, 0.0f64..100.0), 0..64)
-    ) {
+/// Messages recorded through on_send/on_receive in matched pairs keep
+/// the books balanced: the next quiescent round still completes
+/// without polling.
+#[test]
+fn balanced_traffic_needs_no_polling() {
+    check("balanced_traffic_needs_no_polling", |s: &mut Source| {
+        let transfers = s.vec_with(0..64, |s| (s.u8_in(0..8), s.u8_in(0..8), s.f64_in(0.0, 100.0)));
         let n = 8;
         let mut coord = Coordinator::new(n);
         let mut parts: Vec<Participant> = (0..n as u16).map(Participant::new).collect();
@@ -124,5 +129,6 @@ proptest! {
         }
         prop_assert!(done);
         prop_assert_eq!(coord.polls_sent(), 0);
-    }
+        Ok(())
+    });
 }

@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use crate::ast::*;
 use crate::{LangError, Phase, Pos};
 use msgr_vm::{
-    Builder, CreateItem, CreateSpec, Dir, HopSpec, LinkPat, NamePat, NetVar, NodePat, Op,
-    Program, Value,
+    Builder, CreateItem, CreateSpec, Dir, HopSpec, LinkPat, NamePat, NetVar, NodePat, Op, Program,
+    Value,
 };
 
 fn cerr(message: impl Into<String>, pos: Pos) -> LangError {
@@ -89,10 +89,9 @@ impl<'a> FnCompiler<'a> {
     fn patch(&mut self, at: usize, target: usize) {
         let off = target as i64 - (at as i64 + 1);
         match &mut self.code[at] {
-            Op::Jump(o)
-            | Op::JumpIfFalse(o)
-            | Op::JumpIfTruePeek(o)
-            | Op::JumpIfFalsePeek(o) => *o = off as i32,
+            Op::Jump(o) | Op::JumpIfFalse(o) | Op::JumpIfTruePeek(o) | Op::JumpIfFalsePeek(o) => {
+                *o = off as i32
+            }
             other => unreachable!("patching non-jump {other:?}"),
         }
     }
@@ -255,11 +254,7 @@ impl<'a> FnCompiler<'a> {
                     return Err(cerr(format!("`{name}` takes exactly one argument"), pos));
                 }
                 self.expr(&args[0])?;
-                self.emit(if name == "M_sched_time_abs" {
-                    Op::SchedAbs
-                } else {
-                    Op::SchedDlt
-                });
+                self.emit(if name == "M_sched_time_abs" { Op::SchedAbs } else { Op::SchedDlt });
                 // The intrinsic's value, if anyone uses it, is NULL.
                 let op = self.const_op(Value::Null);
                 self.emit(op);
@@ -310,12 +305,8 @@ impl<'a> FnCompiler<'a> {
                 self.expr(e)?;
                 NodePat::Expr
             }
-            Some(Pat::Unnamed) => {
-                return Err(cerr("`~` is not a valid node pattern in hop", pos))
-            }
-            Some(Pat::Virtual) => {
-                return Err(cerr("`virtual` applies to `ll`, not `ln`", pos))
-            }
+            Some(Pat::Unnamed) => return Err(cerr("`~` is not a valid node pattern in hop", pos)),
+            Some(Pat::Virtual) => return Err(cerr("`virtual` applies to `ll`, not `ln`", pos)),
         };
         let ll = match &args.ll {
             None | Some(Pat::Wild) => LinkPat::Wild,
@@ -381,9 +372,7 @@ impl<'a> FnCompiler<'a> {
             };
             let dn = match args.dn.get(i) {
                 None | Some(Pat::Wild) => NodePat::Wild,
-                Some(Pat::Unnamed) => {
-                    return Err(cerr("`~` is not a valid daemon pattern", pos))
-                }
+                Some(Pat::Unnamed) => return Err(cerr("`~` is not a valid daemon pattern", pos)),
                 Some(Pat::Virtual) => {
                     return Err(cerr("`virtual` is not a valid daemon pattern", pos))
                 }
@@ -800,9 +789,8 @@ mod tests {
 
     #[test]
     fn user_call_arity_checked() {
-        let e =
-            compile_ast(&parse("f(a, b) { return a; } main() { return f(1); }").unwrap())
-                .unwrap_err();
+        let e = compile_ast(&parse("f(a, b) { return a; } main() { return f(1); }").unwrap())
+            .unwrap_err();
         assert!(e.message.contains("expects 2"));
     }
 
@@ -815,10 +803,7 @@ mod tests {
     #[test]
     fn unknown_calls_become_natives() {
         let p = compile("main() { return mystery(1, 2); }");
-        assert!(p.funcs[0]
-            .code
-            .iter()
-            .any(|op| matches!(op, Op::CallNative { argc: 2, .. })));
+        assert!(p.funcs[0].code.iter().any(|op| matches!(op, Op::CallNative { argc: 2, .. })));
     }
 
     #[test]
@@ -894,9 +879,8 @@ mod tests {
         // `a`, `b`, `x` are undeclared vars — use strings to reach the
         // length check.
         assert!(e.is_err());
-        let e =
-            compile_ast(&parse(r#"main() { create(ln = "a", "b"; ll = "x"); }"#).unwrap())
-                .unwrap_err();
+        let e = compile_ast(&parse(r#"main() { create(ln = "a", "b"; ll = "x"); }"#).unwrap())
+            .unwrap_err();
         assert!(e.message.contains("entries"));
     }
 
@@ -936,7 +920,10 @@ mod tests {
     #[test]
     fn string_building_for_node_names() {
         assert_eq!(
-            run_value(r#"main(i, j) { return "n" + i + "," + j; }"#, &[Value::Int(2), Value::Int(3)]),
+            run_value(
+                r#"main(i, j) { return "n" + i + "," + j; }"#,
+                &[Value::Int(2), Value::Int(3)]
+            ),
             Value::str("n2,3")
         );
     }
@@ -960,9 +947,7 @@ mod tests {
 
     #[test]
     fn slots_are_reused_across_sibling_scopes() {
-        let p = compile(
-            "main() { { int a; a = 1; } { int b; b = 2; } }",
-        );
+        let p = compile("main() { { int a; a = 1; } { int b; b = 2; } }");
         // Both a and b should land in slot 0.
         assert_eq!(p.funcs[0].n_slots, 1);
     }

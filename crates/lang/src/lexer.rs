@@ -172,9 +172,7 @@ impl<'a> Lexer<'a> {
                             (Some(_), _) => {
                                 self.bump();
                             }
-                            (None, _) => {
-                                return Err(lex_err("unterminated block comment", start))
-                            }
+                            (None, _) => return Err(lex_err("unterminated block comment", start)),
                         }
                     }
                 }
@@ -409,9 +407,8 @@ mod tests {
         assert_eq!(
             kinds("(){}[],; = == != < <= > >= + - * / % ! && || ~"),
             vec![
-                LParen, RParen, LBrace, RBrace, LBracket, RBracket, Comma, Semi, Assign, Eq,
-                Ne, Lt, Le, Gt, Ge, Plus, Minus, Star, Slash, Percent, Bang, AndAnd, OrOr,
-                Tilde, Eof
+                LParen, RParen, LBrace, RBrace, LBracket, RBracket, Comma, Semi, Assign, Eq, Ne,
+                Lt, Le, Gt, Ge, Plus, Minus, Star, Slash, Percent, Bang, AndAnd, OrOr, Tilde, Eof
             ]
         );
     }
@@ -466,11 +463,7 @@ mod tests {
     fn strings_with_escapes() {
         assert_eq!(
             kinds(r#""row" "a\nb\"c""#),
-            vec![
-                TokenKind::Str("row".into()),
-                TokenKind::Str("a\nb\"c".into()),
-                TokenKind::Eof
-            ]
+            vec![TokenKind::Str("row".into()), TokenKind::Str("a\nb\"c".into()), TokenKind::Eof]
         );
         assert!(tokenize("\"open").is_err());
     }

@@ -65,10 +65,7 @@ impl Parser {
         if self.check(kind) {
             Ok(self.bump())
         } else {
-            Err(perr(
-                format!("expected {what}, found {:?}", self.peek().kind),
-                self.pos(),
-            ))
+            Err(perr(format!("expected {what}, found {:?}", self.peek().kind), self.pos()))
         }
     }
 
@@ -144,11 +141,7 @@ impl Parser {
             TokenKind::For => self.for_stmt(),
             TokenKind::Return => {
                 let pos = self.bump().pos;
-                let value = if self.check(&TokenKind::Semi) {
-                    None
-                } else {
-                    Some(self.expr()?)
-                };
+                let value = if self.check(&TokenKind::Semi) { None } else { Some(self.expr()?) };
                 self.expect(&TokenKind::Semi, "`;` after return")?;
                 Ok(Stmt::Return(value, pos))
             }
@@ -212,11 +205,7 @@ impl Parser {
             } else {
                 None
             };
-            let init = if self.eat(&TokenKind::Assign) {
-                Some(self.expr()?)
-            } else {
-                None
-            };
+            let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
             if array_size.is_some() && init.is_some() {
                 return Err(perr("array declarations take no initializer", pos));
             }
@@ -235,11 +224,7 @@ impl Parser {
         let cond = self.expr()?;
         self.expect(&TokenKind::RParen, "`)` after condition")?;
         let then = vec![self.stmt()?];
-        let otherwise = if self.eat(&TokenKind::Else) {
-            vec![self.stmt()?]
-        } else {
-            Vec::new()
-        };
+        let otherwise = if self.eat(&TokenKind::Else) { vec![self.stmt()?] } else { Vec::new() };
         Ok(Stmt::If { cond, then, otherwise })
     }
 
@@ -273,10 +258,9 @@ impl Parser {
             TokenKind::Plus => Ok(Dir::Forward),
             TokenKind::Minus => Ok(Dir::Backward),
             TokenKind::Star => Ok(Dir::Any),
-            other => Err(perr(
-                format!("expected link direction `+`, `-` or `*`, found {other:?}"),
-                pos,
-            )),
+            other => {
+                Err(perr(format!("expected link direction `+`, `-` or `*`, found {other:?}"), pos))
+            }
         }
     }
 
@@ -339,11 +323,7 @@ impl Parser {
         }
         self.expect(&TokenKind::RParen, "`)` closing hop")?;
         self.expect(&TokenKind::Semi, "`;` after navigational statement")?;
-        Ok(if is_delete {
-            Stmt::Delete(args, pos)
-        } else {
-            Stmt::Hop(args, pos)
-        })
+        Ok(if is_delete { Stmt::Delete(args, pos) } else { Stmt::Hop(args, pos) })
     }
 
     fn create_stmt(&mut self) -> Result<Stmt, LangError> {
@@ -445,10 +425,7 @@ impl Parser {
                         })
                     }
                     _ => {
-                        return Err(perr(
-                            "array assignment target must be `variable[index]`",
-                            ipos,
-                        ))
+                        return Err(perr("array assignment target must be `variable[index]`", ipos))
                     }
                 },
                 _ => return Err(perr("assignment target must be a variable", pos)),
@@ -773,10 +750,7 @@ mod tests {
     #[test]
     fn for_clauses_optional() {
         let b = body("for (;;) break;");
-        assert!(matches!(
-            &b[0],
-            Stmt::For { init: None, cond: None, step: None, .. }
-        ));
+        assert!(matches!(&b[0], Stmt::For { init: None, cond: None, step: None, .. }));
     }
 
     #[test]

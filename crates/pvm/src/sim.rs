@@ -20,7 +20,9 @@
 
 use std::collections::VecDeque;
 
-use msgr_sim::{Cpu, Engine, HostId, IdealNet, NetModel, SharedBus, SimTime, Stats, Switched, MILLI};
+use msgr_sim::{
+    Cpu, Engine, HostId, IdealNet, NetModel, SharedBus, SimTime, Stats, Switched, MILLI,
+};
 
 use crate::{Buf, Message, Recv, Tag, TaskId};
 
@@ -306,18 +308,12 @@ impl TaskCtx<'_> {
 
     /// The task at `inst` in a group (`pvm_gettid`).
     pub fn group_tid(&self, name: &str, inst: usize) -> Option<TaskId> {
-        self.groups
-            .iter()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.get(inst).copied())
+        self.groups.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.get(inst).copied())
     }
 
     /// Current size of a group (`pvm_gsize`).
     pub fn group_size(&self, name: &str) -> usize {
-        self.groups
-            .iter()
-            .find(|(n, _)| n == name)
-            .map_or(0, |(_, v)| v.len())
+        self.groups.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| v.len())
     }
 }
 
@@ -385,8 +381,7 @@ impl PvmSim {
             state: SlotState::Starting,
             mailbox: VecDeque::new(),
         });
-        self.engine
-            .schedule_at(0, move |en, w| resume_task(en, w, tid, None));
+        self.engine.schedule_at(0, move |en, w| resume_task(en, w, tid, None));
         tid
     }
 
@@ -405,9 +400,7 @@ impl PvmSim {
             .slots
             .iter()
             .enumerate()
-            .filter(|(_, s)| {
-                matches!(s.state, SlotState::Waiting(_) | SlotState::AtBarrier)
-            })
+            .filter(|(_, s)| matches!(s.state, SlotState::Waiting(_) | SlotState::AtBarrier))
             .map(|(i, _)| TaskId(i as u32))
             .collect();
         if !waiting.is_empty() {
@@ -434,15 +427,15 @@ fn send_cost(c: &PvmCostModel, bytes: u64) -> u64 {
     // pack copy + (pvmd route: task→pvmd copy + per-fragment pvmd
     // handling) + XDR.
     let copies = if c.direct_route { 1 } else { 2 };
-    let fixed = c.send_fixed_ns
-        + if c.direct_route { 0 } else { c.pvmd_fixed_ns * frags(c, bytes) };
+    let fixed =
+        c.send_fixed_ns + if c.direct_route { 0 } else { c.pvmd_fixed_ns * frags(c, bytes) };
     fixed + bytes * c.per_byte_copy_ns * copies + bytes * c.xdr_per_byte_ns
 }
 
 fn recv_cost(c: &PvmCostModel, bytes: u64) -> u64 {
     let copies = if c.direct_route { 1 } else { 2 };
-    let fixed = c.recv_fixed_ns
-        + if c.direct_route { 0 } else { c.pvmd_fixed_ns * frags(c, bytes) };
+    let fixed =
+        c.recv_fixed_ns + if c.direct_route { 0 } else { c.pvmd_fixed_ns * frags(c, bytes) };
     fixed + bytes * c.per_byte_copy_ns * copies + bytes * c.xdr_per_byte_ns
 }
 
@@ -905,7 +898,7 @@ mod barrier_tests {
     /// Phased workers: everyone must finish phase 1 before any enters
     /// phase 2; phases validated through a shared order log.
     struct Phased {
-        log: std::sync::Arc<parking_lot::Mutex<Vec<(u32, u8)>>>,
+        log: std::sync::Arc<std::sync::Mutex<Vec<(u32, u8)>>>,
         me: u32,
         phase: u8,
         n: usize,
@@ -914,7 +907,7 @@ mod barrier_tests {
         fn resume(&mut self, _ctx: &mut TaskCtx<'_>, _msg: Option<Message>) -> Status {
             if self.phase < 2 {
                 self.phase += 1;
-                self.log.lock().push((self.me, self.phase));
+                self.log.lock().unwrap().push((self.me, self.phase));
                 return Status::Barrier { name: "phase".to_string(), count: self.n };
             }
             Status::Exit
@@ -922,7 +915,7 @@ mod barrier_tests {
     }
 
     struct Root {
-        log: std::sync::Arc<parking_lot::Mutex<Vec<(u32, u8)>>>,
+        log: std::sync::Arc<std::sync::Mutex<Vec<(u32, u8)>>>,
         n: usize,
     }
     impl Task for Root {
@@ -944,12 +937,12 @@ mod barrier_tests {
     #[test]
     fn barrier_orders_phases_globally() {
         let n = 5;
-        let log = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut vm = PvmSim::new(PvmSimConfig::new(3));
         vm.root(Box::new(Root { log: log.clone(), n }));
         let report = vm.run().unwrap();
         assert_eq!(report.stats.counter("barriers_released"), 2);
-        let log = log.lock();
+        let log = log.lock().unwrap();
         // Every phase-1 entry precedes every phase-2 entry.
         let last_p1 = log.iter().rposition(|&(_, p)| p == 1).unwrap();
         let first_p2 = log.iter().position(|&(_, p)| p == 2).unwrap();

@@ -6,8 +6,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex};
 
 use crate::{Buf, Message, Recv, Tag, TaskId};
 
@@ -90,7 +90,7 @@ impl PvmThreads {
         let mut joined = 0u32;
         loop {
             let handle = {
-                let mut hs = inner.handles.lock();
+                let mut hs = inner.handles.lock().unwrap();
                 if hs.is_empty() {
                     None
                 } else {
@@ -113,20 +113,20 @@ type TaskFn = Box<dyn FnOnce(&mut ThreadTaskCtx) + Send + 'static>;
 
 fn spawn_internal(inner: &Arc<Inner>, f: TaskFn) -> TaskId {
     let tid = {
-        let mut n = inner.next_tid.lock();
+        let mut n = inner.next_tid.lock().unwrap();
         let t = TaskId(*n);
         *n += 1;
         t
     };
-    let (tx, rx) = unbounded();
-    inner.mailboxes.lock().insert(tid, tx);
+    let (tx, rx) = channel();
+    inner.mailboxes.lock().unwrap().insert(tid, tx);
     let inner2 = inner.clone();
     let handle = std::thread::spawn(move || {
         let mut ctx = ThreadTaskCtx { me: tid, inner: inner2, inbox: rx, stash: Vec::new() };
         f(&mut ctx);
-        ctx.inner.mailboxes.lock().remove(&tid);
+        ctx.inner.mailboxes.lock().unwrap().remove(&tid);
     });
-    inner.handles.lock().push(handle);
+    inner.handles.lock().unwrap().push(handle);
     tid
 }
 
@@ -147,7 +147,7 @@ impl ThreadTaskCtx {
     pub fn send(&self, to: TaskId, tag: Tag, mut buf: Buf) {
         buf.rewind();
         let msg = Message { from: self.me, tag, buf };
-        if let Some(tx) = self.inner.mailboxes.lock().get(&to) {
+        if let Some(tx) = self.inner.mailboxes.lock().unwrap().get(&to) {
             let _ = tx.send(msg);
         }
     }
@@ -189,7 +189,7 @@ impl ThreadTaskCtx {
 
     /// Join a named group; returns this task's instance number.
     pub fn join_group(&self, name: &str) -> usize {
-        let mut groups = self.inner.groups.lock();
+        let mut groups = self.inner.groups.lock().unwrap();
         let members = groups.entry(name.to_string()).or_default();
         if let Some(i) = members.iter().position(|t| *t == self.me) {
             return i;
@@ -206,23 +206,21 @@ impl ThreadTaskCtx {
     ///
     /// Panics after 30 s if the member never joins (deadlock guard).
     pub fn group_tid_blocking(&self, name: &str, inst: usize) -> TaskId {
-        let mut groups = self.inner.groups.lock();
+        let mut groups = self.inner.groups.lock().unwrap();
         loop {
             if let Some(t) = groups.get(name).and_then(|v| v.get(inst)) {
                 return *t;
             }
-            let timed_out = self
-                .inner
-                .groups_cv
-                .wait_for(&mut groups, Duration::from_secs(30))
-                .timed_out();
-            assert!(!timed_out, "group member {name}[{inst}] never joined");
+            let (guard, wait) =
+                self.inner.groups_cv.wait_timeout(groups, Duration::from_secs(30)).unwrap();
+            groups = guard;
+            assert!(!wait.timed_out(), "group member {name}[{inst}] never joined");
         }
     }
 
     /// Current size of a group.
     pub fn group_size(&self, name: &str) -> usize {
-        self.inner.groups.lock().get(name).map_or(0, Vec::len)
+        self.inner.groups.lock().unwrap().get(name).map_or(0, Vec::len)
     }
 
     /// Block until `count` tasks have called `barrier` with the same
@@ -234,7 +232,7 @@ impl ThreadTaskCtx {
     /// Panics after 30 s if the barrier never fills (deadlock guard).
     pub fn barrier(&self, name: &str, count: usize) {
         assert!(count > 0, "barrier needs at least one participant");
-        let mut barriers = self.inner.barriers.lock();
+        let mut barriers = self.inner.barriers.lock().unwrap();
         let entry = barriers.entry(name.to_string()).or_insert((0, 0));
         let my_generation = entry.0;
         entry.1 += 1;
@@ -245,18 +243,15 @@ impl ThreadTaskCtx {
             return;
         }
         loop {
-            let timed_out = self
-                .inner
-                .barriers_cv
-                .wait_for(&mut barriers, Duration::from_secs(30))
-                .timed_out();
-            let released = barriers
-                .get(name)
-                .is_none_or(|(generation, _)| *generation > my_generation);
+            let (guard, wait) =
+                self.inner.barriers_cv.wait_timeout(barriers, Duration::from_secs(30)).unwrap();
+            barriers = guard;
+            let released =
+                barriers.get(name).is_none_or(|(generation, _)| *generation > my_generation);
             if released {
                 return;
             }
-            assert!(!timed_out, "barrier `{name}` never filled");
+            assert!(!wait.timed_out(), "barrier `{name}` never filled");
         }
     }
 }

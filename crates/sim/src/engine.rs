@@ -105,22 +105,14 @@ impl<W> Engine<W> {
         time: SimTime,
         cb: impl FnOnce(&mut Engine<W>, &mut W) + 'static,
     ) {
-        assert!(
-            time >= self.now,
-            "cannot schedule into the past: t={time} < now={}",
-            self.now
-        );
+        assert!(time >= self.now, "cannot schedule into the past: t={time} < now={}", self.now);
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Slot { time, seq, cb: Box::new(cb) });
     }
 
     /// Schedule `cb` after a delay of `dt` from now (saturating).
-    pub fn schedule_in(
-        &mut self,
-        dt: SimTime,
-        cb: impl FnOnce(&mut Engine<W>, &mut W) + 'static,
-    ) {
+    pub fn schedule_in(&mut self, dt: SimTime, cb: impl FnOnce(&mut Engine<W>, &mut W) + 'static) {
         self.schedule_at(self.now.saturating_add(dt), cb);
     }
 

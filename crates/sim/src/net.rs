@@ -266,7 +266,7 @@ mod tests {
     #[test]
     fn switched_ports_are_independent() {
         let mut sw = Switched::new(4, 8e9, 10, 0); // 1 ns/byte
-        // Two disjoint pairs transfer concurrently.
+                                                   // Two disjoint pairs transfer concurrently.
         let a = sw.transfer(0, H0, H1, 1000);
         let b = sw.transfer(0, H2, HostId(3), 1000);
         // Cut-through: arrival = tx_start + latency + frame time.

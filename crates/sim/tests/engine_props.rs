@@ -1,13 +1,14 @@
 //! Property-based tests for the discrete-event engine.
 
+use msgr_check::{check, prop_assert, prop_assert_eq, Source};
 use msgr_sim::{Engine, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    /// Events fire in nondecreasing time order regardless of schedule
-    /// order, and ties fire in insertion order.
-    #[test]
-    fn events_fire_in_time_then_insertion_order(times in proptest::collection::vec(0u64..1000, 1..64)) {
+/// Events fire in nondecreasing time order regardless of schedule
+/// order, and ties fire in insertion order.
+#[test]
+fn events_fire_in_time_then_insertion_order() {
+    check("events_fire_in_time_then_insertion_order", |s| {
+        let times = s.vec_with(1..64, |s| s.u64_in(0..1000));
         let mut en: Engine<Vec<(SimTime, usize)>> = Engine::new();
         for (i, &t) in times.iter().enumerate() {
             en.schedule_at(t, move |en, log: &mut Vec<(SimTime, usize)>| {
@@ -25,36 +26,42 @@ proptest! {
         }
         // The clock ends at the max scheduled time.
         prop_assert_eq!(en.now(), times.iter().copied().max().unwrap());
-    }
+        Ok(())
+    });
+}
 
-    /// Cascading events (each schedules the next) preserve determinism:
-    /// two identical runs produce identical traces.
-    #[test]
-    fn cascades_are_deterministic(seed_times in proptest::collection::vec(0u64..100, 1..16)) {
-        fn run(times: &[u64]) -> Vec<SimTime> {
-            let mut en: Engine<Vec<SimTime>> = Engine::new();
-            for &t in times {
-                en.schedule_at(t, move |en, log: &mut Vec<SimTime>| {
-                    log.push(en.now());
-                    if log.len() < 64 {
-                        en.schedule_in(t + 1, |en, log| log.push(en.now()));
-                    }
-                });
-            }
-            let mut log = Vec::new();
-            en.run(&mut log);
-            log
+/// Cascading events (each schedules the next) preserve determinism:
+/// two identical runs produce identical traces.
+#[test]
+fn cascades_are_deterministic() {
+    fn run(times: &[u64]) -> Vec<SimTime> {
+        let mut en: Engine<Vec<SimTime>> = Engine::new();
+        for &t in times {
+            en.schedule_at(t, move |en, log: &mut Vec<SimTime>| {
+                log.push(en.now());
+                if log.len() < 64 {
+                    en.schedule_in(t + 1, |en, log| log.push(en.now()));
+                }
+            });
         }
-        prop_assert_eq!(run(&seed_times), run(&seed_times));
+        let mut log = Vec::new();
+        en.run(&mut log);
+        log
     }
+    check("cascades_are_deterministic", |s| {
+        let seed_times = s.vec_with(1..16, |s| s.u64_in(0..100));
+        prop_assert_eq!(run(&seed_times), run(&seed_times));
+        Ok(())
+    });
+}
 
-    /// run_until never executes past the deadline and leaves the rest
-    /// intact.
-    #[test]
-    fn run_until_partitions_cleanly(
-        times in proptest::collection::vec(0u64..1000, 1..64),
-        deadline in 0u64..1000,
-    ) {
+/// run_until never executes past the deadline and leaves the rest
+/// intact.
+#[test]
+fn run_until_partitions_cleanly() {
+    check("run_until_partitions_cleanly", |s| {
+        let times = s.vec_with(1..64, |s| s.u64_in(0..1000));
+        let deadline = s.u64_in(0..1000);
         let mut en: Engine<Vec<SimTime>> = Engine::new();
         for &t in &times {
             en.schedule_at(t, move |en, log: &mut Vec<SimTime>| log.push(en.now()));
@@ -66,15 +73,19 @@ proptest! {
         prop_assert!(log.iter().all(|&t| t <= deadline));
         en.run(&mut log);
         prop_assert_eq!(log.len(), times.len());
-    }
+        Ok(())
+    });
+}
 
-    /// Shared-bus transfers are FIFO per pair and never earlier than the
-    /// send time plus the frame time.
-    #[test]
-    fn shared_bus_arrivals_are_causal(
-        sends in proptest::collection::vec((0u64..10_000, 0u32..4, 0u32..4, 1u64..10_000), 1..64)
-    ) {
-        use msgr_sim::{NetModel, SharedBus, HostId};
+/// Shared-bus transfers are FIFO per pair and never earlier than the
+/// send time plus the frame time.
+#[test]
+fn shared_bus_arrivals_are_causal() {
+    use msgr_sim::{HostId, NetModel, SharedBus};
+    check("shared_bus_arrivals_are_causal", |s: &mut Source| {
+        let sends = s.vec_with(1..64, |s| {
+            (s.u64_in(0..10_000), s.u32_in(0..4), s.u32_in(0..4), s.u64_in(1..10_000))
+        });
         let mut bus = SharedBus::new(1e9, 100, 32);
         let mut sorted = sends.clone();
         sorted.sort_by_key(|s| s.0);
@@ -87,5 +98,6 @@ proptest! {
                 last_arrival = arr;
             }
         }
-    }
+        Ok(())
+    });
 }

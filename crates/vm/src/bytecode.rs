@@ -298,10 +298,7 @@ impl Program {
 
     /// Find a function by name.
     pub fn function_named(&self, name: &str) -> Option<FuncId> {
-        self.funcs
-            .iter()
-            .position(|f| f.name == name)
-            .map(|i| FuncId(i as u16))
+        self.funcs.iter().position(|f| f.name == name).map(|i| FuncId(i as u16))
     }
 
     /// Look up a function.

@@ -1,0 +1,281 @@
+//! In-repo byte buffers for the wire codecs.
+//!
+//! A minimal, dependency-free replacement for the `bytes` crate,
+//! providing exactly what the codecs need: [`BytesMut`], a growable
+//! `Vec<u8>`-backed write buffer, and [`Bytes`], an immutable,
+//! cheaply-cloneable view that doubles as a read cursor. Cloning or
+//! slicing a [`Bytes`] shares the underlying allocation (`Arc<[u8]>`),
+//! so passing migration payloads between daemons never copies the
+//! payload itself.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer with a read cursor.
+///
+/// Reader methods (`get_u8`, `get_f64_le`, `copy_to_bytes`) consume from
+/// the front of the view, like `bytes::Buf`. Slicing and cloning are
+/// O(1) and share storage.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// A buffer copied from a static slice.
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Remaining (unread) length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Synonym for [`Bytes::len`], reader-flavored.
+    pub fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    /// Whether any unread bytes remain.
+    pub fn has_remaining(&self) -> bool {
+        !self.is_empty()
+    }
+
+    /// Read one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty; codecs must check `has_remaining` first.
+    pub fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 on empty buffer");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+
+    /// Read a little-endian `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain.
+    pub fn get_f64_le(&mut self) -> f64 {
+        assert!(self.remaining() >= 8, "get_f64_le on short buffer");
+        let raw: [u8; 8] = self.data[self.start..self.start + 8].try_into().unwrap();
+        self.start += 8;
+        f64::from_le_bytes(raw)
+    }
+
+    /// Split off the next `n` bytes as a shared-storage [`Bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    pub fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(self.remaining() >= n, "copy_to_bytes past end");
+        let out = Bytes { data: self.data.clone(), start: self.start, end: self.start + n };
+        self.start += n;
+        out
+    }
+
+    /// Skip `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    pub fn advance(&mut self, n: usize) {
+        assert!(self.remaining() >= n, "advance past end");
+        self.start += n;
+    }
+
+    /// A shared-storage sub-view of the unread bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&i) => i,
+            Bound::Excluded(&i) => i + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&i) => i + 1,
+            Bound::Excluded(&i) => i,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of bounds");
+        Bytes { data: self.data.clone(), start: self.start + lo, end: self.start + hi }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes { data: v.into(), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (**self).hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// A growable write buffer, frozen into [`Bytes`] when complete.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(n: usize) -> BytesMut {
+        BytesMut { buf: Vec::with_capacity(n) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// Append a slice.
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Append a little-endian `f64`.
+    pub fn put_f64_le(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> BytesMut {
+        BytesMut { buf: s.to_vec() }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_round_trip() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u8(7);
+        w.put_f64_le(2.5);
+        w.put_slice(b"abc");
+        let mut r = w.freeze();
+        assert_eq!(r.len(), 12);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_f64_le(), 2.5);
+        let tail = r.copy_to_bytes(3);
+        assert_eq!(&*tail, b"abc");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slices_share_storage_and_compare_by_content() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let mid = b.slice(1..4);
+        assert_eq!(&*mid, &[2, 3, 4]);
+        assert_eq!(mid, Bytes::from(vec![2u8, 3, 4]));
+        // Slicing after partial reads is relative to the unread view.
+        let mut r = b.clone();
+        r.advance(2);
+        assert_eq!(&*r.slice(..2), &[3, 4]);
+    }
+
+    #[test]
+    fn empty_buffer_behaves() {
+        let b = Bytes::new();
+        assert!(b.is_empty());
+        assert!(!b.has_remaining());
+        assert_eq!(b, Bytes::from(Vec::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "get_u8 on empty")]
+    fn reading_past_end_panics() {
+        Bytes::new().get_u8();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![1u8]).slice(..5);
+    }
+}

@@ -80,11 +80,7 @@ pub struct MapEnv {
 impl MapEnv {
     /// Fresh environment with no variables or natives.
     pub fn new() -> Self {
-        MapEnv {
-            node: Value::str("init"),
-            last: Value::Null,
-            ..Default::default()
-        }
+        MapEnv { node: Value::str("init"), last: Value::Null, ..Default::default() }
     }
 }
 
@@ -386,11 +382,7 @@ fn run_inner(
                 m.frames.last_mut().unwrap().stack.push(v);
             }
             Op::Dup => {
-                let v = frame
-                    .stack
-                    .last()
-                    .ok_or(VmError::Corrupt("dup on empty stack"))?
-                    .clone();
+                let v = frame.stack.last().ok_or(VmError::Corrupt("dup on empty stack"))?.clone();
                 frame.stack.push(v);
             }
             Op::Pop => {
@@ -432,19 +424,13 @@ fn run_inner(
                 }
             }
             Op::JumpIfTruePeek(off) => {
-                let v = frame
-                    .stack
-                    .last()
-                    .ok_or(VmError::Corrupt("peek on empty stack"))?;
+                let v = frame.stack.last().ok_or(VmError::Corrupt("peek on empty stack"))?;
                 if v.is_truthy() {
                     frame.pc = jump(frame.pc, off);
                 }
             }
             Op::JumpIfFalsePeek(off) => {
-                let v = frame
-                    .stack
-                    .last()
-                    .ok_or(VmError::Corrupt("peek on empty stack"))?;
+                let v = frame.stack.last().ok_or(VmError::Corrupt("peek on empty stack"))?;
                 if !v.is_truthy() {
                     frame.pc = jump(frame.pc, off);
                 }
@@ -541,14 +527,7 @@ fn run_inner(
                         NamePat::Unnamed => None,
                         NamePat::Expr => Some(pop(&mut frame.stack)?),
                     };
-                    items.push(EvalCreateItem {
-                        ln,
-                        ll,
-                        ldir: it.ldir,
-                        dn,
-                        dl,
-                        ddir: it.ddir,
-                    });
+                    items.push(EvalCreateItem { ln, ll, ldir: it.ldir, dn, dl, ddir: it.ddir });
                 }
                 items.reverse();
                 return Ok(Yield::Create(EvalCreate { items, all: spec.all }));
@@ -574,16 +553,14 @@ fn run_inner(
                 if !(0..=(1 << 24)).contains(&n) {
                     return Err(VmError::Native(format!("bad array size {n}")));
                 }
-                frame
-                    .stack
-                    .push(Value::Arr(std::sync::Arc::new(vec![default; n as usize])));
+                frame.stack.push(Value::Arr(std::sync::Arc::new(vec![default; n as usize])));
             }
             Op::IndexGet => {
                 let idx = pop(&mut frame.stack)?.as_int()?;
                 let arr = pop(&mut frame.stack)?;
                 let arr = arr.as_array()?;
-                let v = arr
-                    .get(usize::try_from(idx).map_err(|_| {
+                let v =
+                    arr.get(usize::try_from(idx).map_err(|_| {
                         VmError::Native(format!("array index {idx} out of bounds"))
                     })?)
                     .ok_or_else(|| {
@@ -746,12 +723,8 @@ mod tests {
         let mut b = Builder::new();
         let c2 = b.constant(Value::Int(2));
         // callee: double(x) { return x + x; }
-        let double = b.function(
-            "double",
-            1,
-            0,
-            vec![Op::LoadLocal(0), Op::LoadLocal(0), Op::Add, Op::Ret],
-        );
+        let double =
+            b.function("double", 1, 0, vec![Op::LoadLocal(0), Op::LoadLocal(0), Op::Add, Op::Ret]);
         // drop(x) {}  -- implicit NULL return
         let dropf = b.function("drop", 1, 0, vec![]);
         let main = b.function(
@@ -783,11 +756,7 @@ mod tests {
     fn hop_yield_evaluates_operands_and_advances_pc() {
         let mut b = Builder::new();
         let name = b.constant(Value::str("row"));
-        let spec = b.hop_spec(HopSpec {
-            ln: NodePat::Wild,
-            ll: LinkPat::Expr,
-            ldir: Dir::Forward,
-        });
+        let spec = b.hop_spec(HopSpec { ln: NodePat::Wild, ll: LinkPat::Expr, ldir: Dir::Forward });
         let after = b.constant(Value::Int(99));
         let f = b.function(
             "main",
@@ -834,10 +803,7 @@ mod tests {
     #[test]
     fn create_all_yield() {
         let mut b = Builder::new();
-        let spec = b.create_spec(CreateSpec {
-            items: vec![CreateItem::default()],
-            all: true,
-        });
+        let spec = b.create_spec(CreateSpec { items: vec![CreateItem::default()], all: true });
         let f = b.function("main", 0, 0, vec![Op::Create(spec), Op::Halt]);
         let p = b.finish(f);
         let mut m = launch(&p);
@@ -901,10 +867,7 @@ mod tests {
         let f = b.function("main", 0, 0, vec![Op::Const(c), Op::SchedAbs, Op::Halt]);
         let p = b.finish(f);
         let mut m = launch(&p);
-        assert_eq!(
-            run(&p, &mut m, &mut NullEnv, 100).unwrap(),
-            Yield::SchedAbs(Vt::new(2.5))
-        );
+        assert_eq!(run(&p, &mut m, &mut NullEnv, 100).unwrap(), Yield::SchedAbs(Vt::new(2.5)));
         assert_eq!(run(&p, &mut m, &mut NullEnv, 100).unwrap(), Yield::Terminated(Value::Null));
     }
 
@@ -944,11 +907,7 @@ mod tests {
             "main",
             0,
             0,
-            vec![
-                Op::LoadNet(NetVar::Address),
-                Op::CallNative { name: cn, argc: 1 },
-                Op::Ret,
-            ],
+            vec![Op::LoadNet(NetVar::Address), Op::CallNative { name: cn, argc: 1 }, Op::Ret],
         );
         let p = b.finish(f);
         let mut env = MapEnv::new();

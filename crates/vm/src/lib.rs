@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod bytecode;
+pub mod bytes;
 mod error;
 pub mod interp;
 mod natives;
@@ -53,6 +54,7 @@ pub use bytecode::{
     Builder, CreateItem, CreateSpec, Dir, FuncId, Function, HopSpec, LinkPat, NamePat, NetVar,
     NodePat, Op, Program, ProgramId,
 };
+pub use bytes::{Bytes, BytesMut};
 pub use error::VmError;
 pub use interp::{Env, EvalCreate, EvalCreateItem, EvalHop, EvalLink, MapEnv, NullEnv, Yield};
 pub use natives::{NativeCtx, NativeFn, NativeRegistry};

@@ -97,11 +97,7 @@ impl NativeRegistry {
         name: &str,
         args: &[Value],
     ) -> Result<Value, VmError> {
-        let f = self
-            .map
-            .get(name)
-            .ok_or_else(|| VmError::UnknownNative(name.to_string()))?
-            .clone();
+        let f = self.map.get(name).ok_or_else(|| VmError::UnknownNative(name.to_string()))?.clone();
         f(ctx, args).map_err(VmError::Native)
     }
 }
@@ -161,10 +157,7 @@ mod tests {
     fn unknown_native_error() {
         let reg = NativeRegistry::new();
         let mut ctx = Ctx { vars: HashMap::new(), charged: 0 };
-        assert!(matches!(
-            reg.call(&mut ctx, "nope", &[]),
-            Err(VmError::UnknownNative(_))
-        ));
+        assert!(matches!(reg.call(&mut ctx, "nope", &[]), Err(VmError::UnknownNative(_))));
     }
 
     #[test]
@@ -172,10 +165,7 @@ mod tests {
         let mut reg = NativeRegistry::new();
         reg.register("fail", |_, _| Err("boom".to_string()));
         let mut ctx = Ctx { vars: HashMap::new(), charged: 0 };
-        assert_eq!(
-            reg.call(&mut ctx, "fail", &[]),
-            Err(VmError::Native("boom".to_string()))
-        );
+        assert_eq!(reg.call(&mut ctx, "fail", &[]), Err(VmError::Native("boom".to_string())));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! (messenger variables travel with the messenger; no extra buffer
 //! copies — §2.1).
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use std::fmt;
 use std::sync::Arc;
 
@@ -31,9 +31,7 @@ impl Matrix {
     ///
     /// Panics if `rows * cols` overflows `u32`.
     pub fn zeros(rows: u32, cols: u32) -> Self {
-        let n = (rows as u64)
-            .checked_mul(cols as u64)
-            .expect("matrix dimensions overflow");
+        let n = (rows as u64).checked_mul(cols as u64).expect("matrix dimensions overflow");
         Matrix { rows, cols, data: Arc::new(vec![0.0; n as usize]) }
     }
 
@@ -257,9 +255,7 @@ impl Value {
     /// comparison (`1 == 1.0`), otherwise same-variant comparison.
     pub fn loose_eq(&self, other: &Value) -> bool {
         match (self, other) {
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (a, b) => a == b,
         }
     }

@@ -12,11 +12,11 @@
 //! decode: a truncated or corrupted buffer yields [`VmError::Decode`],
 //! never a panic.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::bytes::{Bytes, BytesMut};
 
 use crate::bytecode::{
-    CreateItem, CreateSpec, Dir, FuncId, Function, HopSpec, LinkPat, NamePat, NetVar, NodePat,
-    Op, Program, ProgramId,
+    CreateItem, CreateSpec, Dir, FuncId, Function, HopSpec, LinkPat, NamePat, NetVar, NodePat, Op,
+    Program, ProgramId,
 };
 use crate::error::VmError;
 use crate::state::{Frame, MessengerId, MessengerState, Vt};
@@ -27,8 +27,13 @@ fn err(msg: &str) -> VmError {
 }
 
 // ---- primitives ---------------------------------------------------------
+//
+// Public so that higher layers (e.g. the daemon frame codec in
+// `msgr-core`) can reuse the exact same varint/string/float encodings
+// instead of inventing parallel ones.
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+/// Append an LEB128 varint.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -40,7 +45,12 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, VmError> {
+/// Decode an LEB128 varint.
+///
+/// # Errors
+///
+/// [`VmError::Decode`] on truncation or overlong encodings.
+pub fn get_varint(buf: &mut Bytes) -> Result<u64, VmError> {
     let mut v: u64 = 0;
     for shift in (0..64).step_by(7) {
         if !buf.has_remaining() {
@@ -55,31 +65,45 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, VmError> {
     Err(err("varint too long"))
 }
 
-fn zigzag(v: i64) -> u64 {
+/// Zigzag-map a signed integer so small magnitudes stay small.
+pub fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_f64(buf: &mut BytesMut, v: f64) {
+/// Append a little-endian `f64`.
+pub fn put_f64(buf: &mut BytesMut, v: f64) {
     buf.put_f64_le(v);
 }
 
-fn get_f64(buf: &mut Bytes) -> Result<f64, VmError> {
+/// Decode a little-endian `f64`.
+///
+/// # Errors
+///
+/// [`VmError::Decode`] on truncation.
+pub fn get_f64(buf: &mut Bytes) -> Result<f64, VmError> {
     if buf.remaining() < 8 {
         return Err(err("truncated f64"));
     }
     Ok(buf.get_f64_le())
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
     put_varint(buf, s.len() as u64);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, VmError> {
+/// Decode a length-prefixed UTF-8 string.
+///
+/// # Errors
+///
+/// [`VmError::Decode`] on truncation or invalid UTF-8.
+pub fn get_str(buf: &mut Bytes) -> Result<String, VmError> {
     let n = get_varint(buf)? as usize;
     if buf.remaining() < n {
         return Err(err("truncated string"));
@@ -655,7 +679,7 @@ mod tests {
             Value::str(""),
             Value::str("héllo ∆"),
             Value::Mat(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])),
-            Value::Blob(bytes::Bytes::from(vec![0u8, 1, 2, 255])),
+            Value::Blob(Bytes::from(vec![0u8, 1, 2, 255])),
             Value::Arr(std::sync::Arc::new(vec![
                 Value::Int(1),
                 Value::str("two"),
@@ -682,8 +706,8 @@ mod tests {
         let mut b = Builder::new();
         let f = b.function("main", 1, 2, vec![Op::Ret]);
         let p = b.finish(f);
-        let mut m = MessengerState::launch(&p, MessengerId::compose(3, 17), &[Value::Int(5)])
-            .unwrap();
+        let mut m =
+            MessengerState::launch(&p, MessengerId::compose(3, 17), &[Value::Int(5)]).unwrap();
         m.vtime = Vt::new(2.5);
         m.frames[0].stack.push(Value::str("pending"));
         m.frames.push(Frame {
@@ -727,16 +751,14 @@ mod tests {
         let n = b.constant(Value::Int(12));
         let hs = b.hop_spec(HopSpec { ln: NodePat::Expr, ll: LinkPat::Expr, ldir: Dir::Backward });
         let cs = b.create_spec(CreateSpec {
-            items: vec![
-                CreateItem {
-                    ln: NamePat::Expr,
-                    ll: NamePat::Unnamed,
-                    ldir: Dir::Forward,
-                    dn: NodePat::Expr,
-                    dl: LinkPat::Wild,
-                    ddir: Dir::Any,
-                },
-            ],
+            items: vec![CreateItem {
+                ln: NamePat::Expr,
+                ll: NamePat::Unnamed,
+                ldir: Dir::Forward,
+                dn: NodePat::Expr,
+                dl: LinkPat::Wild,
+                ddir: Dir::Any,
+            }],
             all: true,
         });
         let helper = b.function("helper", 2, 1, vec![Op::LoadLocal(0), Op::Ret]);

@@ -63,10 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pid = live.register_program(&program);
     live.inject_at(&Value::str("r0"), pid, &[Value::Int(3), Value::Int(8)])?;
     let report = live.run()?;
-    println!(
-        "\nthreaded: {:.1} ms wall clock on 4 daemon threads",
-        report.wall_seconds * 1e3
-    );
+    println!("\nthreaded: {:.1} ms wall clock on 4 daemon threads", report.wall_seconds * 1e3);
     let total: i64 = (0..8)
         .map(|i| {
             live.node_var_by_name(&Value::str(format!("r{i}")), "visits")

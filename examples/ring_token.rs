@@ -68,9 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = cluster.run()?;
     assert!(report.faults.is_empty(), "faults: {:?}", report.faults);
 
-    let winner = cluster
-        .node_var_by_name(&Value::str("announce"), "elected")
-        .unwrap_or(Value::Null);
+    let winner =
+        cluster.node_var_by_name(&Value::str("announce"), "elected").unwrap_or(Value::Null);
     println!(
         "elected leader: {winner} (expected 9) after {} migrations in {:.2} simulated ms",
         report.stats.counter("migrations_out"),

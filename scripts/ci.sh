@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: the workspace must build, test, and
+# stay formatted with no network access and no external registry
+# dependencies (see "Hermetic builds" in README.md / DESIGN.md).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo metadata: path-only dependency check =="
+# Every dependency must resolve from within this repository. `cargo
+# metadata --offline` fails outright if anything needs the registry; the
+# grep double-checks that no package outside the workspace sneaked in.
+if cargo metadata --offline --format-version 1 \
+    | grep -o '"source":"[^"]*"' | grep -qv '"source":""' ; then
+    echo "error: non-path dependency found in cargo metadata" >&2
+    exit 1
+fi
+echo "ok: all dependencies are workspace-local"
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline --workspace
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "tier-1: all green"

@@ -111,7 +111,8 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
         let result: Result<(), String> = (|| {
             match opt.as_str() {
                 "--daemons" => {
-                    daemons = take("a count")?.parse().map_err(|_| "bad daemon count".to_string())?;
+                    daemons =
+                        take("a count")?.parse().map_err(|_| "bad daemon count".to_string())?;
                 }
                 "--threads" => threads = true,
                 "--dump" => dump = true,
@@ -135,9 +136,8 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
                 }
                 "--show" => {
                     let spec = take("NODE.VAR")?;
-                    let (node, var) = spec
-                        .split_once('.')
-                        .ok_or_else(|| "--show wants NODE.VAR".to_string())?;
+                    let (node, var) =
+                        spec.split_once('.').ok_or_else(|| "--show wants NODE.VAR".to_string())?;
                     shows.push((node.to_string(), var.to_string()));
                 }
                 other => return Err(format!("unknown option `{other}`")),

@@ -1,0 +1,68 @@
+//! Bit-level determinism of the simulated applications: the same
+//! `ClusterConfig` (including its `seed`) must produce byte-identical
+//! results and identical simulated-time statistics on every run. This is
+//! what makes the paper's figures reproducible and the msgr-check seeds
+//! meaningful.
+
+use std::sync::Arc;
+
+use messengers::apps::calib::Calib;
+use messengers::apps::mandel::{MandelScene, MandelWork};
+use messengers::apps::matmul::{test_matrix, MatmulScene};
+use messengers::apps::{mandel_msgr, matmul_msgr};
+use messengers::core::ClusterConfig;
+use msgr_sim::Stats;
+
+fn counters(stats: &Stats) -> Vec<(&'static str, u64)> {
+    stats.counters().collect()
+}
+
+#[test]
+fn mandel_runs_are_bit_identical() {
+    let calib = Calib::default();
+    let work = Arc::new(MandelWork::compute(MandelScene::paper(128, 8)));
+    let run = || {
+        let mut cfg = ClusterConfig::new(8);
+        cfg.seed = 42;
+        mandel_msgr::run_sim(&work, 8, &calib, cfg).expect("run")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.checksum, b.checksum, "image checksum must be identical");
+    assert_eq!(a.seconds.to_bits(), b.seconds.to_bits(), "simulated time must be identical");
+    assert_eq!(counters(&a.stats), counters(&b.stats), "all counters must be identical");
+}
+
+#[test]
+fn mandel_seed_is_part_of_the_configuration() {
+    // Different seeds may legally produce identical timings, but the
+    // results must still verify: same image either way.
+    let calib = Calib::default();
+    let work = Arc::new(MandelWork::compute(MandelScene::paper(64, 4)));
+    let run = |seed: u64| {
+        let mut cfg = ClusterConfig::new(4);
+        cfg.seed = seed;
+        mandel_msgr::run_sim(&work, 4, &calib, cfg).expect("run")
+    };
+    assert_eq!(run(1).checksum, run(2).checksum, "checksum is seed-independent");
+}
+
+#[test]
+fn matmul_runs_are_bit_identical() {
+    let calib = Calib::default();
+    let scene = MatmulScene::new(2, 16);
+    let a = test_matrix(scene.n(), 1);
+    let b = test_matrix(scene.n(), 2);
+    let run = || {
+        let mut cfg = ClusterConfig::new(4);
+        cfg.seed = 7;
+        matmul_msgr::run_sim(scene, &a, &b, &calib, cfg).expect("run")
+    };
+    let r1 = run();
+    let r2 = run();
+    let bits =
+        |m: &messengers::vm::Matrix| m.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(bits(&r1.product), bits(&r2.product), "product must be byte-identical");
+    assert_eq!(r1.seconds.to_bits(), r2.seconds.to_bits(), "simulated time must be identical");
+    assert_eq!(counters(&r1.stats), counters(&r2.stats), "all counters must be identical");
+}

@@ -7,10 +7,8 @@ use messengers::vm::Value;
 /// Fig. 3 — the complete manager/worker program.
 #[test]
 fn fig3_manager_worker_runs_end_to_end() {
-    let program = messengers::lang::compile(
-        messengers::apps::mandel_msgr::MANAGER_WORKER_SCRIPT,
-    )
-    .expect("Fig. 3 compiles");
+    let program = messengers::lang::compile(messengers::apps::mandel_msgr::MANAGER_WORKER_SCRIPT)
+        .expect("Fig. 3 compiles");
     // The script defines exactly one function with the paper's name.
     assert_eq!(program.funcs.len(), 1);
     assert_eq!(program.funcs[0].name, "manager_worker");

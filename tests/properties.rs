@@ -1,73 +1,82 @@
 //! Property-based tests on the core data structures and invariants.
 
-use proptest::prelude::*;
+use msgr_check::{check, prop_assert, prop_assert_eq, Source};
 
-use messengers::vm::{wire, Frame, Matrix, MessengerState, Value, Vt};
+use messengers::vm::{wire, Bytes, BytesMut, Frame, Matrix, MessengerState, Value, Vt};
 
 // ---- value / messenger codec ------------------------------------------------
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
+const STR_CHARS: &str = "abcdefghijklmnopqrstuvwxyz0123456789 ,._-";
+
+fn arb_value(s: &mut Source) -> Value {
+    match s.draw(7) {
+        0 => Value::Null,
+        1 => Value::Bool(s.any_bool()),
+        2 => Value::Int(s.any_i64()),
         // Finite floats only: NaN is rejected by design.
-        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
-        "[a-z0-9 ,._-]{0,24}".prop_map(Value::str),
-        proptest::collection::vec(any::<f64>().prop_filter("finite", |f| f.is_finite()), 1..16)
-            .prop_map(|v| Value::Mat(Matrix::from_vec(1, v.len() as u32, v))),
-        proptest::collection::vec(any::<u8>(), 0..64)
-            .prop_map(|v| Value::Blob(bytes::Bytes::from(v))),
-    ];
-    leaf
+        3 => Value::Float(s.any_finite_f64()),
+        4 => Value::str(s.string(0..25, STR_CHARS)),
+        5 => {
+            let v = s.vec_with(1..16, |s| s.any_finite_f64());
+            Value::Mat(Matrix::from_vec(1, v.len() as u32, v))
+        }
+        _ => Value::Blob(Bytes::from(s.vec_with(0..64, |s| s.any_u8()))),
+    }
 }
 
-proptest! {
-    #[test]
-    fn value_codec_round_trips(v in arb_value()) {
-        let mut buf = bytes::BytesMut::new();
+#[test]
+fn value_codec_round_trips() {
+    check("value_codec_round_trips", |s| {
+        let v = arb_value(s);
+        let mut buf = BytesMut::new();
         wire::put_value(&mut buf, &v);
         let mut bytes = buf.freeze();
         let back = wire::get_value(&mut bytes).unwrap();
         prop_assert_eq!(back, v);
         prop_assert!(bytes.is_empty());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn messenger_codec_round_trips(
-        locals in proptest::collection::vec(arb_value(), 0..8),
-        stack in proptest::collection::vec(arb_value(), 0..4),
-        vt in 0.0f64..1e9,
-        id in any::<u64>(),
-        pc in any::<u16>(),
-    ) {
+#[test]
+fn messenger_codec_round_trips() {
+    check("messenger_codec_round_trips", |s| {
+        let locals = s.vec_with(0..8, arb_value);
+        let stack = s.vec_with(0..4, arb_value);
+        let vt = s.f64_in(0.0, 1e9);
+        let id = s.any_u64();
+        let pc = s.any_u16();
         let m = MessengerState {
             id: id.into(),
             program: messengers::vm::ProgramId(42),
-            frames: vec![Frame {
-                func: messengers::vm::FuncId(0),
-                pc: pc as u32,
-                locals,
-                stack,
-            }],
+            frames: vec![Frame { func: messengers::vm::FuncId(0), pc: pc as u32, locals, stack }],
             vtime: Vt::new(vt),
             anti: false,
         };
         let encoded = wire::encode_messenger(&m);
         let back = wire::decode_messenger(encoded).unwrap();
         prop_assert_eq!(back, m);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn messenger_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn messenger_decoder_never_panics_on_garbage() {
+    check("messenger_decoder_never_panics_on_garbage", |s| {
+        let bytes = s.vec_with(0..256, |s| s.any_u8());
         // Must return Ok or Err, never panic.
-        let _ = wire::decode_messenger(bytes::Bytes::from(bytes));
-    }
+        let _ = wire::decode_messenger(Bytes::from(bytes));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn program_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let _ = wire::decode_program(bytes::Bytes::from(bytes));
-    }
+#[test]
+fn program_decoder_never_panics_on_garbage() {
+    check("program_decoder_never_panics_on_garbage", |s| {
+        let bytes = s.vec_with(0..256, |s| s.any_u8());
+        let _ = wire::decode_program(Bytes::from(bytes));
+        Ok(())
+    });
 }
 
 // ---- language: compiled arithmetic matches direct evaluation ---------------
@@ -106,51 +115,56 @@ impl E {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = (-1000i32..1000).prop_map(E::Lit);
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-        ]
-    })
+/// A random expression, at most `depth` operator levels deep; shrinks
+/// toward a bare literal (choice 0 picks `Lit`).
+fn arb_expr(s: &mut Source, depth: u32) -> E {
+    let lit = |s: &mut Source| E::Lit(s.i64_in(-1000..1000) as i32);
+    if depth == 0 {
+        return lit(s);
+    }
+    match s.draw(4) {
+        0 => lit(s),
+        1 => E::Add(Box::new(arb_expr(s, depth - 1)), Box::new(arb_expr(s, depth - 1))),
+        2 => E::Sub(Box::new(arb_expr(s, depth - 1)), Box::new(arb_expr(s, depth - 1))),
+        _ => E::Mul(Box::new(arb_expr(s, depth - 1)), Box::new(arb_expr(s, depth - 1))),
+    }
 }
 
-proptest! {
-    #[test]
-    fn compiled_arithmetic_matches_host_arithmetic(e in arb_expr()) {
+#[test]
+fn compiled_arithmetic_matches_host_arithmetic() {
+    check("compiled_arithmetic_matches_host_arithmetic", |s| {
+        let e = arb_expr(s, 4);
         let src = format!("main() {{ return {}; }}", e.render());
         let program = messengers::lang::compile(&src).unwrap();
         let mut m = MessengerState::launch(&program, 1.into(), &[]).unwrap();
-        let y = messengers::vm::interp::run(
-            &program,
-            &mut m,
-            &mut messengers::vm::NullEnv,
-            1_000_000,
-        )
-        .unwrap();
+        let y =
+            messengers::vm::interp::run(&program, &mut m, &mut messengers::vm::NullEnv, 1_000_000)
+                .unwrap();
         prop_assert_eq!(y, messengers::vm::Yield::Terminated(Value::Int(e.eval())));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn vt_ordering_is_total_and_monotone(mut ts in proptest::collection::vec(0.0f64..1e12, 1..64)) {
+#[test]
+fn vt_ordering_is_total_and_monotone() {
+    check("vt_ordering_is_total_and_monotone", |s| {
+        let mut ts = s.vec_with(1..64, |s| s.f64_in(0.0, 1e12));
         let mut vts: Vec<Vt> = ts.iter().map(|&t| Vt::new(t)).collect();
         vts.sort();
         ts.sort_by(f64::total_cmp);
         for (vt, t) in vts.iter().zip(&ts) {
             prop_assert_eq!(vt.as_f64(), *t);
         }
-    }
+        Ok(())
+    });
 }
 
 // ---- pending queue ----------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn pending_queue_pops_in_nondecreasing_time_order(
-        items in proptest::collection::vec((0.0f64..1e6, any::<u32>()), 0..128)
-    ) {
+#[test]
+fn pending_queue_pops_in_nondecreasing_time_order() {
+    check("pending_queue_pops_in_nondecreasing_time_order", |s| {
+        let items = s.vec_with(0..128, |s| (s.f64_in(0.0, 1e6), s.any_u32()));
         let mut q = messengers::gvt::PendingQueue::new();
         for (t, payload) in &items {
             q.push(Vt::new(*t), *payload);
@@ -163,13 +177,15 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, items.len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pending_queue_pop_runnable_respects_bound(
-        items in proptest::collection::vec(0.0f64..100.0, 1..64),
-        gvt in 0.0f64..100.0,
-    ) {
+#[test]
+fn pending_queue_pop_runnable_respects_bound() {
+    check("pending_queue_pop_runnable_respects_bound", |s| {
+        let items = s.vec_with(1..64, |s| s.f64_in(0.0, 100.0));
+        let gvt = s.f64_in(0.0, 100.0);
         let mut q = messengers::gvt::PendingQueue::new();
         for (i, t) in items.iter().enumerate() {
             q.push(Vt::new(*t), i);
@@ -180,19 +196,19 @@ proptest! {
         }
         // Whatever remains is strictly later than the bound.
         prop_assert!(q.min_wake().is_none_or(|w| w > bound));
-    }
+        Ok(())
+    });
 }
 
 // ---- PVM buffers -------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn pvm_buf_round_trips(
-        ints in proptest::collection::vec(any::<i64>(), 0..16),
-        floats in proptest::collection::vec(any::<f64>().prop_filter("finite", |f| f.is_finite()), 0..16),
-        text in "[a-z ]{0,32}",
-        raw in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
+#[test]
+fn pvm_buf_round_trips() {
+    check("pvm_buf_round_trips", |s| {
+        let ints = s.vec_with(0..16, |s| s.any_i64());
+        let floats = s.vec_with(0..16, |s| s.any_finite_f64());
+        let text = s.string(0..33, "abcdefghijklmnopqrstuvwxyz ");
+        let raw = s.vec_with(0..64, |s| s.any_u8());
         let mut b = messengers::pvm::Buf::new();
         b.pack_ints(&ints).pack_floats(&floats).pack_str(&text).pack_bytes(&raw);
         prop_assert_eq!(b.unpack_ints().unwrap(), ints);
@@ -200,5 +216,6 @@ proptest! {
         prop_assert_eq!(b.unpack_str().unwrap(), text);
         prop_assert_eq!(b.unpack_bytes().unwrap(), raw);
         prop_assert!(b.unpack_ints().is_err());
-    }
+        Ok(())
+    });
 }
