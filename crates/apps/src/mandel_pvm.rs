@@ -164,6 +164,22 @@ pub fn run_sim_routed(
     let mut cfg = PvmSimConfig::new(procs);
     cfg.net = net;
     cfg.costs.direct_route = direct;
+    run_sim_cfg(work, calib, cfg)
+}
+
+/// As [`run_sim`], but with a caller-supplied [`PvmSimConfig`] — the
+/// entry point for fault-injection studies (`ablation_faults`), which
+/// need to set `cfg.faults` and `cfg.seed`. Worker count = host count.
+///
+/// # Errors
+///
+/// Propagates [`msgr_pvm::PvmError`].
+pub fn run_sim_cfg(
+    work: &Arc<MandelWork>,
+    calib: &Calib,
+    cfg: PvmSimConfig,
+) -> Result<MandelPvmRun, msgr_pvm::PvmError> {
+    let procs = cfg.hosts;
     let mut vm = PvmSim::new(cfg);
     let done = Arc::new(std::sync::Mutex::new((0u64, false)));
     vm.root(Box::new(Manager {

@@ -1,0 +1,5 @@
+//! Ablation: injected frame loss — MESSENGERS reliable transport vs
+//! PVM's stop-and-wait pvmd protocol. Emits JSON.
+fn main() {
+    println!("{}", msgr_bench::ablation_faults());
+}

@@ -374,6 +374,67 @@ pub fn ablation_timewarp() -> Table {
     table
 }
 
+/// Ablation: completion time under injected frame loss, MESSENGERS vs
+/// PVM on the coarse Mandelbrot workload. Returns JSON (one object per
+/// loss rate) rather than a [`Table`] so the numbers can feed plots
+/// directly.
+///
+/// Both systems see the same loss rates but recover differently: the
+/// MESSENGERS transport retransmits selectively on a ~10 ms timer with
+/// exponential backoff, while PVM 3.3's pvmd protocol is stop-and-wait
+/// with a 250 ms retry timer that stalls the whole message. Every
+/// messenger run's image checksum is asserted against the sequential
+/// render — loss may slow the run but must never corrupt it
+/// (exactly-once delivery).
+///
+/// Don't be surprised if the MESSENGERS times wobble a few percent
+/// *either way* as loss rises: Mandelbrot is a dynamic task farm, so a
+/// delayed frame changes which worker pulls which (variable-cost)
+/// block, and the makespan moves with the reshuffle. The PVM times,
+/// serialized through the manager and the 250 ms retry timer, only go
+/// up.
+///
+/// # Panics
+///
+/// Panics if any run fails or produces a wrong image.
+pub fn ablation_faults() -> String {
+    use msgr_sim::FaultPlan;
+    let calib = Calib::default();
+    let procs = 8usize;
+    let work = Arc::new(MandelWork::compute(MandelScene::paper(128, 8)));
+    let (_, expected) = render_sequential(&work, &calib);
+    let mut runs = Vec::new();
+    for loss in [0.0f64, 0.01, 0.05, 0.10] {
+        let mut cfg = ClusterConfig::new(procs);
+        cfg.faults = FaultPlan::lossy(loss);
+        let msgr = mandel_msgr::run_sim(&work, procs, &calib, cfg).expect("messenger run");
+        assert_eq!(msgr.checksum, expected, "image corrupted at loss={loss}");
+
+        let mut pcfg = msgr_pvm::PvmSimConfig::new(procs);
+        pcfg.faults = FaultPlan::lossy(loss);
+        let pvm = mandel_pvm::run_sim_cfg(&work, &calib, pcfg).expect("pvm run");
+        assert_eq!(pvm.checksum, expected, "pvm image corrupted at loss={loss}");
+
+        runs.push(format!(
+            concat!(
+                "    {{\"loss\": {:.2}, \"messengers_s\": {:.6}, \"pvm_s\": {:.6}, ",
+                "\"msgr_retransmits\": {}, \"msgr_frames_lost\": {}, ",
+                "\"pvm_retransmissions\": {}}}"
+            ),
+            loss,
+            msgr.seconds,
+            pvm.seconds,
+            msgr.stats.counter("xport_retransmits"),
+            msgr.stats.counter("net_frames_lost"),
+            pvm.stats.counter("retransmissions"),
+        ));
+    }
+    format!(
+        "{{\n  \"ablation\": \"faults\",\n  \"workload\": \"mandelbrot 128x128, 8x8 grid, {procs} procs\",\n  \"runs\": [\n{}\n  ]\n}}",
+        runs.join(",\n")
+    )
+}
+
 /// The code-size comparison (§3.1.1 / §3.2.1).
 pub fn text_codesize() -> Table {
     let mut table = Table::new(

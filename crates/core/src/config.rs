@@ -5,7 +5,7 @@
 //! Ethernet — so that the *shape* of the evaluation figures reproduces.
 //! See `EXPERIMENTS.md` for the calibration discussion.
 
-use msgr_sim::{SimTime, MILLI};
+use msgr_sim::{FaultPlan, SimTime, MILLI};
 
 /// Which network model the simulation platform uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +76,39 @@ impl Default for CostModel {
     }
 }
 
+/// Retransmission policy of the reliable-delivery layer, active only
+/// when the cluster's [`FaultPlan`] can inject faults. Timeouts double on
+/// every retry (exponential backoff) up to `max_rto`, with a uniform
+/// deterministic jitter drawn per retry so synchronized senders desync.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetransmitPolicy {
+    /// Initial retransmission timeout after a frame is first sent. The
+    /// default (30 ms) matches PVM 3.3's pvmd ack timeout and sits above
+    /// the delivery+ack round trip of a congested shared Ethernet, so a
+    /// healthy-but-slow network does not trigger spurious retransmits.
+    pub rto: SimTime,
+    /// Ceiling for the backed-off timeout.
+    pub max_rto: SimTime,
+    /// Uniform jitter in `[0, jitter)` added to every armed timeout.
+    pub jitter: SimTime,
+    /// Send attempts (first transmission included) before the transport
+    /// gives up on a frame and reports a fault. Kept high by default:
+    /// at 30% loss, 48 attempts fail with probability 0.3^48 ≈ 1e-25,
+    /// so chaos runs never abandon a messenger.
+    pub max_attempts: u32,
+}
+
+impl Default for RetransmitPolicy {
+    fn default() -> Self {
+        RetransmitPolicy {
+            rto: 30 * MILLI,
+            max_rto: 240 * MILLI,
+            jitter: 2 * MILLI,
+            max_attempts: 48,
+        }
+    }
+}
+
 /// Whether the GVT service runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum VtService {
@@ -116,6 +149,11 @@ pub struct ClusterConfig {
     /// Fuel per execution segment (bytecode ops) before a messenger is
     /// killed as runaway.
     pub segment_fuel: u64,
+    /// Fault-injection plan. Defaults to [`FaultPlan::none`]; any active
+    /// plan also switches the daemons onto the reliable transport.
+    pub faults: FaultPlan,
+    /// Retransmission policy used when `faults` is active.
+    pub retransmit: RetransmitPolicy,
 }
 
 impl ClusterConfig {
@@ -138,7 +176,16 @@ impl ClusterConfig {
             seed: 0x5EED,
             max_events: 200_000_000,
             segment_fuel: msgr_vm::interp::DEFAULT_FUEL,
+            faults: FaultPlan::none(),
+            retransmit: RetransmitPolicy::default(),
         }
+    }
+
+    /// `true` iff daemons must run the reliable ack/retransmit transport
+    /// (any fault class enabled). With the default benign plan this is
+    /// `false` and the transport adds zero cost and zero wire bytes.
+    pub fn reliable(&self) -> bool {
+        !self.faults.is_none()
     }
 }
 
@@ -154,6 +201,25 @@ mod tests {
         assert_eq!(c.cpu_speed, 1.0);
         assert_eq!(c.vt_mode, VtMode::Conservative);
         assert!(c.costs.per_op_ns > 0);
+        assert!(c.faults.is_none(), "faults must default to none");
+        assert!(!c.reliable(), "transport must default to off");
+    }
+
+    #[test]
+    fn any_fault_knob_enables_the_transport() {
+        let mut c = ClusterConfig::new(2);
+        c.faults = FaultPlan::lossy(0.1);
+        assert!(c.reliable());
+        let mut c = ClusterConfig::new(2);
+        c.faults.crashes.push(msgr_sim::CrashEvent { host: 1, at: MILLI, down_for: MILLI });
+        assert!(c.reliable(), "crash-only plans still need acks to recover frames");
+    }
+
+    #[test]
+    fn retransmit_policy_defaults_are_sane() {
+        let p = RetransmitPolicy::default();
+        assert!(p.rto > 0 && p.max_rto >= p.rto);
+        assert!(p.max_attempts >= 2);
     }
 
     #[test]

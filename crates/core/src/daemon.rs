@@ -14,17 +14,19 @@ use std::sync::Arc;
 use msgr_vm::bytes::Bytes;
 use std::sync::RwLock;
 
+use std::collections::BTreeMap;
+
 use msgr_gvt::{
     Coordinator, CoordinatorAction, CtrlMsg, Participant, PendingQueue, SentRef, TwEntry, TwNode,
 };
-use msgr_sim::Stats;
+use msgr_sim::{DetRng, SimTime, Stats};
 use msgr_vm::{
     interp, wire as vmwire, Dir, EvalCreate, EvalHop, EvalLink, LinkInstance, MessengerId,
     MessengerState, NativeCtx, NativeRegistry, NetVar, Program, ProgramId, Value, VmError, Vt,
     Yield,
 };
 
-use crate::config::{ClusterConfig, VtMode};
+use crate::config::{ClusterConfig, RetransmitPolicy, VtMode};
 use crate::ids::{DaemonId, NodeRef};
 use crate::logical::{LinkRec, LogicalNode, Orient};
 use crate::topology::DaemonTopology;
@@ -117,6 +119,124 @@ pub enum Effect {
         /// Node name.
         name: Value,
     },
+    /// (Reliable transport only.) Ask the platform to call
+    /// [`Daemon::on_timer`] for `(peer, seq)` after `delay` has elapsed,
+    /// so an unacknowledged frame can be retransmitted. Harmless if the
+    /// ack arrives first: the timer callback finds nothing to resend.
+    Timer {
+        /// Peer daemon the frame was sent to.
+        peer: DaemonId,
+        /// Transport sequence number of the frame.
+        seq: u64,
+        /// Delay from now until the timer fires.
+        delay: SimTime,
+    },
+}
+
+// ---- reliable transport ----------------------------------------------------
+
+/// An unacknowledged [`Wire::Data`] frame held for retransmission. The
+/// envelope keeps the fully serialized payload — for a migrating
+/// messenger this *is* its last snapshot, so a crash of the receiving
+/// daemon merely delays the retransmit that re-injects the messenger.
+#[derive(Debug, Clone)]
+struct Unacked {
+    frame: Wire,
+    attempts: u32,
+    first_sent: SimTime,
+    /// Backed-off delay to arm on the *next* retransmission.
+    rto: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct PeerSend {
+    next_seq: u64,
+    unacked: BTreeMap<u64, Unacked>,
+}
+
+#[derive(Debug, Default)]
+struct PeerRecv {
+    /// Highest sequence delivered with no gaps.
+    cum: u64,
+    /// Out-of-order frames held back until the gap below them fills, so
+    /// delivery stays FIFO per pair even when the network reorders.
+    /// Anything `<= cum` or currently held here is a duplicate.
+    held: BTreeMap<u64, Wire>,
+}
+
+/// Per-daemon reliable-delivery state: sequence numbers, retransmission
+/// buffers, and receive-side resequencing. Exists only when the cluster
+/// config has an active fault plan; otherwise frames travel bare exactly
+/// as they always did.
+#[derive(Debug)]
+struct Xport {
+    policy: RetransmitPolicy,
+    rng: DetRng,
+    send: BTreeMap<u16, PeerSend>,
+    recv: BTreeMap<u16, PeerRecv>,
+}
+
+impl Xport {
+    fn new(policy: RetransmitPolicy, rng: DetRng) -> Self {
+        Xport { policy, rng, send: BTreeMap::new(), recv: BTreeMap::new() }
+    }
+
+    fn jitter(&mut self) -> SimTime {
+        if self.policy.jitter > 0 {
+            self.rng.below(self.policy.jitter)
+        } else {
+            0
+        }
+    }
+
+    /// Accept an incoming data frame. Returns `true` if it is fresh
+    /// (never seen before), stashing it for in-order delivery.
+    fn accept(&mut self, peer: DaemonId, seq: u64, frame: Wire) -> bool {
+        let r = self.recv.entry(peer.0).or_default();
+        if seq <= r.cum || r.held.contains_key(&seq) {
+            return false;
+        }
+        r.held.insert(seq, frame);
+        true
+    }
+
+    /// Pop the next in-order frame from `peer`, if the sequence has no
+    /// gap below it.
+    fn next_ready(&mut self, peer: DaemonId) -> Option<Wire> {
+        let r = self.recv.get_mut(&peer.0)?;
+        let frame = r.held.remove(&(r.cum + 1))?;
+        r.cum += 1;
+        Some(frame)
+    }
+
+    fn recv_cum(&self, peer: DaemonId) -> u64 {
+        self.recv.get(&peer.0).map_or(0, |r| r.cum)
+    }
+
+    /// Process an ack: drop everything `<= cum` plus the specific `seq`.
+    /// Returns the first-send times of newly acknowledged frames.
+    fn ack(&mut self, peer: DaemonId, cum: u64, seq: u64) -> Vec<SimTime> {
+        let Some(p) = self.send.get_mut(&peer.0) else {
+            return Vec::new();
+        };
+        let mut acked = Vec::new();
+        while let Some((&s, _)) = p.unacked.first_key_value() {
+            if s > cum {
+                break;
+            }
+            acked.push(p.unacked.remove(&s).expect("key just observed").first_sent);
+        }
+        if seq > cum {
+            if let Some(u) = p.unacked.remove(&seq) {
+                acked.push(u.first_sent);
+            }
+        }
+        acked
+    }
+
+    fn outstanding(&self) -> u64 {
+        self.send.values().map(|p| p.unacked.len() as u64).sum()
+    }
 }
 
 /// Name → location resolution for virtual hops, provided by the
@@ -156,6 +276,7 @@ pub struct Daemon {
     coord: Option<Coordinator>,
     tw: HashMap<NodeRef, TwNode<NodeVars, Runnable>>,
     anti_pending: HashSet<MessengerId>,
+    xport: Option<Xport>,
     stats: Stats,
 }
 
@@ -181,6 +302,11 @@ impl Daemon {
         natives: Arc<RwLock<NativeRegistry>>,
     ) -> Self {
         let coord = (id.0 == 0).then(|| Coordinator::new(cfg.daemons));
+        // One independent jitter stream per daemon, forked off the run
+        // seed so transport randomness never perturbs other draws.
+        let xport = cfg
+            .reliable()
+            .then(|| Xport::new(cfg.retransmit, DetRng::new(cfg.seed).fork(0xACC + id.0 as u64)));
         let mut d = Daemon {
             id,
             cfg,
@@ -200,6 +326,7 @@ impl Daemon {
             coord,
             tw: HashMap::new(),
             anti_pending: HashSet::new(),
+            xport,
             stats: Stats::new(),
         };
         let init = d.build_node(Value::str("init"));
@@ -362,9 +489,54 @@ impl Daemon {
     // ---- wire handling -------------------------------------------------------
 
     /// Process an incoming frame; returns the CPU cost of accepting it.
+    ///
+    /// Equivalent to [`Daemon::on_wire_at`] at platform time 0; platforms
+    /// that track a clock (the simulator) should prefer `on_wire_at` so
+    /// the transport can measure delivery latency.
     pub fn on_wire(&mut self, wire: Wire, fx: &mut Vec<Effect>) -> u64 {
+        self.on_wire_at(0, wire, fx)
+    }
+
+    /// Process an incoming frame at platform time `now`; returns the CPU
+    /// cost of accepting it.
+    pub fn on_wire_at(&mut self, now: SimTime, wire: Wire, fx: &mut Vec<Effect>) -> u64 {
         let c = self.cfg.costs;
         match wire {
+            Wire::Data { src, seq, frame } => {
+                let mut cost = c.gvt_msg_ns;
+                let Some(x) = self.xport.as_mut() else {
+                    // Transport disabled: treat the envelope as transparent
+                    // (only reachable by hand-fed frames in tests).
+                    return cost + self.on_wire_at(now, *frame, fx);
+                };
+                let fresh = x.accept(src, seq, *frame);
+                // Resequence: everything deliverable in order comes out now.
+                let mut ready = Vec::new();
+                if fresh {
+                    while let Some(f) = x.next_ready(src) {
+                        ready.push(f);
+                    }
+                } else {
+                    self.stats.bump("xport_dup_dropped");
+                }
+                // Ack every copy — the ack for an earlier copy may itself
+                // have been lost.
+                let ack = Wire::Ack { src: self.id, cum: x.recv_cum(src), seq };
+                fx.push(Effect::Send { dst: src, wire: ack });
+                for f in ready {
+                    cost += self.on_wire_at(now, f, fx);
+                }
+                cost
+            }
+            Wire::Ack { src, cum, seq } => {
+                if let Some(x) = self.xport.as_mut() {
+                    for first_sent in x.ack(src, cum, seq) {
+                        self.stats.bump("xport_acked");
+                        self.stats.record("xport_delivery_ns", now.saturating_sub(first_sent));
+                    }
+                }
+                c.gvt_msg_ns
+            }
             Wire::Migrate(m) => {
                 self.part.on_receive(m.epoch, m.vtime);
                 self.stats.bump("migrations_in");
@@ -448,6 +620,112 @@ impl Daemon {
                 0
             }
         }
+    }
+
+    // ---- reliable transport (sender side) ----------------------------------
+
+    /// Wrap this daemon's outgoing payload frames in [`Wire::Data`]
+    /// envelopes and arm their retransmission timers. Platforms call
+    /// this on every effect batch before applying it; with the default
+    /// benign fault plan it is a no-op.
+    ///
+    /// Loopback sends, acks, and frames that are already envelopes (a
+    /// retransmission from [`Daemon::on_timer`]) pass through untouched.
+    pub fn seal_effects(&mut self, now: SimTime, fx: &mut Vec<Effect>) {
+        if self.xport.is_none() {
+            return;
+        }
+        let mut timers = Vec::new();
+        for e in fx.iter_mut() {
+            let Effect::Send { dst, wire } = e else {
+                continue;
+            };
+            if *dst == self.id
+                || matches!(wire, Wire::Data { .. } | Wire::Ack { .. } | Wire::GvtKick)
+            {
+                continue;
+            }
+            let x = self.xport.as_mut().expect("checked above");
+            let p = x.send.entry(dst.0).or_default();
+            p.next_seq += 1;
+            let seq = p.next_seq;
+            let inner = std::mem::replace(wire, Wire::GvtKick);
+            let data = Wire::Data { src: self.id, seq, frame: Box::new(inner) };
+            let rto = x.policy.rto;
+            let delay = rto + x.jitter();
+            let p = x.send.entry(dst.0).or_default();
+            p.unacked
+                .insert(seq, Unacked { frame: data.clone(), attempts: 1, first_sent: now, rto });
+            *wire = data;
+            timers.push(Effect::Timer { peer: *dst, seq, delay });
+            self.stats.bump("xport_sent");
+        }
+        fx.extend(timers);
+    }
+
+    /// A retransmission timer fired for `(peer, seq)`. If the frame is
+    /// still unacknowledged, resend it with doubled timeout (plus
+    /// deterministic jitter) or — after `max_attempts` transmissions —
+    /// give up and account the loss. Returns the CPU cost.
+    pub fn on_timer(
+        &mut self,
+        now: SimTime,
+        peer: DaemonId,
+        seq: u64,
+        fx: &mut Vec<Effect>,
+    ) -> u64 {
+        let _ = now;
+        let Some(x) = self.xport.as_mut() else {
+            return 0;
+        };
+        let policy = x.policy;
+        if !x.send.get(&peer.0).is_some_and(|p| p.unacked.contains_key(&seq)) {
+            return 0; // acked in the meantime: stale timer, no work
+        }
+        let jitter = x.jitter();
+        let p = x.send.get_mut(&peer.0).expect("checked above");
+        let u = p.unacked.get_mut(&seq).expect("checked above");
+        if u.attempts >= policy.max_attempts {
+            let u = p.unacked.remove(&seq).expect("present");
+            self.stats.bump("xport_gave_up");
+            // If the frame carried a live messenger, it is now lost for
+            // good: keep the population ledger honest and surface a
+            // fault so no run under a sane policy silently passes.
+            let lost = match &u.frame {
+                Wire::Data { frame, .. } => match frame.as_ref() {
+                    Wire::Migrate(m) if !m.anti => Some(m.id),
+                    Wire::Create(cn) => Some(cn.messenger.id),
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(id) = lost {
+                fx.push(Effect::Fault {
+                    messenger: id,
+                    error: format!(
+                        "delivery to d{} abandoned after {} attempts",
+                        peer.0, u.attempts
+                    ),
+                });
+                fx.push(Effect::LiveDelta(-1));
+            }
+            return self.cfg.costs.gvt_msg_ns;
+        }
+        u.attempts += 1;
+        let delay = u.rto + jitter;
+        u.rto = (u.rto * 2).min(policy.max_rto);
+        let frame = u.frame.clone();
+        self.stats.bump("xport_retransmits");
+        fx.push(Effect::Send { dst: peer, wire: frame });
+        fx.push(Effect::Timer { peer, seq, delay });
+        self.cfg.costs.gvt_msg_ns
+    }
+
+    /// Number of sent frames not yet acknowledged (0 when the transport
+    /// is off). Platforms count these as outstanding work: the run is
+    /// not quiescent while a retransmit buffer is non-empty.
+    pub fn unacked_frames(&self) -> u64 {
+        self.xport.as_ref().map_or(0, Xport::outstanding)
     }
 
     /// Whether any queued messenger currently sits at `gid`.

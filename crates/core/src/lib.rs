@@ -64,7 +64,7 @@ pub mod platform;
 pub mod topology;
 pub mod wire;
 
-pub use config::{ClusterConfig, CostModel, NetKind, VtMode};
+pub use config::{ClusterConfig, CostModel, NetKind, RetransmitPolicy, VtMode};
 pub use daemon::{CodeCache, Daemon, Effect};
 pub use ids::{DaemonId, NodeRef};
 pub use platform::sim::{SimCluster, SimReport};

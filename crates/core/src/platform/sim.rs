@@ -13,7 +13,8 @@ use std::sync::Arc;
 use std::sync::RwLock;
 
 use msgr_sim::{
-    Cpu, Engine, HostId, IdealNet, NetModel, SharedBus, SimTime, Stats, Switched, MILLI,
+    Cpu, DetRng, Engine, FaultInjector, FrameFate, HostId, IdealNet, NetModel, SharedBus, SimTime,
+    Stats, Switched, MILLI,
 };
 use msgr_vm::{MessengerId, NativeCtx, NativeRegistry, Program, ProgramId, Value};
 
@@ -37,27 +38,76 @@ struct World {
     in_flight: u64,
     gvt_enabled: bool,
     faults: Vec<(MessengerId, String)>,
+    /// Frame-fault oracle; `None` under the benign default plan, in which
+    /// case none of the fault bookkeeping below is ever touched.
+    injector: Option<FaultInjector>,
+    /// Per-daemon crash windows: daemon `i` ignores the world until
+    /// `down_until[i]` (its state survives — fail-recover semantics).
+    down_until: Vec<SimTime>,
+    /// Completion time of the last *productive* event (frame accepted or
+    /// segment finished). Reported instead of `engine.now()` when faults
+    /// are active, because stale retransmission timers legitimately
+    /// outlive the computation and would otherwise inflate the runtime.
+    last_work: SimTime,
     stats: Stats,
 }
 
 impl World {
     fn outstanding(&self) -> bool {
-        self.in_flight > 0 || self.daemons.iter().any(Daemon::has_any_messengers)
+        self.in_flight > 0
+            || self.daemons.iter().any(Daemon::has_any_messengers)
+            || self.daemons.iter().map(Daemon::unacked_frames).sum::<u64>() > 0
     }
 }
 
 type En = Engine<World>;
 
-fn apply_effects(en: &mut En, w: &mut World, src: DaemonId, at: SimTime, fx: Vec<Effect>) {
+fn apply_effects(en: &mut En, w: &mut World, src: DaemonId, at: SimTime, mut fx: Vec<Effect>) {
+    // Under an active fault plan, envelope outgoing payload frames in the
+    // reliable transport (no-op otherwise).
+    w.daemons[src.0 as usize].seal_effects(at, &mut fx);
     for f in fx {
         match f {
             Effect::Send { dst, wire } => {
                 let bytes = wire.wire_bytes(w.cfg.costs.wire_header_bytes);
-                let arrival = w.net.transfer(at, HostId(src.0 as u32), HostId(dst.0 as u32), bytes);
-                w.in_flight += 1;
+                let src_h = HostId(src.0 as u32);
+                let dst_h = HostId(dst.0 as u32);
+                let fate = match &mut w.injector {
+                    Some(inj) if src != dst => inj.fate(),
+                    _ => FrameFate::intact(),
+                };
                 w.stats.bump("wires");
                 w.stats.add("wire_bytes", bytes);
-                en.schedule_at(arrival, move |en, w| deliver(en, w, dst, wire));
+                if fate.dropped() {
+                    // The bits went onto the medium; they just never
+                    // arrived. Charge the network, schedule nothing.
+                    let _ = w.net.transfer(at, src_h, dst_h, bytes);
+                    w.stats.bump("net_frames_lost");
+                    continue;
+                }
+                if fate.copies == 2 {
+                    w.stats.bump("net_frames_duplicated");
+                }
+                let mut wire = Some(wire);
+                for k in 0..fate.copies as usize {
+                    let extra = fate.delays[k];
+                    if extra > 0 {
+                        w.stats.bump("net_frames_delayed");
+                    }
+                    let arrival = w.net.transfer(at, src_h, dst_h, bytes).saturating_add(extra);
+                    w.in_flight += 1;
+                    let copy = if k + 1 == fate.copies as usize {
+                        wire.take().expect("one move per frame")
+                    } else {
+                        wire.as_ref().expect("clone before move").clone()
+                    };
+                    en.schedule_at(arrival, move |en, w| deliver(en, w, src, dst, copy));
+                }
+            }
+            Effect::Timer { peer, seq, delay } => {
+                en.schedule_at(at.saturating_add(delay), move |en, w| {
+                    timer_fire(en, w, src, peer, seq);
+                });
             }
             Effect::LiveDelta(d) => w.live += d,
             Effect::Fault { messenger, error } => {
@@ -73,12 +123,52 @@ fn apply_effects(en: &mut En, w: &mut World, src: DaemonId, at: SimTime, fx: Vec
     }
 }
 
-fn deliver(en: &mut En, w: &mut World, dst: DaemonId, wire: Wire) {
+/// A retransmission timer for daemon `src`'s frame `(peer, seq)` fired.
+fn timer_fire(en: &mut En, w: &mut World, src: DaemonId, peer: DaemonId, seq: u64) {
+    let now = en.now();
+    let i = src.0 as usize;
+    if w.down_until[i] > now {
+        // The sender itself is crashed: it can't retransmit until it
+        // restarts. Defer the timer to the restart instant.
+        let resume = w.down_until[i];
+        en.schedule_at(resume, move |en, w| timer_fire(en, w, src, peer, seq));
+        return;
+    }
+    let mut fx = Vec::new();
+    let cost = w.daemons[i].on_timer(now, peer, seq, &mut fx);
+    if cost == 0 && fx.is_empty() {
+        return; // stale timer: the frame was acked long ago
+    }
+    let (_, end) = w.cpus[i].run(now, cost);
+    en.schedule_at(end, move |en, w| {
+        apply_effects(en, w, src, en.now(), fx);
+    });
+}
+
+fn deliver(en: &mut En, w: &mut World, src: DaemonId, dst: DaemonId, wire: Wire) {
     w.in_flight -= 1;
     let now = en.now();
+    let i = dst.0 as usize;
+    if w.down_until[i] > now {
+        if src == dst {
+            // A daemon's hand-off to itself never touches the wire: it
+            // is daemon memory, and fail-recover semantics preserve
+            // daemon memory across a crash. Park it until the restart.
+            let resume = w.down_until[i];
+            w.in_flight += 1;
+            en.schedule_at(resume, move |en, w| deliver(en, w, src, dst, wire));
+            return;
+        }
+        // The destination daemon is crashed: the frame is lost in
+        // flight. Under the reliable transport the sender's
+        // retransmission timer will re-deliver it after the restart.
+        w.stats.bump("crash_frames_lost");
+        return;
+    }
     let mut fx = Vec::new();
-    let cost = w.daemons[dst.0 as usize].on_wire(wire, &mut fx);
-    let (_, end) = w.cpus[dst.0 as usize].run(now, cost);
+    let cost = w.daemons[i].on_wire_at(now, wire, &mut fx);
+    let (_, end) = w.cpus[i].run(now, cost);
+    w.last_work = w.last_work.max(end);
     en.schedule_at(end, move |en, w| {
         apply_effects(en, w, dst, en.now(), fx);
         tick(en, w, dst);
@@ -88,6 +178,12 @@ fn deliver(en: &mut En, w: &mut World, dst: DaemonId, wire: Wire) {
 fn tick(en: &mut En, w: &mut World, d: DaemonId) {
     let now = en.now();
     let i = d.0 as usize;
+    if w.down_until[i] > now {
+        // Crashed: resume exactly at the restart instant.
+        let resume = w.down_until[i];
+        en.schedule_at(resume, move |en, w| tick(en, w, d));
+        return;
+    }
     if !w.cpus[i].idle_at(now) {
         let resume = w.cpus[i].busy_until();
         en.schedule_at(resume, move |en, w| tick(en, w, d));
@@ -104,6 +200,7 @@ fn tick(en: &mut En, w: &mut World, d: DaemonId) {
         return;
     };
     let (_, end) = w.cpus[i].run(now, cost);
+    w.last_work = w.last_work.max(end);
     en.schedule_at(end, move |en, w| {
         apply_effects(en, w, d, en.now(), fx);
         tick(en, w, d);
@@ -111,6 +208,11 @@ fn tick(en: &mut En, w: &mut World, d: DaemonId) {
 }
 
 fn gvt_tick(en: &mut En, w: &mut World) {
+    // GVT rounds — including the final one that confirms quiescence —
+    // are part of the run for timing purposes. Stamping them here keeps
+    // the faulty-run metric (`last_work`) aligned with the fault-free
+    // one (`engine.now()`), which includes this drain tail.
+    w.last_work = w.last_work.max(en.now());
     if !w.outstanding() {
         return; // computation finished; let the queue drain
     }
@@ -172,6 +274,14 @@ impl SimCluster {
     /// Panics if the topology size differs from `cfg.daemons`.
     pub fn with_daemon_topology(cfg: ClusterConfig, topo: DaemonTopology) -> Self {
         assert_eq!(topo.len(), cfg.daemons, "topology size mismatch");
+        cfg.faults.assert_valid();
+        for ev in &cfg.faults.crashes {
+            assert!(
+                (ev.host as usize) < cfg.daemons,
+                "crash event targets missing daemon {}",
+                ev.host
+            );
+        }
         let cfg = Arc::new(cfg);
         let codes = CodeCache::new();
         let natives = Arc::new(RwLock::new(NativeRegistry::new()));
@@ -196,7 +306,12 @@ impl SimCluster {
             }
             NetKind::Ideal => Box::new(IdealNet::new(MILLI / 10)),
         };
-        SimCluster {
+        // Fault draws get their own RNG stream, forked off the run seed,
+        // so enabling faults never perturbs other randomized choices.
+        let injector = (!cfg.faults.is_none())
+            .then(|| FaultInjector::new(cfg.faults.clone(), DetRng::new(cfg.seed).fork(0xFA17)));
+        let down_until = vec![0; cfg.daemons];
+        let mut cluster = SimCluster {
             engine: Engine::new(),
             world: World {
                 cfg,
@@ -208,11 +323,30 @@ impl SimCluster {
                 in_flight: 0,
                 gvt_enabled: false,
                 faults: Vec::new(),
+                injector,
+                down_until,
+                last_work: 0,
                 stats: Stats::new(),
             },
             codes,
             natives,
+        };
+        // Crash/restart windows are part of the scenario: schedule them
+        // up front so they fire regardless of how the run is driven.
+        for ev in cluster.world.cfg.faults.crashes.clone() {
+            let d = DaemonId(ev.host as u16);
+            cluster.engine.schedule_at(ev.at, move |en, w| {
+                let until = en.now().saturating_add(ev.down_for);
+                let i = d.0 as usize;
+                w.down_until[i] = w.down_until[i].max(until);
+                w.stats.bump("crashes");
+                en.schedule_at(until, move |en, w| {
+                    w.stats.bump("restarts");
+                    tick(en, w, d);
+                });
+            });
         }
+        cluster
     }
 
     /// Number of daemons.
@@ -450,8 +584,15 @@ impl SimCluster {
         stats.add("net_messages", net.messages);
         stats.add("net_payload_bytes", net.payload_bytes);
         stats.add("net_queueing_ns", net.queueing_ns);
+        // Under faults, stale retransmission timers (armed for frames
+        // that were acked, or backed off past the end of the run) drain
+        // after the computation finishes; completion time is the last
+        // productive event, not the last timer expiry. Without faults
+        // the two are identical and we keep the original expression.
+        let completed =
+            if self.world.injector.is_some() { self.world.last_work } else { self.engine.now() };
         Ok(SimReport {
-            sim_seconds: msgr_sim::to_secs(self.engine.now()),
+            sim_seconds: msgr_sim::to_secs(completed),
             events: self.engine.processed(),
             faults: self.world.faults.clone(),
             stats,

@@ -77,12 +77,19 @@ impl ThreadCluster {
     ///
     /// # Errors
     ///
-    /// [`ClusterError::Config`] — optimistic virtual time is only
-    /// supported on the simulation platform.
+    /// [`ClusterError::Config`] — optimistic virtual time and fault
+    /// injection are only supported on the simulation platform.
     pub fn new(cfg: ClusterConfig) -> Result<Self, ClusterError> {
         if cfg.vt_mode == VtMode::Optimistic {
             return Err(ClusterError::Config(
                 "optimistic virtual time requires the simulation platform".to_string(),
+            ));
+        }
+        if cfg.reliable() {
+            // In-process channels neither lose nor reorder; injecting
+            // faults here would need a virtual clock for timers anyway.
+            return Err(ClusterError::Config(
+                "fault injection requires the simulation platform".to_string(),
             ));
         }
         let cfg = Arc::new(cfg);
@@ -395,6 +402,9 @@ fn apply(
             Effect::DirectoryRemove { name } => {
                 dir.0.write().unwrap().remove(&name);
             }
+            // Unreachable: `new` rejects fault plans, and without one the
+            // daemons never arm retransmission timers.
+            Effect::Timer { .. } => {}
         }
     }
 }

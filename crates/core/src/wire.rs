@@ -82,6 +82,29 @@ pub enum Wire {
     /// (issued by the platform's interval timer; never crosses the
     /// network).
     GvtKick,
+    /// Reliable-transport envelope: `frame` is the `seq`-th payload frame
+    /// on the `src → dst` channel. Only present when the cluster runs
+    /// with an active fault plan; the receiver acks every copy and
+    /// delivers each sequence number exactly once.
+    Data {
+        /// Sending daemon (where the ack goes).
+        src: DaemonId,
+        /// Per-(sender, receiver) sequence number, starting at 1.
+        seq: u64,
+        /// The enveloped payload frame (never itself `Data` or `Ack`).
+        frame: Box<Wire>,
+    },
+    /// Transport acknowledgement for a [`Wire::Data`] frame.
+    Ack {
+        /// Acknowledging daemon (the receiver of the data frame).
+        src: DaemonId,
+        /// Highest sequence number delivered with no gaps (cumulative
+        /// ack): everything `<= cum` is acknowledged at once.
+        cum: u64,
+        /// The sequence number whose arrival triggered this ack (may sit
+        /// above a gap; acknowledged individually).
+        seq: u64,
+    },
 }
 
 impl Wire {
@@ -96,6 +119,10 @@ impl Wire {
             Wire::Unlink { .. } => header + 16,
             Wire::Gvt(msg) => header + msg.wire_bytes(),
             Wire::GvtKick => 0,
+            // The envelope rides on the payload frame's existing header:
+            // only src + seq are extra bytes.
+            Wire::Data { frame, .. } => frame.wire_bytes(header) + 12,
+            Wire::Ack { .. } => header + 20,
         }
     }
 }
@@ -272,56 +299,60 @@ fn get_ctrl(buf: &mut Bytes) -> Result<CtrlMsg, VmError> {
     })
 }
 
-/// Serialize a frame.
-pub fn encode_frame(w: &Wire) -> Bytes {
-    let mut buf = BytesMut::with_capacity(32);
+fn put_frame(buf: &mut BytesMut, w: &Wire) {
     match w {
         Wire::Migrate(m) => {
             buf.put_u8(0);
-            put_migration(&mut buf, m);
+            put_migration(buf, m);
         }
         Wire::Create(c) => {
             buf.put_u8(1);
-            put_node_ref(&mut buf, c.gid);
-            put_value(&mut buf, &c.name);
-            put_endpoint(&mut buf, c.origin);
-            put_value(&mut buf, &c.origin_name);
-            put_varint(&mut buf, c.inst.0);
-            put_value(&mut buf, &c.link_name);
-            put_orient(&mut buf, c.orient_at_new);
-            put_migration(&mut buf, &c.messenger);
+            put_node_ref(buf, c.gid);
+            put_value(buf, &c.name);
+            put_endpoint(buf, c.origin);
+            put_value(buf, &c.origin_name);
+            put_varint(buf, c.inst.0);
+            put_value(buf, &c.link_name);
+            put_orient(buf, c.orient_at_new);
+            put_migration(buf, &c.messenger);
         }
         Wire::Unlink { node, inst } => {
             buf.put_u8(2);
-            put_node_ref(&mut buf, *node);
-            put_varint(&mut buf, inst.0);
+            put_node_ref(buf, *node);
+            put_varint(buf, inst.0);
         }
         Wire::Gvt(msg) => {
             buf.put_u8(3);
-            put_ctrl(&mut buf, msg);
+            put_ctrl(buf, msg);
         }
         Wire::GvtKick => buf.put_u8(4),
+        Wire::Data { src, seq, frame } => {
+            buf.put_u8(5);
+            put_varint(buf, src.0 as u64);
+            put_varint(buf, *seq);
+            put_frame(buf, frame);
+        }
+        Wire::Ack { src, cum, seq } => {
+            buf.put_u8(6);
+            put_varint(buf, src.0 as u64);
+            put_varint(buf, *cum);
+            put_varint(buf, *seq);
+        }
     }
-    buf.freeze()
 }
 
-/// Decode a frame.
-///
-/// # Errors
-///
-/// [`VmError::Decode`] on any malformed input, including trailing bytes.
-pub fn decode_frame(mut buf: Bytes) -> Result<Wire, VmError> {
-    let w = match get_u8(&mut buf, "frame tag")? {
-        0 => Wire::Migrate(get_migration(&mut buf)?),
+fn get_frame(buf: &mut Bytes, nested: bool) -> Result<Wire, VmError> {
+    Ok(match get_u8(buf, "frame tag")? {
+        0 => Wire::Migrate(get_migration(buf)?),
         1 => {
-            let gid = get_node_ref(&mut buf)?;
-            let name = get_value(&mut buf)?;
-            let origin = get_endpoint(&mut buf)?;
-            let origin_name = get_value(&mut buf)?;
-            let inst = LinkInstance(get_varint(&mut buf)?);
-            let link_name = get_value(&mut buf)?;
-            let orient_at_new = get_orient(&mut buf)?;
-            let messenger = get_migration(&mut buf)?;
+            let gid = get_node_ref(buf)?;
+            let name = get_value(buf)?;
+            let origin = get_endpoint(buf)?;
+            let origin_name = get_value(buf)?;
+            let inst = LinkInstance(get_varint(buf)?);
+            let link_name = get_value(buf)?;
+            let orient_at_new = get_orient(buf)?;
+            let messenger = get_migration(buf)?;
             Wire::Create(Box::new(CreateNode {
                 gid,
                 name,
@@ -334,14 +365,49 @@ pub fn decode_frame(mut buf: Bytes) -> Result<Wire, VmError> {
             }))
         }
         2 => {
-            let node = get_node_ref(&mut buf)?;
-            let inst = LinkInstance(get_varint(&mut buf)?);
+            let node = get_node_ref(buf)?;
+            let inst = LinkInstance(get_varint(buf)?);
             Wire::Unlink { node, inst }
         }
-        3 => Wire::Gvt(get_ctrl(&mut buf)?),
+        3 => Wire::Gvt(get_ctrl(buf)?),
         4 => Wire::GvtKick,
+        5 => {
+            if nested {
+                return Err(err("nested transport envelope"));
+            }
+            let src = DaemonId(get_varint(buf)? as u16);
+            let seq = get_varint(buf)?;
+            let frame = Box::new(get_frame(buf, true)?);
+            Wire::Data { src, seq, frame }
+        }
+        6 => {
+            if nested {
+                return Err(err("ack inside transport envelope"));
+            }
+            let src = DaemonId(get_varint(buf)? as u16);
+            let cum = get_varint(buf)?;
+            let seq = get_varint(buf)?;
+            Wire::Ack { src, cum, seq }
+        }
         t => return Err(err(&format!("unknown frame tag {t}"))),
-    };
+    })
+}
+
+/// Serialize a frame.
+pub fn encode_frame(w: &Wire) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32);
+    put_frame(&mut buf, w);
+    buf.freeze()
+}
+
+/// Decode a frame.
+///
+/// # Errors
+///
+/// [`VmError::Decode`] on any malformed input, including trailing bytes
+/// and transport frames nested inside a [`Wire::Data`] envelope.
+pub fn decode_frame(mut buf: Bytes) -> Result<Wire, VmError> {
+    let w = get_frame(&mut buf, false)?;
     if buf.has_remaining() {
         return Err(err("trailing bytes after frame"));
     }
@@ -433,7 +499,36 @@ mod tests {
             }),
             Wire::Gvt(CtrlMsg::Advance { gvt: Vt::new(4.125) }),
             Wire::GvtKick,
+            Wire::Data { src: DaemonId(3), seq: 1, frame: Box::new(Wire::Migrate(mig(16, 0))) },
+            Wire::Data {
+                src: DaemonId(0),
+                seq: u64::MAX,
+                frame: Box::new(Wire::Gvt(CtrlMsg::Poll { round: 2 })),
+            },
+            Wire::Ack { src: DaemonId(7), cum: 41, seq: 44 },
         ]
+    }
+
+    #[test]
+    fn data_envelope_adds_fixed_overhead() {
+        let inner = Wire::Migrate(mig(100, 0));
+        let enveloped = Wire::Data { src: DaemonId(0), seq: 9, frame: Box::new(inner.clone()) };
+        assert_eq!(enveloped.wire_bytes(64), inner.wire_bytes(64) + 12);
+        let ack = Wire::Ack { src: DaemonId(0), cum: 1, seq: 1 };
+        assert!(ack.wire_bytes(64) < 128, "acks must stay cheap");
+    }
+
+    #[test]
+    fn nested_transport_frames_rejected() {
+        let inner = Wire::Data { src: DaemonId(0), seq: 1, frame: Box::new(Wire::GvtKick) };
+        let outer = Wire::Data { src: DaemonId(1), seq: 2, frame: Box::new(inner) };
+        assert!(decode_frame(encode_frame(&outer)).is_err(), "Data in Data must not decode");
+        let ack_in_data = Wire::Data {
+            src: DaemonId(1),
+            seq: 2,
+            frame: Box::new(Wire::Ack { src: DaemonId(0), cum: 0, seq: 0 }),
+        };
+        assert!(decode_frame(encode_frame(&ack_in_data)).is_err(), "Ack in Data must not decode");
     }
 
     #[test]

@@ -68,7 +68,9 @@ fn arb_ctrl(s: &mut Source) -> CtrlMsg {
     }
 }
 
-fn arb_frame(s: &mut Source) -> Wire {
+/// Frames that can ride inside a transport envelope (everything except
+/// `Data`/`Ack` themselves — the codec rejects nesting).
+fn arb_payload_frame(s: &mut Source) -> Wire {
     match s.draw(5) {
         0 => Wire::Migrate(arb_migration(s)),
         1 => Wire::Create(Box::new(CreateNode {
@@ -88,6 +90,18 @@ fn arb_frame(s: &mut Source) -> Wire {
         2 => Wire::Unlink { node: arb_node_ref(s), inst: LinkInstance(s.any_u64()) },
         3 => Wire::Gvt(arb_ctrl(s)),
         _ => Wire::GvtKick,
+    }
+}
+
+fn arb_frame(s: &mut Source) -> Wire {
+    match s.draw(7) {
+        5 => Wire::Data {
+            src: DaemonId(s.any_u16()),
+            seq: s.any_u64(),
+            frame: Box::new(arb_payload_frame(s)),
+        },
+        6 => Wire::Ack { src: DaemonId(s.any_u16()), cum: s.any_u64(), seq: s.any_u64() },
+        _ => arb_payload_frame(s),
     }
 }
 

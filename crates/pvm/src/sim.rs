@@ -21,7 +21,8 @@
 use std::collections::VecDeque;
 
 use msgr_sim::{
-    Cpu, Engine, HostId, IdealNet, NetModel, SharedBus, SimTime, Stats, Switched, MILLI,
+    Cpu, DetRng, Engine, FaultPlan, HostId, IdealNet, NetModel, SharedBus, SimTime, Stats,
+    Switched, MILLI,
 };
 
 use crate::{Buf, Message, Recv, Tag, TaskId};
@@ -144,6 +145,23 @@ pub struct PvmSimConfig {
     pub costs: PvmCostModel,
     /// Event budget before declaring a stall.
     pub max_events: u64,
+    /// Injected network faults, for apples-to-apples comparison with the
+    /// MESSENGERS cluster under the same plan. PVM's transports are
+    /// already reliable (TCP for direct routes, the pvmds' stop-and-wait
+    /// retry protocol over UDP), so loss never corrupts a run — it only
+    /// stretches it: every lost transmission costs a retry-timer wait
+    /// plus a full resend on the critical path. Duplication and
+    /// reordering are masked by those same layers at negligible cost and
+    /// draw no randomness here. Crash events are **not** supported: PVM
+    /// 3.3 has no recovery story for a dead pvmd (the virtual machine
+    /// collapses), and modeling that would just abort the run — see
+    /// DESIGN.md's fault-model section for the asymmetry with
+    /// MESSENGERS, which re-injects messengers after a daemon restart.
+    pub faults: FaultPlan,
+    /// Seed for the fault-injection RNG. Unused (no draws at all) when
+    /// `faults` is [`FaultPlan::none`], so fault-free runs are
+    /// bit-identical to a build without this field.
+    pub seed: u64,
 }
 
 impl PvmSimConfig {
@@ -160,6 +178,8 @@ impl PvmSimConfig {
             cpu_speed: 1.0,
             costs: PvmCostModel::default(),
             max_events: 200_000_000,
+            faults: FaultPlan::none(),
+            seed: 0x5EED,
         }
     }
 }
@@ -327,6 +347,23 @@ struct World {
     groups: Vec<(String, Vec<TaskId>)>,
     barriers: std::collections::HashMap<String, (usize, Vec<TaskId>)>,
     stats: Stats,
+    /// `Some` only when `cfg.faults` has a nonzero loss rate; fault-free
+    /// runs never draw from it, keeping their event streams untouched.
+    rng: Option<DetRng>,
+}
+
+impl World {
+    /// Draw once: was this transmission lost? `false` without a fault
+    /// plan (no RNG consumption).
+    fn frame_lost(&mut self) -> bool {
+        match &mut self.rng {
+            Some(rng) => {
+                let p = self.cfg.faults.drop_p;
+                rng.chance(p)
+            }
+            None => false,
+        }
+    }
 }
 
 type En = Engine<World>;
@@ -345,7 +382,18 @@ impl std::fmt::Debug for PvmSim {
 
 impl PvmSim {
     /// A fresh virtual machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.faults` is invalid or contains crash events (PVM
+    /// has no crash-recovery model; see [`PvmSimConfig::faults`]).
     pub fn new(cfg: PvmSimConfig) -> Self {
+        cfg.faults.assert_valid();
+        assert!(
+            cfg.faults.crashes.is_empty(),
+            "PVM 3.3 cannot survive a pvmd crash; crash events are only \
+             meaningful on the MESSENGERS cluster"
+        );
         let net: Box<dyn NetModel> = match cfg.net {
             PvmNet::Ethernet10 => Box::new(SharedBus::ethernet_10mbit()),
             PvmNet::Ethernet100 => Box::new(SharedBus::ethernet_100mbit()),
@@ -355,9 +403,11 @@ impl PvmSim {
             PvmNet::Ideal => Box::new(IdealNet::new(MILLI / 10)),
         };
         let cpus = (0..cfg.hosts).map(|_| Cpu::new(cfg.cpu_speed)).collect();
+        let rng = (cfg.faults.drop_p > 0.0).then(|| DetRng::new(cfg.seed).fork(0xFA17));
         PvmSim {
             engine: Engine::new(),
             world: World {
+                rng,
                 cfg,
                 slots: Vec::new(),
                 cpus,
@@ -572,8 +622,18 @@ fn transmit(en: &mut En, w: &mut World, from: TaskId, to: TaskId, tag: Tag, mut 
     w.stats.add("message_bytes", bytes);
     let (src_h, dst_h) = (HostId(src as u32), HostId(dst as u32));
     let arrival = if w.cfg.costs.direct_route || src == dst {
-        // Direct TCP route: the message streams as one transfer.
-        w.net.transfer(en.now(), src_h, dst_h, bytes)
+        // Direct TCP route: the message streams as one transfer. Injected
+        // loss (same-host traffic never touches the wire) surfaces as
+        // TCP retransmission timeouts: the kernel redelivers after the
+        // RTO, modeled with the same retry-timer constant as the pvmds.
+        let mut t = w.net.transfer(en.now(), src_h, dst_h, bytes);
+        while src != dst && w.frame_lost() {
+            w.stats.bump("injected_losses");
+            w.stats.bump("retransmissions");
+            t += w.cfg.costs.retrans_ns;
+            t = w.net.transfer(t, src_h, dst_h, bytes);
+        }
+        t
     } else {
         // pvmd store-and-forward: fragments with per-fragment daemon
         // acknowledgements (PVM 3.3's stop-and-wait UDP protocol).
@@ -607,6 +667,19 @@ fn transmit(en: &mut En, w: &mut World, from: TaskId, to: TaskId, tag: Tag, mut 
                 // (PVM 3.3's UDP reliability layer). Congestion thus
                 // compounds — the paper-era failure mode of PVM on a
                 // saturated shared Ethernet.
+                w.stats.bump("retransmissions");
+                t += c.retrans_ns;
+                t = send_window(w, t, win);
+            }
+            // Injected loss (FaultPlan): the pvmd protocol is
+            // stop-and-wait per window, so a lost window stalls the
+            // whole message behind the 250 ms retry timer and a full
+            // resend. This serialized recovery — versus the MESSENGERS
+            // transport's 10 ms-scale selective retransmit — is why
+            // loss hits PVM's completion times so much harder in
+            // `ablation_faults`.
+            while w.frame_lost() {
+                w.stats.bump("injected_losses");
                 w.stats.bump("retransmissions");
                 t += c.retrans_ns;
                 t = send_window(w, t, win);
@@ -836,6 +909,94 @@ mod tests {
         let routed = run(false);
         let direct = run(true);
         assert!(routed > direct, "routed={routed} direct={direct}");
+    }
+
+    /// As [`Pinger`], but pins the echo task to host 1 so every exchange
+    /// crosses the (faultable) wire.
+    struct RemotePinger {
+        n: u32,
+        sent: u32,
+        echo: Option<TaskId>,
+        got: Vec<i64>,
+    }
+    impl Task for RemotePinger {
+        fn resume(&mut self, ctx: &mut TaskCtx<'_>, msg: Option<Message>) -> Status {
+            if self.echo.is_none() {
+                self.echo = Some(ctx.spawn_on(1, Box::new(Echo { remaining: self.n })));
+            }
+            if let Some(mut m) = msg {
+                self.got.push(m.buf.unpack_int().unwrap());
+            }
+            if self.sent < self.n {
+                let mut b = Buf::new();
+                b.pack_int(self.sent as i64);
+                ctx.send(self.echo.unwrap(), 7, b);
+                self.sent += 1;
+                return Status::Recv(Recv::tag(99));
+            }
+            if (self.got.len() as u32) < self.n {
+                return Status::Recv(Recv::tag(99));
+            }
+            assert_eq!(self.got, (0..self.n as i64).map(|v| v * 2).collect::<Vec<_>>());
+            Status::Exit
+        }
+    }
+
+    #[test]
+    fn injected_loss_slows_but_never_corrupts() {
+        let run = |drop_p: f64| {
+            let mut cfg = PvmSimConfig::new(2);
+            cfg.faults = FaultPlan { drop_p, ..FaultPlan::none() };
+            let mut vm = PvmSim::new(cfg);
+            // Pinger asserts every reply arrives intact and in order.
+            vm.root(Box::new(RemotePinger { n: 20, sent: 0, echo: None, got: Vec::new() }));
+            vm.run().unwrap()
+        };
+        let clean = run(0.0);
+        let lossy = run(0.3);
+        assert_eq!(clean.stats.counter("injected_losses"), 0);
+        assert!(lossy.stats.counter("injected_losses") > 0);
+        assert!(
+            lossy.sim_seconds > clean.sim_seconds,
+            "loss must stretch the run: {} vs {}",
+            lossy.sim_seconds,
+            clean.sim_seconds
+        );
+    }
+
+    #[test]
+    fn injected_loss_is_deterministic() {
+        let run = || {
+            let mut cfg = PvmSimConfig::new(3);
+            cfg.faults = FaultPlan::lossy(0.25);
+            cfg.seed = 42;
+            let mut vm = PvmSim::new(cfg);
+            vm.root(Box::new(RemotePinger { n: 30, sent: 0, echo: None, got: Vec::new() }));
+            vm.run().unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.sim_seconds.to_bits(), b.sim_seconds.to_bits());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.stats.counter("injected_losses"), b.stats.counter("injected_losses"));
+    }
+
+    #[test]
+    fn loss_hits_the_direct_route_too() {
+        let mut cfg = PvmSimConfig::new(2);
+        cfg.costs.direct_route = true;
+        cfg.faults = FaultPlan::lossy(0.3);
+        let mut vm = PvmSim::new(cfg);
+        vm.root(Box::new(RemotePinger { n: 20, sent: 0, echo: None, got: Vec::new() }));
+        let report = vm.run().unwrap();
+        assert!(report.stats.counter("injected_losses") > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pvmd crash")]
+    fn crash_plans_are_rejected() {
+        let mut cfg = PvmSimConfig::new(2);
+        cfg.faults.crashes.push(msgr_sim::CrashEvent { host: 0, at: 0, down_for: MILLI });
+        let _ = PvmSim::new(cfg);
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes everything that may go wrong in a run: frame
+//! loss, duplication, reordering delay on the network, and scheduled
+//! crash/restart windows for individual hosts. The plan itself contains no
+//! randomness — a [`FaultInjector`] pairs it with a seeded [`DetRng`] and
+//! decides the fate of each frame, so the same `(plan, seed)` pair replays
+//! the exact same fault sequence. The default plan is [`FaultPlan::none`],
+//! under which no RNG is ever consulted and simulations behave exactly as
+//! if this module did not exist.
+//!
+//! The network models in [`crate::net`] stay fault-free on purpose: they
+//! answer "when would this frame arrive if it arrived", and the platform
+//! layer consults the injector to decide whether (and how many times) it
+//! actually does.
+
+use crate::{DetRng, SimTime};
+
+/// One scheduled host crash: the host goes silent at `at` and recovers
+/// `down_for` nanoseconds later. Frames addressed to it meanwhile are
+/// lost; its internal state survives (fail-recover, not fail-stop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Index of the host that crashes (dense, 0-based — matches
+    /// [`crate::HostId`]).
+    pub host: u32,
+    /// Simulated time at which the host goes down.
+    pub at: SimTime,
+    /// Length of the outage; the host accepts frames again at
+    /// `at + down_for`.
+    pub down_for: SimTime,
+}
+
+/// A deterministic description of what may fail during a run.
+///
+/// Probabilities are per frame and independent: a frame is first tested
+/// for loss, then (if it survives) for duplication, then each delivered
+/// copy for reordering delay. All values default to zero / empty via
+/// [`FaultPlan::none`], which is also [`Default`].
+///
+/// # Example
+///
+/// ```
+/// use msgr_sim::FaultPlan;
+/// let plan = FaultPlan { drop_p: 0.1, ..FaultPlan::none() };
+/// assert!(!plan.is_none());
+/// assert!(FaultPlan::none().is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that a frame is silently dropped (it still occupies
+    /// the medium — the bits were transmitted, just never understood).
+    pub drop_p: f64,
+    /// Probability that a delivered frame arrives twice.
+    pub dup_p: f64,
+    /// Probability that a delivered copy is delayed by a uniform extra
+    /// amount in `[0, reorder_delay)`, breaking FIFO order per pair.
+    pub reorder_p: f64,
+    /// Maximum extra delay (exclusive) applied to reordered copies.
+    pub reorder_delay: SimTime,
+    /// Scheduled crash/restart windows, applied at absolute sim times.
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl FaultPlan {
+    /// The benign plan: nothing fails. This is the default everywhere.
+    pub fn none() -> Self {
+        FaultPlan { drop_p: 0.0, dup_p: 0.0, reorder_p: 0.0, reorder_delay: 0, crashes: Vec::new() }
+    }
+
+    /// A link-fault-only plan dropping each frame with probability `p`.
+    pub fn lossy(p: f64) -> Self {
+        FaultPlan { drop_p: p, ..FaultPlan::none() }
+    }
+
+    /// `true` iff this plan can never inject a fault. Platforms use this
+    /// to skip the fault path entirely (no RNG draws, no bookkeeping),
+    /// keeping fault-free runs bit-identical to a build without the
+    /// fault layer.
+    pub fn is_none(&self) -> bool {
+        self.drop_p == 0.0 && self.dup_p == 0.0 && self.reorder_p == 0.0 && self.crashes.is_empty()
+    }
+
+    /// Validate the plan's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is not a finite value in `[0, 1)`, or
+    /// if reordering is enabled with a zero `reorder_delay`.
+    pub fn assert_valid(&self) {
+        for (name, p) in
+            [("drop_p", self.drop_p), ("dup_p", self.dup_p), ("reorder_p", self.reorder_p)]
+        {
+            assert!(p.is_finite() && (0.0..1.0).contains(&p), "{name} = {p} not in [0, 1)");
+        }
+        assert!(
+            self.reorder_p == 0.0 || self.reorder_delay > 0,
+            "reorder_p > 0 requires a positive reorder_delay"
+        );
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// The fate of one frame, as decided by a [`FaultInjector`]: how many
+/// copies arrive (0 = dropped, 2 = duplicated) and the extra reorder
+/// delay applied to each copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameFate {
+    /// Number of copies delivered (0, 1, or 2).
+    pub copies: u8,
+    /// Extra delay added to each delivered copy's arrival time.
+    pub delays: [SimTime; 2],
+}
+
+impl FrameFate {
+    /// The fate of every frame when faults are disabled.
+    pub fn intact() -> Self {
+        FrameFate { copies: 1, delays: [0, 0] }
+    }
+
+    /// `true` iff the frame never arrives.
+    pub fn dropped(&self) -> bool {
+        self.copies == 0
+    }
+}
+
+/// A [`FaultPlan`] bound to a seeded RNG: the per-run oracle that decides
+/// each frame's [`FrameFate`]. Draws happen in frame-send order, which the
+/// deterministic engine makes reproducible.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: DetRng,
+}
+
+impl FaultInjector {
+    /// Bind `plan` to a dedicated RNG (fork one off the run's master
+    /// seed so fault draws never perturb other random streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::assert_valid`].
+    pub fn new(plan: FaultPlan, rng: DetRng) -> Self {
+        plan.assert_valid();
+        FaultInjector { plan, rng }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide the fate of the next frame. Only consults the RNG for
+    /// fault classes with non-zero probability, so plans that disable a
+    /// class draw nothing for it.
+    pub fn fate(&mut self) -> FrameFate {
+        let p = &self.plan;
+        if p.drop_p > 0.0 && self.rng.chance(p.drop_p) {
+            return FrameFate { copies: 0, delays: [0, 0] };
+        }
+        let copies: u8 = if p.dup_p > 0.0 && self.rng.chance(p.dup_p) { 2 } else { 1 };
+        let mut delays = [0, 0];
+        for d in delays.iter_mut().take(copies as usize) {
+            if p.reorder_p > 0.0 && self.rng.chance(p.reorder_p) {
+                *d = self.rng.below(p.reorder_delay);
+            }
+        }
+        FrameFate { copies, delays }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(plan: FaultPlan, seed: u64) -> FaultInjector {
+        FaultInjector::new(plan, DetRng::new(seed))
+    }
+
+    #[test]
+    fn none_plan_is_none_and_valid() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        p.assert_valid();
+        assert_eq!(p, FaultPlan::default());
+    }
+
+    #[test]
+    fn any_nonzero_knob_makes_the_plan_active() {
+        assert!(!FaultPlan::lossy(0.01).is_none());
+        assert!(!FaultPlan { dup_p: 0.5, ..FaultPlan::none() }.is_none());
+        assert!(!FaultPlan { reorder_p: 0.5, reorder_delay: 10, ..FaultPlan::none() }.is_none());
+        let crash = CrashEvent { host: 0, at: 100, down_for: 50 };
+        assert!(!FaultPlan { crashes: vec![crash], ..FaultPlan::none() }.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_p")]
+    fn probability_of_one_is_rejected() {
+        // p = 1.0 would retransmit forever; the plan must stay < 1.
+        FaultPlan::lossy(1.0).assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder_delay")]
+    fn reordering_requires_a_delay_window() {
+        FaultPlan { reorder_p: 0.5, reorder_delay: 0, ..FaultPlan::none() }.assert_valid();
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let plan = FaultPlan {
+            drop_p: 0.2,
+            dup_p: 0.2,
+            reorder_p: 0.2,
+            reorder_delay: 1000,
+            ..FaultPlan::none()
+        };
+        let mut a = injector(plan.clone(), 9);
+        let mut b = injector(plan, 9);
+        for _ in 0..256 {
+            assert_eq!(a.fate(), b.fate());
+        }
+    }
+
+    #[test]
+    fn benign_plan_never_touches_frames() {
+        let mut inj = injector(FaultPlan::none(), 1);
+        for _ in 0..64 {
+            assert_eq!(inj.fate(), FrameFate::intact());
+        }
+    }
+
+    #[test]
+    fn fates_cover_all_classes_at_high_rates() {
+        let plan = FaultPlan {
+            drop_p: 0.3,
+            dup_p: 0.3,
+            reorder_p: 0.3,
+            reorder_delay: 500,
+            ..FaultPlan::none()
+        };
+        let mut inj = injector(plan, 7);
+        let (mut drops, mut dups, mut delayed) = (0u32, 0u32, 0u32);
+        for _ in 0..2000 {
+            let f = inj.fate();
+            if f.dropped() {
+                drops += 1;
+            }
+            if f.copies == 2 {
+                dups += 1;
+            }
+            if f.delays.iter().any(|&d| d > 0) {
+                delayed += 1;
+            }
+            for &d in &f.delays {
+                assert!(d < 500);
+            }
+        }
+        assert!(drops > 400 && drops < 800, "drops = {drops}");
+        assert!(dups > 250, "dups = {dups}");
+        assert!(delayed > 250, "delayed = {delayed}");
+    }
+}

@@ -33,12 +33,14 @@
 
 mod cpu;
 mod engine;
+mod fault;
 mod net;
 mod rng;
 mod stats;
 
 pub use cpu::Cpu;
 pub use engine::{Engine, SimTime};
+pub use fault::{CrashEvent, FaultInjector, FaultPlan, FrameFate};
 pub use net::{HostId, IdealNet, NetModel, NetStats, SharedBus, Switched};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, Stats};

@@ -82,18 +82,33 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile (bucket upper bound containing quantile `q`,
-    /// `0.0 ..= 1.0`). Coarse but monotone; used only for reporting.
+    /// Approximate quantile, `q` in `0.0 ..= 1.0`. Coarse but monotone;
+    /// used only for reporting.
+    ///
+    /// Edge behaviour: an empty histogram yields 0 for every `q`
+    /// (including NaN); `q <= 0` yields [`Histogram::min`] and `q >= 1`
+    /// yields [`Histogram::max`] exactly. Interior quantiles return the
+    /// lower bound of the containing power-of-two bucket, clamped to the
+    /// observed `[min, max]` range so an answer can never lie outside
+    /// the recorded samples.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        if !(q > 0.0) {
+            // Also catches NaN: treat it like q = 0.
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                return if i == 0 { 0 } else { 1u64 << (i - 1).min(63) };
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1).min(63) };
+                return lo.clamp(self.min, self.max);
             }
         }
         self.max
@@ -251,6 +266,80 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero_everywhere() {
+        let h = Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 0, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_hit_min_and_max_exactly() {
+        let mut h = Histogram::new();
+        for v in [37u64, 100, 9000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 37);
+        assert_eq!(h.quantile(-3.0), 37);
+        assert_eq!(h.quantile(1.0), 9000);
+        assert_eq!(h.quantile(7.0), 9000);
+        // Interior quantiles never escape the observed range.
+        for i in 0..=100 {
+            let v = h.quantile(i as f64 / 100.0);
+            assert!((37..=9000).contains(&v), "quantile({i}%) = {v}");
+        }
+    }
+
+    #[test]
+    fn quantile_nan_treated_as_low_end() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(500);
+        assert_eq!(h.quantile(f64::NAN), 5);
+    }
+
+    #[test]
+    fn merge_with_disjoint_bucket_ranges() {
+        // `a` occupies only low buckets, `b` only high ones; the merge
+        // must keep both populations and order its quantiles across the
+        // gap.
+        let mut a = Histogram::new();
+        for v in [1u64, 2, 3, 4] {
+            a.record(v);
+        }
+        let mut b = Histogram::new();
+        for v in [1u64 << 40, (1u64 << 40) + 1] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.sum(), 10 + (1u64 << 41) + 1);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), (1u64 << 40) + 1);
+        assert!(a.quantile(0.5) <= 4, "median stays in the low cluster");
+        assert!(a.quantile(0.99) >= 1u64 << 40, "tail reaches the high cluster");
+        let mut last = 0;
+        for i in 0..=20 {
+            let v = a.quantile(i as f64 / 20.0);
+            assert!(v >= last, "monotone across the bucket gap");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        a.record(17);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before, "merging an empty histogram changes nothing");
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before, "merging into an empty histogram copies it");
+        assert_eq!(e.min(), 17);
     }
 
     #[test]

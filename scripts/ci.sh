@@ -2,9 +2,21 @@
 # Tier-1 verification, fully offline: the workspace must build, test, and
 # stay formatted with no network access and no external registry
 # dependencies (see "Hermetic builds" in README.md / DESIGN.md).
+#
+# Flags:
+#   --soak   additionally run the long chaos soak test (ignored by
+#            default): sustained loss + periodic crash/restart cycles.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+soak=0
+for arg in "$@"; do
+    case "$arg" in
+        --soak) soak=1 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "== cargo metadata: path-only dependency check =="
 # Every dependency must resolve from within this repository. `cargo
@@ -22,6 +34,20 @@ cargo build --release --offline --workspace
 
 echo "== cargo test -q --offline =="
 cargo test -q --offline --workspace
+
+echo "== chaos: fault-injection property sweep =="
+# Two pinned fault seeds (regression anchors) plus one fresh seed per CI
+# run. MSGR_FAULT_SEED perturbs every cluster seed in the chaos suite;
+# the fresh value is logged so a red run can be replayed exactly.
+for seed in 1 424242 "$(date +%s)"; do
+    echo "chaos seed: $seed (replay: MSGR_FAULT_SEED=$seed scripts/ci.sh)"
+    MSGR_FAULT_SEED="$seed" cargo test -q --offline -p msgr-core --test fault_props
+done
+
+if [ "$soak" = 1 ]; then
+    echo "== chaos soak (--soak) =="
+    cargo test -q --offline -p msgr-core --test fault_props -- --ignored
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --check

@@ -11,7 +11,7 @@ use messengers::apps::mandel::{MandelScene, MandelWork};
 use messengers::apps::matmul::{test_matrix, MatmulScene};
 use messengers::apps::{mandel_msgr, matmul_msgr};
 use messengers::core::ClusterConfig;
-use msgr_sim::Stats;
+use msgr_sim::{CrashEvent, FaultPlan, Stats, MILLI};
 
 fn counters(stats: &Stats) -> Vec<(&'static str, u64)> {
     stats.counters().collect()
@@ -45,6 +45,38 @@ fn mandel_seed_is_part_of_the_configuration() {
         mandel_msgr::run_sim(&work, 4, &calib, cfg).expect("run")
     };
     assert_eq!(run(1).checksum, run(2).checksum, "checksum is seed-independent");
+}
+
+#[test]
+fn faulty_mandel_runs_are_bit_identical() {
+    // Fault injection must not cost determinism: the same config and
+    // fault plan (drops, duplicates, reordering, a crash/restart cycle)
+    // reproduce the same checksum, the same counters, and the same
+    // simulated time to the last f64 bit. And because delivery is
+    // exactly-once, the checksum must equal the fault-free run's.
+    let calib = Calib::default();
+    let work = Arc::new(MandelWork::compute(MandelScene::paper(128, 8)));
+    let run = |faults: FaultPlan| {
+        let mut cfg = ClusterConfig::new(8);
+        cfg.seed = 42;
+        cfg.faults = faults;
+        mandel_msgr::run_sim(&work, 8, &calib, cfg).expect("run")
+    };
+    let plan = FaultPlan {
+        drop_p: 0.08,
+        dup_p: 0.05,
+        reorder_p: 0.05,
+        reorder_delay: 2 * MILLI,
+        crashes: vec![CrashEvent { host: 3, at: 20 * MILLI, down_for: 25 * MILLI }],
+    };
+    let a = run(plan.clone());
+    let b = run(plan);
+    assert_eq!(a.checksum, b.checksum, "faulty runs must agree with each other");
+    assert_eq!(a.seconds.to_bits(), b.seconds.to_bits(), "simulated time must be identical");
+    assert_eq!(counters(&a.stats), counters(&b.stats), "all counters must be identical");
+    assert!(a.stats.counter("net_frames_lost") > 0, "the plan must actually inject faults");
+    let clean = run(FaultPlan::none());
+    assert_eq!(a.checksum, clean.checksum, "loss must never corrupt the image");
 }
 
 #[test]
