@@ -1,0 +1,472 @@
+//! The verifier core: abstract interpretation of one function's
+//! operand stack and locals over all control-flow paths.
+//!
+//! The abstract domain per value is a *kind* (flat lattice over the
+//! `Value` variants, `Top` = unknown) plus a *taint set* recording
+//! which node variables the value was read from and whether it has
+//! crossed a yield (`hop`/`create`/`delete`/`sched`) since. The kind
+//! feeds the hop-destination lint; the taint feeds the §2.1
+//! lost-update lint; the stack depth itself is what verification
+//! proves (no underflow, merge-point consistency, a static bound).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use msgr_vm::Value;
+use msgr_vm::{Function, LinkPat, NetVar, NodePat, Op, Program};
+
+use crate::Diag;
+
+/// Hard bound on the statically-proven operand-stack depth. Deeper
+/// programs are rejected (V012): a daemon must be able to preallocate.
+pub const MAX_STACK: usize = 1024;
+
+/// Flat lattice over runtime value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Unknown / any.
+    Top,
+    /// Definitely NULL on every path.
+    Null,
+    /// Boolean.
+    Bool,
+    /// Integer.
+    Int,
+    /// Float.
+    Float,
+    /// String.
+    Str,
+    /// Matrix block.
+    Mat,
+    /// Byte blob.
+    Blob,
+    /// Array.
+    Arr,
+    /// Link instance.
+    Link,
+}
+
+impl Kind {
+    fn of(v: &Value) -> Kind {
+        match v {
+            Value::Null => Kind::Null,
+            Value::Bool(_) => Kind::Bool,
+            Value::Int(_) => Kind::Int,
+            Value::Float(_) => Kind::Float,
+            Value::Str(_) => Kind::Str,
+            Value::Mat(_) => Kind::Mat,
+            Value::Blob(_) => Kind::Blob,
+            Value::Arr(_) => Kind::Arr,
+            Value::Link(_) => Kind::Link,
+        }
+    }
+
+    fn join(self, other: Kind) -> Kind {
+        if self == other {
+            self
+        } else {
+            Kind::Top
+        }
+    }
+}
+
+/// Taint: node-variable name constants this value was derived from,
+/// with a flag set once the value survives a yield.
+type Taint = BTreeMap<u16, bool>;
+
+#[derive(Debug, Clone, PartialEq)]
+struct AbsVal {
+    kind: Kind,
+    taint: Taint,
+}
+
+impl AbsVal {
+    fn top() -> AbsVal {
+        AbsVal { kind: Kind::Top, taint: Taint::new() }
+    }
+
+    fn of_kind(kind: Kind) -> AbsVal {
+        AbsVal { kind, taint: Taint::new() }
+    }
+
+    fn join(&self, other: &AbsVal) -> AbsVal {
+        let mut taint = self.taint.clone();
+        for (&k, &crossed) in &other.taint {
+            let e = taint.entry(k).or_insert(false);
+            *e |= crossed;
+        }
+        AbsVal { kind: self.kind.join(other.kind), taint }
+    }
+}
+
+fn union(a: &Taint, b: &Taint) -> Taint {
+    let mut out = a.clone();
+    for (&k, &crossed) in b {
+        let e = out.entry(k).or_insert(false);
+        *e |= crossed;
+    }
+    out
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    stack: Vec<AbsVal>,
+    locals: Vec<AbsVal>,
+}
+
+impl State {
+    fn join(&self, other: &State) -> Option<State> {
+        if self.stack.len() != other.stack.len() {
+            return None;
+        }
+        let zip = |a: &[AbsVal], b: &[AbsVal]| {
+            a.iter().zip(b).map(|(x, y)| x.join(y)).collect::<Vec<_>>()
+        };
+        Some(State {
+            stack: zip(&self.stack, &other.stack),
+            locals: zip(&self.locals, &other.locals),
+        })
+    }
+
+    /// A yield point: everything still held crossed it.
+    fn cross_yield(&mut self) {
+        for v in self.stack.iter_mut().chain(self.locals.iter_mut()) {
+            for crossed in v.taint.values_mut() {
+                *crossed = true;
+            }
+        }
+    }
+}
+
+/// Everything the dataflow learned about one function.
+pub(crate) struct Flow {
+    /// Whether each pc was reached along some path.
+    pub reach: Vec<bool>,
+    /// Maximum operand-stack depth on any path.
+    pub max_stack: usize,
+    /// Joined operand kinds `(ln, ll)` observed at each `Hop`/`Delete`.
+    pub hop_operands: BTreeMap<usize, (Option<Kind>, Option<Kind>)>,
+    /// Lint diagnostics produced during interpretation (N301).
+    pub lints: Vec<Diag>,
+}
+
+/// Abstractly interpret `f`, verifying stack discipline.
+///
+/// `structural_check` must have passed: indices and jump targets are
+/// assumed in range here.
+pub(crate) fn interpret(p: &Program, fi: usize, f: &Function) -> Result<Flow, Vec<Diag>> {
+    let yielders = may_yield(p);
+    let len = f.code.len();
+    let mut states: Vec<Option<State>> = vec![None; len];
+    let mut reach = vec![false; len];
+    let mut max_stack = 0usize;
+    let mut hop_operands: BTreeMap<usize, (Option<Kind>, Option<Kind>)> = BTreeMap::new();
+    let mut stale_writes: BTreeSet<(usize, u16)> = BTreeSet::new();
+
+    let entry = State {
+        stack: Vec::new(),
+        // Parameters and uninitialized slots are both Top: `LoadLocal`
+        // of a never-stored slot reads NULL at runtime, but treating it
+        // as Top avoids spurious never-matches lints.
+        locals: vec![AbsVal::top(); f.n_slots as usize],
+    };
+    let mut work: Vec<usize> = Vec::new();
+    if len > 0 {
+        states[0] = Some(entry);
+        work.push(0);
+    }
+
+    while let Some(pc) = work.pop() {
+        reach[pc] = true;
+        let mut st = states[pc].clone().expect("worklist pc has state");
+        let op = &f.code[pc];
+
+        macro_rules! pop {
+            () => {
+                match st.stack.pop() {
+                    Some(v) => v,
+                    None => {
+                        return Err(vec![Diag::error(
+                            "V003",
+                            fi,
+                            f,
+                            pc,
+                            format!("stack underflow at `{op:?}`"),
+                        )])
+                    }
+                }
+            };
+        }
+
+        match *op {
+            Op::Const(i) => {
+                st.stack.push(AbsVal::of_kind(Kind::of(&p.consts[i as usize])));
+            }
+            Op::LoadLocal(i) => {
+                let v = st.locals[i as usize].clone();
+                st.stack.push(v);
+            }
+            Op::StoreLocal(i) => {
+                let v = pop!();
+                st.locals[i as usize] = v;
+            }
+            Op::LoadNode(i) => {
+                st.stack.push(AbsVal { kind: Kind::Top, taint: Taint::from([(i, false)]) });
+            }
+            Op::StoreNode(i) => {
+                let v = pop!();
+                if v.taint.get(&i) == Some(&true) {
+                    stale_writes.insert((pc, i));
+                }
+            }
+            Op::LoadNet(var) => {
+                let kind = match var {
+                    NetVar::Time => Kind::Float,
+                    NetVar::Address | NetVar::Last | NetVar::Node => Kind::Top,
+                };
+                st.stack.push(AbsVal::of_kind(kind));
+            }
+            Op::Dup => {
+                let v = st.stack.last().cloned();
+                match v {
+                    Some(v) => st.stack.push(v),
+                    None => {
+                        return Err(vec![Diag::error(
+                            "V003",
+                            fi,
+                            f,
+                            pc,
+                            "stack underflow at `Dup`".into(),
+                        )])
+                    }
+                }
+            }
+            Op::Pop => {
+                pop!();
+            }
+            Op::Add => {
+                let b = pop!();
+                let a = pop!();
+                let kind = match (a.kind, b.kind) {
+                    (Kind::Str, _) | (_, Kind::Str) => Kind::Str,
+                    (Kind::Int, Kind::Int) => Kind::Int,
+                    (Kind::Int | Kind::Float, Kind::Int | Kind::Float) => Kind::Float,
+                    _ => Kind::Top,
+                };
+                st.stack.push(AbsVal { kind, taint: union(&a.taint, &b.taint) });
+            }
+            Op::Sub | Op::Mul | Op::Div | Op::Mod => {
+                let b = pop!();
+                let a = pop!();
+                let kind = match (a.kind, b.kind) {
+                    (Kind::Int, Kind::Int) => Kind::Int,
+                    (Kind::Int | Kind::Float, Kind::Int | Kind::Float) => Kind::Float,
+                    _ => Kind::Top,
+                };
+                st.stack.push(AbsVal { kind, taint: union(&a.taint, &b.taint) });
+            }
+            Op::Neg => {
+                let a = pop!();
+                let kind = match a.kind {
+                    Kind::Int => Kind::Int,
+                    Kind::Float | Kind::Bool => Kind::Float,
+                    _ => Kind::Top,
+                };
+                st.stack.push(AbsVal { kind, taint: a.taint });
+            }
+            Op::Not => {
+                let a = pop!();
+                st.stack.push(AbsVal { kind: Kind::Bool, taint: a.taint });
+            }
+            Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+                let b = pop!();
+                let a = pop!();
+                st.stack.push(AbsVal { kind: Kind::Bool, taint: union(&a.taint, &b.taint) });
+            }
+            Op::Jump(_) => {}
+            Op::JumpIfFalse(_) => {
+                pop!();
+            }
+            Op::JumpIfTruePeek(_) | Op::JumpIfFalsePeek(_) => {
+                if st.stack.is_empty() {
+                    return Err(vec![Diag::error(
+                        "V003",
+                        fi,
+                        f,
+                        pc,
+                        "stack underflow at conditional peek".into(),
+                    )]);
+                }
+            }
+            Op::Call { f: callee, argc } => {
+                let mut taint = Taint::new();
+                for _ in 0..argc {
+                    let v = pop!();
+                    taint = union(&taint, &v.taint);
+                }
+                if yielders.contains(&(callee as usize)) {
+                    // The callee can hop/create/sched: everything we
+                    // still hold crosses a yield inside it.
+                    st.cross_yield();
+                    for crossed in taint.values_mut() {
+                        *crossed = true;
+                    }
+                }
+                // Return-value taint is dropped deliberately: carrying
+                // the union of argument taints would flag fresh values
+                // computed by helpers. Under-approximate instead.
+                let _ = taint;
+                st.stack.push(AbsVal::top());
+            }
+            Op::CallNative { argc, .. } => {
+                for _ in 0..argc {
+                    pop!();
+                }
+                st.stack.push(AbsVal::top());
+            }
+            Op::Ret => {
+                pop!();
+            }
+            Op::Hop(i) | Op::Delete(i) => {
+                let spec = &p.hop_specs[i as usize];
+                // Pushed ln-then-ll; popped in reverse.
+                let ll = if spec.ll == LinkPat::Expr { Some(pop!().kind) } else { None };
+                let ln = if spec.ln == NodePat::Expr { Some(pop!().kind) } else { None };
+                let e = hop_operands.entry(pc).or_insert((ln, ll));
+                e.0 = joined(e.0, ln);
+                e.1 = joined(e.1, ll);
+                st.cross_yield();
+            }
+            Op::Create(i) => {
+                let spec = &p.create_specs[i as usize];
+                for _ in 0..spec.operand_count() {
+                    pop!();
+                }
+                st.cross_yield();
+            }
+            Op::SchedAbs | Op::SchedDlt => {
+                pop!();
+                st.cross_yield();
+            }
+            Op::Halt => {}
+            Op::MakeArr => {
+                let default = pop!();
+                let _n = pop!();
+                st.stack.push(AbsVal { kind: Kind::Arr, taint: default.taint });
+            }
+            Op::IndexGet => {
+                let _idx = pop!();
+                let arr = pop!();
+                st.stack.push(AbsVal { kind: Kind::Top, taint: arr.taint });
+            }
+            Op::IndexSet => {
+                let value = pop!();
+                let _idx = pop!();
+                let arr = pop!();
+                st.stack.push(AbsVal { kind: Kind::Arr, taint: union(&arr.taint, &value.taint) });
+            }
+        }
+
+        if st.stack.len() > MAX_STACK {
+            return Err(vec![Diag::error(
+                "V012",
+                fi,
+                f,
+                pc,
+                format!("operand stack depth {} exceeds the bound of {MAX_STACK}", st.stack.len()),
+            )]);
+        }
+        max_stack = max_stack.max(st.stack.len());
+
+        for succ in crate::cfg::successors(&f.code, pc) {
+            if succ == len {
+                continue; // fall off the end: implicit return NULL
+            }
+            let merged = match &states[succ] {
+                None => st.clone(),
+                Some(prev) => match prev.join(&st) {
+                    Some(m) => m,
+                    None => {
+                        return Err(vec![Diag::error(
+                            "V004",
+                            fi,
+                            f,
+                            succ,
+                            format!(
+                                "inconsistent stack depth at merge point: {} vs {}",
+                                prev.stack.len(),
+                                st.stack.len()
+                            ),
+                        )])
+                    }
+                },
+            };
+            if states[succ].as_ref() != Some(&merged) {
+                states[succ] = Some(merged);
+                work.push(succ);
+            }
+        }
+    }
+
+    let lints = stale_writes
+        .into_iter()
+        .map(|(pc, name_idx)| {
+            let name = match &p.consts[name_idx as usize] {
+                Value::Str(s) => s.to_string(),
+                other => other.type_name().to_string(),
+            };
+            Diag::warning(
+                "N301",
+                fi,
+                f,
+                pc,
+                format!(
+                    "node variable `{name}` is written with a value read before a yield — \
+                     updates made by other messengers in between are lost (re-read \
+                     `{name}` after arriving)"
+                ),
+            )
+        })
+        .collect();
+
+    Ok(Flow { reach, max_stack, hop_operands, lints })
+}
+
+fn joined(a: Option<Kind>, b: Option<Kind>) -> Option<Kind> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.join(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Function indices that can yield (hop/create/delete/sched), directly
+/// or through calls — transitive closure over the call graph.
+fn may_yield(p: &Program) -> BTreeSet<usize> {
+    let mut set: BTreeSet<usize> = BTreeSet::new();
+    for (i, f) in p.funcs.iter().enumerate() {
+        if f.code.iter().any(|op| {
+            matches!(op, Op::Hop(_) | Op::Create(_) | Op::Delete(_) | Op::SchedAbs | Op::SchedDlt)
+        }) {
+            set.insert(i);
+        }
+    }
+    loop {
+        let mut grew = false;
+        for (i, f) in p.funcs.iter().enumerate() {
+            if set.contains(&i) {
+                continue;
+            }
+            let calls_yielder = f.code.iter().any(
+                |op| matches!(op, Op::Call { f: callee, .. } if set.contains(&(*callee as usize))),
+            );
+            if calls_yielder {
+                set.insert(i);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    set
+}

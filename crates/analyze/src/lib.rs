@@ -1,0 +1,329 @@
+//! Static analysis for MESSENGERS bytecode: the mobile-code trust layer.
+//!
+//! Daemons execute *foreign, migrating* bytecode — the defining safety
+//! problem of mobile-agent languages. This crate checks a compiled
+//! [`Program`] before any daemon agrees to run it, in three layers:
+//!
+//! 1. **Bytecode verifier** ([`verify`]) — per-function CFG
+//!    construction, jump-target validity, and an abstract
+//!    interpretation of the operand stack along all paths: no
+//!    underflow, consistent stack depth at merge points, call arity
+//!    against function signatures, valid constant / local /
+//!    node-variable / spec indices, and a static stack bound. A
+//!    program that fails any of these checks is *rejected* — the
+//!    daemon code registry (in `msgr-core`) quarantines it.
+//! 2. **Navigation analyzer** — warns about unreachable code,
+//!    `create(...; ALL)` inside a loop (exponential messenger
+//!    fan-out), and `hop`/`delete` destination operands that can never
+//!    name a node or link.
+//! 3. **Node-variable lost-update lint** — the paper's §2.1 hazard: a
+//!    value read from a node variable, carried across a yield
+//!    (`hop`/`create`/…), and written back stale, silently clobbering
+//!    updates made by other messengers in between. Tracked as value
+//!    taint through locals and the operand stack, so recomputed values
+//!    do not trigger it.
+//!
+//! Diagnostics carry the function, pc, block label, and (when the
+//! compiler attached debug info) the source line. [`analyze`] returns
+//! everything; [`verify`] returns only the hard errors.
+
+#![forbid(unsafe_code)]
+
+use msgr_vm::Value;
+use msgr_vm::{Function, Op, Program};
+
+mod absint;
+mod cfg;
+mod lint;
+
+pub use absint::MAX_STACK;
+pub use cfg::{block_labels, jump_target, successors};
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Verification failure: the program must not run.
+    Error,
+    /// Lint: suspicious but executable.
+    Warning,
+}
+
+/// One diagnostic, anchored to a function and (usually) a pc.
+#[derive(Debug, Clone)]
+pub struct Diag {
+    /// Stable code, e.g. `V002` (verifier) or `N301` (lint).
+    pub code: &'static str,
+    /// Error (verification failure) or warning (lint).
+    pub severity: Severity,
+    /// Index of the function in `Program::funcs`.
+    pub func: usize,
+    /// Function name, for human-readable output.
+    pub func_name: String,
+    /// Instruction the diagnostic anchors to, if any.
+    pub pc: Option<usize>,
+    /// Source line from the function's debug info, if present.
+    pub line: Option<u32>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diag {
+    fn error(code: &'static str, func: usize, f: &Function, pc: usize, message: String) -> Diag {
+        Diag {
+            code,
+            severity: Severity::Error,
+            func,
+            func_name: f.name.clone(),
+            pc: Some(pc),
+            line: f.line_at(pc),
+            message,
+        }
+    }
+
+    fn warning(code: &'static str, func: usize, f: &Function, pc: usize, message: String) -> Diag {
+        Diag { severity: Severity::Warning, ..Diag::error(code, func, f, pc, message) }
+    }
+
+    /// Render the diagnostic in `msgr-lint` style, using the same block
+    /// labels the disassembler prints (`L3`), e.g.:
+    ///
+    /// `error[V002] in main @ pc 4 (L1, line 3): jump target 99 is out of bounds`
+    pub fn render(&self, program: &Program) -> String {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let mut at = String::new();
+        if let Some(pc) = self.pc {
+            at.push_str(&format!(" @ pc {pc}"));
+            let mut extras = Vec::new();
+            if let Some(f) = program.funcs.get(self.func) {
+                if let Some(label) = block_labels(f).get(&pc) {
+                    extras.push(format!("L{label}"));
+                }
+            }
+            if let Some(line) = self.line {
+                extras.push(format!("line {line}"));
+            }
+            if !extras.is_empty() {
+                at.push_str(&format!(" ({})", extras.join(", ")));
+            }
+        }
+        format!("{sev}[{}] in {}{at}: {}", self.code, self.func_name, self.message)
+    }
+}
+
+/// Per-function facts the verifier proves (returned on success).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuncInfo {
+    /// Maximum operand-stack depth along any path — a static bound a
+    /// daemon could preallocate.
+    pub max_stack: usize,
+    /// Number of basic blocks (jump targets + entry).
+    pub blocks: usize,
+}
+
+/// Everything the analyzer found: hard errors and lint warnings.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All diagnostics, errors first, in function/pc order.
+    pub diags: Vec<Diag>,
+    /// Per-function verifier facts (empty for functions whose dataflow
+    /// was skipped because of structural errors).
+    pub funcs: Vec<Option<FuncInfo>>,
+}
+
+impl Report {
+    /// Hard verification errors only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diag> {
+        self.diags.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Lint warnings only.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diag> {
+        self.diags.iter().filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// True when the program may be loaded (no errors; warnings OK).
+    pub fn is_verified(&self) -> bool {
+        self.errors().next().is_none()
+    }
+}
+
+/// Verify a program: errors only, no lints.
+///
+/// # Errors
+///
+/// The list of verification failures, each with a distinct diagnostic
+/// code, when the program must be rejected.
+pub fn verify(p: &Program) -> Result<Vec<FuncInfo>, Vec<Diag>> {
+    let report = run(p, false);
+    if report.is_verified() {
+        // No errors ⇒ every function completed dataflow.
+        Ok(report.funcs.into_iter().map(|f| f.expect("verified function has info")).collect())
+    } else {
+        Err(report.diags)
+    }
+}
+
+/// Full analysis: verifier errors plus navigation and lost-update
+/// lints.
+pub fn analyze(p: &Program) -> Report {
+    run(p, true)
+}
+
+fn run(p: &Program, with_lints: bool) -> Report {
+    let mut report = Report::default();
+
+    if p.entry.0 as usize >= p.funcs.len() {
+        report.diags.push(Diag {
+            code: "V001",
+            severity: Severity::Error,
+            func: p.entry.0 as usize,
+            func_name: "<entry>".into(),
+            pc: None,
+            line: None,
+            message: format!(
+                "entry function index {} out of range (program has {} functions)",
+                p.entry.0,
+                p.funcs.len()
+            ),
+        });
+    }
+
+    for (fi, f) in p.funcs.iter().enumerate() {
+        let before = report.diags.len();
+        structural_check(p, fi, f, &mut report.diags);
+        if report.diags.len() > before {
+            // Structural damage: the dataflow (and lints that consume
+            // its results) would chase invalid indices. Skip.
+            report.funcs.push(None);
+            continue;
+        }
+        match absint::interpret(p, fi, f) {
+            Ok(flow) => {
+                if with_lints {
+                    lint::navigation(p, fi, f, &flow, &mut report.diags);
+                }
+                report.diags.extend(flow.lints);
+                report.funcs.push(Some(FuncInfo {
+                    max_stack: flow.max_stack,
+                    blocks: cfg::block_labels(f).len() + 1,
+                }));
+            }
+            Err(diags) => {
+                report.diags.extend(diags);
+                report.funcs.push(None);
+            }
+        }
+    }
+
+    if !with_lints {
+        report.diags.retain(|d| d.severity == Severity::Error);
+    }
+    report
+        .diags
+        .sort_by_key(|d| (d.severity == Severity::Warning, d.func, d.pc.unwrap_or(usize::MAX)));
+    report
+}
+
+/// Pass 1: structural validity of every instruction, reachable or not
+/// — index ranges, jump targets, call arity, name constants. These
+/// checks need no dataflow, so they cover dead code too.
+fn structural_check(p: &Program, fi: usize, f: &Function, diags: &mut Vec<Diag>) {
+    if f.arity as u16 > f.n_slots {
+        diags.push(Diag {
+            code: "V011",
+            severity: Severity::Error,
+            func: fi,
+            func_name: f.name.clone(),
+            pc: None,
+            line: None,
+            message: format!("arity {} exceeds local slot count {}", f.arity, f.n_slots),
+        });
+    }
+    if !f.lines.is_empty() && f.lines.len() != f.code.len() {
+        diags.push(Diag {
+            code: "V013",
+            severity: Severity::Error,
+            func: fi,
+            func_name: f.name.clone(),
+            pc: None,
+            line: None,
+            message: format!(
+                "line table length {} does not match code length {}",
+                f.lines.len(),
+                f.code.len()
+            ),
+        });
+    }
+    let len = f.code.len();
+    for (pc, op) in f.code.iter().enumerate() {
+        let e = |code, message| Diag::error(code, fi, f, pc, message);
+        match *op {
+            Op::Jump(_) | Op::JumpIfFalse(_) | Op::JumpIfTruePeek(_) | Op::JumpIfFalsePeek(_) => {
+                let target = cfg::jump_target(pc, op).expect("jump has target");
+                // target == len is legal: it falls off the end, the
+                // implicit `return NULL`.
+                if target < 0 || target > len as isize {
+                    diags.push(e(
+                        "V002",
+                        format!("jump target {target} is out of bounds (code length {len})"),
+                    ));
+                }
+            }
+            Op::Const(i) if i as usize >= p.consts.len() => {
+                diags.push(e("V005", format!("constant index {i} out of range")));
+            }
+            Op::LoadLocal(i) | Op::StoreLocal(i) if i >= f.n_slots => {
+                diags.push(e(
+                    "V006",
+                    format!("local slot {i} out of range (function has {})", f.n_slots),
+                ));
+            }
+            Op::LoadNode(i) | Op::StoreNode(i) => match p.consts.get(i as usize) {
+                None => {
+                    diags.push(e("V005", format!("node-variable name constant {i} out of range")))
+                }
+                Some(v) if !matches!(v, Value::Str(_)) => diags.push(e(
+                    "V010",
+                    format!("node-variable name constant {i} is a {}, not a string", v.type_name()),
+                )),
+                Some(_) => {}
+            },
+            Op::CallNative { name, .. } => match p.consts.get(name as usize) {
+                None => diags
+                    .push(e("V005", format!("native-function name constant {name} out of range"))),
+                Some(v) if !matches!(v, Value::Str(_)) => diags.push(e(
+                    "V010",
+                    format!(
+                        "native-function name constant {name} is a {}, not a string",
+                        v.type_name()
+                    ),
+                )),
+                Some(_) => {}
+            },
+            Op::Call { f: callee, argc } => match p.funcs.get(callee as usize) {
+                None => diags.push(e("V007", format!("call target {callee} out of range"))),
+                Some(g) if g.arity != argc => diags.push(e(
+                    "V008",
+                    format!(
+                        "call to `{}` passes {argc} arguments, but it takes {}",
+                        g.name, g.arity
+                    ),
+                )),
+                Some(_) => {}
+            },
+            Op::Hop(i) | Op::Delete(i) if i as usize >= p.hop_specs.len() => {
+                diags.push(e("V009", format!("hop/delete spec index {i} out of range")));
+            }
+            Op::Create(i) if i as usize >= p.create_specs.len() => {
+                diags.push(e("V009", format!("create spec index {i} out of range")));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,107 @@
+//! Navigation lints: warnings about messenger movement that is legal
+//! bytecode but almost certainly a logic error.
+
+use msgr_vm::{Function, Op, Program};
+
+use crate::absint::{Flow, Kind};
+use crate::{cfg, Diag};
+
+/// Kinds that can never name a logical node or link, whatever the
+/// daemon's network looks like. `Null` is excluded for links (a NULL
+/// link operand means "unnamed" at runtime) and kept conservative for
+/// nodes; numeric and string kinds all potentially match.
+fn never_a_name(k: Kind) -> bool {
+    matches!(k, Kind::Bool | Kind::Mat | Kind::Blob | Kind::Arr)
+}
+
+pub(crate) fn navigation(p: &Program, fi: usize, f: &Function, flow: &Flow, out: &mut Vec<Diag>) {
+    unreachable_code(fi, f, flow, out);
+    create_all_in_loop(p, fi, f, flow, out);
+    hop_never_matches(fi, f, flow, out);
+}
+
+/// N201: instructions no path reaches. The compiler itself plants a
+/// few dead `Const`/`Pop`/`Jump` ops after `terminate()` and loop
+/// back-edges; runs made only of those are exempt.
+fn unreachable_code(fi: usize, f: &Function, flow: &Flow, out: &mut Vec<Diag>) {
+    let mut pc = 0;
+    while pc < f.code.len() {
+        if flow.reach[pc] {
+            pc += 1;
+            continue;
+        }
+        let start = pc;
+        while pc < f.code.len() && !flow.reach[pc] {
+            pc += 1;
+        }
+        let run = &f.code[start..pc];
+        let trivial =
+            run.iter().all(|op| matches!(op, Op::Const(_) | Op::Pop | Op::Jump(_) | Op::Ret));
+        if !trivial {
+            out.push(Diag::warning(
+                "N201",
+                fi,
+                f,
+                start,
+                format!(
+                    "unreachable code: {} instruction(s) after a terminating path can never run",
+                    pc - start
+                ),
+            ));
+        }
+    }
+}
+
+/// N202: `create(...; ALL)` on a control-flow cycle — every iteration
+/// replicates the messenger to *every* matching daemon, so a loop
+/// fans out exponentially.
+fn create_all_in_loop(p: &Program, fi: usize, f: &Function, flow: &Flow, out: &mut Vec<Diag>) {
+    for (pc, op) in f.code.iter().enumerate() {
+        let Op::Create(i) = op else { continue };
+        if !flow.reach[pc] || !p.create_specs[*i as usize].all {
+            continue;
+        }
+        if cfg::on_cycle(&f.code, pc) {
+            out.push(Diag::warning(
+                "N202",
+                fi,
+                f,
+                pc,
+                "create(...; ALL) inside a loop: each iteration replicates the messenger \
+                 to every matching daemon (exponential fan-out)"
+                    .into(),
+            ));
+        }
+    }
+}
+
+/// N203: a `hop`/`delete` destination operand whose static kind can
+/// never name a node or link — the messenger silently dies there.
+fn hop_never_matches(fi: usize, f: &Function, flow: &Flow, out: &mut Vec<Diag>) {
+    for (&pc, &(ln, ll)) in &flow.hop_operands {
+        if let Some(k) = ln.filter(|&k| never_a_name(k) || k == Kind::Null) {
+            out.push(Diag::warning(
+                "N203",
+                fi,
+                f,
+                pc,
+                format!(
+                    "hop destination node is always a {k:?} — it can never match a node \
+                     name, so the statement matches nothing"
+                ),
+            ));
+        }
+        if let Some(k) = ll.filter(|&k| never_a_name(k)) {
+            out.push(Diag::warning(
+                "N203",
+                fi,
+                f,
+                pc,
+                format!(
+                    "hop destination link is always a {k:?} — it can never match a link \
+                     name, so the statement matches nothing"
+                ),
+            ));
+        }
+    }
+}

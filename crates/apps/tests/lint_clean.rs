@@ -1,0 +1,44 @@
+//! Every application program this crate ships must pass the bytecode
+//! verifier (acceptance: a daemon will load it) *and* come back clean
+//! from the navigation / lost-update lints — the apps are the idiom
+//! reference for MSGR-C, so a warning here is a bug in either the app
+//! or the analyzer.
+
+use msgr_apps::graph::BFS_WAVE_SCRIPT;
+use msgr_apps::mandel_msgr::MANAGER_WORKER_SCRIPT;
+use msgr_apps::matmul_msgr::MATMUL_SCRIPTS;
+use msgr_apps::swarm::ANT_SCRIPT;
+use msgr_vm::Program;
+
+fn assert_clean(what: &str, program: &Program) {
+    let infos = msgr_analyze::verify(program).unwrap_or_else(|diags| {
+        let msgs: Vec<String> = diags.iter().map(|d| d.render(program)).collect();
+        panic!("{what} failed verification:\n{}", msgs.join("\n"));
+    });
+    assert_eq!(infos.len(), program.funcs.len());
+    // Every function has a finite, small static stack bound.
+    for (f, info) in program.funcs.iter().zip(&infos) {
+        assert!(info.max_stack <= 64, "`{}` needs {} stack slots?", f.name, info.max_stack);
+    }
+    let report = msgr_analyze::analyze(program);
+    let warnings: Vec<String> = report.warnings().map(|d| d.render(program)).collect();
+    assert!(warnings.is_empty(), "{what} has lint warnings:\n{}", warnings.join("\n"));
+}
+
+#[test]
+fn all_shipped_programs_verify_and_lint_clean() {
+    assert_clean(
+        "mandelbrot manager/worker",
+        &msgr_lang::compile(MANAGER_WORKER_SCRIPT).expect("compiles"),
+    );
+    assert_clean(
+        "matmul distribute_A",
+        &msgr_lang::compile_with_entry(MATMUL_SCRIPTS, "distribute_A").expect("compiles"),
+    );
+    assert_clean(
+        "matmul rotate_B",
+        &msgr_lang::compile_with_entry(MATMUL_SCRIPTS, "rotate_B").expect("compiles"),
+    );
+    assert_clean("ant swarm", &msgr_lang::compile(ANT_SCRIPT).expect("compiles"));
+    assert_clean("BFS wave", &msgr_lang::compile(BFS_WAVE_SCRIPT).expect("compiles"));
+}

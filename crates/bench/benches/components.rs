@@ -121,6 +121,21 @@ fn hop_roundtrip(r: &mut Runner) {
     });
 }
 
+fn verifier(r: &mut Runner) {
+    // Load-time cost of the mobile-code trust boundary: full verify +
+    // lint pass over a real application program. Throughput is bytecode
+    // ops, so this reads as "ops verified per second" next to the
+    // interpreter's "ops dispatched per second".
+    let program = msgr_lang::compile(msgr_apps::mandel_msgr::MANAGER_WORKER_SCRIPT).unwrap();
+    let ops = program.instruction_count() as u64;
+    r.bench_throughput("analyze/verify_manager_worker", Throughput::Elements(ops), || {
+        msgr_analyze::verify(std::hint::black_box(&program)).unwrap()
+    });
+    r.bench_throughput("analyze/full_lint_manager_worker", Throughput::Elements(ops), || {
+        msgr_analyze::analyze(std::hint::black_box(&program))
+    });
+}
+
 fn main() {
     let mut r = Runner::new();
     vm_dispatch(&mut r);
@@ -128,4 +143,5 @@ fn main() {
     gvt_round(&mut r);
     kernels(&mut r);
     hop_roundtrip(&mut r);
+    verifier(&mut r);
 }

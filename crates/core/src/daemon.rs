@@ -35,14 +35,34 @@ use crate::wire::{CreateNode, Migration, Wire};
 /// The cluster-wide code registry — the paper's shared file system: "code
 /// does not need to be carried between nodes but can be loaded as
 /// necessary" (§4).
+///
+/// This is also the trust boundary for mobile code: every program runs
+/// through the `msgr-analyze` bytecode verifier at registration.
+/// Programs that fail are *quarantined* — they keep their content id
+/// (so a messenger referencing one can exist, and its refusal is
+/// observable in-run), but no daemon will ever execute them.
 #[derive(Clone, Default)]
 pub struct CodeCache {
     map: Arc<RwLock<HashMap<ProgramId, Arc<Program>>>>,
+    rejected: Arc<RwLock<HashMap<ProgramId, Quarantined>>>,
+}
+
+/// A program the verifier refused, kept for inspection alongside the
+/// reason it was refused.
+#[derive(Clone)]
+struct Quarantined {
+    program: Arc<Program>,
+    reason: String,
 }
 
 impl std::fmt::Debug for CodeCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CodeCache({} programs)", self.map.read().unwrap().len())
+        write!(
+            f,
+            "CodeCache({} programs, {} quarantined)",
+            self.map.read().unwrap().len(),
+            self.rejected.read().unwrap().len()
+        )
     }
 }
 
@@ -53,15 +73,50 @@ impl CodeCache {
     }
 
     /// Register a program; returns its content id.
+    ///
+    /// The program is verified first. An unverifiable program is
+    /// quarantined rather than stored: its id is still returned (ids
+    /// are content hashes; refusing to mint one hides nothing), but
+    /// [`CodeCache::get`] will never hand it out and daemons fault any
+    /// messenger that tries to run it.
     pub fn register(&self, program: &Program) -> ProgramId {
         let id = program.id();
-        self.map.write().unwrap().entry(id).or_insert_with(|| Arc::new(program.clone()));
+        if self.map.read().unwrap().contains_key(&id) {
+            return id;
+        }
+        match msgr_analyze::verify(program) {
+            Ok(_) => {
+                self.map.write().unwrap().entry(id).or_insert_with(|| Arc::new(program.clone()));
+            }
+            Err(diags) => {
+                let reason = diags.iter().map(|d| d.render(program)).collect::<Vec<_>>().join("; ");
+                self.rejected
+                    .write()
+                    .unwrap()
+                    .entry(id)
+                    .or_insert_with(|| Quarantined { program: Arc::new(program.clone()), reason });
+            }
+        }
         id
     }
 
-    /// Look up a program.
+    /// Look up a *verified* program. Quarantined programs are invisible
+    /// here — use [`CodeCache::rejection`] to see why one was refused.
     pub fn get(&self, id: ProgramId) -> Option<Arc<Program>> {
         self.map.read().unwrap().get(&id).cloned()
+    }
+
+    /// Why `id` was quarantined, if it was.
+    pub fn rejection(&self, id: ProgramId) -> Option<String> {
+        self.rejected.read().unwrap().get(&id).map(|q| q.reason.clone())
+    }
+
+    /// Look up a program *even if quarantined*. Injection paths use
+    /// this so a refusal surfaces as an in-run fault (with the
+    /// `verify_rejected` counter bumped) instead of a registration
+    /// error — the daemon, not the shell, is the trust boundary.
+    pub fn get_any(&self, id: ProgramId) -> Option<Arc<Program>> {
+        self.get(id).or_else(|| self.rejected.read().unwrap().get(&id).map(|q| q.program.clone()))
     }
 
     /// Whether any registered program suspends on virtual time.
@@ -420,8 +475,10 @@ impl Daemon {
     }
 
     /// Look up a program in the shared code registry (platform helper).
+    /// Quarantined programs *are* returned — launching one is allowed;
+    /// the refusal happens (and is counted) when a daemon executes it.
     pub fn codes_get(&self, id: ProgramId) -> Option<Arc<Program>> {
-        self.codes.get(id)
+        self.codes.get_any(id)
     }
 
     /// Iterate this daemon's logical nodes (diagnostics, dumps).
@@ -551,6 +608,18 @@ impl Daemon {
                             // The anti-messenger got here first.
                             fx.push(Effect::LiveDelta(-1));
                             self.stats.bump("annihilations");
+                        } else if let Some(reason) = self.codes.rejection(state.program) {
+                            // Refuse quarantined code at the door — a
+                            // migrating messenger never even enqueues.
+                            self.stats.bump("verify_rejected");
+                            fx.push(Effect::Fault {
+                                messenger: m.id,
+                                error: format!(
+                                    "program {} failed verification: {reason}",
+                                    state.program
+                                ),
+                            });
+                            fx.push(Effect::LiveDelta(-1));
                         } else if self.nodes.contains_key(&m.to.1) {
                             self.enqueue(Runnable { state, at: m.to.1, last: m.via });
                         } else {
@@ -590,7 +659,19 @@ impl Daemon {
                     + cn.messenger.bytes.len() as u64 * c.per_byte_copy_ns;
                 match vmwire::decode_messenger(cn.messenger.bytes.clone()) {
                     Ok(state) => {
-                        self.enqueue(Runnable { state, at: cn.gid, last: Some(cn.inst) });
+                        if let Some(reason) = self.codes.rejection(state.program) {
+                            self.stats.bump("verify_rejected");
+                            fx.push(Effect::Fault {
+                                messenger: cn.messenger.id,
+                                error: format!(
+                                    "program {} failed verification: {reason}",
+                                    state.program
+                                ),
+                            });
+                            fx.push(Effect::LiveDelta(-1));
+                        } else {
+                            self.enqueue(Runnable { state, at: cn.gid, last: Some(cn.inst) });
+                        }
                     }
                     Err(e) => {
                         fx.push(Effect::Fault { messenger: cn.messenger.id, error: e.to_string() });
@@ -945,10 +1026,14 @@ impl Daemon {
             return c.gvt_msg_ns;
         };
         let Some(program) = self.codes.get(run.state.program) else {
-            fx.push(Effect::Fault {
-                messenger: run.state.id,
-                error: format!("program {} not in code registry", run.state.program),
-            });
+            let error = match self.codes.rejection(run.state.program) {
+                Some(reason) => {
+                    self.stats.bump("verify_rejected");
+                    format!("program {} failed verification: {reason}", run.state.program)
+                }
+                None => format!("program {} not in code registry", run.state.program),
+            };
+            fx.push(Effect::Fault { messenger: run.state.id, error });
             fx.push(Effect::LiveDelta(-1));
             return c.gvt_msg_ns;
         };

@@ -466,7 +466,11 @@ impl SimCluster {
         args: &[Value],
         at: NodeRef,
     ) -> Result<MessengerId, ClusterError> {
-        let prog = self.codes.get(program).ok_or(ClusterError::UnknownProgram)?;
+        // `get_any`: a quarantined program may be injected — the daemon
+        // refuses it at execution time with an observable fault, which
+        // is the honest model of a foreign messenger arriving with bad
+        // code.
+        let prog = self.codes.get_any(program).ok_or(ClusterError::UnknownProgram)?;
         let id = self.world.daemons[d as usize]
             .launch(&prog, args, at)
             .map_err(|e| ClusterError::BadInjection(e.to_string()))?;
@@ -494,7 +498,7 @@ impl SimCluster {
         args: &[Value],
         at_seconds: f64,
     ) -> Result<(), ClusterError> {
-        if self.codes.get(program).is_none() {
+        if self.codes.get_any(program).is_none() {
             return Err(ClusterError::UnknownProgram);
         }
         let &(d, gid) = self

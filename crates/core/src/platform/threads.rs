@@ -225,7 +225,10 @@ impl ThreadCluster {
         args: &[Value],
         at: NodeRef,
     ) -> Result<MessengerId, ClusterError> {
-        let prog = self.codes.get(program).ok_or(ClusterError::UnknownProgram)?;
+        // Mirror the sim platform: quarantined code injects fine and is
+        // refused (with a fault + `verify_rejected`) by the executing
+        // daemon.
+        let prog = self.codes.get_any(program).ok_or(ClusterError::UnknownProgram)?;
         let id = self.daemons[d as usize]
             .launch(&prog, args, at)
             .map_err(|e| ClusterError::BadInjection(e.to_string()))?;

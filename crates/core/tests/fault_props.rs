@@ -267,6 +267,82 @@ fn broken_retransmit_is_caught() {
     );
 }
 
+/// Trust boundary under chaos: messengers carrying a program the
+/// verifier rejected are refused **exactly once** each — loss,
+/// duplication, reordering, and crash/restart replay must neither lose
+/// a refusal nor repeat one (a replayed injection that faulted again
+/// would double-count `verify_rejected` and leak a live messenger) —
+/// while verified walkers on the same cluster still complete their
+/// exactly-once delivery.
+#[test]
+fn chaos_quarantined_code_is_refused_exactly_once() {
+    use msgr_vm::{Builder, Op};
+    check_with(chaos_cases(), "chaos_quarantined_code_is_refused_exactly_once", |s| {
+        let mut plan = arb_rates(s);
+        let daemons = s.usize_in(1..9);
+        plan.crashes = arb_crashes(s, daemons);
+        let mut sc = arb_scenario(s, plan);
+        sc.daemons = daemons;
+        sc.nodes = sc.nodes.max(daemons);
+        let bad_msgrs = s.usize_in(1..4);
+
+        let mut topo = LogicalTopology::new();
+        for i in 0..sc.nodes {
+            topo.node(Value::str(format!("p{i}")), DaemonId((i % sc.daemons) as u16));
+        }
+        for i in 0..sc.nodes {
+            topo.link(
+                Value::str(format!("p{i}")),
+                Value::str(format!("p{}", (i + 1) % sc.nodes)),
+                Value::str("ring"),
+                Dir::Forward,
+            );
+        }
+        let mut cfg = ClusterConfig::new(sc.daemons);
+        cfg.seed = sc.seed;
+        cfg.faults = sc.plan.clone();
+        let mut cluster = SimCluster::new(cfg);
+        cluster.build(&topo).map_err(|e| e.to_string())?;
+
+        let pid = cluster.register_program(&msgr_lang::compile(WALK).map_err(|e| e.to_string())?);
+        let mut b = Builder::new();
+        let f = b.function("main", 0, 0, vec![Op::Jump(100)]); // V002: quarantined
+        let bad_pid = cluster.register_program(&b.finish(f));
+
+        for m in 0..sc.msgrs {
+            cluster
+                .inject_at(&Value::str(format!("p{}", m % sc.nodes)), pid, &[Value::Int(sc.passes)])
+                .map_err(|e| e.to_string())?;
+        }
+        for m in 0..bad_msgrs {
+            cluster
+                .inject_at(&Value::str(format!("p{}", m % sc.nodes)), bad_pid, &[])
+                .map_err(|e| e.to_string())?;
+        }
+
+        let report = cluster.run().map_err(|e| e.to_string())?;
+        // Every refusal is a fault naming verification — and nothing else
+        // faults.
+        prop_assert_eq!(report.faults.len(), bad_msgrs);
+        for (_, err) in &report.faults {
+            prop_assert!(err.contains("failed verification"), "unexpected fault: {err}");
+        }
+        prop_assert_eq!(report.stats.counter("verify_rejected"), bad_msgrs as u64);
+        prop_assert_eq!(report.live_leak, 0);
+        // The verified walkers are untouched by their doomed neighbours.
+        let mut visits = 0i64;
+        for i in 0..sc.nodes {
+            if let Some(Value::Int(v)) =
+                cluster.node_var_by_name(&Value::str(format!("p{i}")), "visits")
+            {
+                visits += v;
+            }
+        }
+        prop_assert_eq!(visits, sc.msgrs as i64 * (sc.passes + 1));
+        Ok(())
+    });
+}
+
 /// Soak test: a long bounded run under sustained 10% loss with periodic
 /// crash/restart cycles across every daemon. Ignored by default; run via
 /// `scripts/ci.sh --soak` (or `cargo test -- --ignored`).

@@ -1,0 +1,65 @@
+//! The mobile-code trust boundary, end to end: a program that fails
+//! bytecode verification is quarantined by the code registry, and any
+//! messenger that tries to run it faults with an observable
+//! `verify_rejected` counter — while verified programs on the same
+//! cluster are untouched.
+
+use msgr_core::config::NetKind;
+use msgr_core::{ClusterConfig, CodeCache, SimCluster};
+use msgr_lang::compile;
+use msgr_vm::{Builder, Op, Program, Value};
+
+/// A structurally broken program: its only instruction jumps far out
+/// of bounds (verifier code V002).
+fn bad_program() -> Program {
+    let mut b = Builder::new();
+    let f = b.function("main", 0, 0, vec![Op::Jump(100)]);
+    b.finish(f)
+}
+
+fn sim(n: usize) -> SimCluster {
+    let mut cfg = ClusterConfig::new(n);
+    cfg.net = NetKind::Ideal;
+    SimCluster::new(cfg)
+}
+
+#[test]
+fn code_cache_quarantines_unverifiable_programs() {
+    let cache = CodeCache::new();
+    let bad = bad_program();
+    let id = cache.register(&bad);
+    // The id is minted (content hash), but the program is invisible to
+    // execution lookups and carries a precise rejection reason.
+    assert!(cache.get(id).is_none());
+    let reason = cache.rejection(id).expect("rejection reason recorded");
+    assert!(reason.contains("V002"), "reason: {reason}");
+    assert!(cache.get_any(id).is_some(), "quarantined code still inspectable");
+
+    // A good program is unaffected.
+    let good = compile("main() { node int x; x = 1; }").unwrap();
+    let gid = cache.register(&good);
+    assert!(cache.get(gid).is_some());
+    assert!(cache.rejection(gid).is_none());
+}
+
+#[test]
+fn daemon_refuses_quarantined_program_in_run() {
+    let mut c = sim(2);
+    let bad_id = c.register_program(&bad_program());
+    let good = compile("main() { node int ok; ok = 1; }").unwrap();
+    let good_id = c.register_program(&good);
+
+    // Injection succeeds — the daemon, not the shell, is the boundary.
+    c.inject(0, bad_id, &[]).unwrap();
+    c.inject(1, good_id, &[]).unwrap();
+
+    let report = c.run().unwrap();
+    // Exactly one refusal, as a fault naming verification.
+    assert_eq!(report.stats.counter("verify_rejected"), 1);
+    assert_eq!(report.faults.len(), 1, "faults: {:?}", report.faults);
+    assert!(report.faults[0].1.contains("failed verification"), "fault: {}", report.faults[0].1);
+    assert!(report.faults[0].1.contains("V002"), "fault: {}", report.faults[0].1);
+    // Accounting stays clean and the good messenger ran to completion.
+    assert_eq!(report.live_leak, 0);
+    assert_eq!(c.node_var(1, &Value::str("init"), "ok"), Some(Value::Int(1)));
+}

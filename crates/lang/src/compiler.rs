@@ -28,6 +28,8 @@ struct FnCompiler<'a> {
     builder: &'a mut Builder,
     signatures: &'a HashMap<String, (u16, u8)>,
     code: Vec<Op>,
+    lines: Vec<u32>,
+    cur_line: u32,
     scopes: Vec<HashMap<String, Binding>>,
     next_slot: u16,
     max_slot: u16,
@@ -40,6 +42,8 @@ impl<'a> FnCompiler<'a> {
             builder,
             signatures,
             code: Vec::new(),
+            lines: Vec::new(),
+            cur_line: 0,
             scopes: vec![HashMap::new()],
             next_slot: 0,
             max_slot: 0,
@@ -75,7 +79,14 @@ impl<'a> FnCompiler<'a> {
 
     fn emit(&mut self, op: Op) -> usize {
         self.code.push(op);
+        self.lines.push(self.cur_line);
         self.code.len() - 1
+    }
+
+    /// Record the source line the next emitted ops belong to, for the
+    /// debug line table consumed by `msgr-analyze` diagnostics.
+    fn at(&mut self, pos: Pos) {
+        self.cur_line = pos.line;
     }
 
     fn here(&self) -> usize {
@@ -137,6 +148,7 @@ impl<'a> FnCompiler<'a> {
     }
 
     fn expr(&mut self, e: &Expr) -> Result<(), LangError> {
+        self.at(e.pos());
         match e {
             Expr::Int(v, _) => {
                 let op = self.const_op(Value::Int(*v));
@@ -419,8 +431,18 @@ impl<'a> FnCompiler<'a> {
 
     fn stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
         match s {
+            Stmt::Return(_, pos)
+            | Stmt::Break(pos)
+            | Stmt::Continue(pos)
+            | Stmt::Hop(_, pos)
+            | Stmt::Create(_, pos)
+            | Stmt::Delete(_, pos) => self.at(*pos),
+            _ => {}
+        }
+        match s {
             Stmt::Decl { ty, decls } => {
                 for d in decls {
+                    self.at(d.pos);
                     // Evaluate the initializer before the name is in
                     // scope (C's `int x = x;` footgun is a compile error
                     // here, which is strictly safer).
@@ -448,6 +470,7 @@ impl<'a> FnCompiler<'a> {
                 // zero, so counter idioms need no initialization). An
                 // explicit initializer (or array size) does store.
                 for d in decls {
+                    self.at(d.pos);
                     self.declare_node_var(&d.name);
                     if let Some(size) = &d.array_size {
                         // Materialize the array only if the node variable
@@ -590,16 +613,19 @@ impl<'a> FnCompiler<'a> {
             Stmt::Hop(args, pos) => {
                 let spec = self.hop_args(args, *pos)?;
                 let i = self.builder.hop_spec(spec);
+                self.at(*pos);
                 self.emit(Op::Hop(i));
             }
             Stmt::Delete(args, pos) => {
                 let spec = self.hop_args(args, *pos)?;
                 let i = self.builder.hop_spec(spec);
+                self.at(*pos);
                 self.emit(Op::Delete(i));
             }
             Stmt::Create(args, pos) => {
                 let spec = self.create_args(args, *pos)?;
                 let i = self.builder.create_spec(spec);
+                self.at(*pos);
                 self.emit(Op::Create(i));
             }
             Stmt::Block(body) => self.stmts(body)?,
@@ -648,12 +674,13 @@ pub fn compile_ast(script: &Script) -> Result<Program, LangError> {
         }
         let max_slot = fc.max_slot;
         let code = fc.code;
-        compiled.push((f.name.clone(), f.params.len() as u8, max_slot, code));
+        let lines = fc.lines;
+        compiled.push((f.name.clone(), f.params.len() as u8, max_slot, code, lines));
     }
     let mut entry = None;
-    for (name, arity, n_slots, code) in compiled {
+    for (name, arity, n_slots, code, lines) in compiled {
         let extra = n_slots - arity as u16;
-        let id = builder.function(name, arity, extra, code);
+        let id = builder.function_with_lines(name, arity, extra, code, lines);
         if entry.is_none() {
             entry = Some(id);
         }

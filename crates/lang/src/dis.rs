@@ -1,6 +1,13 @@
 //! Bytecode disassembler, for debugging and golden tests.
+//!
+//! Jump targets print as block labels (`L0:`, `L1:`, …) computed by
+//! `msgr_analyze::block_labels`, the same labels `msgr-lint`
+//! diagnostics reference — so a warning "at pc 14 (L2)" points at a
+//! labelled line in the listing.
 
+use msgr_analyze::block_labels;
 use msgr_vm::{Op, Program};
+use std::collections::BTreeMap;
 
 /// Render a whole program as assembly-like text.
 pub fn disassemble(p: &Program) -> String {
@@ -21,14 +28,32 @@ pub fn disassemble(p: &Program) -> String {
             "\nfn {}({} args, {} slots){}:\n",
             f.name, f.arity, f.n_slots, marker
         ));
+        let labels = block_labels(f);
         for (pc, op) in f.code.iter().enumerate() {
-            out.push_str(&format!("  {pc:4}  {}\n", render(p, *op, pc)));
+            if let Some(l) = labels.get(&pc) {
+                out.push_str(&format!("L{l}:\n"));
+            }
+            out.push_str(&format!("  {pc:4}  {}\n", render(p, *op, pc, &labels)));
+        }
+        if let Some(l) = labels.get(&f.code.len()) {
+            // A jump to one past the end is the implicit `return NULL`.
+            out.push_str(&format!("L{l}:  ; end of function\n"));
         }
     }
     out
 }
 
-fn render(p: &Program, op: Op, pc: usize) -> String {
+fn label(labels: &BTreeMap<usize, usize>, pc: usize, off: i32) -> String {
+    let target = pc as i64 + 1 + off as i64;
+    match usize::try_from(target).ok().and_then(|t| labels.get(&t)) {
+        Some(l) => format!("L{l}"),
+        // Out-of-range target (never produced by the compiler; shown
+        // raw so broken programs still disassemble).
+        None => format!("-> {target}"),
+    }
+}
+
+fn render(p: &Program, op: Op, pc: usize, labels: &BTreeMap<usize, usize>) -> String {
     match op {
         Op::Const(i) => format!("const     {:?}", p.consts[i as usize]),
         Op::LoadLocal(i) => format!("lload     {i}"),
@@ -36,10 +61,10 @@ fn render(p: &Program, op: Op, pc: usize) -> String {
         Op::LoadNode(i) => format!("nload     {:?}", p.consts[i as usize]),
         Op::StoreNode(i) => format!("nstore    {:?}", p.consts[i as usize]),
         Op::LoadNet(v) => format!("netload   {v:?}"),
-        Op::Jump(o) => format!("jmp       -> {}", pc as i64 + 1 + o as i64),
-        Op::JumpIfFalse(o) => format!("jfalse    -> {}", pc as i64 + 1 + o as i64),
-        Op::JumpIfTruePeek(o) => format!("jtrue.pk  -> {}", pc as i64 + 1 + o as i64),
-        Op::JumpIfFalsePeek(o) => format!("jfalse.pk -> {}", pc as i64 + 1 + o as i64),
+        Op::Jump(o) => format!("jmp       {}", label(labels, pc, o)),
+        Op::JumpIfFalse(o) => format!("jfalse    {}", label(labels, pc, o)),
+        Op::JumpIfTruePeek(o) => format!("jtrue.pk  {}", label(labels, pc, o)),
+        Op::JumpIfFalsePeek(o) => format!("jfalse.pk {}", label(labels, pc, o)),
         Op::Call { f, argc } => {
             format!("call      {}/{argc}", p.funcs[f as usize].name)
         }
@@ -83,16 +108,29 @@ mod tests {
     }
 
     #[test]
-    fn jump_targets_render_as_absolute_pcs() {
+    fn jump_targets_render_as_block_labels() {
         let p = compile("main() { int i; while (i < 2) i = i + 1; }").unwrap();
         let text = disassemble(&p);
-        // Every rendered jump target must be a valid pc.
-        let code_len = p.funcs[0].code.len() as i64;
+        // Every rendered jump must reference a label that is also
+        // defined as a `L<n>:` line; no raw offsets remain.
+        let mut defined = std::collections::BTreeSet::new();
         for line in text.lines() {
-            if let Some(idx) = line.find("-> ") {
-                let target: i64 = line[idx + 3..].trim().parse().unwrap();
-                assert!((0..=code_len).contains(&target), "bad target in {line}");
+            if let Some(rest) = line.strip_prefix('L') {
+                if let Some(colon) = rest.find(':') {
+                    defined.insert(rest[..colon].to_string());
+                }
             }
         }
+        let mut referenced = 0;
+        for line in text.lines() {
+            if line.contains("jmp") || line.contains("jfalse") || line.contains("jtrue") {
+                assert!(!line.contains("-> "), "raw jump target leaked: {line}");
+                let l = line.rfind('L').expect("jump without label");
+                let name = line[l + 1..].trim();
+                assert!(defined.contains(name), "undefined label L{name} in {line}");
+                referenced += 1;
+            }
+        }
+        assert!(referenced >= 2, "while loop should have at least two jumps");
     }
 }

@@ -119,7 +119,21 @@ impl std::error::Error for LangError {}
 /// Returns a [`LangError`] describing the first problem found.
 pub fn compile(source: &str) -> Result<Program, LangError> {
     let script = parse(source)?;
-    compile_ast(&script)
+    let program = compile_ast(&script)?;
+    debug_assert_verified(&program);
+    Ok(program)
+}
+
+/// Compiler-soundness net: in debug builds every compiled program is
+/// run through the `msgr-analyze` bytecode verifier. The compiler must
+/// never emit code a daemon would refuse to load.
+fn debug_assert_verified(program: &Program) {
+    if cfg!(debug_assertions) {
+        if let Err(diags) = msgr_analyze::verify(program) {
+            let rendered: Vec<String> = diags.iter().map(|d| d.render(program)).collect();
+            panic!("compiler emitted unverifiable bytecode:\n{}", rendered.join("\n"));
+        }
+    }
 }
 
 /// Compile with an explicit entry function name.
@@ -133,6 +147,7 @@ pub fn compile_with_entry(source: &str, entry: &str) -> Result<Program, LangErro
     match program.function_named(entry) {
         Some(f) => {
             program.entry = f;
+            debug_assert_verified(&program);
             Ok(program)
         }
         None => Err(LangError {

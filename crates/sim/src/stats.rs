@@ -95,8 +95,8 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
-        if !(q > 0.0) {
-            // Also catches NaN: treat it like q = 0.
+        if q.is_nan() || q <= 0.0 {
+            // NaN is treated like q = 0.
             return self.min();
         }
         if q >= 1.0 {

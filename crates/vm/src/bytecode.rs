@@ -260,6 +260,19 @@ pub struct Function {
     /// The code. Execution falls off the end as an implicit
     /// `return NULL`.
     pub code: Vec<Op>,
+    /// Source line of each instruction, parallel to `code`. Empty when
+    /// the program was assembled without debug info (hand-built
+    /// programs); the verifier and `msgr-lint` use it to attach source
+    /// spans to diagnostics.
+    pub lines: Vec<u32>,
+}
+
+impl Function {
+    /// The source line of the instruction at `pc`, if debug info is
+    /// present.
+    pub fn line_at(&self, pc: usize) -> Option<u32> {
+        self.lines.get(pc).copied().filter(|&l| l != 0)
+    }
 }
 
 /// A compiled MSGR-C program: constant pool, functions, navigation
@@ -375,12 +388,26 @@ impl Builder {
         extra_slots: u16,
         code: Vec<Op>,
     ) -> FuncId {
+        self.function_with_lines(name, arity, extra_slots, code, Vec::new())
+    }
+
+    /// Add a function with a per-instruction source-line table
+    /// (parallel to `code`; pass an empty vec for no debug info).
+    pub fn function_with_lines(
+        &mut self,
+        name: impl Into<String>,
+        arity: u8,
+        extra_slots: u16,
+        code: Vec<Op>,
+        lines: Vec<u32>,
+    ) -> FuncId {
         let id = FuncId(self.funcs.len() as u16);
         self.funcs.push(Function {
             name: name.into(),
             arity,
             n_slots: arity as u16 + extra_slots,
             code,
+            lines,
         });
         id
     }

@@ -559,6 +559,12 @@ pub fn encode_program(p: &Program) -> Bytes {
         for op in &f.code {
             put_op(&mut buf, op);
         }
+        // Debug info travels with the code so a shipped program keeps
+        // its content id (`Program::id` hashes the line table too).
+        put_varint(&mut buf, f.lines.len() as u64);
+        for &line in &f.lines {
+            put_varint(&mut buf, line as u64);
+        }
     }
     put_varint(&mut buf, p.hop_specs.len() as u64);
     for s in &p.hop_specs {
@@ -618,7 +624,15 @@ pub fn decode_program(mut buf: Bytes) -> Result<Program, VmError> {
         for _ in 0..ni {
             code.push(get_op(&mut buf)?);
         }
-        funcs.push(Function { name, arity, n_slots, code });
+        let nl = get_varint(&mut buf)? as usize;
+        if nl > 1 << 24 {
+            return Err(err("absurd line table length"));
+        }
+        let mut lines = Vec::with_capacity(nl);
+        for _ in 0..nl {
+            lines.push(get_varint(&mut buf)? as u32);
+        }
+        funcs.push(Function { name, arity, n_slots, code, lines });
     }
     let nh = get_varint(&mut buf)? as usize;
     let mut hop_specs = Vec::with_capacity(nh.min(1024));

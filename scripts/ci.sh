@@ -35,6 +35,17 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --offline =="
 cargo test -q --offline --workspace
 
+echo "== lint: msgr-lint over all MSGR-C sources =="
+# Static analysis of every navigation program we ship: the .mc example
+# scripts plus the programs embedded in msgr-apps. Warnings are denied —
+# in-tree code is the idiom reference and must stay clean.
+cargo build --release --offline --bin msgr-lint
+find examples -name '*.mc' -print0 \
+    | xargs -0 ./target/release/msgr-lint --deny-warnings --builtin
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== chaos: fault-injection property sweep =="
 # Two pinned fault seeds (regression anchors) plus one fresh seed per CI
 # run. MSGR_FAULT_SEED perturbs every cluster seed in the chaos suite;

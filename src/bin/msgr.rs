@@ -72,6 +72,15 @@ fn main() -> ExitCode {
     match cmd {
         "check" => match messengers::lang::compile(&source) {
             Ok(p) => {
+                // Run the same static analysis the daemon registry
+                // applies at load time, so `check` means "will load".
+                let report = messengers::analyze::analyze(&p);
+                for d in &report.diags {
+                    println!("{}", d.render(&p));
+                }
+                if !report.is_verified() {
+                    return fail("program failed verification");
+                }
                 println!(
                     "ok: {} function(s), {} bytecode ops, program {}",
                     p.funcs.len(),

@@ -1,0 +1,154 @@
+//! `msgr-lint` — static analysis for MSGR-C scripts and compiled
+//! Messenger bytecode.
+//!
+//! Compiles each script, runs the `msgr-analyze` verifier and
+//! navigation / lost-update lints, and prints human-readable
+//! diagnostics with the same `L<n>` block labels the disassembler
+//! uses. Exit status is non-zero when any program fails verification
+//! (or, under `--deny-warnings`, when any lint fires).
+//!
+//! ```text
+//! msgr-lint [options] <script.mc>...
+//!     --deny-warnings      treat lint warnings as errors
+//!     --builtin            also lint the programs embedded in msgr-apps
+//!     --quiet              print only diagnostics, not per-file summaries
+//! ```
+//!
+//! `scripts/ci.sh` runs `msgr-lint --deny-warnings --builtin` over every
+//! `.mc` source in the repository, so shipped navigation code stays
+//! warning-clean.
+
+use std::process::ExitCode;
+
+use messengers::analyze::{self, Severity};
+use messengers::vm::Program;
+
+struct Outcome {
+    errors: usize,
+    warnings: usize,
+}
+
+fn lint_program(what: &str, program: &Program, quiet: bool) -> Outcome {
+    let report = analyze::analyze(program);
+    let mut out = Outcome { errors: 0, warnings: 0 };
+    for d in &report.diags {
+        match d.severity {
+            Severity::Error => out.errors += 1,
+            Severity::Warning => out.warnings += 1,
+        }
+        println!("{what}: {}", d.render(program));
+    }
+    if !quiet {
+        let verdict = if out.errors > 0 {
+            "REJECTED"
+        } else if out.warnings > 0 {
+            "ok (with warnings)"
+        } else {
+            "ok"
+        };
+        let stack = report.funcs.iter().flatten().map(|i| i.max_stack).max().unwrap_or(0);
+        println!(
+            "{what}: {verdict} — {} function(s), {} op(s), max stack {stack}",
+            program.funcs.len(),
+            program.instruction_count(),
+        );
+    }
+    out
+}
+
+/// The navigation programs embedded in `msgr-apps` — linted with
+/// `--builtin` so the in-tree idiom reference stays clean.
+fn builtin_programs() -> Vec<(&'static str, Program)> {
+    use messengers::apps::{graph, mandel_msgr, matmul_msgr, swarm};
+    use messengers::lang::{compile, compile_with_entry};
+    vec![
+        (
+            "builtin:mandel/manager_worker",
+            compile(mandel_msgr::MANAGER_WORKER_SCRIPT).expect("embedded script compiles"),
+        ),
+        (
+            "builtin:matmul/distribute_A",
+            compile_with_entry(matmul_msgr::MATMUL_SCRIPTS, "distribute_A")
+                .expect("embedded script compiles"),
+        ),
+        (
+            "builtin:matmul/rotate_B",
+            compile_with_entry(matmul_msgr::MATMUL_SCRIPTS, "rotate_B")
+                .expect("embedded script compiles"),
+        ),
+        ("builtin:swarm/ant", compile(swarm::ANT_SCRIPT).expect("embedded script compiles")),
+        (
+            "builtin:graph/bfs_wave",
+            compile(graph::BFS_WAVE_SCRIPT).expect("embedded script compiles"),
+        ),
+    ]
+}
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut builtin = false;
+    let mut quiet = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--builtin" => builtin = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: msgr-lint [--deny-warnings] [--builtin] [--quiet] <script.mc>...");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("msgr-lint: unknown option `{other}`");
+                return ExitCode::FAILURE;
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() && !builtin {
+        eprintln!("msgr-lint: nothing to lint (pass scripts and/or --builtin)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut total = Outcome { errors: 0, warnings: 0 };
+    for path in &paths {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("msgr-lint: cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let program = match messengers::lang::compile(&source) {
+            Ok(p) => p,
+            Err(e) => {
+                // A compile error is as fatal as a verification error.
+                println!("{path}: error[compile]: {e}");
+                total.errors += 1;
+                continue;
+            }
+        };
+        let o = lint_program(path, &program, quiet);
+        total.errors += o.errors;
+        total.warnings += o.warnings;
+    }
+    if builtin {
+        for (what, program) in builtin_programs() {
+            let o = lint_program(what, &program, quiet);
+            total.errors += o.errors;
+            total.warnings += o.warnings;
+        }
+    }
+
+    if total.errors > 0 || (deny_warnings && total.warnings > 0) {
+        eprintln!(
+            "msgr-lint: {} error(s), {} warning(s){}",
+            total.errors,
+            total.warnings,
+            if deny_warnings { " (warnings denied)" } else { "" }
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

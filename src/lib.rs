@@ -33,6 +33,7 @@
 //! | Crate | Role |
 //! |---|---|
 //! | [`lang`] | MSGR-C: the C-subset scripting language with `hop`/`create`/`delete` |
+//! | [`analyze`] | Bytecode verifier + navigation lints; the mobile-code trust layer |
 //! | [`vm`] | Bytecode VM; messenger state is plain serializable data |
 //! | [`core`] | Daemons, logical networks, navigation, injection; simulated + threaded platforms |
 //! | [`gvt`] | Global virtual time: conservative protocol + Time-Warp rollback |
@@ -70,6 +71,7 @@
 
 #![warn(missing_docs)]
 
+pub use msgr_analyze as analyze;
 pub use msgr_apps as apps;
 pub use msgr_core as core;
 pub use msgr_gvt as gvt;
