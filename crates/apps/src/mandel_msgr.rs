@@ -252,6 +252,30 @@ mod tests {
     }
 
     #[test]
+    fn sim_survives_permanent_worker_kill() {
+        use msgr_sim::{CrashEvent, FaultPlan, MILLI};
+        let work = tiny_work();
+        let calib = Calib::default();
+        let (_, expected) = render_sequential(&work, &calib);
+        let mut cfg = ClusterConfig::new(4);
+        cfg.seed = 7;
+        cfg.faults =
+            FaultPlan { crashes: vec![CrashEvent::kill(2, 3 * MILLI)], ..FaultPlan::none() };
+        let run = run_sim(&work, 4, &calib, cfg.clone()).unwrap();
+        // The image must be exact despite losing a worker daemon:
+        // failover restores its node and replays uncheckpointed blocks
+        // (deposits are idempotent, so replay cannot corrupt the image).
+        assert_eq!(run.checksum, expected);
+        assert_eq!(run.stats.counter("kills"), 1);
+        assert_eq!(run.stats.counter("restores"), 1);
+        assert!(run.stats.counter("checkpoints") > 0);
+        // Bit-reproducible: the same seed replays the same recovery.
+        let again = run_sim(&work, 4, &calib, cfg).unwrap();
+        assert_eq!(again.checksum, run.checksum);
+        assert_eq!(again.seconds.to_bits(), run.seconds.to_bits());
+    }
+
+    #[test]
     fn threads_compute_the_real_image() {
         let scene = MandelScene::paper(64, 4);
         let work = MandelWork::compute(scene);

@@ -1,0 +1,5 @@
+//! Ablation: permanent daemon death — detection, failover, and replay
+//! cost vs when the worker dies. Emits JSON.
+fn main() {
+    println!("{}", msgr_bench::ablation_recovery());
+}

@@ -435,6 +435,74 @@ pub fn ablation_faults() -> String {
     )
 }
 
+/// Ablation: permanent daemon death — failure detection, failover, and
+/// replay cost as a function of when the worker dies. Emits JSON.
+///
+/// One Mandelbrot workload, one victim daemon, kill times swept from
+/// "almost at startup" to "deep into the run". Later kills lose more
+/// uncheckpointed work and replay more blocks, so `seconds` degrades
+/// visibly relative to the fault-free baseline while the image checksum
+/// stays exact. Counters expose the recovery pipeline: `fd_deaths`
+/// (detector verdicts), `restores`/`restored_*` (failover),
+/// `xport_redirected` (in-flight reroute), `recovery_latency_ms`
+/// (death verdict → daemon restored).
+///
+/// # Panics
+///
+/// Panics if any run fails or produces a wrong image.
+pub fn ablation_recovery() -> String {
+    use msgr_sim::{CrashEvent, FaultPlan, MILLI};
+    let calib = Calib::default();
+    let procs = 8usize;
+    let work = Arc::new(MandelWork::compute(MandelScene::paper(128, 8)));
+    let (_, expected) = render_sequential(&work, &calib);
+
+    let run_with = |plan: FaultPlan| {
+        let mut cfg = ClusterConfig::new(procs);
+        cfg.seed = 42;
+        cfg.faults = plan;
+        mandel_msgr::run_sim(&work, procs, &calib, cfg).expect("messenger run")
+    };
+
+    let baseline = run_with(FaultPlan::none());
+    assert_eq!(baseline.checksum, expected, "baseline image corrupted");
+
+    let mut runs = vec![format!(
+        "    {{\"kill_at_ms\": null, \"seconds\": {:.6}, \"slowdown\": 1.0}}",
+        baseline.seconds
+    )];
+    for at_ms in [5u64, 20, 50, 100] {
+        let plan =
+            FaultPlan { crashes: vec![CrashEvent::kill(3, at_ms * MILLI)], ..FaultPlan::none() };
+        let r = run_with(plan);
+        assert_eq!(r.checksum, expected, "image corrupted with kill at {at_ms} ms");
+        assert_eq!(r.stats.counter("kills"), 1, "kill at {at_ms} ms never fired");
+        assert_eq!(r.stats.counter("restores"), 1, "no failover for kill at {at_ms} ms");
+        runs.push(format!(
+            concat!(
+                "    {{\"kill_at_ms\": {}, \"seconds\": {:.6}, \"slowdown\": {:.4}, ",
+                "\"checkpoints\": {}, \"fd_deaths\": {}, \"evictions\": {}, ",
+                "\"restored_nodes\": {}, \"restored_messengers\": {}, ",
+                "\"xport_redirected\": {}, \"recovery_latency_ms\": {:.3}}}"
+            ),
+            at_ms,
+            r.seconds,
+            r.seconds / baseline.seconds,
+            r.stats.counter("checkpoints"),
+            r.stats.counter("fd_deaths"),
+            r.stats.counter("evictions"),
+            r.stats.counter("restored_nodes"),
+            r.stats.counter("restored_messengers"),
+            r.stats.counter("xport_redirected"),
+            r.stats.counter("recovery_latency_ns") as f64 / 1e6,
+        ));
+    }
+    format!(
+        "{{\n  \"ablation\": \"recovery\",\n  \"workload\": \"mandelbrot 128x128, 8x8 grid, {procs} procs, kill daemon 3\",\n  \"runs\": [\n{}\n  ]\n}}",
+        runs.join(",\n")
+    )
+}
+
 /// The code-size comparison (§3.1.1 / §3.2.1).
 pub fn text_codesize() -> Table {
     let mut table = Table::new(

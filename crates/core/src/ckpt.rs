@@ -1,0 +1,118 @@
+//! Checkpoint storage: where daemon snapshots survive their owner.
+//!
+//! The recovery model is pessimistic (output-commit): a daemon's durable
+//! effects are released only together with a snapshot that can replay
+//! them, so the store is the single source of truth after a permanent
+//! death. The simulation platform keeps snapshots in host memory that
+//! outlives the simulated daemon ([`MemStore`]); the threads platform
+//! writes them to disk ([`FileStore`]) when the cluster is configured
+//! with a checkpoint directory.
+
+use msgr_vm::bytes::Bytes;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use crate::ids::DaemonId;
+
+/// Durable storage for per-daemon checkpoint snapshots. One slot per
+/// daemon: a new snapshot atomically replaces the previous one (the
+/// classic last-checkpoint discipline — nothing older is ever needed,
+/// because the flush preceding each snapshot committed everything the
+/// snapshot covers).
+pub trait CheckpointStore {
+    /// Replace daemon `d`'s snapshot.
+    fn put(&mut self, d: DaemonId, snapshot: Bytes);
+    /// Fetch daemon `d`'s latest snapshot, if it ever checkpointed.
+    fn get(&self, d: DaemonId) -> Option<Bytes>;
+}
+
+/// In-memory store — "durable" relative to the simulated cluster, i.e.
+/// it lives in the host simulator, not in any simulated daemon.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    slots: HashMap<u16, Bytes>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+}
+
+impl CheckpointStore for MemStore {
+    fn put(&mut self, d: DaemonId, snapshot: Bytes) {
+        self.slots.insert(d.0, snapshot);
+    }
+
+    fn get(&self, d: DaemonId) -> Option<Bytes> {
+        self.slots.get(&d.0).cloned()
+    }
+}
+
+/// File-backed store: one `daemon-<id>.ckpt` per daemon under the
+/// configured directory, written via a temp file + rename so a crash
+/// mid-write never corrupts the previous snapshot.
+#[derive(Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+}
+
+impl FileStore {
+    /// A store rooted at `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directory.
+    pub fn new(dir: PathBuf) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileStore { dir })
+    }
+
+    fn path(&self, d: DaemonId) -> PathBuf {
+        self.dir.join(format!("daemon-{}.ckpt", d.0))
+    }
+}
+
+impl CheckpointStore for FileStore {
+    fn put(&mut self, d: DaemonId, snapshot: Bytes) {
+        let tmp = self.dir.join(format!("daemon-{}.ckpt.tmp", d.0));
+        // Failures degrade to "no checkpoint", which recovery treats as
+        // a daemon that never checkpointed — safe, just lossier.
+        if std::fs::write(&tmp, snapshot.as_ref()).is_ok() {
+            let _ = std::fs::rename(&tmp, self.path(d));
+        }
+    }
+
+    fn get(&self, d: DaemonId) -> Option<Bytes> {
+        std::fs::read(self.path(d)).ok().map(Bytes::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_round_trips_and_replaces() {
+        let mut s = MemStore::new();
+        assert!(s.get(DaemonId(1)).is_none());
+        s.put(DaemonId(1), Bytes::from(vec![1, 2, 3]));
+        assert_eq!(s.get(DaemonId(1)).unwrap().as_ref(), &[1, 2, 3]);
+        s.put(DaemonId(1), Bytes::from(vec![9]));
+        assert_eq!(s.get(DaemonId(1)).unwrap().as_ref(), &[9], "new snapshot replaces old");
+        assert!(s.get(DaemonId(2)).is_none(), "slots are per daemon");
+    }
+
+    #[test]
+    fn file_store_round_trips() {
+        let dir = std::env::temp_dir().join(format!("msgr-ckpt-test-{}", std::process::id()));
+        let mut s = FileStore::new(dir.clone()).expect("create store dir");
+        assert!(s.get(DaemonId(0)).is_none());
+        s.put(DaemonId(0), Bytes::from(vec![42; 100]));
+        assert_eq!(s.get(DaemonId(0)).unwrap().len(), 100);
+        s.put(DaemonId(0), Bytes::from(vec![7]));
+        assert_eq!(s.get(DaemonId(0)).unwrap().as_ref(), &[7]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

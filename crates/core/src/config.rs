@@ -109,6 +109,45 @@ impl Default for RetransmitPolicy {
     }
 }
 
+/// Failure-detection and checkpoint cadence of the crash-recovery
+/// subsystem, active only when the cluster's [`FaultPlan`] contains a
+/// permanent kill (`down_for: None`).
+///
+/// All times are simulated time. The defaults keep a comfortable margin
+/// over the retransmission layer: a peer is suspected only after two
+/// missed heartbeats and declared dead only after an outage longer than
+/// any transient crash the chaos suites schedule, so fail-recover
+/// windows never trigger spurious failover.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Interval between heartbeat rounds. Liveness is also refreshed by
+    /// any data/ack traffic from a peer (heartbeats piggyback on the
+    /// reliable transport's envelopes).
+    pub heartbeat_every: SimTime,
+    /// Silence after which a peer is *suspected* (soft state, reported
+    /// in `Stats` only).
+    pub suspect_after: SimTime,
+    /// Silence after which a peer is declared *dead* — monotone: a dead
+    /// peer never rejoins. Must exceed the longest transient crash
+    /// window plus one heartbeat, or failover fires on a host that was
+    /// about to restart.
+    pub dead_after: SimTime,
+    /// Interval between checkpoint snapshots of each daemon's durable
+    /// state (node variables, parked messengers, transport channels).
+    pub checkpoint_every: SimTime,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            heartbeat_every: 20 * MILLI,
+            suspect_after: 60 * MILLI,
+            dead_after: 240 * MILLI,
+            checkpoint_every: 40 * MILLI,
+        }
+    }
+}
+
 /// Whether the GVT service runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum VtService {
@@ -154,6 +193,13 @@ pub struct ClusterConfig {
     pub faults: FaultPlan,
     /// Retransmission policy used when `faults` is active.
     pub retransmit: RetransmitPolicy,
+    /// Failure-detection and checkpoint cadence, used when `faults`
+    /// contains a permanent kill.
+    pub recovery: RecoveryPolicy,
+    /// Directory for file-backed checkpoints on the threads platform.
+    /// `None` (the default) keeps checkpoints in memory (simulation) or
+    /// disables them (threads).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl ClusterConfig {
@@ -178,6 +224,8 @@ impl ClusterConfig {
             segment_fuel: msgr_vm::interp::DEFAULT_FUEL,
             faults: FaultPlan::none(),
             retransmit: RetransmitPolicy::default(),
+            recovery: RecoveryPolicy::default(),
+            checkpoint_dir: None,
         }
     }
 
@@ -186,6 +234,14 @@ impl ClusterConfig {
     /// `false` and the transport adds zero cost and zero wire bytes.
     pub fn reliable(&self) -> bool {
         !self.faults.is_none()
+    }
+
+    /// `true` iff the crash-recovery subsystem (failure detector,
+    /// checkpointing, failover) must run: the fault plan can kill a
+    /// daemon permanently. Transient fail-recover plans keep the PR 2
+    /// behavior bit-identical.
+    pub fn recovery_armed(&self) -> bool {
+        self.faults.has_kills()
     }
 }
 
@@ -211,8 +267,20 @@ mod tests {
         c.faults = FaultPlan::lossy(0.1);
         assert!(c.reliable());
         let mut c = ClusterConfig::new(2);
-        c.faults.crashes.push(msgr_sim::CrashEvent { host: 1, at: MILLI, down_for: MILLI });
+        c.faults.crashes.push(msgr_sim::CrashEvent::transient(1, MILLI, MILLI));
         assert!(c.reliable(), "crash-only plans still need acks to recover frames");
+        assert!(!c.recovery_armed(), "transient crashes must not arm recovery");
+        c.faults.crashes.push(msgr_sim::CrashEvent::kill(1, 10 * MILLI));
+        assert!(c.recovery_armed(), "a permanent kill arms recovery");
+    }
+
+    #[test]
+    fn recovery_policy_defaults_are_ordered() {
+        let r = RecoveryPolicy::default();
+        assert!(r.heartbeat_every > 0);
+        assert!(r.suspect_after >= 2 * r.heartbeat_every, "suspect only after missed beats");
+        assert!(r.dead_after > r.suspect_after, "dead strictly after suspect");
+        assert!(r.checkpoint_every > 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use msgr_vm::bytes::Bytes;
+use msgr_vm::bytes::{Bytes, BytesMut};
 use std::sync::RwLock;
 
 use std::collections::BTreeMap;
@@ -30,7 +30,7 @@ use crate::config::{ClusterConfig, RetransmitPolicy, VtMode};
 use crate::ids::{DaemonId, NodeRef};
 use crate::logical::{LinkRec, LogicalNode, Orient};
 use crate::topology::DaemonTopology;
-use crate::wire::{CreateNode, Migration, Wire};
+use crate::wire::{self as wirecodec, CreateNode, Migration, Wire};
 
 /// The cluster-wide code registry — the paper's shared file system: "code
 /// does not need to be carried between nodes but can be loaded as
@@ -175,16 +175,29 @@ pub enum Effect {
         name: Value,
     },
     /// (Reliable transport only.) Ask the platform to call
-    /// [`Daemon::on_timer`] for `(peer, seq)` after `delay` has elapsed,
-    /// so an unacknowledged frame can be retransmitted. Harmless if the
-    /// ack arrives first: the timer callback finds nothing to resend.
+    /// [`Daemon::on_timer`] for the channel `(src, chan)` and sequence
+    /// `seq` after `delay` has elapsed, so an unacknowledged frame can be
+    /// retransmitted. Harmless if the ack arrives first: the timer
+    /// callback finds nothing to resend.
     Timer {
-        /// Peer daemon the frame was sent to.
-        peer: DaemonId,
+        /// The channel's original sender ([`Wire::Data::src`]) — this
+        /// daemon itself except for channels adopted during a failover.
+        src: DaemonId,
+        /// The channel's original receiver ([`Wire::Data::chan`]).
+        chan: DaemonId,
         /// Transport sequence number of the frame.
         seq: u64,
         /// Delay from now until the timer fires.
         delay: SimTime,
+    },
+    /// (Crash recovery only.) This daemon has declared `victim`
+    /// permanently dead and elected itself the successor: the platform
+    /// must load the victim's last checkpoint, feed it to
+    /// [`Daemon::restore_from`], and then checkpoint this daemon again so
+    /// a chained failure cannot lose the adopted state.
+    Recover {
+        /// The dead daemon whose checkpoint must be restored here.
+        victim: DaemonId,
     },
 }
 
@@ -223,12 +236,18 @@ struct PeerRecv {
 /// buffers, and receive-side resequencing. Exists only when the cluster
 /// config has an active fault plan; otherwise frames travel bare exactly
 /// as they always did.
+///
+/// Both maps are keyed by the *channel* — the original `(sender,
+/// receiver)` pair — not by the physical peer. At steady state the two
+/// coincide; after a failover the successor adopts the dead daemon's
+/// channels under their original keys, so sequencing (and therefore
+/// exactly-once delivery) survives re-homing.
 #[derive(Debug)]
 struct Xport {
     policy: RetransmitPolicy,
     rng: DetRng,
-    send: BTreeMap<u16, PeerSend>,
-    recv: BTreeMap<u16, PeerRecv>,
+    send: BTreeMap<(u16, u16), PeerSend>,
+    recv: BTreeMap<(u16, u16), PeerRecv>,
 }
 
 impl Xport {
@@ -246,8 +265,8 @@ impl Xport {
 
     /// Accept an incoming data frame. Returns `true` if it is fresh
     /// (never seen before), stashing it for in-order delivery.
-    fn accept(&mut self, peer: DaemonId, seq: u64, frame: Wire) -> bool {
-        let r = self.recv.entry(peer.0).or_default();
+    fn accept(&mut self, src: DaemonId, chan: DaemonId, seq: u64, frame: Wire) -> bool {
+        let r = self.recv.entry((src.0, chan.0)).or_default();
         if seq <= r.cum || r.held.contains_key(&seq) {
             return false;
         }
@@ -255,23 +274,23 @@ impl Xport {
         true
     }
 
-    /// Pop the next in-order frame from `peer`, if the sequence has no
-    /// gap below it.
-    fn next_ready(&mut self, peer: DaemonId) -> Option<Wire> {
-        let r = self.recv.get_mut(&peer.0)?;
+    /// Pop the next in-order frame on channel `(src, chan)`, if the
+    /// sequence has no gap below it.
+    fn next_ready(&mut self, src: DaemonId, chan: DaemonId) -> Option<Wire> {
+        let r = self.recv.get_mut(&(src.0, chan.0))?;
         let frame = r.held.remove(&(r.cum + 1))?;
         r.cum += 1;
         Some(frame)
     }
 
-    fn recv_cum(&self, peer: DaemonId) -> u64 {
-        self.recv.get(&peer.0).map_or(0, |r| r.cum)
+    fn recv_cum(&self, src: DaemonId, chan: DaemonId) -> u64 {
+        self.recv.get(&(src.0, chan.0)).map_or(0, |r| r.cum)
     }
 
     /// Process an ack: drop everything `<= cum` plus the specific `seq`.
     /// Returns the first-send times of newly acknowledged frames.
-    fn ack(&mut self, peer: DaemonId, cum: u64, seq: u64) -> Vec<SimTime> {
-        let Some(p) = self.send.get_mut(&peer.0) else {
+    fn ack(&mut self, src: DaemonId, chan: DaemonId, cum: u64, seq: u64) -> Vec<SimTime> {
+        let Some(p) = self.send.get_mut(&(src.0, chan.0)) else {
             return Vec::new();
         };
         let mut acked = Vec::new();
@@ -309,6 +328,17 @@ impl Directory for HashMap<Value, (DaemonId, NodeRef)> {
 
 type NodeVars = HashMap<Arc<str>, Value>;
 
+/// The virtual-time floor a payload frame pins: losing or resurrecting
+/// it (via retransmit or checkpoint restore) re-injects work at this
+/// virtual time. Control frames and anti-messengers pin nothing.
+fn frame_vtime(w: &Wire) -> Vt {
+    match w {
+        Wire::Migrate(m) if !m.anti => m.vtime,
+        Wire::Create(cn) => cn.messenger.vtime,
+        _ => Vt::INFINITY,
+    }
+}
+
 /// One MESSENGERS daemon.
 pub struct Daemon {
     id: DaemonId,
@@ -332,6 +362,28 @@ pub struct Daemon {
     tw: HashMap<NodeRef, TwNode<NodeVars, Runnable>>,
     anti_pending: HashSet<MessengerId>,
     xport: Option<Xport>,
+    // ---- crash recovery (active only when `cfg.recovery_armed()`) ----
+    /// Recovery armed: the fault plan can kill a daemon permanently.
+    recovery: bool,
+    /// Monotone membership view: `alive[d]` flips to `false` exactly once.
+    alive: Vec<bool>,
+    /// Failure-detector soft state (reset whenever the peer is heard).
+    suspect: Vec<bool>,
+    /// When each peer was last heard from (any frame, incl. heartbeats).
+    last_heard: Vec<SimTime>,
+    /// Membership epoch: number of evictions this daemon knows of.
+    mem_epoch: u64,
+    /// Output-commit stage: durable effects held back until the next
+    /// checkpoint flush, so a death between checkpoints rolls back
+    /// cleanly (the work re-executes from the snapshot, exactly once).
+    stage: Vec<Effect>,
+    /// Deferred transport acks `(src, chan, seq)`: sent only at the
+    /// checkpoint flush, so a sender drops a frame from its retransmit
+    /// buffer only once the delivery is pinned in a snapshot here.
+    pending_acks: Vec<(DaemonId, DaemonId, u64)>,
+    /// Minimum virtual time pinned in this daemon's last checkpoint —
+    /// the floor a restore can resurrect; GVT must never pass it.
+    last_ckpt_min: Vt,
     stats: Stats,
 }
 
@@ -362,6 +414,8 @@ impl Daemon {
         let xport = cfg
             .reliable()
             .then(|| Xport::new(cfg.retransmit, DetRng::new(cfg.seed).fork(0xACC + id.0 as u64)));
+        let recovery = cfg.recovery_armed();
+        let n = cfg.daemons;
         let mut d = Daemon {
             id,
             cfg,
@@ -382,6 +436,14 @@ impl Daemon {
             tw: HashMap::new(),
             anti_pending: HashSet::new(),
             xport,
+            recovery,
+            alive: vec![true; n],
+            suspect: vec![false; n],
+            last_heard: vec![0; n],
+            mem_epoch: 0,
+            stage: Vec::new(),
+            pending_acks: Vec::new(),
+            last_ckpt_min: Vt::INFINITY,
             stats: Stats::new(),
         };
         let init = d.build_node(Value::str("init"));
@@ -557,41 +619,75 @@ impl Daemon {
     /// Process an incoming frame at platform time `now`; returns the CPU
     /// cost of accepting it.
     pub fn on_wire_at(&mut self, now: SimTime, wire: Wire, fx: &mut Vec<Effect>) -> u64 {
+        let cost = self.on_wire_inner(now, wire, fx);
+        self.stage_durable(fx);
+        cost
+    }
+
+    fn on_wire_inner(&mut self, now: SimTime, wire: Wire, fx: &mut Vec<Effect>) -> u64 {
         let c = self.cfg.costs;
         match wire {
-            Wire::Data { src, seq, frame } => {
+            Wire::Data { src, chan, seq, frame } => {
                 let mut cost = c.gvt_msg_ns;
-                let Some(x) = self.xport.as_mut() else {
-                    // Transport disabled: treat the envelope as transparent
-                    // (only reachable by hand-fed frames in tests).
-                    return cost + self.on_wire_at(now, *frame, fx);
-                };
-                let fresh = x.accept(src, seq, *frame);
-                // Resequence: everything deliverable in order comes out now.
+                // The physical transmitter is whoever owns the channel's
+                // sender slot (the sender itself at steady state).
+                let from = self.owner(src);
+                self.heard_from(now, from);
                 let mut ready = Vec::new();
-                if fresh {
-                    while let Some(f) = x.next_ready(src) {
-                        ready.push(f);
+                let cum;
+                {
+                    let Some(x) = self.xport.as_mut() else {
+                        // Transport disabled: treat the envelope as
+                        // transparent (only reachable by hand-fed frames
+                        // in tests).
+                        return cost + self.on_wire_inner(now, *frame, fx);
+                    };
+                    let fresh = x.accept(src, chan, seq, *frame);
+                    // Resequence: everything deliverable in order comes
+                    // out now.
+                    if fresh {
+                        while let Some(f) = x.next_ready(src, chan) {
+                            ready.push(f);
+                        }
+                    } else {
+                        self.stats.bump("xport_dup_dropped");
                     }
-                } else {
-                    self.stats.bump("xport_dup_dropped");
+                    cum = x.recv_cum(src, chan);
                 }
-                // Ack every copy — the ack for an earlier copy may itself
-                // have been lost.
-                let ack = Wire::Ack { src: self.id, cum: x.recv_cum(src), seq };
-                fx.push(Effect::Send { dst: src, wire: ack });
+                if self.recovery {
+                    // Output commit: the ack goes out only once the
+                    // delivery is pinned in a checkpoint, so the sender's
+                    // retransmit buffer stays the log of every frame not
+                    // yet durable here.
+                    self.stats.bump("acks_deferred");
+                    self.pending_acks.push((src, chan, seq));
+                } else {
+                    // Ack every copy — the ack for an earlier copy may
+                    // itself have been lost.
+                    fx.push(Effect::Send { dst: from, wire: Wire::Ack { src, chan, cum, seq } });
+                }
                 for f in ready {
-                    cost += self.on_wire_at(now, f, fx);
+                    cost += self.on_wire_inner(now, f, fx);
                 }
                 cost
             }
-            Wire::Ack { src, cum, seq } => {
+            Wire::Ack { src, chan, cum, seq } => {
+                let from = self.owner(chan);
+                self.heard_from(now, from);
                 if let Some(x) = self.xport.as_mut() {
-                    for first_sent in x.ack(src, cum, seq) {
+                    for first_sent in x.ack(src, chan, cum, seq) {
                         self.stats.bump("xport_acked");
                         self.stats.record("xport_delivery_ns", now.saturating_sub(first_sent));
                     }
                 }
+                c.gvt_msg_ns
+            }
+            Wire::Beat { from, epoch: _ } => {
+                self.heard_from(now, from);
+                c.gvt_msg_ns
+            }
+            Wire::Evict { victim, epoch, floor } => {
+                self.apply_evict(victim, epoch, floor, fx);
                 c.gvt_msg_ns
             }
             Wire::Migrate(m) => {
@@ -710,8 +806,13 @@ impl Daemon {
     /// this on every effect batch before applying it; with the default
     /// benign fault plan it is a no-op.
     ///
-    /// Loopback sends, acks, and frames that are already envelopes (a
+    /// Acks, heartbeats, and frames that are already envelopes (a
     /// retransmission from [`Daemon::on_timer`]) pass through untouched.
+    /// A lost heartbeat *is* the failure detector's signal, so sealing
+    /// one would defeat it. Loopback sends also pass through — except
+    /// under recovery, where a frame in flight to *this* daemon must
+    /// survive this daemon's own death (it sits in the checkpointed
+    /// retransmit buffer like any other frame).
     pub fn seal_effects(&mut self, now: SimTime, fx: &mut Vec<Effect>) {
         if self.xport.is_none() {
             return;
@@ -721,50 +822,63 @@ impl Daemon {
             let Effect::Send { dst, wire } = e else {
                 continue;
             };
-            if *dst == self.id
-                || matches!(wire, Wire::Data { .. } | Wire::Ack { .. } | Wire::GvtKick)
-            {
+            if matches!(
+                wire,
+                Wire::Data { .. } | Wire::Ack { .. } | Wire::GvtKick | Wire::Beat { .. }
+            ) {
                 continue;
             }
+            if *dst == self.id && !self.recovery {
+                continue;
+            }
+            let chan = *dst;
+            let route = self.owner(chan);
             let x = self.xport.as_mut().expect("checked above");
-            let p = x.send.entry(dst.0).or_default();
+            let p = x.send.entry((self.id.0, chan.0)).or_default();
             p.next_seq += 1;
             let seq = p.next_seq;
             let inner = std::mem::replace(wire, Wire::GvtKick);
-            let data = Wire::Data { src: self.id, seq, frame: Box::new(inner) };
+            let data = Wire::Data { src: self.id, chan, seq, frame: Box::new(inner) };
             let rto = x.policy.rto;
             let delay = rto + x.jitter();
-            let p = x.send.entry(dst.0).or_default();
+            let p = x.send.entry((self.id.0, chan.0)).or_default();
             p.unacked
                 .insert(seq, Unacked { frame: data.clone(), attempts: 1, first_sent: now, rto });
             *wire = data;
-            timers.push(Effect::Timer { peer: *dst, seq, delay });
+            *dst = route;
+            timers.push(Effect::Timer { src: self.id, chan, seq, delay });
             self.stats.bump("xport_sent");
         }
         fx.extend(timers);
     }
 
-    /// A retransmission timer fired for `(peer, seq)`. If the frame is
-    /// still unacknowledged, resend it with doubled timeout (plus
-    /// deterministic jitter) or — after `max_attempts` transmissions —
-    /// give up and account the loss. Returns the CPU cost.
+    /// A retransmission timer fired for sequence `seq` on channel
+    /// `(src, chan)`. If the frame is still unacknowledged, resend it
+    /// with doubled timeout (plus deterministic jitter) or — after
+    /// `max_attempts` transmissions — give up and account the loss.
+    /// Every retry re-resolves the channel's current owner, so frames
+    /// addressed to a daemon that has since died follow it to its
+    /// successor. Returns the CPU cost.
     pub fn on_timer(
         &mut self,
         now: SimTime,
-        peer: DaemonId,
+        src: DaemonId,
+        chan: DaemonId,
         seq: u64,
         fx: &mut Vec<Effect>,
     ) -> u64 {
         let _ = now;
+        let route = self.owner(chan);
+        let key = (src.0, chan.0);
         let Some(x) = self.xport.as_mut() else {
             return 0;
         };
         let policy = x.policy;
-        if !x.send.get(&peer.0).is_some_and(|p| p.unacked.contains_key(&seq)) {
+        if !x.send.get(&key).is_some_and(|p| p.unacked.contains_key(&seq)) {
             return 0; // acked in the meantime: stale timer, no work
         }
         let jitter = x.jitter();
-        let p = x.send.get_mut(&peer.0).expect("checked above");
+        let p = x.send.get_mut(&key).expect("checked above");
         let u = p.unacked.get_mut(&seq).expect("checked above");
         if u.attempts >= policy.max_attempts {
             let u = p.unacked.remove(&seq).expect("present");
@@ -785,11 +899,12 @@ impl Daemon {
                     messenger: id,
                     error: format!(
                         "delivery to d{} abandoned after {} attempts",
-                        peer.0, u.attempts
+                        chan.0, u.attempts
                     ),
                 });
                 fx.push(Effect::LiveDelta(-1));
             }
+            self.stage_durable(fx);
             return self.cfg.costs.gvt_msg_ns;
         }
         u.attempts += 1;
@@ -797,8 +912,8 @@ impl Daemon {
         u.rto = (u.rto * 2).min(policy.max_rto);
         let frame = u.frame.clone();
         self.stats.bump("xport_retransmits");
-        fx.push(Effect::Send { dst: peer, wire: frame });
-        fx.push(Effect::Timer { peer, seq, delay });
+        fx.push(Effect::Send { dst: route, wire: frame });
+        fx.push(Effect::Timer { src, chan, seq, delay });
         self.cfg.costs.gvt_msg_ns
     }
 
@@ -807,6 +922,612 @@ impl Daemon {
     /// not quiescent while a retransmit buffer is non-empty.
     pub fn unacked_frames(&self) -> u64 {
         self.xport.as_ref().map_or(0, Xport::outstanding)
+    }
+
+    // ---- crash recovery ------------------------------------------------------
+
+    /// Durable effects and deferred acks awaiting the next checkpoint
+    /// flush (0 when recovery is off). Platforms count these as
+    /// outstanding work: the run is not quiescent while anything is
+    /// staged.
+    pub fn staged_work(&self) -> u64 {
+        (self.stage.len() + self.pending_acks.len()) as u64
+    }
+
+    /// This daemon's membership epoch (number of evictions it knows of).
+    pub fn mem_epoch(&self) -> u64 {
+        self.mem_epoch
+    }
+
+    /// Whether this daemon's membership view considers `d` alive.
+    pub fn is_peer_alive(&self, d: DaemonId) -> bool {
+        self.alive.get(d.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// The current owner of daemon id `d`: `d` itself while alive, else
+    /// the next alive daemon by id (mod cluster size) — the deterministic
+    /// successor rule every daemon agrees on once membership views
+    /// converge.
+    fn owner(&self, d: DaemonId) -> DaemonId {
+        if self.alive.get(d.0 as usize).copied().unwrap_or(true) {
+            return d;
+        }
+        let n = self.cfg.daemons as u16;
+        for k in 1..n {
+            let cand = (d.0 + k) % n;
+            if self.alive[cand as usize] {
+                return DaemonId(cand);
+            }
+        }
+        d
+    }
+
+    /// The successor that must take over `victim`'s state if it dies
+    /// *now* (ignores whether the view already has `victim` dead).
+    fn successor_of(&self, victim: DaemonId) -> DaemonId {
+        let n = self.cfg.daemons as u16;
+        for k in 1..n {
+            let cand = (victim.0 + k) % n;
+            if self.alive[cand as usize] {
+                return DaemonId(cand);
+            }
+        }
+        victim
+    }
+
+    /// Refresh the failure detector: `d` was just heard from.
+    fn heard_from(&mut self, now: SimTime, d: DaemonId) {
+        if !self.recovery || d == self.id {
+            return;
+        }
+        let i = d.0 as usize;
+        if now > self.last_heard[i] {
+            self.last_heard[i] = now;
+        }
+        self.suspect[i] = false;
+    }
+
+    /// Under recovery, divert durable effects (payload sends, census
+    /// changes, faults, directory updates) into the output-commit stage;
+    /// soft effects (GVT traffic, control frames, timers) stay in `fx`
+    /// for immediate application. A no-op when recovery is off.
+    fn stage_durable(&mut self, fx: &mut Vec<Effect>) {
+        if !self.recovery {
+            return;
+        }
+        let mut keep = Vec::with_capacity(fx.len());
+        for e in fx.drain(..) {
+            let durable = match &e {
+                Effect::Send { wire, .. } => {
+                    matches!(wire, Wire::Migrate(_) | Wire::Create(_) | Wire::Unlink { .. })
+                }
+                Effect::LiveDelta(_)
+                | Effect::Fault { .. }
+                | Effect::DirectoryAdd { .. }
+                | Effect::DirectoryRemove { .. } => true,
+                Effect::Timer { .. } | Effect::Recover { .. } => false,
+            };
+            if durable {
+                self.stage.push(e);
+            } else {
+                keep.push(e);
+            }
+        }
+        *fx = keep;
+    }
+
+    /// This daemon's contribution to GVT: the queue minimum plus — under
+    /// recovery — everything a crash could roll back or resurrect: staged
+    /// (uncommitted) sends, unacknowledged in-flight frames, and the
+    /// floor of the last checkpoint a restore would reinstate. With the
+    /// drain check disabled after an eviction, these floors are what
+    /// keeps Mattern's estimate safe.
+    fn gvt_min(&self) -> Vt {
+        self.local_min().min(self.recovery_floor())
+    }
+
+    fn recovery_floor(&self) -> Vt {
+        if !self.recovery {
+            return Vt::INFINITY;
+        }
+        let mut m = self.last_ckpt_min;
+        for e in &self.stage {
+            if let Effect::Send { wire, .. } = e {
+                m = m.min(frame_vtime(wire));
+            }
+        }
+        if let Some(x) = &self.xport {
+            for p in x.send.values() {
+                for u in p.unacked.values() {
+                    if let Wire::Data { frame, .. } = &u.frame {
+                        m = m.min(frame_vtime(frame));
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// The minimum virtual time pinned by a snapshot taken right now:
+    /// every queued messenger plus the payloads held out-of-order in the
+    /// resequencing buffers (their senders drop them once our deferred
+    /// acks go out, so after the flush this snapshot is their only copy).
+    fn snapshot_floor(&self) -> Vt {
+        let mut m = self.local_min();
+        if let Some(x) = &self.xport {
+            for r in x.recv.values() {
+                for f in r.held.values() {
+                    m = m.min(frame_vtime(f));
+                }
+            }
+        }
+        m
+    }
+
+    /// One failure-detector round: emit heartbeats to every peer still in
+    /// the membership, then advance the suspicion state machine on peer
+    /// silence. Alive → Suspect is soft (counted, reversible); Suspect →
+    /// Dead is monotone and — on the victim's successor only — triggers
+    /// failover via [`Effect::Recover`]. Platforms call this every
+    /// [`crate::config::RecoveryPolicy::heartbeat_every`]; a no-op unless
+    /// recovery is armed. Returns the CPU cost.
+    pub fn on_beat_tick(&mut self, now: SimTime, fx: &mut Vec<Effect>) -> u64 {
+        if !self.recovery {
+            return 0;
+        }
+        let pol = self.cfg.recovery;
+        for d in 0..self.cfg.daemons as u16 {
+            let i = d as usize;
+            if d == self.id.0 || !self.alive[i] {
+                continue;
+            }
+            fx.push(Effect::Send {
+                dst: DaemonId(d),
+                wire: Wire::Beat { from: self.id, epoch: self.mem_epoch },
+            });
+        }
+        self.stats.bump("fd_beats");
+        let mut verdicts = Vec::new();
+        for d in 0..self.cfg.daemons as u16 {
+            let i = d as usize;
+            if d == self.id.0 || !self.alive[i] {
+                continue;
+            }
+            let silence = now.saturating_sub(self.last_heard[i]);
+            if silence >= pol.dead_after {
+                verdicts.push(DaemonId(d));
+            } else if silence >= pol.suspect_after && !self.suspect[i] {
+                self.suspect[i] = true;
+                self.stats.bump("fd_suspects");
+            }
+        }
+        for v in verdicts {
+            self.declare_dead(v, fx);
+        }
+        self.cfg.costs.gvt_msg_ns
+    }
+
+    /// The local failure detector reached a Dead verdict for `victim`.
+    /// Only the deterministic successor acts on its own verdict: it asks
+    /// the platform to run the failover ([`Effect::Recover`] →
+    /// [`Daemon::restore_from`], which also evicts locally and broadcasts
+    /// the eviction). Every other daemon — the GVT coordinator included —
+    /// waits for the successor's `Evict` frame, because only the restore
+    /// knows the checkpoint floor GVT must respect.
+    fn declare_dead(&mut self, victim: DaemonId, fx: &mut Vec<Effect>) {
+        if !self.alive[victim.0 as usize] {
+            return;
+        }
+        if self.successor_of(victim) != self.id {
+            return;
+        }
+        self.stats.bump("fd_deaths");
+        fx.push(Effect::Recover { victim });
+    }
+
+    /// Apply a membership eviction: mark `victim` dead (monotone), rebind
+    /// every link record pointing at it to its successor, and — on the
+    /// coordinator — evict it from the GVT round with the restored
+    /// checkpoint's `floor`.
+    fn apply_evict(&mut self, victim: DaemonId, epoch: u64, floor: Vt, fx: &mut Vec<Effect>) {
+        if !self.recovery || victim == self.id {
+            return;
+        }
+        let i = victim.0 as usize;
+        if !self.alive[i] {
+            self.mem_epoch = self.mem_epoch.max(epoch);
+            return;
+        }
+        self.alive[i] = false;
+        self.suspect[i] = false;
+        self.mem_epoch = (self.mem_epoch + 1).max(epoch);
+        self.stats.bump("evictions");
+        let heir = self.owner(victim);
+        for n in self.nodes.values_mut() {
+            for l in n.links.iter_mut() {
+                if l.peer.0 == victim {
+                    l.peer.0 = heir;
+                }
+            }
+        }
+        if self.coord.is_some() {
+            let action = self.coord.as_mut().expect("checked above").evict(victim.0, floor);
+            match action {
+                CoordinatorAction::Wait => {}
+                CoordinatorAction::PollAll { round } => {
+                    self.broadcast_gvt(CtrlMsg::Poll { round }, fx);
+                }
+                CoordinatorAction::Advance { gvt } => {
+                    self.stats.bump("gvt_rounds");
+                    self.broadcast_gvt(CtrlMsg::Advance { gvt }, fx);
+                }
+            }
+        }
+    }
+
+    /// Phase 1 of a checkpoint: commit everything staged since the last
+    /// one. Staged payload sends are sealed into the retransmit buffer
+    /// (so the snapshot that follows contains them) and the deferred acks
+    /// go out with the cumulative sequence numbers the snapshot pins.
+    /// Must be immediately followed by [`Daemon::checkpoint_snapshot`] in
+    /// the same platform event: flushing makes effects visible to the
+    /// cluster, so the snapshot that backs them must not be lost.
+    pub fn checkpoint_flush(&mut self, now: SimTime, fx: &mut Vec<Effect>) {
+        if !self.recovery {
+            return;
+        }
+        let mut out = std::mem::take(&mut self.stage);
+        for (src, chan, seq) in std::mem::take(&mut self.pending_acks) {
+            let cum = self.xport.as_ref().map_or(0, |x| x.recv_cum(src, chan));
+            let route = self.owner(src);
+            out.push(Effect::Send { dst: route, wire: Wire::Ack { src, chan, cum, seq } });
+        }
+        self.seal_effects(now, &mut out);
+        fx.append(&mut out);
+    }
+
+    /// Phase 2 of a checkpoint: serialize this daemon's durable state —
+    /// logical nodes with their variables and links, every parked or
+    /// queued messenger, id counters, and the transport channels
+    /// (retransmit buffers and resequencing state) — into one snapshot
+    /// the platform stores. [`Daemon::restore_from`] is the inverse.
+    pub fn checkpoint_snapshot(&mut self) -> Bytes {
+        debug_assert!(
+            self.stage.is_empty() && self.pending_acks.is_empty(),
+            "checkpoint_flush must precede checkpoint_snapshot"
+        );
+        let mut buf = BytesMut::with_capacity(1024);
+        buf.put_u8(1); // snapshot format version
+        vmwire::put_varint(&mut buf, self.node_seq);
+        vmwire::put_varint(&mut buf, self.link_seq);
+        vmwire::put_varint(&mut buf, self.msgr_seq);
+        vmwire::put_varint(&mut buf, self.rr as u64);
+        // Logical nodes, canonically ordered by id.
+        let mut gids: Vec<NodeRef> = self.nodes.keys().copied().collect();
+        gids.sort();
+        vmwire::put_varint(&mut buf, gids.len() as u64);
+        for gid in gids {
+            let n = &self.nodes[&gid];
+            wirecodec::put_node_ref(&mut buf, gid);
+            vmwire::put_value(&mut buf, &n.name);
+            let mut keys: Vec<&Arc<str>> = n.vars.keys().collect();
+            keys.sort();
+            vmwire::put_varint(&mut buf, keys.len() as u64);
+            for k in keys {
+                vmwire::put_str(&mut buf, k.as_ref());
+                vmwire::put_value(&mut buf, &n.vars[k]);
+            }
+            vmwire::put_varint(&mut buf, n.links.len() as u64);
+            for l in &n.links {
+                vmwire::put_varint(&mut buf, l.inst.0);
+                vmwire::put_value(&mut buf, &l.name);
+                wirecodec::put_orient(&mut buf, l.orient);
+                vmwire::put_varint(&mut buf, l.peer.0 .0 as u64);
+                wirecodec::put_node_ref(&mut buf, l.peer.1);
+                vmwire::put_value(&mut buf, &l.peer_name);
+            }
+        }
+        // Every parked messenger, in deterministic dequeue order.
+        let mut parked: Vec<(NodeRef, Option<LinkInstance>, Bytes)> = Vec::new();
+        for r in &self.ready {
+            parked.push((r.at, r.last, vmwire::encode_messenger(&r.state)));
+        }
+        let mut pend = Vec::new();
+        while let Some((wake, r)) = self.pending.pop_min() {
+            parked.push((r.at, r.last, vmwire::encode_messenger(&r.state)));
+            pend.push((wake, r));
+        }
+        for (wake, r) in pend {
+            self.pending.push(wake, r);
+        }
+        for r in self.opt_queue.values() {
+            parked.push((r.at, r.last, vmwire::encode_messenger(&r.state)));
+        }
+        vmwire::put_varint(&mut buf, parked.len() as u64);
+        for (at, last, bytes) in parked {
+            wirecodec::put_node_ref(&mut buf, at);
+            match last {
+                None => buf.put_u8(0),
+                Some(i) => {
+                    buf.put_u8(1);
+                    vmwire::put_varint(&mut buf, i.0);
+                }
+            }
+            vmwire::put_varint(&mut buf, bytes.len() as u64);
+            buf.put_slice(&bytes);
+        }
+        // Transport channels: the retransmit buffers double as the redo
+        // log of every send not yet durable at its receiver.
+        match &self.xport {
+            None => buf.put_u8(0),
+            Some(x) => {
+                buf.put_u8(1);
+                vmwire::put_varint(&mut buf, x.send.len() as u64);
+                for (&(s, c), p) in &x.send {
+                    vmwire::put_varint(&mut buf, s as u64);
+                    vmwire::put_varint(&mut buf, c as u64);
+                    vmwire::put_varint(&mut buf, p.next_seq);
+                    vmwire::put_varint(&mut buf, p.unacked.len() as u64);
+                    for (&seq, u) in &p.unacked {
+                        vmwire::put_varint(&mut buf, seq);
+                        let fb = crate::wire::encode_frame(&u.frame);
+                        vmwire::put_varint(&mut buf, fb.len() as u64);
+                        buf.put_slice(&fb);
+                    }
+                }
+                vmwire::put_varint(&mut buf, x.recv.len() as u64);
+                for (&(s, c), r) in &x.recv {
+                    vmwire::put_varint(&mut buf, s as u64);
+                    vmwire::put_varint(&mut buf, c as u64);
+                    vmwire::put_varint(&mut buf, r.cum);
+                    vmwire::put_varint(&mut buf, r.held.len() as u64);
+                    for (&seq, f) in &r.held {
+                        vmwire::put_varint(&mut buf, seq);
+                        let fb = crate::wire::encode_frame(f);
+                        vmwire::put_varint(&mut buf, fb.len() as u64);
+                        buf.put_slice(&fb);
+                    }
+                }
+            }
+        }
+        self.last_ckpt_min = self.snapshot_floor();
+        self.stats.bump("checkpoints");
+        let out = buf.freeze();
+        self.stats.add("checkpoint_bytes", out.len() as u64);
+        out
+    }
+
+    /// Failover: this daemon (the successor) adopts everything in
+    /// `victim`'s last checkpoint. Evicts the victim from the local
+    /// membership, installs its logical nodes (rebinding link records per
+    /// the new membership), re-enqueues its parked messengers, adopts its
+    /// transport channels (re-arming and immediately redirecting every
+    /// unacknowledged frame), and finally broadcasts the eviction —
+    /// reliably, carrying the restored GVT floor — to the surviving
+    /// peers. The platform must rebind its directory entries for the
+    /// victim to this daemon, and checkpoint this daemon again right
+    /// afterwards so a chained failure cannot lose the adopted state.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Decode`] if the snapshot is malformed (a platform
+    /// storage bug, not a recoverable condition).
+    pub fn restore_from(
+        &mut self,
+        victim: DaemonId,
+        bytes: Bytes,
+        now: SimTime,
+        fx: &mut Vec<Effect>,
+    ) -> Result<(), VmError> {
+        let mut buf = bytes;
+        if !buf.has_remaining() {
+            return Err(VmError::Decode("empty checkpoint".to_string()));
+        }
+        let ver = buf.get_u8();
+        if ver != 1 {
+            return Err(VmError::Decode(format!("unknown checkpoint version {ver}")));
+        }
+        // The victim's id counters die with it: NodeRefs and messenger
+        // ids embed their creator, so the successor keeps minting from
+        // its own sequences without collision.
+        for _ in 0..4 {
+            vmwire::get_varint(&mut buf)?;
+        }
+        let n_nodes = vmwire::get_varint(&mut buf)? as usize;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let gid = wirecodec::get_node_ref(&mut buf)?;
+            let name = vmwire::get_value(&mut buf)?;
+            let mut node = LogicalNode::new(gid, name);
+            let n_vars = vmwire::get_varint(&mut buf)? as usize;
+            for _ in 0..n_vars {
+                let k = vmwire::get_str(&mut buf)?;
+                let v = vmwire::get_value(&mut buf)?;
+                node.vars.insert(Arc::from(k.as_str()), v);
+            }
+            let n_links = vmwire::get_varint(&mut buf)? as usize;
+            for _ in 0..n_links {
+                let inst = LinkInstance(vmwire::get_varint(&mut buf)?);
+                let lname = vmwire::get_value(&mut buf)?;
+                let orient = wirecodec::get_orient(&mut buf)?;
+                let peer_d = DaemonId(vmwire::get_varint(&mut buf)? as u16);
+                let peer_n = wirecodec::get_node_ref(&mut buf)?;
+                let peer_name = vmwire::get_value(&mut buf)?;
+                node.links.push(LinkRec {
+                    inst,
+                    name: lname,
+                    orient,
+                    peer: (peer_d, peer_n),
+                    peer_name,
+                });
+            }
+            nodes.push(node);
+        }
+        let n_msgrs = vmwire::get_varint(&mut buf)? as usize;
+        let mut msgrs = Vec::with_capacity(n_msgrs);
+        for _ in 0..n_msgrs {
+            let at = wirecodec::get_node_ref(&mut buf)?;
+            let last = match buf.has_remaining().then(|| buf.get_u8()) {
+                Some(0) => None,
+                Some(1) => Some(LinkInstance(vmwire::get_varint(&mut buf)?)),
+                _ => return Err(VmError::Decode("bad last flag".to_string())),
+            };
+            let n = vmwire::get_varint(&mut buf)? as usize;
+            if buf.remaining() < n {
+                return Err(VmError::Decode("truncated checkpointed messenger".to_string()));
+            }
+            let state = vmwire::decode_messenger(buf.copy_to_bytes(n))?;
+            msgrs.push((at, last, state));
+        }
+        type Chan = ((u16, u16), u64, Vec<(u64, Wire)>);
+        let mut send_chans: Vec<Chan> = Vec::new();
+        let mut recv_chans: Vec<Chan> = Vec::new();
+        if !buf.has_remaining() {
+            return Err(VmError::Decode("truncated checkpoint".to_string()));
+        }
+        if buf.get_u8() == 1 {
+            let n_send = vmwire::get_varint(&mut buf)? as usize;
+            for _ in 0..n_send {
+                let s = vmwire::get_varint(&mut buf)? as u16;
+                let c = vmwire::get_varint(&mut buf)? as u16;
+                let next_seq = vmwire::get_varint(&mut buf)?;
+                let n_un = vmwire::get_varint(&mut buf)? as usize;
+                let mut unacked = Vec::with_capacity(n_un);
+                for _ in 0..n_un {
+                    let seq = vmwire::get_varint(&mut buf)?;
+                    let n = vmwire::get_varint(&mut buf)? as usize;
+                    if buf.remaining() < n {
+                        return Err(VmError::Decode("truncated checkpointed frame".to_string()));
+                    }
+                    unacked.push((seq, crate::wire::decode_frame(buf.copy_to_bytes(n))?));
+                }
+                send_chans.push(((s, c), next_seq, unacked));
+            }
+            let n_recv = vmwire::get_varint(&mut buf)? as usize;
+            for _ in 0..n_recv {
+                let s = vmwire::get_varint(&mut buf)? as u16;
+                let c = vmwire::get_varint(&mut buf)? as u16;
+                let cum = vmwire::get_varint(&mut buf)?;
+                let n_held = vmwire::get_varint(&mut buf)? as usize;
+                let mut held = Vec::with_capacity(n_held);
+                for _ in 0..n_held {
+                    let seq = vmwire::get_varint(&mut buf)?;
+                    let n = vmwire::get_varint(&mut buf)? as usize;
+                    if buf.remaining() < n {
+                        return Err(VmError::Decode("truncated held frame".to_string()));
+                    }
+                    held.push((seq, crate::wire::decode_frame(buf.copy_to_bytes(n))?));
+                }
+                recv_chans.push(((s, c), cum, held));
+            }
+        }
+        if buf.has_remaining() {
+            return Err(VmError::Decode("trailing bytes after checkpoint".to_string()));
+        }
+
+        // The floor: everything this restore resurrects, whether queued,
+        // held out-of-order, or waiting in a retransmit buffer.
+        let mut floor = Vt::INFINITY;
+        for (_, _, state) in &msgrs {
+            floor = floor.min(state.vtime);
+        }
+        for (_, _, held) in &recv_chans {
+            for (_, f) in held {
+                floor = floor.min(frame_vtime(f));
+            }
+        }
+        for (_, _, unacked) in &send_chans {
+            for (_, f) in unacked {
+                if let Wire::Data { frame, .. } = f {
+                    floor = floor.min(frame_vtime(frame));
+                }
+            }
+        }
+
+        // Evict first so `owner()` sees the new membership for every
+        // rebinding below (this also feeds the coordinator, if local).
+        self.apply_evict(victim, self.mem_epoch + 1, floor, fx);
+
+        // Restored nodes keep their gids, so the platform rebinds its
+        // existing directory entries (victim → this daemon) rather than
+        // this daemon republishing: a node the victim never published
+        // (e.g. its `init` node) must not enter the directory now.
+        for mut node in nodes {
+            for l in node.links.iter_mut() {
+                let o = self.owner(l.peer.0);
+                l.peer.0 = o;
+            }
+            self.stats.bump("restored_nodes");
+            self.nodes.insert(node.gid, node);
+        }
+        for (at, last, state) in msgrs {
+            self.stats.bump("restored_messengers");
+            self.enqueue(Runnable { state, at, last });
+        }
+        if let Some(x) = self.xport.as_mut() {
+            let policy = x.policy;
+            let mut resend = Vec::new();
+            for ((s, c), next_seq, unacked) in send_chans {
+                let p = x.send.entry((s, c)).or_default();
+                p.next_seq = p.next_seq.max(next_seq);
+                for (seq, frame) in unacked {
+                    let rto = policy.rto;
+                    p.unacked.insert(
+                        seq,
+                        Unacked { frame: frame.clone(), attempts: 1, first_sent: now, rto },
+                    );
+                    resend.push((DaemonId(s), DaemonId(c), seq, frame));
+                }
+            }
+            for ((s, c), cum, held) in recv_chans {
+                let r = x.recv.entry((s, c)).or_default();
+                r.cum = r.cum.max(cum);
+                for (seq, frame) in held {
+                    r.held.insert(seq, frame);
+                }
+            }
+            for (src, chan, seq, frame) in resend {
+                let jitter = self.xport.as_mut().expect("checked above").jitter();
+                let delay = self.cfg.retransmit.rto + jitter;
+                let route = self.owner(chan);
+                self.stats.bump("xport_redirected");
+                fx.push(Effect::Send { dst: route, wire: frame });
+                fx.push(Effect::Timer { src, chan, seq, delay });
+            }
+        }
+        self.last_ckpt_min = self.last_ckpt_min.min(floor);
+        self.stats.bump("restores");
+        for d in 0..self.cfg.daemons as u16 {
+            if d == self.id.0 || !self.alive[d as usize] {
+                continue;
+            }
+            fx.push(Effect::Send {
+                dst: DaemonId(d),
+                wire: Wire::Evict { victim, epoch: self.mem_epoch, floor },
+            });
+        }
+        Ok(())
+    }
+
+    /// Erase all volatile state of a permanently killed daemon, so the
+    /// platform's quiescence accounting converges. Its last checkpoint
+    /// (held by the platform) is now the only remnant; everything since
+    /// was never acknowledged or committed, so the survivors' retransmit
+    /// buffers and the checkpoint together reconstruct it exactly once.
+    pub fn gut(&mut self) {
+        self.ready.clear();
+        self.pending = PendingQueue::new();
+        self.opt_queue.clear();
+        self.tw.clear();
+        self.nodes.clear();
+        self.stage.clear();
+        self.pending_acks.clear();
+        self.anti_pending.clear();
+        self.last_ckpt_min = Vt::INFINITY;
+        if let Some(x) = self.xport.as_mut() {
+            x.send.clear();
+            x.recv.clear();
+        }
     }
 
     /// Whether any queued messenger currently sits at `gid`.
@@ -843,12 +1564,12 @@ impl Daemon {
     fn on_gvt(&mut self, msg: CtrlMsg, fx: &mut Vec<Effect>) {
         match msg {
             CtrlMsg::Cut { round } => {
-                let lm = self.local_min();
+                let lm = self.gvt_min();
                 let ack = self.part.on_cut(round, lm);
                 fx.push(Effect::Send { dst: DaemonId(0), wire: Wire::Gvt(ack) });
             }
             CtrlMsg::Poll { round } => {
-                let lm = self.local_min();
+                let lm = self.gvt_min();
                 let ack = self.part.on_poll(round, lm);
                 fx.push(Effect::Send { dst: DaemonId(0), wire: Wire::Gvt(ack) });
             }
@@ -884,6 +1605,9 @@ impl Daemon {
 
     fn broadcast_gvt(&mut self, msg: CtrlMsg, fx: &mut Vec<Effect>) {
         for d in 0..self.cfg.daemons as u16 {
+            if !self.alive[d as usize] {
+                continue;
+            }
             fx.push(Effect::Send { dst: DaemonId(d), wire: Wire::Gvt(msg.clone()) });
         }
     }
@@ -984,6 +1708,12 @@ impl Daemon {
     /// Execute one non-preemptive segment. Returns its reference-CPU
     /// cost, or `None` if nothing is runnable.
     pub fn run_segment(&mut self, dir: &dyn Directory, fx: &mut Vec<Effect>) -> Option<u64> {
+        let cost = self.run_segment_inner(dir, fx)?;
+        self.stage_durable(fx);
+        Some(cost)
+    }
+
+    fn run_segment_inner(&mut self, dir: &dyn Directory, fx: &mut Vec<Effect>) -> Option<u64> {
         match self.cfg.vt_mode {
             VtMode::Conservative => {
                 let run = self.ready.pop_front()?;

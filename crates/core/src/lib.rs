@@ -56,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod config;
 pub mod daemon;
 pub mod ids;
@@ -64,7 +65,8 @@ pub mod platform;
 pub mod topology;
 pub mod wire;
 
-pub use config::{ClusterConfig, CostModel, NetKind, RetransmitPolicy, VtMode};
+pub use ckpt::{CheckpointStore, FileStore, MemStore};
+pub use config::{ClusterConfig, CostModel, NetKind, RecoveryPolicy, RetransmitPolicy, VtMode};
 pub use daemon::{CodeCache, Daemon, Effect};
 pub use ids::{DaemonId, NodeRef};
 pub use platform::sim::{SimCluster, SimReport};

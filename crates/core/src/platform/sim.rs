@@ -18,6 +18,7 @@ use msgr_sim::{
 };
 use msgr_vm::{MessengerId, NativeCtx, NativeRegistry, Program, ProgramId, Value};
 
+use crate::ckpt::{CheckpointStore, MemStore};
 use crate::config::{ClusterConfig, NetKind, VtMode, VtService};
 use crate::daemon::{CodeCache, Daemon, Effect};
 use crate::ids::{DaemonId, NodeRef};
@@ -43,7 +44,22 @@ struct World {
     injector: Option<FaultInjector>,
     /// Per-daemon crash windows: daemon `i` ignores the world until
     /// `down_until[i]` (its state survives — fail-recover semantics).
+    /// `SimTime::MAX` marks a *permanent* kill: volatile state is gone
+    /// and only a checkpoint restore brings the work back.
     down_until: Vec<SimTime>,
+    /// Durable checkpoint storage — host memory, outside every simulated
+    /// daemon, so it survives any kill.
+    ckpt: MemStore,
+    /// Failover once-guard: victim `i`'s checkpoint is restored at most
+    /// once, no matter how many detectors reach the Dead verdict.
+    restored: Vec<bool>,
+    /// When each permanently killed daemon died (recovery-latency stat).
+    killed_at: Vec<Option<SimTime>>,
+    /// Whether the cluster-wide heartbeat chain is scheduled. The chain
+    /// winds down when the cluster quiesces; a later kill revives it.
+    beats_live: bool,
+    /// Same, per daemon, for the periodic checkpoint chains.
+    ckpt_live: Vec<bool>,
     /// Completion time of the last *productive* event (frame accepted or
     /// segment finished). Reported instead of `engine.now()` when faults
     /// are active, because stale retransmission timers legitimately
@@ -57,6 +73,15 @@ impl World {
         self.in_flight > 0
             || self.daemons.iter().any(Daemon::has_any_messengers)
             || self.daemons.iter().map(Daemon::unacked_frames).sum::<u64>() > 0
+            || self.daemons.iter().map(Daemon::staged_work).sum::<u64>() > 0
+            || self.has_unrestored_kill()
+    }
+
+    /// A permanently killed daemon whose checkpoint has not been
+    /// restored yet holds work (its checkpointed messengers) that no
+    /// live daemon can see — the run must not quiesce past it.
+    fn has_unrestored_kill(&self) -> bool {
+        (0..self.daemons.len()).any(|i| self.down_until[i] == SimTime::MAX && !self.restored[i])
     }
 }
 
@@ -104,11 +129,15 @@ fn apply_effects(en: &mut En, w: &mut World, src: DaemonId, at: SimTime, mut fx:
                     en.schedule_at(arrival, move |en, w| deliver(en, w, src, dst, copy));
                 }
             }
-            Effect::Timer { peer, seq, delay } => {
+            Effect::Timer { src: csrc, chan, seq, delay } => {
+                // The timer belongs to `src` — the daemon currently
+                // holding the channel's retransmit buffer. If it dies,
+                // the timer dies with it; the successor re-arms its own.
                 en.schedule_at(at.saturating_add(delay), move |en, w| {
-                    timer_fire(en, w, src, peer, seq);
+                    timer_fire(en, w, src, csrc, chan, seq);
                 });
             }
+            Effect::Recover { victim } => recover(en, w, src, victim),
             Effect::LiveDelta(d) => w.live += d,
             Effect::Fault { messenger, error } => {
                 w.faults.push((messenger, error));
@@ -123,25 +152,41 @@ fn apply_effects(en: &mut En, w: &mut World, src: DaemonId, at: SimTime, mut fx:
     }
 }
 
-/// A retransmission timer for daemon `src`'s frame `(peer, seq)` fired.
-fn timer_fire(en: &mut En, w: &mut World, src: DaemonId, peer: DaemonId, seq: u64) {
+/// A retransmission timer fired on daemon `holder` for the channel
+/// `(src, chan)`, frame `seq`.
+fn timer_fire(
+    en: &mut En,
+    w: &mut World,
+    holder: DaemonId,
+    src: DaemonId,
+    chan: DaemonId,
+    seq: u64,
+) {
     let now = en.now();
-    let i = src.0 as usize;
+    let i = holder.0 as usize;
+    if w.down_until[i] == SimTime::MAX {
+        return; // permanently dead: the successor re-armed its own timers
+    }
     if w.down_until[i] > now {
         // The sender itself is crashed: it can't retransmit until it
         // restarts. Defer the timer to the restart instant.
         let resume = w.down_until[i];
-        en.schedule_at(resume, move |en, w| timer_fire(en, w, src, peer, seq));
+        en.schedule_at(resume, move |en, w| timer_fire(en, w, holder, src, chan, seq));
         return;
     }
     let mut fx = Vec::new();
-    let cost = w.daemons[i].on_timer(now, peer, seq, &mut fx);
+    let cost = w.daemons[i].on_timer(now, src, chan, seq, &mut fx);
     if cost == 0 && fx.is_empty() {
         return; // stale timer: the frame was acked long ago
     }
     let (_, end) = w.cpus[i].run(now, cost);
     en.schedule_at(end, move |en, w| {
-        apply_effects(en, w, src, en.now(), fx);
+        // A kill between the timer firing and the CPU finishing destroys
+        // the retransmission along with the rest of the volatile state.
+        if w.down_until[holder.0 as usize] == SimTime::MAX {
+            return;
+        }
+        apply_effects(en, w, holder, en.now(), fx);
     });
 }
 
@@ -150,6 +195,13 @@ fn deliver(en: &mut En, w: &mut World, src: DaemonId, dst: DaemonId, wire: Wire)
     let now = en.now();
     let i = dst.0 as usize;
     if w.down_until[i] > now {
+        if w.down_until[i] == SimTime::MAX {
+            // Permanently dead: every frame addressed to it — loopback
+            // included — is lost. The reliable transport re-routes the
+            // retransmission to the successor once the eviction lands.
+            w.stats.bump("crash_frames_lost");
+            return;
+        }
         if src == dst {
             // A daemon's hand-off to itself never touches the wire: it
             // is daemon memory, and fail-recover semantics preserve
@@ -170,6 +222,13 @@ fn deliver(en: &mut En, w: &mut World, src: DaemonId, dst: DaemonId, wire: Wire)
     let (_, end) = w.cpus[i].run(now, cost);
     w.last_work = w.last_work.max(end);
     en.schedule_at(end, move |en, w| {
+        // A kill between frame acceptance and the CPU finishing destroys
+        // the uncommitted effect batch with the daemon; the sender's
+        // retransmit buffer still holds the frame, so the successor
+        // re-receives it after failover.
+        if w.down_until[dst.0 as usize] == SimTime::MAX {
+            return;
+        }
         apply_effects(en, w, dst, en.now(), fx);
         tick(en, w, dst);
     });
@@ -178,6 +237,9 @@ fn deliver(en: &mut En, w: &mut World, src: DaemonId, dst: DaemonId, wire: Wire)
 fn tick(en: &mut En, w: &mut World, d: DaemonId) {
     let now = en.now();
     let i = d.0 as usize;
+    if w.down_until[i] == SimTime::MAX {
+        return; // permanently dead
+    }
     if w.down_until[i] > now {
         // Crashed: resume exactly at the restart instant.
         let resume = w.down_until[i];
@@ -202,6 +264,12 @@ fn tick(en: &mut En, w: &mut World, d: DaemonId) {
     let (_, end) = w.cpus[i].run(now, cost);
     w.last_work = w.last_work.max(end);
     en.schedule_at(end, move |en, w| {
+        // A kill mid-segment erases the segment's effects: the messenger
+        // that ran it is back in the last checkpoint, so the successor
+        // replays the whole segment instead.
+        if w.down_until[d.0 as usize] == SimTime::MAX {
+            return;
+        }
         apply_effects(en, w, d, en.now(), fx);
         tick(en, w, d);
     });
@@ -221,6 +289,132 @@ fn gvt_tick(en: &mut En, w: &mut World) {
     apply_effects(en, w, DaemonId(0), en.now(), fx);
     let interval = w.cfg.gvt_interval.max(MILLI / 2);
     en.schedule_in(interval, gvt_tick);
+}
+
+/// A permanent kill: the daemon's volatile state is destroyed on the
+/// spot. Its last checkpoint (in [`World::ckpt`]) is all that remains.
+fn kill(en: &mut En, w: &mut World, d: DaemonId) {
+    let i = d.0 as usize;
+    w.down_until[i] = SimTime::MAX;
+    w.killed_at[i] = Some(en.now());
+    w.stats.bump("kills");
+    w.daemons[i].gut();
+    // If the cluster had quiesced, the heartbeat and checkpoint chains
+    // wound down — but the kill itself creates new work (the victim's
+    // unrestored checkpoint), so failure detection must come back.
+    if !w.beats_live {
+        w.beats_live = true;
+        let hb = w.cfg.recovery.heartbeat_every.max(MILLI / 2);
+        en.schedule_in(hb, beat_tick);
+    }
+    for j in 0..w.daemons.len() {
+        if j != i && w.down_until[j] != SimTime::MAX && !w.ckpt_live[j] {
+            w.ckpt_live[j] = true;
+            let every = w.cfg.recovery.checkpoint_every.max(MILLI / 2);
+            let dj = DaemonId(j as u16);
+            en.schedule_at(en.now().saturating_add(every), move |en, w| ckpt_tick(en, w, dj));
+        }
+    }
+}
+
+/// Checkpoint daemon `d` right now: flush the output-commit stage (which
+/// seals staged sends into the retransmit buffer and releases deferred
+/// acks), store the snapshot durably, then let the flushed effects out.
+/// The order is load-bearing: the effects become visible only together
+/// with the snapshot that can replay them.
+fn checkpoint_now(en: &mut En, w: &mut World, d: DaemonId) {
+    let i = d.0 as usize;
+    let now = en.now();
+    let mut fx = Vec::new();
+    w.daemons[i].checkpoint_flush(now, &mut fx);
+    let snap = w.daemons[i].checkpoint_snapshot();
+    let bytes = snap.len() as u64;
+    w.ckpt.put(d, snap);
+    let cost = w.cfg.costs.hop_send_ns + bytes * w.cfg.costs.per_byte_copy_ns;
+    let (_, end) = w.cpus[i].run(now, cost);
+    w.last_work = w.last_work.max(end);
+    apply_effects(en, w, d, now, fx);
+}
+
+/// Periodic per-daemon checkpoint cadence (recovery-armed runs only).
+fn ckpt_tick(en: &mut En, w: &mut World, d: DaemonId) {
+    let i = d.0 as usize;
+    let now = en.now();
+    if w.down_until[i] == SimTime::MAX {
+        w.ckpt_live[i] = false;
+        return; // dead: its cadence dies with it
+    }
+    if w.down_until[i] > now {
+        let resume = w.down_until[i];
+        en.schedule_at(resume, move |en, w| ckpt_tick(en, w, d));
+        return;
+    }
+    checkpoint_now(en, w, d);
+    if !w.outstanding() {
+        w.ckpt_live[i] = false;
+        return; // computation finished; let the queue drain
+    }
+    let every = w.cfg.recovery.checkpoint_every.max(MILLI / 2);
+    en.schedule_at(now.saturating_add(every), move |en, w| ckpt_tick(en, w, d));
+    tick(en, w, d);
+}
+
+/// One cluster-wide heartbeat instant: every live daemon beats and runs
+/// its failure detector at the same simulated time, so Dead verdicts —
+/// and therefore failover — are deterministic per seed.
+fn beat_tick(en: &mut En, w: &mut World) {
+    if !w.outstanding() {
+        w.beats_live = false;
+        return;
+    }
+    let now = en.now();
+    for i in 0..w.daemons.len() {
+        if w.down_until[i] > now {
+            continue;
+        }
+        let d = DaemonId(i as u16);
+        let mut fx = Vec::new();
+        w.daemons[i].on_beat_tick(now, &mut fx);
+        apply_effects(en, w, d, now, fx);
+    }
+    let every = w.cfg.recovery.heartbeat_every.max(MILLI / 2);
+    en.schedule_in(every, beat_tick);
+}
+
+/// Failover: `successor` adopts `victim`'s last checkpoint. Runs at most
+/// once per victim; the restore is followed immediately by a checkpoint
+/// of the successor, so a chained failure cannot lose the adopted state.
+fn recover(en: &mut En, w: &mut World, successor: DaemonId, victim: DaemonId) {
+    let vi = victim.0 as usize;
+    if w.restored[vi] {
+        return;
+    }
+    w.restored[vi] = true;
+    let snap = w.ckpt.get(victim).expect("recovery-armed runs checkpoint every daemon at start");
+    let bytes = snap.len() as u64;
+    let now = en.now();
+    let si = successor.0 as usize;
+    let mut fx = Vec::new();
+    if let Err(e) = w.daemons[si].restore_from(victim, snap, now, &mut fx) {
+        panic!("restoring daemon {victim} from its checkpoint failed: {e}");
+    }
+    // Restored nodes keep their gids: published names move to the
+    // successor in place, and names the victim never published stay out
+    // of the directory.
+    for entry in w.directory.values_mut() {
+        if entry.0 == victim {
+            entry.0 = successor;
+        }
+    }
+    if let Some(k) = w.killed_at[vi] {
+        w.stats.add("recovery_latency_ns", now.saturating_sub(k));
+    }
+    let cost = w.cfg.costs.hop_recv_ns + bytes * w.cfg.costs.per_byte_copy_ns;
+    let (_, end) = w.cpus[si].run(now, cost);
+    w.last_work = w.last_work.max(end);
+    apply_effects(en, w, successor, now, fx);
+    checkpoint_now(en, w, successor);
+    en.schedule_at(end, move |en, w| tick(en, w, successor));
 }
 
 /// Outcome of a simulated run.
@@ -274,12 +468,19 @@ impl SimCluster {
     /// Panics if the topology size differs from `cfg.daemons`.
     pub fn with_daemon_topology(cfg: ClusterConfig, topo: DaemonTopology) -> Self {
         assert_eq!(topo.len(), cfg.daemons, "topology size mismatch");
-        cfg.faults.assert_valid();
-        for ev in &cfg.faults.crashes {
+        if let Err(e) = cfg.faults.validate(cfg.daemons) {
+            panic!("invalid fault plan: {e}");
+        }
+        if cfg.recovery_armed() {
             assert!(
-                (ev.host as usize) < cfg.daemons,
-                "crash event targets missing daemon {}",
-                ev.host
+                cfg.vt_mode != VtMode::Optimistic,
+                "permanent kills are not supported under optimistic virtual time \
+                 (checkpoints do not capture Time-Warp rollback state)"
+            );
+            assert!(
+                cfg.faults.crashes.iter().all(|c| !(c.is_kill() && c.host == 0)),
+                "daemon 0 hosts the GVT coordinator and cannot be permanently killed \
+                 (coordinator failover is not supported)"
             );
         }
         let cfg = Arc::new(cfg);
@@ -310,7 +511,8 @@ impl SimCluster {
         // so enabling faults never perturbs other randomized choices.
         let injector = (!cfg.faults.is_none())
             .then(|| FaultInjector::new(cfg.faults.clone(), DetRng::new(cfg.seed).fork(0xFA17)));
-        let down_until = vec![0; cfg.daemons];
+        let n = cfg.daemons;
+        let down_until = vec![0; n];
         let mut cluster = SimCluster {
             engine: Engine::new(),
             world: World {
@@ -325,6 +527,11 @@ impl SimCluster {
                 faults: Vec::new(),
                 injector,
                 down_until,
+                ckpt: MemStore::new(),
+                restored: vec![false; n],
+                killed_at: vec![None; n],
+                beats_live: false,
+                ckpt_live: vec![false; n],
                 last_work: 0,
                 stats: Stats::new(),
             },
@@ -335,8 +542,13 @@ impl SimCluster {
         // up front so they fire regardless of how the run is driven.
         for ev in cluster.world.cfg.faults.crashes.clone() {
             let d = DaemonId(ev.host as u16);
+            if ev.is_kill() {
+                cluster.engine.schedule_at(ev.at, move |en, w| kill(en, w, d));
+                continue;
+            }
             cluster.engine.schedule_at(ev.at, move |en, w| {
-                let until = en.now().saturating_add(ev.down_for);
+                let down = ev.down_for.expect("kills handled above");
+                let until = en.now().saturating_add(down);
                 let i = d.0 as usize;
                 w.down_until[i] = w.down_until[i].max(until);
                 w.stats.bump("crashes");
@@ -575,6 +787,22 @@ impl SimCluster {
         if self.world.gvt_enabled {
             let interval = self.world.cfg.gvt_interval;
             self.engine.schedule_in(interval, gvt_tick);
+        }
+        if self.world.cfg.recovery_armed() {
+            // Time-zero checkpoints: even an instant kill can restore to
+            // the injected workload, never to nothing.
+            for i in 0..self.world.daemons.len() {
+                checkpoint_now(&mut self.engine, &mut self.world, DaemonId(i as u16));
+            }
+            let hb = self.world.cfg.recovery.heartbeat_every.max(MILLI / 2);
+            self.world.beats_live = true;
+            self.engine.schedule_in(hb, beat_tick);
+            let every = self.world.cfg.recovery.checkpoint_every.max(MILLI / 2);
+            for i in 0..self.world.daemons.len() {
+                let d = DaemonId(i as u16);
+                self.world.ckpt_live[i] = true;
+                self.engine.schedule_at(every, move |en, w| ckpt_tick(en, w, d));
+            }
         }
         let budget = self.world.cfg.max_events;
         if !self.engine.run_bounded(&mut self.world, budget) {

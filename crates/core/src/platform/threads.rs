@@ -20,6 +20,7 @@ use std::sync::{Mutex, RwLock};
 use msgr_sim::Stats;
 use msgr_vm::{Dir, MessengerId, NativeCtx, NativeRegistry, Program, ProgramId, Value};
 
+use crate::ckpt::{CheckpointStore, FileStore};
 use crate::config::{ClusterConfig, VtMode, VtService};
 use crate::daemon::{CodeCache, Daemon, Directory, Effect};
 use crate::ids::{DaemonId, NodeRef};
@@ -280,16 +281,42 @@ impl ThreadCluster {
             VtService::Auto => self.codes.any_uses_virtual_time(),
         };
 
+        // File-backed durability: with a checkpoint directory configured,
+        // every daemon periodically snapshots its durable state (node
+        // variables, parked messengers, transport channels) to
+        // `daemon-<id>.ckpt`, and once more at shutdown. Each thread owns
+        // its own store handle; the files are disjoint per daemon.
+        let ckpt_every = Duration::from_nanos(self.cfg.recovery.checkpoint_every.max(1_000_000));
+        let mut stores: Vec<Option<FileStore>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            stores.push(match &self.cfg.checkpoint_dir {
+                None => None,
+                Some(dir) => Some(FileStore::new(dir.clone()).map_err(|e| {
+                    ClusterError::Config(format!("checkpoint dir {}: {e}", dir.display()))
+                })?),
+            });
+        }
+
         let start = Instant::now();
         let mut handles = Vec::with_capacity(n);
-        for (mut daemon, rx) in self.daemons.drain(..).zip(receivers) {
+        for ((mut daemon, rx), store) in self.daemons.drain(..).zip(receivers).zip(stores) {
             let senders = senders.clone();
             let shutdown = shutdown.clone();
             let live = self.live.clone();
             let faults = self.faults.clone();
             let dir = self.directory.clone();
             handles.push(std::thread::spawn(move || {
-                run_daemon(&mut daemon, rx, senders, shutdown, live, faults, dir);
+                run_daemon(
+                    &mut daemon,
+                    rx,
+                    senders,
+                    shutdown,
+                    live,
+                    faults,
+                    dir,
+                    store,
+                    ckpt_every,
+                );
                 daemon
             }));
         }
@@ -345,6 +372,7 @@ impl ThreadCluster {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_daemon(
     daemon: &mut Daemon,
     rx: Receiver<Wire>,
@@ -353,9 +381,18 @@ fn run_daemon(
     live: Arc<AtomicI64>,
     faults: Arc<Mutex<Vec<(MessengerId, String)>>>,
     dir: SharedDirectory,
+    mut store: Option<FileStore>,
+    ckpt_every: Duration,
 ) {
     let mut fx: Vec<Effect> = Vec::new();
+    let mut last_ckpt = Instant::now();
     loop {
+        if let Some(s) = store.as_mut() {
+            if last_ckpt.elapsed() >= ckpt_every {
+                s.put(daemon.id(), daemon.checkpoint_snapshot());
+                last_ckpt = Instant::now();
+            }
+        }
         // Drain the inbox.
         while let Ok(wire) = rx.try_recv() {
             daemon.on_wire(wire, &mut fx);
@@ -374,6 +411,11 @@ fn run_daemon(
             }
             Err(_) => {
                 if shutdown.load(Ordering::Relaxed) {
+                    // A final snapshot so the files reflect the finished
+                    // state (post-run inspection and cold restarts).
+                    if let Some(s) = store.as_mut() {
+                        s.put(daemon.id(), daemon.checkpoint_snapshot());
+                    }
                     return;
                 }
             }
@@ -406,8 +448,8 @@ fn apply(
                 dir.0.write().unwrap().remove(&name);
             }
             // Unreachable: `new` rejects fault plans, and without one the
-            // daemons never arm retransmission timers.
-            Effect::Timer { .. } => {}
+            // daemons never arm retransmission timers or failover.
+            Effect::Timer { .. } | Effect::Recover { .. } => {}
         }
     }
 }

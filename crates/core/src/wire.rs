@@ -87,23 +87,63 @@ pub enum Wire {
     /// with an active fault plan; the receiver acks every copy and
     /// delivers each sequence number exactly once.
     Data {
-        /// Sending daemon (where the ack goes).
+        /// The channel's original *sender*. Normally the transmitting
+        /// daemon itself; after a failover the successor keeps sending on
+        /// the dead daemon's adopted channels with `src` still naming the
+        /// dead originator, and the ack routes to whichever daemon
+        /// currently owns `src`.
         src: DaemonId,
-        /// Per-(sender, receiver) sequence number, starting at 1.
+        /// The channel's original *receiver*: the daemon the frame was
+        /// first addressed to. Normally the physical destination; after a
+        /// failover it names the dead daemon whose receive channel the
+        /// successor has taken over, so sequencing survives re-homing.
+        chan: DaemonId,
+        /// Per-(sender, channel) sequence number, starting at 1.
         seq: u64,
         /// The enveloped payload frame (never itself `Data` or `Ack`).
         frame: Box<Wire>,
     },
-    /// Transport acknowledgement for a [`Wire::Data`] frame.
+    /// Transport acknowledgement for a [`Wire::Data`] frame. The ack
+    /// names the *channel* `(src, chan)` it credits, not the daemons it
+    /// physically travels between: it routes to whoever currently owns
+    /// `src`.
     Ack {
-        /// Acknowledging daemon (the receiver of the data frame).
+        /// The acked channel's original sender (mirrors
+        /// [`Wire::Data::src`]).
         src: DaemonId,
+        /// The acked channel's original receiver (mirrors
+        /// [`Wire::Data::chan`]).
+        chan: DaemonId,
         /// Highest sequence number delivered with no gaps (cumulative
         /// ack): everything `<= cum` is acknowledged at once.
         cum: u64,
         /// The sequence number whose arrival triggered this ack (may sit
         /// above a gap; acknowledged individually).
         seq: u64,
+    },
+    /// Failure-detector heartbeat. Deliberately *not* enveloped in
+    /// [`Wire::Data`]: a lost heartbeat is itself the failure signal, so
+    /// retransmitting one would defeat the detector.
+    Beat {
+        /// The daemon asserting its liveness.
+        from: DaemonId,
+        /// Its current membership epoch.
+        epoch: u64,
+    },
+    /// Membership change: `victim` has been declared permanently dead and
+    /// its logical nodes re-homed to its successor. Broadcast by the
+    /// successor (reliably — eviction must not be lost) after it restores
+    /// the victim's checkpoint.
+    Evict {
+        /// The daemon declared dead.
+        victim: DaemonId,
+        /// Membership epoch after the eviction.
+        epoch: u64,
+        /// Minimum virtual time in the checkpoint the successor restored.
+        /// The GVT coordinator substitutes this for the victim's report
+        /// in the round the eviction lands in, so GVT can never advance
+        /// past the resurrected messengers' restored virtual times.
+        floor: Vt,
     },
 }
 
@@ -120,9 +160,11 @@ impl Wire {
             Wire::Gvt(msg) => header + msg.wire_bytes(),
             Wire::GvtKick => 0,
             // The envelope rides on the payload frame's existing header:
-            // only src + seq are extra bytes.
-            Wire::Data { frame, .. } => frame.wire_bytes(header) + 12,
-            Wire::Ack { .. } => header + 20,
+            // only src + chan + seq are extra bytes.
+            Wire::Data { frame, .. } => frame.wire_bytes(header) + 14,
+            Wire::Ack { .. } => header + 22,
+            Wire::Beat { .. } => header + 10,
+            Wire::Evict { .. } => header + 18,
         }
     }
 }
@@ -149,11 +191,11 @@ fn get_u8(buf: &mut Bytes, what: &str) -> Result<u8, VmError> {
     Ok(buf.get_u8())
 }
 
-fn put_vt(buf: &mut BytesMut, vt: Vt) {
+pub(crate) fn put_vt(buf: &mut BytesMut, vt: Vt) {
     put_f64(buf, vt.as_f64());
 }
 
-fn get_vt(buf: &mut Bytes) -> Result<Vt, VmError> {
+pub(crate) fn get_vt(buf: &mut Bytes) -> Result<Vt, VmError> {
     let t = get_f64(buf)?;
     if t.is_nan() {
         return Err(err("NaN virtual time"));
@@ -171,12 +213,12 @@ fn get_endpoint(buf: &mut Bytes) -> Result<(DaemonId, NodeRef), VmError> {
     Ok((d, get_node_ref(buf)?))
 }
 
-fn put_node_ref(buf: &mut BytesMut, n: NodeRef) {
+pub(crate) fn put_node_ref(buf: &mut BytesMut, n: NodeRef) {
     put_varint(buf, n.creator as u64);
     put_varint(buf, n.seq);
 }
 
-fn get_node_ref(buf: &mut Bytes) -> Result<NodeRef, VmError> {
+pub(crate) fn get_node_ref(buf: &mut Bytes) -> Result<NodeRef, VmError> {
     let creator = get_varint(buf)? as u16;
     let seq = get_varint(buf)?;
     Ok(NodeRef { creator, seq })
@@ -220,7 +262,7 @@ fn get_migration(buf: &mut Bytes) -> Result<Migration, VmError> {
     Ok(Migration { id, vtime, epoch, anti, to, via, bytes, code_bytes })
 }
 
-fn put_orient(buf: &mut BytesMut, o: Orient) {
+pub(crate) fn put_orient(buf: &mut BytesMut, o: Orient) {
     buf.put_u8(match o {
         Orient::Out => 0,
         Orient::In => 1,
@@ -228,7 +270,7 @@ fn put_orient(buf: &mut BytesMut, o: Orient) {
     });
 }
 
-fn get_orient(buf: &mut Bytes) -> Result<Orient, VmError> {
+pub(crate) fn get_orient(buf: &mut Bytes) -> Result<Orient, VmError> {
     Ok(match get_u8(buf, "orient")? {
         0 => Orient::Out,
         1 => Orient::In,
@@ -326,17 +368,30 @@ fn put_frame(buf: &mut BytesMut, w: &Wire) {
             put_ctrl(buf, msg);
         }
         Wire::GvtKick => buf.put_u8(4),
-        Wire::Data { src, seq, frame } => {
+        Wire::Data { src, chan, seq, frame } => {
             buf.put_u8(5);
             put_varint(buf, src.0 as u64);
+            put_varint(buf, chan.0 as u64);
             put_varint(buf, *seq);
             put_frame(buf, frame);
         }
-        Wire::Ack { src, cum, seq } => {
+        Wire::Ack { src, chan, cum, seq } => {
             buf.put_u8(6);
             put_varint(buf, src.0 as u64);
+            put_varint(buf, chan.0 as u64);
             put_varint(buf, *cum);
             put_varint(buf, *seq);
+        }
+        Wire::Beat { from, epoch } => {
+            buf.put_u8(7);
+            put_varint(buf, from.0 as u64);
+            put_varint(buf, *epoch);
+        }
+        Wire::Evict { victim, epoch, floor } => {
+            buf.put_u8(8);
+            put_varint(buf, victim.0 as u64);
+            put_varint(buf, *epoch);
+            put_vt(buf, *floor);
         }
     }
 }
@@ -376,18 +431,31 @@ fn get_frame(buf: &mut Bytes, nested: bool) -> Result<Wire, VmError> {
                 return Err(err("nested transport envelope"));
             }
             let src = DaemonId(get_varint(buf)? as u16);
+            let chan = DaemonId(get_varint(buf)? as u16);
             let seq = get_varint(buf)?;
             let frame = Box::new(get_frame(buf, true)?);
-            Wire::Data { src, seq, frame }
+            Wire::Data { src, chan, seq, frame }
         }
         6 => {
             if nested {
                 return Err(err("ack inside transport envelope"));
             }
             let src = DaemonId(get_varint(buf)? as u16);
+            let chan = DaemonId(get_varint(buf)? as u16);
             let cum = get_varint(buf)?;
             let seq = get_varint(buf)?;
-            Wire::Ack { src, cum, seq }
+            Wire::Ack { src, chan, cum, seq }
+        }
+        7 => {
+            let from = DaemonId(get_varint(buf)? as u16);
+            let epoch = get_varint(buf)?;
+            Wire::Beat { from, epoch }
+        }
+        8 => {
+            let victim = DaemonId(get_varint(buf)? as u16);
+            let epoch = get_varint(buf)?;
+            let floor = get_vt(buf)?;
+            Wire::Evict { victim, epoch, floor }
         }
         t => return Err(err(&format!("unknown frame tag {t}"))),
     })
@@ -499,34 +567,57 @@ mod tests {
             }),
             Wire::Gvt(CtrlMsg::Advance { gvt: Vt::new(4.125) }),
             Wire::GvtKick,
-            Wire::Data { src: DaemonId(3), seq: 1, frame: Box::new(Wire::Migrate(mig(16, 0))) },
+            Wire::Data {
+                src: DaemonId(3),
+                chan: DaemonId(5),
+                seq: 1,
+                frame: Box::new(Wire::Migrate(mig(16, 0))),
+            },
             Wire::Data {
                 src: DaemonId(0),
+                chan: DaemonId(0),
                 seq: u64::MAX,
                 frame: Box::new(Wire::Gvt(CtrlMsg::Poll { round: 2 })),
             },
-            Wire::Ack { src: DaemonId(7), cum: 41, seq: 44 },
+            Wire::Ack { src: DaemonId(7), chan: DaemonId(7), cum: 41, seq: 44 },
+            Wire::Beat { from: DaemonId(4), epoch: 2 },
+            Wire::Evict { victim: DaemonId(1), epoch: 3, floor: Vt::new(7.5) },
+            Wire::Evict { victim: DaemonId(6), epoch: 1, floor: Vt::INFINITY },
         ]
     }
 
     #[test]
     fn data_envelope_adds_fixed_overhead() {
         let inner = Wire::Migrate(mig(100, 0));
-        let enveloped = Wire::Data { src: DaemonId(0), seq: 9, frame: Box::new(inner.clone()) };
-        assert_eq!(enveloped.wire_bytes(64), inner.wire_bytes(64) + 12);
-        let ack = Wire::Ack { src: DaemonId(0), cum: 1, seq: 1 };
+        let enveloped = Wire::Data {
+            src: DaemonId(0),
+            chan: DaemonId(1),
+            seq: 9,
+            frame: Box::new(inner.clone()),
+        };
+        assert_eq!(enveloped.wire_bytes(64), inner.wire_bytes(64) + 14);
+        let ack = Wire::Ack { src: DaemonId(0), chan: DaemonId(0), cum: 1, seq: 1 };
         assert!(ack.wire_bytes(64) < 128, "acks must stay cheap");
+        let beat = Wire::Beat { from: DaemonId(0), epoch: 0 };
+        assert!(beat.wire_bytes(64) < 128, "heartbeats must stay cheap");
     }
 
     #[test]
     fn nested_transport_frames_rejected() {
-        let inner = Wire::Data { src: DaemonId(0), seq: 1, frame: Box::new(Wire::GvtKick) };
-        let outer = Wire::Data { src: DaemonId(1), seq: 2, frame: Box::new(inner) };
+        let inner = Wire::Data {
+            src: DaemonId(0),
+            chan: DaemonId(1),
+            seq: 1,
+            frame: Box::new(Wire::GvtKick),
+        };
+        let outer =
+            Wire::Data { src: DaemonId(1), chan: DaemonId(0), seq: 2, frame: Box::new(inner) };
         assert!(decode_frame(encode_frame(&outer)).is_err(), "Data in Data must not decode");
         let ack_in_data = Wire::Data {
             src: DaemonId(1),
+            chan: DaemonId(0),
             seq: 2,
-            frame: Box::new(Wire::Ack { src: DaemonId(0), cum: 0, seq: 0 }),
+            frame: Box::new(Wire::Ack { src: DaemonId(0), chan: DaemonId(1), cum: 0, seq: 0 }),
         };
         assert!(decode_frame(encode_frame(&ack_in_data)).is_err(), "Ack in Data must not decode");
     }

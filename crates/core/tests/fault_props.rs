@@ -88,11 +88,26 @@ fn arb_rates(s: &mut Source) -> FaultPlan {
 
 /// Random crash/restart schedule over the scenario's daemons.
 fn arb_crashes(s: &mut Source, daemons: usize) -> Vec<CrashEvent> {
-    s.vec_with(1..4, |s| CrashEvent {
-        host: s.u32_in(0..daemons as u32),
-        at: s.u64_in(0..40 * MILLI),
-        down_for: s.u64_in(MILLI..30 * MILLI),
-    })
+    // Transient windows only, and well under `RecoveryPolicy::dead_after`
+    // (240 ms), so fail-recover scenarios never trip permanent failover.
+    let mut evs = s.vec_with(1..4, |s| {
+        CrashEvent::transient(
+            s.u32_in(0..daemons as u32),
+            s.u64_in(0..40 * MILLI),
+            s.u64_in(MILLI..30 * MILLI),
+        )
+    });
+    // `FaultPlan::validate` rejects overlapping windows per host; keep
+    // the earliest of any overlapping pair.
+    evs.sort_by_key(|e| (e.host, e.at));
+    let mut out: Vec<CrashEvent> = Vec::new();
+    for e in evs {
+        match out.iter().rev().find(|p| p.host == e.host) {
+            Some(prev) if e.at < prev.until() => continue,
+            _ => out.push(e),
+        }
+    }
+    out
 }
 
 struct RunResult {
@@ -352,10 +367,8 @@ fn soak_sustained_loss_and_crashes() {
     let daemons = 6usize;
     // One crash somewhere every ~40 ms for the whole expected run.
     let crashes: Vec<CrashEvent> = (0..24)
-        .map(|k| CrashEvent {
-            host: (k % daemons) as u32,
-            at: (10 + 40 * k as u64) * MILLI,
-            down_for: 15 * MILLI,
+        .map(|k| {
+            CrashEvent::transient((k % daemons) as u32, (10 + 40 * k as u64) * MILLI, 15 * MILLI)
         })
         .collect();
     let sc = Scenario {

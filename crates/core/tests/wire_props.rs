@@ -94,13 +94,21 @@ fn arb_payload_frame(s: &mut Source) -> Wire {
 }
 
 fn arb_frame(s: &mut Source) -> Wire {
-    match s.draw(7) {
+    match s.draw(9) {
         5 => Wire::Data {
             src: DaemonId(s.any_u16()),
+            chan: DaemonId(s.any_u16()),
             seq: s.any_u64(),
             frame: Box::new(arb_payload_frame(s)),
         },
-        6 => Wire::Ack { src: DaemonId(s.any_u16()), cum: s.any_u64(), seq: s.any_u64() },
+        6 => Wire::Ack {
+            src: DaemonId(s.any_u16()),
+            chan: DaemonId(s.any_u16()),
+            cum: s.any_u64(),
+            seq: s.any_u64(),
+        },
+        7 => Wire::Beat { from: DaemonId(s.any_u16()), epoch: s.any_u64() },
+        8 => Wire::Evict { victim: DaemonId(s.any_u16()), epoch: s.any_u64(), floor: arb_vt(s) },
         _ => arb_payload_frame(s),
     }
 }

@@ -211,10 +211,13 @@ impl Participant {
         }
     }
 
-    /// Handle a [`CtrlMsg::Advance`].
+    /// Handle a [`CtrlMsg::Advance`]. The estimate is a watermark, so it
+    /// folds in monotonically: after a daemon failover, the successor
+    /// replays the victim's adopted channel, which can legally redeliver
+    /// an old `Advance` the victim had consumed after its last
+    /// checkpoint — a stale (lower) value must never roll GVT back.
     pub fn on_advance(&mut self, gvt: Vt) {
-        debug_assert!(gvt >= self.gvt, "GVT went backwards");
-        self.gvt = gvt;
+        self.gvt = self.gvt.max(gvt);
     }
 }
 
@@ -255,6 +258,11 @@ pub struct Coordinator {
     prev_recv: Vec<u64>,
     late_min: Vec<Vt>,
     cur_sent_min: Vec<Vt>,
+    // Membership: evicted (permanently dead) participants and the epoch
+    // number that counts eviction events. Monotone — a dead daemon never
+    // rejoins.
+    dead: Vec<bool>,
+    mem_epoch: u64,
     rounds_run: u64,
     polls_sent: u64,
 }
@@ -278,6 +286,8 @@ impl Coordinator {
             prev_recv: vec![0; n],
             late_min: vec![Vt::INFINITY; n],
             cur_sent_min: vec![Vt::INFINITY; n],
+            dead: vec![false; n],
+            mem_epoch: 0,
             rounds_run: 0,
             polls_sent: 0,
         }
@@ -303,6 +313,64 @@ impl Coordinator {
         self.phase == Phase::Collecting
     }
 
+    /// Membership epoch: the number of evictions applied so far.
+    pub fn mem_epoch(&self) -> u64 {
+        self.mem_epoch
+    }
+
+    /// Whether `daemon` has been evicted.
+    pub fn is_dead(&self, daemon: u16) -> bool {
+        self.dead.get(daemon as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of surviving participants.
+    pub fn alive(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// Evict a permanently dead participant from the membership
+    /// (monotone: re-evicting is a no-op returning `Wait`). Its pending
+    /// report for the active round — which will never arrive — is
+    /// replaced by `floor`, the minimum virtual time of the checkpoint
+    /// its successor restored, so a round stalled on the victim resumes
+    /// with the surviving set *and* GVT cannot advance past the
+    /// resurrected messengers. `floor` matters only for the round in
+    /// flight: any round begun after the eviction reaches the successor
+    /// when it already hosts the restored state and reports it itself.
+    /// The returned action must be acted on exactly as for
+    /// [`Coordinator::on_ack`].
+    ///
+    /// After the first eviction the per-epoch Σsent/Σrecv drain check is
+    /// disabled: frames addressed to a dead daemon are counted by their
+    /// sender but can never be counted by a receiver, so the counts no
+    /// longer reconcile. Safety then rests on the survivors' reported
+    /// minima, which (under the recovery-mode transport) cover every
+    /// unacknowledged in-flight frame and every checkpointed virtual
+    /// time that a restore can resurrect.
+    pub fn evict(&mut self, daemon: u16, floor: Vt) -> CoordinatorAction {
+        let i = daemon as usize;
+        if i >= self.n || self.dead[i] {
+            return CoordinatorAction::Wait;
+        }
+        self.dead[i] = true;
+        self.mem_epoch += 1;
+        self.late_min[i] = Vt::INFINITY;
+        self.cur_sent_min[i] = Vt::INFINITY;
+        self.prev_sent[i] = 0;
+        self.prev_recv[i] = 0;
+        if self.phase == Phase::Collecting {
+            // Even if the victim reported before dying, `floor` bounds
+            // everything a restore can bring back, and its old report
+            // bounds what it still hosted at the cut — keep the lower.
+            self.lmin[i] = self.lmin[i].min(floor);
+            self.reported[i] = true;
+            self.evaluate()
+        } else {
+            self.lmin[i] = Vt::INFINITY;
+            CoordinatorAction::Wait
+        }
+    }
+
     /// Start a new round; returns the `Cut` to broadcast, or `None` if a
     /// round is already active.
     pub fn begin_round(&mut self) -> Option<CtrlMsg> {
@@ -311,10 +379,18 @@ impl Coordinator {
         }
         self.round += 1;
         self.phase = Phase::Collecting;
-        self.reported = vec![false; self.n];
+        // Dead participants will never report; pre-mark them with
+        // neutral values.
+        self.reported = self.dead.clone();
         self.lmin = vec![Vt::INFINITY; self.n];
         self.late_min = vec![Vt::INFINITY; self.n];
         self.cur_sent_min = vec![Vt::INFINITY; self.n];
+        for i in 0..self.n {
+            if self.dead[i] {
+                self.prev_sent[i] = 0;
+                self.prev_recv[i] = 0;
+            }
+        }
         Some(CtrlMsg::Cut { round: self.round })
     }
 
@@ -324,8 +400,10 @@ impl Coordinator {
         }
         let sent: u64 = self.prev_sent.iter().sum();
         let recv: u64 = self.prev_recv.iter().sum();
-        if sent != recv {
-            // Previous epoch not drained; ask everyone again.
+        if sent != recv && self.mem_epoch == 0 {
+            // Previous epoch not drained; ask everyone again. (Once a
+            // member has died the counts cannot reconcile — see
+            // [`Coordinator::evict`] — so the check is skipped.)
             debug_assert!(recv < sent, "received more than was sent");
             self.reported = vec![false; self.n];
             self.polls_sent += 1;
@@ -360,6 +438,10 @@ impl Coordinator {
                     return CoordinatorAction::Wait;
                 }
                 let i = daemon as usize;
+                if self.dead[i] {
+                    // A redirected straggler from an evicted daemon.
+                    return CoordinatorAction::Wait;
+                }
                 self.reported[i] = true;
                 self.lmin[i] = lmin;
                 self.prev_sent[i] = prev_sent;
@@ -373,6 +455,9 @@ impl Coordinator {
                     return CoordinatorAction::Wait;
                 }
                 let i = daemon as usize;
+                if self.dead[i] {
+                    return CoordinatorAction::Wait;
+                }
                 self.reported[i] = true;
                 self.lmin[i] = lmin;
                 self.prev_recv[i] = prev_recv;
@@ -576,6 +661,130 @@ mod tests {
             .wire_bytes()
                 <= 64
         );
+    }
+
+    #[test]
+    fn round_stalls_forever_when_a_participant_never_acks() {
+        // The documented failure mode this PR's eviction machinery
+        // exists for: with fixed membership, one silent participant
+        // wedges the round permanently — no number of acks from the
+        // others completes it.
+        let mut coord = Coordinator::new(3);
+        let mut p0 = Participant::new(0);
+        let mut p1 = Participant::new(1);
+        let round = match coord.begin_round().unwrap() {
+            CtrlMsg::Cut { round } => round,
+            _ => unreachable!(),
+        };
+        assert_eq!(coord.on_ack(&p0.on_cut(round, Vt::new(1.0))), CoordinatorAction::Wait);
+        assert_eq!(coord.on_ack(&p1.on_cut(round, Vt::new(2.0))), CoordinatorAction::Wait);
+        // Daemon 2 never acks; duplicate acks from the others change
+        // nothing.
+        assert_eq!(coord.on_ack(&p0.on_poll(round, Vt::new(1.0))), CoordinatorAction::Wait);
+        assert!(coord.busy(), "round is wedged without an eviction");
+    }
+
+    #[test]
+    fn evicting_the_silent_participant_unblocks_the_round() {
+        let mut coord = Coordinator::new(3);
+        let mut p0 = Participant::new(0);
+        let mut p1 = Participant::new(1);
+        let round = match coord.begin_round().unwrap() {
+            CtrlMsg::Cut { round } => round,
+            _ => unreachable!(),
+        };
+        coord.on_ack(&p0.on_cut(round, Vt::new(4.0)));
+        coord.on_ack(&p1.on_cut(round, Vt::new(6.0)));
+        // The victim's checkpoint floor (3.0) sits below every survivor:
+        // the round must advance only to the floor, because a restore is
+        // about to resurrect messengers at that virtual time.
+        match coord.evict(2, Vt::new(3.0)) {
+            CoordinatorAction::Advance { gvt } => assert_eq!(gvt, Vt::new(3.0)),
+            other => panic!("eviction must complete the round, got {other:?}"),
+        }
+        assert!(!coord.busy());
+        assert_eq!(coord.mem_epoch(), 1);
+        assert!(coord.is_dead(2));
+        assert_eq!(coord.alive(), 2);
+    }
+
+    #[test]
+    fn eviction_round_trip_resumes_with_survivors() {
+        // Epoch-eviction round-trip: evict while idle, then run full
+        // rounds with the surviving set — GVT keeps advancing and the
+        // dead slot stays neutral.
+        let mut coord = Coordinator::new(3);
+        let mut parts: Vec<Participant> = (0..3).map(Participant::new).collect();
+        let g1 = run_round(&mut coord, &mut parts, &[Vt::new(1.0), Vt::new(2.0), Vt::new(3.0)]);
+        assert_eq!(g1, Vt::new(1.0));
+        assert_eq!(
+            coord.evict(1, Vt::INFINITY),
+            CoordinatorAction::Wait,
+            "idle eviction defers to next round"
+        );
+        assert_eq!(coord.evict(1, Vt::ZERO), CoordinatorAction::Wait, "re-eviction is a no-op");
+        assert_eq!(coord.mem_epoch(), 1);
+        // Survivors only: daemon 1 never reports again.
+        let round = match coord.begin_round().unwrap() {
+            CtrlMsg::Cut { round } => round,
+            _ => unreachable!(),
+        };
+        assert_eq!(coord.on_ack(&parts[0].on_cut(round, Vt::new(5.0))), CoordinatorAction::Wait);
+        match coord.on_ack(&parts[2].on_cut(round, Vt::new(7.0))) {
+            CoordinatorAction::Advance { gvt } => assert_eq!(gvt, Vt::new(5.0)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(coord.rounds_run(), 2);
+    }
+
+    #[test]
+    fn acks_from_an_evicted_daemon_are_ignored() {
+        // A redirected straggler ack from the victim must not corrupt
+        // the survivor round (e.g. resurrect its minima).
+        let mut coord = Coordinator::new(2);
+        let mut p0 = Participant::new(0);
+        let mut p1 = Participant::new(1);
+        coord.evict(1, Vt::INFINITY);
+        let round = match coord.begin_round().unwrap() {
+            CtrlMsg::Cut { round } => round,
+            _ => unreachable!(),
+        };
+        let ghost = p1.on_cut(round, Vt::new(0.25));
+        assert_eq!(coord.on_ack(&ghost), CoordinatorAction::Wait);
+        match coord.on_ack(&p0.on_cut(round, Vt::new(9.0))) {
+            CoordinatorAction::Advance { gvt } => assert_eq!(gvt, Vt::new(9.0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn eviction_skips_the_drain_check_but_keeps_monotonicity() {
+        // An in-flight frame addressed to the victim leaves Σsent ≠
+        // Σrecv forever; the post-eviction round must still complete,
+        // and published GVT must stay monotone.
+        let mut coord = Coordinator::new(2);
+        let mut p0 = Participant::new(0);
+        p0.on_send(Vt::new(50.0)); // addressed to daemon 1, never received
+        let r1 = match coord.begin_round().unwrap() {
+            CtrlMsg::Cut { round } => round,
+            _ => unreachable!(),
+        };
+        coord.on_ack(&p0.on_cut(r1, Vt::new(10.0)));
+        match coord.evict(1, Vt::INFINITY) {
+            CoordinatorAction::Advance { gvt } => assert_eq!(gvt, Vt::new(10.0)),
+            other => panic!("sent≠recv must not wedge survivors: {other:?}"),
+        }
+        assert_eq!(coord.polls_sent(), 0, "no drain polls once membership changed");
+        let r2 = match coord.begin_round().unwrap() {
+            CtrlMsg::Cut { round } => round,
+            _ => unreachable!(),
+        };
+        match coord.on_ack(&p0.on_cut(r2, Vt::new(4.0))) {
+            // The survivor's floor dropped below published GVT; the
+            // monotone clamp holds the line.
+            CoordinatorAction::Advance { gvt } => assert_eq!(gvt, Vt::new(10.0)),
+            other => panic!("{other:?}"),
+        }
     }
 
     /// Randomized safety check: simulate daemons exchanging timestamped

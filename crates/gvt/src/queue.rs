@@ -164,6 +164,29 @@ mod tests {
     }
 
     #[test]
+    fn drain_matching_edge_cases() {
+        // Empty queue: nothing to drain, nothing disturbed.
+        let mut q: PendingQueue<i32> = PendingQueue::new();
+        assert!(q.drain_matching(|_| true).is_empty());
+        // All match: queue is emptied, result sorted by wake time.
+        for i in 0..5 {
+            q.push(Vt::new(5.0 - i as f64), i);
+        }
+        let all = q.drain_matching(|_| true);
+        assert_eq!(all.len(), 5);
+        assert!(q.is_empty());
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
+        // None match: queue order (time, then FIFO) is preserved.
+        q.push(Vt::new(1.0), 100);
+        q.push(Vt::new(1.0), 101);
+        q.push(Vt::new(0.5), 99);
+        assert!(q.drain_matching(|_| false).is_empty());
+        assert_eq!(q.pop_min(), Some((Vt::new(0.5), 99)));
+        assert_eq!(q.pop_min(), Some((Vt::new(1.0), 100)));
+        assert_eq!(q.pop_min(), Some((Vt::new(1.0), 101)), "FIFO within equal wake survives");
+    }
+
+    #[test]
     fn min_wake_tracks_head() {
         let mut q = PendingQueue::new();
         assert_eq!(q.min_wake(), None);

@@ -995,7 +995,7 @@ mod tests {
     #[should_panic(expected = "pvmd crash")]
     fn crash_plans_are_rejected() {
         let mut cfg = PvmSimConfig::new(2);
-        cfg.faults.crashes.push(msgr_sim::CrashEvent { host: 0, at: 0, down_for: MILLI });
+        cfg.faults.crashes.push(msgr_sim::CrashEvent::transient(0, 0, MILLI));
         let _ = PvmSim::new(cfg);
     }
 

@@ -16,9 +16,14 @@
 
 use crate::{DetRng, SimTime};
 
-/// One scheduled host crash: the host goes silent at `at` and recovers
-/// `down_for` nanoseconds later. Frames addressed to it meanwhile are
-/// lost; its internal state survives (fail-recover, not fail-stop).
+/// One scheduled host crash: the host goes silent at `at` and — for a
+/// transient crash — recovers `down_for` nanoseconds later. Frames
+/// addressed to it meanwhile are lost; its internal state survives
+/// (fail-recover, not fail-stop).
+///
+/// `down_for: None` is a **permanent kill**: the host never comes back
+/// and its volatile state is gone for good. Survivors can only recover
+/// what was checkpointed to durable storage before the kill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashEvent {
     /// Index of the host that crashes (dense, 0-based — matches
@@ -27,8 +32,34 @@ pub struct CrashEvent {
     /// Simulated time at which the host goes down.
     pub at: SimTime,
     /// Length of the outage; the host accepts frames again at
-    /// `at + down_for`.
-    pub down_for: SimTime,
+    /// `at + down_for`. `None` means the host is dead forever.
+    pub down_for: Option<SimTime>,
+}
+
+impl CrashEvent {
+    /// A transient fail-recover outage of `down_for` nanoseconds.
+    pub fn transient(host: u32, at: SimTime, down_for: SimTime) -> Self {
+        CrashEvent { host, at, down_for: Some(down_for) }
+    }
+
+    /// A permanent kill: the host dies at `at` and never restarts.
+    pub fn kill(host: u32, at: SimTime) -> Self {
+        CrashEvent { host, at, down_for: None }
+    }
+
+    /// `true` iff this event is a permanent kill.
+    pub fn is_kill(&self) -> bool {
+        self.down_for.is_none()
+    }
+
+    /// End of the outage window: `at + down_for` for transient crashes,
+    /// [`SimTime::MAX`] for permanent kills.
+    pub fn until(&self) -> SimTime {
+        match self.down_for {
+            Some(d) => self.at.saturating_add(d),
+            None => SimTime::MAX,
+        }
+    }
 }
 
 /// A deterministic description of what may fail during a run.
@@ -79,6 +110,58 @@ impl FaultPlan {
     /// fault layer.
     pub fn is_none(&self) -> bool {
         self.drop_p == 0.0 && self.dup_p == 0.0 && self.reorder_p == 0.0 && self.crashes.is_empty()
+    }
+
+    /// `true` iff the plan contains at least one permanent kill
+    /// (`down_for: None`). Platforms use this to arm the crash-recovery
+    /// machinery (failure detection, checkpointing, failover) only when
+    /// a host can actually die for good.
+    pub fn has_kills(&self) -> bool {
+        self.crashes.iter().any(|c| c.is_kill())
+    }
+
+    /// Validate the plan against a cluster of `hosts` hosts.
+    ///
+    /// Checks everything [`FaultPlan::assert_valid`] checks, plus the
+    /// crash schedule: every `host` index must be `< hosts`, and no two
+    /// crash windows for the same host may overlap (a permanent kill's
+    /// window extends to infinity, so nothing may follow it). Returns a
+    /// human-readable description of the first problem found.
+    pub fn validate(&self, hosts: usize) -> Result<(), String> {
+        for (name, p) in
+            [("drop_p", self.drop_p), ("dup_p", self.dup_p), ("reorder_p", self.reorder_p)]
+        {
+            if !(p.is_finite() && (0.0..1.0).contains(&p)) {
+                return Err(format!("fault plan: {name} = {p} not in [0, 1)"));
+            }
+        }
+        if self.reorder_p > 0.0 && self.reorder_delay == 0 {
+            return Err("fault plan: reorder_p > 0 requires a positive reorder_delay".into());
+        }
+        let mut by_host: Vec<CrashEvent> = self.crashes.clone();
+        by_host.sort_by_key(|c| (c.host, c.at));
+        for c in &by_host {
+            if c.host as usize >= hosts {
+                return Err(format!(
+                    "fault plan: crash host {} out of range (cluster has {hosts} host(s))",
+                    c.host
+                ));
+            }
+        }
+        for w in by_host.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if a.host == b.host && b.at < a.until() {
+                return Err(format!(
+                    "fault plan: overlapping crash windows for host {}: [{}, {}) and [{}, {})",
+                    a.host,
+                    a.at,
+                    a.until(),
+                    b.at,
+                    b.until(),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Validate the plan's parameters.
@@ -195,8 +278,77 @@ mod tests {
         assert!(!FaultPlan::lossy(0.01).is_none());
         assert!(!FaultPlan { dup_p: 0.5, ..FaultPlan::none() }.is_none());
         assert!(!FaultPlan { reorder_p: 0.5, reorder_delay: 10, ..FaultPlan::none() }.is_none());
-        let crash = CrashEvent { host: 0, at: 100, down_for: 50 };
+        let crash = CrashEvent::transient(0, 100, 50);
         assert!(!FaultPlan { crashes: vec![crash], ..FaultPlan::none() }.is_none());
+    }
+
+    #[test]
+    fn has_kills_distinguishes_permanent_from_transient() {
+        let transient =
+            FaultPlan { crashes: vec![CrashEvent::transient(0, 100, 50)], ..FaultPlan::none() };
+        assert!(!transient.has_kills());
+        let kill = FaultPlan { crashes: vec![CrashEvent::kill(1, 100)], ..FaultPlan::none() };
+        assert!(kill.has_kills());
+        assert!(CrashEvent::kill(1, 100).is_kill());
+        assert_eq!(CrashEvent::kill(1, 100).until(), SimTime::MAX);
+        assert_eq!(CrashEvent::transient(1, 100, 50).until(), 150);
+    }
+
+    #[test]
+    fn validate_accepts_sane_schedules() {
+        let plan = FaultPlan {
+            drop_p: 0.1,
+            crashes: vec![
+                CrashEvent::transient(0, 0, 100),
+                CrashEvent::transient(0, 100, 100), // adjacent, not overlapping
+                CrashEvent::transient(1, 50, 100),
+                CrashEvent::kill(2, 500),
+            ],
+            ..FaultPlan::none()
+        };
+        plan.validate(3).expect("plan is valid");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_hosts() {
+        let plan = FaultPlan { crashes: vec![CrashEvent::kill(3, 0)], ..FaultPlan::none() };
+        let err = plan.validate(3).unwrap_err();
+        assert!(err.contains("host 3 out of range"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_windows_per_host() {
+        let plan = FaultPlan {
+            crashes: vec![CrashEvent::transient(0, 0, 100), CrashEvent::transient(0, 99, 10)],
+            ..FaultPlan::none()
+        };
+        let err = plan.validate(4).unwrap_err();
+        assert!(err.contains("overlapping crash windows for host 0"), "{err}");
+        // Distinct hosts may overlap freely.
+        let plan = FaultPlan {
+            crashes: vec![CrashEvent::transient(0, 0, 100), CrashEvent::transient(1, 50, 100)],
+            ..FaultPlan::none()
+        };
+        plan.validate(4).expect("cross-host overlap is fine");
+    }
+
+    #[test]
+    fn validate_rejects_anything_after_a_kill() {
+        let plan = FaultPlan {
+            crashes: vec![CrashEvent::kill(0, 100), CrashEvent::transient(0, 500, 10)],
+            ..FaultPlan::none()
+        };
+        let err = plan.validate(4).unwrap_err();
+        assert!(err.contains("overlapping"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        let err = FaultPlan::lossy(1.0).validate(1).unwrap_err();
+        assert!(err.contains("drop_p"), "{err}");
+        let plan = FaultPlan { reorder_p: 0.5, reorder_delay: 0, ..FaultPlan::none() };
+        let err = plan.validate(1).unwrap_err();
+        assert!(err.contains("reorder_delay"), "{err}");
     }
 
     #[test]

@@ -48,16 +48,19 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== chaos: fault-injection property sweep =="
 # Two pinned fault seeds (regression anchors) plus one fresh seed per CI
-# run. MSGR_FAULT_SEED perturbs every cluster seed in the chaos suite;
-# the fresh value is logged so a red run can be replayed exactly.
+# run. MSGR_FAULT_SEED perturbs every cluster seed in the chaos suites
+# (transient faults and permanent-kill recovery); the fresh value is
+# logged so a red run can be replayed exactly.
 for seed in 1 424242 "$(date +%s)"; do
     echo "chaos seed: $seed (replay: MSGR_FAULT_SEED=$seed scripts/ci.sh)"
     MSGR_FAULT_SEED="$seed" cargo test -q --offline -p msgr-core --test fault_props
+    MSGR_FAULT_SEED="$seed" cargo test -q --offline -p msgr-core --test recovery_props
 done
 
 if [ "$soak" = 1 ]; then
     echo "== chaos soak (--soak) =="
     cargo test -q --offline -p msgr-core --test fault_props -- --ignored
+    cargo test -q --offline -p msgr-core --test recovery_props -- --ignored
 fi
 
 echo "== cargo fmt --check =="

@@ -18,23 +18,92 @@
 //!                          with optional int/float/string arguments
 //!                          (repeatable; default: one messenger at daemon 0)
 //!     --show NODE.VAR      print a node variable after the run (repeatable)
+//!     --faults SPEC        inject faults (simulator only); SPEC is a
+//!                          comma list of drop=P, dup=P, reorder=P,
+//!                          kill=HOST@MS (permanent death + failover) and
+//!                          crash=HOST@MS+MS (transient, down for +MS)
 //! ```
 //!
-//! Example:
+//! Examples:
 //!
 //! ```text
 //! msgr run examples/scripts/census.mc --daemons 8 --show init.workers
+//! msgr run examples/scripts/census.mc --daemons 4 --faults drop=0.01,kill=2@50
 //! ```
+//!
+//! Exit status: 0 on success, 1 when the script has findings (compile or
+//! verification errors) or the run fails, 2 on internal errors (unreadable
+//! files, bad usage).
 
 use std::process::ExitCode;
 
 use messengers::core::topology::LogicalTopology;
 use messengers::core::{ClusterConfig, SimCluster, ThreadCluster};
+use messengers::sim::{CrashEvent, FaultPlan, MILLI};
 use messengers::vm::Value;
 
+/// A finding: the user's script or run is at fault (exit 1).
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("msgr: {msg}");
     ExitCode::FAILURE
+}
+
+/// An internal/usage error: nothing wrong with the script (exit 2).
+fn fail_internal(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("msgr: {msg}");
+    ExitCode::from(2)
+}
+
+/// Parse a `--faults` spec: `drop=P,dup=P,reorder=P,kill=H@MS,crash=H@MS+MS`.
+fn parse_faults(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::none();
+    for part in spec.split(',').filter(|s| !s.is_empty()) {
+        let (key, val) =
+            part.split_once('=').ok_or_else(|| format!("`{part}` is not key=value"))?;
+        let prob = |v: &str| -> Result<f64, String> {
+            let p: f64 = v.parse().map_err(|_| format!("bad probability `{v}`"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("probability `{v}` outside [0,1]"));
+            }
+            Ok(p)
+        };
+        let host_at = |v: &str| -> Result<(u32, u64), String> {
+            let (h, at) = v.split_once('@').ok_or_else(|| format!("`{v}` wants HOST@MS"))?;
+            Ok((
+                h.parse().map_err(|_| format!("bad host `{h}`"))?,
+                at.parse().map_err(|_| format!("bad time `{at}`"))?,
+            ))
+        };
+        match key {
+            "drop" => plan.drop_p = prob(val)?,
+            "dup" => plan.dup_p = prob(val)?,
+            "reorder" => {
+                plan.reorder_p = prob(val)?;
+                if plan.reorder_delay == 0 {
+                    plan.reorder_delay = MILLI;
+                }
+            }
+            "kill" => {
+                let (h, at) = host_at(val)?;
+                plan.crashes.push(CrashEvent::kill(h, at * MILLI));
+            }
+            "crash" => {
+                let (h, rest) = val
+                    .split_once('@')
+                    .map(|(h, r)| (h.to_string(), r))
+                    .ok_or_else(|| format!("`{val}` wants HOST@MS+MS"))?;
+                let (at, down) =
+                    rest.split_once('+').ok_or_else(|| format!("`{val}` wants HOST@MS+MS"))?;
+                plan.crashes.push(CrashEvent::transient(
+                    h.parse().map_err(|_| format!("bad host `{h}`"))?,
+                    at.parse::<u64>().map_err(|_| format!("bad time `{at}`"))? * MILLI,
+                    down.parse::<u64>().map_err(|_| format!("bad duration `{down}`"))? * MILLI,
+                ));
+            }
+            other => return Err(format!("unknown fault key `{other}`")),
+        }
+    }
+    Ok(plan)
 }
 
 fn parse_arg_value(raw: &str) -> Value {
@@ -58,15 +127,15 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match argv.split_first() {
         Some((c, r)) => (c.as_str(), r),
-        None => return fail("usage: msgr <check|dis|run> <script.mc> [options]"),
+        None => return fail_internal("usage: msgr <check|dis|run> <script.mc> [options]"),
     };
     let (path, opts) = match rest.split_first() {
         Some((p, o)) => (p.as_str(), o),
-        None => return fail("missing script path"),
+        None => return fail_internal("missing script path"),
     };
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
-        Err(e) => return fail(format!("cannot read `{path}`: {e}")),
+        Err(e) => return fail_internal(format!("cannot read `{path}`: {e}")),
     };
 
     match cmd {
@@ -99,7 +168,7 @@ fn main() -> ExitCode {
             Err(e) => fail(e),
         },
         "run" => run(&source, opts),
-        other => fail(format!("unknown command `{other}`")),
+        other => fail_internal(format!("unknown command `{other}`")),
     }
 }
 
@@ -111,6 +180,7 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
     let mut injections: Vec<Injection> = Vec::new();
     let mut shows: Vec<(String, String)> = Vec::new();
     let mut dump = false;
+    let mut faults = FaultPlan::none();
 
     let mut it = opts.iter();
     while let Some(opt) = it.next() {
@@ -149,13 +219,22 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
                         spec.split_once('.').ok_or_else(|| "--show wants NODE.VAR".to_string())?;
                     shows.push((node.to_string(), var.to_string()));
                 }
+                "--faults" => faults = parse_faults(&take("a fault spec")?)?,
                 other => return Err(format!("unknown option `{other}`")),
             }
             Ok(())
         })();
         if let Err(e) = result {
-            return fail(e);
+            return fail_internal(e);
         }
+    }
+    if let Err(e) = faults.validate(daemons) {
+        return fail_internal(format!("invalid fault plan: {e}"));
+    }
+    if faults.crashes.iter().any(|c| c.is_kill() && c.host == 0) {
+        return fail_internal(
+            "daemon 0 hosts the GVT coordinator and cannot be permanently killed",
+        );
     }
     if injections.is_empty() {
         injections.push(Injection { where_: "0".to_string(), args: Vec::new() });
@@ -194,10 +273,8 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
                     for (k, v) in report.stats.counters() {
                         println!("  {k}: {v}");
                     }
-                    if !report.faults.is_empty() {
-                        for (id, err) in &report.faults {
-                            eprintln!("fault: messenger {id}: {err}");
-                        }
+                    for (id, err) in &report.faults {
+                        eprintln!("fault: messenger {id}: {err}");
                     }
                     for (node, var) in &shows {
                         let name = Value::str(node);
@@ -206,7 +283,11 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
                             .or_else(|| cluster.node_var(0, &name, var));
                         println!("{node}.{var} = {}", v.unwrap_or(Value::Null));
                     }
-                    ExitCode::SUCCESS
+                    if report.faults.is_empty() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
                 }
                 Err(e) => fail(e),
             }
@@ -215,14 +296,19 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
 
     if threads {
         if dump {
-            return fail("--dump is only available on the simulation platform");
+            return fail_internal("--dump is only available on the simulation platform");
+        }
+        if !faults.is_none() {
+            return fail_internal("--faults is only available on the simulation platform");
         }
         match ThreadCluster::new(ClusterConfig::new(daemons)) {
             Ok(c) => drive!(c, wall_seconds, "wall seconds"),
             Err(e) => fail(e),
         }
     } else {
-        let mut cluster = SimCluster::new(ClusterConfig::new(daemons));
+        let mut cfg = ClusterConfig::new(daemons);
+        cfg.faults = faults;
+        let mut cluster = SimCluster::new(cfg);
         if let Some(t) = &topology {
             if let Err(e) = cluster.build(t) {
                 return fail(e);
@@ -257,7 +343,11 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
                 if dump {
                     print!("{}", cluster.network_dump());
                 }
-                ExitCode::SUCCESS
+                if report.faults.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
             }
             Err(e) => fail(e),
         }

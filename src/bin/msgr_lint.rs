@@ -17,6 +17,10 @@
 //! `scripts/ci.sh` runs `msgr-lint --deny-warnings --builtin` over every
 //! `.mc` source in the repository, so shipped navigation code stays
 //! warning-clean.
+//!
+//! Exit status: 0 when clean, 1 when any finding fires (verification
+//! errors, compile errors, or — under `--deny-warnings` — lint
+//! warnings), 2 on internal errors (unreadable files, bad usage).
 
 use std::process::ExitCode;
 
@@ -100,14 +104,14 @@ fn main() -> ExitCode {
             }
             other if other.starts_with('-') => {
                 eprintln!("msgr-lint: unknown option `{other}`");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
             path => paths.push(path.to_string()),
         }
     }
     if paths.is_empty() && !builtin {
         eprintln!("msgr-lint: nothing to lint (pass scripts and/or --builtin)");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     }
 
     let mut total = Outcome { errors: 0, warnings: 0 };
@@ -116,7 +120,7 @@ fn main() -> ExitCode {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("msgr-lint: cannot read `{path}`: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
         };
         let program = match messengers::lang::compile(&source) {

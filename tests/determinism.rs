@@ -67,7 +67,7 @@ fn faulty_mandel_runs_are_bit_identical() {
         dup_p: 0.05,
         reorder_p: 0.05,
         reorder_delay: 2 * MILLI,
-        crashes: vec![CrashEvent { host: 3, at: 20 * MILLI, down_for: 25 * MILLI }],
+        crashes: vec![CrashEvent::transient(3, 20 * MILLI, 25 * MILLI)],
     };
     let a = run(plan.clone());
     let b = run(plan);
