@@ -46,6 +46,8 @@ pub struct MandelRun {
     pub checksum: u64,
     /// Execution counters.
     pub stats: Stats,
+    /// Merged flight-recorder trace (present iff `cfg.trace.enabled`).
+    pub trace: Option<msgr_core::Trace>,
 }
 
 fn parse_task(v: &Value) -> Result<u32, String> {
@@ -116,7 +118,9 @@ pub fn run_sim(
     let program =
         msgr_lang::compile(MANAGER_WORKER_SCRIPT).expect("manager/worker script compiles");
     let pid = cluster.register_program(&program);
+    cluster.trace_span_begin("mandel.inject");
     cluster.inject(0, pid, &[])?;
+    cluster.trace_span_end("mandel.inject");
     let report = cluster.run()?;
     if let Some((mid, err)) = report.faults.first() {
         return Err(ClusterError::Config(format!("messenger {mid} faulted: {err}")));
@@ -126,6 +130,7 @@ pub fn run_sim(
         seconds: report.sim_seconds,
         checksum: MandelWork::checksum(&image),
         stats: report.stats,
+        trace: report.trace,
     })
 }
 
@@ -197,6 +202,7 @@ pub fn run_threads(scene: MandelScene, procs: usize) -> Result<MandelRun, Cluste
         seconds: report.wall_seconds,
         checksum: MandelWork::checksum(&image),
         stats: report.stats,
+        trace: report.trace,
     })
 }
 

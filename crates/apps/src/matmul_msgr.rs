@@ -62,6 +62,8 @@ pub struct MatmulRun {
     pub product: Matrix,
     /// Counters (includes `gvt_rounds`, `rollbacks` in optimistic mode).
     pub stats: Stats,
+    /// Merged flight-recorder trace (present iff `cfg.trace.enabled`).
+    pub trace: Option<msgr_core::Trace>,
 }
 
 /// Run the Fig. 11 program: `m × m` grid on `cfg.daemons` daemons
@@ -137,6 +139,7 @@ pub fn run_sim(
     let rot = msgr_lang::compile_with_entry(MATMUL_SCRIPTS, "rotate_B").expect("rotate_B compiles");
     let dist_id = cluster.register_program(&dist);
     let rot_id = cluster.register_program(&rot);
+    cluster.trace_span_begin("matmul.inject");
     for i in 0..m {
         for j in 0..m {
             let node = Value::str(format!("{i},{j}"));
@@ -150,6 +153,7 @@ pub fn run_sim(
             cluster.inject_at(&node, rot_id, &args)?;
         }
     }
+    cluster.trace_span_end("matmul.inject");
 
     let report = cluster.run()?;
     if let Some((mid, err)) = report.faults.first() {
@@ -177,6 +181,7 @@ pub fn run_sim(
         seconds: report.sim_seconds,
         product: layout.assemble(&blocks),
         stats: report.stats,
+        trace: report.trace,
     })
 }
 

@@ -72,6 +72,17 @@ impl FileStore {
     fn path(&self, d: DaemonId) -> PathBuf {
         self.dir.join(format!("daemon-{}.ckpt", d.0))
     }
+
+    /// Persist an auxiliary artifact (e.g. the merged flight-recorder
+    /// trace) next to the checkpoints, with the same temp-file + rename
+    /// discipline. `name` must be a bare file name.
+    pub fn put_blob(&self, name: &str, bytes: &[u8]) {
+        debug_assert!(!name.contains(['/', '\\']), "blob name must be bare: {name:?}");
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        if std::fs::write(&tmp, bytes).is_ok() {
+            let _ = std::fs::rename(&tmp, self.dir.join(name));
+        }
+    }
 }
 
 impl CheckpointStore for FileStore {
@@ -113,6 +124,8 @@ mod tests {
         assert_eq!(s.get(DaemonId(0)).unwrap().len(), 100);
         s.put(DaemonId(0), Bytes::from(vec![7]));
         assert_eq!(s.get(DaemonId(0)).unwrap().as_ref(), &[7]);
+        s.put_blob("trace.jsonl", b"{}\n");
+        assert_eq!(std::fs::read(dir.join("trace.jsonl")).unwrap(), b"{}\n");
         let _ = std::fs::remove_dir_all(dir);
     }
 }

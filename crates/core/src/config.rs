@@ -200,6 +200,10 @@ pub struct ClusterConfig {
     /// `None` (the default) keeps checkpoints in memory (simulation) or
     /// disables them (threads).
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Flight-recorder tracing. Disabled by default; when enabled every
+    /// daemon records typed [`msgr_trace::TraceEvent`]s into a bounded
+    /// ring that the platform merges into the run report.
+    pub trace: msgr_trace::TraceConfig,
 }
 
 impl ClusterConfig {
@@ -226,6 +230,7 @@ impl ClusterConfig {
             retransmit: RetransmitPolicy::default(),
             recovery: RecoveryPolicy::default(),
             checkpoint_dir: None,
+            trace: msgr_trace::TraceConfig::default(),
         }
     }
 
@@ -259,6 +264,7 @@ mod tests {
         assert!(c.costs.per_op_ns > 0);
         assert!(c.faults.is_none(), "faults must default to none");
         assert!(!c.reliable(), "transport must default to off");
+        assert!(!c.trace.enabled, "tracing must default to off");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use msgr_gvt::{
     Coordinator, CoordinatorAction, CtrlMsg, Participant, PendingQueue, SentRef, TwEntry, TwNode,
 };
 use msgr_sim::{DetRng, SimTime, Stats};
+use msgr_trace::{EventKind, FlightRecorder, Metric, TraceEvent};
 use msgr_vm::{
     interp, wire as vmwire, Dir, EvalCreate, EvalHop, EvalLink, LinkInstance, MessengerId,
     MessengerState, NativeCtx, NativeRegistry, NetVar, Program, ProgramId, Value, VmError, Vt,
@@ -385,6 +386,10 @@ pub struct Daemon {
     /// the floor a restore can resurrect; GVT must never pass it.
     last_ckpt_min: Vt,
     stats: Stats,
+    /// Flight recorder; a no-op unless `cfg.trace.enabled`. Deliberately
+    /// NOT volatile state: a kill (`gut`) keeps it so the last window of
+    /// events before the crash survives into the merged trace.
+    rec: FlightRecorder,
 }
 
 impl std::fmt::Debug for Daemon {
@@ -416,6 +421,7 @@ impl Daemon {
             .then(|| Xport::new(cfg.retransmit, DetRng::new(cfg.seed).fork(0xACC + id.0 as u64)));
         let recovery = cfg.recovery_armed();
         let n = cfg.daemons;
+        let trace_cfg = cfg.trace.clone();
         let mut d = Daemon {
             id,
             cfg,
@@ -445,6 +451,7 @@ impl Daemon {
             pending_acks: Vec::new(),
             last_ckpt_min: Vt::INFINITY,
             stats: Stats::new(),
+            rec: FlightRecorder::new(id.0, &trace_cfg),
         };
         let init = d.build_node(Value::str("init"));
         d.init = init;
@@ -464,6 +471,18 @@ impl Daemon {
     /// Counters collected so far.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// The flight recorder (platform stamps the clock through this).
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.rec
+    }
+
+    /// Drain the flight recorder: buffered events plus the count lost to
+    /// the ring bound. Called by the platform at the end of a run; the
+    /// recorder stays armed, and survives kills (see [`Daemon::gut`]).
+    pub fn take_trace(&mut self) -> (Vec<TraceEvent>, u64) {
+        self.rec.drain()
     }
 
     /// Whether any messenger is ready to execute right now.
@@ -586,6 +605,7 @@ impl Daemon {
     ) -> Result<MessengerId, VmError> {
         let id = self.alloc_mid();
         let state = MessengerState::launch(program, id, args)?;
+        self.rec.emit(state.vtime.as_f64(), EventKind::MsgrInject { mid: id.0 });
         self.enqueue(Runnable { state, at, last: None });
         Ok(id)
     }
@@ -619,6 +639,7 @@ impl Daemon {
     /// Process an incoming frame at platform time `now`; returns the CPU
     /// cost of accepting it.
     pub fn on_wire_at(&mut self, now: SimTime, wire: Wire, fx: &mut Vec<Effect>) -> u64 {
+        self.rec.set_now(now);
         let cost = self.on_wire_inner(now, wire, fx);
         self.stage_durable(fx);
         cost
@@ -650,7 +671,7 @@ impl Daemon {
                             ready.push(f);
                         }
                     } else {
-                        self.stats.bump("xport_dup_dropped");
+                        self.stats.bump(Metric::XportDupDropped);
                     }
                     cum = x.recv_cum(src, chan);
                 }
@@ -659,7 +680,7 @@ impl Daemon {
                     // delivery is pinned in a checkpoint, so the sender's
                     // retransmit buffer stays the log of every frame not
                     // yet durable here.
-                    self.stats.bump("acks_deferred");
+                    self.stats.bump(Metric::AcksDeferred);
                     self.pending_acks.push((src, chan, seq));
                 } else {
                     // Ack every copy — the ack for an earlier copy may
@@ -675,9 +696,14 @@ impl Daemon {
                 let from = self.owner(chan);
                 self.heard_from(now, from);
                 if let Some(x) = self.xport.as_mut() {
+                    let mut acked = 0;
                     for first_sent in x.ack(src, chan, cum, seq) {
-                        self.stats.bump("xport_acked");
-                        self.stats.record("xport_delivery_ns", now.saturating_sub(first_sent));
+                        self.stats.bump(Metric::XportAcked);
+                        self.stats.record(Metric::XportDeliveryNs, now.saturating_sub(first_sent));
+                        acked += 1;
+                    }
+                    if acked > 0 {
+                        self.rec.emit_sys(EventKind::FrameAck { chan: chan.0, seq });
                     }
                 }
                 c.gvt_msg_ns
@@ -692,7 +718,7 @@ impl Daemon {
             }
             Wire::Migrate(m) => {
                 self.part.on_receive(m.epoch, m.vtime);
-                self.stats.bump("migrations_in");
+                self.stats.bump(Metric::MigrationsIn);
                 if m.anti {
                     self.annihilate(m.id, fx);
                     return c.gvt_msg_ns;
@@ -703,11 +729,11 @@ impl Daemon {
                         if self.anti_pending.remove(&m.id) {
                             // The anti-messenger got here first.
                             fx.push(Effect::LiveDelta(-1));
-                            self.stats.bump("annihilations");
+                            self.stats.bump(Metric::Annihilations);
                         } else if let Some(reason) = self.codes.rejection(state.program) {
                             // Refuse quarantined code at the door — a
                             // migrating messenger never even enqueues.
-                            self.stats.bump("verify_rejected");
+                            self.stats.bump(Metric::VerifyRejected);
                             fx.push(Effect::Fault {
                                 messenger: m.id,
                                 error: format!(
@@ -717,11 +743,13 @@ impl Daemon {
                             });
                             fx.push(Effect::LiveDelta(-1));
                         } else if self.nodes.contains_key(&m.to.1) {
+                            self.rec
+                                .emit(state.vtime.as_f64(), EventKind::MsgrArrive { mid: m.id.0 });
                             self.enqueue(Runnable { state, at: m.to.1, last: m.via });
                         } else {
                             // Destination node was deleted in flight.
                             fx.push(Effect::LiveDelta(-1));
-                            self.stats.bump("dead_letters");
+                            self.stats.bump(Metric::DeadLetters);
                         }
                     }
                     Err(e) => {
@@ -733,7 +761,7 @@ impl Daemon {
             }
             Wire::Create(cn) => {
                 self.part.on_receive(cn.messenger.epoch, cn.messenger.vtime);
-                self.stats.bump("remote_creates");
+                self.stats.bump(Metric::RemoteCreates);
                 let mut node = LogicalNode::new(cn.gid, cn.name.clone());
                 node.links.push(LinkRec {
                     inst: cn.inst,
@@ -756,7 +784,7 @@ impl Daemon {
                 match vmwire::decode_messenger(cn.messenger.bytes.clone()) {
                     Ok(state) => {
                         if let Some(reason) = self.codes.rejection(state.program) {
-                            self.stats.bump("verify_rejected");
+                            self.stats.bump(Metric::VerifyRejected);
                             fx.push(Effect::Fault {
                                 messenger: cn.messenger.id,
                                 error: format!(
@@ -817,6 +845,7 @@ impl Daemon {
         if self.xport.is_none() {
             return;
         }
+        self.rec.set_now(now);
         let mut timers = Vec::new();
         for e in fx.iter_mut() {
             let Effect::Send { dst, wire } = e else {
@@ -839,6 +868,7 @@ impl Daemon {
             let seq = p.next_seq;
             let inner = std::mem::replace(wire, Wire::GvtKick);
             let data = Wire::Data { src: self.id, chan, seq, frame: Box::new(inner) };
+            let frame_bytes = data.wire_bytes(self.cfg.costs.wire_header_bytes);
             let rto = x.policy.rto;
             let delay = rto + x.jitter();
             let p = x.send.entry((self.id.0, chan.0)).or_default();
@@ -847,7 +877,8 @@ impl Daemon {
             *wire = data;
             *dst = route;
             timers.push(Effect::Timer { src: self.id, chan, seq, delay });
-            self.stats.bump("xport_sent");
+            self.stats.bump(Metric::XportSent);
+            self.rec.emit_sys(EventKind::FrameSend { chan: chan.0, seq, bytes: frame_bytes });
         }
         fx.extend(timers);
     }
@@ -867,7 +898,7 @@ impl Daemon {
         seq: u64,
         fx: &mut Vec<Effect>,
     ) -> u64 {
-        let _ = now;
+        self.rec.set_now(now);
         let route = self.owner(chan);
         let key = (src.0, chan.0);
         let Some(x) = self.xport.as_mut() else {
@@ -882,7 +913,7 @@ impl Daemon {
         let u = p.unacked.get_mut(&seq).expect("checked above");
         if u.attempts >= policy.max_attempts {
             let u = p.unacked.remove(&seq).expect("present");
-            self.stats.bump("xport_gave_up");
+            self.stats.bump(Metric::XportGaveUp);
             // If the frame carried a live messenger, it is now lost for
             // good: keep the population ledger honest and surface a
             // fault so no run under a sane policy silently passes.
@@ -908,10 +939,12 @@ impl Daemon {
             return self.cfg.costs.gvt_msg_ns;
         }
         u.attempts += 1;
+        let attempt = u.attempts;
         let delay = u.rto + jitter;
         u.rto = (u.rto * 2).min(policy.max_rto);
         let frame = u.frame.clone();
-        self.stats.bump("xport_retransmits");
+        self.stats.bump(Metric::XportRetransmits);
+        self.rec.emit_sys(EventKind::FrameRetransmit { chan: chan.0, seq, attempt });
         fx.push(Effect::Send { dst: route, wire: frame });
         fx.push(Effect::Timer { src, chan, seq, delay });
         self.cfg.costs.gvt_msg_ns
@@ -1075,6 +1108,7 @@ impl Daemon {
         if !self.recovery {
             return 0;
         }
+        self.rec.set_now(now);
         let pol = self.cfg.recovery;
         for d in 0..self.cfg.daemons as u16 {
             let i = d as usize;
@@ -1086,7 +1120,7 @@ impl Daemon {
                 wire: Wire::Beat { from: self.id, epoch: self.mem_epoch },
             });
         }
-        self.stats.bump("fd_beats");
+        self.stats.bump(Metric::FdBeats);
         let mut verdicts = Vec::new();
         for d in 0..self.cfg.daemons as u16 {
             let i = d as usize;
@@ -1098,7 +1132,7 @@ impl Daemon {
                 verdicts.push(DaemonId(d));
             } else if silence >= pol.suspect_after && !self.suspect[i] {
                 self.suspect[i] = true;
-                self.stats.bump("fd_suspects");
+                self.stats.bump(Metric::FdSuspects);
             }
         }
         for v in verdicts {
@@ -1121,7 +1155,7 @@ impl Daemon {
         if self.successor_of(victim) != self.id {
             return;
         }
-        self.stats.bump("fd_deaths");
+        self.stats.bump(Metric::FdDeaths);
         fx.push(Effect::Recover { victim });
     }
 
@@ -1141,7 +1175,8 @@ impl Daemon {
         self.alive[i] = false;
         self.suspect[i] = false;
         self.mem_epoch = (self.mem_epoch + 1).max(epoch);
-        self.stats.bump("evictions");
+        self.stats.bump(Metric::Evictions);
+        self.rec.emit_sys(EventKind::GvtEvict { victim: victim.0, floor: floor.as_f64() });
         let heir = self.owner(victim);
         for n in self.nodes.values_mut() {
             for l in n.links.iter_mut() {
@@ -1158,7 +1193,7 @@ impl Daemon {
                     self.broadcast_gvt(CtrlMsg::Poll { round }, fx);
                 }
                 CoordinatorAction::Advance { gvt } => {
-                    self.stats.bump("gvt_rounds");
+                    self.stats.bump(Metric::GvtRounds);
                     self.broadcast_gvt(CtrlMsg::Advance { gvt }, fx);
                 }
             }
@@ -1176,6 +1211,7 @@ impl Daemon {
         if !self.recovery {
             return;
         }
+        self.rec.set_now(now);
         let mut out = std::mem::take(&mut self.stage);
         for (src, chan, seq) in std::mem::take(&mut self.pending_acks) {
             let cum = self.xport.as_ref().map_or(0, |x| x.recv_cum(src, chan));
@@ -1291,9 +1327,10 @@ impl Daemon {
             }
         }
         self.last_ckpt_min = self.snapshot_floor();
-        self.stats.bump("checkpoints");
+        self.stats.bump(Metric::Checkpoints);
         let out = buf.freeze();
-        self.stats.add("checkpoint_bytes", out.len() as u64);
+        self.stats.add(Metric::CheckpointBytes, out.len() as u64);
+        self.rec.emit_sys(EventKind::Checkpoint { bytes: out.len() as u64 });
         out
     }
 
@@ -1319,6 +1356,7 @@ impl Daemon {
         now: SimTime,
         fx: &mut Vec<Effect>,
     ) -> Result<(), VmError> {
+        self.rec.set_now(now);
         let mut buf = bytes;
         if !buf.has_remaining() {
             return Err(VmError::Decode("empty checkpoint".to_string()));
@@ -1452,16 +1490,18 @@ impl Daemon {
         // existing directory entries (victim → this daemon) rather than
         // this daemon republishing: a node the victim never published
         // (e.g. its `init` node) must not enter the directory now.
+        let restored_nodes = nodes.len() as u64;
+        let restored_msgrs = msgrs.len() as u64;
         for mut node in nodes {
             for l in node.links.iter_mut() {
                 let o = self.owner(l.peer.0);
                 l.peer.0 = o;
             }
-            self.stats.bump("restored_nodes");
+            self.stats.bump(Metric::RestoredNodes);
             self.nodes.insert(node.gid, node);
         }
         for (at, last, state) in msgrs {
-            self.stats.bump("restored_messengers");
+            self.stats.bump(Metric::RestoredMessengers);
             self.enqueue(Runnable { state, at, last });
         }
         if let Some(x) = self.xport.as_mut() {
@@ -1490,13 +1530,19 @@ impl Daemon {
                 let jitter = self.xport.as_mut().expect("checked above").jitter();
                 let delay = self.cfg.retransmit.rto + jitter;
                 let route = self.owner(chan);
-                self.stats.bump("xport_redirected");
+                self.stats.bump(Metric::XportRedirected);
+                self.rec.emit_sys(EventKind::FrameRedirect { chan: chan.0, seq, to: route.0 });
                 fx.push(Effect::Send { dst: route, wire: frame });
                 fx.push(Effect::Timer { src, chan, seq, delay });
             }
         }
         self.last_ckpt_min = self.last_ckpt_min.min(floor);
-        self.stats.bump("restores");
+        self.stats.bump(Metric::Restores);
+        self.rec.emit_sys(EventKind::Restore {
+            victim: victim.0,
+            nodes: restored_nodes,
+            messengers: restored_msgrs,
+        });
         for d in 0..self.cfg.daemons as u16 {
             if d == self.id.0 || !self.alive[d as usize] {
                 continue;
@@ -1540,7 +1586,7 @@ impl Daemon {
             if n.name != Value::Null {
                 fx.push(Effect::DirectoryRemove { name: n.name.clone() });
             }
-            self.stats.bump("nodes_deleted");
+            self.stats.bump(Metric::NodesDeleted);
             // Messengers stranded at the node die.
             let before = self.ready.len();
             self.ready.retain(|r| r.at != gid);
@@ -1554,7 +1600,7 @@ impl Daemon {
             let killed = (killed_ready + killed_pending + opt_keys.len()) as i64;
             if killed > 0 {
                 fx.push(Effect::LiveDelta(-killed));
-                self.stats.add("stranded_killed", killed as u64);
+                self.stats.add(Metric::StrandedKilled, killed as u64);
             }
         }
     }
@@ -1564,6 +1610,7 @@ impl Daemon {
     fn on_gvt(&mut self, msg: CtrlMsg, fx: &mut Vec<Effect>) {
         match msg {
             CtrlMsg::Cut { round } => {
+                self.rec.emit_sys(EventKind::GvtRound { round });
                 let lm = self.gvt_min();
                 let ack = self.part.on_cut(round, lm);
                 fx.push(Effect::Send { dst: DaemonId(0), wire: Wire::Gvt(ack) });
@@ -1575,8 +1622,18 @@ impl Daemon {
             }
             CtrlMsg::Advance { gvt } => {
                 self.part.on_advance(gvt);
+                let g = gvt.as_f64();
+                self.rec.set_gvt(g);
+                self.rec.emit_sys(EventKind::GvtAdvance { gvt: g });
+                if g.is_finite() && g > 0.0 {
+                    self.stats.gauge_set(Metric::GvtNs, (g * 1e9) as u64);
+                }
                 if self.cfg.vt_mode == VtMode::Conservative {
                     while let Some((_, r)) = self.pending.pop_runnable(gvt) {
+                        self.rec.emit(
+                            r.state.vtime.as_f64(),
+                            EventKind::MsgrRevive { mid: r.state.id.0 },
+                        );
                         self.ready.push_back(r);
                     }
                 } else {
@@ -1595,7 +1652,7 @@ impl Daemon {
                         self.broadcast_gvt(CtrlMsg::Poll { round }, fx);
                     }
                     CoordinatorAction::Advance { gvt } => {
-                        self.stats.bump("gvt_rounds");
+                        self.stats.bump(Metric::GvtRounds);
                         self.broadcast_gvt(CtrlMsg::Advance { gvt }, fx);
                     }
                 }
@@ -1632,14 +1689,14 @@ impl Daemon {
         let hit = self.pending.drain_matching(|r| r.state.id == id);
         if !hit.is_empty() {
             fx.push(Effect::LiveDelta(-1));
-            self.stats.bump("annihilations");
+            self.stats.bump(Metric::Annihilations);
             return;
         }
         let opt_key = self.opt_queue.keys().find(|(_, i)| *i == id.0).copied();
         if let Some(k) = opt_key {
             self.opt_queue.remove(&k);
             fx.push(Effect::LiveDelta(-1));
-            self.stats.bump("annihilations");
+            self.stats.bump(Metric::Annihilations);
             return;
         }
         // 1b. In the ready queue?
@@ -1647,7 +1704,7 @@ impl Daemon {
         self.ready.retain(|r| r.state.id != id);
         if self.ready.len() < before {
             fx.push(Effect::LiveDelta(-1));
-            self.stats.bump("annihilations");
+            self.stats.bump(Metric::Annihilations);
             return;
         }
         // 2. Already processed at one of our nodes? Roll it back.
@@ -1657,7 +1714,7 @@ impl Daemon {
             if let Some(rb) = rb {
                 self.apply_rollback(gid, rb, fx);
                 fx.push(Effect::LiveDelta(-1));
-                self.stats.bump("annihilations");
+                self.stats.bump(Metric::Annihilations);
                 return;
             }
         }
@@ -1671,8 +1728,8 @@ impl Daemon {
         rb: msgr_gvt::Rollback<NodeVars, Runnable>,
         fx: &mut Vec<Effect>,
     ) {
-        self.stats.bump("rollbacks");
-        self.stats.add("rolled_back_events", rb.reexecute.len() as u64);
+        self.stats.bump(Metric::Rollbacks);
+        self.stats.add(Metric::RolledBackEvents, rb.reexecute.len() as u64);
         if let Some(n) = self.nodes.get_mut(&gid) {
             n.vars = rb.restore;
         }
@@ -1685,7 +1742,7 @@ impl Daemon {
                 self.annihilate(MessengerId(cancel.id), fx);
             } else {
                 self.part.on_send(cancel.ts);
-                self.stats.bump("anti_sent");
+                self.stats.bump(Metric::AntiSent);
                 fx.push(Effect::Send {
                     dst,
                     wire: Wire::Migrate(Migration {
@@ -1752,13 +1809,13 @@ impl Daemon {
         let c = self.cfg.costs;
         let Some(node) = self.nodes.get(&run.at) else {
             fx.push(Effect::LiveDelta(-1));
-            self.stats.bump("dead_letters");
+            self.stats.bump(Metric::DeadLetters);
             return c.gvt_msg_ns;
         };
         let Some(program) = self.codes.get(run.state.program) else {
             let error = match self.codes.rejection(run.state.program) {
                 Some(reason) => {
-                    self.stats.bump("verify_rejected");
+                    self.stats.bump(Metric::VerifyRejected);
                     format!("program {} failed verification: {reason}", run.state.program)
                 }
                 None => format!("program {} not in code registry", run.state.program),
@@ -1778,7 +1835,7 @@ impl Daemon {
         let natives = self.natives.read().unwrap().clone();
         let address = self.id.0;
         // Scoped mutable borrow of the node's variables for the VM.
-        let (yielded, ops, native_ns) = {
+        let (yielded, ops, native_ns, nv_log) = {
             let node = self.nodes.get_mut(&run.at).expect("checked above");
             let mut env = SegEnv {
                 vars: &mut node.vars,
@@ -1790,13 +1847,22 @@ impl Daemon {
                 vtime: run.state.vtime,
                 ops: 0,
                 native_ns: 0,
+                nv_log: self.rec.node_vars().then(Vec::new),
             };
             let y = interp::run(&program, &mut run.state, &mut env, fuel);
-            (y, env.ops, env.native_ns)
+            (y, env.ops, env.native_ns, env.nv_log)
         };
+        for (is_write, var) in nv_log.into_iter().flatten() {
+            let kind = if is_write {
+                EventKind::NodeVarWrite { var }
+            } else {
+                EventKind::NodeVarRead { var }
+            };
+            self.rec.emit(run.state.vtime.as_f64(), kind);
+        }
         let mut cost = ops * c.per_op_ns + native_ns;
-        self.stats.bump("segments");
-        self.stats.add("ops", ops);
+        self.stats.bump(Metric::Segments);
+        self.stats.add(Metric::Ops, ops);
 
         let mut sent: Vec<SentRef> = Vec::new();
         match yielded {
@@ -1806,7 +1872,9 @@ impl Daemon {
             Err(e) => {
                 fx.push(Effect::Fault { messenger: run.state.id, error: e.to_string() });
                 fx.push(Effect::LiveDelta(-1));
-                self.stats.bump("faults");
+                self.stats.bump(Metric::Faults);
+                self.rec
+                    .emit(run.state.vtime.as_f64(), EventKind::MsgrFault { mid: run.state.id.0 });
             }
         }
 
@@ -1830,7 +1898,9 @@ impl Daemon {
         match y {
             Yield::Terminated(_) => {
                 fx.push(Effect::LiveDelta(-1));
-                self.stats.bump("terminated");
+                self.stats.bump(Metric::Terminated);
+                self.rec
+                    .emit(run.state.vtime.as_f64(), EventKind::MsgrRetire { mid: run.state.id.0 });
                 0
             }
             Yield::SchedAbs(t) => {
@@ -1875,7 +1945,11 @@ impl Daemon {
     fn resuspend(&mut self, mut next: Runnable, _fx: &mut [Effect], sent: &mut Vec<SentRef>) {
         next.state.id = self.alloc_mid();
         sent.push(SentRef { id: next.state.id.0, dest: self.id.0, ts: next.state.vtime });
-        self.stats.bump("suspensions");
+        self.stats.bump(Metric::Suspensions);
+        self.rec.emit(
+            next.state.vtime.as_f64(),
+            EventKind::MsgrPark { mid: next.state.id.0, wake: next.state.vtime.as_f64() },
+        );
         self.enqueue(next);
     }
 
@@ -1892,7 +1966,7 @@ impl Daemon {
     ) -> u64 {
         let c = self.cfg.costs;
         let mut cost = 0u64;
-        self.stats.bump(if delete { "deletes" } else { "hops" });
+        self.stats.bump(if delete { Metric::Deletes } else { Metric::Hops });
 
         if delete && self.cfg.vt_mode == VtMode::Optimistic {
             fx.push(Effect::Fault {
@@ -1910,7 +1984,7 @@ impl Daemon {
             if let Some((d, n)) = dir.lookup(name) {
                 dests.push((None, d, n));
             }
-            self.stats.bump("virtual_hops");
+            self.stats.bump(Metric::VirtualHops);
         } else if let Some(node) = self.nodes.get(&run.at) {
             for l in node.matching_links(eh) {
                 dests.push((Some(l.inst), l.peer.0, l.peer.1));
@@ -1946,20 +2020,34 @@ impl Daemon {
             // Replicate to zero destinations: the messenger ceases to
             // exist (§2.1 hop semantics).
             fx.push(Effect::LiveDelta(-1));
-            self.stats.bump("hop_no_match");
+            self.stats.bump(Metric::HopNoMatch);
             return cost;
         }
 
         fx.push(Effect::LiveDelta(dests.len() as i64 - 1));
+        if dests.len() > 1 {
+            self.rec.emit(
+                run.state.vtime.as_f64(),
+                EventKind::MsgrFork { mid: run.state.id.0, replicas: dests.len() as u64 },
+            );
+        }
         let code_bytes = if self.cfg.carry_code { program.wire_bytes() } else { 0 };
         for (via, daemon, node) in dests {
             let mut replica = run.state.clone();
             replica.id = self.alloc_mid();
             let bytes = vmwire::encode_messenger(&replica);
             cost += c.hop_send_ns + bytes.len() as u64 * c.per_byte_copy_ns;
+            self.rec.emit(
+                replica.vtime.as_f64(),
+                EventKind::MsgrHop {
+                    mid: replica.id.0,
+                    to: daemon.0,
+                    bytes: bytes.len() as u64 + code_bytes,
+                },
+            );
             self.part.on_send(replica.vtime);
-            self.stats.bump("migrations_out");
-            self.stats.add("migration_bytes", bytes.len() as u64 + code_bytes);
+            self.stats.bump(Metric::MigrationsOut);
+            self.stats.add(Metric::MigrationBytes, bytes.len() as u64 + code_bytes);
             sent.push(SentRef { id: replica.id.0, dest: daemon.0, ts: replica.vtime });
             fx.push(Effect::Send {
                 dst: daemon,
@@ -1988,7 +2076,7 @@ impl Daemon {
     ) -> u64 {
         let c = self.cfg.costs;
         let mut cost = 0u64;
-        self.stats.bump("creates");
+        self.stats.bump(Metric::Creates);
         let origin_name = match self.nodes.get(&run.at) {
             Some(n) => n.name.clone(),
             None => {
@@ -2038,9 +2126,17 @@ impl Daemon {
                 replica.id = self.alloc_mid();
                 let bytes = vmwire::encode_messenger(&replica);
                 cost += c.create_node_ns + c.hop_send_ns + bytes.len() as u64 * c.per_byte_copy_ns;
+                self.rec.emit(
+                    replica.vtime.as_f64(),
+                    EventKind::MsgrHop {
+                        mid: replica.id.0,
+                        to: daemon.0,
+                        bytes: bytes.len() as u64 + code_bytes,
+                    },
+                );
                 self.part.on_send(replica.vtime);
-                self.stats.bump("migrations_out");
-                self.stats.add("migration_bytes", bytes.len() as u64 + code_bytes);
+                self.stats.bump(Metric::MigrationsOut);
+                self.stats.add(Metric::MigrationBytes, bytes.len() as u64 + code_bytes);
                 fx.push(Effect::Send {
                     dst: daemon,
                     wire: Wire::Create(Box::new(CreateNode {
@@ -2066,8 +2162,14 @@ impl Daemon {
             }
         }
         fx.push(Effect::LiveDelta(replicas - 1));
+        if replicas > 1 {
+            self.rec.emit(
+                run.state.vtime.as_f64(),
+                EventKind::MsgrFork { mid: run.state.id.0, replicas: replicas as u64 },
+            );
+        }
         if replicas == 0 {
-            self.stats.bump("create_no_match");
+            self.stats.bump(Metric::CreateNoMatch);
         }
         cost
     }
@@ -2086,13 +2188,27 @@ struct SegEnv<'a> {
     vtime: Vt,
     ops: u64,
     native_ns: u64,
+    /// Node-variable access log `(is_write, name)`, collected only when
+    /// node-var tracing is on (the recorder can't be borrowed while the
+    /// node's vars are) and emitted as events after the segment.
+    nv_log: Option<Vec<(bool, String)>>,
+}
+
+impl SegEnv<'_> {
+    fn log_nv(&mut self, is_write: bool, name: &str) {
+        if let Some(log) = self.nv_log.as_mut() {
+            log.push((is_write, name.to_string()));
+        }
+    }
 }
 
 impl interp::Env for SegEnv<'_> {
     fn node_var(&mut self, name: &str) -> Value {
+        self.log_nv(false, name);
         self.vars.get(name).cloned().unwrap_or(Value::Null)
     }
     fn set_node_var(&mut self, name: &str, v: Value) {
+        self.log_nv(true, name);
         self.vars.insert(Arc::from(name), v);
     }
     fn net_var(&mut self, var: NetVar) -> Value {
@@ -2114,9 +2230,11 @@ impl interp::Env for SegEnv<'_> {
 
 impl NativeCtx for SegEnv<'_> {
     fn node_var(&mut self, name: &str) -> Value {
+        self.log_nv(false, name);
         self.vars.get(name).cloned().unwrap_or(Value::Null)
     }
     fn set_node_var(&mut self, name: &str, v: Value) {
+        self.log_nv(true, name);
         self.vars.insert(Arc::from(name), v);
     }
     fn charge(&mut self, ref_ns: u64) {

@@ -74,6 +74,8 @@ pub use platform::threads::{ThreadCluster, ThreadReport};
 pub use topology::{DaemonTopology, LogicalTopology};
 pub use wire::Wire;
 
+pub use msgr_trace::{EventKind, Metric, Trace, TraceConfig, TraceEvent};
+
 /// Errors surfaced by cluster operations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClusterError {

@@ -16,6 +16,7 @@ use msgr_sim::{
     Cpu, DetRng, Engine, FaultInjector, FrameFate, HostId, IdealNet, NetModel, SharedBus, SimTime,
     Stats, Switched, MILLI,
 };
+use msgr_trace::{EventKind, Metric, Trace};
 use msgr_vm::{MessengerId, NativeCtx, NativeRegistry, Program, ProgramId, Value};
 
 use crate::ckpt::{CheckpointStore, MemStore};
@@ -101,23 +102,32 @@ fn apply_effects(en: &mut En, w: &mut World, src: DaemonId, at: SimTime, mut fx:
                     Some(inj) if src != dst => inj.fate(),
                     _ => FrameFate::intact(),
                 };
-                w.stats.bump("wires");
-                w.stats.add("wire_bytes", bytes);
+                w.stats.bump(Metric::Wires);
+                w.stats.add(Metric::WireBytes, bytes);
                 if fate.dropped() {
                     // The bits went onto the medium; they just never
                     // arrived. Charge the network, schedule nothing.
                     let _ = w.net.transfer(at, src_h, dst_h, bytes);
-                    w.stats.bump("net_frames_lost");
+                    w.stats.bump(Metric::NetFramesLost);
+                    let rec = w.daemons[src.0 as usize].recorder_mut();
+                    rec.set_now(at);
+                    rec.emit_sys(EventKind::NetDrop { to: dst.0 });
                     continue;
                 }
                 if fate.copies == 2 {
-                    w.stats.bump("net_frames_duplicated");
+                    w.stats.bump(Metric::NetFramesDuplicated);
+                    let rec = w.daemons[src.0 as usize].recorder_mut();
+                    rec.set_now(at);
+                    rec.emit_sys(EventKind::NetDup { to: dst.0 });
                 }
                 let mut wire = Some(wire);
                 for k in 0..fate.copies as usize {
                     let extra = fate.delays[k];
                     if extra > 0 {
-                        w.stats.bump("net_frames_delayed");
+                        w.stats.bump(Metric::NetFramesDelayed);
+                        let rec = w.daemons[src.0 as usize].recorder_mut();
+                        rec.set_now(at);
+                        rec.emit_sys(EventKind::NetDelay { to: dst.0, by: extra });
                     }
                     let arrival = w.net.transfer(at, src_h, dst_h, bytes).saturating_add(extra);
                     w.in_flight += 1;
@@ -199,7 +209,7 @@ fn deliver(en: &mut En, w: &mut World, src: DaemonId, dst: DaemonId, wire: Wire)
             // Permanently dead: every frame addressed to it — loopback
             // included — is lost. The reliable transport re-routes the
             // retransmission to the successor once the eviction lands.
-            w.stats.bump("crash_frames_lost");
+            w.stats.bump(Metric::CrashFramesLost);
             return;
         }
         if src == dst {
@@ -214,7 +224,7 @@ fn deliver(en: &mut En, w: &mut World, src: DaemonId, dst: DaemonId, wire: Wire)
         // The destination daemon is crashed: the frame is lost in
         // flight. Under the reliable transport the sender's
         // retransmission timer will re-deliver it after the restart.
-        w.stats.bump("crash_frames_lost");
+        w.stats.bump(Metric::CrashFramesLost);
         return;
     }
     let mut fx = Vec::new();
@@ -254,6 +264,7 @@ fn tick(en: &mut En, w: &mut World, d: DaemonId) {
     if !w.daemons[i].has_work() {
         return;
     }
+    w.daemons[i].recorder_mut().set_now(now);
     let mut fx = Vec::new();
     let directory = std::mem::take(&mut w.directory);
     let cost = w.daemons[i].run_segment(&directory, &mut fx);
@@ -297,7 +308,14 @@ fn kill(en: &mut En, w: &mut World, d: DaemonId) {
     let i = d.0 as usize;
     w.down_until[i] = SimTime::MAX;
     w.killed_at[i] = Some(en.now());
-    w.stats.bump("kills");
+    w.stats.bump(Metric::Kills);
+    // The kill event lands in the victim's own flight recorder *before*
+    // `gut`: the recorder deliberately survives the kill, so the last
+    // window of pre-crash events — including this one — reaches the
+    // merged trace.
+    let rec = w.daemons[i].recorder_mut();
+    rec.set_now(en.now());
+    rec.emit_sys(EventKind::Kill);
     w.daemons[i].gut();
     // If the cluster had quiesced, the heartbeat and checkpoint chains
     // wound down — but the kill itself creates new work (the victim's
@@ -407,7 +425,12 @@ fn recover(en: &mut En, w: &mut World, successor: DaemonId, victim: DaemonId) {
         }
     }
     if let Some(k) = w.killed_at[vi] {
-        w.stats.add("recovery_latency_ns", now.saturating_sub(k));
+        // Both views of the same number: the counter keeps the historical
+        // total, the histogram feeds the p50/p99/max quantiles the
+        // recovery ablation reports.
+        let lat = now.saturating_sub(k);
+        w.stats.add(Metric::RecoveryLatencyNs, lat);
+        w.stats.record(Metric::RecoveryLatencyNs, lat);
     }
     let cost = w.cfg.costs.hop_recv_ns + bytes * w.cfg.costs.per_byte_copy_ns;
     let (_, end) = w.cpus[si].run(now, cost);
@@ -432,6 +455,10 @@ pub struct SimReport {
     pub stats: Stats,
     /// Live-messenger accounting leak (0 for a clean run).
     pub live_leak: i64,
+    /// Merged flight-recorder trace, present iff tracing was enabled in
+    /// the cluster configuration. Events are in the deterministic total
+    /// order `(realtime, daemon, seq)`.
+    pub trace: Option<Trace>,
 }
 
 /// A MESSENGERS cluster inside the discrete-event simulator.
@@ -468,6 +495,9 @@ impl SimCluster {
     /// Panics if the topology size differs from `cfg.daemons`.
     pub fn with_daemon_topology(cfg: ClusterConfig, topo: DaemonTopology) -> Self {
         assert_eq!(topo.len(), cfg.daemons, "topology size mismatch");
+        // Every stats key the cluster emits must be a registered typed
+        // metric; debug builds assert it at the emission site.
+        msgr_sim::install_key_validator(Metric::validator);
         if let Err(e) = cfg.faults.validate(cfg.daemons) {
             panic!("invalid fault plan: {e}");
         }
@@ -551,9 +581,9 @@ impl SimCluster {
                 let until = en.now().saturating_add(down);
                 let i = d.0 as usize;
                 w.down_until[i] = w.down_until[i].max(until);
-                w.stats.bump("crashes");
+                w.stats.bump(Metric::Crashes);
                 en.schedule_at(until, move |en, w| {
-                    w.stats.bump("restarts");
+                    w.stats.bump(Metric::Restarts);
                     tick(en, w, d);
                 });
             });
@@ -805,6 +835,9 @@ impl SimCluster {
             }
         }
         let budget = self.world.cfg.max_events;
+        if self.world.cfg.trace.enabled {
+            self.trace_span_begin("run");
+        }
         if !self.engine.run_bounded(&mut self.world, budget) {
             return Err(ClusterError::Stalled { events: self.engine.processed() });
         }
@@ -813,9 +846,9 @@ impl SimCluster {
             stats.merge(d.stats());
         }
         let net = self.world.net.stats();
-        stats.add("net_messages", net.messages);
-        stats.add("net_payload_bytes", net.payload_bytes);
-        stats.add("net_queueing_ns", net.queueing_ns);
+        stats.add(Metric::NetMessages, net.messages);
+        stats.add(Metric::NetPayloadBytes, net.payload_bytes);
+        stats.add(Metric::NetQueueingNs, net.queueing_ns);
         // Under faults, stale retransmission timers (armed for frames
         // that were acked, or backed off past the end of the run) drain
         // after the computation finishes; completion time is the last
@@ -823,13 +856,48 @@ impl SimCluster {
         // the two are identical and we keep the original expression.
         let completed =
             if self.world.injector.is_some() { self.world.last_work } else { self.engine.now() };
+        if self.world.cfg.trace.enabled {
+            // Close the run-wide root span at the reported completion
+            // instant, before the recorders are drained below.
+            let rec = self.world.daemons[0].recorder_mut();
+            rec.set_now(completed);
+            rec.emit_sys(EventKind::SpanEnd { name: "run".to_string() });
+        }
+        let trace = self.world.cfg.trace.enabled.then(|| {
+            let parts = self.world.daemons.iter_mut().map(Daemon::take_trace).collect();
+            Trace::from_parts(parts)
+        });
+        if let Some(t) = &trace {
+            if t.dropped > 0 {
+                stats.add(Metric::TraceDropped, t.dropped);
+            }
+        }
         Ok(SimReport {
             sim_seconds: msgr_sim::to_secs(completed),
             events: self.engine.processed(),
             faults: self.world.faults.clone(),
             stats,
             live_leak: self.world.live,
+            trace,
         })
+    }
+
+    /// Open a named trace span on daemon 0 at the current simulated time.
+    /// No-op when tracing is off. Apps bracket phases (e.g. "inject",
+    /// "compute") so the Chrome export shows them as nested slices.
+    pub fn trace_span_begin(&mut self, name: &str) {
+        let now = self.engine.now();
+        let rec = self.world.daemons[0].recorder_mut();
+        rec.set_now(now);
+        rec.emit_sys(EventKind::SpanBegin { name: name.to_string() });
+    }
+
+    /// Close the innermost span opened by [`SimCluster::trace_span_begin`].
+    pub fn trace_span_end(&mut self, name: &str) {
+        let now = self.engine.now();
+        let rec = self.world.daemons[0].recorder_mut();
+        rec.set_now(now);
+        rec.emit_sys(EventKind::SpanEnd { name: name.to_string() });
     }
 
     /// The simulated time so far, in seconds.

@@ -18,6 +18,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Mutex, RwLock};
 
 use msgr_sim::Stats;
+use msgr_trace::{Metric, Trace};
 use msgr_vm::{Dir, MessengerId, NativeCtx, NativeRegistry, Program, ProgramId, Value};
 
 use crate::ckpt::{CheckpointStore, FileStore};
@@ -49,6 +50,11 @@ pub struct ThreadReport {
     pub faults: Vec<(MessengerId, String)>,
     /// Merged daemon counters.
     pub stats: Stats,
+    /// Merged flight-recorder trace, present iff tracing was enabled.
+    /// Threaded runs have no simulated clock, so events carry `rt = 0`
+    /// and order within a daemon by sequence number only — causal per
+    /// daemon, best-effort across daemons.
+    pub trace: Option<Trace>,
 }
 
 /// A MESSENGERS cluster running on real threads.
@@ -93,6 +99,8 @@ impl ThreadCluster {
                 "fault injection requires the simulation platform".to_string(),
             ));
         }
+        // Same typed-key discipline as the simulation platform.
+        msgr_sim::install_key_validator(Metric::validator);
         let cfg = Arc::new(cfg);
         let codes = CodeCache::new();
         let natives = Arc::new(RwLock::new(NativeRegistry::new()));
@@ -364,10 +372,28 @@ impl ThreadCluster {
         for d in &self.daemons {
             stats.merge(d.stats());
         }
+        let trace = self.cfg.trace.enabled.then(|| {
+            let parts = self.daemons.iter_mut().map(Daemon::take_trace).collect();
+            Trace::from_parts(parts)
+        });
+        if let Some(t) = &trace {
+            if t.dropped > 0 {
+                stats.add(Metric::TraceDropped, t.dropped);
+            }
+            // With file-backed durability configured, the trace is an
+            // artifact of the run like the final checkpoints: persist it
+            // beside them so a post-mortem can read both.
+            if let Some(dir) = &self.cfg.checkpoint_dir {
+                if let Ok(store) = FileStore::new(dir.clone()) {
+                    store.put_blob("trace.jsonl", t.to_jsonl().as_bytes());
+                }
+            }
+        }
         Ok(ThreadReport {
             wall_seconds: start.elapsed().as_secs_f64(),
             faults: self.faults.lock().unwrap().clone(),
             stats,
+            trace,
         })
     }
 }

@@ -148,6 +148,30 @@ pub enum Wire {
 }
 
 impl Wire {
+    /// A short static label for this frame's kind — the vocabulary trace
+    /// consumers and diagnostics use to talk about wire traffic. For
+    /// transport envelopes this names the *payload* ("data:migrate"),
+    /// since that is what the frame carries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Wire::Migrate(_) => "migrate",
+            Wire::Create(_) => "create",
+            Wire::Unlink { .. } => "unlink",
+            Wire::Gvt(_) => "gvt",
+            Wire::GvtKick => "gvt_kick",
+            Wire::Data { frame, .. } => match frame.as_ref() {
+                Wire::Migrate(_) => "data:migrate",
+                Wire::Create(_) => "data:create",
+                Wire::Unlink { .. } => "data:unlink",
+                Wire::Gvt(_) => "data:gvt",
+                _ => "data",
+            },
+            Wire::Ack { .. } => "ack",
+            Wire::Beat { .. } => "beat",
+            Wire::Evict { .. } => "evict",
+        }
+    }
+
     /// Bytes this frame occupies on the network, given the per-message
     /// header overhead from the cost model.
     pub fn wire_bytes(&self, header: u64) -> u64 {
@@ -503,6 +527,21 @@ mod tests {
     fn migrate_bytes_include_payload_and_code() {
         assert_eq!(Wire::Migrate(mig(100, 0)).wire_bytes(64), 164);
         assert_eq!(Wire::Migrate(mig(100, 500)).wire_bytes(64), 664);
+    }
+
+    #[test]
+    fn kind_labels_name_the_payload() {
+        assert_eq!(Wire::Migrate(mig(1, 0)).kind(), "migrate");
+        assert_eq!(Wire::GvtKick.kind(), "gvt_kick");
+        let data = Wire::Data {
+            src: DaemonId(0),
+            chan: DaemonId(1),
+            seq: 1,
+            frame: Box::new(Wire::Migrate(mig(1, 0))),
+        };
+        assert_eq!(data.kind(), "data:migrate");
+        let ack = Wire::Ack { src: DaemonId(0), chan: DaemonId(1), cum: 1, seq: 1 };
+        assert_eq!(ack.kind(), "ack");
     }
 
     #[test]

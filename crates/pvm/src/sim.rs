@@ -24,6 +24,7 @@ use msgr_sim::{
     Cpu, DetRng, Engine, FaultPlan, HostId, IdealNet, NetModel, SharedBus, SimTime, Stats,
     Switched, MILLI,
 };
+use msgr_trace::Metric;
 
 use crate::{Buf, Message, Recv, Tag, TaskId};
 
@@ -458,9 +459,9 @@ impl PvmSim {
         }
         let mut stats = self.world.stats.clone();
         let net = self.world.net.stats();
-        stats.add("net_messages", net.messages);
-        stats.add("net_payload_bytes", net.payload_bytes);
-        stats.add("net_queueing_ns", net.queueing_ns);
+        stats.add(Metric::NetMessages, net.messages);
+        stats.add(Metric::NetPayloadBytes, net.payload_bytes);
+        stats.add(Metric::NetQueueingNs, net.queueing_ns);
         Ok(PvmReport {
             sim_seconds: msgr_sim::to_secs(self.engine.now()),
             events: self.engine.processed(),
@@ -513,7 +514,7 @@ fn resume_task(en: &mut En, w: &mut World, tid: TaskId, msg: Option<Message>) {
     let cmds = std::mem::take(&mut ctx.cmds);
     drop(ctx);
     w.slots[i].task = Some(task);
-    w.stats.bump("segments");
+    w.stats.bump(Metric::Segments);
 
     // Segment cost: compute plus marshalling for every send issued.
     let mut cost = charged;
@@ -542,7 +543,7 @@ fn resume_task(en: &mut En, w: &mut World, tid: TaskId, msg: Option<Message>) {
     };
     if matches!(status, Status::Exit) {
         w.slots[i].task = None;
-        w.stats.bump("exited");
+        w.stats.bump(Metric::Exited);
     }
     if let Status::Barrier { name, count } = &status {
         let name = name.clone();
@@ -562,7 +563,7 @@ fn resume_task(en: &mut En, w: &mut World, tid: TaskId, msg: Option<Message>) {
                     }
                 }
                 Cmd::Spawn { tid: new, host, task } => {
-                    w.stats.bump("spawns");
+                    w.stats.bump(Metric::Spawns);
                     debug_assert_eq!(new.0 as usize, w.slots.len());
                     w.slots.push(Slot {
                         task: Some(task),
@@ -595,7 +596,7 @@ fn barrier_arrive(en: &mut En, w: &mut World, tid: TaskId, name: String, count: 
         if entry.1.len() >= entry.0 {
             let waiters = std::mem::take(&mut entry.1);
             w.barriers.remove(&name);
-            w.stats.bump("barriers_released");
+            w.stats.bump(Metric::BarriersReleased);
             for waiter in waiters {
                 let dst = w.slots[waiter.0 as usize].host;
                 let arr = w.net.transfer(en.now(), HostId(0), HostId(dst as u32), 64);
@@ -613,13 +614,13 @@ fn barrier_arrive(en: &mut En, w: &mut World, tid: TaskId, name: String, count: 
 fn transmit(en: &mut En, w: &mut World, from: TaskId, to: TaskId, tag: Tag, mut buf: Buf) {
     let src = w.slots[from.0 as usize].host;
     let Some(slot) = w.slots.get(to.0 as usize) else {
-        w.stats.bump("dead_letters");
+        w.stats.bump(Metric::DeadLetters);
         return;
     };
     let dst = slot.host;
     let bytes = buf.byte_len() + w.cfg.costs.wire_header_bytes;
-    w.stats.bump("messages");
-    w.stats.add("message_bytes", bytes);
+    w.stats.bump(Metric::Messages);
+    w.stats.add(Metric::MessageBytes, bytes);
     let (src_h, dst_h) = (HostId(src as u32), HostId(dst as u32));
     let arrival = if w.cfg.costs.direct_route || src == dst {
         // Direct TCP route: the message streams as one transfer. Injected
@@ -628,8 +629,8 @@ fn transmit(en: &mut En, w: &mut World, from: TaskId, to: TaskId, tag: Tag, mut 
         // RTO, modeled with the same retry-timer constant as the pvmds.
         let mut t = w.net.transfer(en.now(), src_h, dst_h, bytes);
         while src != dst && w.frame_lost() {
-            w.stats.bump("injected_losses");
-            w.stats.bump("retransmissions");
+            w.stats.bump(Metric::InjectedLosses);
+            w.stats.bump(Metric::Retransmissions);
             t += w.cfg.costs.retrans_ns;
             t = w.net.transfer(t, src_h, dst_h, bytes);
         }
@@ -646,7 +647,7 @@ fn transmit(en: &mut En, w: &mut World, from: TaskId, to: TaskId, tag: Tag, mut 
                 let chunk = left.min(frag);
                 t = w.net.transfer(t, src_h, dst_h, chunk);
                 left -= chunk;
-                w.stats.bump("fragments");
+                w.stats.bump(Metric::Fragments);
             }
             w.net.transfer(t, dst_h, src_h, 48) // pvmd window ACK
         };
@@ -667,7 +668,7 @@ fn transmit(en: &mut En, w: &mut World, from: TaskId, to: TaskId, tag: Tag, mut 
                 // (PVM 3.3's UDP reliability layer). Congestion thus
                 // compounds — the paper-era failure mode of PVM on a
                 // saturated shared Ethernet.
-                w.stats.bump("retransmissions");
+                w.stats.bump(Metric::Retransmissions);
                 t += c.retrans_ns;
                 t = send_window(w, t, win);
             }
@@ -679,8 +680,8 @@ fn transmit(en: &mut En, w: &mut World, from: TaskId, to: TaskId, tag: Tag, mut 
             // loss hits PVM's completion times so much harder in
             // `ablation_faults`.
             while w.frame_lost() {
-                w.stats.bump("injected_losses");
-                w.stats.bump("retransmissions");
+                w.stats.bump(Metric::InjectedLosses);
+                w.stats.bump(Metric::Retransmissions);
                 t += c.retrans_ns;
                 t = send_window(w, t, win);
             }

@@ -43,7 +43,7 @@ pub use engine::{Engine, SimTime};
 pub use fault::{CrashEvent, FaultInjector, FaultPlan, FrameFate};
 pub use net::{HostId, IdealNet, NetModel, NetStats, SharedBus, Switched};
 pub use rng::DetRng;
-pub use stats::{Counter, Histogram, Stats};
+pub use stats::{install_key_validator, Counter, Histogram, Stats};
 
 /// One microsecond in simulator time units (the unit is nanoseconds).
 pub const MICRO: SimTime = 1_000;

@@ -1,8 +1,37 @@
-//! Lightweight measurement plumbing: named counters and log-bucket
-//! histograms, used by the benchmark harness to report per-run detail
-//! (messages sent, bytes moved, rollbacks, GVT rounds, …).
+//! Lightweight measurement plumbing: named counters, gauges, and
+//! log-bucket histograms, used by the benchmark harness to report
+//! per-run detail (messages sent, bytes moved, rollbacks, GVT
+//! rounds, …).
+//!
+//! Keys are `&'static str`, but every mutating entry point takes
+//! `impl Into<&'static str>` so callers can pass typed keys (e.g. the
+//! `Metric` enum in `msgr-trace`, which implements that conversion) and
+//! get key typos rejected at compile time. As a second line of defence,
+//! a process-wide [`install_key_validator`] hook lets a platform
+//! debug-assert that every string key that does reach the sink is
+//! registered.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// The process-wide key validator, if a platform installed one.
+static KEY_VALIDATOR: OnceLock<fn(&str) -> bool> = OnceLock::new();
+
+/// Install a predicate that every stats key must satisfy, checked by
+/// `debug_assert!` on each emission. First installation wins; later
+/// calls are ignored (platforms may race to install the same
+/// validator). Release builds skip the check entirely.
+pub fn install_key_validator(v: fn(&str) -> bool) {
+    let _ = KEY_VALIDATOR.set(v);
+}
+
+#[inline]
+fn check_key(name: &'static str) {
+    debug_assert!(
+        KEY_VALIDATOR.get().is_none_or(|v| v(name)),
+        "unregistered stats key {name:?}: add it to the msgr_trace::Metric registry"
+    );
+}
 
 /// A monotonically increasing named counter value.
 pub type Counter = u64;
@@ -126,10 +155,11 @@ impl Histogram {
     }
 }
 
-/// A bag of named counters and histograms.
+/// A bag of named counters, gauges, and histograms.
 #[derive(Debug, Clone, Default)]
 pub struct Stats {
     counters: BTreeMap<&'static str, Counter>,
+    gauges: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
 }
 
@@ -140,12 +170,14 @@ impl Stats {
     }
 
     /// Add `n` to the named counter (creating it at zero).
-    pub fn add(&mut self, name: &'static str, n: u64) {
+    pub fn add(&mut self, name: impl Into<&'static str>, n: u64) {
+        let name = name.into();
+        check_key(name);
         *self.counters.entry(name).or_insert(0) += n;
     }
 
     /// Increment the named counter by one.
-    pub fn bump(&mut self, name: &'static str) {
+    pub fn bump(&mut self, name: impl Into<&'static str>) {
         self.add(name, 1);
     }
 
@@ -154,8 +186,22 @@ impl Stats {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Set a last-value gauge.
+    pub fn gauge_set(&mut self, name: impl Into<&'static str>, v: u64) {
+        let name = name.into();
+        check_key(name);
+        self.gauges.insert(name, v);
+    }
+
+    /// Read a gauge (0 if never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// Record a histogram sample.
-    pub fn record(&mut self, name: &'static str, v: u64) {
+    pub fn record(&mut self, name: impl Into<&'static str>, v: u64) {
+        let name = name.into();
+        check_key(name);
         self.histograms.entry(name).or_default().record(v);
     }
 
@@ -169,10 +215,26 @@ impl Stats {
         self.counters.iter().map(|(k, v)| (*k, *v))
     }
 
-    /// Merge another stats bag into this one.
+    /// Iterate gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterate histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, h)| (*k, h))
+    }
+
+    /// Merge another stats bag into this one. Counters and histograms
+    /// add; gauges take the maximum (cross-daemon merge of "how far did
+    /// we get" values).
     pub fn merge(&mut self, other: &Stats) {
         for (k, v) in &other.counters {
             *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let slot = self.gauges.entry(k).or_insert(0);
+            *slot = (*slot).max(*v);
         }
         for (k, h) in &other.histograms {
             self.histograms.entry(k).or_default().merge(h);
@@ -184,6 +246,9 @@ impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for (k, v) in &self.counters {
             writeln!(f, "{k}: {v}")?;
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "{k}: {v} (gauge)")?;
         }
         for (k, h) in &self.histograms {
             writeln!(
@@ -247,15 +312,28 @@ mod tests {
         let mut a = Stats::new();
         a.add("x", 1);
         a.record("lat", 10);
+        a.gauge_set("hi", 5);
         let mut b = Stats::new();
         b.add("x", 2);
         b.add("y", 3);
         b.record("lat", 1000);
+        b.gauge_set("hi", 3);
         a.merge(&b);
         assert_eq!(a.counter("x"), 3);
         assert_eq!(a.counter("y"), 3);
         assert_eq!(a.histogram("lat").unwrap().count(), 2);
         assert_eq!(a.histogram("lat").unwrap().max(), 1000);
+        assert_eq!(a.gauge("hi"), 5, "gauges merge by max");
+    }
+
+    #[test]
+    fn gauges_overwrite_not_accumulate() {
+        let mut s = Stats::new();
+        s.gauge_set("g", 10);
+        s.gauge_set("g", 4);
+        assert_eq!(s.gauge("g"), 4);
+        assert_eq!(s.gauge("absent"), 0);
+        assert_eq!(s.gauges().collect::<Vec<_>>(), [("g", 4)]);
     }
 
     #[test]

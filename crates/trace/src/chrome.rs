@@ -1,0 +1,189 @@
+//! Chrome `trace_event` export: converts a [`Trace`] into the JSON
+//! object format that `chrome://tracing` and Perfetto load directly.
+//!
+//! Mapping:
+//!
+//! * each daemon becomes a process (`pid` = daemon id) with a named
+//!   metadata record;
+//! * messenger hops become **flow events**: an `s` (flow start) at the
+//!   sending daemon and an `f` (flow finish, binding enclosing slice) at
+//!   the arrival, joined by the replica id — Perfetto draws the arrow
+//!   that *is* the messenger's migration;
+//! * application spans ([`EventKind::SpanBegin`]/[`EventKind::SpanEnd`])
+//!   become duration slices (`B`/`E`);
+//! * GVT advances feed a `gvt` **counter track** (virtual time, in
+//!   milli-vt units for readability) and messenger parks feed a
+//!   `gvt_lag` counter (how far ahead of GVT the parked messenger's
+//!   wake time sits);
+//! * everything else becomes an instant event with its fields in
+//!   `args`.
+//!
+//! Timestamps are the simulated clock converted to microseconds (the
+//! trace_event unit). The threads platform stamps `rt = 0`; its traces
+//! still load, ordered by sequence number within one instant.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::json::escape_into;
+use crate::Trace;
+
+fn push_common(out: &mut String, name: &str, ph: char, ev: &TraceEvent) {
+    use std::fmt::Write;
+    out.push_str("{\"name\":\"");
+    escape_into(name, out);
+    // ts is µs; keep sub-µs precision as a fraction.
+    let ts = ev.rt as f64 / 1000.0;
+    let _ = write!(out, "\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{},\"tid\":0", ev.daemon);
+}
+
+fn push_args_open(out: &mut String) {
+    out.push_str(",\"args\":{");
+}
+
+/// Render `trace` as a Chrome trace_event JSON document.
+pub fn to_chrome(trace: &Trace) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+    };
+
+    // Process metadata: one named process per daemon seen in the trace.
+    let mut daemons: Vec<u16> = trace.events.iter().map(|e| e.daemon).collect();
+    daemons.sort_unstable();
+    daemons.dedup();
+    for d in &daemons {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{d},\"tid\":0,\
+             \"args\":{{\"name\":\"daemon {d}\"}}}}"
+        );
+    }
+
+    for ev in &trace.events {
+        match &ev.kind {
+            EventKind::SpanBegin { name } => {
+                sep(&mut out);
+                push_common(&mut out, name, 'B', ev);
+                out.push('}');
+            }
+            EventKind::SpanEnd { name } => {
+                sep(&mut out);
+                push_common(&mut out, name, 'E', ev);
+                out.push('}');
+            }
+            EventKind::MsgrHop { mid, to, bytes } => {
+                // Instant at the sender plus the flow start arrow.
+                sep(&mut out);
+                push_common(&mut out, "hop", 'i', ev);
+                push_args_open(&mut out);
+                let _ = write!(out, "\"mid\":{mid},\"to\":{to},\"bytes\":{bytes}}},\"s\":\"t\"}}");
+                sep(&mut out);
+                push_common(&mut out, "messenger", 's', ev);
+                let _ = write!(out, ",\"cat\":\"msgr\",\"id\":{mid}}}");
+            }
+            EventKind::MsgrArrive { mid } => {
+                sep(&mut out);
+                push_common(&mut out, "arrive", 'i', ev);
+                push_args_open(&mut out);
+                let _ = write!(out, "\"mid\":{mid}}},\"s\":\"t\"}}");
+                sep(&mut out);
+                push_common(&mut out, "messenger", 'f', ev);
+                let _ = write!(out, ",\"cat\":\"msgr\",\"id\":{mid},\"bp\":\"e\"}}");
+            }
+            EventKind::GvtAdvance { gvt } => {
+                sep(&mut out);
+                push_common(&mut out, "gvt", 'C', ev);
+                push_args_open(&mut out);
+                let _ = write!(out, "\"vt_milli\":{}}}}}", gvt * 1000.0);
+            }
+            EventKind::MsgrPark { mid, wake } => {
+                sep(&mut out);
+                push_common(&mut out, "park", 'i', ev);
+                push_args_open(&mut out);
+                let _ = write!(out, "\"mid\":{mid},\"wake\":{wake}}},\"s\":\"t\"}}");
+                // GVT lag gauge: how far ahead of GVT this park sits.
+                let lag = (wake - ev.gvt).max(0.0);
+                sep(&mut out);
+                push_common(&mut out, "gvt_lag", 'C', ev);
+                push_args_open(&mut out);
+                let _ = write!(out, "\"vt_milli\":{}}}}}", lag * 1000.0);
+            }
+            other => {
+                sep(&mut out);
+                push_common(&mut out, other.name(), 'i', ev);
+                push_args_open(&mut out);
+                // Re-use the canonical JSONL body for args: encode the
+                // event, strip the stamp prefix, keep the kind fields.
+                let mut line = String::new();
+                ev.write_jsonl(&mut line);
+                // line = {"d":..,"s":..,"rt":..,"vt":..,"gvt":..,"ev":"..",REST}
+                let rest = line
+                    .split_once("\"ev\":")
+                    .and_then(|(_, r)| r.split_once(','))
+                    .map(|(_, r)| r.trim_end_matches('}').to_string())
+                    .unwrap_or_default();
+                out.push_str(&rest);
+                let _ = write!(
+                    out,
+                    "{}\"vt\":{}}},\"s\":\"t\"}}",
+                    if rest.is_empty() { "" } else { "," },
+                    ev.vt
+                );
+            }
+        }
+    }
+    out.push_str("\n]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn ev(daemon: u16, seq: u64, rt: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { daemon, seq, rt, vt: 0.5, gvt: 0.25, kind }
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_flows_and_counters() {
+        let trace = Trace {
+            events: vec![
+                ev(0, 1, 1_000, EventKind::SpanBegin { name: "run".into() }),
+                ev(0, 2, 2_000, EventKind::MsgrHop { mid: 7, to: 1, bytes: 64 }),
+                ev(1, 1, 3_000, EventKind::MsgrArrive { mid: 7 }),
+                ev(1, 2, 3_500, EventKind::MsgrPark { mid: 7, wake: 0.75 }),
+                ev(0, 3, 4_000, EventKind::GvtAdvance { gvt: 0.75 }),
+                ev(0, 4, 5_000, EventKind::Checkpoint { bytes: 512 }),
+                ev(0, 5, 6_000, EventKind::SpanEnd { name: "run".into() }),
+            ],
+            dropped: 0,
+        };
+        let doc = to_chrome(&trace);
+        let parsed = json::parse(&doc).expect("chrome export parses as JSON");
+        let events = parsed.get("traceEvents").and_then(json::Json::as_arr).expect("traceEvents");
+        // 2 process metadata + 7 events + 1 extra flow-start + 1 extra
+        // flow-finish + 1 gvt_lag counter.
+        assert_eq!(events.len(), 12);
+        let phases: Vec<&str> =
+            events.iter().filter_map(|e| e.get("ph").and_then(json::Json::as_str)).collect();
+        assert!(phases.contains(&"s"), "flow start present");
+        assert!(phases.contains(&"f"), "flow finish present");
+        assert!(phases.contains(&"C"), "counter present");
+        assert!(phases.contains(&"B") && phases.contains(&"E"), "span slices present");
+        // Flow start/finish share the messenger id.
+        let flow_ids: Vec<u64> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").and_then(json::Json::as_str), Some("s") | Some("f")))
+            .filter_map(|e| e.get("id").and_then(json::Json::as_u64))
+            .collect();
+        assert_eq!(flow_ids, [7, 7]);
+    }
+}

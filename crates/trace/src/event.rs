@@ -1,0 +1,503 @@
+//! The typed trace event model.
+//!
+//! Every observable state transition in a run — messenger lifecycle,
+//! transport frames, GVT protocol, checkpoint/restore, injected faults —
+//! is one [`TraceEvent`]: a [`EventKind`] stamped with the emitting
+//! daemon, that daemon's monotone event sequence number, the platform
+//! clock (`rt`, simulated nanoseconds; 0 on the threads platform, which
+//! has no deterministic clock), the messenger virtual time the event
+//! concerns (`vt`), and the daemon's GVT estimate at emission time.
+//!
+//! The JSONL encoding is canonical: field order is fixed and float
+//! formatting uses Rust's shortest-roundtrip `Display`, so two
+//! traces of the same deterministic run are byte-identical.
+
+use crate::json::{escape_into, Json};
+
+/// One trace event, fully stamped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Emitting daemon.
+    pub daemon: u16,
+    /// Monotone per-daemon sequence number (1-based; total order within
+    /// one daemon's stream even when `rt` ties).
+    pub seq: u64,
+    /// Platform realtime: simulated nanoseconds since run start on the
+    /// simulation platform, 0 on the threads platform.
+    pub rt: u64,
+    /// Messenger virtual time the event concerns; for system events
+    /// (frames, GVT, checkpoints) this is the daemon's GVT estimate.
+    pub vt: f64,
+    /// The emitting daemon's GVT estimate when the event fired.
+    pub gvt: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The kinds of observable state transitions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A fresh messenger was injected at this daemon.
+    MsgrInject {
+        /// Messenger id (raw `MessengerId.0`).
+        mid: u64,
+    },
+    /// A messenger replica was dispatched to daemon `to`.
+    MsgrHop {
+        /// Replica id (each hop destination gets a fresh id).
+        mid: u64,
+        /// Destination daemon.
+        to: u16,
+        /// Serialized messenger bytes on the wire.
+        bytes: u64,
+    },
+    /// A migrated messenger was accepted and enqueued here.
+    MsgrArrive {
+        /// Messenger id.
+        mid: u64,
+    },
+    /// A hop or create replicated one messenger into `replicas` copies.
+    MsgrFork {
+        /// The parent messenger id.
+        mid: u64,
+        /// Number of replicas produced.
+        replicas: u64,
+    },
+    /// A messenger suspended on virtual time.
+    MsgrPark {
+        /// The continuation's (fresh) id.
+        mid: u64,
+        /// Virtual time it waits for.
+        wake: f64,
+    },
+    /// A parked messenger became runnable (GVT reached its wake time).
+    MsgrRevive {
+        /// Messenger id.
+        mid: u64,
+    },
+    /// A messenger terminated normally.
+    MsgrRetire {
+        /// Messenger id.
+        mid: u64,
+    },
+    /// A messenger died with a runtime fault.
+    MsgrFault {
+        /// Messenger id.
+        mid: u64,
+    },
+    /// Reliable transport: a payload frame was sealed and first sent.
+    FrameSend {
+        /// Channel (original receiver daemon).
+        chan: u16,
+        /// Transport sequence number on that channel.
+        seq: u64,
+        /// Frame size on the wire, including header.
+        bytes: u64,
+    },
+    /// Reliable transport: an ack removed frame(s) from the retransmit
+    /// buffer.
+    FrameAck {
+        /// Channel the ack covers.
+        chan: u16,
+        /// The specifically acked sequence number.
+        seq: u64,
+    },
+    /// Reliable transport: a retransmission timer re-sent a frame.
+    FrameRetransmit {
+        /// Channel.
+        chan: u16,
+        /// Frame sequence number.
+        seq: u64,
+        /// Attempt count after this send (first send = 1).
+        attempt: u32,
+    },
+    /// Failover: an adopted unacknowledged frame was re-sent toward the
+    /// channel's current owner.
+    FrameRedirect {
+        /// Channel.
+        chan: u16,
+        /// Frame sequence number.
+        seq: u64,
+        /// Daemon the frame was redirected to.
+        to: u16,
+    },
+    /// A messenger read a node variable (emitted only when node-var
+    /// tracing is enabled).
+    NodeVarRead {
+        /// Variable name.
+        var: String,
+    },
+    /// A messenger wrote a node variable (node-var tracing only).
+    NodeVarWrite {
+        /// Variable name.
+        var: String,
+    },
+    /// The GVT coordinator started round `round`.
+    GvtRound {
+        /// Round number.
+        round: u64,
+    },
+    /// This daemon learned a new GVT estimate.
+    GvtAdvance {
+        /// The new GVT.
+        gvt: f64,
+    },
+    /// Membership eviction: `victim` was declared permanently dead.
+    GvtEvict {
+        /// Evicted daemon.
+        victim: u16,
+        /// The restored checkpoint's virtual-time floor.
+        floor: f64,
+    },
+    /// This daemon snapshotted its durable state.
+    Checkpoint {
+        /// Snapshot size in bytes.
+        bytes: u64,
+    },
+    /// Failover: this daemon restored `victim`'s checkpoint.
+    Restore {
+        /// The dead daemon whose state was adopted.
+        victim: u16,
+        /// Logical nodes restored.
+        nodes: u64,
+        /// Messengers re-enqueued.
+        messengers: u64,
+    },
+    /// Fault injection dropped a frame bound for `to`.
+    NetDrop {
+        /// Intended receiver.
+        to: u16,
+    },
+    /// Fault injection duplicated a frame bound for `to`.
+    NetDup {
+        /// Receiver.
+        to: u16,
+    },
+    /// Fault injection delayed a frame bound for `to`.
+    NetDelay {
+        /// Receiver.
+        to: u16,
+        /// Extra delay in nanoseconds.
+        by: u64,
+    },
+    /// This daemon was permanently killed (volatile state destroyed).
+    Kill,
+    /// An application-level phase span opened (e.g. "compute").
+    SpanBegin {
+        /// Span name.
+        name: String,
+    },
+    /// An application-level phase span closed.
+    SpanEnd {
+        /// Span name.
+        name: String,
+    },
+}
+
+impl EventKind {
+    /// The canonical wire name of this kind (the JSONL `ev` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::MsgrInject { .. } => "inject",
+            EventKind::MsgrHop { .. } => "hop",
+            EventKind::MsgrArrive { .. } => "arrive",
+            EventKind::MsgrFork { .. } => "fork",
+            EventKind::MsgrPark { .. } => "park",
+            EventKind::MsgrRevive { .. } => "revive",
+            EventKind::MsgrRetire { .. } => "retire",
+            EventKind::MsgrFault { .. } => "fault",
+            EventKind::FrameSend { .. } => "send",
+            EventKind::FrameAck { .. } => "ack",
+            EventKind::FrameRetransmit { .. } => "retransmit",
+            EventKind::FrameRedirect { .. } => "redirect",
+            EventKind::NodeVarRead { .. } => "nv_read",
+            EventKind::NodeVarWrite { .. } => "nv_write",
+            EventKind::GvtRound { .. } => "gvt_round",
+            EventKind::GvtAdvance { .. } => "gvt_advance",
+            EventKind::GvtEvict { .. } => "gvt_evict",
+            EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::Restore { .. } => "restore",
+            EventKind::NetDrop { .. } => "net_drop",
+            EventKind::NetDup { .. } => "net_dup",
+            EventKind::NetDelay { .. } => "net_delay",
+            EventKind::Kill => "kill",
+            EventKind::SpanBegin { .. } => "span_begin",
+            EventKind::SpanEnd { .. } => "span_end",
+        }
+    }
+}
+
+/// Format an `f64` so the output is valid JSON and round-trips through
+/// [`crate::json::parse`] bit-for-bit for every finite value. Non-finite
+/// values (which the runtime never stamps, but defensive is cheap) clamp
+/// to the largest finite magnitude.
+pub fn fmt_f64(v: f64, out: &mut String) {
+    let v = if v.is_finite() {
+        v
+    } else if v.is_nan() {
+        0.0
+    } else if v > 0.0 {
+        f64::MAX
+    } else {
+        f64::MIN
+    };
+    // Shortest-roundtrip Display; integral values print without a dot
+    // ("0"), which is still a valid JSON number.
+    out.push_str(&format!("{v}"));
+}
+
+impl TraceEvent {
+    /// Append this event's canonical single-line JSON encoding to `out`
+    /// (no trailing newline).
+    pub fn write_jsonl(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ =
+            write!(out, "{{\"d\":{},\"s\":{},\"rt\":{},\"vt\":", self.daemon, self.seq, self.rt);
+        fmt_f64(self.vt, out);
+        out.push_str(",\"gvt\":");
+        fmt_f64(self.gvt, out);
+        let _ = write!(out, ",\"ev\":\"{}\"", self.kind.name());
+        match &self.kind {
+            EventKind::MsgrInject { mid }
+            | EventKind::MsgrArrive { mid }
+            | EventKind::MsgrRevive { mid }
+            | EventKind::MsgrRetire { mid }
+            | EventKind::MsgrFault { mid } => {
+                let _ = write!(out, ",\"mid\":{mid}");
+            }
+            EventKind::MsgrHop { mid, to, bytes } => {
+                let _ = write!(out, ",\"mid\":{mid},\"to\":{to},\"bytes\":{bytes}");
+            }
+            EventKind::MsgrFork { mid, replicas } => {
+                let _ = write!(out, ",\"mid\":{mid},\"replicas\":{replicas}");
+            }
+            EventKind::MsgrPark { mid, wake } => {
+                let _ = write!(out, ",\"mid\":{mid},\"wake\":");
+                fmt_f64(*wake, out);
+            }
+            EventKind::FrameSend { chan, seq, bytes } => {
+                let _ = write!(out, ",\"chan\":{chan},\"seq\":{seq},\"bytes\":{bytes}");
+            }
+            EventKind::FrameAck { chan, seq } => {
+                let _ = write!(out, ",\"chan\":{chan},\"seq\":{seq}");
+            }
+            EventKind::FrameRetransmit { chan, seq, attempt } => {
+                let _ = write!(out, ",\"chan\":{chan},\"seq\":{seq},\"attempt\":{attempt}");
+            }
+            EventKind::FrameRedirect { chan, seq, to } => {
+                let _ = write!(out, ",\"chan\":{chan},\"seq\":{seq},\"to\":{to}");
+            }
+            EventKind::NodeVarRead { var } | EventKind::NodeVarWrite { var } => {
+                out.push_str(",\"var\":\"");
+                escape_into(var, out);
+                out.push('"');
+            }
+            EventKind::GvtRound { round } => {
+                let _ = write!(out, ",\"round\":{round}");
+            }
+            EventKind::GvtAdvance { gvt } => {
+                out.push_str(",\"to\":");
+                fmt_f64(*gvt, out);
+            }
+            EventKind::GvtEvict { victim, floor } => {
+                let _ = write!(out, ",\"victim\":{victim},\"floor\":");
+                fmt_f64(*floor, out);
+            }
+            EventKind::Checkpoint { bytes } => {
+                let _ = write!(out, ",\"bytes\":{bytes}");
+            }
+            EventKind::Restore { victim, nodes, messengers } => {
+                let _ =
+                    write!(out, ",\"victim\":{victim},\"nodes\":{nodes},\"msgrs\":{messengers}");
+            }
+            EventKind::NetDrop { to } | EventKind::NetDup { to } => {
+                let _ = write!(out, ",\"to\":{to}");
+            }
+            EventKind::NetDelay { to, by } => {
+                let _ = write!(out, ",\"to\":{to},\"by\":{by}");
+            }
+            EventKind::Kill => {}
+            EventKind::SpanBegin { name } | EventKind::SpanEnd { name } => {
+                out.push_str(",\"name\":\"");
+                escape_into(name, out);
+                out.push('"');
+            }
+        }
+        out.push('}');
+    }
+
+    /// Decode one JSONL line. This is also the event schema check:
+    /// unknown kinds, missing fields, or mistyped fields are errors.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first schema violation.
+    pub fn from_json(j: &Json) -> Result<TraceEvent, String> {
+        let daemon = req_u64(j, "d")? as u16;
+        let seq = req_u64(j, "s")?;
+        let rt = req_u64(j, "rt")?;
+        let vt = req_f64(j, "vt")?;
+        let gvt = req_f64(j, "gvt")?;
+        let ev = j
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing event kind \"ev\"".to_string())?;
+        let kind = match ev {
+            "inject" => EventKind::MsgrInject { mid: req_u64(j, "mid")? },
+            "hop" => EventKind::MsgrHop {
+                mid: req_u64(j, "mid")?,
+                to: req_u64(j, "to")? as u16,
+                bytes: req_u64(j, "bytes")?,
+            },
+            "arrive" => EventKind::MsgrArrive { mid: req_u64(j, "mid")? },
+            "fork" => {
+                EventKind::MsgrFork { mid: req_u64(j, "mid")?, replicas: req_u64(j, "replicas")? }
+            }
+            "park" => EventKind::MsgrPark { mid: req_u64(j, "mid")?, wake: req_f64(j, "wake")? },
+            "revive" => EventKind::MsgrRevive { mid: req_u64(j, "mid")? },
+            "retire" => EventKind::MsgrRetire { mid: req_u64(j, "mid")? },
+            "fault" => EventKind::MsgrFault { mid: req_u64(j, "mid")? },
+            "send" => EventKind::FrameSend {
+                chan: req_u64(j, "chan")? as u16,
+                seq: req_u64(j, "seq")?,
+                bytes: req_u64(j, "bytes")?,
+            },
+            "ack" => {
+                EventKind::FrameAck { chan: req_u64(j, "chan")? as u16, seq: req_u64(j, "seq")? }
+            }
+            "retransmit" => EventKind::FrameRetransmit {
+                chan: req_u64(j, "chan")? as u16,
+                seq: req_u64(j, "seq")?,
+                attempt: req_u64(j, "attempt")? as u32,
+            },
+            "redirect" => EventKind::FrameRedirect {
+                chan: req_u64(j, "chan")? as u16,
+                seq: req_u64(j, "seq")?,
+                to: req_u64(j, "to")? as u16,
+            },
+            "nv_read" => EventKind::NodeVarRead { var: req_str(j, "var")? },
+            "nv_write" => EventKind::NodeVarWrite { var: req_str(j, "var")? },
+            "gvt_round" => EventKind::GvtRound { round: req_u64(j, "round")? },
+            "gvt_advance" => EventKind::GvtAdvance { gvt: req_f64(j, "to")? },
+            "gvt_evict" => EventKind::GvtEvict {
+                victim: req_u64(j, "victim")? as u16,
+                floor: req_f64(j, "floor")?,
+            },
+            "checkpoint" => EventKind::Checkpoint { bytes: req_u64(j, "bytes")? },
+            "restore" => EventKind::Restore {
+                victim: req_u64(j, "victim")? as u16,
+                nodes: req_u64(j, "nodes")?,
+                messengers: req_u64(j, "msgrs")?,
+            },
+            "net_drop" => EventKind::NetDrop { to: req_u64(j, "to")? as u16 },
+            "net_dup" => EventKind::NetDup { to: req_u64(j, "to")? as u16 },
+            "net_delay" => {
+                EventKind::NetDelay { to: req_u64(j, "to")? as u16, by: req_u64(j, "by")? }
+            }
+            "kill" => EventKind::Kill,
+            "span_begin" => EventKind::SpanBegin { name: req_str(j, "name")? },
+            "span_end" => EventKind::SpanEnd { name: req_str(j, "name")? },
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok(TraceEvent { daemon, seq, rt, vt, gvt, kind })
+    }
+}
+
+fn req_u64(j: &Json, key: &str) -> Result<u64, String> {
+    j.get(key).and_then(Json::as_u64).ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn req_f64(j: &Json, key: &str) -> Result<f64, String> {
+    j.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing or non-number field {key:?}"))
+}
+
+fn req_str(j: &Json, key: &str) -> Result<String, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn roundtrip(ev: TraceEvent) {
+        let mut line = String::new();
+        ev.write_jsonl(&mut line);
+        let parsed = json::parse(&line).expect("valid json");
+        let back = TraceEvent::from_json(&parsed).expect("valid event");
+        assert_eq!(back, ev, "line: {line}");
+        let mut line2 = String::new();
+        back.write_jsonl(&mut line2);
+        assert_eq!(line, line2, "canonical encoding is stable");
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let kinds = vec![
+            EventKind::MsgrInject { mid: 1 },
+            EventKind::MsgrHop { mid: 2, to: 3, bytes: 88 },
+            EventKind::MsgrArrive { mid: 2 },
+            EventKind::MsgrFork { mid: 1, replicas: 4 },
+            EventKind::MsgrPark { mid: 9, wake: 1.25 },
+            EventKind::MsgrRevive { mid: 9 },
+            EventKind::MsgrRetire { mid: 9 },
+            EventKind::MsgrFault { mid: 7 },
+            EventKind::FrameSend { chan: 2, seq: 10, bytes: 256 },
+            EventKind::FrameAck { chan: 2, seq: 10 },
+            EventKind::FrameRetransmit { chan: 2, seq: 10, attempt: 3 },
+            EventKind::FrameRedirect { chan: 2, seq: 10, to: 1 },
+            EventKind::NodeVarRead { var: "visits".to_string() },
+            EventKind::NodeVarWrite { var: "a \"quoted\" name\n".to_string() },
+            EventKind::GvtRound { round: 5 },
+            EventKind::GvtAdvance { gvt: 0.375 },
+            EventKind::GvtEvict { victim: 3, floor: 0.5 },
+            EventKind::Checkpoint { bytes: 4096 },
+            EventKind::Restore { victim: 3, nodes: 7, messengers: 2 },
+            EventKind::NetDrop { to: 1 },
+            EventKind::NetDup { to: 1 },
+            EventKind::NetDelay { to: 1, by: 50_000 },
+            EventKind::Kill,
+            EventKind::SpanBegin { name: "compute".to_string() },
+            EventKind::SpanEnd { name: "compute".to_string() },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            roundtrip(TraceEvent {
+                daemon: i as u16 % 5,
+                seq: i as u64 + 1,
+                rt: 1_000 * i as u64,
+                vt: i as f64 * 0.125,
+                gvt: i as f64 * 0.0625,
+                kind,
+            });
+        }
+    }
+
+    #[test]
+    fn schema_rejects_unknown_kind_and_missing_fields() {
+        let j = json::parse(r#"{"d":0,"s":1,"rt":0,"vt":0,"gvt":0,"ev":"warp"}"#).unwrap();
+        assert!(TraceEvent::from_json(&j).unwrap_err().contains("unknown event kind"));
+        let j = json::parse(r#"{"d":0,"s":1,"rt":0,"vt":0,"gvt":0,"ev":"hop","mid":1}"#).unwrap();
+        assert!(TraceEvent::from_json(&j).unwrap_err().contains("\"to\""));
+        let j = json::parse(r#"{"d":0,"s":1,"vt":0,"gvt":0,"ev":"kill"}"#).unwrap();
+        assert!(TraceEvent::from_json(&j).unwrap_err().contains("\"rt\""));
+    }
+
+    #[test]
+    fn non_finite_floats_are_clamped_to_valid_json() {
+        let mut line = String::new();
+        TraceEvent {
+            daemon: 0,
+            seq: 1,
+            rt: 0,
+            vt: f64::INFINITY,
+            gvt: f64::NAN,
+            kind: EventKind::Kill,
+        }
+        .write_jsonl(&mut line);
+        let parsed = json::parse(&line).expect("still valid json");
+        assert!(TraceEvent::from_json(&parsed).is_ok());
+    }
+}

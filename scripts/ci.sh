@@ -57,6 +57,34 @@ for seed in 1 424242 "$(date +%s)"; do
     MSGR_FAULT_SEED="$seed" cargo test -q --offline -p msgr-core --test recovery_props
 done
 
+echo "== trace: deterministic flight-recorder smoke =="
+# Record the same seeded chaos run twice (loss + a mid-run daemon kill),
+# validate the JSONL (summary parses it and checks the header/schema),
+# and require the two recordings to be byte-identical — the CLI face of
+# the `same_seed_runs_serialize_byte_identically` property. `msgr trace`
+# exits 1 on findings (invalid trace, differing runs) and 2 on internal
+# errors, so any failure here fails CI.
+cargo build --release --offline --bin msgr
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+trace_run() {
+    ./target/release/msgr run examples/scripts/walker.mc \
+        --topology examples/scripts/ring.topo --daemons 4 --inject r0:2 \
+        --seed 7 --faults drop=0.05,kill=2@20 --trace "$1" >/dev/null
+}
+trace_run "$trace_dir/a.jsonl"
+trace_run "$trace_dir/b.jsonl"
+./target/release/msgr trace summary "$trace_dir/a.jsonl" >/dev/null
+./target/release/msgr trace diff "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
+./target/release/msgr trace chrome "$trace_dir/a.jsonl" "$trace_dir/a.chrome.json" >/dev/null
+for ev in hop retransmit checkpoint restore; do
+    if ! grep -q "\"ev\":\"$ev\"" "$trace_dir/a.jsonl"; then
+        echo "error: chaos trace is missing \"$ev\" events" >&2
+        exit 1
+    fi
+done
+echo "ok: chaos trace is schema-valid, complete, and reproducible"
+
 if [ "$soak" = 1 ]; then
     echo "== chaos soak (--soak) =="
     cargo test -q --offline -p msgr-core --test fault_props -- --ignored

@@ -18,10 +18,17 @@
 //!                          with optional int/float/string arguments
 //!                          (repeatable; default: one messenger at daemon 0)
 //!     --show NODE.VAR      print a node variable after the run (repeatable)
+//!     --seed N             RNG seed (default 0x5EED); same seed + same
+//!                          flags ⇒ bit-identical run and trace
+//!     --trace FILE         record the flight-recorder trace as JSONL
 //!     --faults SPEC        inject faults (simulator only); SPEC is a
 //!                          comma list of drop=P, dup=P, reorder=P,
 //!                          kill=HOST@MS (permanent death + failover) and
 //!                          crash=HOST@MS+MS (transient, down for +MS)
+//! msgr trace  record  script.mc --out FILE [run options]
+//! msgr trace  summary FILE                   # validate + summarize
+//! msgr trace  chrome  IN OUT                 # convert to Chrome trace_event
+//! msgr trace  diff    A B                    # compare two trace files
 //! ```
 //!
 //! Examples:
@@ -29,16 +36,19 @@
 //! ```text
 //! msgr run examples/scripts/census.mc --daemons 8 --show init.workers
 //! msgr run examples/scripts/census.mc --daemons 4 --faults drop=0.01,kill=2@50
+//! msgr trace record examples/scripts/walker.mc --out walk.jsonl --daemons 4
+//! msgr trace chrome walk.jsonl walk.trace.json   # open in Perfetto
 //! ```
 //!
 //! Exit status: 0 on success, 1 when the script has findings (compile or
-//! verification errors) or the run fails, 2 on internal errors (unreadable
+//! verification errors), the run fails, a trace fails validation, or
+//! `trace diff` finds differences; 2 on internal errors (unreadable
 //! files, bad usage).
 
 use std::process::ExitCode;
 
 use messengers::core::topology::LogicalTopology;
-use messengers::core::{ClusterConfig, SimCluster, ThreadCluster};
+use messengers::core::{ClusterConfig, SimCluster, ThreadCluster, Trace, TraceConfig};
 use messengers::sim::{CrashEvent, FaultPlan, MILLI};
 use messengers::vm::Value;
 
@@ -127,8 +137,11 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match argv.split_first() {
         Some((c, r)) => (c.as_str(), r),
-        None => return fail_internal("usage: msgr <check|dis|run> <script.mc> [options]"),
+        None => return fail_internal("usage: msgr <check|dis|run|trace> <script.mc> [options]"),
     };
+    if cmd == "trace" {
+        return trace_cmd(rest);
+    }
     let (path, opts) = match rest.split_first() {
         Some((p, o)) => (p.as_str(), o),
         None => return fail_internal("missing script path"),
@@ -172,6 +185,133 @@ fn main() -> ExitCode {
     }
 }
 
+/// Load and schema-validate a trace file. `Err(code)` is already the
+/// process exit status: 2 for I/O problems, 1 for validation findings.
+fn load_trace(path: &str) -> Result<Trace, ExitCode> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| fail_internal(format!("cannot read `{path}`: {e}")))?;
+    Trace::from_jsonl(&text).map_err(|e| fail(format!("`{path}` is not a valid trace: {e}")))
+}
+
+/// The `msgr trace` subcommands: record, summary, chrome, diff.
+fn trace_cmd(args: &[String]) -> ExitCode {
+    let usage = "usage: msgr trace <record script.mc --out FILE [run options] \
+                 | summary FILE | chrome IN OUT | diff A B>";
+    let (sub, rest) = match args.split_first() {
+        Some((s, r)) => (s.as_str(), r),
+        None => return fail_internal(usage),
+    };
+    match sub {
+        "record" => {
+            let (path, opts) = match rest.split_first() {
+                Some((p, o)) => (p.as_str(), o),
+                None => return fail_internal("trace record: missing script path"),
+            };
+            // `record` is `run` with a mandatory `--trace`: lift `--out`
+            // into the run option and reuse the whole run pipeline.
+            let mut out: Option<String> = None;
+            let mut run_opts: Vec<String> = Vec::new();
+            let mut it = opts.iter();
+            while let Some(o) = it.next() {
+                if o == "--out" {
+                    match it.next() {
+                        Some(f) => out = Some(f.clone()),
+                        None => return fail_internal("--out needs a file"),
+                    }
+                } else {
+                    run_opts.push(o.clone());
+                }
+            }
+            let Some(out) = out else {
+                return fail_internal("trace record: --out FILE is required");
+            };
+            run_opts.push("--trace".to_string());
+            run_opts.push(out);
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => return fail_internal(format!("cannot read `{path}`: {e}")),
+            };
+            run(&source, &run_opts)
+        }
+        "summary" => {
+            let [path] = rest else {
+                return fail_internal("usage: msgr trace summary FILE");
+            };
+            match load_trace(path) {
+                Ok(t) => {
+                    print!("{}", t.summary());
+                    ExitCode::SUCCESS
+                }
+                Err(code) => code,
+            }
+        }
+        "chrome" => {
+            let [input, output] = rest else {
+                return fail_internal("usage: msgr trace chrome IN OUT");
+            };
+            let t = match load_trace(input) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let doc = messengers::trace::chrome::to_chrome(&t);
+            match std::fs::write(output, doc) {
+                Ok(()) => {
+                    println!("wrote {output} ({} events); open it in Perfetto", t.events.len());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail_internal(format!("cannot write `{output}`: {e}")),
+            }
+        }
+        "diff" => {
+            let [a_path, b_path] = rest else {
+                return fail_internal("usage: msgr trace diff A B");
+            };
+            let (a, b) = match (load_trace(a_path), load_trace(b_path)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            let diffs = a.diff(&b, 10);
+            if diffs.is_empty() {
+                println!("traces are identical ({} events)", a.events.len());
+                ExitCode::SUCCESS
+            } else {
+                for d in &diffs {
+                    println!("{d}");
+                }
+                fail(format!("{} difference(s) between `{a_path}` and `{b_path}`", diffs.len()))
+            }
+        }
+        other => fail_internal(format!("unknown trace subcommand `{other}`; {usage}")),
+    }
+}
+
+/// Print the human-readable recovery section of a kill-bearing run: the
+/// restored/replayed counters, then the trace's recovery timeline.
+fn print_recovery(stats: &messengers::sim::Stats, trace: Option<&Trace>) {
+    println!("recovery:");
+    for key in [
+        "kills",
+        "fd_deaths",
+        "evictions",
+        "restores",
+        "restored_nodes",
+        "restored_messengers",
+        "xport_redirected",
+    ] {
+        println!("  {key}: {}", stats.counter(key));
+    }
+    let lat = stats.counter("recovery_latency_ns");
+    if lat > 0 {
+        println!("  recovery_latency_ms: {:.3}", lat as f64 / 1e6);
+    }
+    if let Some(t) = trace {
+        let s = t.summary();
+        if let Some(pos) = s.find("recovery timeline:") {
+            print!("{}", &s[pos..]);
+        }
+    }
+}
+
 fn run(source: &str, opts: &[String]) -> ExitCode {
     let mut daemons = 4usize;
     let mut threads = false;
@@ -181,6 +321,8 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
     let mut shows: Vec<(String, String)> = Vec::new();
     let mut dump = false;
     let mut faults = FaultPlan::none();
+    let mut seed: Option<u64> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut it = opts.iter();
     while let Some(opt) = it.next() {
@@ -220,6 +362,10 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
                     shows.push((node.to_string(), var.to_string()));
                 }
                 "--faults" => faults = parse_faults(&take("a fault spec")?)?,
+                "--seed" => {
+                    seed = Some(take("a seed")?.parse().map_err(|_| "bad seed".to_string())?);
+                }
+                "--trace" => trace_out = Some(take("a file")?),
                 other => return Err(format!("unknown option `{other}`")),
             }
             Ok(())
@@ -283,6 +429,12 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
                             .or_else(|| cluster.node_var(0, &name, var));
                         println!("{node}.{var} = {}", v.unwrap_or(Value::Null));
                     }
+                    if let (Some(path), Some(t)) = (&trace_out, &report.trace) {
+                        if let Err(e) = std::fs::write(path, t.to_jsonl()) {
+                            return fail_internal(format!("cannot write `{path}`: {e}"));
+                        }
+                        println!("trace: {} event(s) -> {path}", t.events.len());
+                    }
                     if report.faults.is_empty() {
                         ExitCode::SUCCESS
                     } else {
@@ -294,6 +446,7 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
         }};
     }
 
+    let has_kill = faults.has_kills();
     if threads {
         if dump {
             return fail_internal("--dump is only available on the simulation platform");
@@ -301,13 +454,28 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
         if !faults.is_none() {
             return fail_internal("--faults is only available on the simulation platform");
         }
-        match ThreadCluster::new(ClusterConfig::new(daemons)) {
+        let mut cfg = ClusterConfig::new(daemons);
+        if let Some(s) = seed {
+            cfg.seed = s;
+        }
+        if trace_out.is_some() {
+            cfg.trace = TraceConfig::on();
+        }
+        match ThreadCluster::new(cfg) {
             Ok(c) => drive!(c, wall_seconds, "wall seconds"),
             Err(e) => fail(e),
         }
     } else {
         let mut cfg = ClusterConfig::new(daemons);
         cfg.faults = faults;
+        if let Some(s) = seed {
+            cfg.seed = s;
+        }
+        // Kill-bearing runs get tracing for free: the recovery timeline
+        // the summary prints below comes out of the flight recorders.
+        if trace_out.is_some() || has_kill {
+            cfg.trace = TraceConfig::on();
+        }
         let mut cluster = SimCluster::new(cfg);
         if let Some(t) = &topology {
             if let Err(e) = cluster.build(t) {
@@ -339,6 +507,15 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
                         .node_var_by_name(&name, var)
                         .or_else(|| cluster.node_var(0, &name, var));
                     println!("{node}.{var} = {}", v.unwrap_or(Value::Null));
+                }
+                if has_kill {
+                    print_recovery(&report.stats, report.trace.as_ref());
+                }
+                if let (Some(path), Some(t)) = (&trace_out, &report.trace) {
+                    if let Err(e) = std::fs::write(path, t.to_jsonl()) {
+                        return fail_internal(format!("cannot write `{path}`: {e}"));
+                    }
+                    println!("trace: {} event(s) -> {path}", t.events.len());
                 }
                 if dump {
                     print!("{}", cluster.network_dump());

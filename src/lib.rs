@@ -39,6 +39,7 @@
 //! | [`gvt`] | Global virtual time: conservative protocol + Time-Warp rollback |
 //! | [`pvm`] | The PVM 3.3-like message-passing baseline |
 //! | [`sim`] | Deterministic discrete-event cluster simulator (hosts, Ethernet) |
+//! | [`trace`] | Flight recorder, typed metrics, JSONL + Chrome trace exporters |
 //! | [`apps`] | The paper's applications: Mandelbrot, block matrix multiplication |
 //!
 //! ## Quick start
@@ -78,4 +79,5 @@ pub use msgr_gvt as gvt;
 pub use msgr_lang as lang;
 pub use msgr_pvm as pvm;
 pub use msgr_sim as sim;
+pub use msgr_trace as trace;
 pub use msgr_vm as vm;
