@@ -276,9 +276,19 @@ mod tests {
         assert_eq!(run.stats.counter("restores"), 1);
         assert!(run.stats.counter("checkpoints") > 0);
         // Bit-reproducible: the same seed replays the same recovery.
-        let again = run_sim(&work, 4, &calib, cfg).unwrap();
+        let again = run_sim(&work, 4, &calib, cfg.clone()).unwrap();
         assert_eq!(again.checksum, run.checksum);
         assert_eq!(again.seconds.to_bits(), run.seconds.to_bits());
+        // Failover must be indifferent to execution lanes and frame
+        // batching: a batch retransmits as a unit, so the kill loses
+        // whole batches, and replay still restores the exact image.
+        let mut sharded = cfg;
+        sharded.lanes = 4;
+        sharded.batch = msgr_core::BatchPolicy::on();
+        let r = run_sim(&work, 4, &calib, sharded).unwrap();
+        assert_eq!(r.checksum, expected, "lanes+batching must not change the recovered image");
+        assert_eq!(r.stats.counter("kills"), 1);
+        assert_eq!(r.stats.counter("restores"), 1);
     }
 
     #[test]

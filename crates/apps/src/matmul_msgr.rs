@@ -255,9 +255,19 @@ mod tests {
         assert_eq!(run.stats.counter("kills"), 1);
         assert_eq!(run.stats.counter("restores"), 1);
         // Bit-reproducible: the same seed replays the same recovery.
-        let again = run_sim(scene, &a, &b, &Calib::default(), cfg).unwrap();
+        let again = run_sim(scene, &a, &b, &Calib::default(), cfg.clone()).unwrap();
         assert_eq!(again.seconds.to_bits(), run.seconds.to_bits());
         assert!(max_abs_diff(&again.product, &run.product) == 0.0);
+        // Failover must be indifferent to execution lanes and frame
+        // batching: whole batches are lost and replayed as units, and
+        // the GVT cut still yields the exact product.
+        let mut sharded = cfg;
+        sharded.lanes = 4;
+        sharded.batch = msgr_core::BatchPolicy::on();
+        let r = run_sim(scene, &a, &b, &Calib::default(), sharded).unwrap();
+        assert!(max_abs_diff(&r.product, &multiply_reference(&a, &b)) < 1e-9);
+        assert_eq!(r.stats.counter("kills"), 1);
+        assert_eq!(r.stats.counter("restores"), 1);
     }
 
     #[test]

@@ -553,6 +553,372 @@ pub fn ablation_recovery() -> String {
     )
 }
 
+/// BENCH_0006 — execution lanes + frame batching + local-move hops.
+///
+/// Three workloads, one JSON file:
+///
+/// * **threads / ring**: walkers circulate a ring whose nodes are placed
+///   in contiguous per-daemon blocks, each carrying a payload string —
+///   so most hops are same-daemon and encode/decode cost is visible.
+///   Run once as the `baseline` (lanes=1, no batching, no local move)
+///   and once `optimized` (lanes=4 + batching + local move); the
+///   messengers/sec ratio between the two rows is the PR's headline
+///   speedup and must reach ≥1.5× in full mode.
+/// * **threads / scatter**: messengers at a hub replicate to 16 spokes
+///   on one remote daemon, so every flush coalesces a full batch —
+///   proving `batch_flushes`/`batch_frames` move under the optimized
+///   config (asserted even in smoke mode; it is deterministic).
+/// * **sim / lossy ring**: the same ring under 5% frame loss with the
+///   reliable transport, recording the xport delivery p50/p99 the
+///   trajectory tracks.
+///
+/// Every data point is verified before its timing is reported (visit /
+/// delivery counts), mirroring the rest of this harness.
+///
+/// # Panics
+///
+/// Panics if any run fails, any verification count is off, or the
+/// optimized threads run never forms a batch.
+pub fn ablation_lanes(smoke: bool) -> String {
+    use msgr_core::topology::LogicalTopology;
+    use msgr_core::{BatchPolicy, DaemonId, ThreadCluster};
+    use msgr_sim::FaultPlan;
+    use msgr_vm::{Dir, Value};
+
+    const LANE_WALK: &str = r#"
+    lanewalk(passes, payload) {
+        int i = 0;
+        node int visits;
+        visits = visits + 1;
+        while (i < passes) {
+            hop(ll = "ring"; ldir = +);
+            visits = visits + 1;
+            i = i + 1;
+        }
+    }
+    "#;
+    const SCATTER: &str = r#"
+    scatter() {
+        node int seen;
+        hop(ll = "out"; ldir = +);
+        seen = seen + 1;
+    }
+    "#;
+
+    let daemons = 4usize;
+    let (nodes, walkers, passes, payload_len) =
+        if smoke { (16usize, 16usize, 12i64, 512usize) } else { (64, 256, 192, 4096) };
+    let (spokes, scatters) = if smoke { (8usize, 8usize) } else { (16, 128) };
+    let repeats = if smoke { 1 } else { 3 };
+
+    let ring_topo = |nodes: usize| {
+        let block = nodes.div_ceil(daemons);
+        let mut topo = LogicalTopology::new();
+        for i in 0..nodes {
+            topo.node(Value::str(format!("p{i}")), DaemonId((i / block) as u16));
+        }
+        for i in 0..nodes {
+            topo.link(
+                Value::str(format!("p{i}")),
+                Value::str(format!("p{}", (i + 1) % nodes)),
+                Value::str("ring"),
+                Dir::Forward,
+            );
+        }
+        topo
+    };
+    let lane_cfg = |lanes: usize, batch: bool, local_move: bool| {
+        let mut cfg = ClusterConfig::new(daemons);
+        cfg.seed = 42;
+        cfg.lanes = lanes;
+        cfg.batch = if batch { BatchPolicy::on() } else { BatchPolicy::off() };
+        cfg.local_move = local_move;
+        cfg
+    };
+    let payload = Value::str("x".repeat(payload_len));
+
+    // One verified threads ring run; returns (wall seconds, merged stats).
+    let ring_threads = |lanes: usize, batch: bool, local_move: bool| {
+        let mut cluster =
+            ThreadCluster::new(lane_cfg(lanes, batch, local_move)).expect("threads cluster");
+        cluster.build(&ring_topo(nodes)).expect("build ring");
+        let pid = cluster.register_program(&msgr_lang::compile(LANE_WALK).expect("compile"));
+        for m in 0..walkers {
+            cluster
+                .inject_at(
+                    &Value::str(format!("p{}", m % nodes)),
+                    pid,
+                    &[Value::Int(passes), payload.clone()],
+                )
+                .expect("inject");
+        }
+        let rep = cluster.run().expect("threads run");
+        assert!(rep.faults.is_empty(), "ring faults: {:?}", rep.faults);
+        let mut visits = 0i64;
+        for i in 0..nodes {
+            if let Some(Value::Int(v)) =
+                cluster.node_var_by_name(&Value::str(format!("p{i}")), "visits")
+            {
+                visits += v;
+            }
+        }
+        assert_eq!(
+            visits,
+            walkers as i64 * (passes + 1),
+            "ring visits wrong (lanes={lanes} batch={batch} move={local_move})"
+        );
+        (rep.wall_seconds, rep.stats)
+    };
+    // Best-of-N to shave scheduler noise off the wall-clock rows.
+    let ring_best = |lanes: usize, batch: bool, local_move: bool| {
+        let mut best: Option<(f64, msgr_sim::Stats)> = None;
+        for _ in 0..repeats {
+            let (w, s) = ring_threads(lanes, batch, local_move);
+            if best.as_ref().is_none_or(|(bw, _)| w < *bw) {
+                best = Some((w, s));
+            }
+        }
+        best.expect("at least one repeat")
+    };
+
+    let ring_row = |config: &str,
+                    lanes: usize,
+                    batch: bool,
+                    local_move: bool,
+                    wall: f64,
+                    stats: &msgr_sim::Stats| {
+        let retired = stats.counter("terminated");
+        let hops = stats.counter("hops");
+        format!(
+            concat!(
+                "    {{\"platform\": \"threads\", \"workload\": \"ring\", \"config\": \"{}\", ",
+                "\"lanes\": {}, \"batch\": {}, \"local_move\": {}, ",
+                "\"wall_seconds\": {:.6}, \"messengers_per_sec\": {:.1}, \"hops_per_sec\": {:.1}, ",
+                "\"hops\": {}, \"retired\": {}, \"migration_bytes\": {}, \"lane_steals\": {}, ",
+                "\"batch_flushes\": {}, \"batch_frames\": {}, \"batch_bytes_saved\": {}}}"
+            ),
+            config,
+            lanes,
+            batch,
+            local_move,
+            wall,
+            retired as f64 / wall.max(1e-9),
+            hops as f64 / wall.max(1e-9),
+            hops,
+            retired,
+            stats.counter("migration_bytes"),
+            stats.counter("lane_steals"),
+            stats.counter("batch_flushes"),
+            stats.counter("batch_frames"),
+            stats.counter("batch_bytes_saved"),
+        )
+    };
+
+    let (base_wall, base_stats) = ring_best(1, false, false);
+    let (opt_wall, opt_stats) = ring_best(4, true, true);
+    let base_rate = base_stats.counter("terminated") as f64 / base_wall.max(1e-9);
+    let opt_rate = opt_stats.counter("terminated") as f64 / opt_wall.max(1e-9);
+    let speedup = opt_rate / base_rate.max(1e-9);
+
+    // Scatter: hub on daemon 0, all spokes on daemon 1 — every hop is a
+    // 16-way replicate to one peer, so batching must fire.
+    let scatter_run = || {
+        let mut cluster = ThreadCluster::new(lane_cfg(4, true, true)).expect("threads cluster");
+        let mut topo = LogicalTopology::new();
+        topo.node(Value::str("hub"), DaemonId(0));
+        for i in 0..spokes {
+            topo.node(Value::str(format!("s{i}")), DaemonId(1));
+            topo.link(
+                Value::str("hub"),
+                Value::str(format!("s{i}")),
+                Value::str("out"),
+                Dir::Forward,
+            );
+        }
+        cluster.build(&topo).expect("build star");
+        let pid = cluster.register_program(&msgr_lang::compile(SCATTER).expect("compile"));
+        for _ in 0..scatters {
+            cluster.inject_at(&Value::str("hub"), pid, &[]).expect("inject");
+        }
+        let rep = cluster.run().expect("threads run");
+        assert!(rep.faults.is_empty(), "scatter faults: {:?}", rep.faults);
+        let mut seen = 0i64;
+        for i in 0..spokes {
+            if let Some(Value::Int(v)) =
+                cluster.node_var_by_name(&Value::str(format!("s{i}")), "seen")
+            {
+                seen += v;
+            }
+        }
+        assert_eq!(seen, (scatters * spokes) as i64, "scatter deliveries wrong");
+        assert!(
+            rep.stats.counter("batch_frames") >= (scatters * 2) as u64,
+            "scatter fan-out never batched: {} frames",
+            rep.stats.counter("batch_frames")
+        );
+        rep
+    };
+    let sc = scatter_run();
+    let scatter_row = format!(
+        concat!(
+            "    {{\"platform\": \"threads\", \"workload\": \"scatter\", ",
+            "\"config\": \"lanes4_batch_move\", \"lanes\": 4, \"batch\": true, ",
+            "\"local_move\": true, \"wall_seconds\": {:.6}, \"messengers_per_sec\": {:.1}, ",
+            "\"hops_per_sec\": {:.1}, \"hops\": {}, \"retired\": {}, \"migration_bytes\": {}, ",
+            "\"lane_steals\": {}, \"batch_flushes\": {}, \"batch_frames\": {}, ",
+            "\"batch_bytes_saved\": {}}}"
+        ),
+        sc.wall_seconds,
+        sc.stats.counter("terminated") as f64 / sc.wall_seconds.max(1e-9),
+        sc.stats.counter("hops") as f64 / sc.wall_seconds.max(1e-9),
+        sc.stats.counter("hops"),
+        sc.stats.counter("terminated"),
+        sc.stats.counter("migration_bytes"),
+        sc.stats.counter("lane_steals"),
+        sc.stats.counter("batch_flushes"),
+        sc.stats.counter("batch_frames"),
+        sc.stats.counter("batch_bytes_saved"),
+    );
+
+    // Sim row: the same ring under 5% loss, reliable transport — the
+    // delivery-latency quantiles the trajectory tracks.
+    let sim_row = {
+        let (sim_nodes, sim_walkers, sim_passes) =
+            if smoke { (8usize, 4usize, 10i64) } else { (16, 8, 30) };
+        let mut cfg = lane_cfg(4, true, false);
+        cfg.faults = FaultPlan::lossy(0.05);
+        let mut cluster = msgr_core::SimCluster::new(cfg);
+        cluster.build(&ring_topo(sim_nodes)).expect("build sim ring");
+        let pid = cluster.register_program(&msgr_lang::compile(LANE_WALK).expect("compile"));
+        for m in 0..sim_walkers {
+            cluster
+                .inject_at(
+                    &Value::str(format!("p{}", m % sim_nodes)),
+                    pid,
+                    &[Value::Int(sim_passes), Value::str("x".repeat(256))],
+                )
+                .expect("inject");
+        }
+        let rep = cluster.run().expect("sim run");
+        assert!(rep.faults.is_empty(), "sim faults: {:?}", rep.faults);
+        assert_eq!(rep.stats.counter("xport_gave_up"), 0);
+        format!(
+            concat!(
+                "    {{\"platform\": \"sim\", \"workload\": \"lossy_ring\", ",
+                "\"config\": \"lanes4_batch\", \"lanes\": 4, \"batch\": true, ",
+                "\"local_move\": false, \"loss\": 0.05, \"sim_seconds\": {:.6}, ",
+                "\"hops\": {}, \"retired\": {}, \"xport_retransmits\": {}, {}}}"
+            ),
+            rep.sim_seconds,
+            rep.stats.counter("hops"),
+            rep.stats.counter("terminated"),
+            rep.stats.counter("xport_retransmits"),
+            quantile_fields(&rep.stats, "xport_delivery_ns"),
+        )
+    };
+
+    let base_row = ring_row("baseline", 1, false, false, base_wall, &base_stats);
+    let opt_row = ring_row("lanes4_batch_move", 4, true, true, opt_wall, &opt_stats);
+    format!(
+        concat!(
+            "{{\n  \"bench\": \"BENCH_0006\",\n  \"ablation\": \"lanes\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"workload\": \"ring {} nodes x {} walkers x {} hops (payload {} B), ",
+            "scatter {}x{}, {} daemons\",\n",
+            "  \"rows\": [\n{},\n{},\n{},\n{}\n  ],\n",
+            "  \"speedup_messengers_per_sec\": {:.3}\n}}"
+        ),
+        if smoke { "smoke" } else { "full" },
+        nodes,
+        walkers,
+        passes,
+        payload_len,
+        scatters,
+        spokes,
+        daemons,
+        base_row,
+        opt_row,
+        scatter_row,
+        sim_row,
+        speedup,
+    )
+}
+
+/// Schema check for a `BENCH_0006.json` produced by [`ablation_lanes`]:
+/// required top-level and per-row keys present, every counter
+/// non-negative and parseable, and — for a `"mode": "full"` file — the
+/// recorded threads speedup at least 1.5×.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn validate_bench_0006(json: &str) -> Result<(), String> {
+    fn number_after(json: &str, key: &str, from: usize) -> Result<f64, String> {
+        let pat = format!("\"{key}\":");
+        let at = json[from..]
+            .find(&pat)
+            .map(|i| from + i + pat.len())
+            .ok_or_else(|| format!("missing key {key:?}"))?;
+        let rest = json[at..].trim_start();
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        let tok = rest[..end].trim();
+        if tok == "null" {
+            return Err(format!("key {key:?} is null"));
+        }
+        tok.parse::<f64>().map_err(|_| format!("key {key:?} holds non-number {tok:?}"))
+    }
+
+    if !json.contains("\"bench\": \"BENCH_0006\"") {
+        return Err("missing \"bench\": \"BENCH_0006\"".to_string());
+    }
+    for key in ["ablation", "mode", "workload", "rows"] {
+        if !json.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing key {key:?}"));
+        }
+    }
+    // Rate metrics must exist somewhere in the rows.
+    for key in
+        ["messengers_per_sec", "hops_per_sec", "xport_delivery_ns_p50", "xport_delivery_ns_p99"]
+    {
+        number_after(json, key, 0)?;
+    }
+    // Counters: every occurrence parses and is non-negative.
+    for key in [
+        "hops",
+        "retired",
+        "migration_bytes",
+        "lane_steals",
+        "batch_flushes",
+        "batch_frames",
+        "batch_bytes_saved",
+        "xport_retransmits",
+    ] {
+        let pat = format!("\"{key}\":");
+        let mut from = 0usize;
+        let mut seen = false;
+        while let Some(i) = json[from..].find(&pat) {
+            let at = from + i;
+            let v = number_after(json, key, at)?;
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("counter {key:?} is negative or non-finite: {v}"));
+            }
+            seen = true;
+            from = at + pat.len();
+        }
+        if !seen {
+            return Err(format!("missing counter {key:?}"));
+        }
+    }
+    let speedup = number_after(json, "speedup_messengers_per_sec", 0)?;
+    if json.contains("\"mode\": \"full\"") && speedup < 1.5 {
+        return Err(format!("full-mode speedup {speedup:.3} below the 1.5x acceptance bar"));
+    }
+    if speedup <= 0.0 {
+        return Err(format!("speedup must be positive, got {speedup}"));
+    }
+    Ok(())
+}
+
 /// The code-size comparison (§3.1.1 / §3.2.1).
 pub fn text_codesize() -> Table {
     let mut table = Table::new(

@@ -66,8 +66,10 @@ pub mod topology;
 pub mod wire;
 
 pub use ckpt::{CheckpointStore, FileStore, MemStore};
-pub use config::{ClusterConfig, CostModel, NetKind, RecoveryPolicy, RetransmitPolicy, VtMode};
-pub use daemon::{CodeCache, Daemon, Effect};
+pub use config::{
+    BatchPolicy, ClusterConfig, CostModel, NetKind, RecoveryPolicy, RetransmitPolicy, VtMode,
+};
+pub use daemon::{lane_of, CodeCache, Daemon, Effect};
 pub use ids::{DaemonId, NodeRef};
 pub use platform::sim::{SimCluster, SimReport};
 pub use platform::threads::{ThreadCluster, ThreadReport};

@@ -130,6 +130,16 @@ pub enum Wire {
         /// Its current membership epoch.
         epoch: u64,
     },
+    /// A coalesced flush: several payload frames bound for the same peer
+    /// travel under one physical header. Built by the daemon's effect
+    /// coalescer when [`crate::BatchPolicy`] allows; the receiver unpacks
+    /// and processes the inner frames in order. A batch never contains
+    /// `Data`, `Ack`, or another `Batch` (the codec rejects all three),
+    /// but a whole batch may itself be enveloped in one `Data` frame —
+    /// the reliable transport then acks and retransmits the flush as a
+    /// unit, so exactly-once delivery of every inner frame follows from
+    /// exactly-once delivery of the envelope.
+    Batch(Vec<Wire>),
     /// Membership change: `victim` has been declared permanently dead and
     /// its logical nodes re-homed to its successor. Broadcast by the
     /// successor (reliably — eviction must not be lost) after it restores
@@ -164,9 +174,11 @@ impl Wire {
                 Wire::Create(_) => "data:create",
                 Wire::Unlink { .. } => "data:unlink",
                 Wire::Gvt(_) => "data:gvt",
+                Wire::Batch(_) => "data:batch",
                 _ => "data",
             },
             Wire::Ack { .. } => "ack",
+            Wire::Batch(_) => "batch",
             Wire::Beat { .. } => "beat",
             Wire::Evict { .. } => "evict",
         }
@@ -187,6 +199,9 @@ impl Wire {
             // only src + chan + seq are extra bytes.
             Wire::Data { frame, .. } => frame.wire_bytes(header) + 14,
             Wire::Ack { .. } => header + 22,
+            // One shared physical header for the whole flush; each inner
+            // frame pays only 4 bytes of framing instead of `header`.
+            Wire::Batch(frames) => header + 2 + frames.iter().map(|f| f.wire_bytes(4)).sum::<u64>(),
             Wire::Beat { .. } => header + 10,
             Wire::Evict { .. } => header + 18,
         }
@@ -215,6 +230,15 @@ fn get_u8(buf: &mut Bytes, what: &str) -> Result<u8, VmError> {
     Ok(buf.get_u8())
 }
 
+/// A varint that must fit in 16 bits (daemon ids, node creators).
+/// Silently truncating with `as u16` would let a corrupted high bit
+/// decode to the *same* value — the strict-validation policy forbids
+/// accepting any byte sequence the encoder could not have produced.
+fn get_u16_varint(buf: &mut Bytes, what: &str) -> Result<u16, VmError> {
+    let v = get_varint(buf)?;
+    u16::try_from(v).map_err(|_| err(&format!("{what} {v} overflows u16")))
+}
+
 pub(crate) fn put_vt(buf: &mut BytesMut, vt: Vt) {
     put_f64(buf, vt.as_f64());
 }
@@ -233,7 +257,7 @@ fn put_endpoint(buf: &mut BytesMut, (d, n): (DaemonId, NodeRef)) {
 }
 
 fn get_endpoint(buf: &mut Bytes) -> Result<(DaemonId, NodeRef), VmError> {
-    let d = DaemonId(get_varint(buf)? as u16);
+    let d = DaemonId(get_u16_varint(buf, "endpoint daemon")?);
     Ok((d, get_node_ref(buf)?))
 }
 
@@ -243,7 +267,7 @@ pub(crate) fn put_node_ref(buf: &mut BytesMut, n: NodeRef) {
 }
 
 pub(crate) fn get_node_ref(buf: &mut Bytes) -> Result<NodeRef, VmError> {
-    let creator = get_varint(buf)? as u16;
+    let creator = get_u16_varint(buf, "node creator")?;
     let seq = get_varint(buf)?;
     Ok(NodeRef { creator, seq })
 }
@@ -270,7 +294,11 @@ fn get_migration(buf: &mut Bytes) -> Result<Migration, VmError> {
     let id = MessengerId(get_varint(buf)?);
     let vtime = get_vt(buf)?;
     let epoch = get_varint(buf)?;
-    let anti = get_u8(buf, "anti flag")? != 0;
+    let anti = match get_u8(buf, "anti flag")? {
+        0 => false,
+        1 => true,
+        t => return Err(err(&format!("bad anti flag {t}"))),
+    };
     let to = get_endpoint(buf)?;
     let via = match get_u8(buf, "via flag")? {
         0 => None,
@@ -344,7 +372,7 @@ fn get_ctrl(buf: &mut Bytes) -> Result<CtrlMsg, VmError> {
         0 => CtrlMsg::Cut { round: get_varint(buf)? },
         1 => CtrlMsg::CutAck {
             round: get_varint(buf)?,
-            daemon: get_varint(buf)? as u16,
+            daemon: get_u16_varint(buf, "ctrl daemon")?,
             lmin: get_vt(buf)?,
             prev_sent: get_varint(buf)?,
             prev_recv: get_varint(buf)?,
@@ -354,7 +382,7 @@ fn get_ctrl(buf: &mut Bytes) -> Result<CtrlMsg, VmError> {
         2 => CtrlMsg::Poll { round: get_varint(buf)? },
         3 => CtrlMsg::PollAck {
             round: get_varint(buf)?,
-            daemon: get_varint(buf)? as u16,
+            daemon: get_u16_varint(buf, "ctrl daemon")?,
             lmin: get_vt(buf)?,
             prev_recv: get_varint(buf)?,
             late_min: get_vt(buf)?,
@@ -417,10 +445,30 @@ fn put_frame(buf: &mut BytesMut, w: &Wire) {
             put_varint(buf, *epoch);
             put_vt(buf, *floor);
         }
+        Wire::Batch(frames) => {
+            buf.put_u8(9);
+            put_varint(buf, frames.len() as u64);
+            for f in frames {
+                put_frame(buf, f);
+            }
+        }
     }
 }
 
-fn get_frame(buf: &mut Bytes, nested: bool) -> Result<Wire, VmError> {
+/// Where in the frame tree the decoder currently sits — transport frames
+/// nest one level at most: `Data(Batch(payload*))` is the deepest legal
+/// shape.
+#[derive(Clone, Copy, PartialEq)]
+enum Ctx {
+    /// Top-level frame: anything goes.
+    Top,
+    /// Inside a `Data` envelope: no `Data`, no `Ack`.
+    InData,
+    /// Inside a `Batch`: no `Data`, no `Ack`, no `Batch`.
+    InBatch,
+}
+
+fn get_frame(buf: &mut Bytes, ctx: Ctx) -> Result<Wire, VmError> {
     Ok(match get_u8(buf, "frame tag")? {
         0 => Wire::Migrate(get_migration(buf)?),
         1 => {
@@ -451,35 +499,49 @@ fn get_frame(buf: &mut Bytes, nested: bool) -> Result<Wire, VmError> {
         3 => Wire::Gvt(get_ctrl(buf)?),
         4 => Wire::GvtKick,
         5 => {
-            if nested {
+            if ctx != Ctx::Top {
                 return Err(err("nested transport envelope"));
             }
-            let src = DaemonId(get_varint(buf)? as u16);
-            let chan = DaemonId(get_varint(buf)? as u16);
+            let src = DaemonId(get_u16_varint(buf, "frame src")?);
+            let chan = DaemonId(get_u16_varint(buf, "frame chan")?);
             let seq = get_varint(buf)?;
-            let frame = Box::new(get_frame(buf, true)?);
+            let frame = Box::new(get_frame(buf, Ctx::InData)?);
             Wire::Data { src, chan, seq, frame }
         }
         6 => {
-            if nested {
+            if ctx != Ctx::Top {
                 return Err(err("ack inside transport envelope"));
             }
-            let src = DaemonId(get_varint(buf)? as u16);
-            let chan = DaemonId(get_varint(buf)? as u16);
+            let src = DaemonId(get_u16_varint(buf, "frame src")?);
+            let chan = DaemonId(get_u16_varint(buf, "frame chan")?);
             let cum = get_varint(buf)?;
             let seq = get_varint(buf)?;
             Wire::Ack { src, chan, cum, seq }
         }
         7 => {
-            let from = DaemonId(get_varint(buf)? as u16);
+            let from = DaemonId(get_u16_varint(buf, "beat origin")?);
             let epoch = get_varint(buf)?;
             Wire::Beat { from, epoch }
         }
         8 => {
-            let victim = DaemonId(get_varint(buf)? as u16);
+            let victim = DaemonId(get_u16_varint(buf, "evict victim")?);
             let epoch = get_varint(buf)?;
             let floor = get_vt(buf)?;
             Wire::Evict { victim, epoch, floor }
+        }
+        9 => {
+            if ctx == Ctx::InBatch {
+                return Err(err("batch inside batch"));
+            }
+            let n = get_varint(buf)? as usize;
+            if n < 2 {
+                return Err(err("batch of fewer than two frames"));
+            }
+            let mut frames = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                frames.push(get_frame(buf, Ctx::InBatch)?);
+            }
+            Wire::Batch(frames)
         }
         t => return Err(err(&format!("unknown frame tag {t}"))),
     })
@@ -496,10 +558,11 @@ pub fn encode_frame(w: &Wire) -> Bytes {
 ///
 /// # Errors
 ///
-/// [`VmError::Decode`] on any malformed input, including trailing bytes
-/// and transport frames nested inside a [`Wire::Data`] envelope.
+/// [`VmError::Decode`] on any malformed input, including trailing bytes,
+/// transport frames nested inside a [`Wire::Data`] envelope, and
+/// `Data`/`Ack`/`Batch` frames inside a [`Wire::Batch`].
 pub fn decode_frame(mut buf: Bytes) -> Result<Wire, VmError> {
-    let w = get_frame(&mut buf, false)?;
+    let w = get_frame(&mut buf, Ctx::Top)?;
     if buf.has_remaining() {
         return Err(err("trailing bytes after frame"));
     }
@@ -622,6 +685,20 @@ mod tests {
             Wire::Beat { from: DaemonId(4), epoch: 2 },
             Wire::Evict { victim: DaemonId(1), epoch: 3, floor: Vt::new(7.5) },
             Wire::Evict { victim: DaemonId(6), epoch: 1, floor: Vt::INFINITY },
+            Wire::Batch(vec![
+                Wire::Migrate(mig(16, 0)),
+                Wire::Unlink { node: NodeRef::new(1, 2), inst: LinkInstance(3) },
+                Wire::Gvt(CtrlMsg::Cut { round: 1 }),
+            ]),
+            Wire::Data {
+                src: DaemonId(2),
+                chan: DaemonId(3),
+                seq: 7,
+                frame: Box::new(Wire::Batch(vec![
+                    Wire::Migrate(mig(8, 0)),
+                    Wire::Migrate(mig(9, 0)),
+                ])),
+            },
         ]
     }
 
@@ -659,6 +736,46 @@ mod tests {
             frame: Box::new(Wire::Ack { src: DaemonId(0), chan: DaemonId(1), cum: 0, seq: 0 }),
         };
         assert!(decode_frame(encode_frame(&ack_in_data)).is_err(), "Ack in Data must not decode");
+    }
+
+    #[test]
+    fn batch_shares_one_header() {
+        let a = Wire::Migrate(mig(100, 0));
+        let b = Wire::Unlink { node: NodeRef::new(0, 0), inst: LinkInstance(1) };
+        let batch = Wire::Batch(vec![a.clone(), b.clone()]);
+        let separate = a.wire_bytes(64) + b.wire_bytes(64);
+        assert!(batch.wire_bytes(64) < separate, "a batch must save header bytes");
+        assert_eq!(batch.kind(), "batch");
+        let data =
+            Wire::Data { src: DaemonId(0), chan: DaemonId(1), seq: 1, frame: Box::new(batch) };
+        assert_eq!(data.kind(), "data:batch");
+    }
+
+    #[test]
+    fn batch_nesting_rejected() {
+        let leaf = Wire::Migrate(mig(1, 0));
+        for bad in [
+            Wire::Batch(vec![leaf.clone(), Wire::Batch(vec![leaf.clone(), leaf.clone()])]),
+            Wire::Batch(vec![
+                leaf.clone(),
+                Wire::Data {
+                    src: DaemonId(0),
+                    chan: DaemonId(1),
+                    seq: 1,
+                    frame: Box::new(leaf.clone()),
+                },
+            ]),
+            Wire::Batch(vec![
+                leaf.clone(),
+                Wire::Ack { src: DaemonId(0), chan: DaemonId(1), cum: 0, seq: 0 },
+            ]),
+        ] {
+            assert!(decode_frame(encode_frame(&bad)).is_err(), "{bad:?} must not decode");
+        }
+        // Undersized batches are malformed too: the coalescer never emits
+        // a batch that saves nothing.
+        let single = Wire::Batch(vec![leaf.clone()]);
+        assert!(decode_frame(encode_frame(&single)).is_err(), "1-frame batch must not decode");
     }
 
     #[test]

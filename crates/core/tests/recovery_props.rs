@@ -11,7 +11,7 @@
 
 use msgr_check::{check_with, prop_assert, prop_assert_eq, Config, Source};
 use msgr_core::topology::LogicalTopology;
-use msgr_core::{ClusterConfig, DaemonId, SimCluster};
+use msgr_core::{BatchPolicy, ClusterConfig, DaemonId, SimCluster};
 use msgr_sim::{CrashEvent, FaultPlan, Stats, MILLI};
 use msgr_vm::{Dir, Value};
 
@@ -64,11 +64,16 @@ struct Scenario {
     passes: i64,
     seed: u64,
     plan: FaultPlan,
+    lanes: usize,
+    batch: bool,
 }
 
 /// A cluster of 2–8 daemons with one permanent worker kill (never daemon
 /// 0 — it hosts the GVT coordinator) somewhere in the first ~200 ms,
 /// i.e. anywhere from "before the first checkpoint" to "mid-run".
+/// Execution lanes and frame batching are drawn too: recovery must be
+/// indifferent to both (a batch acks and retransmits as a unit, so a
+/// kill mid-batch loses and restores whole batches, never fragments).
 fn arb_kill_scenario(s: &mut Source) -> Scenario {
     let daemons = s.usize_in(2..9);
     let victim = s.u32_in(1..daemons as u32);
@@ -82,6 +87,8 @@ fn arb_kill_scenario(s: &mut Source) -> Scenario {
             crashes: vec![CrashEvent::kill(victim, s.u64_in(0..200 * MILLI))],
             ..FaultPlan::none()
         },
+        lanes: s.usize_in(1..5),
+        batch: s.bool_with(0.5),
     }
 }
 
@@ -110,6 +117,10 @@ fn run_ring(sc: &Scenario, program: &str) -> Result<RunResult, String> {
     let mut cfg = ClusterConfig::new(sc.daemons);
     cfg.seed = sc.seed;
     cfg.faults = sc.plan.clone();
+    cfg.lanes = sc.lanes;
+    if sc.batch {
+        cfg.batch = BatchPolicy::on();
+    }
     // These walks finish in well under a million events; a run that
     // needs more is stalled, and the tight budget turns "hang for the
     // full default budget" into a fast, seeded counterexample.
@@ -248,6 +259,8 @@ fn soak_survives_cascading_permanent_kills() {
                 CrashEvent::kill(7, 150 * MILLI),
             ],
         },
+        lanes: 4,
+        batch: true,
     };
     let r = run_ring(&sc, WALK).expect("run completes");
     assert!(r.faults.is_empty(), "{:?}", r.faults);
@@ -270,6 +283,8 @@ fn recovery_smoke_mid_run_kill() {
         passes: 40,
         seed: 0xD1E,
         plan: FaultPlan { crashes: vec![CrashEvent::kill(2, 50 * MILLI)], ..FaultPlan::none() },
+        lanes: 1,
+        batch: false,
     };
     let r = run_ring(&sc, WALK).expect("run completes");
     assert!(r.faults.is_empty(), "{:?}", r.faults);

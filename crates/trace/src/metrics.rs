@@ -118,6 +118,11 @@ metrics! {
     RestoredNodes = "restored_nodes": Counter, Count;
     RestoredMessengers = "restored_messengers": Counter, Count;
     RecoveryLatencyNs = "recovery_latency_ns": Histogram, Nanos;
+    // ---- execution lanes + frame batching ----
+    LaneSteals = "lane_steals": Counter, Count;
+    BatchFrames = "batch_frames": Counter, Count;
+    BatchFlushes = "batch_flushes": Counter, Count;
+    BatchBytesSaved = "batch_bytes_saved": Counter, Bytes;
     // ---- platform: network + faults ----
     Wires = "wires": Counter, Count;
     WireBytes = "wire_bytes": Counter, Bytes;
@@ -195,5 +200,8 @@ mod tests {
         let s: &'static str = Metric::Hops.into();
         assert_eq!(s, "hops");
         assert_eq!(Metric::Hops.to_string(), "hops");
+        assert_eq!(Metric::BatchBytesSaved.unit(), Unit::Bytes);
+        assert_eq!(Metric::LaneSteals.kind(), MetricKind::Counter);
+        assert_eq!(Metric::from_name("batch_flushes"), Some(Metric::BatchFlushes));
     }
 }

@@ -57,7 +57,14 @@ pub fn get_varint(buf: &mut Bytes) -> Result<u64, VmError> {
             return Err(err("truncated varint"));
         }
         let byte = buf.get_u8();
-        v |= ((byte & 0x7f) as u64) << shift;
+        let group = (byte & 0x7f) as u64;
+        // The tenth group can only hold bit 63: anything above would be
+        // shifted out of the u64 and decode the same as its absence,
+        // letting corrupted bytes round-trip silently.
+        if shift == 63 && group > 1 {
+            return Err(err("varint overflows u64"));
+        }
+        v |= group << shift;
         if byte & 0x80 == 0 {
             return Ok(v);
         }

@@ -55,7 +55,24 @@ for seed in 1 424242 "$(date +%s)"; do
     echo "chaos seed: $seed (replay: MSGR_FAULT_SEED=$seed scripts/ci.sh)"
     MSGR_FAULT_SEED="$seed" cargo test -q --offline -p msgr-core --test fault_props
     MSGR_FAULT_SEED="$seed" cargo test -q --offline -p msgr-core --test recovery_props
+    MSGR_FAULT_SEED="$seed" cargo test -q --offline -p msgr-core --test batch_props
 done
+
+echo "== bench: lanes/batching ablation smoke (BENCH_0006) =="
+# Run the lanes ablation in smoke mode (seconds, not minutes) and
+# schema-validate its output: every metric the acceptance criteria name
+# (messengers/sec, hops/sec, xport p50/p99, the lane/batch counters)
+# must be present, parseable, and non-negative — a silently missing
+# metric fails CI. The committed BENCH_0006.json (captured from a full
+# `ablation_lanes` run) must satisfy the same schema, including the
+# full-mode >=1.5x messengers/sec speedup bar.
+cargo build --release --offline -p msgr-bench --bin ablation_lanes
+bench_dir="$(mktemp -d)"
+./target/release/ablation_lanes --smoke > "$bench_dir/BENCH_0006.smoke.json"
+./target/release/ablation_lanes --check "$bench_dir/BENCH_0006.smoke.json"
+./target/release/ablation_lanes --check BENCH_0006.json
+rm -rf "$bench_dir"
+echo "ok: bench smoke ran and BENCH_0006.json is schema-valid"
 
 echo "== trace: deterministic flight-recorder smoke =="
 # Record the same seeded chaos run twice (loss + a mid-run daemon kill),
@@ -89,6 +106,7 @@ if [ "$soak" = 1 ]; then
     echo "== chaos soak (--soak) =="
     cargo test -q --offline -p msgr-core --test fault_props -- --ignored
     cargo test -q --offline -p msgr-core --test recovery_props -- --ignored
+    cargo test -q --offline -p msgr-core --test batch_props -- --ignored
 fi
 
 echo "== cargo fmt --check =="

@@ -79,6 +79,97 @@ fn faulty_mandel_runs_are_bit_identical() {
     assert_eq!(a.checksum, clean.checksum, "loss must never corrupt the image");
 }
 
+fn fnv1a(h: &mut u64, bytes: impl IntoIterator<Item = u8>) {
+    for b in bytes {
+        *h = (*h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+}
+
+/// FNV-1a over every (key, value) counter pair, in `Stats` order.
+fn counters_fnv(stats: &Stats) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for (k, v) in stats.counters() {
+        fnv1a(&mut h, k.bytes());
+        fnv1a(&mut h, v.to_le_bytes());
+    }
+    h
+}
+
+#[test]
+fn mandel_matches_pre_lanes_golden() {
+    // Pinned from the commit immediately before the execution-lanes /
+    // frame-batching PR: with the default config (lanes=1, batching
+    // off, local moves off) the sharded scheduler must reproduce the
+    // pre-PR run bit for bit — image checksum, f64 simulated time, and
+    // every counter. If a scheduler change legitimately alters these,
+    // re-capture the goldens in the same PR and say so in its log.
+    let calib = Calib::default();
+    let work = Arc::new(MandelWork::compute(MandelScene::paper(64, 4)));
+    let mut cfg = ClusterConfig::new(4);
+    cfg.seed = 42;
+    let run = mandel_msgr::run_sim(&work, 4, &calib, cfg).expect("run");
+    assert_eq!(run.checksum, 7379371940502171737, "image checksum drifted from baseline");
+    assert_eq!(
+        run.seconds.to_bits(),
+        0x3fb6a77a57dfe5d9,
+        "simulated seconds drifted from baseline"
+    );
+    assert_eq!(counters_fnv(&run.stats), 0x98ac6f68502e0ad6, "counters drifted from baseline");
+}
+
+#[test]
+fn matmul_matches_pre_lanes_golden() {
+    // Companion golden to `mandel_matches_pre_lanes_golden`, pinning the
+    // matmul product bits and simulated time under the default config.
+    let calib = Calib::default();
+    let scene = MatmulScene::new(2, 16);
+    let a = test_matrix(scene.n(), 1);
+    let b = test_matrix(scene.n(), 2);
+    let mut cfg = ClusterConfig::new(4);
+    cfg.seed = 7;
+    let r = matmul_msgr::run_sim(scene, &a, &b, &calib, cfg).expect("run");
+    let mut ph: u64 = 0xcbf29ce484222325;
+    for f in r.product.as_slice() {
+        fnv1a(&mut ph, f.to_bits().to_le_bytes());
+    }
+    assert_eq!(ph, 0xcb4ff733ed730fb1, "product bits drifted from baseline");
+    assert_eq!(r.seconds.to_bits(), 0x3faeb851eb851eb8, "simulated seconds drifted from baseline");
+}
+
+#[test]
+fn lane_count_never_changes_sim_traces() {
+    // Lane assignment is a pure function of gid + seed and the sim
+    // scheduler dispatches lanes in global arrival order, so the merged
+    // flight-recorder trace must be byte-identical JSONL at lanes=1 and
+    // lanes=4 — sharding is a threads-platform throughput structure,
+    // never an observable behavior change.
+    let calib = Calib::default();
+    let work = Arc::new(MandelWork::compute(MandelScene::paper(64, 4)));
+    let run = |lanes: usize| {
+        let mut cfg = ClusterConfig::new(4);
+        cfg.seed = 42;
+        cfg.lanes = lanes;
+        cfg.trace = messengers::core::TraceConfig::on();
+        mandel_msgr::run_sim(&work, 4, &calib, cfg).expect("run")
+    };
+    let base = run(1);
+    let sharded = run(4);
+    assert_eq!(base.checksum, sharded.checksum, "image must be lane-count independent");
+    assert_eq!(
+        base.seconds.to_bits(),
+        sharded.seconds.to_bits(),
+        "simulated time must be lane-count independent"
+    );
+    assert_eq!(
+        counters(&base.stats),
+        counters(&sharded.stats),
+        "counters must be lane-count independent"
+    );
+    let a = base.trace.as_ref().expect("trace enabled").to_jsonl();
+    let b = sharded.trace.as_ref().expect("trace enabled").to_jsonl();
+    assert!(a == b, "merged trace JSONL differs between lanes=1 and lanes=4");
+}
+
 #[test]
 fn matmul_runs_are_bit_identical() {
     let calib = Calib::default();
