@@ -230,6 +230,31 @@ fn compiled_programs_verify() {
 }
 
 #[test]
+fn verified_programs_always_compile() {
+    // The directional contract documented on `msgr_analyze::verify`:
+    // passing verification is the precondition the closure compiler
+    // assumes, so anything the verifier admits must compile. The
+    // registry relies on this — a verified-but-uncompilable program
+    // would be quarantined with a confusing "compile failed" reason.
+    check_with(Config { cases: 256, ..Config::default() }, "verified_always_compile", |s| {
+        let program = compile_arb(s)?;
+        if msgr_analyze::verify(&program).is_err() {
+            return Ok(()); // not our contract's hypothesis
+        }
+        let cp = msgr_vm::compile::compile(&program)
+            .map_err(|e| format!("verified program failed to compile: {e}"))?;
+        if cp.func_count() != program.funcs.len() {
+            return Err(format!(
+                "compiled {} of {} functions",
+                cp.func_count(),
+                program.funcs.len()
+            ));
+        }
+        Ok(())
+    });
+}
+
+#[test]
 fn corrupted_jump_offset_is_rejected_precisely() {
     check_with(Config { cases: 256, ..Config::default() }, "corrupted_jump_rejected", |s| {
         let mut program = compile_arb(s)?;

@@ -919,6 +919,361 @@ pub fn validate_bench_0006(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// BENCH_0007 — closure-compiled execution vs the interpreter.
+///
+/// Two ring-walker workloads on the threads platform whose per-hop
+/// segment is a tight arithmetic inner loop written in MSGR-C — the
+/// shapes the closure compiler's superinstructions target:
+///
+/// * **mandel_loop**: the Mandelbrot escape iteration (`z = z² + c` on
+///   a bounded orbit) — float mul/add chains through locals, a
+///   compare-and-branch loop head, and a fused `load/hop`.
+/// * **matmul_loop**: a dot-product accumulation (`sum += a·b` with
+///   strided updates) — the matmul block kernel's inner shape.
+///
+/// Each workload runs under `ExecMode::Interp` and `ExecMode::Compiled`
+/// with identical seed and topology. Before any timing is reported the
+/// same program is run on the *sim* platform under both engines and the
+/// node-variable state (every `field`/`visits` value, bit for bit) plus
+/// the simulated clock must match exactly — the bench refuses to time
+/// engines that disagree. Wall-clock rows then come from best-of-N
+/// threads runs, each verified by its exact visit count.
+///
+/// The artifact records the interpreter baseline and the compiled rows
+/// side by side; the headline `speedup_min_hops_per_sec` is the *worst*
+/// compiled/interp hops-per-sec ratio across the workloads and must
+/// reach ≥3× in full mode (the PR's acceptance bar).
+///
+/// # Panics
+///
+/// Panics if any run fails, any verification count is off, or the two
+/// engines produce different sim-platform state.
+pub fn ablation_compile(smoke: bool) -> String {
+    use msgr_core::topology::LogicalTopology;
+    use msgr_core::{DaemonId, ExecMode, SimCluster, ThreadCluster};
+    use msgr_vm::{Dir, Value};
+
+    // The Douady-rabbit parameter keeps the orbit bounded, so the floats
+    // stay finite and every iteration does real arithmetic.
+    const MANDEL_LOOP: &str = r#"
+    mloop(passes, iters) {
+        int i = 0;
+        int k;
+        float zr; float zi; float cr; float ci; float t;
+        float acc = 0.0;
+        node float field;
+        node int visits;
+        visits = visits + 1;
+        while (i < passes) {
+            cr = 0.0 - 0.1226;
+            ci = 0.7449;
+            zr = 0.0;
+            zi = 0.0;
+            k = 0;
+            while (k < iters) {
+                t = zr * zr - zi * zi + cr;
+                zi = 2.0 * zr * zi + ci;
+                zr = t;
+                k = k + 1;
+            }
+            acc = acc + zr + zi;
+            hop(ll = "ring"; ldir = +);
+            field = field + acc;
+            visits = visits + 1;
+            i = i + 1;
+        }
+    }
+    "#;
+    const MATMUL_LOOP: &str = r#"
+    dloop(passes, n) {
+        int i = 0;
+        int k;
+        float sum; float aa; float bb;
+        node float cell;
+        node int visits;
+        visits = visits + 1;
+        while (i < passes) {
+            sum = 0.0;
+            aa = 1.25;
+            bb = 0.75;
+            k = 0;
+            while (k < n) {
+                sum = sum + aa * bb;
+                aa = aa + 0.125;
+                bb = bb - 0.0625;
+                k = k + 1;
+            }
+            hop(ll = "ring"; ldir = +);
+            cell = cell + sum;
+            visits = visits + 1;
+            i = i + 1;
+        }
+    }
+    "#;
+
+    let daemons = 4usize;
+    let (nodes, walkers, passes, iters) =
+        if smoke { (8usize, 8usize, 6i64, 64i64) } else { (16, 32, 64, 1024) };
+    let repeats = if smoke { 1 } else { 3 };
+
+    let ring_topo = |nodes: usize| {
+        let block = nodes.div_ceil(daemons);
+        let mut topo = LogicalTopology::new();
+        for i in 0..nodes {
+            topo.node(Value::str(format!("p{i}")), DaemonId((i / block) as u16));
+        }
+        for i in 0..nodes {
+            topo.link(
+                Value::str(format!("p{i}")),
+                Value::str(format!("p{}", (i + 1) % nodes)),
+                Value::str("ring"),
+                Dir::Forward,
+            );
+        }
+        topo
+    };
+    let cfg_for = |exec: ExecMode| {
+        let mut cfg = ClusterConfig::new(daemons);
+        cfg.seed = 42;
+        cfg.exec = exec;
+        cfg
+    };
+    let fnv = |h: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *h = (*h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    };
+
+    // Deterministic cross-engine gate: run the workload on the sim
+    // platform under `exec` and digest every node variable bit plus the
+    // simulated clock. Interp and Compiled must produce the same u64.
+    let sim_digest = |script: &str, exec: ExecMode| -> u64 {
+        let (d_nodes, d_walkers, d_passes, d_iters) = (8usize, 4usize, 4i64, iters.min(128));
+        let mut cluster = SimCluster::new(cfg_for(exec));
+        cluster.build(&ring_topo(d_nodes)).expect("build sim ring");
+        let pid = cluster.register_program(&msgr_lang::compile(script).expect("compile"));
+        for m in 0..d_walkers {
+            cluster
+                .inject_at(
+                    &Value::str(format!("p{}", m % d_nodes)),
+                    pid,
+                    &[Value::Int(d_passes), Value::Int(d_iters)],
+                )
+                .expect("inject");
+        }
+        let rep = cluster.run().expect("sim run");
+        assert!(rep.faults.is_empty(), "sim faults: {:?}", rep.faults);
+        let mut h: u64 = 0xcbf29ce484222325;
+        fnv(&mut h, &rep.sim_seconds.to_bits().to_le_bytes());
+        for i in 0..d_nodes {
+            for var in ["field", "cell", "visits"] {
+                match cluster.node_var_by_name(&Value::str(format!("p{i}")), var) {
+                    Some(Value::Float(f)) => fnv(&mut h, &f.to_bits().to_le_bytes()),
+                    Some(Value::Int(v)) => fnv(&mut h, &v.to_le_bytes()),
+                    _ => fnv(&mut h, &[0xFF]),
+                }
+            }
+        }
+        h
+    };
+
+    // One verified threads run; returns (wall seconds, merged stats).
+    let run_threads = |script: &str, exec: ExecMode| {
+        let mut cluster = ThreadCluster::new(cfg_for(exec)).expect("threads cluster");
+        cluster.build(&ring_topo(nodes)).expect("build ring");
+        let pid = cluster.register_program(&msgr_lang::compile(script).expect("compile"));
+        for m in 0..walkers {
+            cluster
+                .inject_at(
+                    &Value::str(format!("p{}", m % nodes)),
+                    pid,
+                    &[Value::Int(passes), Value::Int(iters)],
+                )
+                .expect("inject");
+        }
+        let rep = cluster.run().expect("threads run");
+        assert!(rep.faults.is_empty(), "ring faults: {:?}", rep.faults);
+        let mut visits = 0i64;
+        for i in 0..nodes {
+            if let Some(Value::Int(v)) =
+                cluster.node_var_by_name(&Value::str(format!("p{i}")), "visits")
+            {
+                visits += v;
+            }
+        }
+        assert_eq!(visits, walkers as i64 * (passes + 1), "visit count wrong ({exec:?})");
+        (rep.wall_seconds, rep.stats)
+    };
+    // Best-of-N to shave scheduler noise off the wall-clock rows.
+    let best_of = |script: &str, exec: ExecMode| {
+        let mut best: Option<(f64, msgr_sim::Stats)> = None;
+        for _ in 0..repeats {
+            let (w, s) = run_threads(script, exec);
+            if best.as_ref().is_none_or(|(bw, _)| w < *bw) {
+                best = Some((w, s));
+            }
+        }
+        best.expect("at least one repeat")
+    };
+
+    let row = |workload: &str, engine: &str, wall: f64, stats: &msgr_sim::Stats| {
+        let hops = stats.counter("hops");
+        let ops = stats.counter("ops");
+        format!(
+            concat!(
+                "    {{\"platform\": \"threads\", \"workload\": \"{}\", \"engine\": \"{}\", ",
+                "\"wall_seconds\": {:.6}, \"hops_per_sec\": {:.1}, \"ops_per_sec\": {:.1}, ",
+                "\"hops\": {}, \"ops\": {}, \"compile_programs\": {}, ",
+                "\"compile_superinsts\": {}, \"compile_steps\": {}, \"compile_cache_hits\": {}}}"
+            ),
+            workload,
+            engine,
+            wall,
+            hops as f64 / wall.max(1e-9),
+            ops as f64 / wall.max(1e-9),
+            hops,
+            ops,
+            stats.counter("compile_programs"),
+            stats.counter("compile_superinsts"),
+            stats.counter("compile_steps"),
+            stats.counter("compile_cache_hits"),
+        )
+    };
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for (name, script) in [("mandel_loop", MANDEL_LOOP), ("matmul_loop", MATMUL_LOOP)] {
+        let di = sim_digest(script, ExecMode::Interp);
+        let dc = sim_digest(script, ExecMode::Compiled);
+        assert_eq!(di, dc, "{name}: engines disagree on sim-platform state — refusing to time");
+        let (iw, is) = best_of(script, ExecMode::Interp);
+        let (cw, cs) = best_of(script, ExecMode::Compiled);
+        assert!(cs.counter("compile_programs") > 0, "{name}: compiled run never compiled anything");
+        assert!(cs.counter("compile_superinsts") > 0, "{name}: no superinstructions formed");
+        let interp_rate = is.counter("hops") as f64 / iw.max(1e-9);
+        let compiled_rate = cs.counter("hops") as f64 / cw.max(1e-9);
+        rows.push(row(name, "interp", iw, &is));
+        rows.push(row(name, "compiled", cw, &cs));
+        speedups.push((name, compiled_rate / interp_rate.max(1e-9)));
+    }
+    let min_speedup = speedups.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+
+    format!(
+        concat!(
+            "{{\n  \"bench\": \"BENCH_0007\",\n  \"ablation\": \"compile\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"workload\": \"ring {} nodes x {} walkers x {} hops, {} inner iters/hop, ",
+            "{} daemons\",\n",
+            "  \"rows\": [\n{}\n  ],\n",
+            "  \"speedup_mandel_hops_per_sec\": {:.3},\n",
+            "  \"speedup_matmul_hops_per_sec\": {:.3},\n",
+            "  \"speedup_min_hops_per_sec\": {:.3}\n}}"
+        ),
+        if smoke { "smoke" } else { "full" },
+        nodes,
+        walkers,
+        passes,
+        iters,
+        daemons,
+        rows.join(",\n"),
+        speedups[0].1,
+        speedups[1].1,
+        min_speedup,
+    )
+}
+
+/// Schema check for a `BENCH_0007.json` produced by [`ablation_compile`]:
+/// required top-level and per-row keys present, both engines recorded for
+/// both workloads, every counter non-negative and parseable, and — for a
+/// `"mode": "full"` file — the recorded worst-case compiled/interp
+/// hops-per-sec speedup at least 3×.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn validate_bench_0007(json: &str) -> Result<(), String> {
+    fn number_after(json: &str, key: &str, from: usize) -> Result<f64, String> {
+        let pat = format!("\"{key}\":");
+        let at = json[from..]
+            .find(&pat)
+            .map(|i| from + i + pat.len())
+            .ok_or_else(|| format!("missing key {key:?}"))?;
+        let rest = json[at..].trim_start();
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        let tok = rest[..end].trim();
+        if tok == "null" {
+            return Err(format!("key {key:?} is null"));
+        }
+        tok.parse::<f64>().map_err(|_| format!("key {key:?} holds non-number {tok:?}"))
+    }
+
+    if !json.contains("\"bench\": \"BENCH_0007\"") {
+        return Err("missing \"bench\": \"BENCH_0007\"".to_string());
+    }
+    for key in ["ablation", "mode", "workload", "rows"] {
+        if !json.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing key {key:?}"));
+        }
+    }
+    // Both engines must appear for both workloads — the artifact records
+    // the interpreter baseline next to the compiled numbers by design.
+    for workload in ["mandel_loop", "matmul_loop"] {
+        if !json.contains(&format!("\"workload\": \"{workload}\"")) {
+            return Err(format!("missing rows for workload {workload:?}"));
+        }
+    }
+    for engine in ["interp", "compiled"] {
+        if !json.contains(&format!("\"engine\": \"{engine}\"")) {
+            return Err(format!("missing rows for engine {engine:?}"));
+        }
+    }
+    // Rate metrics must exist somewhere in the rows.
+    for key in ["hops_per_sec", "ops_per_sec", "wall_seconds"] {
+        number_after(json, key, 0)?;
+    }
+    // Counters: every occurrence parses and is non-negative.
+    for key in [
+        "hops",
+        "ops",
+        "compile_programs",
+        "compile_superinsts",
+        "compile_steps",
+        "compile_cache_hits",
+    ] {
+        let pat = format!("\"{key}\":");
+        let mut from = 0usize;
+        let mut seen = false;
+        while let Some(i) = json[from..].find(&pat) {
+            let at = from + i;
+            let v = number_after(json, key, at)?;
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("counter {key:?} is negative or non-finite: {v}"));
+            }
+            seen = true;
+            from = at + pat.len();
+        }
+        if !seen {
+            return Err(format!("missing counter {key:?}"));
+        }
+    }
+    for key in ["speedup_mandel_hops_per_sec", "speedup_matmul_hops_per_sec"] {
+        let v = number_after(json, key, 0)?;
+        if v <= 0.0 {
+            return Err(format!("{key} must be positive, got {v}"));
+        }
+    }
+    let min_speedup = number_after(json, "speedup_min_hops_per_sec", 0)?;
+    if json.contains("\"mode\": \"full\"") && min_speedup < 3.0 {
+        return Err(format!(
+            "full-mode worst-case speedup {min_speedup:.3} below the 3x acceptance bar"
+        ));
+    }
+    if min_speedup <= 0.0 {
+        return Err(format!("speedup must be positive, got {min_speedup}"));
+    }
+    Ok(())
+}
+
 /// The code-size comparison (§3.1.1 / §3.2.1).
 pub fn text_codesize() -> Table {
     let mut table = Table::new(

@@ -35,6 +35,35 @@ pub enum VtMode {
     Optimistic,
 }
 
+/// Which execution engine daemons use to run messenger segments.
+///
+/// Both engines are observationally identical (the differential suite
+/// `crates/vm/tests/diff_props.rs` holds them to that), so this knob
+/// changes wall-clock throughput only — simulated results, goldens, and
+/// traces are bit-identical across modes. Programs are verified and
+/// compiled at registration regardless of mode; `Compiled` merely makes
+/// the daemons dispatch through the closure trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The paper-era bytecode interpreter (`msgr_vm::interp`).
+    #[default]
+    Interp,
+    /// Direct-threaded closure trees with superinstructions
+    /// (`msgr_vm::compile`).
+    Compiled,
+}
+
+impl ExecMode {
+    /// Parse a CLI/env spelling (`interp` | `compiled`).
+    pub fn parse(s: &str) -> Option<ExecMode> {
+        match s {
+            "interp" => Some(ExecMode::Interp),
+            "compiled" => Some(ExecMode::Compiled),
+            _ => None,
+        }
+    }
+}
+
 /// CPU-cost constants, in reference nanoseconds (1.0-speed machine).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
@@ -248,6 +277,9 @@ pub struct ClusterConfig {
     pub lanes: usize,
     /// Frame-batching budget (off by default).
     pub batch: BatchPolicy,
+    /// Execution engine ([`ExecMode::Interp`] unless overridden via the
+    /// `MSGR_EXEC` environment variable or `msgr run --exec`).
+    pub exec: ExecMode,
     /// Hand messenger state over by move on same-daemon hops instead of
     /// encode/decode through the platform loopback. Off by default: the
     /// sim's uniform cost accounting and the reliable transport both
@@ -283,6 +315,10 @@ impl ClusterConfig {
             trace: msgr_trace::TraceConfig::default(),
             lanes: 1,
             batch: BatchPolicy::off(),
+            exec: std::env::var("MSGR_EXEC")
+                .ok()
+                .and_then(|s| ExecMode::parse(&s))
+                .unwrap_or_default(),
             local_move: false,
         }
     }
@@ -332,6 +368,11 @@ mod tests {
         assert_eq!(c.lane_count(), 1, "lanes must default to 1");
         assert!(!c.batching(), "batching must default to off");
         assert!(!c.local_move, "move-hops must default to off");
+        if std::env::var("MSGR_EXEC").is_err() {
+            assert_eq!(c.exec, ExecMode::Interp, "execution must default to interp");
+        }
+        assert_eq!(ExecMode::parse("compiled"), Some(ExecMode::Compiled));
+        assert_eq!(ExecMode::parse("jit"), None);
     }
 
     #[test]

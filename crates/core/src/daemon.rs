@@ -45,7 +45,40 @@ use crate::wire::{self as wirecodec, CreateNode, Migration, Wire};
 #[derive(Clone, Default)]
 pub struct CodeCache {
     map: Arc<RwLock<HashMap<ProgramId, Arc<Program>>>>,
+    compiled: Arc<RwLock<HashMap<ProgramId, Arc<msgr_vm::CompiledProgram>>>>,
     rejected: Arc<RwLock<HashMap<ProgramId, Quarantined>>>,
+    stats: Arc<RwLock<Stats>>,
+}
+
+/// What [`CodeCache::register_outcome`] did with a program — platforms
+/// turn this into `compile` / `code_hit` trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterOutcome {
+    /// Verified and compiled into closures (first sighting of the body).
+    Compiled {
+        /// Functions compiled.
+        funcs: u64,
+        /// Superinstructions fused across all functions.
+        superinsts: u64,
+    },
+    /// The content hash was already compiled (cache hit).
+    CacheHit,
+    /// Refused by the verifier or the compiler.
+    Quarantined,
+}
+
+impl RegisterOutcome {
+    /// The trace event this outcome corresponds to (quarantines surface
+    /// later, as in-run faults, not at registration).
+    pub fn trace_event(self, prog: ProgramId) -> Option<EventKind> {
+        match self {
+            RegisterOutcome::Compiled { funcs, superinsts } => {
+                Some(EventKind::CodeCompile { prog: prog.0, funcs, superinsts })
+            }
+            RegisterOutcome::CacheHit => Some(EventKind::CodeCacheHit { prog: prog.0 }),
+            RegisterOutcome::Quarantined => None,
+        }
+    }
 }
 
 /// A program the verifier refused, kept for inspection alongside the
@@ -75,30 +108,75 @@ impl CodeCache {
 
     /// Register a program; returns its content id.
     ///
-    /// The program is verified first. An unverifiable program is
-    /// quarantined rather than stored: its id is still returned (ids
-    /// are content hashes; refusing to mint one hides nothing), but
-    /// [`CodeCache::get`] will never hand it out and daemons fault any
-    /// messenger that tries to run it.
+    /// The program is verified first, then — verification is exactly the
+    /// precondition the closure compiler assumes — compiled into
+    /// closures, once per content hash no matter how many messengers
+    /// carry the body or which [`crate::config::ExecMode`] the cluster
+    /// runs (compiling unconditionally keeps `compile_*` metrics and
+    /// trace events mode-invariant). An unverifiable or uncompilable
+    /// program is quarantined rather than stored: its id is still
+    /// returned (ids are content hashes; refusing to mint one hides
+    /// nothing), but [`CodeCache::get`] will never hand it out and
+    /// daemons fault any messenger that tries to run it.
     pub fn register(&self, program: &Program) -> ProgramId {
+        self.register_outcome(program).0
+    }
+
+    /// [`CodeCache::register`], also reporting what happened.
+    pub fn register_outcome(&self, program: &Program) -> (ProgramId, RegisterOutcome) {
         let id = program.id();
         if self.map.read().unwrap().contains_key(&id) {
-            return id;
+            self.stats.write().unwrap().bump(Metric::CompileCacheHits);
+            return (id, RegisterOutcome::CacheHit);
         }
+        let quarantine = |reason: String| {
+            self.rejected
+                .write()
+                .unwrap()
+                .entry(id)
+                .or_insert_with(|| Quarantined { program: Arc::new(program.clone()), reason });
+        };
         match msgr_analyze::verify(program) {
-            Ok(_) => {
-                self.map.write().unwrap().entry(id).or_insert_with(|| Arc::new(program.clone()));
-            }
+            Ok(_) => match msgr_vm::compile::compile(program) {
+                Ok(cp) => {
+                    let funcs = cp.func_count() as u64;
+                    let superinsts = cp.superinstructions();
+                    {
+                        let mut s = self.stats.write().unwrap();
+                        s.bump(Metric::CompilePrograms);
+                        s.add(Metric::CompileSuperinsts, superinsts);
+                        s.add(Metric::CompileSteps, cp.steps());
+                    }
+                    self.compiled.write().unwrap().insert(id, Arc::new(cp));
+                    self.map
+                        .write()
+                        .unwrap()
+                        .entry(id)
+                        .or_insert_with(|| Arc::new(program.clone()));
+                    (id, RegisterOutcome::Compiled { funcs, superinsts })
+                }
+                Err(e) => {
+                    quarantine(format!("compile failed: {e}"));
+                    (id, RegisterOutcome::Quarantined)
+                }
+            },
             Err(diags) => {
                 let reason = diags.iter().map(|d| d.render(program)).collect::<Vec<_>>().join("; ");
-                self.rejected
-                    .write()
-                    .unwrap()
-                    .entry(id)
-                    .or_insert_with(|| Quarantined { program: Arc::new(program.clone()), reason });
+                quarantine(reason);
+                (id, RegisterOutcome::Quarantined)
             }
         }
-        id
+    }
+
+    /// The closure-compiled form of a verified program.
+    pub fn get_compiled(&self, id: ProgramId) -> Option<Arc<msgr_vm::CompiledProgram>> {
+        self.compiled.read().unwrap().get(&id).cloned()
+    }
+
+    /// Snapshot of the registry's `compile_*` counters, merged into
+    /// platform reports alongside the per-daemon stats.
+    pub fn stats(&self) -> Stats {
+        self.stats.read().unwrap().clone()
     }
 
     /// Look up a *verified* program. Quarantined programs are invisible
@@ -2077,6 +2155,23 @@ impl Daemon {
             fx.push(Effect::LiveDelta(-1));
             return c.gvt_msg_ns;
         };
+        // In compiled mode the closure form must exist for every
+        // verified program (registration compiles unconditionally); a
+        // hole here is a registry corruption, surfaced like unknown code.
+        let compiled = match self.cfg.exec {
+            crate::config::ExecMode::Interp => None,
+            crate::config::ExecMode::Compiled => match self.codes.get_compiled(run.state.program) {
+                Some(cp) => Some(cp),
+                None => {
+                    fx.push(Effect::Fault {
+                        messenger: run.state.id,
+                        error: format!("program {} has no compiled form", run.state.program),
+                    });
+                    fx.push(Effect::LiveDelta(-1));
+                    return c.gvt_msg_ns;
+                }
+            },
+        };
 
         // Time-Warp bookkeeping: snapshot before execution.
         let key = (run.state.vtime, run.state.id.0);
@@ -2102,7 +2197,10 @@ impl Daemon {
                 native_ns: 0,
                 nv_log: self.rec.node_vars().then(Vec::new),
             };
-            let y = interp::run(&program, &mut run.state, &mut env, fuel);
+            let y = match &compiled {
+                None => interp::run(&program, &mut run.state, &mut env, fuel),
+                Some(cp) => msgr_vm::compile::run(cp, &program, &mut run.state, &mut env, fuel),
+            };
             (y, env.ops, env.native_ns, env.nv_log)
         };
         for (is_write, var) in nv_log.into_iter().flatten() {

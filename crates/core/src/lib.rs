@@ -67,9 +67,10 @@ pub mod wire;
 
 pub use ckpt::{CheckpointStore, FileStore, MemStore};
 pub use config::{
-    BatchPolicy, ClusterConfig, CostModel, NetKind, RecoveryPolicy, RetransmitPolicy, VtMode,
+    BatchPolicy, ClusterConfig, CostModel, ExecMode, NetKind, RecoveryPolicy, RetransmitPolicy,
+    VtMode,
 };
-pub use daemon::{lane_of, CodeCache, Daemon, Effect};
+pub use daemon::{lane_of, CodeCache, Daemon, Effect, RegisterOutcome};
 pub use ids::{DaemonId, NodeRef};
 pub use platform::sim::{SimCluster, SimReport};
 pub use platform::threads::{ThreadCluster, ThreadReport};

@@ -599,7 +599,11 @@ impl SimCluster {
     /// Register a compiled program cluster-wide (the shared code
     /// registry).
     pub fn register_program(&mut self, program: &Program) -> ProgramId {
-        self.codes.register(program)
+        let (id, outcome) = self.codes.register_outcome(program);
+        if let Some(kind) = outcome.trace_event(id) {
+            self.world.daemons[0].recorder_mut().emit_sys(kind);
+        }
+        id
     }
 
     /// Register a native function on every daemon.
@@ -845,6 +849,7 @@ impl SimCluster {
         for d in &self.world.daemons {
             stats.merge(d.stats());
         }
+        stats.merge(&self.codes.stats());
         let net = self.world.net.stats();
         stats.add(Metric::NetMessages, net.messages);
         stats.add(Metric::NetPayloadBytes, net.payload_bytes);

@@ -129,7 +129,11 @@ impl ThreadCluster {
 
     /// Register a compiled program cluster-wide.
     pub fn register_program(&mut self, program: &Program) -> ProgramId {
-        self.codes.register(program)
+        let (id, outcome) = self.codes.register_outcome(program);
+        if let Some(kind) = outcome.trace_event(id) {
+            self.daemons[0].recorder_mut().emit_sys(kind);
+        }
+        id
     }
 
     /// Register a native function on every daemon.
@@ -372,6 +376,7 @@ impl ThreadCluster {
         for d in &self.daemons {
             stats.merge(d.stats());
         }
+        stats.merge(&self.codes.stats());
         let trace = self.cfg.trace.enabled.then(|| {
             let parts = self.daemons.iter_mut().map(Daemon::take_trace).collect();
             Trace::from_parts(parts)

@@ -11,7 +11,7 @@
 
 use msgr_check::{check_with, prop_assert, prop_assert_eq, Config, Source};
 use msgr_core::topology::LogicalTopology;
-use msgr_core::{BatchPolicy, ClusterConfig, DaemonId, SimCluster};
+use msgr_core::{BatchPolicy, ClusterConfig, DaemonId, ExecMode, SimCluster};
 use msgr_sim::{CrashEvent, FaultPlan, Stats, MILLI};
 use msgr_vm::{Dir, Value};
 
@@ -66,14 +66,17 @@ struct Scenario {
     plan: FaultPlan,
     lanes: usize,
     batch: bool,
+    exec: ExecMode,
 }
 
 /// A cluster of 2–8 daemons with one permanent worker kill (never daemon
 /// 0 — it hosts the GVT coordinator) somewhere in the first ~200 ms,
 /// i.e. anywhere from "before the first checkpoint" to "mid-run".
-/// Execution lanes and frame batching are drawn too: recovery must be
-/// indifferent to both (a batch acks and retransmits as a unit, so a
-/// kill mid-batch loses and restores whole batches, never fragments).
+/// Execution lanes, frame batching, and the execution engine are drawn
+/// too: recovery must be indifferent to all three (a batch acks and
+/// retransmits as a unit, so a kill mid-batch loses and restores whole
+/// batches, never fragments; a compiled messenger checkpoints, dies,
+/// and restores with the same wire state as an interpreted one).
 fn arb_kill_scenario(s: &mut Source) -> Scenario {
     let daemons = s.usize_in(2..9);
     let victim = s.u32_in(1..daemons as u32);
@@ -89,6 +92,7 @@ fn arb_kill_scenario(s: &mut Source) -> Scenario {
         },
         lanes: s.usize_in(1..5),
         batch: s.bool_with(0.5),
+        exec: if s.bool_with(0.5) { ExecMode::Compiled } else { ExecMode::Interp },
     }
 }
 
@@ -118,6 +122,7 @@ fn run_ring(sc: &Scenario, program: &str) -> Result<RunResult, String> {
     cfg.seed = sc.seed;
     cfg.faults = sc.plan.clone();
     cfg.lanes = sc.lanes;
+    cfg.exec = sc.exec;
     if sc.batch {
         cfg.batch = BatchPolicy::on();
     }
@@ -261,6 +266,7 @@ fn soak_survives_cascading_permanent_kills() {
         },
         lanes: 4,
         batch: true,
+        exec: ExecMode::Compiled,
     };
     let r = run_ring(&sc, WALK).expect("run completes");
     assert!(r.faults.is_empty(), "{:?}", r.faults);
@@ -285,6 +291,7 @@ fn recovery_smoke_mid_run_kill() {
         plan: FaultPlan { crashes: vec![CrashEvent::kill(2, 50 * MILLI)], ..FaultPlan::none() },
         lanes: 1,
         batch: false,
+        exec: ExecMode::Interp,
     };
     let r = run_ring(&sc, WALK).expect("run completes");
     assert!(r.faults.is_empty(), "{:?}", r.faults);
@@ -296,4 +303,37 @@ fn recovery_smoke_mid_run_kill() {
     assert!(r.stats.counter("evictions") >= 3, "every survivor evicts the victim");
     assert!(r.stats.counter("restored_nodes") > 0, "the victim hosted ring nodes");
     assert!(r.stats.counter("checkpoint_bytes") > 0);
+}
+
+/// The same mid-run-kill acceptance scenario under the compiled engine:
+/// a parked compiled messenger checkpoints, dies with its daemon, and
+/// restores on the successor with the same wire state an interpreted
+/// one would — so every tightly-asserted counter, the visit sum, and
+/// the simulated clock must match the interpreter run bit for bit.
+#[test]
+fn recovery_smoke_mid_run_kill_compiled() {
+    let sc = |exec: ExecMode| Scenario {
+        daemons: 4,
+        nodes: 8,
+        msgrs: 3,
+        passes: 40,
+        seed: 0xD1E,
+        plan: FaultPlan { crashes: vec![CrashEvent::kill(2, 50 * MILLI)], ..FaultPlan::none() },
+        lanes: 1,
+        batch: false,
+        exec,
+    };
+    let r = run_ring(&sc(ExecMode::Compiled), WALK).expect("run completes");
+    assert!(r.faults.is_empty(), "{:?}", r.faults);
+    assert_eq!(r.live_leak, 0);
+    assert_eq!(r.visits, 3 * 41);
+    assert_eq!(r.stats.counter("kills"), 1);
+    assert_eq!(r.stats.counter("fd_deaths"), 1, "exactly one Dead verdict acted on");
+    assert_eq!(r.stats.counter("restores"), 1);
+    assert!(r.stats.counter("compile_programs") > 0, "the walk must have been compiled");
+    let interp = run_ring(&sc(ExecMode::Interp), WALK).expect("run completes");
+    assert_eq!(r.visits, interp.visits);
+    assert_eq!(r.sim_seconds.to_bits(), interp.sim_seconds.to_bits());
+    assert_eq!(r.events, interp.events);
+    assert_eq!(r.stats.counters().collect::<Vec<_>>(), interp.stats.counters().collect::<Vec<_>>());
 }

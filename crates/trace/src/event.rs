@@ -180,6 +180,24 @@ pub enum EventKind {
         /// Extra delay in nanoseconds.
         by: u64,
     },
+    /// A program passed verification and was compiled into closures in
+    /// the shared code registry (emitted once per program body).
+    CodeCompile {
+        /// Program content id (raw `ProgramId.0`). Serialized as a hex
+        /// *string*: the hash uses all 64 bits, and JSON numbers above
+        /// 2^53 would not survive the f64-backed parser.
+        prog: u64,
+        /// Functions compiled.
+        funcs: u64,
+        /// Superinstructions (fused spans) emitted across all functions.
+        superinsts: u64,
+    },
+    /// A program registration found the body already compiled in the
+    /// registry (content-hash cache hit).
+    CodeCacheHit {
+        /// Program content id.
+        prog: u64,
+    },
     /// This daemon was permanently killed (volatile state destroyed).
     Kill,
     /// An application-level phase span opened (e.g. "compute").
@@ -220,6 +238,8 @@ impl EventKind {
             EventKind::NetDrop { .. } => "net_drop",
             EventKind::NetDup { .. } => "net_dup",
             EventKind::NetDelay { .. } => "net_delay",
+            EventKind::CodeCompile { .. } => "compile",
+            EventKind::CodeCacheHit { .. } => "code_hit",
             EventKind::Kill => "kill",
             EventKind::SpanBegin { .. } => "span_begin",
             EventKind::SpanEnd { .. } => "span_end",
@@ -316,6 +336,15 @@ impl TraceEvent {
             EventKind::NetDelay { to, by } => {
                 let _ = write!(out, ",\"to\":{to},\"by\":{by}");
             }
+            EventKind::CodeCompile { prog, funcs, superinsts } => {
+                let _ = write!(
+                    out,
+                    ",\"prog\":\"{prog:016x}\",\"funcs\":{funcs},\"fused\":{superinsts}"
+                );
+            }
+            EventKind::CodeCacheHit { prog } => {
+                let _ = write!(out, ",\"prog\":\"{prog:016x}\"");
+            }
             EventKind::Kill => {}
             EventKind::SpanBegin { name } | EventKind::SpanEnd { name } => {
                 out.push_str(",\"name\":\"");
@@ -394,6 +423,12 @@ impl TraceEvent {
             "net_delay" => {
                 EventKind::NetDelay { to: req_u64(j, "to")? as u16, by: req_u64(j, "by")? }
             }
+            "compile" => EventKind::CodeCompile {
+                prog: req_hex_u64(j, "prog")?,
+                funcs: req_u64(j, "funcs")?,
+                superinsts: req_u64(j, "fused")?,
+            },
+            "code_hit" => EventKind::CodeCacheHit { prog: req_hex_u64(j, "prog")? },
             "kill" => EventKind::Kill,
             "span_begin" => EventKind::SpanBegin { name: req_str(j, "name")? },
             "span_end" => EventKind::SpanEnd { name: req_str(j, "name")? },
@@ -409,6 +444,15 @@ fn req_u64(j: &Json, key: &str) -> Result<u64, String> {
 
 fn req_f64(j: &Json, key: &str) -> Result<f64, String> {
     j.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing or non-number field {key:?}"))
+}
+
+/// A u64 carried as a 16-digit hex string (full 64-bit ids exceed the
+/// exact-integer range of JSON's f64 numbers).
+fn req_hex_u64(j: &Json, key: &str) -> Result<u64, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| format!("missing or non-hex field {key:?}"))
 }
 
 fn req_str(j: &Json, key: &str) -> Result<String, String> {
@@ -459,6 +503,9 @@ mod tests {
             EventKind::NetDrop { to: 1 },
             EventKind::NetDup { to: 1 },
             EventKind::NetDelay { to: 1, by: 50_000 },
+            // Full-64-bit id: must survive the f64-backed JSON parser.
+            EventKind::CodeCompile { prog: 0xE2D4_66F1_0A9B_3C47, funcs: 3, superinsts: 11 },
+            EventKind::CodeCacheHit { prog: u64::MAX - 1 },
             EventKind::Kill,
             EventKind::SpanBegin { name: "compute".to_string() },
             EventKind::SpanEnd { name: "compute".to_string() },

@@ -123,6 +123,11 @@ metrics! {
     BatchFrames = "batch_frames": Counter, Count;
     BatchFlushes = "batch_flushes": Counter, Count;
     BatchBytesSaved = "batch_bytes_saved": Counter, Bytes;
+    // ---- compiled execution (code registry) ----
+    CompilePrograms = "compile_programs": Counter, Count;
+    CompileSuperinsts = "compile_superinsts": Counter, Count;
+    CompileSteps = "compile_steps": Counter, Ops;
+    CompileCacheHits = "compile_cache_hits": Counter, Count;
     // ---- platform: network + faults ----
     Wires = "wires": Counter, Count;
     WireBytes = "wire_bytes": Counter, Bytes;

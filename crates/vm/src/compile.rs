@@ -1,0 +1,1756 @@
+//! The closure-compiled execution engine.
+//!
+//! [`compile`] translates verified [`Program`] bytecode into a tree of
+//! Rust closures: every pc gets a direct-threaded single-op closure (no
+//! per-op `match` in the dispatch loop), and straight-line runs of pure
+//! stack code are additionally fused into **superinstructions** — one
+//! closure per run that evaluates the run's expression trees directly
+//! out of frame locals, bypassing the operand stack entirely. The fused
+//! spans subsume the hot patterns the MSGR-C compiler emits:
+//!
+//! * `const/binop/store` — `i = i + 1`, `zr2 = zr*zr - zi*zi + cr`
+//! * `compare-and-branch` — `while (i < passes)` loop heads
+//! * `load/hop` — `hop(ll = "ring"; ldir = +)` operand + yield
+//!
+//! # Engine contract
+//!
+//! [`run`] is observationally identical to [`crate::interp::run`]: same
+//! yields, same final frames (pc, locals, operand stack), same node-var
+//! effects, same `ops` charge, same errors at the same positions — at
+//! *any* fuel. `tests/diff_props.rs` checks this differentially on
+//! generated programs. Two mechanisms make exactness cheap:
+//!
+//! * **Resume points**: because every pc keeps its single-op closure, a
+//!   messenger can enter a function at *any* pc — a hop arrival, a
+//!   parked messenger resuming after `M_sched_*`, or a restored
+//!   checkpoint all resume mid-block without special cases. Fused spans
+//!   are an overlay: entering at a span head runs the superinstruction,
+//!   entering one op later runs the singles.
+//! * **Optimistic spans with deopt**: a fused span buffers its local
+//!   stores and touches nothing until every sub-expression has
+//!   evaluated. On any error it discards the buffered results and
+//!   *deoptimizes*: the dispatcher replays the span through the
+//!   single-op closures, which reproduce the interpreter's exact
+//!   partial state (pc, half-built stack, ops) at the fault. Spans run
+//!   only when the whole span fits in the remaining fuel, so
+//!   fuel-exhaustion positions are bit-exact too.
+//!
+//! # Precondition: verification
+//!
+//! The compiler assumes structurally sane code — in-range constant pool
+//! and local-slot indices, jump targets inside the function — which is
+//! exactly what `msgr-analyze::verify` establishes before a program is
+//! admitted to the code registry. Compiling unverified code is safe
+//! (out-of-range accesses become closures that fail like the
+//! interpreter fails) but pointless; the daemon registry therefore
+//! compiles right after verification and quarantines on failure.
+
+use std::sync::Arc;
+
+use crate::binop;
+use crate::bytecode::{Dir, FuncId, LinkPat, NodePat, Op, Program};
+use crate::error::VmError;
+use crate::interp::{Env, EvalCreateItem, EvalHop, EvalLink, Yield};
+use crate::state::{Frame, MessengerState, Vt};
+use crate::value::Value;
+
+/// Everything a step closure may touch while executing.
+struct StepCtx<'a, 'e> {
+    frame: &'a mut Frame,
+    env: &'a mut (dyn Env + 'e),
+    vtime: Vt,
+    ops: &'a mut u64,
+}
+
+/// What a step closure tells the dispatcher to do next.
+enum Ctrl {
+    /// Continue at `frame.pc` (the closure already set it).
+    Next,
+    /// Segment over: surface the yield.
+    Yield(Yield),
+    /// Push an activation frame for a user-function call.
+    Call { f: FuncId, args: Vec<Value> },
+    /// Pop the current frame, pushing `Value` to the caller.
+    Ret(Value),
+    /// A fused span hit an error before committing anything: re-execute
+    /// from the same pc through the single-op closures, which reproduce
+    /// the interpreter's exact fault state.
+    Deopt,
+}
+
+type StepFn = Box<dyn Fn(&mut StepCtx<'_, '_>) -> Result<Ctrl, VmError> + Send + Sync>;
+
+/// A pure sub-expression of a fused span: evaluates against frame locals
+/// and the span's already-computed store values. Never touches the
+/// operand stack.
+type ExprFn = Box<dyn Fn(&Frame, &[Option<Value>]) -> Result<Value, VmError> + Send + Sync>;
+
+/// A fused superinstruction covering `need` consecutive bytecode ops.
+struct SpanStep {
+    /// Exact ops consumed; the dispatcher runs the span only when all of
+    /// them fit in the remaining fuel.
+    need: u32,
+    run: StepFn,
+}
+
+struct CompiledFunc {
+    /// One closure per pc — the resume-capable baseline.
+    singles: Vec<StepFn>,
+    /// Fused spans, indexed by head pc.
+    spans: Vec<Option<SpanStep>>,
+    /// Fused counted loops, indexed by loop-head pc (the strongest
+    /// superinstruction: whole `while` loops run as flat register code).
+    loops: Vec<Option<LoopStep>>,
+}
+
+/// A program compiled to closures; build with [`compile`], execute with
+/// [`run`]. Shareable across daemon threads (`Arc`) — closures hold no
+/// mutable state.
+pub struct CompiledProgram {
+    funcs: Vec<CompiledFunc>,
+    n_superinsts: u64,
+    n_loops: u64,
+    n_steps: u64,
+}
+
+impl std::fmt::Debug for CompiledProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledProgram")
+            .field("funcs", &self.funcs.len())
+            .field("steps", &self.n_steps)
+            .field("superinsts", &self.n_superinsts)
+            .field("loops", &self.n_loops)
+            .finish()
+    }
+}
+
+impl CompiledProgram {
+    /// Number of fused superinstructions across all functions (spans
+    /// plus fused loops).
+    pub fn superinstructions(&self) -> u64 {
+        self.n_superinsts
+    }
+
+    /// Number of whole-`while`-loop superinstructions among them.
+    pub fn fused_loops(&self) -> u64 {
+        self.n_loops
+    }
+
+    /// Number of single-op closures (== total bytecode ops compiled).
+    pub fn steps(&self) -> u64 {
+        self.n_steps
+    }
+
+    /// Number of compiled functions.
+    pub fn func_count(&self) -> usize {
+        self.funcs.len()
+    }
+}
+
+/// Compile a (verified) program into closures.
+///
+/// # Errors
+///
+/// Structural limits only (a function body too large to index by `u32`);
+/// verified programs always compile.
+pub fn compile(p: &Program) -> Result<CompiledProgram, String> {
+    compile_with(p, false)
+}
+
+/// Test hook: compile with a deliberately miscompiled superinstruction
+/// (fused arithmetic evaluates its operands swapped). The differential
+/// suite uses this to prove it would catch a real miscompile.
+///
+/// # Errors
+///
+/// As for [`compile`].
+#[doc(hidden)]
+pub fn compile_miscompiled(p: &Program) -> Result<CompiledProgram, String> {
+    compile_with(p, true)
+}
+
+fn compile_with(p: &Program, mutate: bool) -> Result<CompiledProgram, String> {
+    let consts: Arc<Vec<Value>> = Arc::new(p.consts.clone());
+    let mut funcs = Vec::with_capacity(p.funcs.len());
+    let mut n_superinsts = 0u64;
+    let mut n_loops = 0u64;
+    let mut n_steps = 0u64;
+    for f in &p.funcs {
+        if f.code.len() >= u32::MAX as usize {
+            return Err(format!("function `{}` too large to compile", f.name));
+        }
+        let singles: Vec<StepFn> = (0..f.code.len())
+            .map(|pc| single_step(p, &consts, f.code[pc], pc as u32 + 1))
+            .collect();
+        let n_slots = f.n_slots as usize;
+        let spans: Vec<Option<SpanStep>> = (0..f.code.len())
+            .map(|pc| build_span(p, &f.code, n_slots, pc as u32, mutate))
+            .collect();
+        let loops: Vec<Option<LoopStep>> = (0..f.code.len())
+            .map(|pc| build_loop(p, &f.code, n_slots, pc as u32, mutate))
+            .collect();
+        n_superinsts += spans.iter().flatten().count() as u64;
+        n_loops += loops.iter().flatten().count() as u64;
+        n_steps += singles.len() as u64;
+        funcs.push(CompiledFunc { singles, spans, loops });
+    }
+    n_superinsts += n_loops;
+    Ok(CompiledProgram { funcs, n_superinsts, n_loops, n_steps })
+}
+
+/// Execute `m` until it yields, returns, or errors — the compiled twin
+/// of [`crate::interp::run`], with identical observable behavior.
+///
+/// # Errors
+///
+/// Any [`VmError`], exactly as the interpreter would raise it.
+pub fn run(
+    cp: &CompiledProgram,
+    program: &Program,
+    m: &mut MessengerState,
+    env: &mut dyn Env,
+    fuel: u64,
+) -> Result<Yield, VmError> {
+    let mut ops: u64 = 0;
+    let out = run_inner(cp, program, m, env, fuel, &mut ops);
+    env.charge_ops(ops);
+    out
+}
+
+fn run_inner(
+    cp: &CompiledProgram,
+    program: &Program,
+    m: &mut MessengerState,
+    env: &mut dyn Env,
+    fuel: u64,
+    ops: &mut u64,
+) -> Result<Yield, VmError> {
+    // Once a span deopts, finish the segment on singles: the fault that
+    // forced the deopt is about to re-fire with exact interpreter state.
+    let mut fast = true;
+    loop {
+        if *ops >= fuel {
+            return Err(VmError::FuelExhausted);
+        }
+        let vtime = m.vtime;
+        let frame = m.frames.last_mut().ok_or(VmError::Corrupt("no active frame"))?;
+        let cf = &cp.funcs[frame.func.0 as usize];
+        let pc = frame.pc as usize;
+        // Falling off the end of a function is an implicit `return NULL`.
+        if pc >= cf.singles.len() {
+            m.frames.pop();
+            match m.frames.last_mut() {
+                None => return Ok(Yield::Terminated(Value::Null)),
+                Some(caller) => {
+                    caller.stack.push(Value::Null);
+                    continue;
+                }
+            }
+        }
+        if fast {
+            // Fused counted loops run first: whole iterations execute as
+            // flat register code, bulk-charged, as long as each full
+            // iteration fits in the remaining fuel. The partial last
+            // iteration (and any fault) falls back to spans/singles.
+            if let Some(lp) = cf.loops[pc].as_ref() {
+                if *ops + u64::from(lp.per_iter) <= fuel {
+                    match run_loop(lp, frame, fuel, ops) {
+                        Some(LoopExit::Progress) => continue,
+                        Some(LoopExit::Deopt) => {
+                            fast = false;
+                            continue;
+                        }
+                        None => {}
+                    }
+                }
+            }
+        }
+        let step = if fast {
+            match &cf.spans[pc] {
+                // A span runs only when it fits in the remaining fuel;
+                // near exhaustion the singles take over and hit the
+                // fuel wall at the interpreter's exact op.
+                Some(sp) if *ops + sp.need as u64 <= fuel => &sp.run,
+                _ => &cf.singles[pc],
+            }
+        } else {
+            &cf.singles[pc]
+        };
+        match step(&mut StepCtx { frame, env: &mut *env, vtime, ops })? {
+            Ctrl::Next => {}
+            Ctrl::Deopt => fast = false,
+            Ctrl::Yield(y) => return Ok(y),
+            Ctrl::Ret(v) => {
+                m.frames.pop();
+                match m.frames.last_mut() {
+                    None => return Ok(Yield::Terminated(v)),
+                    Some(caller) => caller.stack.push(v),
+                }
+            }
+            Ctrl::Call { f, args } => {
+                let new_frame = Frame::activate(program, f, &args)?;
+                m.frames.push(new_frame);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Single-op closures: the direct-threaded baseline, one per pc.
+// Each closure advances `frame.pc` on entry (mirroring the
+// interpreter's fetch) so errors leave the same pc behind.
+// ---------------------------------------------------------------------
+
+fn bx(f: impl Fn(&mut StepCtx<'_, '_>) -> Result<Ctrl, VmError> + Send + Sync + 'static) -> StepFn {
+    Box::new(f)
+}
+
+#[allow(clippy::too_many_lines)]
+fn single_step(p: &Program, consts: &Arc<Vec<Value>>, op: Op, next: u32) -> StepFn {
+    match op {
+        Op::Const(i) => match p.consts.get(i as usize) {
+            Some(v) => {
+                let v = v.clone();
+                bx(move |cx| {
+                    *cx.ops += 1;
+                    cx.frame.pc = next;
+                    cx.frame.stack.push(v.clone());
+                    Ok(Ctrl::Next)
+                })
+            }
+            None => bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = next;
+                Err(VmError::Corrupt("constant index out of range"))
+            }),
+        },
+        Op::LoadLocal(i) => {
+            let i = i as usize;
+            bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = next;
+                let v = cx
+                    .frame
+                    .locals
+                    .get(i)
+                    .ok_or(VmError::Corrupt("local slot out of range"))?
+                    .clone();
+                cx.frame.stack.push(v);
+                Ok(Ctrl::Next)
+            })
+        }
+        Op::StoreLocal(i) => {
+            let i = i as usize;
+            bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = next;
+                let v = binop::pop(&mut cx.frame.stack)?;
+                let slot = cx
+                    .frame
+                    .locals
+                    .get_mut(i)
+                    .ok_or(VmError::Corrupt("local slot out of range"))?;
+                *slot = v;
+                Ok(Ctrl::Next)
+            })
+        }
+        Op::LoadNode(i) => match name_const(consts, i) {
+            NameConst::Ok(name) => bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = next;
+                let v = cx.env.node_var(&name);
+                cx.frame.stack.push(v);
+                Ok(Ctrl::Next)
+            }),
+            NameConst::Bad(f) => bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = next;
+                Err(f())
+            }),
+        },
+        Op::StoreNode(i) => match name_const(consts, i) {
+            NameConst::Ok(name) => bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = next;
+                let v = binop::pop(&mut cx.frame.stack)?;
+                cx.env.set_node_var(&name, v);
+                Ok(Ctrl::Next)
+            }),
+            NameConst::Bad(f) => bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = next;
+                binop::pop(&mut cx.frame.stack)?;
+                Err(f())
+            }),
+        },
+        Op::LoadNet(var) => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            let v = match var {
+                crate::bytecode::NetVar::Time => Value::Float(cx.vtime.as_f64()),
+                other => cx.env.net_var(other),
+            };
+            cx.frame.stack.push(v);
+            Ok(Ctrl::Next)
+        }),
+        Op::Dup => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            let v = cx.frame.stack.last().ok_or(VmError::Corrupt("dup on empty stack"))?.clone();
+            cx.frame.stack.push(v);
+            Ok(Ctrl::Next)
+        }),
+        Op::Pop => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            binop::pop(&mut cx.frame.stack)?;
+            Ok(Ctrl::Next)
+        }),
+        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            let b = binop::pop(&mut cx.frame.stack)?;
+            let a = binop::pop(&mut cx.frame.stack)?;
+            cx.frame.stack.push(binop::arith(&op, a, b)?);
+            Ok(Ctrl::Next)
+        }),
+        Op::Neg => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            let a = binop::pop(&mut cx.frame.stack)?;
+            cx.frame.stack.push(binop::neg(a)?);
+            Ok(Ctrl::Next)
+        }),
+        Op::Not => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            let a = binop::pop(&mut cx.frame.stack)?;
+            cx.frame.stack.push(Value::Bool(!a.is_truthy()));
+            Ok(Ctrl::Next)
+        }),
+        Op::Eq | Op::Ne => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            let b = binop::pop(&mut cx.frame.stack)?;
+            let a = binop::pop(&mut cx.frame.stack)?;
+            let eq = a.loose_eq(&b);
+            cx.frame.stack.push(Value::Bool(if matches!(op, Op::Eq) { eq } else { !eq }));
+            Ok(Ctrl::Next)
+        }),
+        Op::Lt | Op::Le | Op::Gt | Op::Ge => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            let b = binop::pop(&mut cx.frame.stack)?;
+            let a = binop::pop(&mut cx.frame.stack)?;
+            cx.frame.stack.push(binop::compare(&op, &a, &b)?);
+            Ok(Ctrl::Next)
+        }),
+        Op::Jump(off) => {
+            let target = binop::jump(next, off);
+            bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = target;
+                Ok(Ctrl::Next)
+            })
+        }
+        Op::JumpIfFalse(off) => {
+            let target = binop::jump(next, off);
+            bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = next;
+                let v = binop::pop(&mut cx.frame.stack)?;
+                if !v.is_truthy() {
+                    cx.frame.pc = target;
+                }
+                Ok(Ctrl::Next)
+            })
+        }
+        Op::JumpIfTruePeek(off) => {
+            let target = binop::jump(next, off);
+            bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = next;
+                let v = cx.frame.stack.last().ok_or(VmError::Corrupt("peek on empty stack"))?;
+                if v.is_truthy() {
+                    cx.frame.pc = target;
+                }
+                Ok(Ctrl::Next)
+            })
+        }
+        Op::JumpIfFalsePeek(off) => {
+            let target = binop::jump(next, off);
+            bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = next;
+                let v = cx.frame.stack.last().ok_or(VmError::Corrupt("peek on empty stack"))?;
+                if !v.is_truthy() {
+                    cx.frame.pc = target;
+                }
+                Ok(Ctrl::Next)
+            })
+        }
+        Op::Call { f, argc } => {
+            let in_range = (f as usize) < p.funcs.len();
+            bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = next;
+                let at = cx
+                    .frame
+                    .stack
+                    .len()
+                    .checked_sub(argc as usize)
+                    .ok_or(VmError::Corrupt("call args underflow"))?;
+                let args: Vec<Value> = cx.frame.stack.split_off(at);
+                if !in_range {
+                    return Err(VmError::Corrupt("call target out of range"));
+                }
+                Ok(Ctrl::Call { f: FuncId(f), args })
+            })
+        }
+        Op::CallNative { name, argc } => {
+            let name = name_const(consts, name);
+            bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = next;
+                let at = cx
+                    .frame
+                    .stack
+                    .len()
+                    .checked_sub(argc as usize)
+                    .ok_or(VmError::Corrupt("native args underflow"))?;
+                let args: Vec<Value> = cx.frame.stack.split_off(at);
+                let name = match &name {
+                    NameConst::Ok(n) => n,
+                    NameConst::Bad(f) => return Err(f()),
+                };
+                let v = cx.env.call_native(name, &args)?;
+                cx.frame.stack.push(v);
+                Ok(Ctrl::Next)
+            })
+        }
+        Op::Ret => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            let v = binop::pop(&mut cx.frame.stack)?;
+            Ok(Ctrl::Ret(v))
+        }),
+        Op::Hop(i) | Op::Delete(i) => {
+            let spec = p.hop_specs.get(i as usize).copied();
+            let delete = matches!(op, Op::Delete(_));
+            bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = next;
+                let spec = spec.ok_or(VmError::Corrupt("hop spec out of range"))?;
+                // Operands were pushed ln-then-ll; pop in reverse.
+                let ll = match spec.ll {
+                    LinkPat::Wild => EvalLink::Wild,
+                    LinkPat::Unnamed => EvalLink::Unnamed,
+                    LinkPat::Virtual => EvalLink::Virtual,
+                    LinkPat::Expr => eval_link(binop::pop(&mut cx.frame.stack)?),
+                };
+                let ln = match spec.ln {
+                    NodePat::Wild => None,
+                    NodePat::Expr => Some(binop::pop(&mut cx.frame.stack)?),
+                };
+                let eh = EvalHop { ln, ll, ldir: spec.ldir };
+                Ok(Ctrl::Yield(if delete { Yield::Delete(eh) } else { Yield::Hop(eh) }))
+            })
+        }
+        Op::Create(i) => {
+            let spec = p.create_specs.get(i as usize).cloned();
+            bx(move |cx| {
+                *cx.ops += 1;
+                cx.frame.pc = next;
+                let spec = spec.clone().ok_or(VmError::Corrupt("create spec out of range"))?;
+                // Operands pushed per item in order (ln, ll, dn, dl);
+                // pop everything in reverse.
+                let mut items: Vec<EvalCreateItem> = Vec::with_capacity(spec.items.len());
+                for it in spec.items.iter().rev() {
+                    let dl = match it.dl {
+                        LinkPat::Wild => EvalLink::Wild,
+                        LinkPat::Unnamed => EvalLink::Unnamed,
+                        LinkPat::Virtual => EvalLink::Virtual,
+                        LinkPat::Expr => eval_link(binop::pop(&mut cx.frame.stack)?),
+                    };
+                    let dn = match it.dn {
+                        NodePat::Wild => None,
+                        NodePat::Expr => Some(binop::pop(&mut cx.frame.stack)?),
+                    };
+                    let ll = match it.ll {
+                        crate::bytecode::NamePat::Unnamed => None,
+                        crate::bytecode::NamePat::Expr => Some(binop::pop(&mut cx.frame.stack)?),
+                    };
+                    let ln = match it.ln {
+                        crate::bytecode::NamePat::Unnamed => None,
+                        crate::bytecode::NamePat::Expr => Some(binop::pop(&mut cx.frame.stack)?),
+                    };
+                    items.push(EvalCreateItem { ln, ll, ldir: it.ldir, dn, dl, ddir: it.ddir });
+                }
+                items.reverse();
+                Ok(Ctrl::Yield(Yield::Create(crate::interp::EvalCreate { items, all: spec.all })))
+            })
+        }
+        Op::SchedAbs => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            let t = binop::pop(&mut cx.frame.stack)?.as_float()?;
+            if t.is_nan() {
+                return Err(VmError::Corrupt("NaN virtual time"));
+            }
+            Ok(Ctrl::Yield(Yield::SchedAbs(Vt::new(t))))
+        }),
+        Op::SchedDlt => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            let dt = binop::pop(&mut cx.frame.stack)?.as_float()?;
+            if dt.is_nan() {
+                return Err(VmError::Corrupt("NaN virtual time"));
+            }
+            Ok(Ctrl::Yield(Yield::SchedDlt(dt)))
+        }),
+        Op::Halt => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            Ok(Ctrl::Yield(Yield::Terminated(Value::Null)))
+        }),
+        Op::MakeArr => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            let default = binop::pop(&mut cx.frame.stack)?;
+            let n = binop::pop(&mut cx.frame.stack)?.as_int()?;
+            if !(0..=(1 << 24)).contains(&n) {
+                return Err(VmError::Native(format!("bad array size {n}")));
+            }
+            cx.frame.stack.push(Value::Arr(Arc::new(vec![default; n as usize])));
+            Ok(Ctrl::Next)
+        }),
+        Op::IndexGet => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            let idx = binop::pop(&mut cx.frame.stack)?.as_int()?;
+            let arr = binop::pop(&mut cx.frame.stack)?;
+            let v = index_get(&arr, idx)?;
+            cx.frame.stack.push(v);
+            Ok(Ctrl::Next)
+        }),
+        Op::IndexSet => bx(move |cx| {
+            *cx.ops += 1;
+            cx.frame.pc = next;
+            let value = binop::pop(&mut cx.frame.stack)?;
+            let idx = binop::pop(&mut cx.frame.stack)?.as_int()?;
+            let arr = binop::pop(&mut cx.frame.stack)?;
+            cx.frame.stack.push(index_set(arr, idx, value)?);
+            Ok(Ctrl::Next)
+        }),
+    }
+}
+
+/// A name constant (`LoadNode`/`StoreNode`/`CallNative`) resolved at
+/// compile time; `Bad` reproduces the interpreter's lazy failure.
+enum NameConst {
+    Ok(String),
+    Bad(Box<dyn Fn() -> VmError + Send + Sync>),
+}
+
+fn name_const(consts: &Arc<Vec<Value>>, i: u16) -> NameConst {
+    match consts.get(i as usize) {
+        Some(v) => match v.as_str() {
+            Ok(s) => NameConst::Ok(s.to_string()),
+            Err(_) => {
+                let v = v.clone();
+                NameConst::Bad(Box::new(move || v.as_str().unwrap_err()))
+            }
+        },
+        None => {
+            // The interpreter indexes the constant pool directly here and
+            // panics; reproduce that exact behavior lazily.
+            let consts = consts.clone();
+            let i = i as usize;
+            NameConst::Bad(Box::new(move || {
+                let _ = &consts[i];
+                unreachable!("index above is out of range")
+            }))
+        }
+    }
+}
+
+fn eval_link(v: Value) -> EvalLink {
+    match v {
+        Value::Link(inst) => EvalLink::Instance(inst),
+        Value::Null => EvalLink::Unnamed,
+        v => EvalLink::Named(v),
+    }
+}
+
+fn index_get(arr: &Value, idx: i64) -> Result<Value, VmError> {
+    let arr = arr.as_array()?;
+    arr.get(
+        usize::try_from(idx)
+            .map_err(|_| VmError::Native(format!("array index {idx} out of bounds")))?,
+    )
+    .ok_or_else(|| VmError::Native(format!("array index {idx} out of bounds (len {})", arr.len())))
+    .cloned()
+}
+
+fn index_set(arr: Value, idx: i64, value: Value) -> Result<Value, VmError> {
+    let mut arr = match arr {
+        Value::Arr(a) => a,
+        other => return Err(VmError::type_error("array", &other)),
+    };
+    let len = arr.len();
+    let slot = Arc::make_mut(&mut arr)
+        .get_mut(usize::try_from(idx).unwrap_or(usize::MAX))
+        .ok_or_else(|| VmError::Native(format!("array index {idx} out of bounds (len {len})")))?;
+    *slot = value;
+    Ok(Value::Arr(arr))
+}
+
+// ---------------------------------------------------------------------
+// Superinstruction spans: symbolic execution of straight-line pure
+// stack code into expression trees, lowered to closure trees.
+// ---------------------------------------------------------------------
+
+/// A pure sub-expression discovered by symbolic execution.
+enum VNode {
+    Const(Value),
+    Local(usize),
+    /// Forwarded value of an earlier in-span store (index into the
+    /// span's store-value array) — keeps `x = ...; y = x + 1` fused
+    /// without re-evaluating `x`'s tree.
+    Stored(usize),
+    Bin(Op, Box<VNode>, Box<VNode>),
+    Cmp(Op, Box<VNode>, Box<VNode>),
+    Eq {
+        ne: bool,
+        a: Box<VNode>,
+        b: Box<VNode>,
+    },
+    Neg(Box<VNode>),
+    Not(Box<VNode>),
+    MakeArr {
+        n: Box<VNode>,
+        default: Box<VNode>,
+    },
+    IndexGet {
+        arr: Box<VNode>,
+        idx: Box<VNode>,
+    },
+    IndexSet {
+        arr: Box<VNode>,
+        idx: Box<VNode>,
+        val: Box<VNode>,
+    },
+}
+
+/// How a span hands control back.
+enum EndPlan {
+    /// Next op is not fusable; fall through to it.
+    Fall { next: u32 },
+    /// Trailing unconditional `Jump`.
+    Jump { target: u32 },
+    /// Trailing conditional jump (compare-and-branch).
+    Branch { cond: ExprFn, jump_if_true: bool, keep: bool, target: u32, next: u32 },
+    /// Trailing `hop`/`delete` (load/hop).
+    Hop { delete: bool, ldir: Dir, ln: Option<ExprFn>, ll: LinkPlan, next: u32 },
+}
+
+enum LinkPlan {
+    Wild,
+    Unnamed,
+    Virtual,
+    Expr(ExprFn),
+}
+
+const MAX_STORES: usize = 8;
+const MAX_LEFTOVER: usize = 16;
+const MAX_DISCARDS: usize = 8;
+const MAX_SPAN_OPS: u32 = 96;
+const MAX_NODES: usize = 192;
+
+struct SpanBuilder {
+    vstack: Vec<VNode>,
+    stores: Vec<(usize, VNode)>,
+    discards: Vec<VNode>,
+    nodes: usize,
+    len: u32,
+}
+
+impl SpanBuilder {
+    fn full(&self) -> bool {
+        self.len >= MAX_SPAN_OPS || self.nodes >= MAX_NODES
+    }
+}
+
+/// Symbolically execute a straight-line run starting at `head`,
+/// producing a fused span if it covers at least two ops.
+#[allow(clippy::too_many_lines)]
+fn build_span(
+    p: &Program,
+    code: &[Op],
+    n_slots: usize,
+    head: u32,
+    mutate: bool,
+) -> Option<SpanStep> {
+    let mut b = SpanBuilder {
+        vstack: Vec::new(),
+        stores: Vec::new(),
+        discards: Vec::new(),
+        nodes: 0,
+        len: 0,
+    };
+    // Last store index per slot, for store-to-load forwarding.
+    let mut binding: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut j = head as usize;
+    let end: EndPlan = loop {
+        if j >= code.len() || b.full() {
+            break EndPlan::Fall { next: j as u32 };
+        }
+        let next = j as u32 + 1;
+        match code[j] {
+            Op::Const(i) if b.vstack.len() < MAX_LEFTOVER => match p.consts.get(i as usize) {
+                Some(v) => b.vstack.push(VNode::Const(v.clone())),
+                None => break EndPlan::Fall { next: j as u32 },
+            },
+            Op::LoadLocal(i) if (i as usize) < n_slots && b.vstack.len() < MAX_LEFTOVER => {
+                let slot = i as usize;
+                b.vstack.push(match binding.get(&slot) {
+                    Some(&k) => VNode::Stored(k),
+                    None => VNode::Local(slot),
+                });
+            }
+            Op::StoreLocal(i)
+                if (i as usize) < n_slots
+                    && !b.vstack.is_empty()
+                    && b.stores.len() < MAX_STORES =>
+            {
+                let n = b.vstack.pop().expect("non-empty");
+                binding.insert(i as usize, b.stores.len());
+                b.stores.push((i as usize, n));
+            }
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod if b.vstack.len() >= 2 => {
+                let rhs = Box::new(b.vstack.pop().expect("len>=2"));
+                let lhs = Box::new(b.vstack.pop().expect("len>=2"));
+                b.vstack.push(VNode::Bin(code[j], lhs, rhs));
+                b.nodes += 1;
+            }
+            Op::Lt | Op::Le | Op::Gt | Op::Ge if b.vstack.len() >= 2 => {
+                let rhs = Box::new(b.vstack.pop().expect("len>=2"));
+                let lhs = Box::new(b.vstack.pop().expect("len>=2"));
+                b.vstack.push(VNode::Cmp(code[j], lhs, rhs));
+                b.nodes += 1;
+            }
+            Op::Eq | Op::Ne if b.vstack.len() >= 2 => {
+                let rhs = Box::new(b.vstack.pop().expect("len>=2"));
+                let lhs = Box::new(b.vstack.pop().expect("len>=2"));
+                b.vstack.push(VNode::Eq { ne: matches!(code[j], Op::Ne), a: lhs, b: rhs });
+                b.nodes += 1;
+            }
+            Op::Neg if !b.vstack.is_empty() => {
+                let a = Box::new(b.vstack.pop().expect("non-empty"));
+                b.vstack.push(VNode::Neg(a));
+                b.nodes += 1;
+            }
+            Op::Not if !b.vstack.is_empty() => {
+                let a = Box::new(b.vstack.pop().expect("non-empty"));
+                b.vstack.push(VNode::Not(a));
+                b.nodes += 1;
+            }
+            Op::MakeArr if b.vstack.len() >= 2 => {
+                let default = Box::new(b.vstack.pop().expect("len>=2"));
+                let n = Box::new(b.vstack.pop().expect("len>=2"));
+                b.vstack.push(VNode::MakeArr { n, default });
+                b.nodes += 1;
+            }
+            Op::IndexGet if b.vstack.len() >= 2 => {
+                let idx = Box::new(b.vstack.pop().expect("len>=2"));
+                let arr = Box::new(b.vstack.pop().expect("len>=2"));
+                b.vstack.push(VNode::IndexGet { arr, idx });
+                b.nodes += 1;
+            }
+            Op::IndexSet if b.vstack.len() >= 3 => {
+                let val = Box::new(b.vstack.pop().expect("len>=3"));
+                let idx = Box::new(b.vstack.pop().expect("len>=3"));
+                let arr = Box::new(b.vstack.pop().expect("len>=3"));
+                b.vstack.push(VNode::IndexSet { arr, idx, val });
+                b.nodes += 1;
+            }
+            Op::Pop if !b.vstack.is_empty() && b.discards.len() < MAX_DISCARDS => {
+                // The popped expression still has to evaluate: the
+                // interpreter would have run (and possibly faulted on)
+                // the ops that built it.
+                let n = b.vstack.pop().expect("non-empty");
+                b.discards.push(n);
+            }
+            Op::Jump(off) => {
+                b.len += 1;
+                break EndPlan::Jump { target: binop::jump(next, off) };
+            }
+            Op::JumpIfFalse(off) if !b.vstack.is_empty() => {
+                let cond = lower(b.vstack.pop().expect("non-empty"), mutate);
+                b.len += 1;
+                break EndPlan::Branch {
+                    cond,
+                    jump_if_true: false,
+                    keep: false,
+                    target: binop::jump(next, off),
+                    next,
+                };
+            }
+            Op::JumpIfTruePeek(off) if !b.vstack.is_empty() => {
+                let cond = lower(b.vstack.pop().expect("non-empty"), mutate);
+                b.len += 1;
+                break EndPlan::Branch {
+                    cond,
+                    jump_if_true: true,
+                    keep: true,
+                    target: binop::jump(next, off),
+                    next,
+                };
+            }
+            Op::JumpIfFalsePeek(off) if !b.vstack.is_empty() => {
+                let cond = lower(b.vstack.pop().expect("non-empty"), mutate);
+                b.len += 1;
+                break EndPlan::Branch {
+                    cond,
+                    jump_if_true: false,
+                    keep: true,
+                    target: binop::jump(next, off),
+                    next,
+                };
+            }
+            Op::Hop(i) | Op::Delete(i) => {
+                let Some(spec) = p.hop_specs.get(i as usize).copied() else {
+                    break EndPlan::Fall { next: j as u32 };
+                };
+                if spec.operand_count() > b.vstack.len() {
+                    break EndPlan::Fall { next: j as u32 };
+                }
+                // Operands were pushed ln-then-ll: ll is on top.
+                let ll = match spec.ll {
+                    LinkPat::Wild => LinkPlan::Wild,
+                    LinkPat::Unnamed => LinkPlan::Unnamed,
+                    LinkPat::Virtual => LinkPlan::Virtual,
+                    LinkPat::Expr => {
+                        LinkPlan::Expr(lower(b.vstack.pop().expect("checked above"), mutate))
+                    }
+                };
+                let ln = match spec.ln {
+                    NodePat::Wild => None,
+                    NodePat::Expr => Some(lower(b.vstack.pop().expect("checked above"), mutate)),
+                };
+                b.len += 1;
+                break EndPlan::Hop {
+                    delete: matches!(code[j], Op::Delete(_)),
+                    ldir: spec.ldir,
+                    ln,
+                    ll,
+                    next,
+                };
+            }
+            _ => break EndPlan::Fall { next: j as u32 },
+        }
+        b.len += 1;
+        j += 1;
+    };
+    if b.len < 2 {
+        return None;
+    }
+    // Only the final store to a slot is published; earlier ones still
+    // evaluate (for fault equivalence) but their values are dropped.
+    let mut last_for_slot: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    for (k, (slot, _)) in b.stores.iter().enumerate() {
+        last_for_slot.insert(*slot, k);
+    }
+    let stores: Vec<(usize, bool, ExprFn)> = b
+        .stores
+        .into_iter()
+        .enumerate()
+        .map(|(k, (slot, n))| (slot, last_for_slot[&slot] == k, lower(n, mutate)))
+        .collect();
+    let discards: Vec<ExprFn> = b.discards.into_iter().map(|n| lower(n, mutate)).collect();
+    let leftovers: Vec<ExprFn> = b.vstack.into_iter().map(|n| lower(n, mutate)).collect();
+    let need = b.len;
+    let run = bx(move |cx| {
+        // Evaluate everything before touching any observable state; on
+        // any fault, deopt and let the singles replay from `head` with
+        // the interpreter's exact semantics.
+        let fr: &mut Frame = cx.frame;
+        let mut sv: [Option<Value>; MAX_STORES] = Default::default();
+        for (k, (_, _, e)) in stores.iter().enumerate() {
+            match e(fr, &sv) {
+                Ok(v) => sv[k] = Some(v),
+                Err(_) => return Ok(Ctrl::Deopt),
+            }
+        }
+        for e in &discards {
+            if e(fr, &sv).is_err() {
+                return Ok(Ctrl::Deopt);
+            }
+        }
+        let mut lv: [Option<Value>; MAX_LEFTOVER] = Default::default();
+        for (k, e) in leftovers.iter().enumerate() {
+            match e(fr, &sv) {
+                Ok(v) => lv[k] = Some(v),
+                Err(_) => return Ok(Ctrl::Deopt),
+            }
+        }
+        let ctrl = match &end {
+            EndPlan::Fall { next } => {
+                fr.pc = *next;
+                Ctrl::Next
+            }
+            EndPlan::Jump { target } => {
+                fr.pc = *target;
+                Ctrl::Next
+            }
+            EndPlan::Branch { cond, jump_if_true, keep, target, next } => {
+                let v = match cond(fr, &sv) {
+                    Ok(v) => v,
+                    Err(_) => return Ok(Ctrl::Deopt),
+                };
+                fr.pc = if v.is_truthy() == *jump_if_true { *target } else { *next };
+                if *keep {
+                    // Peek branches leave the condition on the stack.
+                    commit(fr, &stores, &mut sv, &mut lv, leftovers.len());
+                    fr.stack.push(v);
+                    *cx.ops += need as u64;
+                    return Ok(Ctrl::Next);
+                }
+                Ctrl::Next
+            }
+            EndPlan::Hop { delete, ldir, ln, ll, next } => {
+                let ll = match ll {
+                    LinkPlan::Wild => EvalLink::Wild,
+                    LinkPlan::Unnamed => EvalLink::Unnamed,
+                    LinkPlan::Virtual => EvalLink::Virtual,
+                    LinkPlan::Expr(e) => match e(fr, &sv) {
+                        Ok(v) => eval_link(v),
+                        Err(_) => return Ok(Ctrl::Deopt),
+                    },
+                };
+                let ln = match ln {
+                    None => None,
+                    Some(e) => match e(fr, &sv) {
+                        Ok(v) => Some(v),
+                        Err(_) => return Ok(Ctrl::Deopt),
+                    },
+                };
+                fr.pc = *next;
+                let eh = EvalHop { ln, ll, ldir: *ldir };
+                Ctrl::Yield(if *delete { Yield::Delete(eh) } else { Yield::Hop(eh) })
+            }
+        };
+        commit(fr, &stores, &mut sv, &mut lv, leftovers.len());
+        *cx.ops += need as u64;
+        Ok(ctrl)
+    });
+    Some(SpanStep { need, run })
+}
+
+/// Publish a successful span: final store per slot, then leftovers in
+/// stack order. Only runs after every sub-expression evaluated cleanly.
+fn commit(
+    fr: &mut Frame,
+    stores: &[(usize, bool, ExprFn)],
+    sv: &mut [Option<Value>; MAX_STORES],
+    lv: &mut [Option<Value>; MAX_LEFTOVER],
+    n_left: usize,
+) {
+    for (k, (slot, publish, _)) in stores.iter().enumerate() {
+        if *publish {
+            fr.locals[*slot] = sv[k].take().expect("span store evaluated");
+        }
+    }
+    for v in lv.iter_mut().take(n_left) {
+        fr.stack.push(v.take().expect("span leftover evaluated"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fused counted loops: whole `while` loops lowered to flat register
+// code. The strongest superinstruction — the mandel/matmul inner loops
+// run here, with locals promoted to a register file for the loop's
+// entire residence and fuel charged per completed iteration.
+// ---------------------------------------------------------------------
+
+/// Flat three-address code over the loop's register file.
+enum RegOp {
+    Bin { op: Op, dst: usize, a: usize, b: usize },
+    Cmp { op: Op, dst: usize, a: usize, b: usize },
+    Eq { ne: bool, dst: usize, a: usize, b: usize },
+    Neg { dst: usize, a: usize },
+    Not { dst: usize, a: usize },
+    Mov { dst: usize, src: usize },
+}
+
+/// A fused `while` loop:
+///
+/// ```text
+/// head: <pure cond ops> JumpIfFalse(exit)
+///       <pure local body ops> Jump(head)
+/// exit:
+/// ```
+///
+/// Registers `0..n_slots` mirror the frame's locals (loaded once at
+/// entry, written back once at exit/fault), then come preloaded
+/// constants, then SSA temporaries. Each completed iteration charges
+/// `per_iter` ops; the final false condition charges `cond_need`.
+/// Faults restore the current iteration's stores from a snapshot and
+/// deopt with the state exactly at the loop head, so the singles replay
+/// reproduces the interpreter's fault position bit for bit.
+struct LoopStep {
+    /// Ops for one full iteration (cond + branch + body + backedge).
+    per_iter: u32,
+    /// Ops for the exiting (false) condition evaluation.
+    cond_need: u32,
+    /// pc after the loop (`JumpIfFalse` target).
+    exit: u32,
+    n_slots: usize,
+    n_regs: usize,
+    /// Constant registers, materialized once at loop entry.
+    consts: Vec<(usize, Value)>,
+    cond_ops: Vec<RegOp>,
+    /// Register holding the condition after `cond_ops`.
+    cond_reg: usize,
+    body_ops: Vec<RegOp>,
+    /// Local slots the body stores to (write-back + fault snapshot set).
+    writeback: Vec<usize>,
+}
+
+const MAX_LOOP_SLOTS: usize = 32;
+const MAX_LOOP_REGS: usize = 160;
+const MAX_LOOP_STORES: usize = 16;
+
+/// Symbolic executor lowering a straight-line section to [`RegOp`]s.
+struct RegBuilder {
+    n_slots: usize,
+    next_reg: usize,
+    consts: Vec<(usize, Value)>,
+    vstack: Vec<usize>,
+    len: u32,
+}
+
+impl RegBuilder {
+    fn alloc(&mut self) -> Option<usize> {
+        if self.next_reg >= MAX_LOOP_REGS {
+            return None;
+        }
+        self.next_reg += 1;
+        Some(self.next_reg - 1)
+    }
+
+    /// Lower ops from `at` until a non-fusable op; returns the pc of
+    /// that op. `stores` is `None` for the condition section (where
+    /// stores end the section) and collects stored slots for the body.
+    fn section(
+        &mut self,
+        p: &Program,
+        code: &[Op],
+        at: usize,
+        mutate: bool,
+        out: &mut Vec<RegOp>,
+        mut stores: Option<&mut Vec<usize>>,
+    ) -> Option<usize> {
+        let mut j = at;
+        while j < code.len() {
+            match code[j] {
+                Op::Const(i) => {
+                    let v = p.consts.get(i as usize)?.clone();
+                    let r = self.alloc()?;
+                    self.consts.push((r, v));
+                    self.vstack.push(r);
+                }
+                Op::LoadLocal(i) if (i as usize) < self.n_slots => {
+                    self.vstack.push(i as usize);
+                }
+                Op::Dup => {
+                    let &top = self.vstack.last()?;
+                    self.vstack.push(top);
+                }
+                Op::StoreLocal(i) if (i as usize) < self.n_slots => {
+                    let slots = stores.as_deref_mut()?;
+                    if slots.len() >= MAX_LOOP_STORES {
+                        return Some(j);
+                    }
+                    let src = self.vstack.pop()?;
+                    let slot = i as usize;
+                    // Pending stack values that alias this slot's
+                    // register still mean the *old* value; preserve it
+                    // in a temp before overwriting.
+                    if self.vstack.contains(&slot) {
+                        let save = self.alloc()?;
+                        out.push(RegOp::Mov { dst: save, src: slot });
+                        for v in &mut self.vstack {
+                            if *v == slot {
+                                *v = save;
+                            }
+                        }
+                    }
+                    out.push(RegOp::Mov { dst: slot, src });
+                    slots.push(slot);
+                }
+                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => {
+                    let b = self.vstack.pop()?;
+                    let a = self.vstack.pop()?;
+                    let dst = self.alloc()?;
+                    let (a, b) = if mutate { (b, a) } else { (a, b) };
+                    out.push(RegOp::Bin { op: code[j], dst, a, b });
+                    self.vstack.push(dst);
+                }
+                Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+                    let b = self.vstack.pop()?;
+                    let a = self.vstack.pop()?;
+                    let dst = self.alloc()?;
+                    out.push(RegOp::Cmp { op: code[j], dst, a, b });
+                    self.vstack.push(dst);
+                }
+                Op::Eq | Op::Ne => {
+                    let b = self.vstack.pop()?;
+                    let a = self.vstack.pop()?;
+                    let dst = self.alloc()?;
+                    out.push(RegOp::Eq { ne: matches!(code[j], Op::Ne), dst, a, b });
+                    self.vstack.push(dst);
+                }
+                Op::Neg => {
+                    let a = self.vstack.pop()?;
+                    let dst = self.alloc()?;
+                    out.push(RegOp::Neg { dst, a });
+                    self.vstack.push(dst);
+                }
+                Op::Not => {
+                    let a = self.vstack.pop()?;
+                    let dst = self.alloc()?;
+                    out.push(RegOp::Not { dst, a });
+                    self.vstack.push(dst);
+                }
+                Op::Pop => {
+                    // The value was already computed eagerly by earlier
+                    // RegOps (and any fault already surfaced), so the
+                    // discard itself is free.
+                    self.vstack.pop()?;
+                }
+                _ => return Some(j),
+            }
+            self.len += 1;
+            j += 1;
+        }
+        Some(j)
+    }
+}
+
+/// Recognize and lower a fused `while` loop headed at `head`.
+fn build_loop(
+    p: &Program,
+    code: &[Op],
+    n_slots: usize,
+    head: u32,
+    mutate: bool,
+) -> Option<LoopStep> {
+    if n_slots > MAX_LOOP_SLOTS {
+        return None;
+    }
+    let mut b =
+        RegBuilder { n_slots, next_reg: n_slots, consts: Vec::new(), vstack: Vec::new(), len: 0 };
+    // Condition: pure, store-free, ending at JumpIfFalse with exactly
+    // the condition value produced.
+    let mut cond_ops = Vec::new();
+    let stop = b.section(p, code, head as usize, mutate, &mut cond_ops, None)?;
+    let Some(Op::JumpIfFalse(off)) = code.get(stop) else {
+        return None;
+    };
+    let cond_reg = b.vstack.pop()?;
+    if !b.vstack.is_empty() || b.len == 0 {
+        return None;
+    }
+    b.len += 1;
+    let cond_need = b.len;
+    let exit = binop::jump(stop as u32 + 1, *off);
+    // Body: pure local code ending with the backedge to `head`, with
+    // nothing left on the (virtual) operand stack.
+    let mut body_ops = Vec::new();
+    let mut stored = Vec::new();
+    let stop2 = b.section(p, code, stop + 1, mutate, &mut body_ops, Some(&mut stored))?;
+    let Some(Op::Jump(back)) = code.get(stop2) else {
+        return None;
+    };
+    if binop::jump(stop2 as u32 + 1, *back) != head || !b.vstack.is_empty() {
+        return None;
+    }
+    b.len += 1;
+    let mut writeback = stored;
+    writeback.sort_unstable();
+    writeback.dedup();
+    Some(LoopStep {
+        per_iter: b.len,
+        cond_need,
+        exit,
+        n_slots,
+        n_regs: b.next_reg,
+        consts: b.consts,
+        cond_ops,
+        cond_reg,
+        body_ops,
+        writeback,
+    })
+}
+
+/// Execute one flat-code section over the register file. Arithmetic and
+/// comparison inline the hot `Int`/`Float` cases with semantics
+/// identical to [`binop::arith`] / [`binop::compare`] (ints wrap,
+/// comparison widens ints to `f64` and uses `total_cmp`), falling back
+/// to the shared helpers everywhere else.
+fn exec_regops(ops: &[RegOp], regs: &mut [Value]) -> Result<(), VmError> {
+    use std::cmp::Ordering;
+    let cmp_ord = |op: &Op, ord: Ordering| {
+        Value::Bool(match op {
+            Op::Lt => ord == Ordering::Less,
+            Op::Le => ord != Ordering::Greater,
+            Op::Gt => ord == Ordering::Greater,
+            _ => ord != Ordering::Less,
+        })
+    };
+    for r in ops {
+        match *r {
+            RegOp::Mov { dst, src } => regs[dst] = regs[src].clone(),
+            RegOp::Bin { ref op, dst, a, b } => {
+                let v = match (&regs[a], &regs[b]) {
+                    (Value::Int(x), Value::Int(y)) => match op {
+                        Op::Add => Value::Int(x.wrapping_add(*y)),
+                        Op::Sub => Value::Int(x.wrapping_sub(*y)),
+                        Op::Mul => Value::Int(x.wrapping_mul(*y)),
+                        _ => binop::arith(op, regs[a].clone(), regs[b].clone())?,
+                    },
+                    (Value::Float(x), Value::Float(y)) => match op {
+                        Op::Add => Value::Float(x + y),
+                        Op::Sub => Value::Float(x - y),
+                        Op::Mul => Value::Float(x * y),
+                        Op::Div => Value::Float(x / y),
+                        Op::Mod => Value::Float(x % y),
+                        _ => binop::arith(op, regs[a].clone(), regs[b].clone())?,
+                    },
+                    _ => binop::arith(op, regs[a].clone(), regs[b].clone())?,
+                };
+                regs[dst] = v;
+            }
+            RegOp::Cmp { ref op, dst, a, b } => {
+                let v = match (&regs[a], &regs[b]) {
+                    (Value::Float(x), Value::Float(y)) => cmp_ord(op, x.total_cmp(y)),
+                    (Value::Int(x), Value::Int(y)) => {
+                        cmp_ord(op, (*x as f64).total_cmp(&(*y as f64)))
+                    }
+                    _ => binop::compare(op, &regs[a], &regs[b])?,
+                };
+                regs[dst] = v;
+            }
+            RegOp::Eq { ne, dst, a, b } => {
+                let eq = regs[a].loose_eq(&regs[b]);
+                regs[dst] = Value::Bool(if ne { !eq } else { eq });
+            }
+            RegOp::Neg { dst, a } => regs[dst] = binop::neg(regs[a].clone())?,
+            RegOp::Not { dst, a } => regs[dst] = Value::Bool(!regs[a].is_truthy()),
+        }
+    }
+    Ok(())
+}
+
+enum LoopExit {
+    /// Committed work (iterations and/or the exit branch); continue
+    /// dispatching at the pc the loop set.
+    Progress,
+    /// A fault is pending at the loop head: replay on singles.
+    Deopt,
+}
+
+/// Run fused iterations until the condition goes false, the fuel budget
+/// allows no further full iteration, or a fault deopts. The caller
+/// guarantees at least one full iteration fits in the remaining fuel.
+fn run_loop(lp: &LoopStep, fr: &mut Frame, fuel: u64, ops: &mut u64) -> Option<LoopExit> {
+    if fr.locals.len() != lp.n_slots {
+        return None; // corrupt frame: let the singles raise the error
+    }
+    let per = u64::from(lp.per_iter);
+    let budget = (fuel - *ops) / per;
+    let mut regs: Vec<Value> = Vec::with_capacity(lp.n_regs);
+    regs.extend(fr.locals.iter().cloned());
+    regs.resize(lp.n_regs, Value::Null);
+    for (r, v) in &lp.consts {
+        regs[*r] = v.clone();
+    }
+    // Fault recovery is replay-based: faults are rare (they deopt
+    // permanently), so instead of snapshotting stores every iteration
+    // we keep the entry registers and, on a fault at iteration `done`,
+    // deterministically re-execute the `done` completed iterations —
+    // they are pure register code and already succeeded once.
+    let entry = regs.clone();
+    let mut done: u64 = 0;
+    let write_back = |fr: &mut Frame, regs: &mut [Value]| {
+        for &s in &lp.writeback {
+            fr.locals[s] = std::mem::replace(&mut regs[s], Value::Null);
+        }
+    };
+    let deopt = |fr: &mut Frame, ops: &mut u64, done: u64| {
+        let mut regs = entry.clone();
+        for _ in 0..done {
+            let _ = exec_regops(&lp.cond_ops, &mut regs);
+            let _ = exec_regops(&lp.body_ops, &mut regs);
+        }
+        write_back(fr, &mut regs);
+        *ops += done * per;
+        Some(LoopExit::Deopt)
+    };
+    while done < budget {
+        if exec_regops(&lp.cond_ops, &mut regs).is_err() {
+            return deopt(fr, ops, done);
+        }
+        if !regs[lp.cond_reg].is_truthy() {
+            write_back(fr, &mut regs);
+            *ops += done * per + u64::from(lp.cond_need);
+            fr.pc = lp.exit;
+            return Some(LoopExit::Progress);
+        }
+        if exec_regops(&lp.body_ops, &mut regs).is_err() {
+            return deopt(fr, ops, done);
+        }
+        done += 1;
+    }
+    // Fuel bound: the next full iteration no longer fits. Publish and
+    // let spans/singles walk into the fuel wall at the exact op.
+    write_back(fr, &mut regs);
+    *ops += done * per;
+    Some(LoopExit::Progress)
+}
+
+/// Lower an expression tree to a closure tree. `mutate` swaps the
+/// operands of fused arithmetic — the deliberate miscompile the
+/// differential suite must catch.
+fn lower(n: VNode, mutate: bool) -> ExprFn {
+    match n {
+        VNode::Const(v) => Box::new(move |_, _| Ok(v.clone())),
+        VNode::Local(i) => Box::new(move |f, _| Ok(f.locals[i].clone())),
+        VNode::Stored(k) => {
+            Box::new(move |_, sv| Ok(sv[k].as_ref().expect("stored before use").clone()))
+        }
+        VNode::Bin(op, a, b) => {
+            let a = lower(*a, mutate);
+            let b = lower(*b, mutate);
+            if mutate {
+                Box::new(move |f, sv| binop::arith(&op, b(f, sv)?, a(f, sv)?))
+            } else {
+                Box::new(move |f, sv| binop::arith(&op, a(f, sv)?, b(f, sv)?))
+            }
+        }
+        VNode::Cmp(op, a, b) => {
+            let a = lower(*a, mutate);
+            let b = lower(*b, mutate);
+            Box::new(move |f, sv| binop::compare(&op, &a(f, sv)?, &b(f, sv)?))
+        }
+        VNode::Eq { ne, a, b } => {
+            let a = lower(*a, mutate);
+            let b = lower(*b, mutate);
+            Box::new(move |f, sv| {
+                let eq = a(f, sv)?.loose_eq(&b(f, sv)?);
+                Ok(Value::Bool(if ne { !eq } else { eq }))
+            })
+        }
+        VNode::Neg(a) => {
+            let a = lower(*a, mutate);
+            Box::new(move |f, sv| binop::neg(a(f, sv)?))
+        }
+        VNode::Not(a) => {
+            let a = lower(*a, mutate);
+            Box::new(move |f, sv| Ok(Value::Bool(!a(f, sv)?.is_truthy())))
+        }
+        VNode::MakeArr { n, default } => {
+            let n = lower(*n, mutate);
+            let default = lower(*default, mutate);
+            Box::new(move |f, sv| {
+                let len = n(f, sv)?.as_int()?;
+                if !(0..=(1 << 24)).contains(&len) {
+                    return Err(VmError::Native(format!("bad array size {len}")));
+                }
+                let d = default(f, sv)?;
+                Ok(Value::Arr(Arc::new(vec![d; len as usize])))
+            })
+        }
+        VNode::IndexGet { arr, idx } => {
+            let arr = lower(*arr, mutate);
+            let idx = lower(*idx, mutate);
+            Box::new(move |f, sv| {
+                let i = idx(f, sv)?.as_int()?;
+                index_get(&arr(f, sv)?, i)
+            })
+        }
+        VNode::IndexSet { arr, idx, val } => {
+            let arr = lower(*arr, mutate);
+            let idx = lower(*idx, mutate);
+            let val = lower(*val, mutate);
+            Box::new(move |f, sv| {
+                let a = arr(f, sv)?;
+                let i = idx(f, sv)?.as_int()?;
+                let v = val(f, sv)?;
+                index_set(a, i, v)
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{Builder, HopSpec, Op};
+    use crate::interp::{self, MapEnv, NullEnv};
+    use crate::state::MessengerId;
+
+    fn launch(p: &Program) -> MessengerState {
+        MessengerState::launch(p, MessengerId(1), &[]).unwrap()
+    }
+
+    /// Run the same program under both engines at the same fuel and
+    /// require identical outcomes and identical messenger states.
+    fn both(p: &Program, fuel: u64) -> Result<Yield, VmError> {
+        let cp = compile(p).expect("compiles");
+        let mut mi = launch(p);
+        let mut mc = launch(p);
+        let ri = interp::run(p, &mut mi, &mut NullEnv, fuel);
+        let rc = run(&cp, p, &mut mc, &mut NullEnv, fuel);
+        assert_eq!(ri, rc, "yields/errors diverge");
+        assert_eq!(mi.frames, mc.frames, "frames diverge");
+        rc
+    }
+
+    #[test]
+    fn arithmetic_loop_matches_interpreter() {
+        // while (i < 10) { acc = acc + i * 2; i = i + 1; } return acc
+        let mut b = Builder::new();
+        let c0 = b.constant(Value::Int(0));
+        let c1 = b.constant(Value::Int(1));
+        let c2 = b.constant(Value::Int(2));
+        let c10 = b.constant(Value::Int(10));
+        let code = vec![
+            Op::Const(c0),
+            Op::StoreLocal(0), // i
+            Op::Const(c0),
+            Op::StoreLocal(1), // acc
+            // loop head (pc 4)
+            Op::LoadLocal(0),
+            Op::Const(c10),
+            Op::Lt,
+            Op::JumpIfFalse(11),
+            Op::LoadLocal(1),
+            Op::LoadLocal(0),
+            Op::Const(c2),
+            Op::Mul,
+            Op::Add,
+            Op::StoreLocal(1),
+            Op::LoadLocal(0),
+            Op::Const(c1),
+            Op::Add,
+            Op::StoreLocal(0),
+            Op::Jump(-15),
+            // exit (pc 19)
+            Op::LoadLocal(1),
+            Op::Ret,
+        ];
+        let f = b.function("main", 0, 2, code);
+        let p = b.finish(f);
+        assert_eq!(both(&p, 10_000).unwrap(), Yield::Terminated(Value::Int(90)));
+        let cp = compile(&p).unwrap();
+        assert!(cp.superinstructions() > 0, "the loop must fuse spans");
+        assert!(cp.fused_loops() > 0, "the whole while loop must fuse");
+    }
+
+    #[test]
+    fn fault_inside_fused_loop_deopts_to_exact_interpreter_state() {
+        // while (i < 8) { acc = acc + 6 / (3 - i); i = i + 1 }
+        // The divisor hits zero on the fourth iteration: the fused loop
+        // must roll back that iteration and replay the fault with the
+        // interpreter's exact frame and ops charge.
+        let mut b = Builder::new();
+        let c0 = b.constant(Value::Int(0));
+        let c1 = b.constant(Value::Int(1));
+        let c3 = b.constant(Value::Int(3));
+        let c6 = b.constant(Value::Int(6));
+        let c8 = b.constant(Value::Int(8));
+        let code = vec![
+            Op::Const(c0),
+            Op::StoreLocal(0), // i
+            Op::Const(c0),
+            Op::StoreLocal(1), // acc
+            // loop head (pc 4)
+            Op::LoadLocal(0),
+            Op::Const(c8),
+            Op::Lt,
+            Op::JumpIfFalse(13),
+            Op::LoadLocal(1),
+            Op::Const(c6),
+            Op::Const(c3),
+            Op::LoadLocal(0),
+            Op::Sub,
+            Op::Div,
+            Op::Add,
+            Op::StoreLocal(1),
+            Op::LoadLocal(0),
+            Op::Const(c1),
+            Op::Add,
+            Op::StoreLocal(0),
+            Op::Jump(-17),
+            // exit (pc 21)
+            Op::LoadLocal(1),
+            Op::Ret,
+        ];
+        let f = b.function("main", 0, 2, code);
+        let p = b.finish(f);
+        let cp = compile(&p).unwrap();
+        assert!(cp.fused_loops() > 0, "the faulting loop must still fuse");
+        let err = both(&p, 10_000).unwrap_err();
+        assert!(matches!(err, VmError::DivisionByZero));
+        // And with the fault patched out of range, both agree on the sum.
+        for fuel in 0..80 {
+            let mut mi = launch(&p);
+            let mut mc = launch(&p);
+            let mut ei = MapEnv::new();
+            let mut ec = MapEnv::new();
+            let ri = interp::run(&p, &mut mi, &mut ei, fuel);
+            let rc = run(&cp, &p, &mut mc, &mut ec, fuel);
+            assert_eq!(ri, rc, "fuel={fuel}");
+            assert_eq!(mi.frames, mc.frames, "fuel={fuel}");
+            assert_eq!(ei.ops, ec.ops, "fuel={fuel}: ops charge diverges");
+        }
+    }
+
+    #[test]
+    fn every_fuel_level_is_bit_exact() {
+        // The same loop, cut off at every possible fuel: state after
+        // FuelExhausted must match the interpreter op for op.
+        let mut b = Builder::new();
+        let c1 = b.constant(Value::Int(1));
+        let c5 = b.constant(Value::Int(5));
+        let code = vec![
+            Op::Const(c1),
+            Op::StoreLocal(0),
+            Op::LoadLocal(0),
+            Op::Const(c5),
+            Op::Lt,
+            Op::JumpIfFalse(5),
+            Op::LoadLocal(0),
+            Op::Const(c1),
+            Op::Add,
+            Op::StoreLocal(0),
+            Op::Jump(-9),
+            Op::LoadLocal(0),
+            Op::Ret,
+        ];
+        let f = b.function("main", 0, 1, code);
+        let p = b.finish(f);
+        let cp = compile(&p).unwrap();
+        for fuel in 0..40 {
+            let mut mi = launch(&p);
+            let mut mc = launch(&p);
+            let mut ei = MapEnv::new();
+            let mut ec = MapEnv::new();
+            let ri = interp::run(&p, &mut mi, &mut ei, fuel);
+            let rc = run(&cp, &p, &mut mc, &mut ec, fuel);
+            assert_eq!(ri, rc, "fuel={fuel}");
+            assert_eq!(mi.frames, mc.frames, "fuel={fuel}");
+            assert_eq!(ei.ops, ec.ops, "fuel={fuel}: ops charge diverges");
+        }
+    }
+
+    #[test]
+    fn hop_fuses_and_resumes_at_the_next_pc() {
+        let mut b = Builder::new();
+        let ring = b.constant(Value::str("ring"));
+        let hop = b.hop_spec(HopSpec { ln: NodePat::Wild, ll: LinkPat::Expr, ldir: Dir::Forward });
+        let code = vec![Op::Const(ring), Op::Hop(hop), Op::Halt];
+        let f = b.function("main", 0, 1, code);
+        let p = b.finish(f);
+        let cp = compile(&p).unwrap();
+        assert!(cp.superinstructions() > 0, "const/hop must fuse");
+        let mut m = launch(&p);
+        let y = run(&cp, &p, &mut m, &mut NullEnv, 100).unwrap();
+        assert_eq!(
+            y,
+            Yield::Hop(EvalHop {
+                ln: None,
+                ll: EvalLink::Named(Value::str("ring")),
+                ldir: Dir::Forward
+            })
+        );
+        assert_eq!(m.frames.last().unwrap().pc, 2, "resume pc is past the hop");
+        // Resuming the parked/migrated state runs the tail.
+        let y = run(&cp, &p, &mut m, &mut NullEnv, 100).unwrap();
+        assert_eq!(y, Yield::Terminated(Value::Null));
+    }
+
+    #[test]
+    fn division_by_zero_deopts_to_exact_interpreter_state() {
+        let mut b = Builder::new();
+        let c1 = b.constant(Value::Int(1));
+        let c0 = b.constant(Value::Int(0));
+        let code = vec![
+            Op::Const(c1),
+            Op::Const(c0),
+            Op::Div,
+            Op::StoreLocal(0),
+            Op::LoadLocal(0),
+            Op::Ret,
+        ];
+        let f = b.function("main", 0, 1, code);
+        let p = b.finish(f);
+        let err = both(&p, 1_000).unwrap_err();
+        assert!(matches!(err, VmError::DivisionByZero));
+    }
+
+    #[test]
+    fn miscompiled_superinstruction_is_observable() {
+        // 10 - 3 fused with swapped operands must NOT equal the
+        // interpreter's 7 — this is what diff_props' mutation check
+        // relies on.
+        let mut b = Builder::new();
+        let c10 = b.constant(Value::Int(10));
+        let c3 = b.constant(Value::Int(3));
+        let code = vec![
+            Op::Const(c10),
+            Op::Const(c3),
+            Op::Sub,
+            Op::StoreLocal(0),
+            Op::LoadLocal(0),
+            Op::Ret,
+        ];
+        let f = b.function("main", 0, 1, code);
+        let p = b.finish(f);
+        let bad = compile_miscompiled(&p).unwrap();
+        let mut m = launch(&p);
+        let y = run(&bad, &p, &mut m, &mut NullEnv, 100).unwrap();
+        assert_eq!(y, Yield::Terminated(Value::Int(-7)), "mutation must flip the result");
+    }
+
+    #[test]
+    fn node_vars_and_natives_match_interpreter() {
+        let mut b = Builder::new();
+        let visits = b.constant(Value::str("visits"));
+        let one = b.constant(Value::Int(1));
+        let code = vec![
+            Op::LoadNode(visits),
+            Op::Const(one),
+            Op::Add,
+            Op::StoreNode(visits),
+            Op::LoadNode(visits),
+            Op::Ret,
+        ];
+        let f = b.function("main", 0, 0, code);
+        let p = b.finish(f);
+        let cp = compile(&p).unwrap();
+        let mut ei = MapEnv::new();
+        let mut ec = MapEnv::new();
+        let mut mi = launch(&p);
+        let mut mc = launch(&p);
+        let ri = interp::run(&p, &mut mi, &mut ei, 100).unwrap();
+        let rc = run(&cp, &p, &mut mc, &mut ec, 100).unwrap();
+        assert_eq!(ri, rc);
+        assert_eq!(ri, Yield::Terminated(Value::Int(1)));
+        assert_eq!(ei.vars, ec.vars, "node-variable effects diverge");
+        assert_eq!(ei.ops, ec.ops);
+    }
+}

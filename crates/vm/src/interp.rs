@@ -202,89 +202,9 @@ pub enum Yield {
     SchedDlt(f64),
 }
 
-fn pop(stack: &mut Vec<Value>) -> Result<Value, VmError> {
-    stack.pop().ok_or(VmError::Corrupt("operand stack underflow"))
-}
-
-fn arith(op: &Op, a: Value, b: Value) -> Result<Value, VmError> {
-    // String concatenation with `+` when either side is a string (used to
-    // build node/link names). NULL concatenates as the empty string.
-    if matches!(op, Op::Add) {
-        if let (Value::Str(_), _) | (_, Value::Str(_)) = (&a, &b) {
-            let show = |v: &Value| match v {
-                Value::Null => String::new(),
-                other => other.to_string(),
-            };
-            return Ok(Value::str(format!("{}{}", show(&a), show(&b))));
-        }
-    }
-    // Never-assigned node variables read as NULL; arithmetically NULL is
-    // zero, so scripts can use node variables as counters without an
-    // initialization pass.
-    let a = if a == Value::Null { Value::Int(0) } else { a };
-    let b = if b == Value::Null { Value::Int(0) } else { b };
-    match (&a, &b) {
-        (Value::Int(x), Value::Int(y)) => {
-            let (x, y) = (*x, *y);
-            Ok(Value::Int(match op {
-                Op::Add => x.wrapping_add(y),
-                Op::Sub => x.wrapping_sub(y),
-                Op::Mul => x.wrapping_mul(y),
-                Op::Div => {
-                    if y == 0 {
-                        return Err(VmError::DivisionByZero);
-                    }
-                    x.wrapping_div(y)
-                }
-                Op::Mod => {
-                    if y == 0 {
-                        return Err(VmError::DivisionByZero);
-                    }
-                    x.wrapping_rem(y)
-                }
-                _ => unreachable!(),
-            }))
-        }
-        _ => {
-            let x = a.as_float()?;
-            let y = b.as_float()?;
-            Ok(Value::Float(match op {
-                Op::Add => x + y,
-                Op::Sub => x - y,
-                Op::Mul => x * y,
-                Op::Div => x / y,
-                Op::Mod => x % y,
-                _ => unreachable!(),
-            }))
-        }
-    }
-}
-
-fn compare(op: &Op, a: &Value, b: &Value) -> Result<Value, VmError> {
-    use std::cmp::Ordering;
-    // NULL orders as zero (see `arith`).
-    let a = if *a == Value::Null { &Value::Int(0) } else { a };
-    let b = if *b == Value::Null { &Value::Int(0) } else { b };
-    let ord: Ordering = match (a, b) {
-        (Value::Str(x), Value::Str(y)) => x.cmp(y),
-        _ => {
-            let x = a.as_float()?;
-            let y = b.as_float()?;
-            x.total_cmp(&y)
-        }
-    };
-    Ok(Value::Bool(match op {
-        Op::Lt => ord == Ordering::Less,
-        Op::Le => ord != Ordering::Greater,
-        Op::Gt => ord == Ordering::Greater,
-        Op::Ge => ord != Ordering::Less,
-        _ => unreachable!(),
-    }))
-}
-
-fn jump(pc: u32, off: i32) -> u32 {
-    (pc as i64 + off as i64) as u32
-}
+// Operator semantics (`arith`, `compare`, `neg`, `pop`, `jump`) live in
+// `crate::binop`, shared verbatim with the closure-compiled engine.
+use crate::binop::{arith, compare, jump, pop};
 
 /// The default fuel budget for one segment: generous enough for any of
 /// the paper's computational bursts, small enough to catch runaway loops
@@ -395,11 +315,7 @@ fn run_inner(
             }
             Op::Neg => {
                 let a = pop(&mut frame.stack)?;
-                let v = match a {
-                    Value::Int(i) => Value::Int(i.wrapping_neg()),
-                    other => Value::Float(-other.as_float()?),
-                };
-                frame.stack.push(v);
+                frame.stack.push(crate::binop::neg(a)?);
             }
             Op::Not => {
                 let a = pop(&mut frame.stack)?;

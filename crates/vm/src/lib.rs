@@ -41,8 +41,10 @@
 
 #![warn(missing_docs)]
 
+mod binop;
 mod bytecode;
 pub mod bytes;
+pub mod compile;
 mod error;
 pub mod interp;
 mod natives;
@@ -55,6 +57,7 @@ pub use bytecode::{
     NodePat, Op, Program, ProgramId,
 };
 pub use bytes::{Bytes, BytesMut};
+pub use compile::CompiledProgram;
 pub use error::VmError;
 pub use interp::{Env, EvalCreate, EvalCreateItem, EvalHop, EvalLink, MapEnv, NullEnv, Yield};
 pub use natives::{NativeCtx, NativeFn, NativeRegistry};

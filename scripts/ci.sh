@@ -102,6 +102,32 @@ for ev in hop retransmit checkpoint restore; do
 done
 echo "ok: chaos trace is schema-valid, complete, and reproducible"
 
+echo "== compiled execution: CLI run + ablation smoke (BENCH_0007) =="
+# The closure-compiled engine must be observationally identical to the
+# interpreter: the 256-case differential suite (crates/vm/tests/
+# diff_props.rs) and the cross-engine goldens already ran with the
+# workspace tests above. Here the CLI plumbing gets a real run
+# (--exec compiled, then the MSGR_EXEC override), the tier-1 app
+# tests and goldens re-run once entirely on the compiled engine, and
+# the compile-vs-interp ablation runs in smoke mode. Both its output
+# and the committed BENCH_0007.json are schema-validated — the
+# committed full-mode artifact must clear the >=3x hops/sec bar.
+MSGR_EXEC=compiled cargo test -q --offline -p msgr-apps
+MSGR_EXEC=compiled cargo test -q --offline --test determinism
+./target/release/msgr run examples/scripts/walker.mc \
+    --topology examples/scripts/ring.topo --daemons 4 --inject r0:2 \
+    --seed 7 --exec compiled >/dev/null
+MSGR_EXEC=compiled ./target/release/msgr run examples/scripts/walker.mc \
+    --topology examples/scripts/ring.topo --daemons 4 --inject r0:2 \
+    --seed 7 >/dev/null
+cargo build --release --offline -p msgr-bench --bin ablation_compile
+compile_dir="$(mktemp -d)"
+./target/release/ablation_compile --smoke > "$compile_dir/BENCH_0007.smoke.json"
+./target/release/ablation_compile --check "$compile_dir/BENCH_0007.smoke.json"
+./target/release/ablation_compile --check BENCH_0007.json
+rm -rf "$compile_dir"
+echo "ok: compiled engine ran end to end and BENCH_0007.json is schema-valid"
+
 if [ "$soak" = 1 ]; then
     echo "== chaos soak (--soak) =="
     cargo test -q --offline -p msgr-core --test fault_props -- --ignored

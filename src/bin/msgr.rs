@@ -21,6 +21,9 @@
 //!     --seed N             RNG seed (default 0x5EED); same seed + same
 //!                          flags ⇒ bit-identical run and trace
 //!     --trace FILE         record the flight-recorder trace as JSONL
+//!     --exec MODE          execution engine: `interp` (default) or
+//!                          `compiled` (closure-compiled superinstruction
+//!                          dispatch; identical results, faster wall clock)
 //!     --faults SPEC        inject faults (simulator only); SPEC is a
 //!                          comma list of drop=P, dup=P, reorder=P,
 //!                          kill=HOST@MS (permanent death + failover) and
@@ -48,7 +51,7 @@
 use std::process::ExitCode;
 
 use messengers::core::topology::LogicalTopology;
-use messengers::core::{ClusterConfig, SimCluster, ThreadCluster, Trace, TraceConfig};
+use messengers::core::{ClusterConfig, ExecMode, SimCluster, ThreadCluster, Trace, TraceConfig};
 use messengers::sim::{CrashEvent, FaultPlan, MILLI};
 use messengers::vm::Value;
 
@@ -323,6 +326,7 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
     let mut faults = FaultPlan::none();
     let mut seed: Option<u64> = None;
     let mut trace_out: Option<String> = None;
+    let mut exec: Option<ExecMode> = None;
 
     let mut it = opts.iter();
     while let Some(opt) = it.next() {
@@ -366,6 +370,12 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
                     seed = Some(take("a seed")?.parse().map_err(|_| "bad seed".to_string())?);
                 }
                 "--trace" => trace_out = Some(take("a file")?),
+                "--exec" => {
+                    let mode = take("`interp` or `compiled`")?;
+                    exec = Some(
+                        ExecMode::parse(&mode).ok_or_else(|| format!("bad exec mode `{mode}`"))?,
+                    );
+                }
                 other => return Err(format!("unknown option `{other}`")),
             }
             Ok(())
@@ -458,6 +468,9 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
         if let Some(s) = seed {
             cfg.seed = s;
         }
+        if let Some(m) = exec {
+            cfg.exec = m;
+        }
         if trace_out.is_some() {
             cfg.trace = TraceConfig::on();
         }
@@ -470,6 +483,9 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
         cfg.faults = faults;
         if let Some(s) = seed {
             cfg.seed = s;
+        }
+        if let Some(m) = exec {
+            cfg.exec = m;
         }
         // Kill-bearing runs get tracing for free: the recovery timeline
         // the summary prints below comes out of the flight recorders.
