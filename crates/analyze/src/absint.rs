@@ -12,7 +12,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use msgr_vm::Value;
-use msgr_vm::{Function, LinkPat, NetVar, NodePat, Op, Program};
+use msgr_vm::{Function, LinkPat, NetVar, NodePat, Op, Program, SumKind, SummaryTable};
 
 use crate::Diag;
 
@@ -46,6 +46,22 @@ pub enum Kind {
 }
 
 impl Kind {
+    /// Lift a summary return-kind into the verifier's lattice.
+    fn of_sum(k: SumKind) -> Kind {
+        match k {
+            SumKind::Top => Kind::Top,
+            SumKind::Null => Kind::Null,
+            SumKind::Bool => Kind::Bool,
+            SumKind::Int => Kind::Int,
+            SumKind::Float => Kind::Float,
+            SumKind::Str => Kind::Str,
+            SumKind::Mat => Kind::Mat,
+            SumKind::Blob => Kind::Blob,
+            SumKind::Arr => Kind::Arr,
+            SumKind::Link => Kind::Link,
+        }
+    }
+
     fn of(v: &Value) -> Kind {
         match v {
             Value::Null => Kind::Null,
@@ -69,40 +85,49 @@ impl Kind {
     }
 }
 
+/// Taint flag: the value crossed a yield (`hop`/`create`/`sched`)
+/// since it was read from its node variable.
+pub(crate) const CROSSED: u8 = 1;
+/// Taint flag: a call to a function that *writes* the same node
+/// variable happened while the value was held.
+pub(crate) const CLOBBERED: u8 = 2;
+
 /// Taint: node-variable name constants this value was derived from,
-/// with a flag set once the value survives a yield.
-type Taint = BTreeMap<u16, bool>;
+/// with [`CROSSED`]/[`CLOBBERED`] flags accumulated while it is held.
+type Taint = BTreeMap<u16, u8>;
 
 #[derive(Debug, Clone, PartialEq)]
 struct AbsVal {
     kind: Kind,
     taint: Taint,
+    /// The kind was (partly) learned from a callee's return-kind
+    /// summary — distinguishes the interprocedural hop lint (N401)
+    /// from the local one (N203).
+    via_call: bool,
 }
 
 impl AbsVal {
     fn top() -> AbsVal {
-        AbsVal { kind: Kind::Top, taint: Taint::new() }
+        AbsVal { kind: Kind::Top, taint: Taint::new(), via_call: false }
     }
 
     fn of_kind(kind: Kind) -> AbsVal {
-        AbsVal { kind, taint: Taint::new() }
+        AbsVal { kind, taint: Taint::new(), via_call: false }
     }
 
     fn join(&self, other: &AbsVal) -> AbsVal {
-        let mut taint = self.taint.clone();
-        for (&k, &crossed) in &other.taint {
-            let e = taint.entry(k).or_insert(false);
-            *e |= crossed;
+        AbsVal {
+            kind: self.kind.join(other.kind),
+            taint: union(&self.taint, &other.taint),
+            via_call: self.via_call || other.via_call,
         }
-        AbsVal { kind: self.kind.join(other.kind), taint }
     }
 }
 
 fn union(a: &Taint, b: &Taint) -> Taint {
     let mut out = a.clone();
-    for (&k, &crossed) in b {
-        let e = out.entry(k).or_insert(false);
-        *e |= crossed;
+    for (&k, &flags) in b {
+        *out.entry(k).or_insert(0) |= flags;
     }
     out
 }
@@ -130,12 +155,28 @@ impl State {
     /// A yield point: everything still held crossed it.
     fn cross_yield(&mut self) {
         for v in self.stack.iter_mut().chain(self.locals.iter_mut()) {
-            for crossed in v.taint.values_mut() {
-                *crossed = true;
+            for flags in v.taint.values_mut() {
+                *flags |= CROSSED;
+            }
+        }
+    }
+
+    /// A call to a function whose summary says it writes `writes`:
+    /// held values read from those variables are now stale.
+    fn cross_writer(&mut self, writes: &BTreeSet<u16>) {
+        for v in self.stack.iter_mut().chain(self.locals.iter_mut()) {
+            for (var, flags) in v.taint.iter_mut() {
+                if writes.contains(var) {
+                    *flags |= CLOBBERED;
+                }
             }
         }
     }
 }
+
+/// One joined hop/delete destination operand: its kind, and whether
+/// the kind was learned from a callee's return-kind summary.
+pub(crate) type HopOp = Option<(Kind, bool)>;
 
 /// Everything the dataflow learned about one function.
 pub(crate) struct Flow {
@@ -144,23 +185,34 @@ pub(crate) struct Flow {
     /// Maximum operand-stack depth on any path.
     pub max_stack: usize,
     /// Joined operand kinds `(ln, ll)` observed at each `Hop`/`Delete`.
-    pub hop_operands: BTreeMap<usize, (Option<Kind>, Option<Kind>)>,
-    /// Lint diagnostics produced during interpretation (N301).
+    pub hop_operands: BTreeMap<usize, (HopOp, HopOp)>,
+    /// Lint diagnostics produced during interpretation (N301/N302).
     pub lints: Vec<Diag>,
 }
 
 /// Abstractly interpret `f`, verifying stack discipline.
 ///
 /// `structural_check` must have passed: indices and jump targets are
-/// assumed in range here.
-pub(crate) fn interpret(p: &Program, fi: usize, f: &Function) -> Result<Flow, Vec<Diag>> {
+/// assumed in range here. With `summaries` (from
+/// [`crate::summary::summarize`]) the interpretation is
+/// *interprocedural*: call returns carry the callee's return kind, and
+/// calls to node-variable writers taint held values — enabling the
+/// N302/N401 lint family. Summaries never affect verification verdicts,
+/// only lints; [`crate::verify`] passes `None`.
+pub(crate) fn interpret(
+    p: &Program,
+    fi: usize,
+    f: &Function,
+    summaries: Option<&SummaryTable>,
+) -> Result<Flow, Vec<Diag>> {
     let yielders = may_yield(p);
     let len = f.code.len();
     let mut states: Vec<Option<State>> = vec![None; len];
     let mut reach = vec![false; len];
     let mut max_stack = 0usize;
-    let mut hop_operands: BTreeMap<usize, (Option<Kind>, Option<Kind>)> = BTreeMap::new();
+    let mut hop_operands: BTreeMap<usize, (HopOp, HopOp)> = BTreeMap::new();
     let mut stale_writes: BTreeSet<(usize, u16)> = BTreeSet::new();
+    let mut clobbered_writes: BTreeSet<(usize, u16)> = BTreeSet::new();
 
     let entry = State {
         stack: Vec::new(),
@@ -210,12 +262,19 @@ pub(crate) fn interpret(p: &Program, fi: usize, f: &Function) -> Result<Flow, Ve
                 st.locals[i as usize] = v;
             }
             Op::LoadNode(i) => {
-                st.stack.push(AbsVal { kind: Kind::Top, taint: Taint::from([(i, false)]) });
+                st.stack.push(AbsVal {
+                    kind: Kind::Top,
+                    taint: Taint::from([(i, 0)]),
+                    via_call: false,
+                });
             }
             Op::StoreNode(i) => {
                 let v = pop!();
-                if v.taint.get(&i) == Some(&true) {
+                let flags = v.taint.get(&i).copied().unwrap_or(0);
+                if flags & CROSSED != 0 {
                     stale_writes.insert((pc, i));
+                } else if flags & CLOBBERED != 0 {
+                    clobbered_writes.insert((pc, i));
                 }
             }
             Op::LoadNet(var) => {
@@ -252,7 +311,11 @@ pub(crate) fn interpret(p: &Program, fi: usize, f: &Function) -> Result<Flow, Ve
                     (Kind::Int | Kind::Float, Kind::Int | Kind::Float) => Kind::Float,
                     _ => Kind::Top,
                 };
-                st.stack.push(AbsVal { kind, taint: union(&a.taint, &b.taint) });
+                st.stack.push(AbsVal {
+                    kind,
+                    taint: union(&a.taint, &b.taint),
+                    via_call: a.via_call || b.via_call,
+                });
             }
             Op::Sub | Op::Mul | Op::Div | Op::Mod => {
                 let b = pop!();
@@ -262,7 +325,11 @@ pub(crate) fn interpret(p: &Program, fi: usize, f: &Function) -> Result<Flow, Ve
                     (Kind::Int | Kind::Float, Kind::Int | Kind::Float) => Kind::Float,
                     _ => Kind::Top,
                 };
-                st.stack.push(AbsVal { kind, taint: union(&a.taint, &b.taint) });
+                st.stack.push(AbsVal {
+                    kind,
+                    taint: union(&a.taint, &b.taint),
+                    via_call: a.via_call || b.via_call,
+                });
             }
             Op::Neg => {
                 let a = pop!();
@@ -271,16 +338,20 @@ pub(crate) fn interpret(p: &Program, fi: usize, f: &Function) -> Result<Flow, Ve
                     Kind::Float | Kind::Bool => Kind::Float,
                     _ => Kind::Top,
                 };
-                st.stack.push(AbsVal { kind, taint: a.taint });
+                st.stack.push(AbsVal { kind, taint: a.taint, via_call: a.via_call });
             }
             Op::Not => {
                 let a = pop!();
-                st.stack.push(AbsVal { kind: Kind::Bool, taint: a.taint });
+                st.stack.push(AbsVal { kind: Kind::Bool, taint: a.taint, via_call: false });
             }
             Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge => {
                 let b = pop!();
                 let a = pop!();
-                st.stack.push(AbsVal { kind: Kind::Bool, taint: union(&a.taint, &b.taint) });
+                st.stack.push(AbsVal {
+                    kind: Kind::Bool,
+                    taint: union(&a.taint, &b.taint),
+                    via_call: false,
+                });
             }
             Op::Jump(_) => {}
             Op::JumpIfFalse(_) => {
@@ -307,15 +378,29 @@ pub(crate) fn interpret(p: &Program, fi: usize, f: &Function) -> Result<Flow, Ve
                     // The callee can hop/create/sched: everything we
                     // still hold crosses a yield inside it.
                     st.cross_yield();
-                    for crossed in taint.values_mut() {
-                        *crossed = true;
+                    for flags in taint.values_mut() {
+                        *flags |= CROSSED;
                     }
                 }
                 // Return-value taint is dropped deliberately: carrying
                 // the union of argument taints would flag fresh values
                 // computed by helpers. Under-approximate instead.
                 let _ = taint;
-                st.stack.push(AbsVal::top());
+                let ret = match summaries.and_then(|t| t.funcs.get(callee as usize)) {
+                    Some(cs) => {
+                        // Held values read from a node variable the
+                        // callee may write are now stale: writing them
+                        // back clobbers the callee's update (N302).
+                        st.cross_writer(&cs.node_writes);
+                        AbsVal {
+                            kind: Kind::of_sum(cs.ret_kind),
+                            taint: Taint::new(),
+                            via_call: true,
+                        }
+                    }
+                    None => AbsVal::top(),
+                };
+                st.stack.push(ret);
             }
             Op::CallNative { argc, .. } => {
                 for _ in 0..argc {
@@ -329,8 +414,18 @@ pub(crate) fn interpret(p: &Program, fi: usize, f: &Function) -> Result<Flow, Ve
             Op::Hop(i) | Op::Delete(i) => {
                 let spec = &p.hop_specs[i as usize];
                 // Pushed ln-then-ll; popped in reverse.
-                let ll = if spec.ll == LinkPat::Expr { Some(pop!().kind) } else { None };
-                let ln = if spec.ln == NodePat::Expr { Some(pop!().kind) } else { None };
+                let ll = if spec.ll == LinkPat::Expr {
+                    let v = pop!();
+                    Some((v.kind, v.via_call))
+                } else {
+                    None
+                };
+                let ln = if spec.ln == NodePat::Expr {
+                    let v = pop!();
+                    Some((v.kind, v.via_call))
+                } else {
+                    None
+                };
                 let e = hop_operands.entry(pc).or_insert((ln, ll));
                 e.0 = joined(e.0, ln);
                 e.1 = joined(e.1, ll);
@@ -351,18 +446,22 @@ pub(crate) fn interpret(p: &Program, fi: usize, f: &Function) -> Result<Flow, Ve
             Op::MakeArr => {
                 let default = pop!();
                 let _n = pop!();
-                st.stack.push(AbsVal { kind: Kind::Arr, taint: default.taint });
+                st.stack.push(AbsVal { kind: Kind::Arr, taint: default.taint, via_call: false });
             }
             Op::IndexGet => {
                 let _idx = pop!();
                 let arr = pop!();
-                st.stack.push(AbsVal { kind: Kind::Top, taint: arr.taint });
+                st.stack.push(AbsVal { kind: Kind::Top, taint: arr.taint, via_call: false });
             }
             Op::IndexSet => {
                 let value = pop!();
                 let _idx = pop!();
                 let arr = pop!();
-                st.stack.push(AbsVal { kind: Kind::Arr, taint: union(&arr.taint, &value.taint) });
+                st.stack.push(AbsVal {
+                    kind: Kind::Arr,
+                    taint: union(&arr.taint, &value.taint),
+                    via_call: false,
+                });
             }
         }
 
@@ -407,13 +506,14 @@ pub(crate) fn interpret(p: &Program, fi: usize, f: &Function) -> Result<Flow, Ve
         }
     }
 
-    let lints = stale_writes
-        .into_iter()
-        .map(|(pc, name_idx)| {
-            let name = match &p.consts[name_idx as usize] {
-                Value::Str(s) => s.to_string(),
-                other => other.type_name().to_string(),
-            };
+    let var_name = |name_idx: u16| match &p.consts[name_idx as usize] {
+        Value::Str(s) => s.to_string(),
+        other => other.type_name().to_string(),
+    };
+    let mut lints: Vec<Diag> = stale_writes
+        .iter()
+        .map(|&(pc, name_idx)| {
+            let name = var_name(name_idx);
             Diag::warning(
                 "N301",
                 fi,
@@ -427,13 +527,33 @@ pub(crate) fn interpret(p: &Program, fi: usize, f: &Function) -> Result<Flow, Ve
             )
         })
         .collect();
+    lints.extend(
+        clobbered_writes
+            .iter()
+            // A write that is both stale and clobbered reports as N301.
+            .filter(|k| !stale_writes.contains(k))
+            .map(|&(pc, name_idx)| {
+                let name = var_name(name_idx);
+                Diag::warning(
+                    "N302",
+                    fi,
+                    f,
+                    pc,
+                    format!(
+                        "node variable `{name}` is written with a value read before a call \
+                         to a function that also writes `{name}` — the callee's update is \
+                         lost (re-read `{name}` after the call)"
+                    ),
+                )
+            }),
+    );
 
     Ok(Flow { reach, max_stack, hop_operands, lints })
 }
 
-fn joined(a: Option<Kind>, b: Option<Kind>) -> Option<Kind> {
+fn joined(a: HopOp, b: HopOp) -> HopOp {
     match (a, b) {
-        (Some(x), Some(y)) => Some(x.join(y)),
+        (Some((xk, xv)), Some((yk, yv))) => Some((xk.join(yk), xv || yv)),
         (x, None) => x,
         (None, y) => y,
     }

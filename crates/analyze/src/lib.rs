@@ -33,11 +33,15 @@ use msgr_vm::Value;
 use msgr_vm::{Function, Op, Program};
 
 mod absint;
+pub mod callgraph;
 mod cfg;
 mod lint;
+pub mod summary;
 
 pub use absint::MAX_STACK;
+pub use callgraph::CallGraph;
 pub use cfg::{block_labels, jump_target, successors};
+pub use summary::{summarize, summarize_with_graph};
 
 /// How bad a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +189,12 @@ pub fn analyze(p: &Program) -> Report {
 fn run(p: &Program, with_lints: bool) -> Report {
     let mut report = Report::default();
 
+    // Interprocedural effect summaries power the N302/N401/N402 lint
+    // family. They are lint-only here: verification verdicts must not
+    // depend on them, so `verify` skips the computation entirely.
+    let interproc = if with_lints { Some(summary::summarize_with_graph(p)) } else { None };
+    let summaries = interproc.as_ref().map(|(t, _)| t);
+
     if p.entry.0 as usize >= p.funcs.len() {
         report.diags.push(Diag {
             code: "V001",
@@ -210,7 +220,7 @@ fn run(p: &Program, with_lints: bool) -> Report {
             report.funcs.push(None);
             continue;
         }
-        match absint::interpret(p, fi, f) {
+        match absint::interpret(p, fi, f, summaries) {
             Ok(flow) => {
                 if with_lints {
                     lint::navigation(p, fi, f, &flow, &mut report.diags);
@@ -226,6 +236,11 @@ fn run(p: &Program, with_lints: bool) -> Report {
                 report.funcs.push(None);
             }
         }
+    }
+
+    if let Some((table, cg)) = &interproc {
+        // Whole-program lint: needs every function's summary at once.
+        lint::unbounded_recursion(p, table, cg, &mut report.diags);
     }
 
     if !with_lints {

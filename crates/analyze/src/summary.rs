@@ -1,0 +1,916 @@
+//! Bottom-up interprocedural effect summaries.
+//!
+//! [`summarize`] walks the call graph's SCCs in callees-first order
+//! (see [`crate::callgraph`]) and computes one [`FnSummary`] per
+//! function. Non-recursive functions get a single precise pass — their
+//! callees are already summarized. Recursive SCCs are handled
+//! conservatively: may-sets are unioned over the whole component,
+//! must-facts and bounds are dropped.
+//!
+//! The analysis is *total*: it accepts structurally damaged programs
+//! (out-of-range indices, bad jumps) and degrades to ⊤ facts rather
+//! than panicking, because `msgr check` runs it before verification has
+//! pronounced. The compiler only consumes summaries of verified
+//! programs.
+
+use std::collections::BTreeSet;
+
+use msgr_vm::{
+    FnSummary, Function, HopBehavior, LinkPat, NodePat, Op, Program, SumKind, SummaryTable, Value,
+};
+
+use crate::callgraph::CallGraph;
+use crate::cfg;
+
+/// Largest function (in ops) still eligible for an `exact_ops` fact —
+/// the compiler's call-fusion mini-interpreter is only a win on short
+/// leaf functions.
+const MAX_EXACT_OPS: usize = 64;
+
+/// Largest `while` region (cond + body, in ops) eligible for a
+/// typed-loop license.
+const MAX_PURE_LOOP_OPS: usize = 256;
+
+/// Compute effect summaries for every function in `p`.
+pub fn summarize(p: &Program) -> SummaryTable {
+    summarize_with_graph(p).0
+}
+
+/// Like [`summarize`], but also returns the call graph it was computed
+/// over (the unbounded-recursion lint wants both).
+pub fn summarize_with_graph(p: &Program) -> (SummaryTable, CallGraph) {
+    let cg = CallGraph::build(p);
+    let mut funcs: Vec<FnSummary> = vec![FnSummary::default(); p.funcs.len()];
+
+    for scc in &cg.sccs {
+        let recursive = scc.len() > 1 || cg.recursive[scc[0] as usize];
+        if recursive {
+            summarize_recursive_scc(p, &cg, scc, &mut funcs);
+        } else {
+            let i = scc[0] as usize;
+            funcs[i] = summarize_one(p, &cg, i, &funcs);
+        }
+    }
+    (SummaryTable { funcs }, cg)
+}
+
+/// Direct (intra-function) effects of `f`, before callee propagation.
+fn direct_effects(f: &Function, s: &mut FnSummary) {
+    for op in &f.code {
+        match *op {
+            Op::Create(_) => s.may_create = true,
+            Op::SchedAbs | Op::SchedDlt => s.may_sched = true,
+            Op::Halt => s.may_halt = true,
+            Op::CallNative { .. } => s.may_native = true,
+            Op::LoadNode(i) => {
+                s.node_reads.insert(i);
+            }
+            Op::StoreNode(i) => {
+                s.node_writes.insert(i);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Fold a callee's summary into the caller's may-facts.
+fn absorb_callee(s: &mut FnSummary, callee: &FnSummary) {
+    s.may_create |= callee.may_create;
+    s.may_sched |= callee.may_sched;
+    s.may_halt |= callee.may_halt;
+    s.may_native |= callee.may_native;
+    s.node_reads.extend(callee.node_reads.iter().copied());
+    s.node_writes.extend(callee.node_writes.iter().copied());
+}
+
+/// One precise pass over a non-recursive function whose callees are
+/// all summarized already.
+fn summarize_one(p: &Program, cg: &CallGraph, i: usize, done: &[FnSummary]) -> FnSummary {
+    let f = &p.funcs[i];
+    let mut s = FnSummary { calls: cg.callees[i].clone(), ..FnSummary::default() };
+    direct_effects(f, &mut s);
+    for &c in &cg.callees[i] {
+        absorb_callee(&mut s, &done[c as usize]);
+    }
+    s.hop = hop_level(p, f, |c| done[c as usize].hop);
+    s.node_must_writes = must_writes(p, f, |c| done[c as usize].node_must_writes.clone());
+    s.ops_bound = ops_bound(p, f, |c| done[c as usize].ops_bound);
+    s.exact_ops = exact_ops(p, f);
+    s.pure_loops = pure_loops(p, f);
+    s.ret_kind = ret_kind(p, f, |c| done[c as usize].ret_kind);
+    s
+}
+
+/// Conservative fixpoint over one recursive SCC: may-facts are unioned
+/// across every member (each member can reach every other), must-facts
+/// and bounds are dropped, and hop behavior collapses to either
+/// hop-free (nothing in or below the component navigates) or
+/// may-navigate — at-most-once cannot survive a cycle.
+fn summarize_recursive_scc(p: &Program, cg: &CallGraph, scc: &[u16], funcs: &mut [FnSummary]) {
+    let members: BTreeSet<u16> = scc.iter().copied().collect();
+    let mut joint = FnSummary::default();
+    let mut navigates = false;
+    for &m in scc {
+        let f = &p.funcs[m as usize];
+        direct_effects(f, &mut joint);
+        navigates |= f.code.iter().any(|op| matches!(op, Op::Hop(_) | Op::Delete(_)));
+        for &c in &cg.callees[m as usize] {
+            if !members.contains(&c) {
+                // External callee: already final (Tarjan order).
+                absorb_callee(&mut joint, &funcs[c as usize]);
+                navigates |= funcs[c as usize].hop != HopBehavior::HopFree;
+            }
+        }
+    }
+    joint.hop = if navigates { HopBehavior::MayNavigate } else { HopBehavior::HopFree };
+    joint.recursive = true;
+    joint.ret_kind = SumKind::Top;
+    for &m in scc {
+        let mut s = joint.clone();
+        s.calls = cg.callees[m as usize].clone();
+        // Typed-loop licenses are structural and call-free, so they
+        // survive recursion; everything must-/bound-shaped does not.
+        s.pure_loops = pure_loops(p, &p.funcs[m as usize]);
+        funcs[m as usize] = s;
+    }
+}
+
+// --- hop-count dataflow ---------------------------------------------------
+
+/// Forward dataflow on the three-point chain `0 < 1 < ω`: how many
+/// times a path reaching each pc may already have navigated. The
+/// function's behavior is the max over every reachable program point.
+fn hop_level(p: &Program, f: &Function, callee: impl Fn(u16) -> HopBehavior) -> HopBehavior {
+    const OMEGA: u8 = 2;
+    let len = f.code.len();
+    if len == 0 {
+        return HopBehavior::HopFree;
+    }
+    let cost = |op: &Op| -> u8 {
+        match *op {
+            Op::Hop(_) | Op::Delete(_) => 1,
+            Op::Call { f: c, .. } if (c as usize) < p.funcs.len() => match callee(c) {
+                HopBehavior::HopFree => 0,
+                HopBehavior::AtMostOnce => 1,
+                HopBehavior::MayNavigate => OMEGA,
+            },
+            _ => 0,
+        }
+    };
+    let mut level: Vec<Option<u8>> = vec![None; len];
+    level[0] = Some(0);
+    let mut work = vec![0usize];
+    let mut max = 0u8;
+    while let Some(pc) = work.pop() {
+        let here = level[pc].expect("worklist pc has level");
+        let out = (here + cost(&f.code[pc])).min(OMEGA);
+        max = max.max(out);
+        for succ in safe_successors(&f.code, pc) {
+            if succ >= len {
+                continue;
+            }
+            if level[succ].is_none_or(|l| l < out) {
+                level[succ] = Some(level[succ].unwrap_or(0).max(out));
+                work.push(succ);
+            }
+        }
+    }
+    match max {
+        0 => HopBehavior::HopFree,
+        1 => HopBehavior::AtMostOnce,
+        _ => HopBehavior::MayNavigate,
+    }
+}
+
+// --- must-write dataflow --------------------------------------------------
+
+/// Forward must-analysis: node variables written on *every* path from
+/// entry to each pc, intersected over all exits (`Ret`, `Halt`, fall
+/// off the end). No reachable exit ⇒ the conservative ∅.
+fn must_writes(p: &Program, f: &Function, callee: impl Fn(u16) -> BTreeSet<u16>) -> BTreeSet<u16> {
+    let len = f.code.len();
+    if len == 0 {
+        return BTreeSet::new();
+    }
+    let mut states: Vec<Option<BTreeSet<u16>>> = vec![None; len];
+    states[0] = Some(BTreeSet::new());
+    let mut work = vec![0usize];
+    let mut at_exit: Option<BTreeSet<u16>> = None;
+    let join_exit = |set: &BTreeSet<u16>, at_exit: &mut Option<BTreeSet<u16>>| match at_exit {
+        None => *at_exit = Some(set.clone()),
+        Some(prev) => *prev = prev.intersection(set).copied().collect(),
+    };
+    while let Some(pc) = work.pop() {
+        let mut set = states[pc].clone().expect("worklist pc has state");
+        match f.code[pc] {
+            Op::StoreNode(i) => {
+                set.insert(i);
+            }
+            Op::Call { f: c, .. } if (c as usize) < p.funcs.len() => {
+                set.extend(callee(c));
+            }
+            Op::Ret | Op::Halt => {
+                join_exit(&set, &mut at_exit);
+            }
+            _ => {}
+        }
+        for succ in safe_successors(&f.code, pc) {
+            if succ >= len {
+                join_exit(&set, &mut at_exit); // fall off the end
+                continue;
+            }
+            let merged = match &states[succ] {
+                None => set.clone(),
+                Some(prev) => prev.intersection(&set).copied().collect(),
+            };
+            if states[succ].as_ref() != Some(&merged) {
+                states[succ] = Some(merged);
+                work.push(succ);
+            }
+        }
+    }
+    at_exit.unwrap_or_default()
+}
+
+// --- ops bound ------------------------------------------------------------
+
+/// Upper bound on ops charged by one complete call: the longest path
+/// through an acyclic CFG, with `Call` costing `1 + callee bound`.
+/// `None` on any cycle or unbounded callee.
+fn ops_bound(p: &Program, f: &Function, callee: impl Fn(u16) -> Option<u64>) -> Option<u64> {
+    let len = f.code.len();
+    if len == 0 {
+        return Some(0);
+    }
+    // Reachable subgraph from pc 0.
+    let mut reach = vec![false; len];
+    let mut stack = vec![0usize];
+    reach[0] = true;
+    while let Some(pc) = stack.pop() {
+        for succ in safe_successors(&f.code, pc) {
+            if succ < len && !reach[succ] {
+                reach[succ] = true;
+                stack.push(succ);
+            }
+        }
+    }
+    // Kahn topological sort over the reachable subgraph; incomplete ⇒
+    // cycle ⇒ unbounded.
+    let mut indeg = vec![0usize; len];
+    for pc in 0..len {
+        if !reach[pc] {
+            continue;
+        }
+        for succ in safe_successors(&f.code, pc) {
+            if succ < len && reach[succ] {
+                indeg[succ] += 1;
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(len);
+    let mut ready: Vec<usize> = (0..len).filter(|&pc| reach[pc] && indeg[pc] == 0).collect();
+    while let Some(pc) = ready.pop() {
+        order.push(pc);
+        for succ in safe_successors(&f.code, pc) {
+            if succ < len && reach[succ] {
+                indeg[succ] -= 1;
+                if indeg[succ] == 0 {
+                    ready.push(succ);
+                }
+            }
+        }
+    }
+    if order.len() != reach.iter().filter(|&&r| r).count() {
+        return None; // cycle
+    }
+    // Longest path, in reverse topological order.
+    let mut best = vec![0u64; len + 1];
+    for &pc in order.iter().rev() {
+        let cost = match f.code[pc] {
+            Op::Call { f: c, .. } if (c as usize) < p.funcs.len() => {
+                1u64.checked_add(callee(c)?)?
+            }
+            _ => 1,
+        };
+        let succs = safe_successors(&f.code, pc);
+        let tail = succs.iter().map(|&s| if s >= len { 0 } else { best[s] }).max().unwrap_or(0);
+        best[pc] = cost.checked_add(tail)?;
+    }
+    Some(best[0])
+}
+
+// --- exact ops ------------------------------------------------------------
+
+/// Whether `op` may appear in a straight-line pure function the
+/// compiler can fuse through a call: no control flow, no effects, no
+/// out-of-range indices. Faulting ops (`Div`, `IndexGet`, …) are fine —
+/// the fused path bails to a real call on any fault.
+fn straight_line_pure(p: &Program, f: &Function, op: &Op) -> bool {
+    match *op {
+        Op::Const(i) => (i as usize) < p.consts.len(),
+        Op::LoadLocal(i) | Op::StoreLocal(i) => i < f.n_slots,
+        Op::Dup
+        | Op::Pop
+        | Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Mod
+        | Op::Neg
+        | Op::Not
+        | Op::Eq
+        | Op::Ne
+        | Op::Lt
+        | Op::Le
+        | Op::Gt
+        | Op::Ge
+        | Op::MakeArr
+        | Op::IndexGet
+        | Op::IndexSet
+        | Op::Ret => true,
+        _ => false,
+    }
+}
+
+/// Exact ops charged by one complete fault-free call, for straight-line
+/// pure functions: execution walks pc 0, 1, 2, … to the first `Ret`
+/// (each charging one op), or falls off the end (which charges
+/// nothing extra).
+fn exact_ops(p: &Program, f: &Function) -> Option<u32> {
+    if f.code.len() > MAX_EXACT_OPS {
+        return None;
+    }
+    if !f.code.iter().all(|op| straight_line_pure(p, f, op)) {
+        return None;
+    }
+    let ops = match f.code.iter().position(|op| matches!(op, Op::Ret)) {
+        Some(ret_pc) => ret_pc + 1,
+        None => f.code.len(),
+    };
+    Some(ops as u32)
+}
+
+// --- typed-loop licenses --------------------------------------------------
+
+/// Ops allowed in a typed-loop condition: value-producing, total over
+/// {Int, Float, Bool}, and store-free.
+fn typed_cond_op(p: &Program, f: &Function, op: &Op) -> bool {
+    match *op {
+        Op::Const(i) => matches!(
+            p.consts.get(i as usize),
+            Some(Value::Int(_) | Value::Float(_) | Value::Bool(_))
+        ),
+        Op::LoadLocal(i) => i < f.n_slots,
+        Op::Dup
+        | Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Neg
+        | Op::Not
+        | Op::Eq
+        | Op::Ne
+        | Op::Lt
+        | Op::Le
+        | Op::Gt
+        | Op::Ge => true,
+        _ => false,
+    }
+}
+
+/// Ops allowed in a typed-loop body: the condition set plus stores and
+/// stack cleanup. Still no `Div`/`Mod` (they fault), no calls, no
+/// node/net access, no jumps.
+fn typed_body_op(p: &Program, f: &Function, op: &Op) -> bool {
+    match *op {
+        Op::StoreLocal(i) => i < f.n_slots,
+        Op::Pop => true,
+        _ => typed_cond_op(p, f, op),
+    }
+}
+
+/// Stack-depth delta of a typed-loop op; `None` if depth would go
+/// negative from `from`.
+fn depth_after(op: &Op, from: isize) -> Option<isize> {
+    let (pops, pushes) = match *op {
+        Op::Const(_) | Op::LoadLocal(_) | Op::Dup => (0, 1),
+        Op::StoreLocal(_) | Op::Pop => (1, 0),
+        Op::Neg | Op::Not => (1, 1),
+        Op::Add | Op::Sub | Op::Mul | Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge => (2, 1),
+        _ => return None,
+    };
+    // Dup peeks rather than pops; require one value present.
+    let need = if matches!(op, Op::Dup) { 1 } else { pops };
+    if from < need {
+        return None;
+    }
+    Some(from - pops + pushes)
+}
+
+/// Find `while`-shaped regions whose every op is total over unboxed
+/// {Int, Float, Bool} values: cond ops, `JumpIfFalse` over the body to
+/// the exit, body ops, `Jump` back to the head. These heads license
+/// the compiler's typed register fast path, which runs without
+/// per-iteration deopt checks.
+fn pure_loops(p: &Program, f: &Function) -> BTreeSet<u32> {
+    let len = f.code.len();
+    let mut out = BTreeSet::new();
+    'head: for h in 0..len {
+        // Condition section: typed ops up to the first JumpIfFalse.
+        let mut depth: isize = 0;
+        let mut c = h;
+        loop {
+            if c >= len || c - h > MAX_PURE_LOOP_OPS {
+                continue 'head;
+            }
+            if matches!(f.code[c], Op::JumpIfFalse(_)) {
+                break;
+            }
+            if !typed_cond_op(p, f, &f.code[c]) {
+                continue 'head;
+            }
+            depth = match depth_after(&f.code[c], depth) {
+                Some(d) => d,
+                None => continue 'head,
+            };
+            c += 1;
+        }
+        // The condition must leave exactly the one value the jump pops.
+        if depth != 1 {
+            continue;
+        }
+        let Some(exit) = cfg::jump_target(c, &f.code[c]) else { continue };
+        if exit <= c as isize + 1 || exit > len as isize {
+            continue; // not a forward exit
+        }
+        let exit = exit as usize;
+        let back = exit - 1; // last op of the body: the back-jump
+        if back <= c || exit - h > MAX_PURE_LOOP_OPS {
+            continue;
+        }
+        if cfg::jump_target(back, &f.code[back]) != Some(h as isize)
+            || !matches!(f.code[back], Op::Jump(_))
+        {
+            continue;
+        }
+        // Body section: typed ops, net stack effect zero.
+        let mut depth: isize = 0;
+        let mut ok = true;
+        for pc in c + 1..back {
+            if !typed_body_op(p, f, &f.code[pc]) {
+                ok = false;
+                break;
+            }
+            match depth_after(&f.code[pc], depth) {
+                Some(d) => depth = d,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && depth == 0 {
+            out.insert(h as u32);
+        }
+    }
+    out
+}
+
+// --- return-kind interpretation ------------------------------------------
+
+fn skind_of(v: &Value) -> SumKind {
+    match v {
+        Value::Null => SumKind::Null,
+        Value::Bool(_) => SumKind::Bool,
+        Value::Int(_) => SumKind::Int,
+        Value::Float(_) => SumKind::Float,
+        Value::Str(_) => SumKind::Str,
+        Value::Mat(_) => SumKind::Mat,
+        Value::Blob(_) => SumKind::Blob,
+        Value::Arr(_) => SumKind::Arr,
+        Value::Link(_) => SumKind::Link,
+    }
+}
+
+/// Kind-only abstract interpretation to a fixpoint: the join of the
+/// returned value's kind over every returning path (`Halt` terminates
+/// the messenger and is not a return; falling off the end returns
+/// `NULL`). Defensive: any structural anomaly degrades to ⊤.
+fn ret_kind(p: &Program, f: &Function, callee: impl Fn(u16) -> SumKind) -> SumKind {
+    #[derive(Clone, PartialEq)]
+    struct St {
+        stack: Vec<SumKind>,
+        locals: Vec<SumKind>,
+    }
+    let len = f.code.len();
+    if len == 0 {
+        return SumKind::Null;
+    }
+    let mut states: Vec<Option<St>> = vec![None; len];
+    states[0] = Some(St { stack: Vec::new(), locals: vec![SumKind::Top; f.n_slots as usize] });
+    let mut work = vec![0usize];
+    let mut ret: Option<SumKind> = None;
+    let join_ret = |k: SumKind, ret: &mut Option<SumKind>| {
+        *ret = Some(match *ret {
+            None => k,
+            Some(prev) => prev.join(k),
+        });
+    };
+    while let Some(pc) = work.pop() {
+        let mut st = states[pc].clone().expect("worklist pc has state");
+        macro_rules! pop {
+            () => {
+                match st.stack.pop() {
+                    Some(k) => k,
+                    None => return SumKind::Top,
+                }
+            };
+        }
+        match f.code[pc] {
+            Op::Const(i) => match p.consts.get(i as usize) {
+                Some(v) => st.stack.push(skind_of(v)),
+                None => return SumKind::Top,
+            },
+            Op::LoadLocal(i) => match st.locals.get(i as usize) {
+                Some(&k) => st.stack.push(k),
+                None => return SumKind::Top,
+            },
+            Op::StoreLocal(i) => {
+                let k = pop!();
+                match st.locals.get_mut(i as usize) {
+                    Some(slot) => *slot = k,
+                    None => return SumKind::Top,
+                }
+            }
+            Op::LoadNode(_) | Op::LoadNet(_) => st.stack.push(SumKind::Top),
+            Op::StoreNode(_) => {
+                pop!();
+            }
+            Op::Dup => match st.stack.last() {
+                Some(&k) => st.stack.push(k),
+                None => return SumKind::Top,
+            },
+            Op::Pop => {
+                pop!();
+            }
+            Op::Add => {
+                let b = pop!();
+                let a = pop!();
+                st.stack.push(match (a, b) {
+                    (SumKind::Str, _) | (_, SumKind::Str) => SumKind::Str,
+                    (SumKind::Int, SumKind::Int) => SumKind::Int,
+                    (SumKind::Int | SumKind::Float, SumKind::Int | SumKind::Float) => {
+                        SumKind::Float
+                    }
+                    _ => SumKind::Top,
+                });
+            }
+            Op::Sub | Op::Mul | Op::Div | Op::Mod => {
+                let b = pop!();
+                let a = pop!();
+                st.stack.push(match (a, b) {
+                    (SumKind::Int, SumKind::Int) => SumKind::Int,
+                    (SumKind::Int | SumKind::Float, SumKind::Int | SumKind::Float) => {
+                        SumKind::Float
+                    }
+                    _ => SumKind::Top,
+                });
+            }
+            Op::Neg => {
+                let a = pop!();
+                st.stack.push(match a {
+                    SumKind::Int => SumKind::Int,
+                    SumKind::Float | SumKind::Bool => SumKind::Float,
+                    _ => SumKind::Top,
+                });
+            }
+            Op::Not => {
+                pop!();
+                st.stack.push(SumKind::Bool);
+            }
+            Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+                pop!();
+                pop!();
+                st.stack.push(SumKind::Bool);
+            }
+            Op::Jump(_) => {}
+            Op::JumpIfFalse(_) => {
+                pop!();
+            }
+            Op::JumpIfTruePeek(_) | Op::JumpIfFalsePeek(_) => {
+                if st.stack.is_empty() {
+                    return SumKind::Top;
+                }
+            }
+            Op::Call { f: c, argc } => {
+                for _ in 0..argc {
+                    pop!();
+                }
+                let k = if (c as usize) < p.funcs.len() { callee(c) } else { SumKind::Top };
+                st.stack.push(k);
+            }
+            Op::CallNative { argc, .. } => {
+                for _ in 0..argc {
+                    pop!();
+                }
+                st.stack.push(SumKind::Top);
+            }
+            Op::Ret => {
+                let k = pop!();
+                join_ret(k, &mut ret);
+            }
+            Op::Hop(i) | Op::Delete(i) => match p.hop_specs.get(i as usize) {
+                Some(spec) => {
+                    if spec.ll == LinkPat::Expr {
+                        pop!();
+                    }
+                    if spec.ln == NodePat::Expr {
+                        pop!();
+                    }
+                }
+                None => return SumKind::Top,
+            },
+            Op::Create(i) => match p.create_specs.get(i as usize) {
+                Some(spec) => {
+                    for _ in 0..spec.operand_count() {
+                        pop!();
+                    }
+                }
+                None => return SumKind::Top,
+            },
+            Op::SchedAbs | Op::SchedDlt => {
+                pop!();
+            }
+            Op::Halt => {}
+            Op::MakeArr => {
+                pop!();
+                pop!();
+                st.stack.push(SumKind::Arr);
+            }
+            Op::IndexGet => {
+                pop!();
+                pop!();
+                st.stack.push(SumKind::Top);
+            }
+            Op::IndexSet => {
+                pop!();
+                pop!();
+                pop!();
+                st.stack.push(SumKind::Arr);
+            }
+        }
+        for succ in safe_successors(&f.code, pc) {
+            if succ >= len {
+                join_ret(SumKind::Null, &mut ret); // implicit return NULL
+                continue;
+            }
+            let merged = match &states[succ] {
+                None => st.clone(),
+                Some(prev) => {
+                    if prev.stack.len() != st.stack.len() {
+                        return SumKind::Top;
+                    }
+                    St {
+                        stack: prev.stack.iter().zip(&st.stack).map(|(&a, &b)| a.join(b)).collect(),
+                        locals: prev
+                            .locals
+                            .iter()
+                            .zip(&st.locals)
+                            .map(|(&a, &b)| a.join(b))
+                            .collect(),
+                    }
+                }
+            };
+            if states[succ].as_ref() != Some(&merged) {
+                states[succ] = Some(merged);
+                work.push(succ);
+            }
+        }
+    }
+    ret.unwrap_or(SumKind::Top)
+}
+
+/// [`cfg::successors`] with out-of-range jump targets dropped instead
+/// of trusted — the summarizer runs on unverified programs too.
+fn safe_successors(code: &[Op], pc: usize) -> Vec<usize> {
+    let len = code.len() as isize;
+    match &code[pc] {
+        Op::Ret | Op::Halt => Vec::new(),
+        op
+        @ (Op::Jump(_) | Op::JumpIfFalse(_) | Op::JumpIfTruePeek(_) | Op::JumpIfFalsePeek(_)) => {
+            let t = cfg::jump_target(pc, op).expect("jump has target");
+            let mut out = Vec::new();
+            if !matches!(op, Op::Jump(_)) {
+                out.push(pc + 1);
+            }
+            if t >= 0 && t <= len && t as usize != pc + 1 {
+                out.push(t as usize);
+            } else if matches!(op, Op::Jump(_)) && (t < 0 || t > len) {
+                // Unverifiable jump: treat as a dead end.
+            }
+            out
+        }
+        _ => vec![pc + 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msgr_vm::{Builder, HopSpec};
+
+    fn call(f: u16) -> Op {
+        Op::Call { f, argc: 0 }
+    }
+
+    #[test]
+    fn straight_line_leaf_gets_exact_ops_and_ret_kind() {
+        let mut b = Builder::new();
+        let two = b.constant(Value::Int(2));
+        let three = b.constant(Value::Int(3));
+        b.function("add", 0, 0, vec![Op::Const(two), Op::Const(three), Op::Add, Op::Ret]);
+        let p = b.finish(msgr_vm::FuncId(0));
+        let t = summarize(&p);
+        let s = &t.funcs[0];
+        assert_eq!(s.exact_ops, Some(4));
+        assert_eq!(s.ops_bound, Some(4));
+        assert_eq!(s.ret_kind, SumKind::Int);
+        assert_eq!(s.hop, HopBehavior::HopFree);
+        assert!(s.is_pure());
+        assert!(!s.recursive);
+    }
+
+    #[test]
+    fn fall_off_the_end_returns_null_and_charges_all_ops() {
+        let mut b = Builder::new();
+        let one = b.constant(Value::Int(1));
+        b.function("f", 0, 0, vec![Op::Const(one), Op::Pop]);
+        let p = b.finish(msgr_vm::FuncId(0));
+        let s = &summarize(&p).funcs[0];
+        assert_eq!(s.exact_ops, Some(2));
+        assert_eq!(s.ret_kind, SumKind::Null);
+    }
+
+    #[test]
+    fn hop_counts_saturate_through_calls() {
+        let mut b = Builder::new();
+        let spec = b.hop_spec(HopSpec::default());
+        // hopper: hops exactly once.
+        b.function("hopper", 0, 0, vec![Op::Hop(spec), Op::Ret]);
+        // Wait: Hop leaves nothing; Ret needs a value. Use fall-off.
+        let p = b.finish(msgr_vm::FuncId(0));
+        let _ = p;
+        let mut b = Builder::new();
+        let spec = b.hop_spec(HopSpec::default());
+        b.function("hopper", 0, 0, vec![Op::Hop(spec)]);
+        b.function("twice", 0, 0, vec![call(0), Op::Pop, call(0), Op::Pop]);
+        b.function("once", 0, 0, vec![call(0), Op::Pop]);
+        let p = b.finish(msgr_vm::FuncId(1));
+        let t = summarize(&p);
+        assert_eq!(t.funcs[0].hop, HopBehavior::AtMostOnce);
+        assert_eq!(t.funcs[1].hop, HopBehavior::MayNavigate);
+        assert_eq!(t.funcs[2].hop, HopBehavior::AtMostOnce);
+    }
+
+    #[test]
+    fn hop_in_a_loop_is_may_navigate() {
+        let mut b = Builder::new();
+        let spec = b.hop_spec(HopSpec::default());
+        // 0: Hop, 1: Jump back to 0.
+        b.function("wander", 0, 0, vec![Op::Hop(spec), Op::Jump(-2)]);
+        let p = b.finish(msgr_vm::FuncId(0));
+        let s = &summarize(&p).funcs[0];
+        assert_eq!(s.hop, HopBehavior::MayNavigate);
+        assert_eq!(s.ops_bound, None);
+    }
+
+    #[test]
+    fn must_writes_intersect_over_branches() {
+        let mut b = Builder::new();
+        let t = b.constant(Value::Bool(true));
+        let va = b.constant(Value::str("a"));
+        let vb = b.constant(Value::str("b"));
+        let one = b.constant(Value::Int(1));
+        // if (cond) { a = 1 } ; b = 1 ; return 1
+        b.function(
+            "f",
+            0,
+            0,
+            vec![
+                Op::Const(t),
+                Op::JumpIfFalse(2), // -> pc 4
+                Op::Const(one),
+                Op::StoreNode(va), // only on the taken branch
+                Op::Const(one),
+                Op::StoreNode(vb), // on every path
+                Op::Const(one),
+                Op::Ret,
+            ],
+        );
+        let p = b.finish(msgr_vm::FuncId(0));
+        let s = &summarize(&p).funcs[0];
+        assert_eq!(s.node_writes, BTreeSet::from([va, vb]));
+        assert_eq!(s.node_must_writes, BTreeSet::from([vb]));
+    }
+
+    #[test]
+    fn callee_effects_propagate_to_callers() {
+        let mut b = Builder::new();
+        let v = b.constant(Value::str("x"));
+        let one = b.constant(Value::Int(1));
+        b.function("writer", 0, 0, vec![Op::Const(one), Op::StoreNode(v), Op::Const(one), Op::Ret]);
+        b.function("caller", 0, 0, vec![call(0), Op::Ret]);
+        let p = b.finish(msgr_vm::FuncId(1));
+        let t = summarize(&p);
+        assert_eq!(t.funcs[1].node_writes, BTreeSet::from([v]));
+        assert_eq!(t.funcs[1].node_must_writes, BTreeSet::from([v]));
+        assert_eq!(t.funcs[1].ret_kind, SumKind::Int);
+        assert_eq!(t.funcs[1].ops_bound, Some(2 + 4));
+        assert!(!t.node_write_free());
+    }
+
+    #[test]
+    fn recursion_is_flagged_and_bounds_dropped() {
+        let mut b = Builder::new();
+        b.function("even", 0, 0, vec![call(1), Op::Ret]);
+        b.function("odd", 0, 0, vec![call(0), Op::Ret]);
+        let p = b.finish(msgr_vm::FuncId(0));
+        let t = summarize(&p);
+        for s in &t.funcs {
+            assert!(s.recursive);
+            assert_eq!(s.ops_bound, None);
+            assert_eq!(s.exact_ops, None);
+            assert_eq!(s.ret_kind, SumKind::Top);
+            assert_eq!(s.hop, HopBehavior::HopFree);
+        }
+    }
+
+    #[test]
+    fn counted_while_loop_is_licensed() {
+        let mut b = Builder::new();
+        let hundred = b.constant(Value::Int(100));
+        let one = b.constant(Value::Int(1));
+        // i (slot 0): while (i < 100) { i = i + 1 } return i
+        b.function(
+            "count",
+            0,
+            1,
+            vec![
+                Op::LoadLocal(0),   // 0  cond
+                Op::Const(hundred), // 1
+                Op::Lt,             // 2
+                Op::JumpIfFalse(5), // 3  -> pc 9
+                Op::LoadLocal(0),   // 4  body
+                Op::Const(one),     // 5
+                Op::Add,            // 6
+                Op::StoreLocal(0),  // 7
+                Op::Jump(-9),       // 8  -> pc 0
+                Op::LoadLocal(0),   // 9
+                Op::Ret,            // 10
+            ],
+        );
+        let p = b.finish(msgr_vm::FuncId(0));
+        let s = &summarize(&p).funcs[0];
+        assert_eq!(s.pure_loops, BTreeSet::from([0]));
+        assert_eq!(s.ops_bound, None); // loop: unbounded ops
+        assert!(s.is_pure());
+    }
+
+    #[test]
+    fn div_in_loop_body_blocks_the_license() {
+        let mut b = Builder::new();
+        let hundred = b.constant(Value::Int(100));
+        let one = b.constant(Value::Int(1));
+        b.function(
+            "count",
+            0,
+            1,
+            vec![
+                Op::LoadLocal(0),
+                Op::Const(hundred),
+                Op::Lt,
+                Op::JumpIfFalse(5),
+                Op::LoadLocal(0),
+                Op::Const(one),
+                Op::Div, // faults on zero: no typed license
+                Op::StoreLocal(0),
+                Op::Jump(-9),
+                Op::LoadLocal(0),
+                Op::Ret,
+            ],
+        );
+        let p = b.finish(msgr_vm::FuncId(0));
+        assert!(summarize(&p).funcs[0].pure_loops.is_empty());
+    }
+
+    #[test]
+    fn native_calls_poison_write_freedom() {
+        let mut b = Builder::new();
+        let name = b.constant(Value::str("M_rand"));
+        b.function("f", 0, 0, vec![Op::CallNative { name, argc: 0 }, Op::Ret]);
+        let p = b.finish(msgr_vm::FuncId(0));
+        let t = summarize(&p);
+        assert!(t.funcs[0].may_native);
+        assert!(!t.node_write_free());
+        assert_eq!(t.funcs[0].exact_ops, None);
+    }
+}

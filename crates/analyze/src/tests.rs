@@ -367,6 +367,113 @@ fn n301_fires_when_a_called_function_hops() {
     assert_eq!(report.warnings().map(|d| d.code).collect::<Vec<_>>(), ["N301"]);
 }
 
+#[test]
+fn n302_lost_update_across_writing_call() {
+    let p = msgr_lang::compile(
+        r#"main() {
+            node int acc;
+            int c;
+            c = acc;
+            bump();
+            acc = c + 1;
+        }
+        bump() { node int acc; acc = acc + 1; return 0; }"#,
+    )
+    .unwrap();
+    let report = analyze(&p);
+    let warns: Vec<_> = report.warnings().collect();
+    assert_eq!(warns.iter().map(|d| d.code).collect::<Vec<_>>(), ["N302"]);
+    assert!(warns[0].message.contains("acc"), "{}", warns[0].message);
+}
+
+#[test]
+fn n302_not_fired_when_callee_writes_other_var() {
+    let codes = lint_codes(
+        r#"main() {
+            node int acc;
+            int c;
+            c = acc;
+            bump();
+            acc = c + 1;
+        }
+        bump() { node int other; other = other + 1; return 0; }"#,
+    );
+    assert_eq!(codes, Vec::<&str>::new());
+}
+
+#[test]
+fn n303_dead_node_variable_write() {
+    let codes = lint_codes(
+        r#"main() {
+            node int x;
+            x = 1;
+            x = 2;
+        }"#,
+    );
+    assert_eq!(codes, ["N303"]);
+}
+
+#[test]
+fn n303_not_fired_when_a_call_intervenes() {
+    // The callee could read `x`: the first write is observable.
+    let codes = lint_codes(
+        r#"main() {
+            node int x;
+            x = 1;
+            peek();
+            x = 2;
+        }
+        peek() { node int x; return x; }"#,
+    );
+    assert_eq!(codes, Vec::<&str>::new());
+}
+
+#[test]
+fn n401_hop_destination_from_callee_return() {
+    let p = msgr_lang::compile(
+        r#"main() { hop(ln = pick()); }
+        pick() { return true; }"#,
+    )
+    .unwrap();
+    let report = analyze(&p);
+    let warns: Vec<_> = report.warnings().collect();
+    assert_eq!(warns.iter().map(|d| d.code).collect::<Vec<_>>(), ["N401"]);
+    assert!(warns[0].message.contains("returned by a called function"), "{}", warns[0].message);
+}
+
+#[test]
+fn n401_not_fired_for_string_returning_callee() {
+    assert_eq!(
+        lint_codes(
+            r#"main() { hop(ln = pick()); }
+            pick() { return "alpha"; }"#,
+        ),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn n402_guaranteed_unbounded_recursion() {
+    let p = msgr_lang::compile(
+        r#"main() { spin(); }
+        spin() { spin(); return 0; }"#,
+    )
+    .unwrap();
+    let report = analyze(&p);
+    let warns: Vec<_> = report.warnings().collect();
+    assert_eq!(warns.iter().map(|d| d.code).collect::<Vec<_>>(), ["N402"]);
+    assert_eq!(warns[0].func_name, "spin");
+}
+
+#[test]
+fn n402_not_fired_for_base_case_recursion() {
+    let codes = lint_codes(
+        r#"main() { return countdown(3); }
+        countdown(n) { if (n < 1) return 0; return countdown(n - 1); }"#,
+    );
+    assert_eq!(codes, Vec::<&str>::new());
+}
+
 // ---- diagnostics rendering --------------------------------------------
 
 #[test]

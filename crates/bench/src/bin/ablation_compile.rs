@@ -1,7 +1,10 @@
 //! Ablation: closure-compiled execution vs the interpreter
-//! (BENCH_0007). Emits JSON on stdout; `--smoke` runs a scaled-down
-//! version for CI, `--check <path>` schema-validates an existing file
-//! instead of running anything.
+//! (BENCH_0007), and summary-guided compilation vs plain compilation
+//! (BENCH_0008, via `--summaries`). Emits JSON on stdout; `--smoke`
+//! runs a scaled-down version for CI, `--check <path>`
+//! schema-validates an existing file instead of running anything —
+//! dispatching on the `"bench"` tag inside the file, so one entry
+//! point checks both artifacts.
 //!
 //! Exit codes follow the workspace contract: `0` clean, `1` findings
 //! (schema violation, speedup below the bar), `2` usage/internal error.
@@ -16,7 +19,12 @@ fn main() {
             eprintln!("cannot read {path}: {e}");
             std::process::exit(2);
         });
-        match msgr_bench::validate_bench_0007(&body) {
+        let result = if body.contains("\"bench\": \"BENCH_0008\"") {
+            msgr_bench::validate_bench_0008(&body)
+        } else {
+            msgr_bench::validate_bench_0007(&body)
+        };
+        match result {
             Ok(()) => println!("{path}: ok"),
             Err(e) => {
                 eprintln!("{path}: {e}");
@@ -25,10 +33,16 @@ fn main() {
         }
         return;
     }
-    if let Some(bad) = args.iter().find(|a| *a != "--smoke") {
-        eprintln!("unknown flag: {bad}\nusage: ablation_compile [--smoke | --check <path>]");
+    if let Some(bad) = args.iter().find(|a| *a != "--smoke" && *a != "--summaries") {
+        eprintln!(
+            "unknown flag: {bad}\nusage: ablation_compile [--smoke] [--summaries] [--check <path>]"
+        );
         std::process::exit(2);
     }
-    let smoke = !args.is_empty();
-    println!("{}", msgr_bench::ablation_compile(smoke));
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if args.iter().any(|a| a == "--summaries") {
+        println!("{}", msgr_bench::ablation_summaries(smoke));
+    } else {
+        println!("{}", msgr_bench::ablation_compile(smoke));
+    }
 }

@@ -919,6 +919,67 @@ pub fn validate_bench_0006(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+// The Douady-rabbit parameter keeps the orbit bounded, so the floats
+// stay finite and every iteration does real arithmetic. Shared by
+// BENCH_0007 (compiled vs interp) and BENCH_0008 (summaries on vs off):
+// both inner loops are call-free, counted, and Add/Sub/Mul-only, so the
+// interprocedural analysis licenses the typed-loop fusion on them.
+const MANDEL_LOOP: &str = r#"
+    mloop(passes, iters) {
+        int i = 0;
+        int k;
+        float zr; float zi; float cr; float ci; float t;
+        float acc = 0.0;
+        node float field;
+        node int visits;
+        visits = visits + 1;
+        while (i < passes) {
+            cr = 0.0 - 0.1226;
+            ci = 0.7449;
+            zr = 0.0;
+            zi = 0.0;
+            k = 0;
+            while (k < iters) {
+                t = zr * zr - zi * zi + cr;
+                zi = 2.0 * zr * zi + ci;
+                zr = t;
+                k = k + 1;
+            }
+            acc = acc + zr + zi;
+            hop(ll = "ring"; ldir = +);
+            field = field + acc;
+            visits = visits + 1;
+            i = i + 1;
+        }
+    }
+    "#;
+const MATMUL_LOOP: &str = r#"
+    dloop(passes, n) {
+        int i = 0;
+        int k;
+        float sum; float aa; float bb;
+        node float cell;
+        node int visits;
+        visits = visits + 1;
+        while (i < passes) {
+            sum = 0.0;
+            aa = 1.25;
+            bb = 0.75;
+            k = 0;
+            while (k < n) {
+                sum = sum + aa * bb;
+                aa = aa + 0.125;
+                bb = bb - 0.0625;
+                k = k + 1;
+            }
+            hop(ll = "ring"; ldir = +);
+            cell = cell + sum;
+            visits = visits + 1;
+            i = i + 1;
+        }
+    }
+    "#;
+
 /// BENCH_0007 — closure-compiled execution vs the interpreter.
 ///
 /// Two ring-walker workloads on the threads platform whose per-hop
@@ -952,64 +1013,6 @@ pub fn ablation_compile(smoke: bool) -> String {
     use msgr_core::topology::LogicalTopology;
     use msgr_core::{DaemonId, ExecMode, SimCluster, ThreadCluster};
     use msgr_vm::{Dir, Value};
-
-    // The Douady-rabbit parameter keeps the orbit bounded, so the floats
-    // stay finite and every iteration does real arithmetic.
-    const MANDEL_LOOP: &str = r#"
-    mloop(passes, iters) {
-        int i = 0;
-        int k;
-        float zr; float zi; float cr; float ci; float t;
-        float acc = 0.0;
-        node float field;
-        node int visits;
-        visits = visits + 1;
-        while (i < passes) {
-            cr = 0.0 - 0.1226;
-            ci = 0.7449;
-            zr = 0.0;
-            zi = 0.0;
-            k = 0;
-            while (k < iters) {
-                t = zr * zr - zi * zi + cr;
-                zi = 2.0 * zr * zi + ci;
-                zr = t;
-                k = k + 1;
-            }
-            acc = acc + zr + zi;
-            hop(ll = "ring"; ldir = +);
-            field = field + acc;
-            visits = visits + 1;
-            i = i + 1;
-        }
-    }
-    "#;
-    const MATMUL_LOOP: &str = r#"
-    dloop(passes, n) {
-        int i = 0;
-        int k;
-        float sum; float aa; float bb;
-        node float cell;
-        node int visits;
-        visits = visits + 1;
-        while (i < passes) {
-            sum = 0.0;
-            aa = 1.25;
-            bb = 0.75;
-            k = 0;
-            while (k < n) {
-                sum = sum + aa * bb;
-                aa = aa + 0.125;
-                bb = bb - 0.0625;
-                k = k + 1;
-            }
-            hop(ll = "ring"; ldir = +);
-            cell = cell + sum;
-            visits = visits + 1;
-            i = i + 1;
-        }
-    }
-    "#;
 
     let daemons = 4usize;
     let (nodes, walkers, passes, iters) =
@@ -1266,6 +1269,320 @@ pub fn validate_bench_0007(json: &str) -> Result<(), String> {
     if json.contains("\"mode\": \"full\"") && min_speedup < 3.0 {
         return Err(format!(
             "full-mode worst-case speedup {min_speedup:.3} below the 3x acceptance bar"
+        ));
+    }
+    if min_speedup <= 0.0 {
+        return Err(format!("speedup must be positive, got {min_speedup}"));
+    }
+    Ok(())
+}
+
+/// BENCH_0008 — summary-guided compilation vs plain compilation.
+///
+/// The interprocedural-analysis ablation: the same two ring-walker
+/// workloads as BENCH_0007, both run under `ExecMode::Compiled`, with
+/// the whole-program effect analysis toggled per run
+/// (`ClusterConfig::analysis`). Summaries license the typed register
+/// loop (unboxed `i64`/`f64` execution of the proven-pure counted
+/// inner loops), call fusion, and Time-Warp snapshot elision; with
+/// analysis off the engine is exactly the PR 7 compiled mode.
+///
+/// The same cross-engine gate as BENCH_0007 applies before timing: a
+/// sim-platform run under each configuration must produce bit-identical
+/// node-variable state and simulated clock — analysis is an
+/// optimization fact table, never an observable.
+///
+/// The headline `speedup_min_hops_per_sec` is the worst
+/// summaries-on/summaries-off hops-per-sec ratio across the workloads
+/// and must reach ≥1.15× in full mode (this PR's acceptance bar).
+///
+/// # Panics
+///
+/// Panics if any run fails, verification counts are off, the two
+/// configurations disagree on sim-platform state, or the summaries-on
+/// runs never exercised the analysis (no summaries, no typed loops).
+pub fn ablation_summaries(smoke: bool) -> String {
+    use msgr_core::topology::LogicalTopology;
+    use msgr_core::{DaemonId, ExecMode, SimCluster, ThreadCluster};
+    use msgr_vm::{Dir, Value};
+
+    let daemons = 4usize;
+    let (nodes, walkers, passes, iters) =
+        if smoke { (8usize, 8usize, 6i64, 64i64) } else { (16, 32, 64, 1024) };
+    let repeats = if smoke { 1 } else { 3 };
+
+    let ring_topo = |nodes: usize| {
+        let block = nodes.div_ceil(daemons);
+        let mut topo = LogicalTopology::new();
+        for i in 0..nodes {
+            topo.node(Value::str(format!("p{i}")), DaemonId((i / block) as u16));
+        }
+        for i in 0..nodes {
+            topo.link(
+                Value::str(format!("p{i}")),
+                Value::str(format!("p{}", (i + 1) % nodes)),
+                Value::str("ring"),
+                Dir::Forward,
+            );
+        }
+        topo
+    };
+    let cfg_for = |analysis: bool| {
+        let mut cfg = ClusterConfig::new(daemons);
+        cfg.seed = 42;
+        cfg.exec = ExecMode::Compiled;
+        cfg.analysis = analysis;
+        cfg
+    };
+    let fnv = |h: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *h = (*h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    };
+
+    // Deterministic gate: summaries must not be observable. Run on the
+    // sim platform with analysis on/off and digest every node-variable
+    // bit plus the simulated clock.
+    let sim_digest = |script: &str, analysis: bool| -> u64 {
+        let (d_nodes, d_walkers, d_passes, d_iters) = (8usize, 4usize, 4i64, iters.min(128));
+        let mut cluster = SimCluster::new(cfg_for(analysis));
+        cluster.build(&ring_topo(d_nodes)).expect("build sim ring");
+        let pid = cluster.register_program(&msgr_lang::compile(script).expect("compile"));
+        for m in 0..d_walkers {
+            cluster
+                .inject_at(
+                    &Value::str(format!("p{}", m % d_nodes)),
+                    pid,
+                    &[Value::Int(d_passes), Value::Int(d_iters)],
+                )
+                .expect("inject");
+        }
+        let rep = cluster.run().expect("sim run");
+        assert!(rep.faults.is_empty(), "sim faults: {:?}", rep.faults);
+        let mut h: u64 = 0xcbf29ce484222325;
+        fnv(&mut h, &rep.sim_seconds.to_bits().to_le_bytes());
+        for i in 0..d_nodes {
+            for var in ["field", "cell", "visits"] {
+                match cluster.node_var_by_name(&Value::str(format!("p{i}")), var) {
+                    Some(Value::Float(f)) => fnv(&mut h, &f.to_bits().to_le_bytes()),
+                    Some(Value::Int(v)) => fnv(&mut h, &v.to_le_bytes()),
+                    _ => fnv(&mut h, &[0xFF]),
+                }
+            }
+        }
+        h
+    };
+
+    let run_threads = |script: &str, analysis: bool| {
+        let mut cluster = ThreadCluster::new(cfg_for(analysis)).expect("threads cluster");
+        cluster.build(&ring_topo(nodes)).expect("build ring");
+        let pid = cluster.register_program(&msgr_lang::compile(script).expect("compile"));
+        for m in 0..walkers {
+            cluster
+                .inject_at(
+                    &Value::str(format!("p{}", m % nodes)),
+                    pid,
+                    &[Value::Int(passes), Value::Int(iters)],
+                )
+                .expect("inject");
+        }
+        let rep = cluster.run().expect("threads run");
+        assert!(rep.faults.is_empty(), "ring faults: {:?}", rep.faults);
+        let mut visits = 0i64;
+        for i in 0..nodes {
+            if let Some(Value::Int(v)) =
+                cluster.node_var_by_name(&Value::str(format!("p{i}")), "visits")
+            {
+                visits += v;
+            }
+        }
+        assert_eq!(
+            visits,
+            walkers as i64 * (passes + 1),
+            "visit count wrong (analysis={analysis})"
+        );
+        (rep.wall_seconds, rep.stats)
+    };
+    let best_of = |script: &str, analysis: bool| {
+        let mut best: Option<(f64, msgr_sim::Stats)> = None;
+        for _ in 0..repeats {
+            let (w, s) = run_threads(script, analysis);
+            if best.as_ref().is_none_or(|(bw, _)| w < *bw) {
+                best = Some((w, s));
+            }
+        }
+        best.expect("at least one repeat")
+    };
+
+    let row = |workload: &str, engine: &str, wall: f64, stats: &msgr_sim::Stats| {
+        let hops = stats.counter("hops");
+        let ops = stats.counter("ops");
+        format!(
+            concat!(
+                "    {{\"platform\": \"threads\", \"workload\": \"{}\", \"engine\": \"{}\", ",
+                "\"wall_seconds\": {:.6}, \"hops_per_sec\": {:.1}, \"ops_per_sec\": {:.1}, ",
+                "\"hops\": {}, \"ops\": {}, \"analysis_summaries\": {}, ",
+                "\"analysis_inlined_calls\": {}, \"analysis_typed_loops\": {}, ",
+                "\"analysis_snapshots_elided\": {}}}"
+            ),
+            workload,
+            engine,
+            wall,
+            hops as f64 / wall.max(1e-9),
+            ops as f64 / wall.max(1e-9),
+            hops,
+            ops,
+            stats.counter("analysis_summaries"),
+            stats.counter("analysis_inlined_calls"),
+            stats.counter("analysis_typed_loops"),
+            stats.counter("analysis_snapshots_elided"),
+        )
+    };
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for (name, script) in [("mandel_loop", MANDEL_LOOP), ("matmul_loop", MATMUL_LOOP)] {
+        let off_digest = sim_digest(script, false);
+        let on_digest = sim_digest(script, true);
+        assert_eq!(
+            off_digest, on_digest,
+            "{name}: summaries changed sim-platform state — refusing to time"
+        );
+        let (ow, os) = best_of(script, false);
+        let (sw, ss) = best_of(script, true);
+        assert_eq!(os.counter("analysis_summaries"), 0, "{name}: baseline ran the analysis");
+        assert!(ss.counter("analysis_summaries") > 0, "{name}: summaries-on run never analyzed");
+        assert!(
+            ss.counter("analysis_typed_loops") > 0,
+            "{name}: the proven-pure inner loop was not typed"
+        );
+        let off_rate = os.counter("hops") as f64 / ow.max(1e-9);
+        let on_rate = ss.counter("hops") as f64 / sw.max(1e-9);
+        rows.push(row(name, "compiled", ow, &os));
+        rows.push(row(name, "compiled+summaries", sw, &ss));
+        speedups.push((name, on_rate / off_rate.max(1e-9)));
+    }
+    let min_speedup = speedups.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+
+    format!(
+        concat!(
+            "{{\n  \"bench\": \"BENCH_0008\",\n  \"ablation\": \"summaries\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"workload\": \"ring {} nodes x {} walkers x {} hops, {} inner iters/hop, ",
+            "{} daemons\",\n",
+            "  \"rows\": [\n{}\n  ],\n",
+            "  \"speedup_mandel_hops_per_sec\": {:.3},\n",
+            "  \"speedup_matmul_hops_per_sec\": {:.3},\n",
+            "  \"speedup_min_hops_per_sec\": {:.3}\n}}"
+        ),
+        if smoke { "smoke" } else { "full" },
+        nodes,
+        walkers,
+        passes,
+        iters,
+        daemons,
+        rows.join(",\n"),
+        speedups[0].1,
+        speedups[1].1,
+        min_speedup,
+    )
+}
+
+/// Schema check for a `BENCH_0008.json` produced by
+/// [`ablation_summaries`]: required keys present, both configurations
+/// recorded for both workloads, every counter non-negative and
+/// parseable, the summaries-on rows actually exercised the analysis,
+/// and — for a `"mode": "full"` file — the worst-case
+/// summaries-on/summaries-off hops-per-sec speedup at least 1.15×.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn validate_bench_0008(json: &str) -> Result<(), String> {
+    fn number_after(json: &str, key: &str, from: usize) -> Result<f64, String> {
+        let pat = format!("\"{key}\":");
+        let at = json[from..]
+            .find(&pat)
+            .map(|i| from + i + pat.len())
+            .ok_or_else(|| format!("missing key {key:?}"))?;
+        let rest = json[at..].trim_start();
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        let tok = rest[..end].trim();
+        if tok == "null" {
+            return Err(format!("key {key:?} is null"));
+        }
+        tok.parse::<f64>().map_err(|_| format!("key {key:?} holds non-number {tok:?}"))
+    }
+
+    if !json.contains("\"bench\": \"BENCH_0008\"") {
+        return Err("missing \"bench\": \"BENCH_0008\"".to_string());
+    }
+    for key in ["ablation", "mode", "workload", "rows"] {
+        if !json.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing key {key:?}"));
+        }
+    }
+    for workload in ["mandel_loop", "matmul_loop"] {
+        if !json.contains(&format!("\"workload\": \"{workload}\"")) {
+            return Err(format!("missing rows for workload {workload:?}"));
+        }
+    }
+    for engine in ["compiled", "compiled+summaries"] {
+        if !json.contains(&format!("\"engine\": \"{engine}\"")) {
+            return Err(format!("missing rows for engine {engine:?}"));
+        }
+    }
+    for key in ["hops_per_sec", "ops_per_sec", "wall_seconds"] {
+        number_after(json, key, 0)?;
+    }
+    let mut max_summaries = 0.0f64;
+    let mut max_typed = 0.0f64;
+    for key in [
+        "hops",
+        "ops",
+        "analysis_summaries",
+        "analysis_inlined_calls",
+        "analysis_typed_loops",
+        "analysis_snapshots_elided",
+    ] {
+        let pat = format!("\"{key}\":");
+        let mut from = 0usize;
+        let mut seen = false;
+        while let Some(i) = json[from..].find(&pat) {
+            let at = from + i;
+            let v = number_after(json, key, at)?;
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("counter {key:?} is negative or non-finite: {v}"));
+            }
+            if key == "analysis_summaries" {
+                max_summaries = max_summaries.max(v);
+            }
+            if key == "analysis_typed_loops" {
+                max_typed = max_typed.max(v);
+            }
+            seen = true;
+            from = at + pat.len();
+        }
+        if !seen {
+            return Err(format!("missing counter {key:?}"));
+        }
+    }
+    if max_summaries < 1.0 {
+        return Err("no row records a computed summary — the ablation never ran".to_string());
+    }
+    if max_typed < 1.0 {
+        return Err("no row records a typed loop — the analysis licensed nothing".to_string());
+    }
+    for key in ["speedup_mandel_hops_per_sec", "speedup_matmul_hops_per_sec"] {
+        let v = number_after(json, key, 0)?;
+        if v <= 0.0 {
+            return Err(format!("{key} must be positive, got {v}"));
+        }
+    }
+    let min_speedup = number_after(json, "speedup_min_hops_per_sec", 0)?;
+    if json.contains("\"mode\": \"full\"") && min_speedup < 1.15 {
+        return Err(format!(
+            "full-mode worst-case speedup {min_speedup:.3} below the 1.15x acceptance bar"
         ));
     }
     if min_speedup <= 0.0 {

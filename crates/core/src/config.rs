@@ -280,6 +280,15 @@ pub struct ClusterConfig {
     /// Execution engine ([`ExecMode::Interp`] unless overridden via the
     /// `MSGR_EXEC` environment variable or `msgr run --exec`).
     pub exec: ExecMode,
+    /// Whether the code registry runs the interprocedural effect
+    /// analysis at registration and hands the resulting summary table to
+    /// the closure compiler (call fusion, typed loops) — and to the
+    /// daemons (node-variable snapshot elision). On by default; both
+    /// engines stay observationally identical either way, so this knob
+    /// only changes wall-clock throughput and the `analysis_*` metrics.
+    /// Overridable via the `MSGR_ANALYSIS` environment variable
+    /// (`0`/`off` disables).
+    pub analysis: bool,
     /// Hand messenger state over by move on same-daemon hops instead of
     /// encode/decode through the platform loopback. Off by default: the
     /// sim's uniform cost accounting and the reliable transport both
@@ -319,6 +328,10 @@ impl ClusterConfig {
                 .ok()
                 .and_then(|s| ExecMode::parse(&s))
                 .unwrap_or_default(),
+            analysis: !matches!(
+                std::env::var("MSGR_ANALYSIS").ok().as_deref(),
+                Some("0") | Some("off") | Some("false")
+            ),
             local_move: false,
         }
     }

@@ -42,12 +42,29 @@ use crate::wire::{self as wirecodec, CreateNode, Migration, Wire};
 /// Programs that fail are *quarantined* — they keep their content id
 /// (so a messenger referencing one can exist, and its refusal is
 /// observable in-run), but no daemon will ever execute them.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct CodeCache {
     map: Arc<RwLock<HashMap<ProgramId, Arc<Program>>>>,
     compiled: Arc<RwLock<HashMap<ProgramId, Arc<msgr_vm::CompiledProgram>>>>,
+    summaries: Arc<RwLock<HashMap<ProgramId, Arc<msgr_vm::SummaryTable>>>>,
     rejected: Arc<RwLock<HashMap<ProgramId, Quarantined>>>,
     stats: Arc<RwLock<Stats>>,
+    /// Whether registration runs the interprocedural effect analysis
+    /// and compiles with its summaries (`ClusterConfig::analysis`).
+    analysis: bool,
+}
+
+impl Default for CodeCache {
+    fn default() -> Self {
+        CodeCache {
+            map: Arc::default(),
+            compiled: Arc::default(),
+            summaries: Arc::default(),
+            rejected: Arc::default(),
+            stats: Arc::default(),
+            analysis: true,
+        }
+    }
 }
 
 /// What [`CodeCache::register_outcome`] did with a program — platforms
@@ -60,6 +77,9 @@ pub enum RegisterOutcome {
         funcs: u64,
         /// Superinstructions fused across all functions.
         superinsts: u64,
+        /// Headline facts from the interprocedural effect analysis;
+        /// `None` when the cluster registered with analysis disabled.
+        analysis: Option<AnalysisFacts>,
     },
     /// The content hash was already compiled (cache hit).
     CacheHit,
@@ -67,16 +87,34 @@ pub enum RegisterOutcome {
     Quarantined,
 }
 
+/// What the whole-program analysis proved about a freshly registered
+/// body — surfaced in the `code_analysis` trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisFacts {
+    /// Functions proven hop-free.
+    pub hop_free: u64,
+    /// Fused loops licensed for the typed register file.
+    pub typed_loops: u64,
+}
+
 impl RegisterOutcome {
-    /// The trace event this outcome corresponds to (quarantines surface
+    /// The trace events this outcome corresponds to (quarantines surface
     /// later, as in-run faults, not at registration).
-    pub fn trace_event(self, prog: ProgramId) -> Option<EventKind> {
+    pub fn trace_events(self, prog: ProgramId) -> Vec<EventKind> {
         match self {
-            RegisterOutcome::Compiled { funcs, superinsts } => {
-                Some(EventKind::CodeCompile { prog: prog.0, funcs, superinsts })
+            RegisterOutcome::Compiled { funcs, superinsts, analysis } => {
+                let mut out = vec![EventKind::CodeCompile { prog: prog.0, funcs, superinsts }];
+                if let Some(a) = analysis {
+                    out.push(EventKind::CodeAnalysis {
+                        prog: prog.0,
+                        hop_free: a.hop_free,
+                        typed_loops: a.typed_loops,
+                    });
+                }
+                out
             }
-            RegisterOutcome::CacheHit => Some(EventKind::CodeCacheHit { prog: prog.0 }),
-            RegisterOutcome::Quarantined => None,
+            RegisterOutcome::CacheHit => vec![EventKind::CodeCacheHit { prog: prog.0 }],
+            RegisterOutcome::Quarantined => Vec::new(),
         }
     }
 }
@@ -101,9 +139,15 @@ impl std::fmt::Debug for CodeCache {
 }
 
 impl CodeCache {
-    /// An empty cache.
+    /// An empty cache (interprocedural analysis enabled).
     pub fn new() -> Self {
         CodeCache::default()
+    }
+
+    /// An empty cache with the effect analysis switched on or off —
+    /// platforms pass `ClusterConfig::analysis` here.
+    pub fn with_analysis(analysis: bool) -> Self {
+        CodeCache { analysis, ..CodeCache::default() }
     }
 
     /// Register a program; returns its content id.
@@ -137,29 +181,49 @@ impl CodeCache {
                 .or_insert_with(|| Quarantined { program: Arc::new(program.clone()), reason });
         };
         match msgr_analyze::verify(program) {
-            Ok(_) => match msgr_vm::compile::compile(program) {
-                Ok(cp) => {
-                    let funcs = cp.func_count() as u64;
-                    let superinsts = cp.superinstructions();
-                    {
-                        let mut s = self.stats.write().unwrap();
-                        s.bump(Metric::CompilePrograms);
-                        s.add(Metric::CompileSuperinsts, superinsts);
-                        s.add(Metric::CompileSteps, cp.steps());
+            Ok(_) => {
+                // Whole-program effect summaries: computed once per
+                // content hash, handed to the compiler (call fusion,
+                // typed loops) and kept for the daemons (snapshot
+                // elision). The table lives *outside* the program, so
+                // content ids are analysis-invariant.
+                let summaries = self.analysis.then(|| Arc::new(msgr_analyze::summarize(program)));
+                match msgr_vm::compile::compile_with_summaries(program, summaries.as_deref()) {
+                    Ok(cp) => {
+                        let funcs = cp.func_count() as u64;
+                        let superinsts = cp.superinstructions();
+                        let analysis = summaries.as_ref().map(|t| AnalysisFacts {
+                            hop_free: t.hop_free_funcs(),
+                            typed_loops: cp.typed_loops(),
+                        });
+                        {
+                            let mut s = self.stats.write().unwrap();
+                            s.bump(Metric::CompilePrograms);
+                            s.add(Metric::CompileSuperinsts, superinsts);
+                            s.add(Metric::CompileSteps, cp.steps());
+                            if summaries.is_some() {
+                                s.bump(Metric::AnalysisSummaries);
+                                s.add(Metric::AnalysisInlinedCalls, cp.inlined_calls());
+                                s.add(Metric::AnalysisTypedLoops, cp.typed_loops());
+                            }
+                        }
+                        if let Some(t) = summaries {
+                            self.summaries.write().unwrap().insert(id, t);
+                        }
+                        self.compiled.write().unwrap().insert(id, Arc::new(cp));
+                        self.map
+                            .write()
+                            .unwrap()
+                            .entry(id)
+                            .or_insert_with(|| Arc::new(program.clone()));
+                        (id, RegisterOutcome::Compiled { funcs, superinsts, analysis })
                     }
-                    self.compiled.write().unwrap().insert(id, Arc::new(cp));
-                    self.map
-                        .write()
-                        .unwrap()
-                        .entry(id)
-                        .or_insert_with(|| Arc::new(program.clone()));
-                    (id, RegisterOutcome::Compiled { funcs, superinsts })
+                    Err(e) => {
+                        quarantine(format!("compile failed: {e}"));
+                        (id, RegisterOutcome::Quarantined)
+                    }
                 }
-                Err(e) => {
-                    quarantine(format!("compile failed: {e}"));
-                    (id, RegisterOutcome::Quarantined)
-                }
-            },
+            }
             Err(diags) => {
                 let reason = diags.iter().map(|d| d.render(program)).collect::<Vec<_>>().join("; ");
                 quarantine(reason);
@@ -171,6 +235,12 @@ impl CodeCache {
     /// The closure-compiled form of a verified program.
     pub fn get_compiled(&self, id: ProgramId) -> Option<Arc<msgr_vm::CompiledProgram>> {
         self.compiled.read().unwrap().get(&id).cloned()
+    }
+
+    /// The interprocedural effect summaries of a verified program
+    /// (`None` when the registry runs with analysis disabled).
+    pub fn get_summary(&self, id: ProgramId) -> Option<Arc<msgr_vm::SummaryTable>> {
+        self.summaries.read().unwrap().get(&id).cloned()
     }
 
     /// Snapshot of the registry's `compile_*` counters, merged into
@@ -566,7 +636,7 @@ pub struct Daemon {
     opt_queue: std::collections::BTreeMap<(Vt, u64), Runnable>,
     part: Participant,
     coord: Option<Coordinator>,
-    tw: HashMap<NodeRef, TwNode<NodeVars, Runnable>>,
+    tw: HashMap<NodeRef, TwNode<Option<NodeVars>, Runnable>>,
     anti_pending: HashSet<MessengerId>,
     xport: Option<Xport>,
     // ---- crash recovery (active only when `cfg.recovery_armed()`) ----
@@ -2029,13 +2099,20 @@ impl Daemon {
     fn apply_rollback(
         &mut self,
         gid: NodeRef,
-        rb: msgr_gvt::Rollback<NodeVars, Runnable>,
+        rb: msgr_gvt::Rollback<Option<NodeVars>, Runnable>,
         fx: &mut Vec<Effect>,
     ) {
         self.stats.bump(Metric::Rollbacks);
         self.stats.add(Metric::RolledBackEvents, rb.reexecute.len() as u64);
-        if let Some(n) = self.nodes.get_mut(&gid) {
-            n.vars = rb.restore;
+        // The earliest materialized snapshot among the undone events is
+        // the pre-state of the rollback target: elided (`None`) entries
+        // belong to write-free programs, which cannot have changed the
+        // variables between it and the cut. All-`None` means none of the
+        // undone events wrote — the current state is already correct.
+        if let Some(vars) = rb.restores.into_iter().flatten().next() {
+            if let Some(n) = self.nodes.get_mut(&gid) {
+                n.vars = vars;
+            }
         }
         for (key, input) in rb.reexecute {
             self.opt_queue.insert(key, input);
@@ -2173,10 +2250,23 @@ impl Daemon {
             },
         };
 
-        // Time-Warp bookkeeping: snapshot before execution.
+        // Time-Warp bookkeeping: snapshot before execution. A program
+        // the effect analysis proved write-free (no node-variable
+        // stores, no natives) cannot change `node.vars`, so its
+        // pre-state snapshot is provably redundant and elided.
         let key = (run.state.vtime, run.state.id.0);
-        let (snapshot, input_copy) =
-            if optimistic { (Some(node.vars.clone()), Some(run.clone())) } else { (None, None) };
+        let (snapshot, input_copy) = if optimistic {
+            let pre =
+                if self.codes.get_summary(run.state.program).is_some_and(|t| t.node_write_free()) {
+                    self.stats.bump(Metric::AnalysisSnapshotsElided);
+                    None
+                } else {
+                    Some(node.vars.clone())
+                };
+            (Some(pre), Some(run.clone()))
+        } else {
+            (None, None)
+        };
 
         let node_name = node.name.clone();
         let fuel = self.cfg.segment_fuel;

@@ -514,7 +514,7 @@ impl SimCluster {
             );
         }
         let cfg = Arc::new(cfg);
-        let codes = CodeCache::new();
+        let codes = CodeCache::with_analysis(cfg.analysis);
         let natives = Arc::new(RwLock::new(NativeRegistry::new()));
         let topo = Arc::new(topo);
         let daemons: Vec<Daemon> = (0..cfg.daemons)
@@ -600,7 +600,7 @@ impl SimCluster {
     /// registry).
     pub fn register_program(&mut self, program: &Program) -> ProgramId {
         let (id, outcome) = self.codes.register_outcome(program);
-        if let Some(kind) = outcome.trace_event(id) {
+        for kind in outcome.trace_events(id) {
             self.world.daemons[0].recorder_mut().emit_sys(kind);
         }
         id

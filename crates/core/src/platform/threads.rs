@@ -102,7 +102,7 @@ impl ThreadCluster {
         // Same typed-key discipline as the simulation platform.
         msgr_sim::install_key_validator(Metric::validator);
         let cfg = Arc::new(cfg);
-        let codes = CodeCache::new();
+        let codes = CodeCache::with_analysis(cfg.analysis);
         let natives = Arc::new(RwLock::new(NativeRegistry::new()));
         let topo = Arc::new(DaemonTopology::clique(cfg.daemons));
         let daemons = (0..cfg.daemons)
@@ -130,7 +130,7 @@ impl ThreadCluster {
     /// Register a compiled program cluster-wide.
     pub fn register_program(&mut self, program: &Program) -> ProgramId {
         let (id, outcome) = self.codes.register_outcome(program);
-        if let Some(kind) = outcome.trace_event(id) {
+        for kind in outcome.trace_events(id) {
             self.daemons[0].recorder_mut().emit_sys(kind);
         }
         id

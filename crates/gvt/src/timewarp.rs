@@ -53,8 +53,13 @@ pub struct TwEntry<S, M> {
 /// What a rollback demands of the daemon.
 #[derive(Debug, Clone)]
 pub struct Rollback<S, M> {
-    /// Restore the node's variables to this snapshot.
-    pub restore: S,
+    /// Pre-event snapshots of every undone event, in key order (earliest
+    /// first). `restores[0]` is the snapshot taken before the earliest
+    /// undone event — the state to restore. Later entries let callers
+    /// with *elided* snapshots (e.g. `S = Option<Vars>` where `None`
+    /// marks a provably write-free event) walk forward to the first
+    /// materialized one.
+    pub restores: Vec<S>,
     /// Re-enqueue these input messengers (in key order).
     pub reexecute: Vec<(EventKey, M)>,
     /// Send anti-messengers for these.
@@ -135,14 +140,15 @@ impl<S, M> TwNode<S, M> {
         let mut undone = self.processed.drain(cut..);
         self.rollbacks += 1;
         let first = undone.next().expect("undone nonempty");
-        let restore = first.pre_state;
+        let mut restores = vec![first.pre_state];
         let mut cancel = first.sent;
         let mut reexecute = vec![(first.key, first.input)];
         for e in undone {
+            restores.push(e.pre_state);
             cancel.extend(e.sent);
             reexecute.push((e.key, e.input));
         }
-        Some(Rollback { restore, reexecute, cancel })
+        Some(Rollback { restores, reexecute, cancel })
     }
 
     /// Whether an event with the given input messenger id is in the log.
@@ -213,7 +219,7 @@ mod tests {
         n.record(entry(2.0, 2, 200, "e2", vec![SentRef { id: 22, dest: 3, ts: Vt::new(2.0) }]));
         n.record(entry(3.0, 3, 300, "e3", vec![]));
         let rb = n.rollback(key(2.0, 0)).unwrap();
-        assert_eq!(rb.restore, 200); // pre-state of the earliest undone (e2)
+        assert_eq!(rb.restores, vec![200, 300]); // earliest undone (e2) first
         assert_eq!(rb.reexecute, vec![(key(2.0, 2), "e2"), (key(3.0, 3), "e3")]);
         assert_eq!(rb.cancel, vec![SentRef { id: 22, dest: 3, ts: Vt::new(2.0) }]);
         assert_eq!(n.last_key(), Some(key(1.0, 1)));
@@ -234,7 +240,7 @@ mod tests {
         n.record(entry(1.0, 1, 7, "a", vec![]));
         n.record(entry(2.0, 2, 8, "b", vec![]));
         let rb = n.rollback(key(0.0, 0)).unwrap();
-        assert_eq!(rb.restore, 7);
+        assert_eq!(rb.restores, vec![7, 8]);
         assert_eq!(rb.reexecute.len(), 2);
         assert_eq!(n.last_key(), None);
     }
@@ -246,7 +252,7 @@ mod tests {
         n.record(entry(2.0, 42, 8, "victim", vec![SentRef { id: 9, dest: 1, ts: Vt::new(2.0) }]));
         n.record(entry(3.0, 3, 9, "c", vec![]));
         let rb = n.annihilate_processed(42).unwrap();
-        assert_eq!(rb.restore, 8);
+        assert_eq!(rb.restores, vec![8, 9]);
         // "victim" is gone; "c" gets re-executed.
         assert_eq!(rb.reexecute, vec![(key(3.0, 3), "c")]);
         assert_eq!(rb.cancel, vec![SentRef { id: 9, dest: 1, ts: Vt::new(2.0) }]);
@@ -286,7 +292,7 @@ mod tests {
         // Straggler at t=2 arrives.
         assert!(n.is_straggler(key(2.0, 2)));
         let rb = n.rollback(key(2.0, 2)).unwrap();
-        assert_eq!(rb.restore, 10);
+        assert_eq!(rb.restores, vec![10]);
         // Daemon would now execute t=2 then re-execute t=3.
         n.record(entry(2.0, 2, 10, "b", vec![]));
         n.record(entry(3.0, 3, 20, "c", vec![]));

@@ -29,9 +29,12 @@ fn tw_log_matches_oracle() {
                 let undone = oracle.iter().filter(|k| **k >= key).count();
                 prop_assert_eq!(rb.reexecute.len(), undone);
                 oracle.retain(|k| *k < key);
-                // The restore snapshot is the version recorded by the
-                // earliest undone event (checked via monotone versions).
-                prop_assert!(rb.restore <= version);
+                // Snapshots come back earliest-first, one per undone
+                // event, and each is a version recorded at or before
+                // the current one (checked via monotone versions).
+                prop_assert_eq!(rb.restores.len(), undone);
+                prop_assert!(rb.restores.iter().all(|v| *v <= version));
+                prop_assert!(rb.restores.windows(2).all(|w| w[0] <= w[1]));
             }
             version += 1;
             node.record(TwEntry { key, pre_state: version, input: id, sent: vec![] });

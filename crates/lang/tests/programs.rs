@@ -348,3 +348,35 @@ fn node_array_declaration_does_not_clobber() {
     assert_eq!(eval_env(src, &[], &mut env), Value::Int(1));
     assert_eq!(eval_env(src, &[], &mut env), Value::Int(2), "second run must accumulate");
 }
+
+#[test]
+fn diagnostics_in_while_bodies_report_the_body_line() {
+    // Regression: a lint anchored inside (or at the synthetic edges of)
+    // a `while` body must carry the body's source line, not fall back
+    // to the function's first line. The dead node-variable write at
+    // line 5 is shadowed by line 6 before any read.
+    let src = "\
+worker() {
+    node int total;
+    int i = 0;
+    while (i < 3) {
+        total = 1;
+        total = 2;
+        i = i + 1;
+    }
+}
+";
+    let p = compile(src).expect("compiles");
+    let report = msgr_analyze::analyze(&p);
+    let dead: Vec<_> = report.diags.iter().filter(|d| d.code == "N303").collect();
+    assert_eq!(dead.len(), 1, "exactly one dead-write lint: {:?}", report.diags);
+    assert_eq!(dead[0].line, Some(5), "anchored to the body line, not the function head");
+    // Every pc in the loop resolves to a loop line (4..=7), never the
+    // function's first statement.
+    let f = &p.funcs[0];
+    let body_pcs = 2..f.code.len();
+    for pc in body_pcs {
+        let line = f.line_at(pc).expect("debug info present");
+        assert!((4..=7).contains(&line), "pc {pc} attributed to line {line}");
+    }
+}

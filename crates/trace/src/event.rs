@@ -198,6 +198,17 @@ pub enum EventKind {
         /// Program content id.
         prog: u64,
     },
+    /// Interprocedural effect summaries were computed for a program at
+    /// registration (emitted alongside `CodeCompile` when the cluster
+    /// runs with analysis enabled).
+    CodeAnalysis {
+        /// Program content id (hex string on the wire, like `CodeCompile`).
+        prog: u64,
+        /// Functions proven hop-free by the whole-program analysis.
+        hop_free: u64,
+        /// Fused loops licensed for the typed register file.
+        typed_loops: u64,
+    },
     /// This daemon was permanently killed (volatile state destroyed).
     Kill,
     /// An application-level phase span opened (e.g. "compute").
@@ -240,6 +251,7 @@ impl EventKind {
             EventKind::NetDelay { .. } => "net_delay",
             EventKind::CodeCompile { .. } => "compile",
             EventKind::CodeCacheHit { .. } => "code_hit",
+            EventKind::CodeAnalysis { .. } => "code_analysis",
             EventKind::Kill => "kill",
             EventKind::SpanBegin { .. } => "span_begin",
             EventKind::SpanEnd { .. } => "span_end",
@@ -345,6 +357,12 @@ impl TraceEvent {
             EventKind::CodeCacheHit { prog } => {
                 let _ = write!(out, ",\"prog\":\"{prog:016x}\"");
             }
+            EventKind::CodeAnalysis { prog, hop_free, typed_loops } => {
+                let _ = write!(
+                    out,
+                    ",\"prog\":\"{prog:016x}\",\"hop_free\":{hop_free},\"typed_loops\":{typed_loops}"
+                );
+            }
             EventKind::Kill => {}
             EventKind::SpanBegin { name } | EventKind::SpanEnd { name } => {
                 out.push_str(",\"name\":\"");
@@ -429,6 +447,11 @@ impl TraceEvent {
                 superinsts: req_u64(j, "fused")?,
             },
             "code_hit" => EventKind::CodeCacheHit { prog: req_hex_u64(j, "prog")? },
+            "code_analysis" => EventKind::CodeAnalysis {
+                prog: req_hex_u64(j, "prog")?,
+                hop_free: req_u64(j, "hop_free")?,
+                typed_loops: req_u64(j, "typed_loops")?,
+            },
             "kill" => EventKind::Kill,
             "span_begin" => EventKind::SpanBegin { name: req_str(j, "name")? },
             "span_end" => EventKind::SpanEnd { name: req_str(j, "name")? },
@@ -506,6 +529,7 @@ mod tests {
             // Full-64-bit id: must survive the f64-backed JSON parser.
             EventKind::CodeCompile { prog: 0xE2D4_66F1_0A9B_3C47, funcs: 3, superinsts: 11 },
             EventKind::CodeCacheHit { prog: u64::MAX - 1 },
+            EventKind::CodeAnalysis { prog: 0xE2D4_66F1_0A9B_3C47, hop_free: 2, typed_loops: 1 },
             EventKind::Kill,
             EventKind::SpanBegin { name: "compute".to_string() },
             EventKind::SpanEnd { name: "compute".to_string() },

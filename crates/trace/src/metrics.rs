@@ -128,6 +128,11 @@ metrics! {
     CompileSuperinsts = "compile_superinsts": Counter, Count;
     CompileSteps = "compile_steps": Counter, Ops;
     CompileCacheHits = "compile_cache_hits": Counter, Count;
+    // ---- interprocedural effect analysis (code registry) ----
+    AnalysisSummaries = "analysis_summaries": Counter, Count;
+    AnalysisInlinedCalls = "analysis_inlined_calls": Counter, Count;
+    AnalysisTypedLoops = "analysis_typed_loops": Counter, Count;
+    AnalysisSnapshotsElided = "analysis_snapshots_elided": Counter, Count;
     // ---- platform: network + faults ----
     Wires = "wires": Counter, Count;
     WireBytes = "wire_bytes": Counter, Bytes;

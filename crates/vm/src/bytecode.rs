@@ -270,8 +270,17 @@ pub struct Function {
 impl Function {
     /// The source line of the instruction at `pc`, if debug info is
     /// present.
+    ///
+    /// Lowering emits synthetic instructions (loop back-edges, patch
+    /// jumps, implicit returns) with line entry `0` — no source line of
+    /// their own. Those resolve to the nearest *preceding* instruction
+    /// with real debug info: the statement whose lowering produced
+    /// them, which is always in the same basic block or the block being
+    /// closed. Returns `None` only when `pc` is out of range or no
+    /// instruction at or before it carries a line.
     pub fn line_at(&self, pc: usize) -> Option<u32> {
-        self.lines.get(pc).copied().filter(|&l| l != 0)
+        let upto = self.lines.get(..=pc)?;
+        upto.iter().rev().copied().find(|&l| l != 0)
     }
 }
 
@@ -496,5 +505,48 @@ mod tests {
     fn bad_entry_panics() {
         let b = Builder::new();
         let _ = b.finish(FuncId(0));
+    }
+
+    /// Synthetic instructions produced by loop lowering carry line
+    /// entry 0; `line_at` must attribute them to the statement that
+    /// produced them (nearest preceding real entry), not to nothing —
+    /// and certainly not to the function's first line.
+    #[test]
+    fn line_at_resolves_synthetic_loop_ops_to_their_block() {
+        // The shape `while` lowering produces:
+        //   pc 0-1  init            (line 2)
+        //   pc 2-4  cond            (line 3)
+        //   pc 5    jfalse exit     (line 3)
+        //   pc 6-7  body            (line 4)
+        //   pc 8    jmp head        (line 0: synthetic back-edge)
+        let mut b = Builder::new();
+        let c0 = b.constant(Value::Int(0));
+        let c3 = b.constant(Value::Int(3));
+        let code = vec![
+            Op::Const(c0),
+            Op::StoreLocal(0),
+            Op::LoadLocal(0),
+            Op::Const(c3),
+            Op::Lt,
+            Op::JumpIfFalse(4),
+            Op::Const(c3),
+            Op::Pop,
+            Op::Jump(-7),
+        ];
+        let lines = vec![2, 2, 3, 3, 3, 3, 4, 4, 0];
+        let f = b.function_with_lines("main", 0, 1, code, lines);
+        let p = b.finish(f);
+        let f = p.func(f);
+        assert_eq!(f.line_at(0), Some(2));
+        assert_eq!(f.line_at(5), Some(3));
+        // The synthetic back-edge belongs to the `while` body (line 4),
+        // not the function head.
+        assert_eq!(f.line_at(8), Some(4));
+        // Out of range stays None; so does an all-zero prefix.
+        assert_eq!(f.line_at(9), None);
+        let mut b = Builder::new();
+        let g = b.function_with_lines("g", 0, 0, vec![Op::Ret], vec![0]);
+        let p = b.finish(g);
+        assert_eq!(p.func(g).line_at(0), None);
     }
 }

@@ -52,6 +52,7 @@ use crate::bytecode::{Dir, FuncId, LinkPat, NodePat, Op, Program};
 use crate::error::VmError;
 use crate::interp::{Env, EvalCreateItem, EvalHop, EvalLink, Yield};
 use crate::state::{Frame, MessengerState, Vt};
+use crate::summary::SummaryTable;
 use crate::value::Value;
 
 /// Everything a step closure may touch while executing.
@@ -101,6 +102,10 @@ struct CompiledFunc {
     /// Fused counted loops, indexed by loop-head pc (the strongest
     /// superinstruction: whole `while` loops run as flat register code).
     loops: Vec<Option<LoopStep>>,
+    /// Fused calls to proven straight-line pure leaf functions, indexed
+    /// by the `Call` pc. Only populated when the compiler was handed an
+    /// effect-summary table.
+    inlines: Vec<Option<InlineStep>>,
 }
 
 /// A program compiled to closures; build with [`compile`], execute with
@@ -111,6 +116,8 @@ pub struct CompiledProgram {
     n_superinsts: u64,
     n_loops: u64,
     n_steps: u64,
+    n_inlines: u64,
+    n_typed_loops: u64,
 }
 
 impl std::fmt::Debug for CompiledProgram {
@@ -145,6 +152,18 @@ impl CompiledProgram {
     pub fn func_count(&self) -> usize {
         self.funcs.len()
     }
+
+    /// Number of `Call` sites fused through to a proven-pure leaf
+    /// callee (0 unless compiled with summaries).
+    pub fn inlined_calls(&self) -> u64 {
+        self.n_inlines
+    }
+
+    /// Number of fused loops licensed for the unboxed typed fast path
+    /// (0 unless compiled with summaries).
+    pub fn typed_loops(&self) -> u64 {
+        self.n_typed_loops
+    }
 }
 
 /// Compile a (verified) program into closures.
@@ -154,7 +173,32 @@ impl CompiledProgram {
 /// Structural limits only (a function body too large to index by `u32`);
 /// verified programs always compile.
 pub fn compile(p: &Program) -> Result<CompiledProgram, String> {
-    compile_with(p, false)
+    compile_full(p, None, false)
+}
+
+/// Compile with interprocedural effect summaries (from
+/// `msgr-analyze::summarize`). The summaries unlock two fusions the
+/// summary-blind compiler cannot justify:
+///
+/// - **Call fusion**: a `Call` to a function with a proven `exact_ops`
+///   fact executes in the caller's dispatch loop — no activation frame
+///   — bulk-charging `1 + exact_ops` fuel. The charge *trusts* the
+///   summary; a wrong `exact_ops` is an observable miscompile (by
+///   design — see the corruption check in `tests/diff_props.rs`).
+/// - **Typed loops**: a fused `while` loop whose head carries a
+///   `pure_loops` license runs on an unboxed `{i64, f64, bool}`
+///   register file with no per-iteration deopt checks.
+///
+/// `compile_with_summaries(p, None)` is exactly [`compile`].
+///
+/// # Errors
+///
+/// As for [`compile`].
+pub fn compile_with_summaries(
+    p: &Program,
+    summaries: Option<&SummaryTable>,
+) -> Result<CompiledProgram, String> {
+    compile_full(p, summaries, false)
 }
 
 /// Test hook: compile with a deliberately miscompiled superinstruction
@@ -166,16 +210,22 @@ pub fn compile(p: &Program) -> Result<CompiledProgram, String> {
 /// As for [`compile`].
 #[doc(hidden)]
 pub fn compile_miscompiled(p: &Program) -> Result<CompiledProgram, String> {
-    compile_with(p, true)
+    compile_full(p, None, true)
 }
 
-fn compile_with(p: &Program, mutate: bool) -> Result<CompiledProgram, String> {
+fn compile_full(
+    p: &Program,
+    summaries: Option<&SummaryTable>,
+    mutate: bool,
+) -> Result<CompiledProgram, String> {
     let consts: Arc<Vec<Value>> = Arc::new(p.consts.clone());
     let mut funcs = Vec::with_capacity(p.funcs.len());
     let mut n_superinsts = 0u64;
     let mut n_loops = 0u64;
     let mut n_steps = 0u64;
-    for f in &p.funcs {
+    let mut n_inlines = 0u64;
+    let mut n_typed_loops = 0u64;
+    for (fi, f) in p.funcs.iter().enumerate() {
         if f.code.len() >= u32::MAX as usize {
             return Err(format!("function `{}` too large to compile", f.name));
         }
@@ -186,16 +236,32 @@ fn compile_with(p: &Program, mutate: bool) -> Result<CompiledProgram, String> {
         let spans: Vec<Option<SpanStep>> = (0..f.code.len())
             .map(|pc| build_span(p, &f.code, n_slots, pc as u32, mutate))
             .collect();
-        let loops: Vec<Option<LoopStep>> = (0..f.code.len())
+        let mut loops: Vec<Option<LoopStep>> = (0..f.code.len())
             .map(|pc| build_loop(p, &f.code, n_slots, pc as u32, mutate))
             .collect();
+        let inlines: Vec<Option<InlineStep>> = (0..f.code.len())
+            .map(|pc| {
+                summaries.and_then(|t| build_inline(p, t, &consts, &f.code[pc], pc as u32 + 1))
+            })
+            .collect();
+        if let Some(s) = summaries.and_then(|t| t.funcs.get(fi)) {
+            for (pc, slot) in loops.iter_mut().enumerate() {
+                if let Some(lp) = slot {
+                    if s.pure_loops.contains(&(pc as u32)) && loop_regops_typed(lp) {
+                        lp.typed = true;
+                        n_typed_loops += 1;
+                    }
+                }
+            }
+        }
         n_superinsts += spans.iter().flatten().count() as u64;
         n_loops += loops.iter().flatten().count() as u64;
         n_steps += singles.len() as u64;
-        funcs.push(CompiledFunc { singles, spans, loops });
+        n_inlines += inlines.iter().flatten().count() as u64;
+        funcs.push(CompiledFunc { singles, spans, loops, inlines });
     }
     n_superinsts += n_loops;
-    Ok(CompiledProgram { funcs, n_superinsts, n_loops, n_steps })
+    Ok(CompiledProgram { funcs, n_superinsts, n_loops, n_steps, n_inlines, n_typed_loops })
 }
 
 /// Execute `m` until it yields, returns, or errors — the compiled twin
@@ -254,13 +320,37 @@ fn run_inner(
             // iteration (and any fault) falls back to spans/singles.
             if let Some(lp) = cf.loops[pc].as_ref() {
                 if *ops + u64::from(lp.per_iter) <= fuel {
-                    match run_loop(lp, frame, fuel, ops) {
+                    // Summary-licensed loops try the unboxed typed
+                    // register file first; anything it cannot represent
+                    // falls through to the generic boxed executor.
+                    let typed = if lp.typed { run_loop_typed(lp, frame, fuel, ops) } else { None };
+                    match typed.or_else(|| run_loop(lp, frame, fuel, ops)) {
                         Some(LoopExit::Progress) => continue,
                         Some(LoopExit::Deopt) => {
                             fast = false;
                             continue;
                         }
                         None => {}
+                    }
+                }
+            }
+            // Summary-fused calls: a `Call` whose callee is proven
+            // straight-line pure executes inline — no activation frame —
+            // and bulk-charges `1 + exact_ops`. The charge trusts the
+            // summary (a wrong `exact_ops` diverges the ops count and is
+            // caught by the differential suite); eligibility and the
+            // result value are recomputed from the real callee bytecode,
+            // so a fault or unsupported op bails to the exact singles
+            // path below.
+            if let Some(il) = cf.inlines[pc].as_ref() {
+                if *ops + 1 + u64::from(il.exact_ops) <= fuel {
+                    if let Some(ret) = run_inline(il, &frame.stack) {
+                        let keep = frame.stack.len() - il.arity;
+                        frame.stack.truncate(keep);
+                        frame.stack.push(ret);
+                        *ops += 1 + u64::from(il.exact_ops);
+                        frame.pc = il.next;
+                        continue;
                     }
                 }
             }
@@ -1116,6 +1206,15 @@ struct LoopStep {
     body_ops: Vec<RegOp>,
     /// Local slots the body stores to (write-back + fault snapshot set).
     writeback: Vec<usize>,
+    /// Summary license: the analyzer proved this loop head is a counted
+    /// call-free `while` whose ops are total over `{int, float, bool}`,
+    /// so iterations may run on the unboxed [`TV`] register file with no
+    /// per-iteration deopt checks. Set only by `compile_with_summaries`.
+    typed: bool,
+    /// Which local slots the loop actually reads or writes back — the
+    /// typed executor only needs *these* to be representable; dead slots
+    /// holding strings/arrays don't block the fast path.
+    used_slots: Vec<bool>,
 }
 
 const MAX_LOOP_SLOTS: usize = 32;
@@ -1281,6 +1380,35 @@ fn build_loop(
     let mut writeback = stored;
     writeback.sort_unstable();
     writeback.dedup();
+    let mut used_slots = vec![false; n_slots];
+    let mark = |used: &mut [bool], r: usize| {
+        if r < used.len() {
+            used[r] = true;
+        }
+    };
+    for r in cond_ops.iter().chain(body_ops.iter()) {
+        match *r {
+            RegOp::Bin { dst, a, b, .. }
+            | RegOp::Cmp { dst, a, b, .. }
+            | RegOp::Eq { dst, a, b, .. } => {
+                mark(&mut used_slots, dst);
+                mark(&mut used_slots, a);
+                mark(&mut used_slots, b);
+            }
+            RegOp::Neg { dst, a } | RegOp::Not { dst, a } => {
+                mark(&mut used_slots, dst);
+                mark(&mut used_slots, a);
+            }
+            RegOp::Mov { dst, src } => {
+                mark(&mut used_slots, dst);
+                mark(&mut used_slots, src);
+            }
+        }
+    }
+    mark(&mut used_slots, cond_reg);
+    for &s in &writeback {
+        mark(&mut used_slots, s);
+    }
     Some(LoopStep {
         per_iter: b.len,
         cond_need,
@@ -1292,6 +1420,8 @@ fn build_loop(
         cond_reg,
         body_ops,
         writeback,
+        typed: false,
+        used_slots,
     })
 }
 
@@ -1419,6 +1549,318 @@ fn run_loop(lp: &LoopStep, fr: &mut Frame, fuel: u64, ops: &mut u64) -> Option<L
     write_back(fr, &mut regs);
     *ops += done * per;
     Some(LoopExit::Progress)
+}
+
+// ---------------------------------------------------------------------
+// Summary-guided fusions: what an interprocedural effect summary
+// licenses beyond what local compilation can prove.
+//
+// Trust discipline: *eligibility* facts are always re-derived from the
+// real bytecode (a corrupt license at worst bails to the exact generic
+// path), while the one *quantitative* fact — `exact_ops` — is charged
+// as a trusted constant, so corrupting it is an observable miscompile
+// the differential suite catches.
+// ---------------------------------------------------------------------
+
+/// Whether a fused loop's register code stays inside the op set the
+/// typed executor implements totally: Div/Mod can fault (and produce
+/// `Float` from `Int/Int` only sometimes), so they stay generic.
+fn loop_regops_typed(lp: &LoopStep) -> bool {
+    let ok = |ops: &[RegOp]| {
+        ops.iter().all(|r| match r {
+            RegOp::Bin { op, .. } => matches!(op, Op::Add | Op::Sub | Op::Mul),
+            _ => true,
+        })
+    };
+    ok(&lp.cond_ops)
+        && ok(&lp.body_ops)
+        && lp
+            .consts
+            .iter()
+            .all(|(_, v)| matches!(v, Value::Int(_) | Value::Float(_) | Value::Bool(_)))
+}
+
+/// Unboxed typed value for the summary-licensed loop fast path. Closed
+/// and total under `{Add, Sub, Mul, Lt..Ge, Eq/Ne, Neg, Not, Mov}` with
+/// semantics identical to [`binop`] on `Int`/`Float`/`Bool` inputs — no
+/// faults, hence no deopt machinery.
+#[derive(Copy, Clone)]
+enum TV {
+    I(i64),
+    F(f64),
+    B(bool),
+}
+
+fn tv_of(v: &Value) -> Option<TV> {
+    match v {
+        Value::Int(x) => Some(TV::I(*x)),
+        Value::Float(x) => Some(TV::F(*x)),
+        Value::Bool(b) => Some(TV::B(*b)),
+        _ => None,
+    }
+}
+
+fn tv_value(t: TV) -> Value {
+    match t {
+        TV::I(x) => Value::Int(x),
+        TV::F(x) => Value::Float(x),
+        TV::B(b) => Value::Bool(b),
+    }
+}
+
+/// Numeric widening, mirroring `Value::as_float` for `Int`/`Float`/`Bool`.
+fn tv_f64(t: TV) -> f64 {
+    match t {
+        TV::I(x) => x as f64,
+        TV::F(x) => x,
+        TV::B(b) => i64::from(b) as f64,
+    }
+}
+
+/// Mirrors `Value::is_truthy` (`-0.0` falsy, NaN truthy).
+fn tv_truthy(t: TV) -> bool {
+    match t {
+        TV::I(x) => x != 0,
+        TV::F(x) => x != 0.0,
+        TV::B(b) => b,
+    }
+}
+
+/// The typed twin of [`exec_regops`]: infallible, because the op set was
+/// restricted by [`loop_regops_typed`] at compile time and `TV` is
+/// closed under it.
+fn exec_regops_tv(ops: &[RegOp], regs: &mut [TV]) {
+    use std::cmp::Ordering;
+    let cmp_ord = |op: &Op, ord: Ordering| match op {
+        Op::Lt => ord == Ordering::Less,
+        Op::Le => ord != Ordering::Greater,
+        Op::Gt => ord == Ordering::Greater,
+        _ => ord != Ordering::Less,
+    };
+    for r in ops {
+        match *r {
+            RegOp::Mov { dst, src } => regs[dst] = regs[src],
+            RegOp::Bin { ref op, dst, a, b } => {
+                regs[dst] = match (regs[a], regs[b]) {
+                    (TV::I(x), TV::I(y)) => TV::I(match op {
+                        Op::Add => x.wrapping_add(y),
+                        Op::Sub => x.wrapping_sub(y),
+                        Op::Mul => x.wrapping_mul(y),
+                        _ => unreachable!("loop_regops_typed admits only Add/Sub/Mul"),
+                    }),
+                    (x, y) => {
+                        let (x, y) = (tv_f64(x), tv_f64(y));
+                        TV::F(match op {
+                            Op::Add => x + y,
+                            Op::Sub => x - y,
+                            Op::Mul => x * y,
+                            _ => unreachable!("loop_regops_typed admits only Add/Sub/Mul"),
+                        })
+                    }
+                };
+            }
+            RegOp::Cmp { ref op, dst, a, b } => {
+                // `binop::compare` widens everything numeric to f64 and
+                // uses total_cmp — including Int/Int.
+                let ord = tv_f64(regs[a]).total_cmp(&tv_f64(regs[b]));
+                regs[dst] = TV::B(cmp_ord(op, ord));
+            }
+            RegOp::Eq { ne, dst, a, b } => {
+                // `Value::loose_eq`: Int/Float cross-compares widen, same
+                // variants use derived equality (NaN != NaN), and
+                // Bool-vs-numeric is always unequal.
+                let eq = match (regs[a], regs[b]) {
+                    (TV::I(x), TV::I(y)) => x == y,
+                    (TV::F(x), TV::F(y)) => x == y,
+                    (TV::B(x), TV::B(y)) => x == y,
+                    (TV::I(x), TV::F(y)) | (TV::F(y), TV::I(x)) => x as f64 == y,
+                    _ => false,
+                };
+                regs[dst] = TV::B(if ne { !eq } else { eq });
+            }
+            RegOp::Neg { dst, a } => {
+                regs[dst] = match regs[a] {
+                    TV::I(x) => TV::I(x.wrapping_neg()),
+                    t => TV::F(-tv_f64(t)),
+                };
+            }
+            RegOp::Not { dst, a } => regs[dst] = TV::B(!tv_truthy(regs[a])),
+        }
+    }
+}
+
+/// Run a summary-licensed loop on the unboxed register file. Returns
+/// `None` (having touched nothing) when a *used* slot or constant holds
+/// a value `TV` can't represent — the generic executor handles those.
+/// Fuel accounting is identical to [`run_loop`]; there is no deopt path
+/// because every typed op is total.
+fn run_loop_typed(lp: &LoopStep, fr: &mut Frame, fuel: u64, ops: &mut u64) -> Option<LoopExit> {
+    if fr.locals.len() != lp.n_slots {
+        return None;
+    }
+    let mut regs: Vec<TV> = Vec::with_capacity(lp.n_regs);
+    for (s, v) in fr.locals.iter().enumerate() {
+        regs.push(match tv_of(v) {
+            Some(t) => t,
+            // A slot the loop never touches may hold anything; it only
+            // needs a placeholder register.
+            None if !lp.used_slots.get(s).copied().unwrap_or(true) => TV::I(0),
+            None => return None,
+        });
+    }
+    regs.resize(lp.n_regs, TV::I(0));
+    for (r, v) in &lp.consts {
+        *regs.get_mut(*r)? = tv_of(v)?;
+    }
+    let per = u64::from(lp.per_iter);
+    let budget = (fuel - *ops) / per;
+    let write_back = |fr: &mut Frame, regs: &[TV]| {
+        for &s in &lp.writeback {
+            fr.locals[s] = tv_value(regs[s]);
+        }
+    };
+    let mut done: u64 = 0;
+    while done < budget {
+        exec_regops_tv(&lp.cond_ops, &mut regs);
+        if !tv_truthy(regs[lp.cond_reg]) {
+            write_back(fr, &regs);
+            *ops += done * per + u64::from(lp.cond_need);
+            fr.pc = lp.exit;
+            return Some(LoopExit::Progress);
+        }
+        exec_regops_tv(&lp.body_ops, &mut regs);
+        done += 1;
+    }
+    write_back(fr, &regs);
+    *ops += done * per;
+    Some(LoopExit::Progress)
+}
+
+/// A `Call` site fused through to a proven straight-line pure leaf
+/// callee: the callee body runs as a mini-interpretation inside the
+/// caller's dispatch step, with no activation frame.
+struct InlineStep {
+    arity: usize,
+    n_slots: usize,
+    /// The callee's executed prefix (through its first `Ret`, or the
+    /// whole body for an implicit `return NULL`), re-validated at
+    /// compile time against the op set `run_inline` implements.
+    code: Vec<Op>,
+    consts: Arc<Vec<Value>>,
+    /// The summary's proven op count for the callee body. The dispatcher
+    /// charges `1 + exact_ops` as a trusted constant — never recounted —
+    /// which is what makes a corrupted summary observable.
+    exact_ops: u32,
+    next: u32,
+}
+
+/// Validate and extract an inline plan for the `Call` at a pc. Only the
+/// presence of an `exact_ops` fact comes from the summary; everything
+/// structural is re-derived from the callee's real bytecode, so a bogus
+/// license degrades to "no fusion" rather than to wrong behavior.
+fn build_inline(
+    p: &Program,
+    t: &SummaryTable,
+    consts: &Arc<Vec<Value>>,
+    op: &Op,
+    next: u32,
+) -> Option<InlineStep> {
+    let &Op::Call { f: callee, argc } = op else { return None };
+    let exact_ops = t.funcs.get(callee as usize)?.exact_ops?;
+    let g = p.funcs.get(callee as usize)?;
+    if g.arity != argc || (g.arity as u16) > g.n_slots {
+        return None;
+    }
+    let mut code = Vec::new();
+    for op in &g.code {
+        match op {
+            Op::Const(_)
+            | Op::LoadLocal(_)
+            | Op::StoreLocal(_)
+            | Op::Dup
+            | Op::Pop
+            | Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Mod
+            | Op::Neg
+            | Op::Not
+            | Op::Eq
+            | Op::Ne
+            | Op::Lt
+            | Op::Le
+            | Op::Gt
+            | Op::Ge => code.push(*op),
+            Op::Ret => {
+                code.push(*op);
+                break;
+            }
+            _ => return None,
+        }
+    }
+    Some(InlineStep {
+        arity: argc as usize,
+        n_slots: g.n_slots as usize,
+        code,
+        consts: consts.clone(),
+        exact_ops,
+        next,
+    })
+}
+
+/// Execute a fused callee against the caller's operand stack without
+/// consuming it. Any fault, underflow, or out-of-range index returns
+/// `None` with the stack untouched; the dispatcher then runs the real
+/// `Call` closure, whose activation-frame replay reproduces the
+/// interpreter's exact error state.
+fn run_inline(il: &InlineStep, stack: &[Value]) -> Option<Value> {
+    let at = stack.len().checked_sub(il.arity)?;
+    let mut locals: Vec<Value> = stack[at..].to_vec();
+    locals.resize(il.n_slots.max(il.arity), Value::Null);
+    let mut vs: Vec<Value> = Vec::new();
+    for op in &il.code {
+        match op {
+            Op::Const(i) => vs.push(il.consts.get(*i as usize)?.clone()),
+            Op::LoadLocal(i) => vs.push(locals.get(*i as usize)?.clone()),
+            Op::StoreLocal(i) => {
+                let v = vs.pop()?;
+                *locals.get_mut(*i as usize)? = v;
+            }
+            Op::Dup => vs.push(vs.last()?.clone()),
+            Op::Pop => {
+                vs.pop()?;
+            }
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => {
+                let b = vs.pop()?;
+                let a = vs.pop()?;
+                vs.push(binop::arith(op, a, b).ok()?);
+            }
+            Op::Neg => {
+                let a = vs.pop()?;
+                vs.push(binop::neg(a).ok()?);
+            }
+            Op::Not => {
+                let a = vs.pop()?;
+                vs.push(Value::Bool(!a.is_truthy()));
+            }
+            Op::Eq | Op::Ne => {
+                let b = vs.pop()?;
+                let a = vs.pop()?;
+                let eq = a.loose_eq(&b);
+                vs.push(Value::Bool(if matches!(op, Op::Eq) { eq } else { !eq }));
+            }
+            Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+                let b = vs.pop()?;
+                let a = vs.pop()?;
+                vs.push(binop::compare(op, &a, &b).ok()?);
+            }
+            Op::Ret => return vs.pop(),
+            _ => return None,
+        }
+    }
+    // Fell off the end: the implicit `return NULL`.
+    Some(Value::Null)
 }
 
 /// Lower an expression tree to a closure tree. `mutate` swaps the
@@ -1724,6 +2166,155 @@ mod tests {
         let mut m = launch(&p);
         let y = run(&bad, &p, &mut m, &mut NullEnv, 100).unwrap();
         assert_eq!(y, Yield::Terminated(Value::Int(-7)), "mutation must flip the result");
+    }
+
+    #[test]
+    fn summary_fused_call_is_bit_exact_and_trusts_exact_ops() {
+        // main: return add3(4, 5) + 1; add3: return a + b + 3;
+        use crate::summary::{FnSummary, SummaryTable};
+        let mut b = Builder::new();
+        let c1 = b.constant(Value::Int(1));
+        let c3 = b.constant(Value::Int(3));
+        let c4 = b.constant(Value::Int(4));
+        let c5 = b.constant(Value::Int(5));
+        let leaf =
+            vec![Op::LoadLocal(0), Op::LoadLocal(1), Op::Add, Op::Const(c3), Op::Add, Op::Ret];
+        let lf = b.function("add3", 2, 0, leaf);
+        let main = vec![
+            Op::Const(c4),
+            Op::Const(c5),
+            Op::Call { f: lf.0, argc: 2 },
+            Op::Const(c1),
+            Op::Add,
+            Op::Ret,
+        ];
+        let mf = b.function("main", 0, 0, main);
+        let p = b.finish(mf);
+        let mut table = SummaryTable {
+            funcs: vec![
+                FnSummary { exact_ops: Some(6), ..FnSummary::default() },
+                FnSummary::default(),
+            ],
+        };
+        let cp = compile_with_summaries(&p, Some(&table)).unwrap();
+        assert_eq!(cp.inlined_calls(), 1, "the Call must fuse");
+        // Bit-exact against the interpreter at every fuel level,
+        // including the ops charge the trusted constant produces.
+        for fuel in 0..20 {
+            let mut mi = launch(&p);
+            let mut mc = launch(&p);
+            let mut ei = MapEnv::new();
+            let mut ec = MapEnv::new();
+            let ri = interp::run(&p, &mut mi, &mut ei, fuel);
+            let rc = run(&cp, &p, &mut mc, &mut ec, fuel);
+            assert_eq!(ri, rc, "fuel={fuel}");
+            assert_eq!(mi.frames, mc.frames, "fuel={fuel}");
+            assert_eq!(ei.ops, ec.ops, "fuel={fuel}: ops charge diverges");
+        }
+        // A corrupted exact_ops is an *observable* miscompile: the bulk
+        // charge no longer matches the interpreter's per-op count.
+        table.funcs[0].exact_ops = Some(7);
+        let bad = compile_with_summaries(&p, Some(&table)).unwrap();
+        let mut mi = launch(&p);
+        let mut mb = launch(&p);
+        let mut ei = MapEnv::new();
+        let mut eb = MapEnv::new();
+        let ri = interp::run(&p, &mut mi, &mut ei, 1_000);
+        let rb = run(&bad, &p, &mut mb, &mut eb, 1_000);
+        assert_eq!(ri, rb, "the result itself still agrees");
+        assert_ne!(ei.ops, eb.ops, "the corrupted charge must diverge");
+    }
+
+    #[test]
+    fn summary_licensed_typed_loop_is_bit_exact() {
+        use crate::summary::{FnSummary, SummaryTable};
+        // while (i < 10) { acc = acc + i * 2; i = i + 1; } return acc —
+        // same loop as arithmetic_loop_matches_interpreter, now licensed
+        // for the unboxed typed register file.
+        let mut b = Builder::new();
+        let c0 = b.constant(Value::Int(0));
+        let c1 = b.constant(Value::Int(1));
+        let c2 = b.constant(Value::Int(2));
+        let c10 = b.constant(Value::Int(10));
+        let code = vec![
+            Op::Const(c0),
+            Op::StoreLocal(0),
+            Op::Const(c0),
+            Op::StoreLocal(1),
+            // loop head (pc 4)
+            Op::LoadLocal(0),
+            Op::Const(c10),
+            Op::Lt,
+            Op::JumpIfFalse(11),
+            Op::LoadLocal(1),
+            Op::LoadLocal(0),
+            Op::Const(c2),
+            Op::Mul,
+            Op::Add,
+            Op::StoreLocal(1),
+            Op::LoadLocal(0),
+            Op::Const(c1),
+            Op::Add,
+            Op::StoreLocal(0),
+            Op::Jump(-15),
+            // exit (pc 19)
+            Op::LoadLocal(1),
+            Op::Ret,
+        ];
+        let f = b.function("main", 0, 2, code);
+        let p = b.finish(f);
+        let mut table = SummaryTable::default();
+        let mut s = FnSummary::default();
+        s.pure_loops.insert(4);
+        table.funcs = vec![s];
+        let cp = compile_with_summaries(&p, Some(&table)).unwrap();
+        assert_eq!(cp.typed_loops(), 1, "the loop must take the license");
+        let plain = compile(&p).unwrap();
+        assert_eq!(plain.typed_loops(), 0, "no license without summaries");
+        for fuel in 0..80 {
+            let mut mi = launch(&p);
+            let mut mc = launch(&p);
+            let mut ei = MapEnv::new();
+            let mut ec = MapEnv::new();
+            let ri = interp::run(&p, &mut mi, &mut ei, fuel);
+            let rc = run(&cp, &p, &mut mc, &mut ec, fuel);
+            assert_eq!(ri, rc, "fuel={fuel}");
+            assert_eq!(mi.frames, mc.frames, "fuel={fuel}");
+            assert_eq!(ei.ops, ec.ops, "fuel={fuel}: ops charge diverges");
+        }
+    }
+
+    #[test]
+    fn inline_bails_safely_on_a_faulting_or_impure_callee() {
+        use crate::summary::{FnSummary, SummaryTable};
+        // div(a, b) = a / b — pure, but faults when b == 0. A (bogus)
+        // exact_ops license must not change the error or its position.
+        let mut b = Builder::new();
+        let c0 = b.constant(Value::Int(0));
+        let c9 = b.constant(Value::Int(9));
+        let leaf = vec![Op::LoadLocal(0), Op::LoadLocal(1), Op::Div, Op::Ret];
+        let lf = b.function("div", 2, 0, leaf);
+        let main = vec![Op::Const(c9), Op::Const(c0), Op::Call { f: lf.0, argc: 2 }, Op::Ret];
+        let mf = b.function("main", 0, 0, main);
+        let p = b.finish(mf);
+        let table = SummaryTable {
+            funcs: vec![
+                FnSummary { exact_ops: Some(4), ..FnSummary::default() },
+                FnSummary::default(),
+            ],
+        };
+        let cp = compile_with_summaries(&p, Some(&table)).unwrap();
+        assert_eq!(cp.inlined_calls(), 1);
+        let mut mi = launch(&p);
+        let mut mc = launch(&p);
+        let mut ei = MapEnv::new();
+        let mut ec = MapEnv::new();
+        let ri = interp::run(&p, &mut mi, &mut ei, 1_000);
+        let rc = run(&cp, &p, &mut mc, &mut ec, 1_000);
+        assert_eq!(ri, rc);
+        assert!(matches!(rc, Err(VmError::DivisionByZero)));
+        assert_eq!(mi.frames, mc.frames, "fault frames diverge");
+        assert_eq!(ei.ops, ec.ops, "fault ops charge diverges");
     }
 
     #[test]

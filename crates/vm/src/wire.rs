@@ -20,6 +20,7 @@ use crate::bytecode::{
 };
 use crate::error::VmError;
 use crate::state::{Frame, MessengerId, MessengerState, Vt};
+use crate::summary::{FnSummary, HopBehavior, SumKind, SummaryTable};
 use crate::value::{LinkInstance, Matrix, Value};
 
 fn err(msg: &str) -> VmError {
@@ -680,10 +681,192 @@ pub fn decode_program(mut buf: Bytes) -> Result<Program, VmError> {
     Ok(Program { consts, funcs, hop_specs, create_specs, entry })
 }
 
+// ---- effect summaries ---------------------------------------------------
+
+fn put_u16_set(buf: &mut BytesMut, set: &std::collections::BTreeSet<u16>) {
+    put_varint(buf, set.len() as u64);
+    for &v in set {
+        put_varint(buf, v as u64);
+    }
+}
+
+fn get_u16_set(buf: &mut Bytes) -> Result<std::collections::BTreeSet<u16>, VmError> {
+    let n = get_varint(buf)? as usize;
+    if n > u16::MAX as usize {
+        return Err(err("absurd summary set length"));
+    }
+    let mut set = std::collections::BTreeSet::new();
+    for _ in 0..n {
+        let v = get_varint(buf)?;
+        if v > u16::MAX as u64 {
+            return Err(err("summary set item out of range"));
+        }
+        set.insert(v as u16);
+    }
+    Ok(set)
+}
+
+/// Serialize a program's effect summaries (shipped next to the program
+/// body by registries that cache analysis results; summaries never
+/// enter the program's content hash).
+pub fn encode_summaries(t: &SummaryTable) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    put_varint(&mut buf, t.funcs.len() as u64);
+    for s in &t.funcs {
+        buf.put_u8(match s.hop {
+            HopBehavior::HopFree => 0,
+            HopBehavior::AtMostOnce => 1,
+            HopBehavior::MayNavigate => 2,
+        });
+        let flags = u8::from(s.may_create)
+            | u8::from(s.may_sched) << 1
+            | u8::from(s.may_halt) << 2
+            | u8::from(s.may_native) << 3
+            | u8::from(s.recursive) << 4;
+        buf.put_u8(flags);
+        put_u16_set(&mut buf, &s.node_reads);
+        put_u16_set(&mut buf, &s.node_writes);
+        put_u16_set(&mut buf, &s.node_must_writes);
+        put_u16_set(&mut buf, &s.calls);
+        // Options as 0 = None, n+1 = Some(n).
+        put_varint(&mut buf, s.ops_bound.map_or(0, |b| b.saturating_add(1)));
+        put_varint(&mut buf, s.exact_ops.map_or(0, |b| b as u64 + 1));
+        put_varint(&mut buf, s.pure_loops.len() as u64);
+        for &pc in &s.pure_loops {
+            put_varint(&mut buf, pc as u64);
+        }
+        buf.put_u8(s.ret_kind as u8);
+    }
+    buf.freeze()
+}
+
+/// Decode effect summaries.
+///
+/// # Errors
+///
+/// [`VmError::Decode`] on malformed input.
+pub fn decode_summaries(mut buf: Bytes) -> Result<SummaryTable, VmError> {
+    let nf = get_varint(&mut buf)? as usize;
+    if nf > u16::MAX as usize {
+        return Err(err("too many summaries"));
+    }
+    let mut funcs = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        if buf.remaining() < 2 {
+            return Err(err("truncated summary"));
+        }
+        let hop = match buf.get_u8() {
+            0 => HopBehavior::HopFree,
+            1 => HopBehavior::AtMostOnce,
+            2 => HopBehavior::MayNavigate,
+            t => return Err(err(&format!("bad hop behavior {t}"))),
+        };
+        let flags = buf.get_u8();
+        if flags >= 1 << 5 {
+            return Err(err("bad summary flags"));
+        }
+        let node_reads = get_u16_set(&mut buf)?;
+        let node_writes = get_u16_set(&mut buf)?;
+        let node_must_writes = get_u16_set(&mut buf)?;
+        let calls = get_u16_set(&mut buf)?;
+        let ops_bound = match get_varint(&mut buf)? {
+            0 => None,
+            n => Some(n - 1),
+        };
+        let exact_ops = match get_varint(&mut buf)? {
+            0 => None,
+            n if n <= u64::from(u32::MAX) => Some((n - 1) as u32),
+            _ => return Err(err("exact_ops out of range")),
+        };
+        let nl = get_varint(&mut buf)? as usize;
+        if nl > 1 << 24 {
+            return Err(err("absurd pure-loop count"));
+        }
+        let mut pure_loops = std::collections::BTreeSet::new();
+        for _ in 0..nl {
+            let pc = get_varint(&mut buf)?;
+            if pc > u64::from(u32::MAX) {
+                return Err(err("pure-loop pc out of range"));
+            }
+            pure_loops.insert(pc as u32);
+        }
+        if !buf.has_remaining() {
+            return Err(err("truncated summary"));
+        }
+        let ret_kind = match buf.get_u8() {
+            0 => SumKind::Top,
+            1 => SumKind::Null,
+            2 => SumKind::Bool,
+            3 => SumKind::Int,
+            4 => SumKind::Float,
+            5 => SumKind::Str,
+            6 => SumKind::Mat,
+            7 => SumKind::Blob,
+            8 => SumKind::Arr,
+            9 => SumKind::Link,
+            t => return Err(err(&format!("bad summary kind {t}"))),
+        };
+        funcs.push(FnSummary {
+            hop,
+            may_create: flags & 1 != 0,
+            may_sched: flags & 2 != 0,
+            may_halt: flags & 4 != 0,
+            may_native: flags & 8 != 0,
+            recursive: flags & 16 != 0,
+            node_reads,
+            node_writes,
+            node_must_writes,
+            calls,
+            ops_bound,
+            exact_ops,
+            pure_loops,
+            ret_kind,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(err("trailing bytes after summaries"));
+    }
+    Ok(SummaryTable { funcs })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bytecode::Builder;
+
+    #[test]
+    fn summaries_round_trip() {
+        let mut s = FnSummary {
+            hop: HopBehavior::AtMostOnce,
+            may_create: true,
+            may_halt: true,
+            recursive: true,
+            ops_bound: Some(17),
+            exact_ops: Some(4),
+            ret_kind: SumKind::Float,
+            ..Default::default()
+        };
+        s.node_reads.insert(3);
+        s.node_writes.extend([1, 9]);
+        s.node_must_writes.insert(9);
+        s.calls.insert(0);
+        s.pure_loops.extend([4, 40]);
+        let t = SummaryTable { funcs: vec![FnSummary::default(), s] };
+        let bytes = encode_summaries(&t);
+        assert_eq!(decode_summaries(bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn summaries_reject_trailing_and_truncated_bytes() {
+        let t = SummaryTable { funcs: vec![FnSummary::default()] };
+        let good = encode_summaries(&t);
+        let mut long = BytesMut::new();
+        long.put_slice(&good);
+        long.put_u8(0);
+        assert!(decode_summaries(long.freeze()).is_err());
+        let short = good.slice(0..good.len() - 1);
+        assert!(decode_summaries(short).is_err());
+    }
 
     fn sample_values() -> Vec<Value> {
         vec![

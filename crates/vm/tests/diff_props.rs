@@ -324,7 +324,7 @@ fn drive_both(
 
 fn case(
     s: &mut Source,
-    cp_of: fn(&Program) -> Result<CompiledProgram, String>,
+    cp_of: impl Fn(&Program) -> Result<CompiledProgram, String>,
 ) -> Result<(), String> {
     let p = compile_arb(s)?;
     if msgr_analyze::verify(&p).is_err() {
@@ -370,6 +370,86 @@ fn mutation_check_catches_a_miscompiled_superinstruction() {
     let err =
         drive_both(&p, &bad, &mut |_| 100_000).expect_err("swapped operands must be observable");
     assert!(err.contains("diverge"), "unexpected failure shape: {err}");
+}
+
+#[test]
+fn engines_agree_with_summaries_enabled() {
+    // The same 256-case lockstep property, with the interprocedural
+    // summary table driving inline fusion, typed loops, and bulk fuel
+    // charges. Every observable — yields, errors, frames, node vars,
+    // ops — must stay bit-equal to the plain interpreter.
+    check_with(Config { cases: 256, ..Config::default() }, "engines_agree_summaries", |s| {
+        case(s, |p| {
+            let t = msgr_analyze::summarize(p);
+            compile::compile_with_summaries(p, Some(&t))
+        })
+    });
+}
+
+#[test]
+fn summaries_are_stable_across_wire_roundtrip() {
+    // Summaries are derived facts about bytecode: a no-op codec
+    // roundtrip of the program must reproduce the identical table, and
+    // the summary codec itself must be an identity. 256 randomized
+    // programs.
+    check_with(Config { cases: 256, ..Config::default() }, "summary_stability", |s| {
+        let p = compile_arb(s)?;
+        if msgr_analyze::verify(&p).is_err() {
+            return Ok(());
+        }
+        let t1 = msgr_analyze::summarize(&p);
+        let p2 = msgr_vm::wire::decode_program(msgr_vm::wire::encode_program(&p))
+            .map_err(|e| format!("program roundtrip failed: {e}"))?;
+        if p.id() != p2.id() {
+            return Err("content id changed across program roundtrip".into());
+        }
+        let t2 = msgr_analyze::summarize(&p2);
+        if t1 != t2 {
+            return Err(format!(
+                "summaries unstable across program roundtrip\n  before: {t1:?}\n  after:  {t2:?}"
+            ));
+        }
+        let t3 = msgr_vm::wire::decode_summaries(msgr_vm::wire::encode_summaries(&t1))
+            .map_err(|e| format!("summary roundtrip failed: {e}"))?;
+        if t1 != t3 {
+            return Err(format!(
+                "summary codec is not an identity\n  before: {t1:?}\n  after:  {t3:?}"
+            ));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn mutation_check_catches_a_corrupted_summary() {
+    // Summaries are trusted facts: the compiler bulk-charges
+    // `1 + exact_ops` fuel for a fused call without recounting. A
+    // single-bit lie in `exact_ops` must therefore show up as an ops
+    // divergence in the differential harness — proving the harness
+    // guards the summary contract, not just the codegen.
+    let p = msgr_lang::compile(
+        "main() { return add3(4, 5) + 1; }\n\
+         add3(a, b) { return a + b + 3; }",
+    )
+    .unwrap();
+    msgr_analyze::verify(&p).expect("fixture verifies");
+    let honest = msgr_analyze::summarize(&p);
+    let cp = compile::compile_with_summaries(&p, Some(&honest)).unwrap();
+    assert_eq!(cp.inlined_calls(), 1, "fixture must exercise the call fusion");
+    drive_both(&p, &cp, &mut |_| 100_000).expect("honest summaries agree");
+
+    let mut lying = honest.clone();
+    let cell = lying
+        .funcs
+        .iter_mut()
+        .find_map(|f| f.exact_ops.as_mut())
+        .expect("fixture has an exact-ops license");
+    *cell += 1;
+    let bad = compile::compile_with_summaries(&p, Some(&lying)).unwrap();
+    assert_eq!(bad.inlined_calls(), 1, "corrupted table still licenses the fusion");
+    let err = drive_both(&p, &bad, &mut |_| 100_000)
+        .expect_err("a corrupted exact-ops bulk charge must be observable");
+    assert!(err.contains("ops charge diverges"), "unexpected failure shape: {err}");
 }
 
 #[test]

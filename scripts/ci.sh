@@ -128,6 +128,40 @@ compile_dir="$(mktemp -d)"
 rm -rf "$compile_dir"
 echo "ok: compiled engine ran end to end and BENCH_0007.json is schema-valid"
 
+echo "== analysis: interprocedural summaries end to end (BENCH_0008) =="
+# The whole-program effect analysis: (a) both paper apps must be clean
+# under the interprocedural lint family, checked through the
+# machine-readable --json face (which doubles as its schema check);
+# (b) summaries must be stable across a wire-codec roundtrip and the
+# summary-guided engine bit-equal to the interpreter (the vm property
+# suite); (c) the summaries ablation runs in smoke mode with analysis
+# enabled, and both its output and the committed full-mode
+# BENCH_0008.json are schema-validated — the committed artifact must
+# clear the >=1.15x compiled-mode hops/sec bar.
+lint_json="$(./target/release/msgr-lint --json --builtin)"
+echo "$lint_json" | grep -q '"version":1' \
+    || { echo "error: msgr-lint --json lost its schema header" >&2; exit 1; }
+echo "$lint_json" | grep -q '"errors":0,"warnings":0,"diagnostics":\[\]' \
+    || { echo "error: builtin paper apps are not lint-clean: $lint_json" >&2; exit 1; }
+# A known-dirty program must produce a well-formed diagnostic row with
+# every schema field present (code, function, pc, line, severity).
+dirty_dir="$(mktemp -d)"
+printf 'w() {\n    node int t;\n    t = 1;\n    t = 2;\n    hop(ll = $last);\n}\n' \
+    > "$dirty_dir/dirty.mc"
+dirty_json="$(./target/release/msgr-lint --json "$dirty_dir/dirty.mc")"
+for field in '"code":"N303"' '"severity":"warning"' '"function":"w"' '"pc":' '"line":3'; do
+    echo "$dirty_json" | grep -qF "$field" \
+        || { echo "error: msgr-lint --json row missing $field: $dirty_json" >&2; exit 1; }
+done
+rm -rf "$dirty_dir"
+cargo test -q --offline -p msgr-vm --test diff_props summaries
+analysis_dir="$(mktemp -d)"
+./target/release/ablation_compile --summaries --smoke > "$analysis_dir/BENCH_0008.smoke.json"
+./target/release/ablation_compile --check "$analysis_dir/BENCH_0008.smoke.json"
+./target/release/ablation_compile --check BENCH_0008.json
+rm -rf "$analysis_dir"
+echo "ok: apps lint-clean, summaries stable, BENCH_0008.json is schema-valid"
+
 if [ "$soak" = 1 ]; then
     echo "== chaos soak (--soak) =="
     cargo test -q --offline -p msgr-core --test fault_props -- --ignored

@@ -12,7 +12,23 @@
 //!     --deny-warnings      treat lint warnings as errors
 //!     --builtin            also lint the programs embedded in msgr-apps
 //!     --quiet              print only diagnostics, not per-file summaries
+//!     --json               machine-readable output (one JSON document)
 //! ```
+//!
+//! `--json` prints a single JSON object to stdout:
+//!
+//! ```text
+//! {"version":1,
+//!  "errors":0,"warnings":1,
+//!  "diagnostics":[
+//!    {"target":"app.mc","code":"N301","severity":"warning",
+//!     "function":"main","func_index":0,"pc":4,"line":7,
+//!     "message":"..."}]}
+//! ```
+//!
+//! `pc` and `line` are `null` when the diagnostic has no instruction
+//! anchor (e.g. whole-function lints). Compile failures appear as
+//! diagnostics with code `"compile"` and a null function.
 //!
 //! `scripts/ci.sh` runs `msgr-lint --deny-warnings --builtin` over every
 //! `.mc` source in the repository, so shipped navigation code stays
@@ -32,7 +48,64 @@ struct Outcome {
     warnings: usize,
 }
 
-fn lint_program(what: &str, program: &Program, quiet: bool) -> Outcome {
+/// One machine-readable diagnostic row for `--json` output.
+struct JsonDiag {
+    target: String,
+    code: String,
+    severity: &'static str,
+    function: Option<String>,
+    func_index: Option<usize>,
+    pc: Option<usize>,
+    line: Option<u32>,
+    message: String,
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonDiag {
+    fn render(&self) -> String {
+        fn opt_str(v: &Option<String>) -> String {
+            v.as_ref().map_or_else(|| "null".into(), |s| format!("\"{}\"", json_escape(s)))
+        }
+        fn opt_num<T: std::fmt::Display>(v: &Option<T>) -> String {
+            v.as_ref().map_or_else(|| "null".into(), T::to_string)
+        }
+        format!(
+            "{{\"target\":\"{}\",\"code\":\"{}\",\"severity\":\"{}\",\
+             \"function\":{},\"func_index\":{},\"pc\":{},\"line\":{},\"message\":\"{}\"}}",
+            json_escape(&self.target),
+            json_escape(&self.code),
+            self.severity,
+            opt_str(&self.function),
+            opt_num(&self.func_index),
+            opt_num(&self.pc),
+            opt_num(&self.line),
+            json_escape(&self.message),
+        )
+    }
+}
+
+fn lint_program(
+    what: &str,
+    program: &Program,
+    quiet: bool,
+    json: &mut Option<Vec<JsonDiag>>,
+) -> Outcome {
     let report = analyze::analyze(program);
     let mut out = Outcome { errors: 0, warnings: 0 };
     for d in &report.diags {
@@ -40,9 +113,25 @@ fn lint_program(what: &str, program: &Program, quiet: bool) -> Outcome {
             Severity::Error => out.errors += 1,
             Severity::Warning => out.warnings += 1,
         }
-        println!("{what}: {}", d.render(program));
+        if let Some(rows) = json.as_mut() {
+            rows.push(JsonDiag {
+                target: what.to_string(),
+                code: d.code.to_string(),
+                severity: match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                },
+                function: Some(d.func_name.clone()),
+                func_index: Some(d.func),
+                pc: d.pc,
+                line: d.line,
+                message: d.message.clone(),
+            });
+        } else {
+            println!("{what}: {}", d.render(program));
+        }
     }
-    if !quiet {
+    if !quiet && json.is_none() {
         let verdict = if out.errors > 0 {
             "REJECTED"
         } else if out.warnings > 0 {
@@ -92,14 +181,18 @@ fn main() -> ExitCode {
     let mut deny_warnings = false;
     let mut builtin = false;
     let mut quiet = false;
+    let mut json: Option<Vec<JsonDiag>> = None;
     let mut paths: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--deny-warnings" => deny_warnings = true,
             "--builtin" => builtin = true,
             "--quiet" => quiet = true,
+            "--json" => json = Some(Vec::new()),
             "--help" | "-h" => {
-                println!("usage: msgr-lint [--deny-warnings] [--builtin] [--quiet] <script.mc>...");
+                println!(
+                    "usage: msgr-lint [--deny-warnings] [--builtin] [--quiet] [--json] <script.mc>..."
+                );
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -127,21 +220,44 @@ fn main() -> ExitCode {
             Ok(p) => p,
             Err(e) => {
                 // A compile error is as fatal as a verification error.
-                println!("{path}: error[compile]: {e}");
+                if let Some(rows) = json.as_mut() {
+                    rows.push(JsonDiag {
+                        target: path.clone(),
+                        code: "compile".into(),
+                        severity: "error",
+                        function: None,
+                        func_index: None,
+                        pc: None,
+                        line: None,
+                        message: e.to_string(),
+                    });
+                } else {
+                    println!("{path}: error[compile]: {e}");
+                }
                 total.errors += 1;
                 continue;
             }
         };
-        let o = lint_program(path, &program, quiet);
+        let o = lint_program(path, &program, quiet, &mut json);
         total.errors += o.errors;
         total.warnings += o.warnings;
     }
     if builtin {
         for (what, program) in builtin_programs() {
-            let o = lint_program(what, &program, quiet);
+            let o = lint_program(what, &program, quiet, &mut json);
             total.errors += o.errors;
             total.warnings += o.warnings;
         }
+    }
+
+    if let Some(rows) = &json {
+        let body: Vec<String> = rows.iter().map(JsonDiag::render).collect();
+        println!(
+            "{{\"version\":1,\"errors\":{},\"warnings\":{},\"diagnostics\":[{}]}}",
+            total.errors,
+            total.warnings,
+            body.join(",")
+        );
     }
 
     if total.errors > 0 || (deny_warnings && total.warnings > 0) {
