@@ -292,6 +292,35 @@ mod tests {
     }
 
     #[test]
+    fn sim_survives_killing_worker_and_its_replica_holder() {
+        use msgr_sim::{CrashEvent, FaultPlan, MILLI};
+        let work = tiny_work();
+        let calib = Calib::default();
+        let (_, expected) = render_sequential(&work, &calib);
+        let mut cfg = ClusterConfig::new(6);
+        cfg.seed = 7;
+        cfg.replication = 2;
+        // Daemon 3 is daemon 2's ring successor — the first holder of
+        // its checkpoint replicas and the natural heir. Killing both
+        // before either death is even detected leaves only the second
+        // holder's copy, which k = 2 write-ahead replication put there
+        // before any of daemon 2's effects were released.
+        cfg.faults = FaultPlan {
+            crashes: vec![CrashEvent::kill(2, 3 * MILLI), CrashEvent::kill(3, 5 * MILLI)],
+            ..FaultPlan::none()
+        };
+        let run = run_sim(&work, 6, &calib, cfg.clone()).unwrap();
+        assert_eq!(run.checksum, expected, "the double fault must not corrupt the image");
+        assert_eq!(run.stats.counter("kills"), 2);
+        assert_eq!(run.stats.counter("restores"), 2);
+        assert!(run.stats.counter("ckpt_replicas") > 0, "k = 2 must push replicas");
+        // Bit-reproducible: the same seed replays the same double recovery.
+        let again = run_sim(&work, 6, &calib, cfg).unwrap();
+        assert_eq!(again.checksum, run.checksum);
+        assert_eq!(again.seconds.to_bits(), run.seconds.to_bits());
+    }
+
+    #[test]
     fn threads_compute_the_real_image() {
         let scene = MandelScene::paper(64, 4);
         let work = MandelWork::compute(scene);

@@ -1,5 +1,42 @@
 //! Ablation: permanent daemon death — detection, failover, and replay
-//! cost vs when the worker dies. Emits JSON.
+//! cost vs when the worker dies; with `--quorum`, succession by
+//! majority decree and `k`-replicated checkpoints vs the deterministic
+//! baseline (BENCH_0009). Emits JSON on stdout; `--smoke` runs a
+//! scaled-down sweep for CI, `--check <path>` schema-validates an
+//! existing BENCH_0009 file instead of running anything.
+//!
+//! Exit codes follow the workspace contract: `0` clean, `1` findings
+//! (schema violation, latency ratio above the bar), `2` usage/internal
+//! error.
 fn main() {
-    println!("{}", msgr_bench::ablation_recovery());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: ablation_recovery --check <path>");
+            std::process::exit(2);
+        };
+        let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match msgr_bench::validate_bench_0009(&body) {
+            Ok(()) => println!("{path}: ok"),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if let Some(bad) = args.iter().find(|a| *a != "--smoke" && *a != "--quorum") {
+        eprintln!(
+            "unknown flag: {bad}\nusage: ablation_recovery [--smoke] [--quorum] [--check <path>]"
+        );
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--quorum") {
+        println!("{}", msgr_bench::ablation_quorum(args.iter().any(|a| a == "--smoke")));
+    } else {
+        println!("{}", msgr_bench::ablation_recovery());
+    }
 }

@@ -553,6 +553,219 @@ pub fn ablation_recovery() -> String {
     )
 }
 
+/// BENCH_0009 — quorum succession and `k`-replicated checkpoints vs the
+/// deterministic next-alive baseline. Emits JSON.
+///
+/// One Mandelbrot workload, one victim daemon, a sweep of kill times ×
+/// cluster seeds; each `(succession, k)` configuration runs the whole
+/// sweep and reports recovery-latency p50/p99 **across the sweep** (one
+/// death verdict → restore latency per run) plus replication cost
+/// counters. The headline numbers are the quorum/deterministic latency
+/// ratios at `k = 2`: consensus adds a round of proposals and promises
+/// before the heir may act, and the acceptance bar is that this costs
+/// at most 3× the baseline's detector-to-restore latency (full mode).
+/// Every run's image checksum is asserted against the sequential
+/// render — burial by majority may be slower, never wrong.
+///
+/// # Panics
+///
+/// Panics if any run fails, produces a wrong image, or never recovers.
+pub fn ablation_quorum(smoke: bool) -> String {
+    use msgr_core::Succession;
+    use msgr_sim::{CrashEvent, FaultPlan, MILLI};
+    let calib = Calib::default();
+    let procs = 8usize;
+    let work = if smoke {
+        Arc::new(MandelWork::compute(MandelScene::paper(64, 4)))
+    } else {
+        Arc::new(MandelWork::compute(MandelScene::paper(128, 8)))
+    };
+    let (_, expected) = render_sequential(&work, &calib);
+    let kill_times: &[u64] = if smoke { &[5, 50] } else { &[5, 20, 50, 100] };
+    let seeds: &[u64] = if smoke { &[42] } else { &[42, 7, 1234] };
+
+    let quantile = |sorted: &[f64], q: f64| -> f64 {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    };
+
+    let mut rows = Vec::new();
+    // `(succession, k) → p50 latency` for the summary ratios.
+    let mut p50 = std::collections::HashMap::new();
+    for succession in [Succession::Deterministic, Succession::Quorum] {
+        for k in [1usize, 2, 3] {
+            let mut latencies_ms = Vec::new();
+            let mut seconds = 0.0f64;
+            let mut replicas = 0u64;
+            let mut replica_bytes = 0u64;
+            let mut gossip_merges = 0u64;
+            for &seed in seeds {
+                for &at_ms in kill_times {
+                    let mut cfg = ClusterConfig::new(procs);
+                    cfg.seed = seed;
+                    cfg.succession = succession;
+                    cfg.replication = k;
+                    cfg.faults = FaultPlan {
+                        crashes: vec![CrashEvent::kill(3, at_ms * MILLI)],
+                        ..FaultPlan::none()
+                    };
+                    let r = mandel_msgr::run_sim(&work, procs, &calib, cfg).expect("run");
+                    assert_eq!(
+                        r.checksum, expected,
+                        "image corrupted ({succession:?}, k={k}, kill at {at_ms} ms)"
+                    );
+                    assert_eq!(r.stats.counter("kills"), 1);
+                    assert_eq!(
+                        r.stats.counter("restores"),
+                        1,
+                        "no failover ({succession:?}, k={k})"
+                    );
+                    latencies_ms.push(r.stats.counter("recovery_latency_ns") as f64 / 1e6);
+                    seconds += r.seconds;
+                    replicas += r.stats.counter("ckpt_replicas");
+                    replica_bytes += r.stats.counter("ckpt_replica_bytes");
+                    gossip_merges += r.stats.counter("gossip_merges");
+                }
+            }
+            latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let (lp50, lp99) = (quantile(&latencies_ms, 0.50), quantile(&latencies_ms, 0.99));
+            p50.insert((succession, k), lp50);
+            let name = match succession {
+                Succession::Deterministic => "deterministic",
+                Succession::Quorum => "quorum",
+            };
+            rows.push(format!(
+                concat!(
+                    "    {{\"succession\": \"{}\", \"replication\": {}, \"runs\": {}, ",
+                    "\"recovery_latency_ms_p50\": {:.3}, \"recovery_latency_ms_p99\": {:.3}, ",
+                    "\"mean_seconds\": {:.6}, \"ckpt_replicas\": {}, ",
+                    "\"ckpt_replica_bytes\": {}, \"gossip_merges\": {}}}"
+                ),
+                name,
+                k,
+                latencies_ms.len(),
+                lp50,
+                lp99,
+                seconds / latencies_ms.len() as f64,
+                replicas,
+                replica_bytes,
+                gossip_merges,
+            ));
+        }
+    }
+    let ratio = |k: usize| p50[&(Succession::Quorum, k)] / p50[&(Succession::Deterministic, k)];
+    format!(
+        concat!(
+            "{{\n  \"bench\": \"BENCH_0009\",\n  \"ablation\": \"quorum\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"workload\": \"mandelbrot {}, {} procs, kill daemon 3 at {:?} ms x seeds {:?}\",\n",
+            "  \"rows\": [\n{}\n  ],\n",
+            "  \"latency_ratio_p50_k1\": {:.4},\n",
+            "  \"latency_ratio_p50_k2\": {:.4},\n",
+            "  \"latency_ratio_p50_k3\": {:.4}\n}}"
+        ),
+        if smoke { "smoke" } else { "full" },
+        if smoke { "64x64, 4x4 grid" } else { "128x128, 8x8 grid" },
+        procs,
+        kill_times,
+        seeds,
+        rows.join(",\n"),
+        ratio(1),
+        ratio(2),
+        ratio(3),
+    )
+}
+
+/// Schema check for a `BENCH_0009.json` produced by [`ablation_quorum`]:
+/// required keys present, both succession modes recorded at `k` ∈
+/// {1, 2, 3}, every latency and counter finite and non-negative, the
+/// quorum rows actually replicated checkpoints, and — for a
+/// `"mode": "full"` file — the `k = 2` quorum/deterministic p50 latency
+/// ratio at most 3×.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn validate_bench_0009(json: &str) -> Result<(), String> {
+    fn number_after(json: &str, key: &str, from: usize) -> Result<f64, String> {
+        let pat = format!("\"{key}\":");
+        let at = json[from..]
+            .find(&pat)
+            .map(|i| from + i + pat.len())
+            .ok_or_else(|| format!("missing key {key:?}"))?;
+        let rest = json[at..].trim_start();
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        let tok = rest[..end].trim();
+        if tok == "null" {
+            return Err(format!("key {key:?} is null"));
+        }
+        tok.parse::<f64>().map_err(|_| format!("key {key:?} holds non-number {tok:?}"))
+    }
+
+    if !json.contains("\"bench\": \"BENCH_0009\"") {
+        return Err("missing \"bench\": \"BENCH_0009\"".to_string());
+    }
+    for key in ["ablation", "mode", "workload", "rows"] {
+        if !json.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing key {key:?}"));
+        }
+    }
+    for succession in ["deterministic", "quorum"] {
+        if !json.contains(&format!("\"succession\": \"{succession}\"")) {
+            return Err(format!("missing rows for succession {succession:?}"));
+        }
+    }
+    for k in [1, 2, 3] {
+        if !json.contains(&format!("\"replication\": {k},")) {
+            return Err(format!("missing rows for replication k={k}"));
+        }
+    }
+    let mut max_replicas = 0.0f64;
+    for key in [
+        "recovery_latency_ms_p50",
+        "recovery_latency_ms_p99",
+        "mean_seconds",
+        "ckpt_replicas",
+        "ckpt_replica_bytes",
+        "gossip_merges",
+    ] {
+        let pat = format!("\"{key}\":");
+        let mut from = 0usize;
+        let mut seen = false;
+        while let Some(i) = json[from..].find(&pat) {
+            let at = from + i;
+            let v = number_after(json, key, at)?;
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("field {key:?} is negative or non-finite: {v}"));
+            }
+            if key == "ckpt_replicas" {
+                max_replicas = max_replicas.max(v);
+            }
+            seen = true;
+            from = at + pat.len();
+        }
+        if !seen {
+            return Err(format!("missing field {key:?}"));
+        }
+    }
+    if max_replicas < 1.0 {
+        return Err("no row records a pushed replica — write-ahead replication never ran".into());
+    }
+    for key in ["latency_ratio_p50_k1", "latency_ratio_p50_k2", "latency_ratio_p50_k3"] {
+        let v = number_after(json, key, 0)?;
+        if v <= 0.0 {
+            return Err(format!("{key} must be positive, got {v}"));
+        }
+    }
+    let k2 = number_after(json, "latency_ratio_p50_k2", 0)?;
+    if json.contains("\"mode\": \"full\"") && k2 > 3.0 {
+        return Err(format!(
+            "full-mode k=2 quorum/deterministic p50 latency ratio {k2:.3} above the 3x bar"
+        ));
+    }
+    Ok(())
+}
+
 /// BENCH_0006 — execution lanes + frame batching + local-move hops.
 ///
 /// Three workloads, one JSON file:

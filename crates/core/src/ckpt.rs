@@ -100,6 +100,118 @@ impl CheckpointStore for FileStore {
     }
 }
 
+/// A `k`-replicated view over a [`CheckpointStore`]: every snapshot
+/// version is held by up to `k` *holder* daemons (the owner's next-alive
+/// successors, plus the platform's own copy under the owner itself), and
+/// a holder's copies die with it — [`ReplicatedStore::fail`] models the
+/// loss of everything a dead daemon held. Recovery reads the
+/// highest-version copy on a *live* holder, so it survives losing the
+/// victim and up to `k - 1` replica holders in the same fault plan.
+///
+/// The inner store keeps the "current snapshot per slot" discipline;
+/// replication bookkeeping (who holds which version) lives here, keyed
+/// `(owner, holder)` so a platform can install write-ahead copies as
+/// [`crate::wire::Wire::CkptPush`] frames arrive.
+#[derive(Debug)]
+pub struct ReplicatedStore<S> {
+    inner: S,
+    /// `(owner, holder) → (version, snapshot)`; only the latest version
+    /// per holder is kept (the last-checkpoint discipline).
+    replicas: HashMap<(u16, u16), (u32, Bytes)>,
+    /// Holders that died; their copies are gone.
+    failed: Vec<u16>,
+}
+
+impl<S: CheckpointStore> ReplicatedStore<S> {
+    /// Wrap `inner`; no replicas, no failures.
+    pub fn new(inner: S) -> Self {
+        ReplicatedStore { inner, replicas: HashMap::new(), failed: Vec::new() }
+    }
+
+    /// Access the wrapped store (e.g. [`FileStore::put_blob`]).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Install version `ver` of `owner`'s snapshot on `holder`. Stale
+    /// versions (≤ the holder's current one) are ignored; installs on a
+    /// failed holder are dropped — a dead daemon accepts nothing.
+    pub fn install(&mut self, owner: DaemonId, holder: DaemonId, ver: u32, snapshot: Bytes) {
+        if self.failed.contains(&holder.0) {
+            return;
+        }
+        let slot = self.replicas.entry((owner.0, holder.0)).or_insert((0, Bytes::new()));
+        if ver >= slot.0 {
+            *slot = (ver, snapshot);
+        }
+    }
+
+    /// The version of `owner`'s snapshot currently held by `holder`, if
+    /// any. Platforms use this to skip pushes that would re-install what
+    /// a holder already has — the idempotence that lets the periodic
+    /// checkpoint cadence quiesce once nothing changes.
+    pub fn held_version(&self, owner: DaemonId, holder: DaemonId) -> Option<u32> {
+        self.replicas.get(&(owner.0, holder.0)).map(|&(v, _)| v)
+    }
+
+    /// `true` iff `owner`'s own copy is byte-identical to `snapshot` —
+    /// i.e. a new checkpoint would change nothing.
+    pub fn unchanged(&self, owner: DaemonId, snapshot: &Bytes) -> bool {
+        self.replicas.get(&(owner.0, owner.0)).is_some_and(|(_, b)| b == snapshot)
+    }
+
+    /// Holder `d` died: every copy it held is lost, and it accepts no
+    /// further installs.
+    pub fn fail(&mut self, d: DaemonId) {
+        if !self.failed.contains(&d.0) {
+            self.failed.push(d.0);
+        }
+        self.replicas.retain(|&(_, holder), _| holder != d.0);
+    }
+
+    /// The best surviving copy of `owner`'s snapshot: highest version on
+    /// any live holder, ties broken toward the lowest holder id (so
+    /// every daemon computing this picks the same copy).
+    pub fn best(&self, owner: DaemonId) -> Option<(u32, Bytes)> {
+        let mut best: Option<(u32, u16, &Bytes)> = None;
+        for (&(o, holder), &(ver, ref snap)) in &self.replicas {
+            if o != owner.0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bv, bh, _)) => ver > bv || (ver == bv && holder < bh),
+            };
+            if better {
+                best = Some((ver, holder, snap));
+            }
+        }
+        best.map(|(ver, _, snap)| (ver, snap.clone()))
+    }
+}
+
+impl<S: CheckpointStore> CheckpointStore for ReplicatedStore<S> {
+    /// The owner's own copy: versionless writes go to the inner store
+    /// *and* count as a replica under the owner itself (lost on
+    /// [`ReplicatedStore::fail`], like any other holder's copy).
+    fn put(&mut self, d: DaemonId, snapshot: Bytes) {
+        self.inner.put(d, snapshot);
+    }
+
+    /// The best surviving copy: a live replica if any holder survives,
+    /// else the inner store's copy *unless the owner is failed* (the
+    /// primary slot models storage on the owner's host).
+    fn get(&self, d: DaemonId) -> Option<Bytes> {
+        if let Some((_, snap)) = self.best(d) {
+            return Some(snap);
+        }
+        if self.failed.contains(&d.0) {
+            return None;
+        }
+        self.inner.get(d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +225,45 @@ mod tests {
         s.put(DaemonId(1), Bytes::from(vec![9]));
         assert_eq!(s.get(DaemonId(1)).unwrap().as_ref(), &[9], "new snapshot replaces old");
         assert!(s.get(DaemonId(2)).is_none(), "slots are per daemon");
+    }
+
+    #[test]
+    fn replicated_store_survives_holder_loss() {
+        let mut s = ReplicatedStore::new(MemStore::new());
+        let owner = DaemonId(2);
+        // Version 1 on the owner itself and holders 3 and 4 (k = 2).
+        s.install(owner, DaemonId(2), 1, Bytes::from(vec![1]));
+        s.install(owner, DaemonId(3), 1, Bytes::from(vec![1]));
+        s.install(owner, DaemonId(4), 1, Bytes::from(vec![1]));
+        // Version 2 reached only the owner and holder 3.
+        s.install(owner, DaemonId(2), 2, Bytes::from(vec![2]));
+        s.install(owner, DaemonId(3), 2, Bytes::from(vec![2]));
+        assert_eq!(s.best(owner).unwrap(), (2, Bytes::from(vec![2])));
+        // The owner dies: its own copy is gone, holder 3 has v2.
+        s.fail(DaemonId(2));
+        assert_eq!(s.best(owner).unwrap(), (2, Bytes::from(vec![2])));
+        // Holder 3 dies too: fall back to holder 4's v1.
+        s.fail(DaemonId(3));
+        assert_eq!(s.best(owner).unwrap(), (1, Bytes::from(vec![1])));
+        assert_eq!(s.get(owner).unwrap().as_ref(), &[1]);
+        // A push to a dead holder is dropped, and stale versions lose.
+        s.install(owner, DaemonId(3), 9, Bytes::from(vec![9]));
+        s.install(owner, DaemonId(4), 0, Bytes::from(vec![0]));
+        assert_eq!(s.best(owner).unwrap(), (1, Bytes::from(vec![1])));
+        // Last holder dies: nothing survives anywhere.
+        s.fail(DaemonId(4));
+        assert!(s.best(owner).is_none());
+        assert!(s.get(owner).is_none(), "failed owner must not resurrect the inner slot");
+    }
+
+    #[test]
+    fn replicated_store_ties_break_toward_lowest_holder() {
+        let mut s = ReplicatedStore::new(MemStore::new());
+        let owner = DaemonId(0);
+        s.install(owner, DaemonId(5), 3, Bytes::from(vec![5]));
+        s.install(owner, DaemonId(1), 3, Bytes::from(vec![1]));
+        s.install(owner, DaemonId(3), 3, Bytes::from(vec![3]));
+        assert_eq!(s.best(owner).unwrap(), (3, Bytes::from(vec![1])));
     }
 
     #[test]

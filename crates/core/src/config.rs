@@ -105,6 +105,36 @@ impl Default for CostModel {
     }
 }
 
+/// How a dead daemon's heir is chosen when recovery is armed.
+///
+/// Both modes end with the victim's checkpoint restored exactly once;
+/// they differ in who is trusted to decide that the victim is dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Succession {
+    /// The pre-control-plane rule: the deterministic next-alive daemon
+    /// acts on its *own* failure-detector verdict. Correct only while
+    /// every daemon's membership view agrees; kept for the ablation
+    /// baseline (`BENCH_0009.json`).
+    Deterministic,
+    /// A kill is *proposed* by suspecting observers and acted on only
+    /// once a majority of the surviving acceptors accepts the burial
+    /// decree (single-decree Paxos, `msgr-ctrl`). A wrong failure
+    /// detector can then never cause a split-brain double restore.
+    #[default]
+    Quorum,
+}
+
+impl Succession {
+    /// Parse a CLI/env spelling (`deterministic` | `quorum`).
+    pub fn parse(s: &str) -> Option<Succession> {
+        match s {
+            "deterministic" => Some(Succession::Deterministic),
+            "quorum" => Some(Succession::Quorum),
+            _ => None,
+        }
+    }
+}
+
 /// Retransmission policy of the reliable-delivery layer, active only
 /// when the cluster's [`FaultPlan`] can inject faults. Timeouts double on
 /// every retry (exponential backoff) up to `max_rto`, with a uniform
@@ -174,6 +204,31 @@ impl Default for RecoveryPolicy {
             dead_after: 240 * MILLI,
             checkpoint_every: 40 * MILLI,
         }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The defaults, with the failure-detector thresholds overridable
+    /// from the environment: `MSGR_FD_SUSPECT` / `MSGR_FD_DEAD`, both in
+    /// *milliseconds* of simulated time (see DESIGN.md §5). Values that
+    /// would invert the suspect < dead ordering are ignored — a detector
+    /// that declares death before suspicion is a configuration error,
+    /// not a policy.
+    pub fn from_env() -> Self {
+        fn env_ms(key: &str) -> Option<SimTime> {
+            std::env::var(key).ok().and_then(|v| v.parse::<u64>().ok()).map(|ms| ms * MILLI)
+        }
+        let mut p = RecoveryPolicy::default();
+        if let Some(t) = env_ms("MSGR_FD_SUSPECT") {
+            p.suspect_after = t;
+        }
+        if let Some(t) = env_ms("MSGR_FD_DEAD") {
+            p.dead_after = t;
+        }
+        if p.suspect_after == 0 || p.dead_after <= p.suspect_after {
+            return RecoveryPolicy::default();
+        }
+        p
     }
 }
 
@@ -295,6 +350,16 @@ pub struct ClusterConfig {
     /// want every hop on the wire path. The threads platform and the
     /// lane bench opt in.
     pub local_move: bool,
+    /// How a victim's heir is chosen when a permanent kill is detected:
+    /// by majority decree ([`Succession::Quorum`], the default) or by
+    /// the deterministic next-alive rule kept for the ablation baseline.
+    /// Overridable via the `MSGR_SUCCESSION` environment variable.
+    pub succession: Succession,
+    /// Checkpoint replication factor `k`: every checkpoint version is
+    /// pushed to the `k` next-alive successor daemons *before* its
+    /// staged effects are released, so recovery survives losing the
+    /// victim and `k - 1` of its replica holders at once. Default 1.
+    pub replication: usize,
 }
 
 impl ClusterConfig {
@@ -319,7 +384,7 @@ impl ClusterConfig {
             segment_fuel: msgr_vm::interp::DEFAULT_FUEL,
             faults: FaultPlan::none(),
             retransmit: RetransmitPolicy::default(),
-            recovery: RecoveryPolicy::default(),
+            recovery: RecoveryPolicy::from_env(),
             checkpoint_dir: None,
             trace: msgr_trace::TraceConfig::default(),
             lanes: 1,
@@ -333,12 +398,22 @@ impl ClusterConfig {
                 Some("0") | Some("off") | Some("false")
             ),
             local_move: false,
+            succession: std::env::var("MSGR_SUCCESSION")
+                .ok()
+                .and_then(|s| Succession::parse(&s))
+                .unwrap_or_default(),
+            replication: 1,
         }
     }
 
     /// The number of execution lanes, clamped to at least one.
     pub fn lane_count(&self) -> usize {
         self.lanes.max(1)
+    }
+
+    /// The checkpoint replication factor, clamped to at least one.
+    pub fn replica_count(&self) -> usize {
+        self.replication.max(1)
     }
 
     /// `true` iff outgoing payload frames may be coalesced into
@@ -386,6 +461,12 @@ mod tests {
         }
         assert_eq!(ExecMode::parse("compiled"), Some(ExecMode::Compiled));
         assert_eq!(ExecMode::parse("jit"), None);
+        if std::env::var("MSGR_SUCCESSION").is_err() {
+            assert_eq!(c.succession, Succession::Quorum, "succession must default to quorum");
+        }
+        assert_eq!(c.replica_count(), 1, "replication must default to k=1");
+        assert_eq!(Succession::parse("deterministic"), Some(Succession::Deterministic));
+        assert_eq!(Succession::parse("raft"), None);
     }
 
     #[test]
@@ -418,6 +499,30 @@ mod tests {
         assert!(r.suspect_after >= 2 * r.heartbeat_every, "suspect only after missed beats");
         assert!(r.dead_after > r.suspect_after, "dead strictly after suspect");
         assert!(r.checkpoint_every > 0);
+    }
+
+    #[test]
+    fn fd_thresholds_obey_env_overrides() {
+        // Serialize against anything else reading the vars: set, read,
+        // restore in one test so no parallel ClusterConfig::new observes
+        // a half-configured detector.
+        std::env::set_var("MSGR_FD_SUSPECT", "90");
+        std::env::set_var("MSGR_FD_DEAD", "300");
+        let r = RecoveryPolicy::from_env();
+        assert_eq!(r.suspect_after, 90 * MILLI);
+        assert_eq!(r.dead_after, 300 * MILLI);
+        assert_eq!(r.heartbeat_every, RecoveryPolicy::default().heartbeat_every);
+        // An inverted pair (dead <= suspect) falls back to defaults.
+        std::env::set_var("MSGR_FD_DEAD", "90");
+        assert_eq!(RecoveryPolicy::from_env(), RecoveryPolicy::default());
+        // Garbage is ignored, not fatal.
+        std::env::set_var("MSGR_FD_DEAD", "soon");
+        let r = RecoveryPolicy::from_env();
+        assert_eq!(r.suspect_after, 90 * MILLI);
+        assert_eq!(r.dead_after, RecoveryPolicy::default().dead_after);
+        std::env::remove_var("MSGR_FD_SUSPECT");
+        std::env::remove_var("MSGR_FD_DEAD");
+        assert_eq!(RecoveryPolicy::from_env(), RecoveryPolicy::default());
     }
 
     #[test]

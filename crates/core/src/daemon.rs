@@ -27,7 +27,7 @@ use msgr_vm::{
     Yield,
 };
 
-use crate::config::{ClusterConfig, RetransmitPolicy, VtMode};
+use crate::config::{ClusterConfig, RetransmitPolicy, Succession, VtMode};
 use crate::ids::{DaemonId, NodeRef};
 use crate::logical::{LinkRec, LogicalNode, Orient};
 use crate::topology::DaemonTopology;
@@ -253,6 +253,17 @@ impl CodeCache {
     /// here — use [`CodeCache::rejection`] to see why one was refused.
     pub fn get(&self, id: ProgramId) -> Option<Arc<Program>> {
         self.map.read().unwrap().get(&id).cloned()
+    }
+
+    /// Order-independent fingerprint of every verified program body —
+    /// the code-registry hash carried in anti-entropy gossip digests, so
+    /// daemons can detect registry divergence without shipping code.
+    pub fn content_hash(&self) -> u64 {
+        self.map
+            .read()
+            .unwrap()
+            .keys()
+            .fold(0u64, |h, id| h ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Why `id` was quarantined, if it was.
@@ -650,6 +661,17 @@ pub struct Daemon {
     last_heard: Vec<SimTime>,
     /// Membership epoch: number of evictions this daemon knows of.
     mem_epoch: u64,
+    /// Quorum control plane: one single-decree Paxos instance per
+    /// `(victim, seq)`. `Some` only when recovery is armed on a cluster
+    /// of at least two (a singleton has no quorum to consult).
+    ctrl: Option<msgr_ctrl::Quorum>,
+    /// Seeded peer-pick stream for the anti-entropy gossip schedule.
+    gossip_rng: DetRng,
+    /// Every eviction this daemon knows of, as `(victim, floor)` — the
+    /// gossip digest's membership payload.
+    evictions: Vec<(u16, f64)>,
+    /// Highest GVT estimate seen (via the coordinator or gossip hints).
+    gvt_hint: f64,
     /// Output-commit stage: durable effects held back until the next
     /// checkpoint flush, so a death between checkpoints rolls back
     /// cleanly (the work re-executes from the snapshot, exactly once).
@@ -699,6 +721,10 @@ impl Daemon {
         let n = cfg.daemons;
         let trace_cfg = cfg.trace.clone();
         let lanes = LaneSet::new(cfg.lane_count(), cfg.seed);
+        let ctrl = (recovery && n >= 2).then(|| msgr_ctrl::Quorum::new(id.0, n as u16));
+        // Gossip peer picks get their own fork so adding an exchange
+        // never perturbs transport jitter or lane sharding.
+        let gossip_rng = DetRng::new(cfg.seed).fork(0x605_5190 ^ u64::from(id.0));
         let mut d = Daemon {
             id,
             cfg,
@@ -725,6 +751,10 @@ impl Daemon {
             suspect: vec![false; n],
             last_heard: vec![0; n],
             mem_epoch: 0,
+            ctrl,
+            gossip_rng,
+            evictions: Vec::new(),
+            gvt_hint: 0.0,
             stage: Vec::new(),
             pending_acks: Vec::new(),
             last_ckpt_min: Vt::INFINITY,
@@ -994,6 +1024,51 @@ impl Daemon {
                 self.apply_evict(victim, epoch, floor, fx);
                 c.gvt_msg_ns
             }
+            Wire::Ctrl { from, msg } => {
+                self.heard_from(now, from);
+                let step = self.ctrl.as_mut().map(|q| q.deliver(from.0, msg));
+                if let Some(step) = step {
+                    self.dispatch_ctrl(step, fx);
+                }
+                c.gvt_msg_ns
+            }
+            Wire::Gossip { from, reply, digest } => {
+                self.heard_from(now, from);
+                let mine = self.digest();
+                // Pull half of push-pull: reply with our digest iff we
+                // know something the sender doesn't. Replies are never
+                // replied to, so one exchange is at most two frames.
+                if !reply && mine.knows_more_than(&digest) {
+                    self.stats.bump(Metric::GossipReplies);
+                    fx.push(Effect::Send {
+                        dst: from,
+                        wire: Wire::Gossip { from: self.id, reply: true, digest: mine.clone() },
+                    });
+                }
+                if digest.knows_more_than(&mine) {
+                    self.merge_digest(&digest, from, fx);
+                }
+                c.gvt_msg_ns
+            }
+            Wire::CkptPush { owner, ver, snapshot } => {
+                // Durable-write path: the platform installed the replica
+                // before delivery; the daemon accounts it and acks the
+                // owner so the write-ahead barrier can release.
+                self.heard_from(now, owner);
+                self.stats.bump(Metric::CkptReplicas);
+                self.stats.add(Metric::CkptReplicaBytes, snapshot.len() as u64);
+                self.rec.emit_sys(EventKind::CkptReplica { owner: owner.0, ver });
+                fx.push(Effect::Send {
+                    dst: owner,
+                    wire: Wire::CkptAck { owner, holder: self.id, ver },
+                });
+                c.gvt_msg_ns + snapshot.len() as u64 * c.per_byte_copy_ns
+            }
+            Wire::CkptAck { owner: _, holder, ver: _ } => {
+                self.heard_from(now, holder);
+                self.stats.bump(Metric::CkptReplicaAcks);
+                c.gvt_msg_ns
+            }
             Wire::Migrate(m) => {
                 self.part.on_receive(m.epoch, m.vtime);
                 self.stats.bump(Metric::MigrationsIn);
@@ -1219,7 +1294,14 @@ impl Daemon {
             };
             if matches!(
                 wire,
-                Wire::Data { .. } | Wire::Ack { .. } | Wire::GvtKick | Wire::Beat { .. }
+                Wire::Data { .. }
+                    | Wire::Ack { .. }
+                    | Wire::GvtKick
+                    | Wire::Beat { .. }
+                    | Wire::Ctrl { .. }
+                    | Wire::Gossip { .. }
+                    | Wire::CkptPush { .. }
+                    | Wire::CkptAck { .. }
             ) {
                 continue;
             }
@@ -1512,9 +1594,139 @@ impl Daemon {
             }
         }
         for v in verdicts {
-            self.declare_dead(v, fx);
+            match self.cfg.succession {
+                Succession::Deterministic => self.declare_dead(v, fx),
+                Succession::Quorum => self.propose_eviction(v, fx),
+            }
+        }
+        if self.cfg.succession == Succession::Quorum {
+            // Anti-entropy: push our digest to one seeded-random alive
+            // peer per tick. Epidemic push-pull converges a new fact to
+            // every daemon in O(log n) ticks even if the originating
+            // broadcast was lost.
+            if let Some(peer) = msgr_ctrl::pick_peer(&mut self.gossip_rng, self.id.0, &self.alive) {
+                self.stats.bump(Metric::GossipPushes);
+                let digest = self.digest();
+                fx.push(Effect::Send {
+                    dst: DaemonId(peer),
+                    wire: Wire::Gossip { from: self.id, reply: false, digest },
+                });
+            }
         }
         self.cfg.costs.gvt_msg_ns
+    }
+
+    /// Propose burying `victim` to the quorum (or nudge a decided but
+    /// not-yet-enacted decree along). Called on every beat tick while the
+    /// victim is dead-silent and still in the membership, so lost ctrl
+    /// frames heal by re-proposal at a higher ballot rather than by
+    /// retransmission.
+    fn propose_eviction(&mut self, victim: DaemonId, fx: &mut Vec<Effect>) {
+        if !self.alive[victim.0 as usize] {
+            return;
+        }
+        let Some(ctrl) = self.ctrl.as_mut() else {
+            return;
+        };
+        // Cascade: if an earlier decree named an heir that has itself
+        // died before restoring, open the next instance; if the decree's
+        // heir is alive, re-send `Learn` in case it never heard it.
+        let seq = match ctrl.decided_for(victim.0) {
+            Some((seq, d)) if self.alive[d.successor as usize] => {
+                let inst = msgr_ctrl::InstanceId { victim: victim.0, seq };
+                if let Some(learn) = ctrl.learn_msg(inst) {
+                    self.stats.bump(Metric::CtrlFrames);
+                    fx.push(Effect::Send {
+                        dst: DaemonId(d.successor),
+                        wire: Wire::Ctrl { from: self.id, msg: learn },
+                    });
+                }
+                return;
+            }
+            Some((seq, _)) => seq + 1,
+            None => 0,
+        };
+        let heir = self.successor_of(victim);
+        if heir == victim {
+            return; // no live successor: nothing a decree could order
+        }
+        let decree = msgr_ctrl::Decree {
+            victim: victim.0,
+            successor: heir.0,
+            epoch: (self.mem_epoch + 1) as u32,
+        };
+        let inst = msgr_ctrl::InstanceId { victim: victim.0, seq };
+        self.stats.bump(Metric::CtrlProposals);
+        self.rec.emit_sys(EventKind::CtrlPropose { victim: victim.0, seq });
+        let step = self.ctrl.as_mut().expect("checked above").propose(inst, decree);
+        self.dispatch_ctrl(step, fx);
+    }
+
+    /// Turn a consensus [`msgr_ctrl::Step`] into wire traffic, and act on
+    /// a freshly learned decree.
+    fn dispatch_ctrl(&mut self, step: msgr_ctrl::Step, fx: &mut Vec<Effect>) {
+        for (dst, msg) in step.send {
+            self.stats.bump(Metric::CtrlFrames);
+            fx.push(Effect::Send { dst: DaemonId(dst), wire: Wire::Ctrl { from: self.id, msg } });
+        }
+        if let Some((inst, decree)) = step.learned {
+            self.on_decree(inst, decree, fx);
+        }
+    }
+
+    /// A burial decree reached quorum. Only the decree-named heir acts
+    /// (preserving the single-restorer invariant the deterministic rule
+    /// had); everyone else waits for the heir's reliable `Evict`
+    /// broadcast, which carries the checkpoint floor GVT must respect.
+    fn on_decree(
+        &mut self,
+        inst: msgr_ctrl::InstanceId,
+        decree: msgr_ctrl::Decree,
+        fx: &mut Vec<Effect>,
+    ) {
+        self.stats.bump(Metric::CtrlDecrees);
+        self.rec.emit_sys(EventKind::CtrlDecide {
+            victim: decree.victim,
+            successor: decree.successor,
+            seq: inst.seq,
+        });
+        if !self.alive[decree.victim as usize] || decree.successor != self.id.0 {
+            return;
+        }
+        self.stats.bump(Metric::FdDeaths);
+        fx.push(Effect::Recover { victim: DaemonId(decree.victim) });
+    }
+
+    /// This daemon's current anti-entropy digest.
+    fn digest(&self) -> msgr_ctrl::Digest {
+        msgr_ctrl::Digest {
+            mem_epoch: self.mem_epoch as u32,
+            evictions: self.evictions.clone(),
+            code_hash: self.codes.content_hash(),
+            gvt: self.gvt_hint,
+        }
+    }
+
+    /// Fold a peer's digest into local state: unknown evictions apply
+    /// (with their floors), the membership epoch ratchets, a registry
+    /// hash mismatch is surfaced as a metric, and a newer GVT hint runs
+    /// the full advance path (parked messengers revive / fossils
+    /// collect — a hint is as good as a coordinator broadcast).
+    fn merge_digest(&mut self, d: &msgr_ctrl::Digest, from: DaemonId, fx: &mut Vec<Effect>) {
+        self.stats.bump(Metric::GossipMerges);
+        self.rec.emit_sys(EventKind::GossipMerge { from: from.0 });
+        for &(victim, floor) in &d.evictions {
+            if victim != self.id.0 && self.alive.get(victim as usize).copied().unwrap_or(false) {
+                self.apply_evict(DaemonId(victim), u64::from(d.mem_epoch), Vt::new(floor), fx);
+            }
+        }
+        self.mem_epoch = self.mem_epoch.max(u64::from(d.mem_epoch));
+        if d.code_hash != self.codes.content_hash() {
+            self.stats.bump(Metric::GossipCodeMismatch);
+        }
+        if d.gvt > self.gvt_hint {
+            self.advance_gvt_local(Vt::new(d.gvt));
+        }
     }
 
     /// The local failure detector reached a Dead verdict for `victim`.
@@ -1551,6 +1763,7 @@ impl Daemon {
         self.alive[i] = false;
         self.suspect[i] = false;
         self.mem_epoch = (self.mem_epoch + 1).max(epoch);
+        self.evictions.push((victim.0, floor.as_f64()));
         self.stats.bump(Metric::Evictions);
         self.rec.emit_sys(EventKind::GvtEvict { victim: victim.0, floor: floor.as_f64() });
         let heir = self.owner(victim);
@@ -1952,6 +2165,10 @@ impl Daemon {
             x.send.clear();
             x.recv.clear();
         }
+        if let Some(q) = self.ctrl.as_mut() {
+            q.reset();
+        }
+        self.evictions.clear();
     }
 
     /// Whether any queued messenger currently sits at `gid`.
@@ -1996,28 +2213,7 @@ impl Daemon {
                 let ack = self.part.on_poll(round, lm);
                 fx.push(Effect::Send { dst: DaemonId(0), wire: Wire::Gvt(ack) });
             }
-            CtrlMsg::Advance { gvt } => {
-                self.part.on_advance(gvt);
-                let g = gvt.as_f64();
-                self.rec.set_gvt(g);
-                self.rec.emit_sys(EventKind::GvtAdvance { gvt: g });
-                if g.is_finite() && g > 0.0 {
-                    self.stats.gauge_set(Metric::GvtNs, (g * 1e9) as u64);
-                }
-                if self.cfg.vt_mode == VtMode::Conservative {
-                    while let Some((_, r)) = self.pending.pop_runnable(gvt) {
-                        self.rec.emit(
-                            r.state.vtime.as_f64(),
-                            EventKind::MsgrRevive { mid: r.state.id.0 },
-                        );
-                        self.lanes.push(r);
-                    }
-                } else {
-                    for node in self.tw.values_mut() {
-                        node.fossil_collect(gvt);
-                    }
-                }
-            }
+            CtrlMsg::Advance { gvt } => self.advance_gvt_local(gvt),
             ack @ (CtrlMsg::CutAck { .. } | CtrlMsg::PollAck { .. }) => {
                 let Some(coord) = self.coord.as_mut() else {
                     return;
@@ -2032,6 +2228,29 @@ impl Daemon {
                         self.broadcast_gvt(CtrlMsg::Advance { gvt }, fx);
                     }
                 }
+            }
+        }
+    }
+
+    /// Adopt a GVT estimate — from the coordinator's `Advance` broadcast
+    /// or from a gossip hint; both must run the same revive/fossil path.
+    fn advance_gvt_local(&mut self, gvt: Vt) {
+        self.part.on_advance(gvt);
+        let g = gvt.as_f64();
+        self.gvt_hint = self.gvt_hint.max(g);
+        self.rec.set_gvt(g);
+        self.rec.emit_sys(EventKind::GvtAdvance { gvt: g });
+        if g.is_finite() && g > 0.0 {
+            self.stats.gauge_set(Metric::GvtNs, (g * 1e9) as u64);
+        }
+        if self.cfg.vt_mode == VtMode::Conservative {
+            while let Some((_, r)) = self.pending.pop_runnable(gvt) {
+                self.rec.emit(r.state.vtime.as_f64(), EventKind::MsgrRevive { mid: r.state.id.0 });
+                self.lanes.push(r);
+            }
+        } else {
+            for node in self.tw.values_mut() {
+                node.fossil_collect(gvt);
             }
         }
     }

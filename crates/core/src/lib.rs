@@ -68,7 +68,7 @@ pub mod wire;
 pub use ckpt::{CheckpointStore, FileStore, MemStore};
 pub use config::{
     BatchPolicy, ClusterConfig, CostModel, ExecMode, NetKind, RecoveryPolicy, RetransmitPolicy,
-    VtMode,
+    Succession, VtMode,
 };
 pub use daemon::{lane_of, CodeCache, Daemon, Effect, RegisterOutcome};
 pub use ids::{DaemonId, NodeRef};

@@ -19,7 +19,7 @@ use msgr_sim::{
 use msgr_trace::{EventKind, Metric, Trace};
 use msgr_vm::{MessengerId, NativeCtx, NativeRegistry, Program, ProgramId, Value};
 
-use crate::ckpt::{CheckpointStore, MemStore};
+use crate::ckpt::{CheckpointStore, MemStore, ReplicatedStore};
 use crate::config::{ClusterConfig, NetKind, VtMode, VtService};
 use crate::daemon::{CodeCache, Daemon, Effect};
 use crate::ids::{DaemonId, NodeRef};
@@ -48,9 +48,15 @@ struct World {
     /// `SimTime::MAX` marks a *permanent* kill: volatile state is gone
     /// and only a checkpoint restore brings the work back.
     down_until: Vec<SimTime>,
-    /// Durable checkpoint storage — host memory, outside every simulated
-    /// daemon, so it survives any kill.
-    ckpt: MemStore,
+    /// Checkpoint storage, `k`-replicated: every snapshot version lives
+    /// on the owner's host and on its `k` next-alive successors, and a
+    /// holder's copies die with it. Recovery reads the best copy on a
+    /// live holder, so it survives losing the victim together with up to
+    /// `k - 1` of its replica holders.
+    ckpt: ReplicatedStore<MemStore>,
+    /// Per-daemon snapshot version counters (monotone; replica staleness
+    /// is resolved by version, not arrival order).
+    ckpt_ver: Vec<u32>,
     /// Failover once-guard: victim `i`'s checkpoint is restored at most
     /// once, no matter how many detectors reach the Dead verdict.
     restored: Vec<bool>,
@@ -98,8 +104,15 @@ fn apply_effects(en: &mut En, w: &mut World, src: DaemonId, at: SimTime, mut fx:
                 let bytes = wire.wire_bytes(w.cfg.costs.wire_header_bytes);
                 let src_h = HostId(src.0 as u32);
                 let dst_h = HostId(dst.0 as u32);
+                // Checkpoint replication is the durable-write path: a
+                // push is a disk write on the holder's host, not a
+                // droppable datagram — it either completes or the holder
+                // is dead (reliable-or-fail-stop). Everything else,
+                // consensus and gossip included, faces the injector;
+                // ctrl losses heal by re-proposal at a higher ballot.
+                let durable = matches!(&wire, Wire::CkptPush { .. } | Wire::CkptAck { .. });
                 let fate = match &mut w.injector {
-                    Some(inj) if src != dst => inj.fate(),
+                    Some(inj) if src != dst && !durable => inj.fate(),
                     _ => FrameFate::intact(),
                 };
                 w.stats.bump(Metric::Wires);
@@ -317,6 +330,8 @@ fn kill(en: &mut En, w: &mut World, d: DaemonId) {
     rec.set_now(en.now());
     rec.emit_sys(EventKind::Kill);
     w.daemons[i].gut();
+    // Every checkpoint replica this daemon held dies with its host.
+    w.ckpt.fail(d);
     // If the cluster had quiesced, the heartbeat and checkpoint chains
     // wound down — but the kill itself creates new work (the victim's
     // unrestored checkpoint), so failure detection must come back.
@@ -347,11 +362,51 @@ fn checkpoint_now(en: &mut En, w: &mut World, d: DaemonId) {
     w.daemons[i].checkpoint_flush(now, &mut fx);
     let snap = w.daemons[i].checkpoint_snapshot();
     let bytes = snap.len() as u64;
-    w.ckpt.put(d, snap);
-    let cost = w.cfg.costs.hop_send_ns + bytes * w.cfg.costs.per_byte_copy_ns;
+    // Write-ahead replication: the snapshot is durable on the owner's
+    // host and on its k next-alive successors *before* the flushed
+    // effects go out below — the output-commit barrier, now k-wide. The
+    // CkptPush frames carry the same bytes through the (loss-exempt)
+    // network for cost accounting and the holders' acks. A snapshot
+    // identical to the last one keeps its version, and holders that
+    // already have the current version are not pushed to again — the
+    // idempotence that lets the cadence quiesce with the computation
+    // (while still re-replicating after a *holder* dies).
+    if !w.ckpt.unchanged(d, &snap) {
+        w.ckpt_ver[i] += 1;
+    }
+    let ver = w.ckpt_ver[i];
+    w.ckpt.install(d, d, ver, snap.clone());
+    let k = w.cfg.replica_count();
+    let n = w.daemons.len();
+    let mut out = Vec::new();
+    let mut covered = 0usize;
+    let mut pushed = 0u64;
+    for step in 1..n {
+        if covered >= k {
+            break;
+        }
+        let j = (i + step) % n;
+        if w.down_until[j] == SimTime::MAX {
+            continue;
+        }
+        let holder = DaemonId(j as u16);
+        covered += 1;
+        if w.ckpt.held_version(d, holder) == Some(ver) {
+            continue; // already durable there — nothing to push
+        }
+        w.ckpt.install(d, holder, ver, snap.clone());
+        out.push(Effect::Send {
+            dst: holder,
+            wire: Wire::CkptPush { owner: d, ver, snapshot: snap.clone() },
+        });
+        pushed += 1;
+    }
+    // Pushes ride ahead of the flushed effects they guard.
+    out.append(&mut fx);
+    let cost = w.cfg.costs.hop_send_ns + bytes * (1 + pushed) * w.cfg.costs.per_byte_copy_ns;
     let (_, end) = w.cpus[i].run(now, cost);
     w.last_work = w.last_work.max(end);
-    apply_effects(en, w, d, now, fx);
+    apply_effects(en, w, d, now, out);
 }
 
 /// Periodic per-daemon checkpoint cadence (recovery-armed runs only).
@@ -408,7 +463,13 @@ fn recover(en: &mut En, w: &mut World, successor: DaemonId, victim: DaemonId) {
         return;
     }
     w.restored[vi] = true;
-    let snap = w.ckpt.get(victim).expect("recovery-armed runs checkpoint every daemon at start");
+    let Some(snap) = w.ckpt.get(victim) else {
+        panic!(
+            "no surviving checkpoint for daemon {victim}: it died together with all {} of its \
+             replica holder(s); raise ClusterConfig::replication or kill fewer daemons at once",
+            w.cfg.replica_count()
+        );
+    };
     let bytes = snap.len() as u64;
     let now = en.now();
     let si = successor.0 as usize;
@@ -557,7 +618,8 @@ impl SimCluster {
                 faults: Vec::new(),
                 injector,
                 down_until,
-                ckpt: MemStore::new(),
+                ckpt: ReplicatedStore::new(MemStore::new()),
+                ckpt_ver: vec![0; n],
                 restored: vec![false; n],
                 killed_at: vec![None; n],
                 beats_live: false,

@@ -155,6 +155,57 @@ pub enum Wire {
         /// past the resurrected messengers' restored virtual times.
         floor: Vt,
     },
+    /// Consensus traffic for the decentralized control plane: one
+    /// single-decree Paxos message (see `msgr_ctrl::quorum`). Like
+    /// [`Wire::Beat`], deliberately *not* enveloped: loss is healed by
+    /// the proposer re-proposing with a higher ballot on the next
+    /// heartbeat tick, and retransmitting a stale ballot would only add
+    /// noise the protocol already tolerates.
+    Ctrl {
+        /// The daemon that sent this message.
+        from: DaemonId,
+        /// The consensus message.
+        msg: msgr_ctrl::PaxosMsg,
+    },
+    /// Anti-entropy gossip: a digest of the sender's control-plane
+    /// knowledge (membership epoch, evictions, code-registry hash, GVT
+    /// hint), pushed to one random peer per heartbeat tick. Unenveloped
+    /// for the same reason as [`Wire::Beat`]: the next round re-covers
+    /// anything a lost frame carried.
+    Gossip {
+        /// The daemon that sent this digest.
+        from: DaemonId,
+        /// `true` when this digest answers a push (the pull half);
+        /// replies are never replied to, bounding an exchange at two
+        /// frames.
+        reply: bool,
+        /// The sender's summarized knowledge.
+        digest: msgr_ctrl::Digest,
+    },
+    /// Checkpoint replication: `owner`'s `ver`-th snapshot, pushed
+    /// write-ahead to one of its `k` successor holders before the
+    /// checkpointed flush effects are released. Exempt from fault
+    /// injection — the durable-write path is reliable-or-fail-stop,
+    /// mirroring a local disk write (see DESIGN.md §12).
+    CkptPush {
+        /// The daemon whose state is snapshotted.
+        owner: DaemonId,
+        /// Monotone snapshot version for `owner`.
+        ver: u32,
+        /// The encoded checkpoint.
+        snapshot: Bytes,
+    },
+    /// A holder's acknowledgement that it durably installed a pushed
+    /// replica (accounting/tracing only — the write-ahead path does not
+    /// block on it).
+    CkptAck {
+        /// The snapshot's owner.
+        owner: DaemonId,
+        /// The holder that installed it.
+        holder: DaemonId,
+        /// The installed version.
+        ver: u32,
+    },
 }
 
 impl Wire {
@@ -181,6 +232,10 @@ impl Wire {
             Wire::Batch(_) => "batch",
             Wire::Beat { .. } => "beat",
             Wire::Evict { .. } => "evict",
+            Wire::Ctrl { .. } => "ctrl",
+            Wire::Gossip { .. } => "gossip",
+            Wire::CkptPush { .. } => "ckpt_push",
+            Wire::CkptAck { .. } => "ckpt_ack",
         }
     }
 
@@ -204,6 +259,19 @@ impl Wire {
             Wire::Batch(frames) => header + 2 + frames.iter().map(|f| f.wire_bytes(4)).sum::<u64>(),
             Wire::Beat { .. } => header + 10,
             Wire::Evict { .. } => header + 18,
+            Wire::Ctrl { msg, .. } => {
+                let payload = match msg {
+                    msgr_ctrl::PaxosMsg::Prepare { .. } | msgr_ctrl::PaxosMsg::Learn { .. } => 15,
+                    msgr_ctrl::PaxosMsg::Promise { accepted: None, .. } => 16,
+                    msgr_ctrl::PaxosMsg::Promise { accepted: Some(_), .. } => 32,
+                    msgr_ctrl::PaxosMsg::AcceptReq { .. }
+                    | msgr_ctrl::PaxosMsg::Accepted { .. } => 23,
+                };
+                header + 2 + payload
+            }
+            Wire::Gossip { digest, .. } => header + 3 + 20 + digest.evictions.len() as u64 * 10,
+            Wire::CkptPush { snapshot, .. } => header + 6 + snapshot.len() as u64,
+            Wire::CkptAck { .. } => header + 8,
         }
     }
 }
@@ -237,6 +305,13 @@ fn get_u8(buf: &mut Bytes, what: &str) -> Result<u8, VmError> {
 fn get_u16_varint(buf: &mut Bytes, what: &str) -> Result<u16, VmError> {
     let v = get_varint(buf)?;
     u16::try_from(v).map_err(|_| err(&format!("{what} {v} overflows u16")))
+}
+
+/// A varint that must fit in 32 bits (checkpoint versions). Same
+/// strictness rationale as [`get_u16_varint`].
+fn get_u32_varint(buf: &mut Bytes, what: &str) -> Result<u32, VmError> {
+    let v = get_varint(buf)?;
+    u32::try_from(v).map_err(|_| err(&format!("{what} {v} overflows u32")))
 }
 
 pub(crate) fn put_vt(buf: &mut BytesMut, vt: Vt) {
@@ -393,6 +468,33 @@ fn get_ctrl(buf: &mut Bytes) -> Result<CtrlMsg, VmError> {
     })
 }
 
+/// Length-prefix a control-plane payload written by the `msgr_ctrl`
+/// codec, so the strict frame decoder can require exact consumption.
+fn put_ctrl_payload(buf: &mut BytesMut, write: impl FnOnce(&mut Vec<u8>)) {
+    let mut tmp = Vec::with_capacity(32);
+    write(&mut tmp);
+    put_varint(buf, tmp.len() as u64);
+    buf.put_slice(&tmp);
+}
+
+fn get_ctrl_payload<T>(
+    buf: &mut Bytes,
+    what: &str,
+    read: impl FnOnce(&mut &[u8]) -> Result<T, msgr_ctrl::codec::CodecError>,
+) -> Result<T, VmError> {
+    let n = get_varint(buf)? as usize;
+    if buf.remaining() < n {
+        return Err(err(&format!("truncated {what} payload")));
+    }
+    let payload = buf.copy_to_bytes(n);
+    let mut r: &[u8] = &payload;
+    let v = read(&mut r).map_err(|e| err(&format!("{what}: {e}")))?;
+    if !r.is_empty() {
+        return Err(err(&format!("trailing bytes in {what} payload")));
+    }
+    Ok(v)
+}
+
 fn put_frame(buf: &mut BytesMut, w: &Wire) {
     match w {
         Wire::Migrate(m) => {
@@ -451,6 +553,30 @@ fn put_frame(buf: &mut BytesMut, w: &Wire) {
             for f in frames {
                 put_frame(buf, f);
             }
+        }
+        Wire::Ctrl { from, msg } => {
+            buf.put_u8(10);
+            put_varint(buf, from.0 as u64);
+            put_ctrl_payload(buf, |out| msgr_ctrl::codec::put_paxos(out, msg));
+        }
+        Wire::Gossip { from, reply, digest } => {
+            buf.put_u8(11);
+            put_varint(buf, from.0 as u64);
+            buf.put_u8(*reply as u8);
+            put_ctrl_payload(buf, |out| msgr_ctrl::codec::put_digest(out, digest));
+        }
+        Wire::CkptPush { owner, ver, snapshot } => {
+            buf.put_u8(12);
+            put_varint(buf, owner.0 as u64);
+            put_varint(buf, *ver as u64);
+            put_varint(buf, snapshot.len() as u64);
+            buf.put_slice(snapshot);
+        }
+        Wire::CkptAck { owner, holder, ver } => {
+            buf.put_u8(13);
+            put_varint(buf, owner.0 as u64);
+            put_varint(buf, holder.0 as u64);
+            put_varint(buf, *ver as u64);
         }
     }
 }
@@ -542,6 +668,37 @@ fn get_frame(buf: &mut Bytes, ctx: Ctx) -> Result<Wire, VmError> {
                 frames.push(get_frame(buf, Ctx::InBatch)?);
             }
             Wire::Batch(frames)
+        }
+        10 => {
+            let from = DaemonId(get_u16_varint(buf, "ctrl origin")?);
+            let msg = get_ctrl_payload(buf, "ctrl", msgr_ctrl::codec::get_paxos)?;
+            Wire::Ctrl { from, msg }
+        }
+        11 => {
+            let from = DaemonId(get_u16_varint(buf, "gossip origin")?);
+            let reply = match get_u8(buf, "gossip reply flag")? {
+                0 => false,
+                1 => true,
+                t => return Err(err(&format!("bad gossip reply flag {t}"))),
+            };
+            let digest = get_ctrl_payload(buf, "gossip", msgr_ctrl::codec::get_digest)?;
+            Wire::Gossip { from, reply, digest }
+        }
+        12 => {
+            let owner = DaemonId(get_u16_varint(buf, "ckpt owner")?);
+            let ver = get_u32_varint(buf, "ckpt version")?;
+            let n = get_varint(buf)? as usize;
+            if buf.remaining() < n {
+                return Err(err("truncated checkpoint snapshot"));
+            }
+            let snapshot = buf.copy_to_bytes(n);
+            Wire::CkptPush { owner, ver, snapshot }
+        }
+        13 => {
+            let owner = DaemonId(get_u16_varint(buf, "ckpt owner")?);
+            let holder = DaemonId(get_u16_varint(buf, "ckpt holder")?);
+            let ver = get_u32_varint(buf, "ckpt version")?;
+            Wire::CkptAck { owner, holder, ver }
         }
         t => return Err(err(&format!("unknown frame tag {t}"))),
     })
@@ -699,6 +856,54 @@ mod tests {
                     Wire::Migrate(mig(9, 0)),
                 ])),
             },
+            Wire::Ctrl {
+                from: DaemonId(1),
+                msg: msgr_ctrl::PaxosMsg::Prepare {
+                    inst: msgr_ctrl::InstanceId { victim: 2, seq: 0 },
+                    ballot: msgr_ctrl::ballot(1, 1),
+                },
+            },
+            Wire::Ctrl {
+                from: DaemonId(3),
+                msg: msgr_ctrl::PaxosMsg::Promise {
+                    inst: msgr_ctrl::InstanceId { victim: 2, seq: 1 },
+                    ballot: msgr_ctrl::ballot(4, 0),
+                    accepted: Some((
+                        msgr_ctrl::ballot(2, 3),
+                        msgr_ctrl::Decree { victim: 2, successor: 3, epoch: 5 },
+                    )),
+                },
+            },
+            Wire::Ctrl {
+                from: DaemonId(0),
+                msg: msgr_ctrl::PaxosMsg::Learn {
+                    inst: msgr_ctrl::InstanceId { victim: 5, seq: 0 },
+                    decree: msgr_ctrl::Decree { victim: 5, successor: 6, epoch: 1 },
+                },
+            },
+            Wire::Gossip {
+                from: DaemonId(2),
+                reply: false,
+                digest: msgr_ctrl::Digest {
+                    mem_epoch: 0,
+                    evictions: vec![],
+                    code_hash: 0x9E37_79B9,
+                    gvt: 0.0,
+                },
+            },
+            Wire::Gossip {
+                from: DaemonId(6),
+                reply: true,
+                digest: msgr_ctrl::Digest {
+                    mem_epoch: 2,
+                    evictions: vec![(1, 3.5), (4, f64::INFINITY)],
+                    code_hash: u64::MAX,
+                    gvt: 12.25,
+                },
+            },
+            Wire::CkptPush { owner: DaemonId(3), ver: 7, snapshot: Bytes::from(vec![9u8; 40]) },
+            Wire::CkptPush { owner: DaemonId(0), ver: 0, snapshot: Bytes::new() },
+            Wire::CkptAck { owner: DaemonId(3), holder: DaemonId(4), ver: 7 },
         ]
     }
 
@@ -795,6 +1000,51 @@ mod tests {
                 assert!(decode_frame(full.slice(..cut)).is_err(), "cut {cut} of {w:?} decoded");
             }
         }
+    }
+
+    #[test]
+    fn control_plane_frames_stay_cheap() {
+        let ctrl = Wire::Ctrl {
+            from: DaemonId(1),
+            msg: msgr_ctrl::PaxosMsg::Prepare {
+                inst: msgr_ctrl::InstanceId { victim: 2, seq: 0 },
+                ballot: msgr_ctrl::ballot(1, 1),
+            },
+        };
+        assert!(ctrl.wire_bytes(64) < 128, "consensus frames must stay cheap");
+        let gossip = Wire::Gossip {
+            from: DaemonId(0),
+            reply: false,
+            digest: msgr_ctrl::Digest {
+                mem_epoch: 1,
+                evictions: vec![(1, 0.5)],
+                code_hash: 1,
+                gvt: 0.0,
+            },
+        };
+        assert!(gossip.wire_bytes(64) < 128, "gossip digests must stay cheap");
+        let ack = Wire::CkptAck { owner: DaemonId(0), holder: DaemonId(1), ver: 1 };
+        assert!(ack.wire_bytes(64) < 128, "replica acks must stay cheap");
+        let push =
+            Wire::CkptPush { owner: DaemonId(0), ver: 1, snapshot: Bytes::from(vec![0; 100]) };
+        assert!(push.wire_bytes(64) >= 164, "pushes account the snapshot bytes");
+    }
+
+    #[test]
+    fn ctrl_payload_trailing_bytes_rejected() {
+        let msg = msgr_ctrl::PaxosMsg::Learn {
+            inst: msgr_ctrl::InstanceId { victim: 1, seq: 0 },
+            decree: msgr_ctrl::Decree { victim: 1, successor: 2, epoch: 1 },
+        };
+        let mut payload = Vec::new();
+        msgr_ctrl::codec::put_paxos(&mut payload, &msg);
+        let mut raw = BytesMut::new();
+        raw.put_u8(10);
+        put_varint(&mut raw, 1); // from
+        put_varint(&mut raw, payload.len() as u64 + 1);
+        raw.put_slice(&payload);
+        raw.put_u8(0); // a byte the ctrl codec cannot account for
+        assert!(decode_frame(raw.freeze()).is_err(), "slack inside the payload must not decode");
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Strict byte codec for control-plane payloads.
+//!
+//! Same discipline as the core wire codec: little-endian fixed-width
+//! fields, every tag and flag validated, truncation rejected, and NaN
+//! floats refused on both encode (debug assert) and decode (hard
+//! error). The core frame layer length-prefixes these payloads and
+//! requires the decoder to consume the slice exactly, so trailing
+//! garbage is rejected there.
+
+use crate::gossip::Digest;
+use crate::quorum::{Ballot, Decree, InstanceId, PaxosMsg};
+
+/// Why a control payload failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Payload ended before the field being read.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// An option/bool flag was neither 0 nor 1.
+    BadFlag(u8),
+    /// A float field decoded to NaN.
+    NanFloat,
+    /// A length field exceeded its sanity cap.
+    Oversized,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "control payload truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown control message tag {t}"),
+            CodecError::BadFlag(b) => write!(f, "control flag byte {b} is not 0/1"),
+            CodecError::NanFloat => write!(f, "control float field is NaN"),
+            CodecError::Oversized => write!(f, "control list length exceeds cap"),
+        }
+    }
+}
+
+/// Sanity cap on the digest eviction list: far above any real cluster
+/// (membership is u16), low enough to bound a hostile allocation.
+pub const MAX_EVICTIONS: usize = 4096;
+
+const TAG_PREPARE: u8 = 0;
+const TAG_PROMISE: u8 = 1;
+const TAG_ACCEPT_REQ: u8 = 2;
+const TAG_ACCEPTED: u8 = 3;
+const TAG_LEARN: u8 = 4;
+
+// ---- primitive readers -------------------------------------------------
+
+fn take<'a>(r: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    if r.len() < n {
+        return Err(CodecError::Truncated);
+    }
+    let (head, rest) = r.split_at(n);
+    *r = rest;
+    Ok(head)
+}
+
+fn get_u8(r: &mut &[u8]) -> Result<u8, CodecError> {
+    Ok(take(r, 1)?[0])
+}
+
+fn get_u16(r: &mut &[u8]) -> Result<u16, CodecError> {
+    Ok(u16::from_le_bytes(take(r, 2)?.try_into().unwrap()))
+}
+
+fn get_u32(r: &mut &[u8]) -> Result<u32, CodecError> {
+    Ok(u32::from_le_bytes(take(r, 4)?.try_into().unwrap()))
+}
+
+fn get_u64(r: &mut &[u8]) -> Result<u64, CodecError> {
+    Ok(u64::from_le_bytes(take(r, 8)?.try_into().unwrap()))
+}
+
+fn get_f64(r: &mut &[u8]) -> Result<f64, CodecError> {
+    let v = f64::from_bits(get_u64(r)?);
+    if v.is_nan() {
+        return Err(CodecError::NanFloat);
+    }
+    Ok(v)
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    debug_assert!(!v.is_nan(), "refusing to encode NaN");
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+// ---- compound fields ---------------------------------------------------
+
+fn put_inst(out: &mut Vec<u8>, inst: InstanceId) {
+    out.extend_from_slice(&inst.victim.to_le_bytes());
+    out.extend_from_slice(&inst.seq.to_le_bytes());
+}
+
+fn get_inst(r: &mut &[u8]) -> Result<InstanceId, CodecError> {
+    Ok(InstanceId { victim: get_u16(r)?, seq: get_u32(r)? })
+}
+
+fn put_decree(out: &mut Vec<u8>, d: Decree) {
+    out.extend_from_slice(&d.victim.to_le_bytes());
+    out.extend_from_slice(&d.successor.to_le_bytes());
+    out.extend_from_slice(&d.epoch.to_le_bytes());
+}
+
+fn get_decree(r: &mut &[u8]) -> Result<Decree, CodecError> {
+    Ok(Decree { victim: get_u16(r)?, successor: get_u16(r)?, epoch: get_u32(r)? })
+}
+
+fn put_ballot(out: &mut Vec<u8>, b: Ballot) {
+    out.extend_from_slice(&b.to_le_bytes());
+}
+
+// ---- paxos messages ----------------------------------------------------
+
+/// Append the encoding of `m` to `out`.
+pub fn put_paxos(out: &mut Vec<u8>, m: &PaxosMsg) {
+    match *m {
+        PaxosMsg::Prepare { inst, ballot } => {
+            out.push(TAG_PREPARE);
+            put_inst(out, inst);
+            put_ballot(out, ballot);
+        }
+        PaxosMsg::Promise { inst, ballot, accepted } => {
+            out.push(TAG_PROMISE);
+            put_inst(out, inst);
+            put_ballot(out, ballot);
+            match accepted {
+                None => out.push(0),
+                Some((b, d)) => {
+                    out.push(1);
+                    put_ballot(out, b);
+                    put_decree(out, d);
+                }
+            }
+        }
+        PaxosMsg::AcceptReq { inst, ballot, decree } => {
+            out.push(TAG_ACCEPT_REQ);
+            put_inst(out, inst);
+            put_ballot(out, ballot);
+            put_decree(out, decree);
+        }
+        PaxosMsg::Accepted { inst, ballot, decree } => {
+            out.push(TAG_ACCEPTED);
+            put_inst(out, inst);
+            put_ballot(out, ballot);
+            put_decree(out, decree);
+        }
+        PaxosMsg::Learn { inst, decree } => {
+            out.push(TAG_LEARN);
+            put_inst(out, inst);
+            put_decree(out, decree);
+        }
+    }
+}
+
+/// Decode one paxos message, advancing `r` past it.
+///
+/// # Errors
+///
+/// Any [`CodecError`]: truncation, an unknown tag, or a bad flag byte.
+pub fn get_paxos(r: &mut &[u8]) -> Result<PaxosMsg, CodecError> {
+    match get_u8(r)? {
+        TAG_PREPARE => Ok(PaxosMsg::Prepare { inst: get_inst(r)?, ballot: get_u64(r)? }),
+        TAG_PROMISE => {
+            let inst = get_inst(r)?;
+            let ballot = get_u64(r)?;
+            let accepted = match get_u8(r)? {
+                0 => None,
+                1 => Some((get_u64(r)?, get_decree(r)?)),
+                b => return Err(CodecError::BadFlag(b)),
+            };
+            Ok(PaxosMsg::Promise { inst, ballot, accepted })
+        }
+        TAG_ACCEPT_REQ => Ok(PaxosMsg::AcceptReq {
+            inst: get_inst(r)?,
+            ballot: get_u64(r)?,
+            decree: get_decree(r)?,
+        }),
+        TAG_ACCEPTED => Ok(PaxosMsg::Accepted {
+            inst: get_inst(r)?,
+            ballot: get_u64(r)?,
+            decree: get_decree(r)?,
+        }),
+        TAG_LEARN => Ok(PaxosMsg::Learn { inst: get_inst(r)?, decree: get_decree(r)? }),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+// ---- gossip digests ----------------------------------------------------
+
+/// Append the encoding of `d` to `out`.
+///
+/// # Panics
+///
+/// Debug-asserts that the eviction list fits [`MAX_EVICTIONS`] (the
+/// victim space is u16, so a legitimate list always does).
+pub fn put_digest(out: &mut Vec<u8>, d: &Digest) {
+    debug_assert!(d.evictions.len() <= MAX_EVICTIONS);
+    out.extend_from_slice(&d.mem_epoch.to_le_bytes());
+    out.extend_from_slice(&(d.evictions.len() as u16).to_le_bytes());
+    for &(victim, floor) in &d.evictions {
+        out.extend_from_slice(&victim.to_le_bytes());
+        put_f64(out, floor);
+    }
+    out.extend_from_slice(&d.code_hash.to_le_bytes());
+    put_f64(out, d.gvt);
+}
+
+/// Decode one digest, advancing `r` past it.
+///
+/// # Errors
+///
+/// Any [`CodecError`]: truncation, an oversized eviction list, or a
+/// NaN float field.
+pub fn get_digest(r: &mut &[u8]) -> Result<Digest, CodecError> {
+    let mem_epoch = get_u32(r)?;
+    let count = get_u16(r)? as usize;
+    if count > MAX_EVICTIONS {
+        return Err(CodecError::Oversized);
+    }
+    let mut evictions = Vec::with_capacity(count.min(64));
+    for _ in 0..count {
+        evictions.push((get_u16(r)?, get_f64(r)?));
+    }
+    Ok(Digest { mem_epoch, evictions, code_hash: get_u64(r)?, gvt: get_f64(r)? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paxos_samples() -> Vec<PaxosMsg> {
+        let inst = InstanceId { victim: 3, seq: 2 };
+        let d = Decree { victim: 3, successor: 4, epoch: 7 };
+        vec![
+            PaxosMsg::Prepare { inst, ballot: crate::ballot(1, 0) },
+            PaxosMsg::Promise { inst, ballot: crate::ballot(1, 0), accepted: None },
+            PaxosMsg::Promise {
+                inst,
+                ballot: crate::ballot(2, 1),
+                accepted: Some((crate::ballot(1, 0), d)),
+            },
+            PaxosMsg::AcceptReq { inst, ballot: crate::ballot(2, 1), decree: d },
+            PaxosMsg::Accepted { inst, ballot: crate::ballot(2, 1), decree: d },
+            PaxosMsg::Learn { inst, decree: d },
+        ]
+    }
+
+    #[test]
+    fn paxos_round_trips_and_is_strict() {
+        for m in paxos_samples() {
+            let mut buf = Vec::new();
+            put_paxos(&mut buf, &m);
+            let mut r = &buf[..];
+            assert_eq!(get_paxos(&mut r), Ok(m), "round trip");
+            assert!(r.is_empty(), "decoder consumes exactly what encode wrote");
+            for cut in 0..buf.len() {
+                let mut r = &buf[..cut];
+                assert!(get_paxos(&mut r).is_err(), "truncation at {cut} must fail");
+            }
+        }
+        assert_eq!(get_paxos(&mut &[9u8][..]), Err(CodecError::BadTag(9)));
+        let mut bad = Vec::new();
+        put_paxos(
+            &mut bad,
+            &PaxosMsg::Promise {
+                inst: InstanceId { victim: 0, seq: 0 },
+                ballot: 1,
+                accepted: None,
+            },
+        );
+        *bad.last_mut().unwrap() = 2; // corrupt the option flag
+        assert_eq!(get_paxos(&mut &bad[..]), Err(CodecError::BadFlag(2)));
+    }
+
+    #[test]
+    fn digest_round_trips_and_is_strict() {
+        let d = Digest {
+            mem_epoch: 5,
+            evictions: vec![(2, 0.25), (7, f64::INFINITY)],
+            code_hash: 0xDEAD_BEEF,
+            gvt: 12.5,
+        };
+        let mut buf = Vec::new();
+        put_digest(&mut buf, &d);
+        let mut r = &buf[..];
+        assert_eq!(get_digest(&mut r), Ok(d));
+        assert!(r.is_empty());
+        for cut in 0..buf.len() {
+            let mut r = &buf[..cut];
+            assert!(get_digest(&mut r).is_err(), "truncation at {cut} must fail");
+        }
+        // NaN floor is rejected.
+        let mut nan = Vec::new();
+        nan.extend_from_slice(&1u32.to_le_bytes());
+        nan.extend_from_slice(&1u16.to_le_bytes());
+        nan.extend_from_slice(&3u16.to_le_bytes());
+        nan.extend_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        nan.extend_from_slice(&0u64.to_le_bytes());
+        nan.extend_from_slice(&0f64.to_bits().to_le_bytes());
+        assert_eq!(get_digest(&mut &nan[..]), Err(CodecError::NanFloat));
+        // An oversized count is refused before any allocation.
+        let mut big = Vec::new();
+        big.extend_from_slice(&0u32.to_le_bytes());
+        big.extend_from_slice(&u16::MAX.to_le_bytes());
+        assert_eq!(get_digest(&mut &big[..]), Err(CodecError::Oversized));
+    }
+}

@@ -1,0 +1,538 @@
+//! Single-decree Paxos over membership changes.
+//!
+//! One consensus *instance* per proposed membership change, keyed by
+//! [`InstanceId`] `(victim, seq)`: `seq 0` is the first attempt to bury
+//! `victim`, and `seq k+1` reopens the question when the heir named by
+//! decree `k` died before completing the restore (a cascading kill).
+//! The value agreed on is a [`Decree`] naming the victim's heir and the
+//! membership epoch the eviction will carry.
+//!
+//! The acceptor set for an instance is **every initial daemon except
+//! the victim** — the victim is on trial, not on the jury — and a
+//! quorum is a majority of that set, so decrees stay decidable as long
+//! as a minority of the cluster is dead (enforced up front by
+//! `FaultPlan::validate`). Daemons are fail-stop: a killed acceptor
+//! never votes again, so there is no promise amnesia and the classic
+//! safety argument applies unchanged.
+//!
+//! The machine is message-in/messages-out and knows nothing about
+//! transport, timers, or failure detection. Liveness comes from the
+//! caller: consensus frames ride outside the reliable envelope, and the
+//! daemon simply re-[`propose`](Quorum::propose)s with a higher ballot
+//! on every heartbeat tick while the instance is undecided — loss is
+//! healed by retry, not retransmission.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A totally ordered ballot number: `(round << 16) | proposer`, so
+/// ballots from distinct proposers never collide and a higher round
+/// always dominates.
+pub type Ballot = u64;
+
+/// Compose a ballot from a round number and the proposing daemon.
+pub fn ballot(round: u64, proposer: u16) -> Ballot {
+    (round << 16) | u64::from(proposer)
+}
+
+/// The round component of a ballot.
+pub fn ballot_round(b: Ballot) -> u64 {
+    b >> 16
+}
+
+/// The proposing daemon encoded in a ballot.
+pub fn ballot_proposer(b: Ballot) -> u16 {
+    (b & 0xFFFF) as u16
+}
+
+/// Identifies one consensus instance: the `seq`-th attempt to agree on
+/// a burial decree for `victim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId {
+    /// The daemon whose death is being decided.
+    pub victim: u16,
+    /// Attempt number: bumped when a previously decreed heir also died.
+    pub seq: u32,
+}
+
+/// The value a quorum agrees on: who inherits the victim's nodes, and
+/// the membership epoch the eviction will be stamped with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decree {
+    /// The daemon being declared dead.
+    pub victim: u16,
+    /// The heir that will restore the victim's checkpoint.
+    pub successor: u16,
+    /// Membership epoch proposed for the eviction (advisory — the
+    /// eviction path keeps epochs monotone regardless).
+    pub epoch: u32,
+}
+
+/// The consensus message family carried by `Wire::Ctrl` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaxosMsg {
+    /// Phase-1a: a proposer claims `ballot` for `inst`.
+    Prepare {
+        /// Instance being claimed.
+        inst: InstanceId,
+        /// Ballot the proposer wants promised.
+        ballot: Ballot,
+    },
+    /// Phase-1b: an acceptor promises `ballot`, reporting its
+    /// highest-ballot accepted value (if any) so the proposer is forced
+    /// to carry it forward.
+    Promise {
+        /// Instance the promise is for.
+        inst: InstanceId,
+        /// Ballot being promised.
+        ballot: Ballot,
+        /// Highest `(ballot, decree)` this acceptor already accepted.
+        accepted: Option<(Ballot, Decree)>,
+    },
+    /// Phase-2a: the proposer asks acceptors to accept `decree`.
+    AcceptReq {
+        /// Instance being decided.
+        inst: InstanceId,
+        /// Ballot the request is issued under.
+        ballot: Ballot,
+        /// Value to accept.
+        decree: Decree,
+    },
+    /// Phase-2b: an acceptor accepted `decree` at `ballot`.
+    Accepted {
+        /// Instance the vote belongs to.
+        inst: InstanceId,
+        /// Ballot the vote was cast under.
+        ballot: Ballot,
+        /// Value voted for.
+        decree: Decree,
+    },
+    /// A decided value, broadcast by whoever observed the deciding
+    /// quorum (and re-sent on later ticks while the eviction is still
+    /// pending, since learn frames are as lossy as everything else).
+    Learn {
+        /// Instance that was decided.
+        inst: InstanceId,
+        /// The decided value.
+        decree: Decree,
+    },
+}
+
+/// What one call into the machine produced: messages to transmit and
+/// (at most) one newly learned decree.
+#[derive(Debug, Default)]
+pub struct Step {
+    /// `(destination daemon, message)` pairs to put on the wire.
+    /// Self-addressed traffic is already looped internally and never
+    /// appears here.
+    pub send: Vec<(u16, PaxosMsg)>,
+    /// Set when this step decided an instance *for the first time*.
+    pub learned: Option<(InstanceId, Decree)>,
+}
+
+#[derive(Debug, Default)]
+struct Acceptor {
+    promised: Ballot,
+    accepted: Option<(Ballot, Decree)>,
+}
+
+#[derive(Debug)]
+struct Proposal {
+    ballot: Ballot,
+    decree: Decree,
+    promises: BTreeSet<u16>,
+    /// Highest accepted value reported by any promiser — must win over
+    /// our own candidate decree.
+    best: Option<(Ballot, Decree)>,
+    accepts: BTreeSet<u16>,
+    accepting: bool,
+}
+
+/// Per-daemon consensus state: acceptor, proposer, and learner roles
+/// for every instance this daemon has touched.
+#[derive(Debug)]
+pub struct Quorum {
+    id: u16,
+    n: u16,
+    acceptors: BTreeMap<InstanceId, Acceptor>,
+    proposals: BTreeMap<InstanceId, Proposal>,
+    learned: BTreeMap<InstanceId, Decree>,
+}
+
+impl Quorum {
+    /// A fresh machine for daemon `id` in a cluster of `n` initial
+    /// daemons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` — a single daemon has nobody to agree with.
+    pub fn new(id: u16, n: u16) -> Quorum {
+        assert!(n >= 2, "quorum needs at least two daemons, got {n}");
+        assert!(id < n, "daemon {id} outside cluster of {n}");
+        Quorum {
+            id,
+            n,
+            acceptors: BTreeMap::new(),
+            proposals: BTreeMap::new(),
+            learned: BTreeMap::new(),
+        }
+    }
+
+    /// Majority size of the victim-excluded acceptor set (`n - 1`
+    /// members).
+    pub fn quorum_size(n: u16) -> usize {
+        (n as usize - 1) / 2 + 1
+    }
+
+    /// The acceptor set for an instance: every initial daemon except
+    /// the victim.
+    pub fn acceptor_ids(n: u16, victim: u16) -> impl Iterator<Item = u16> {
+        (0..n).filter(move |&d| d != victim)
+    }
+
+    /// The decided decree for `inst`, if this daemon has learned one.
+    pub fn decided(&self, inst: InstanceId) -> Option<Decree> {
+        self.learned.get(&inst).copied()
+    }
+
+    /// The highest-seq decided decree for `victim`, with its seq.
+    pub fn decided_for(&self, victim: u16) -> Option<(u32, Decree)> {
+        self.learned
+            .range(InstanceId { victim, seq: 0 }..=InstanceId { victim, seq: u32::MAX })
+            .next_back()
+            .map(|(i, d)| (i.seq, *d))
+    }
+
+    /// A `Learn` message for a decided instance, for re-broadcast while
+    /// the matching eviction is still outstanding.
+    pub fn learn_msg(&self, inst: InstanceId) -> Option<PaxosMsg> {
+        self.decided(inst).map(|decree| PaxosMsg::Learn { inst, decree })
+    }
+
+    /// Start (or restart, with a strictly higher ballot) a proposal for
+    /// `inst` carrying `decree`. Returns nothing to send if the
+    /// instance is already decided locally.
+    pub fn propose(&mut self, inst: InstanceId, decree: Decree) -> Step {
+        let mut step = Step::default();
+        if self.learned.contains_key(&inst) {
+            return step;
+        }
+        let round = self.proposals.get(&inst).map_or(0, |p| ballot_round(p.ballot)) + 1;
+        let b = ballot(round, self.id);
+        self.proposals.insert(
+            inst,
+            Proposal {
+                ballot: b,
+                decree,
+                promises: BTreeSet::new(),
+                best: None,
+                accepts: BTreeSet::new(),
+                accepting: false,
+            },
+        );
+        let mut work: Vec<(u16, PaxosMsg)> = Self::acceptor_ids(self.n, inst.victim)
+            .map(|dst| (dst, PaxosMsg::Prepare { inst, ballot: b }))
+            .collect();
+        self.drain(&mut work, &mut step);
+        step
+    }
+
+    /// Feed one received message into the machine.
+    pub fn deliver(&mut self, from: u16, msg: PaxosMsg) -> Step {
+        let mut step = Step::default();
+        let mut work = vec![(from, msg)];
+        self.drain_from(&mut work, &mut step, true);
+        step
+    }
+
+    /// Drop all consensus state (the daemon was gutted; fail-stop means
+    /// it will never vote again, so nothing here needs to survive).
+    pub fn reset(&mut self) {
+        self.acceptors.clear();
+        self.proposals.clear();
+        self.learned.clear();
+    }
+
+    /// Process `work`, looping self-addressed output back through the
+    /// machine until only external sends remain.
+    fn drain(&mut self, work: &mut Vec<(u16, PaxosMsg)>, step: &mut Step) {
+        self.drain_from(work, step, false);
+    }
+
+    fn drain_from(&mut self, work: &mut Vec<(u16, PaxosMsg)>, step: &mut Step, mut inbound: bool) {
+        // The first queue entry of `deliver` is an inbound message (its
+        // u16 is the *sender*); everything after is outbound (dst).
+        while let Some((peer, msg)) = work.pop() {
+            if inbound || peer == self.id {
+                let from = if inbound { peer } else { self.id };
+                self.handle(from, msg, work, step);
+            } else {
+                step.send.push((peer, msg));
+            }
+            inbound = false;
+        }
+        // Queue draining is LIFO for simplicity; order across distinct
+        // destinations is normalized so steps are deterministic.
+        step.send.sort_by_key(|(dst, _)| *dst);
+    }
+
+    fn handle(
+        &mut self,
+        from: u16,
+        msg: PaxosMsg,
+        out: &mut Vec<(u16, PaxosMsg)>,
+        step: &mut Step,
+    ) {
+        match msg {
+            PaxosMsg::Prepare { inst, ballot } => {
+                if self.id == inst.victim {
+                    return; // the victim is not an acceptor for its own burial
+                }
+                let a = self.acceptors.entry(inst).or_default();
+                if ballot >= a.promised {
+                    a.promised = ballot;
+                    out.push((from, PaxosMsg::Promise { inst, ballot, accepted: a.accepted }));
+                }
+            }
+            PaxosMsg::Promise { inst, ballot, accepted } => {
+                let quorum = Self::quorum_size(self.n);
+                let Some(p) = self.proposals.get_mut(&inst) else { return };
+                if ballot != p.ballot || p.accepting {
+                    return; // stale round, or phase 2 already launched
+                }
+                p.promises.insert(from);
+                if let Some((b, d)) = accepted {
+                    if p.best.is_none_or(|(bb, _)| b > bb) {
+                        p.best = Some((b, d));
+                    }
+                }
+                if p.promises.len() >= quorum {
+                    p.accepting = true;
+                    if let Some((_, d)) = p.best {
+                        p.decree = d; // a possibly-chosen value must be carried forward
+                    }
+                    let decree = p.decree;
+                    for dst in Self::acceptor_ids(self.n, inst.victim) {
+                        out.push((dst, PaxosMsg::AcceptReq { inst, ballot, decree }));
+                    }
+                }
+            }
+            PaxosMsg::AcceptReq { inst, ballot, decree } => {
+                if self.id == inst.victim {
+                    return;
+                }
+                let a = self.acceptors.entry(inst).or_default();
+                if ballot >= a.promised {
+                    a.promised = ballot;
+                    a.accepted = Some((ballot, decree));
+                    out.push((from, PaxosMsg::Accepted { inst, ballot, decree }));
+                }
+            }
+            PaxosMsg::Accepted { inst, ballot, decree } => {
+                let quorum = Self::quorum_size(self.n);
+                let Some(p) = self.proposals.get_mut(&inst) else { return };
+                if ballot != p.ballot {
+                    return;
+                }
+                p.accepts.insert(from);
+                if p.accepts.len() >= quorum && self.learn(inst, decree, step) {
+                    // First observer of the deciding quorum tells
+                    // everyone else (lossy; re-sent on later ticks).
+                    for dst in (0..self.n).filter(|&d| d != self.id) {
+                        out.push((dst, PaxosMsg::Learn { inst, decree }));
+                    }
+                }
+            }
+            PaxosMsg::Learn { inst, decree } => {
+                self.learn(inst, decree, step);
+            }
+        }
+    }
+
+    /// Record a decided value; returns `true` only the first time.
+    fn learn(&mut self, inst: InstanceId, decree: Decree, step: &mut Step) -> bool {
+        if let Some(prev) = self.learned.get(&inst) {
+            debug_assert_eq!(*prev, decree, "paxos agreement violated for {inst:?}");
+            return false;
+        }
+        self.learned.insert(inst, decree);
+        debug_assert!(step.learned.is_none(), "one step decides at most one instance");
+        step.learned = Some((inst, decree));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INST: InstanceId = InstanceId { victim: 2, seq: 0 };
+    const DECREE: Decree = Decree { victim: 2, successor: 3, epoch: 1 };
+
+    /// Deliver every message in `net`, feeding outputs back until the
+    /// network drains. Returns all decrees learned along the way.
+    fn settle(cluster: &mut [Quorum], mut net: Vec<(u16, u16, PaxosMsg)>) -> Vec<(u16, Decree)> {
+        let mut learned = Vec::new();
+        while let Some((from, to, msg)) = net.pop() {
+            let step = cluster[to as usize].deliver(from, msg);
+            for (dst, m) in step.send {
+                net.push((to, dst, m));
+            }
+            if let Some((_, d)) = step.learned {
+                learned.push((to, d));
+            }
+        }
+        learned
+    }
+
+    fn start(cluster: &mut [Quorum], proposer: u16) -> Vec<(u16, u16, PaxosMsg)> {
+        let step = cluster[proposer as usize].propose(INST, DECREE);
+        step.send.into_iter().map(|(dst, m)| (proposer, dst, m)).collect()
+    }
+
+    #[test]
+    fn ballots_are_ordered_and_unique() {
+        assert!(ballot(2, 0) > ballot(1, u16::MAX), "round dominates proposer");
+        assert_ne!(ballot(1, 3), ballot(1, 4));
+        assert_eq!(ballot_round(ballot(7, 9)), 7);
+        assert_eq!(ballot_proposer(ballot(7, 9)), 9);
+    }
+
+    #[test]
+    fn quorum_is_majority_of_victim_excluded_set() {
+        assert_eq!(Quorum::quorum_size(2), 1, "2 daemons: the lone survivor decides");
+        assert_eq!(Quorum::quorum_size(3), 2);
+        assert_eq!(Quorum::quorum_size(4), 2);
+        assert_eq!(Quorum::quorum_size(5), 3);
+        assert_eq!(Quorum::quorum_size(8), 4);
+        assert_eq!(Quorum::acceptor_ids(4, 2).collect::<Vec<_>>(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn single_proposer_decides_with_full_delivery() {
+        let mut cluster: Vec<Quorum> = (0..4).map(|d| Quorum::new(d, 4)).collect();
+        let net = start(&mut cluster, 0);
+        let learned = settle(&mut cluster, net);
+        assert!(learned.iter().any(|(d, _)| *d == 0), "proposer learns");
+        for (_, d) in &learned {
+            assert_eq!(*d, DECREE);
+        }
+        // Everyone (except the dead victim, who got Learn but is gone
+        // in practice) agrees.
+        for d in [0u16, 1, 3] {
+            assert_eq!(cluster[d as usize].decided(INST), Some(DECREE), "daemon {d}");
+        }
+    }
+
+    #[test]
+    fn dueling_proposers_agree_on_one_decree() {
+        let mut cluster: Vec<Quorum> = (0..5).map(|d| Quorum::new(d, 5)).collect();
+        let other = Decree { victim: 2, successor: 4, epoch: 1 };
+        let mut net = start(&mut cluster, 0);
+        let step = cluster[3].propose(INST, other);
+        net.extend(step.send.into_iter().map(|(dst, m)| (3, dst, m)));
+        let learned = settle(&mut cluster, net);
+        assert!(!learned.is_empty());
+        let first = learned[0].1;
+        for (_, d) in &learned {
+            assert_eq!(*d, first, "all learners adopt the same decree");
+        }
+    }
+
+    #[test]
+    fn decides_with_minority_of_acceptors_dead() {
+        // 5 daemons, victim 2 dead, acceptor 4 also dead: 3 of 4
+        // acceptors alive >= quorum 3.
+        let mut cluster: Vec<Quorum> = (0..5).map(|d| Quorum::new(d, 5)).collect();
+        let net: Vec<_> =
+            start(&mut cluster, 0).into_iter().filter(|(_, to, _)| *to != 2 && *to != 4).collect();
+        let learned = settle(&mut cluster, net);
+        assert!(learned.iter().any(|(d, _)| *d == 0), "decides without the dead acceptors");
+    }
+
+    #[test]
+    fn victim_never_votes_on_its_own_burial() {
+        let mut q = Quorum::new(2, 4);
+        let step = q.deliver(0, PaxosMsg::Prepare { inst: INST, ballot: ballot(1, 0) });
+        assert!(step.send.is_empty(), "victim stays silent");
+        let step =
+            q.deliver(0, PaxosMsg::AcceptReq { inst: INST, ballot: ballot(1, 0), decree: DECREE });
+        assert!(step.send.is_empty());
+    }
+
+    #[test]
+    fn stale_ballots_are_ignored() {
+        let mut q = Quorum::new(1, 4);
+        let hi = ballot(5, 0);
+        let step = q.deliver(0, PaxosMsg::Prepare { inst: INST, ballot: hi });
+        assert_eq!(step.send.len(), 1, "high ballot promised");
+        let step = q.deliver(3, PaxosMsg::Prepare { inst: INST, ballot: ballot(1, 3) });
+        assert!(step.send.is_empty(), "lower ballot gets no promise");
+        let step =
+            q.deliver(3, PaxosMsg::AcceptReq { inst: INST, ballot: ballot(1, 3), decree: DECREE });
+        assert!(step.send.is_empty(), "lower-ballot accept refused");
+    }
+
+    #[test]
+    fn repropose_uses_higher_ballot_and_decided_instance_is_quiet() {
+        let mut q = Quorum::new(0, 4);
+        let s1 = q.propose(INST, DECREE);
+        let s2 = q.propose(INST, DECREE);
+        let b = |s: &Step| match s.send[0].1 {
+            PaxosMsg::Prepare { ballot, .. } => ballot,
+            ref m => panic!("expected prepare, got {m:?}"),
+        };
+        assert!(b(&s2) > b(&s1), "re-proposal climbs the ballot order");
+        q.deliver(1, PaxosMsg::Learn { inst: INST, decree: DECREE });
+        assert!(q.propose(INST, DECREE).send.is_empty(), "decided instances are not re-proposed");
+        assert_eq!(q.learn_msg(INST), Some(PaxosMsg::Learn { inst: INST, decree: DECREE }));
+    }
+
+    #[test]
+    fn decided_for_returns_highest_seq() {
+        let mut q = Quorum::new(0, 4);
+        q.deliver(1, PaxosMsg::Learn { inst: INST, decree: DECREE });
+        let d2 = Decree { victim: 2, successor: 0, epoch: 3 };
+        q.deliver(1, PaxosMsg::Learn { inst: InstanceId { victim: 2, seq: 1 }, decree: d2 });
+        q.deliver(
+            1,
+            PaxosMsg::Learn {
+                inst: InstanceId { victim: 1, seq: 0 },
+                decree: Decree { victim: 1, successor: 3, epoch: 2 },
+            },
+        );
+        assert_eq!(q.decided_for(2), Some((1, d2)));
+        assert_eq!(q.decided_for(3), None);
+    }
+
+    #[test]
+    fn promised_value_is_carried_forward() {
+        // Acceptors 0,1 accepted DECREE at ballot (1,0). A new proposer
+        // 3 with a competing decree must adopt DECREE after phase 1.
+        let mut cluster: Vec<Quorum> = (0..4).map(|d| Quorum::new(d, 4)).collect();
+        let b1 = ballot(1, 0);
+        for a in [0u16, 1] {
+            cluster[a as usize].deliver(0, PaxosMsg::Prepare { inst: INST, ballot: b1 });
+            cluster[a as usize]
+                .deliver(0, PaxosMsg::AcceptReq { inst: INST, ballot: b1, decree: DECREE });
+        }
+        let competing = Decree { victim: 2, successor: 0, epoch: 9 };
+        let net = {
+            let step = cluster[3].propose(INST, competing);
+            step.send.into_iter().map(|(dst, m)| (3u16, dst, m)).collect()
+        };
+        let learned = settle(&mut cluster, net);
+        for (_, d) in &learned {
+            assert_eq!(*d, DECREE, "phase-1 discovery overrides the proposer's own value");
+        }
+        assert!(!learned.is_empty());
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let mut q = Quorum::new(0, 4);
+        q.propose(INST, DECREE);
+        q.deliver(1, PaxosMsg::Learn { inst: INST, decree: DECREE });
+        q.reset();
+        assert_eq!(q.decided(INST), None);
+    }
+}

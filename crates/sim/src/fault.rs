@@ -123,10 +123,13 @@ impl FaultPlan {
     /// Validate the plan against a cluster of `hosts` hosts.
     ///
     /// Checks everything [`FaultPlan::assert_valid`] checks, plus the
-    /// crash schedule: every `host` index must be `< hosts`, and no two
+    /// crash schedule: every `host` index must be `< hosts`, no two
     /// crash windows for the same host may overlap (a permanent kill's
-    /// window extends to infinity, so nothing may follow it). Returns a
-    /// human-readable description of the first problem found.
+    /// window extends to infinity, so nothing may follow it), and the
+    /// permanent kills must not claim a strict majority of the cluster —
+    /// with more than `hosts / 2` daemons dead, burial quorums become
+    /// impossible, so such plans are configuration errors, not chaos.
+    /// Returns a human-readable description of the first problem found.
     pub fn validate(&self, hosts: usize) -> Result<(), String> {
         for (name, p) in
             [("drop_p", self.drop_p), ("dup_p", self.dup_p), ("reorder_p", self.reorder_p)]
@@ -160,6 +163,17 @@ impl FaultPlan {
                     b.until(),
                 ));
             }
+        }
+        let mut kill_hosts: Vec<u32> =
+            by_host.iter().filter(|c| c.is_kill()).map(|c| c.host).collect();
+        kill_hosts.dedup(); // by_host is sorted; one overlap-checked kill per host anyway
+        if kill_hosts.len() * 2 > hosts {
+            return Err(format!(
+                "fault plan: kills {} of {hosts} host(s) — a majority; the survivors could never \
+                 form a burial quorum, so no checkpoint would ever be restored. Kill fewer than \
+                 half, or grow the cluster.",
+                kill_hosts.len()
+            ));
         }
         Ok(())
     }
@@ -340,6 +354,27 @@ mod tests {
         };
         let err = plan.validate(4).unwrap_err();
         assert!(err.contains("overlapping"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_majority_kills() {
+        let kills = |hosts: &[u32]| FaultPlan {
+            crashes: hosts.iter().map(|&h| CrashEvent::kill(h, 100 + u64::from(h))).collect(),
+            ..FaultPlan::none()
+        };
+        // Exactly half may die; one past half may not.
+        kills(&[0, 1]).validate(4).expect("2 of 4 is not a majority");
+        kills(&[1, 3, 5]).validate(6).expect("3 of 6 is not a majority");
+        let err = kills(&[0, 1]).validate(3).unwrap_err();
+        assert!(err.contains("kills 2 of 3"), "{err}");
+        assert!(err.contains("quorum"), "{err}");
+        let err = kills(&[0, 1, 2, 4, 6]).validate(8).unwrap_err();
+        assert!(err.contains("kills 5 of 8"), "{err}");
+        // Transient crashes don't count: the host comes back.
+        let mut plan = kills(&[2]);
+        plan.crashes.push(CrashEvent::transient(0, 0, 50));
+        plan.crashes.push(CrashEvent::transient(1, 0, 50));
+        plan.validate(3).expect("transients aren't kills");
     }
 
     #[test]

@@ -209,6 +209,37 @@ pub enum EventKind {
         /// Fused loops licensed for the typed register file.
         typed_loops: u64,
     },
+    /// This daemon proposed a burial decree for `victim` to the quorum
+    /// (consensus instance `(victim, seq)`).
+    CtrlPropose {
+        /// The daemon whose eviction is being proposed.
+        victim: u16,
+        /// Consensus instance sequence (cascades bump it).
+        seq: u32,
+    },
+    /// A burial decree was learned: a majority agreed `victim` is dead
+    /// and named `successor` as the restoring heir.
+    CtrlDecide {
+        /// The daemon the decree buries.
+        victim: u16,
+        /// The daemon the decree names to restore the checkpoint.
+        successor: u16,
+        /// Consensus instance sequence.
+        seq: u32,
+    },
+    /// An anti-entropy digest from `from` taught this daemon something
+    /// (membership epoch, eviction, GVT hint, or code-registry hash).
+    GossipMerge {
+        /// The peer whose digest was merged.
+        from: u16,
+    },
+    /// This daemon accepted a replicated checkpoint from `owner`.
+    CkptReplica {
+        /// The daemon whose checkpoint this is.
+        owner: u16,
+        /// Snapshot version accepted.
+        ver: u32,
+    },
     /// This daemon was permanently killed (volatile state destroyed).
     Kill,
     /// An application-level phase span opened (e.g. "compute").
@@ -252,6 +283,10 @@ impl EventKind {
             EventKind::CodeCompile { .. } => "compile",
             EventKind::CodeCacheHit { .. } => "code_hit",
             EventKind::CodeAnalysis { .. } => "code_analysis",
+            EventKind::CtrlPropose { .. } => "ctrl_propose",
+            EventKind::CtrlDecide { .. } => "ctrl_decide",
+            EventKind::GossipMerge { .. } => "gossip_merge",
+            EventKind::CkptReplica { .. } => "ckpt_replica",
             EventKind::Kill => "kill",
             EventKind::SpanBegin { .. } => "span_begin",
             EventKind::SpanEnd { .. } => "span_end",
@@ -363,6 +398,18 @@ impl TraceEvent {
                     ",\"prog\":\"{prog:016x}\",\"hop_free\":{hop_free},\"typed_loops\":{typed_loops}"
                 );
             }
+            EventKind::CtrlPropose { victim, seq } => {
+                let _ = write!(out, ",\"victim\":{victim},\"iseq\":{seq}");
+            }
+            EventKind::CtrlDecide { victim, successor, seq } => {
+                let _ = write!(out, ",\"victim\":{victim},\"heir\":{successor},\"iseq\":{seq}");
+            }
+            EventKind::GossipMerge { from } => {
+                let _ = write!(out, ",\"from\":{from}");
+            }
+            EventKind::CkptReplica { owner, ver } => {
+                let _ = write!(out, ",\"owner\":{owner},\"ver\":{ver}");
+            }
             EventKind::Kill => {}
             EventKind::SpanBegin { name } | EventKind::SpanEnd { name } => {
                 out.push_str(",\"name\":\"");
@@ -452,6 +499,20 @@ impl TraceEvent {
                 hop_free: req_u64(j, "hop_free")?,
                 typed_loops: req_u64(j, "typed_loops")?,
             },
+            "ctrl_propose" => EventKind::CtrlPropose {
+                victim: req_u64(j, "victim")? as u16,
+                seq: req_u64(j, "iseq")? as u32,
+            },
+            "ctrl_decide" => EventKind::CtrlDecide {
+                victim: req_u64(j, "victim")? as u16,
+                successor: req_u64(j, "heir")? as u16,
+                seq: req_u64(j, "iseq")? as u32,
+            },
+            "gossip_merge" => EventKind::GossipMerge { from: req_u64(j, "from")? as u16 },
+            "ckpt_replica" => EventKind::CkptReplica {
+                owner: req_u64(j, "owner")? as u16,
+                ver: req_u64(j, "ver")? as u32,
+            },
             "kill" => EventKind::Kill,
             "span_begin" => EventKind::SpanBegin { name: req_str(j, "name")? },
             "span_end" => EventKind::SpanEnd { name: req_str(j, "name")? },
@@ -530,6 +591,10 @@ mod tests {
             EventKind::CodeCompile { prog: 0xE2D4_66F1_0A9B_3C47, funcs: 3, superinsts: 11 },
             EventKind::CodeCacheHit { prog: u64::MAX - 1 },
             EventKind::CodeAnalysis { prog: 0xE2D4_66F1_0A9B_3C47, hop_free: 2, typed_loops: 1 },
+            EventKind::CtrlPropose { victim: 3, seq: 1 },
+            EventKind::CtrlDecide { victim: 3, successor: 4, seq: 1 },
+            EventKind::GossipMerge { from: 6 },
+            EventKind::CkptReplica { owner: 3, ver: 12 },
             EventKind::Kill,
             EventKind::SpanBegin { name: "compute".to_string() },
             EventKind::SpanEnd { name: "compute".to_string() },

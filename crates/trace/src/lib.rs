@@ -159,7 +159,10 @@ impl Trace {
             .filter(|e| {
                 matches!(
                     e.kind,
-                    EventKind::Kill | EventKind::GvtEvict { .. } | EventKind::Restore { .. }
+                    EventKind::Kill
+                        | EventKind::CtrlDecide { .. }
+                        | EventKind::GvtEvict { .. }
+                        | EventKind::Restore { .. }
                 )
             })
             .collect();
@@ -170,6 +173,14 @@ impl Trace {
                 match &ev.kind {
                     EventKind::Kill => {
                         let _ = writeln!(out, "  {at:>10.3} ms  daemon {} killed", ev.daemon);
+                    }
+                    EventKind::CtrlDecide { victim, successor, seq } => {
+                        let _ = writeln!(
+                            out,
+                            "  {at:>10.3} ms  daemon {} learned decree: bury daemon {victim}, \
+                             heir {successor} (instance seq {seq})",
+                            ev.daemon
+                        );
                     }
                     EventKind::GvtEvict { victim, floor } => {
                         // A dead daemon with no surviving work reports f64::MAX

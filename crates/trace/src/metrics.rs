@@ -118,6 +118,17 @@ metrics! {
     RestoredNodes = "restored_nodes": Counter, Count;
     RestoredMessengers = "restored_messengers": Counter, Count;
     RecoveryLatencyNs = "recovery_latency_ns": Histogram, Nanos;
+    // ---- control plane: quorum membership, gossip, replication ----
+    CtrlProposals = "ctrl_proposals": Counter, Count;
+    CtrlFrames = "ctrl_frames": Counter, Count;
+    CtrlDecrees = "ctrl_decrees": Counter, Count;
+    GossipPushes = "gossip_pushes": Counter, Count;
+    GossipReplies = "gossip_replies": Counter, Count;
+    GossipMerges = "gossip_merges": Counter, Count;
+    GossipCodeMismatch = "gossip_code_mismatch": Counter, Count;
+    CkptReplicas = "ckpt_replicas": Counter, Count;
+    CkptReplicaBytes = "ckpt_replica_bytes": Counter, Bytes;
+    CkptReplicaAcks = "ckpt_replica_acks": Counter, Count;
     // ---- execution lanes + frame batching ----
     LaneSteals = "lane_steals": Counter, Count;
     BatchFrames = "batch_frames": Counter, Count;

@@ -56,7 +56,25 @@ for seed in 1 424242 "$(date +%s)"; do
     MSGR_FAULT_SEED="$seed" cargo test -q --offline -p msgr-core --test fault_props
     MSGR_FAULT_SEED="$seed" cargo test -q --offline -p msgr-core --test recovery_props
     MSGR_FAULT_SEED="$seed" cargo test -q --offline -p msgr-core --test batch_props
+    MSGR_FAULT_SEED="$seed" cargo test -q --offline -p msgr-core --test ctrl_props
 done
+
+echo "== control plane: consensus + gossip properties, quorum ablation (BENCH_0009) =="
+# The decentralized control plane end to end: the msgr-ctrl unit and
+# property suites (single-decree agreement safety, gossip convergence)
+# re-run standalone, then the quorum-vs-deterministic succession
+# ablation runs in smoke mode at k ∈ {1,2,3}. Both its output and the
+# committed full-mode BENCH_0009.json are schema-validated — the
+# committed artifact must keep the k=2 quorum/deterministic p50
+# recovery-latency ratio within the 3x acceptance bar.
+cargo test -q --offline -p msgr-ctrl
+cargo build --release --offline -p msgr-bench --bin ablation_recovery
+ctrl_dir="$(mktemp -d)"
+./target/release/ablation_recovery --quorum --smoke > "$ctrl_dir/BENCH_0009.smoke.json"
+./target/release/ablation_recovery --check "$ctrl_dir/BENCH_0009.smoke.json"
+./target/release/ablation_recovery --check BENCH_0009.json
+rm -rf "$ctrl_dir"
+echo "ok: control plane green and BENCH_0009.json is schema-valid"
 
 echo "== bench: lanes/batching ablation smoke (BENCH_0006) =="
 # Run the lanes ablation in smoke mode (seconds, not minutes) and
@@ -167,6 +185,7 @@ if [ "$soak" = 1 ]; then
     cargo test -q --offline -p msgr-core --test fault_props -- --ignored
     cargo test -q --offline -p msgr-core --test recovery_props -- --ignored
     cargo test -q --offline -p msgr-core --test batch_props -- --ignored
+    cargo test -q --offline -p msgr-core --test ctrl_props -- --ignored
 fi
 
 echo "== cargo fmt --check =="

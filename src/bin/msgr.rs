@@ -28,6 +28,12 @@
 //!                          comma list of drop=P, dup=P, reorder=P,
 //!                          kill=HOST@MS (permanent death + failover) and
 //!                          crash=HOST@MS+MS (transient, down for +MS)
+//!     --replication K      checkpoint replication factor: each version is
+//!                          write-ahead copied to K next-alive holders
+//!                          (default 1; simulator only)
+//!     --succession MODE    who buries a dead daemon: `quorum` (majority
+//!                          decree, the default) or `deterministic`
+//!                          (next-alive rule, the ablation baseline)
 //! msgr trace  record  script.mc --out FILE [run options]
 //! msgr trace  summary FILE                   # validate + summarize
 //! msgr trace  chrome  IN OUT                 # convert to Chrome trace_event
@@ -51,7 +57,9 @@
 use std::process::ExitCode;
 
 use messengers::core::topology::LogicalTopology;
-use messengers::core::{ClusterConfig, ExecMode, SimCluster, ThreadCluster, Trace, TraceConfig};
+use messengers::core::{
+    ClusterConfig, ExecMode, SimCluster, Succession, ThreadCluster, Trace, TraceConfig,
+};
 use messengers::sim::{CrashEvent, FaultPlan, MILLI};
 use messengers::vm::Value;
 
@@ -327,6 +335,8 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
     let mut seed: Option<u64> = None;
     let mut trace_out: Option<String> = None;
     let mut exec: Option<ExecMode> = None;
+    let mut replication: Option<usize> = None;
+    let mut succession: Option<Succession> = None;
 
     let mut it = opts.iter();
     while let Some(opt) = it.next() {
@@ -374,6 +384,22 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
                     let mode = take("`interp` or `compiled`")?;
                     exec = Some(
                         ExecMode::parse(&mode).ok_or_else(|| format!("bad exec mode `{mode}`"))?,
+                    );
+                }
+                "--replication" => {
+                    let k: usize = take("a replication factor")?
+                        .parse()
+                        .map_err(|_| "bad replication factor".to_string())?;
+                    if k == 0 {
+                        return Err("--replication wants k >= 1".to_string());
+                    }
+                    replication = Some(k);
+                }
+                "--succession" => {
+                    let mode = take("`quorum` or `deterministic`")?;
+                    succession = Some(
+                        Succession::parse(&mode)
+                            .ok_or_else(|| format!("bad succession mode `{mode}`"))?,
                     );
                 }
                 other => return Err(format!("unknown option `{other}`")),
@@ -464,6 +490,11 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
         if !faults.is_none() {
             return fail_internal("--faults is only available on the simulation platform");
         }
+        if replication.is_some() || succession.is_some() {
+            return fail_internal(
+                "--replication/--succession are only available on the simulation platform",
+            );
+        }
         let mut cfg = ClusterConfig::new(daemons);
         if let Some(s) = seed {
             cfg.seed = s;
@@ -486,6 +517,12 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
         }
         if let Some(m) = exec {
             cfg.exec = m;
+        }
+        if let Some(k) = replication {
+            cfg.replication = k;
+        }
+        if let Some(s) = succession {
+            cfg.succession = s;
         }
         // Kill-bearing runs get tracing for free: the recovery timeline
         // the summary prints below comes out of the flight recorders.
