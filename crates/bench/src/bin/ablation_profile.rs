@@ -1,0 +1,34 @@
+//! Ablation: the deterministic cost-attribution profiler (BENCH_0010).
+//! Emits JSON on stdout; `--smoke` runs a scaled-down version for CI,
+//! `--check <path>` schema-validates an existing file instead of
+//! running anything.
+//!
+//! Exit codes follow the workspace contract: `0` clean, `1` findings
+//! (schema violation, invariant broken, overhead over the bound), `2`
+//! usage/internal error.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: ablation_profile --check <path>");
+            std::process::exit(2);
+        };
+        let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match msgr_bench::validate_bench_0010(&body) {
+            Ok(()) => println!("{path}: ok"),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if let Some(bad) = args.iter().find(|a| *a != "--smoke") {
+        eprintln!("unknown flag: {bad}\nusage: ablation_profile [--smoke] [--check <path>]");
+        std::process::exit(2);
+    }
+    println!("{}", msgr_bench::ablation_profile(args.iter().any(|a| a == "--smoke")));
+}

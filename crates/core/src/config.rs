@@ -360,6 +360,17 @@ pub struct ClusterConfig {
     /// staged effects are released, so recovery survives losing the
     /// victim and `k - 1` of its replica holders at once. Default 1.
     pub replication: usize,
+    /// Cost-attribution profiling: per-messenger phase ledgers
+    /// (`phase_ledger` trace events) and op-count-triggered VM PC
+    /// sampling (`pc_sample` events). Off by default; profiling charges
+    /// nothing to the cost model, so simulated results are bit-identical
+    /// with it on or off. Overridable via the `MSGR_PROFILE` environment
+    /// variable (`1`/`on` enables). Requires tracing (platforms enable
+    /// the recorder automatically when this is set).
+    pub profile: bool,
+    /// Sampling interval for the VM PC profiler, in executed bytecode
+    /// ops per sample. Only consulted when `profile` is set.
+    pub profile_interval: u64,
 }
 
 impl ClusterConfig {
@@ -403,6 +414,11 @@ impl ClusterConfig {
                 .and_then(|s| Succession::parse(&s))
                 .unwrap_or_default(),
             replication: 1,
+            profile: matches!(
+                std::env::var("MSGR_PROFILE").ok().as_deref(),
+                Some("1") | Some("on") | Some("true")
+            ),
+            profile_interval: 4096,
         }
     }
 
@@ -467,6 +483,10 @@ mod tests {
         assert_eq!(c.replica_count(), 1, "replication must default to k=1");
         assert_eq!(Succession::parse("deterministic"), Some(Succession::Deterministic));
         assert_eq!(Succession::parse("raft"), None);
+        if std::env::var("MSGR_PROFILE").is_err() {
+            assert!(!c.profile, "profiling must default to off");
+        }
+        assert!(c.profile_interval > 0, "sampling interval must be positive");
     }
 
     #[test]

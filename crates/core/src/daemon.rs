@@ -30,6 +30,7 @@ use msgr_vm::{
 use crate::config::{ClusterConfig, RetransmitPolicy, Succession, VtMode};
 use crate::ids::{DaemonId, NodeRef};
 use crate::logical::{LinkRec, LogicalNode, Orient};
+use crate::profiling::Prof;
 use crate::topology::DaemonTopology;
 use crate::wire::{self as wirecodec, CreateNode, Migration, Wire};
 
@@ -688,6 +689,9 @@ pub struct Daemon {
     /// NOT volatile state: a kill (`gut`) keeps it so the last window of
     /// events before the crash survives into the merged trace.
     rec: FlightRecorder,
+    /// Cost-attribution profiler; `None` unless `cfg.profile`. Pure
+    /// bookkeeping — charges nothing to the simulation cost model.
+    prof: Option<Box<Prof>>,
 }
 
 impl std::fmt::Debug for Daemon {
@@ -725,6 +729,7 @@ impl Daemon {
         // Gossip peer picks get their own fork so adding an exchange
         // never perturbs transport jitter or lane sharding.
         let gossip_rng = DetRng::new(cfg.seed).fork(0x605_5190 ^ u64::from(id.0));
+        let prof = cfg.profile.then(|| Box::new(Prof::new(cfg.profile_interval)));
         let mut d = Daemon {
             id,
             cfg,
@@ -760,6 +765,7 @@ impl Daemon {
             last_ckpt_min: Vt::INFINITY,
             stats: Stats::new(),
             rec: FlightRecorder::new(id.0, &trace_cfg),
+            prof,
         };
         let init = d.build_node(Value::str("init"));
         d.init = init;
@@ -786,11 +792,157 @@ impl Daemon {
         &mut self.rec
     }
 
-    /// Drain the flight recorder: buffered events plus the count lost to
-    /// the ring bound. Called by the platform at the end of a run; the
-    /// recorder stays armed, and survives kills (see [`Daemon::gut`]).
-    pub fn take_trace(&mut self) -> (Vec<TraceEvent>, u64) {
-        self.rec.drain()
+    /// Drain the flight recorder: this daemon's id, its buffered events,
+    /// plus the count lost to the ring bound. Called by the platform at
+    /// the end of a run; the recorder stays armed, and survives kills
+    /// (see [`Daemon::gut`]).
+    pub fn take_trace(&mut self) -> (u16, Vec<TraceEvent>, u64) {
+        let (evs, dropped) = self.rec.drain();
+        (self.id.0, evs, dropped)
+    }
+
+    // ---- cost-attribution profiling hooks ---------------------------------
+    //
+    // All of these are single-branch no-ops with profiling off; none of
+    // them touches the simulation cost model or the flight recorder's
+    // event stream shape (ledgers/samples are *extra* events).
+
+    /// A messenger became runnable in a lane.
+    fn prof_enqueue(&mut self, mid: u64) {
+        let rt = self.rec.now();
+        if let Some(p) = self.prof.as_mut() {
+            let now = p.now(rt);
+            p.on_enqueue(mid, now);
+        }
+    }
+
+    /// A messenger parked on virtual time (pending queue).
+    fn prof_park(&mut self, mid: u64) {
+        let rt = self.rec.now();
+        if let Some(p) = self.prof.as_mut() {
+            let now = p.now(rt);
+            p.on_park(mid, now);
+        }
+    }
+
+    /// A messenger was popped from a lane for execution.
+    fn prof_dequeue(&mut self, mid: u64) {
+        let rt = self.rec.now();
+        if let Some(p) = self.prof.as_mut() {
+            let now = p.now(rt);
+            p.on_dequeue(mid, now);
+        }
+    }
+
+    /// Emit the finished ledger for `mid` as a `phase_ledger` event and
+    /// drop it. `parent` is 0 except for sender-side partial ledgers.
+    fn prof_retire(&mut self, mid: u64, vt: f64) {
+        if self.prof.is_none() {
+            return;
+        }
+        let taken = self.prof.as_mut().and_then(|p| {
+            let credit = p.transport.remove(&mid).unwrap_or(0);
+            p.take(mid).map(|mut l| {
+                l.xport += credit;
+                l
+            })
+        });
+        if let Some(l) = taken {
+            self.stats.bump(Metric::ProfLedgers);
+            self.rec.emit(
+                vt,
+                EventKind::PhaseLedger {
+                    mid,
+                    born: l.born,
+                    parent: 0,
+                    queue: l.queue,
+                    verify: l.verify,
+                    exec: l.exec,
+                    enc: l.enc,
+                    xport: l.xport,
+                    park: l.park,
+                    stall: l.stall,
+                    total: l.total(),
+                },
+            );
+        }
+    }
+
+    /// Emit a sender-side partial ledger for an outgoing replica: only
+    /// the encode cost is known here; `parent` ties it to the ledger of
+    /// the messenger that forked it so `msgr profile` can stitch the
+    /// cross-daemon critical path.
+    fn prof_fork(&mut self, mid: u64, parent: u64, enc: u64, vt: f64) {
+        if self.prof.is_none() {
+            return;
+        }
+        self.stats.bump(Metric::ProfLedgers);
+        self.rec.emit(
+            vt,
+            EventKind::PhaseLedger {
+                mid,
+                born: mid,
+                parent,
+                queue: 0,
+                verify: 0,
+                exec: 0,
+                enc,
+                xport: 0,
+                park: 0,
+                stall: 0,
+                total: enc,
+            },
+        );
+    }
+
+    /// Charge receive-side work (`verify` or `enc`) to `mid`'s ledger.
+    fn prof_charge_recv(&mut self, mid: u64, verify: u64, enc: u64) {
+        if let Some(p) = self.prof.as_mut() {
+            let l = p.ledger(mid);
+            l.verify += verify;
+            l.enc += enc;
+        }
+    }
+
+    /// Platform hook (threads): switch the profiler onto wall-clock time
+    /// (the recorder `rt` is pinned to 0 there).
+    pub fn profile_wallclock(&mut self) {
+        if let Some(p) = self.prof.as_mut() {
+            p.start_wallclock();
+        }
+    }
+
+    /// Platform hook (sim): credit `ns` of in-flight transport time to
+    /// every messenger carried inside `wire`, before the frame is
+    /// processed. Anti-messengers carry no ledger.
+    pub fn profile_transport(&mut self, wire: &Wire, ns: u64) {
+        fn walk(p: &mut Prof, w: &Wire, ns: u64) {
+            match w {
+                Wire::Migrate(m) if !m.anti => p.credit_transport(m.id.0, ns),
+                Wire::Create(c) => p.credit_transport(c.messenger.id.0, ns),
+                Wire::Batch(ws) => {
+                    for w in ws {
+                        walk(p, w, ns);
+                    }
+                }
+                Wire::Data { frame, .. } => walk(p, frame, ns),
+                _ => {}
+            }
+        }
+        if ns == 0 {
+            return;
+        }
+        if let Some(p) = self.prof.as_mut() {
+            walk(p, wire, ns);
+        }
+    }
+
+    /// Platform hook (sim): attribute `ns` of recovery stall to every
+    /// messenger the latest checkpoint restore revived.
+    pub fn profile_recovery_stall(&mut self, ns: u64) {
+        if let Some(p) = self.prof.as_mut() {
+            p.charge_recovery_stall(ns);
+        }
     }
 
     /// Whether any messenger is ready to execute right now.
@@ -922,12 +1074,15 @@ impl Daemon {
         match self.cfg.vt_mode {
             VtMode::Conservative => {
                 if r.state.vtime <= self.part.gvt() {
+                    self.prof_enqueue(r.state.id.0);
                     self.lanes.push(r);
                 } else {
+                    self.prof_park(r.state.id.0);
                     self.pending.push(r.state.vtime, r);
                 }
             }
             VtMode::Optimistic => {
+                self.prof_enqueue(r.state.id.0);
                 self.opt_queue.insert((r.state.vtime, r.state.id.0), r);
             }
         }
@@ -1077,12 +1232,21 @@ impl Daemon {
                     return c.gvt_msg_ns;
                 }
                 let cost = c.hop_recv_ns + m.bytes.len() as u64 * c.per_byte_copy_ns;
+                // Receive-side attribution: fixed accept/verify overhead
+                // vs byte-proportional decode.
+                self.prof_charge_recv(
+                    m.id.0,
+                    c.hop_recv_ns,
+                    m.bytes.len() as u64 * c.per_byte_copy_ns,
+                );
+                let vt = m.vtime.as_f64();
                 match vmwire::decode_messenger(m.bytes) {
                     Ok(state) => {
                         if self.anti_pending.remove(&m.id) {
                             // The anti-messenger got here first.
                             fx.push(Effect::LiveDelta(-1));
                             self.stats.bump(Metric::Annihilations);
+                            self.prof_retire(m.id.0, vt);
                         } else if let Some(reason) = self.codes.rejection(state.program) {
                             // Refuse quarantined code at the door — a
                             // migrating messenger never even enqueues.
@@ -1095,6 +1259,7 @@ impl Daemon {
                                 ),
                             });
                             fx.push(Effect::LiveDelta(-1));
+                            self.prof_retire(m.id.0, vt);
                         } else if self.nodes.contains_key(&m.to.1) {
                             self.rec
                                 .emit(state.vtime.as_f64(), EventKind::MsgrArrive { mid: m.id.0 });
@@ -1103,11 +1268,13 @@ impl Daemon {
                             // Destination node was deleted in flight.
                             fx.push(Effect::LiveDelta(-1));
                             self.stats.bump(Metric::DeadLetters);
+                            self.prof_retire(m.id.0, vt);
                         }
                     }
                     Err(e) => {
                         fx.push(Effect::Fault { messenger: m.id, error: e.to_string() });
                         fx.push(Effect::LiveDelta(-1));
+                        self.prof_retire(m.id.0, vt);
                     }
                 }
                 cost
@@ -1134,6 +1301,12 @@ impl Daemon {
                 let cost = c.create_node_ns
                     + c.hop_recv_ns
                     + cn.messenger.bytes.len() as u64 * c.per_byte_copy_ns;
+                self.prof_charge_recv(
+                    cn.messenger.id.0,
+                    c.create_node_ns + c.hop_recv_ns,
+                    cn.messenger.bytes.len() as u64 * c.per_byte_copy_ns,
+                );
+                let vt = cn.messenger.vtime.as_f64();
                 match vmwire::decode_messenger(cn.messenger.bytes.clone()) {
                     Ok(state) => {
                         if let Some(reason) = self.codes.rejection(state.program) {
@@ -1146,6 +1319,7 @@ impl Daemon {
                                 ),
                             });
                             fx.push(Effect::LiveDelta(-1));
+                            self.prof_retire(cn.messenger.id.0, vt);
                         } else {
                             self.enqueue(Runnable { state, at: cn.gid, last: Some(cn.inst) });
                         }
@@ -1153,6 +1327,7 @@ impl Daemon {
                     Err(e) => {
                         fx.push(Effect::Fault { messenger: cn.messenger.id, error: e.to_string() });
                         fx.push(Effect::LiveDelta(-1));
+                        self.prof_retire(cn.messenger.id.0, vt);
                     }
                 }
                 cost
@@ -2093,6 +2268,11 @@ impl Daemon {
         }
         for (at, last, state) in msgrs {
             self.stats.bump(Metric::RestoredMessengers);
+            if let Some(p) = self.prof.as_mut() {
+                // The platform charges the recovery latency to these
+                // revived messengers once it is known (`profile_recovery_stall`).
+                p.restored.push(state.id.0);
+            }
             self.enqueue(Runnable { state, at, last });
         }
         if let Some(x) = self.xport.as_mut() {
@@ -2169,6 +2349,13 @@ impl Daemon {
             q.reset();
         }
         self.evictions.clear();
+        if let Some(p) = self.prof.as_mut() {
+            // The dead daemon's live ledgers die with its messengers;
+            // the restored copies start fresh on the successor.
+            p.ledgers.clear();
+            p.transport.clear();
+            p.restored.clear();
+        }
     }
 
     /// Whether any queued messenger currently sits at `gid`.
@@ -2246,6 +2433,7 @@ impl Daemon {
         if self.cfg.vt_mode == VtMode::Conservative {
             while let Some((_, r)) = self.pending.pop_runnable(gvt) {
                 self.rec.emit(r.state.vtime.as_f64(), EventKind::MsgrRevive { mid: r.state.id.0 });
+                self.prof_enqueue(r.state.id.0);
                 self.lanes.push(r);
             }
         } else {
@@ -2334,6 +2522,7 @@ impl Daemon {
             }
         }
         for (key, input) in rb.reexecute {
+            self.prof_enqueue(key.1);
             self.opt_queue.insert(key, input);
         }
         for cancel in rb.cancel {
@@ -2392,6 +2581,7 @@ impl Daemon {
         if stolen {
             self.stats.bump(Metric::LaneSteals);
         }
+        self.prof_dequeue(run.state.id.0);
         let cost = self.execute(run, dir, fx, false);
         self.stage_durable(fx);
         Some(cost)
@@ -2401,16 +2591,19 @@ impl Daemon {
         match self.cfg.vt_mode {
             VtMode::Conservative => {
                 let run = self.lanes.pop_global()?;
+                self.prof_dequeue(run.state.id.0);
                 Some(self.execute(run, dir, fx, false))
             }
             VtMode::Optimistic => {
                 // Drain any conservative-path leftovers first (ready is
                 // unused in optimistic mode except via injection races).
                 if let Some(run) = self.lanes.pop_global() {
+                    self.prof_dequeue(run.state.id.0);
                     return Some(self.execute(run, dir, fx, true));
                 }
                 let (&key0, _) = self.opt_queue.iter().next()?;
                 let run = self.opt_queue.remove(&key0).expect("key just observed");
+                self.prof_dequeue(run.state.id.0);
                 // Straggler?
                 let key = (run.state.vtime, run.state.id.0);
                 let straggler = self.tw.get(&run.at).is_some_and(|log| log.is_straggler(key));
@@ -2418,6 +2611,7 @@ impl Daemon {
                     let rb = self.tw.get_mut(&run.at).unwrap().rollback(key).unwrap();
                     let undone = rb.reexecute.len() as u64;
                     self.apply_rollback(run.at, rb, fx);
+                    self.prof_enqueue(run.state.id.0);
                     self.opt_queue.insert((run.state.vtime, run.state.id.0), run);
                     return Some(undone * self.cfg.costs.rollback_per_event_ns);
                 }
@@ -2437,6 +2631,7 @@ impl Daemon {
         let Some(node) = self.nodes.get(&run.at) else {
             fx.push(Effect::LiveDelta(-1));
             self.stats.bump(Metric::DeadLetters);
+            self.prof_retire(run.state.id.0, run.state.vtime.as_f64());
             return c.gvt_msg_ns;
         };
         let Some(program) = self.codes.get(run.state.program) else {
@@ -2449,6 +2644,7 @@ impl Daemon {
             };
             fx.push(Effect::Fault { messenger: run.state.id, error });
             fx.push(Effect::LiveDelta(-1));
+            self.prof_retire(run.state.id.0, run.state.vtime.as_f64());
             return c.gvt_msg_ns;
         };
         // In compiled mode the closure form must exist for every
@@ -2464,6 +2660,7 @@ impl Daemon {
                         error: format!("program {} has no compiled form", run.state.program),
                     });
                     fx.push(Effect::LiveDelta(-1));
+                    self.prof_retire(run.state.id.0, run.state.vtime.as_f64());
                     return c.gvt_msg_ns;
                 }
             },
@@ -2491,8 +2688,9 @@ impl Daemon {
         let fuel = self.cfg.segment_fuel;
         let natives = self.natives.read().unwrap().clone();
         let address = self.id.0;
+        let prof_t0 = self.prof.as_ref().map(|p| p.now(self.rec.now()));
         // Scoped mutable borrow of the node's variables for the VM.
-        let (yielded, ops, native_ns, nv_log) = {
+        let (yielded, ops, native_ns, nv_log, samples) = {
             let node = self.nodes.get_mut(&run.at).expect("checked above");
             let mut env = SegEnv {
                 vars: &mut node.vars,
@@ -2505,12 +2703,14 @@ impl Daemon {
                 ops: 0,
                 native_ns: 0,
                 nv_log: self.rec.node_vars().then(Vec::new),
+                sample_every: self.prof.as_ref().map_or(0, |p| p.interval),
+                samples: BTreeMap::new(),
             };
             let y = match &compiled {
                 None => interp::run(&program, &mut run.state, &mut env, fuel),
                 Some(cp) => msgr_vm::compile::run(cp, &program, &mut run.state, &mut env, fuel),
             };
-            (y, env.ops, env.native_ns, env.nv_log)
+            (y, env.ops, env.native_ns, env.nv_log, env.samples)
         };
         for (is_write, var) in nv_log.into_iter().flatten() {
             let kind = if is_write {
@@ -2524,6 +2724,39 @@ impl Daemon {
         self.stats.bump(Metric::Segments);
         self.stats.add(Metric::Ops, ops);
 
+        // Charge the execute phase: wall time on threads, the cost-model
+        // charge (same number the simulation bills) on sim. Then fold the
+        // segment's pc hits to source lines and emit them, sorted, so the
+        // event stream stays deterministic per seed.
+        if let Some(t0) = prof_t0 {
+            let rt = self.rec.now();
+            let p = self.prof.as_mut().expect("prof_t0 implies profiler");
+            let exec_ns = if p.wallclock() {
+                p.now(rt).saturating_sub(t0)
+            } else {
+                ops * c.per_op_ns + native_ns
+            };
+            p.ledger(run.state.id.0).exec += exec_ns;
+            if !samples.is_empty() {
+                let mut by_line: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+                for ((func, pc), n) in samples {
+                    let line = program
+                        .funcs
+                        .get(func as usize)
+                        .and_then(|f| f.line_at(pc as usize))
+                        .unwrap_or(0);
+                    *by_line.entry((func, line)).or_insert(0) += n;
+                }
+                for ((func, line), count) in by_line {
+                    self.stats.add(Metric::ProfSamples, count);
+                    self.rec.emit(
+                        run.state.vtime.as_f64(),
+                        EventKind::PcSample { prog: run.state.program.0, func, line, count },
+                    );
+                }
+            }
+        }
+
         let mut sent: Vec<SentRef> = Vec::new();
         match yielded {
             Ok(y) => {
@@ -2535,6 +2768,7 @@ impl Daemon {
                 self.stats.bump(Metric::Faults);
                 self.rec
                     .emit(run.state.vtime.as_f64(), EventKind::MsgrFault { mid: run.state.id.0 });
+                self.prof_retire(run.state.id.0, run.state.vtime.as_f64());
             }
         }
 
@@ -2561,6 +2795,7 @@ impl Daemon {
                 self.stats.bump(Metric::Terminated);
                 self.rec
                     .emit(run.state.vtime.as_f64(), EventKind::MsgrRetire { mid: run.state.id.0 });
+                self.prof_retire(run.state.id.0, run.state.vtime.as_f64());
                 0
             }
             Yield::SchedAbs(t) => {
@@ -2576,6 +2811,7 @@ impl Daemon {
                         error: "negative virtual-time delta".to_string(),
                     });
                     fx.push(Effect::LiveDelta(-1));
+                    self.prof_retire(run.state.id.0, run.state.vtime.as_f64());
                     return 0;
                 }
                 let mut next = run;
@@ -2593,6 +2829,7 @@ impl Daemon {
                             .to_string(),
                     });
                     fx.push(Effect::LiveDelta(-1));
+                    self.prof_retire(run.state.id.0, run.state.vtime.as_f64());
                     return 0;
                 }
                 self.do_create(run, &ec, program, fx)
@@ -2603,7 +2840,13 @@ impl Daemon {
     /// Re-enqueue a suspended continuation under a fresh id (so that a
     /// Time-Warp rollback can cancel it like any other send).
     fn resuspend(&mut self, mut next: Runnable, _fx: &mut [Effect], sent: &mut Vec<SentRef>) {
+        let old = next.state.id.0;
         next.state.id = self.alloc_mid();
+        if let Some(p) = self.prof.as_mut() {
+            // One ledger covers the whole local stay across the park's
+            // re-identification.
+            p.transfer(old, next.state.id.0);
+        }
         sent.push(SentRef { id: next.state.id.0, dest: self.id.0, ts: next.state.vtime });
         self.stats.bump(Metric::Suspensions);
         self.rec.emit(
@@ -2634,6 +2877,7 @@ impl Daemon {
                 error: "optimistic mode requires a static logical network (delete)".to_string(),
             });
             fx.push(Effect::LiveDelta(-1));
+            self.prof_retire(run.state.id.0, run.state.vtime.as_f64());
             return 0;
         }
 
@@ -2681,6 +2925,7 @@ impl Daemon {
             // exist (§2.1 hop semantics).
             fx.push(Effect::LiveDelta(-1));
             self.stats.bump(Metric::HopNoMatch);
+            self.prof_retire(run.state.id.0, run.state.vtime.as_f64());
             return cost;
         }
 
@@ -2708,6 +2953,7 @@ impl Daemon {
                 && self.cfg.vt_mode == VtMode::Conservative
             {
                 cost += c.hop_send_ns;
+                self.prof_fork(replica.id.0, run.state.id.0, c.hop_send_ns, replica.vtime.as_f64());
                 self.rec.emit(
                     replica.vtime.as_f64(),
                     EventKind::MsgrHop { mid: replica.id.0, to: daemon.0, bytes: 0 },
@@ -2726,6 +2972,12 @@ impl Daemon {
             }
             let bytes = vmwire::encode_messenger(&replica);
             cost += c.hop_send_ns + bytes.len() as u64 * c.per_byte_copy_ns;
+            self.prof_fork(
+                replica.id.0,
+                run.state.id.0,
+                c.hop_send_ns + bytes.len() as u64 * c.per_byte_copy_ns,
+                replica.vtime.as_f64(),
+            );
             self.rec.emit(
                 replica.vtime.as_f64(),
                 EventKind::MsgrHop {
@@ -2753,6 +3005,9 @@ impl Daemon {
             });
         }
         fx.extend(deferred_unlinks);
+        // The hopping messenger itself is gone from this daemon: its
+        // local ledger is complete.
+        self.prof_retire(run.state.id.0, run.state.vtime.as_f64());
         cost
     }
 
@@ -2770,6 +3025,7 @@ impl Daemon {
             Some(n) => n.name.clone(),
             None => {
                 fx.push(Effect::LiveDelta(-1));
+                self.prof_retire(run.state.id.0, run.state.vtime.as_f64());
                 return cost;
             }
         };
@@ -2815,6 +3071,12 @@ impl Daemon {
                 replica.id = self.alloc_mid();
                 let bytes = vmwire::encode_messenger(&replica);
                 cost += c.create_node_ns + c.hop_send_ns + bytes.len() as u64 * c.per_byte_copy_ns;
+                self.prof_fork(
+                    replica.id.0,
+                    run.state.id.0,
+                    c.create_node_ns + c.hop_send_ns + bytes.len() as u64 * c.per_byte_copy_ns,
+                    replica.vtime.as_f64(),
+                );
                 self.rec.emit(
                     replica.vtime.as_f64(),
                     EventKind::MsgrHop {
@@ -2860,6 +3122,7 @@ impl Daemon {
         if replicas == 0 {
             self.stats.bump(Metric::CreateNoMatch);
         }
+        self.prof_retire(run.state.id.0, run.state.vtime.as_f64());
         cost
     }
 }
@@ -2881,6 +3144,11 @@ struct SegEnv<'a> {
     /// node-var tracing is on (the recorder can't be borrowed while the
     /// node's vars are) and emitted as events after the segment.
     nv_log: Option<Vec<(bool, String)>>,
+    /// PC sampling interval in executed ops (0 = sampling off).
+    sample_every: u64,
+    /// Sample hits for this segment, keyed `(func, pc)` — folded to
+    /// source lines and emitted as `pc_sample` events after the segment.
+    samples: BTreeMap<(u32, u32), u64>,
 }
 
 impl SegEnv<'_> {
@@ -2914,6 +3182,12 @@ impl interp::Env for SegEnv<'_> {
     }
     fn charge_ops(&mut self, ops: u64) {
         self.ops += ops;
+    }
+    fn sample_interval(&self) -> u64 {
+        self.sample_every
+    }
+    fn pc_sample(&mut self, func: u32, pc: u32, count: u64) {
+        *self.samples.entry((func, pc)).or_insert(0) += count;
     }
 }
 

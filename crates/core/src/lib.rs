@@ -62,6 +62,7 @@ pub mod daemon;
 pub mod ids;
 pub mod logical;
 pub mod platform;
+pub mod profiling;
 pub mod topology;
 pub mod wire;
 

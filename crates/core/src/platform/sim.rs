@@ -149,7 +149,7 @@ fn apply_effects(en: &mut En, w: &mut World, src: DaemonId, at: SimTime, mut fx:
                     } else {
                         wire.as_ref().expect("clone before move").clone()
                     };
-                    en.schedule_at(arrival, move |en, w| deliver(en, w, src, dst, copy));
+                    en.schedule_at(arrival, move |en, w| deliver(en, w, src, dst, at, copy));
                 }
             }
             Effect::Timer { src: csrc, chan, seq, delay } => {
@@ -213,7 +213,7 @@ fn timer_fire(
     });
 }
 
-fn deliver(en: &mut En, w: &mut World, src: DaemonId, dst: DaemonId, wire: Wire) {
+fn deliver(en: &mut En, w: &mut World, src: DaemonId, dst: DaemonId, sent_at: SimTime, wire: Wire) {
     w.in_flight -= 1;
     let now = en.now();
     let i = dst.0 as usize;
@@ -231,7 +231,7 @@ fn deliver(en: &mut En, w: &mut World, src: DaemonId, dst: DaemonId, wire: Wire)
             // daemon memory across a crash. Park it until the restart.
             let resume = w.down_until[i];
             w.in_flight += 1;
-            en.schedule_at(resume, move |en, w| deliver(en, w, src, dst, wire));
+            en.schedule_at(resume, move |en, w| deliver(en, w, src, dst, sent_at, wire));
             return;
         }
         // The destination daemon is crashed: the frame is lost in
@@ -241,6 +241,9 @@ fn deliver(en: &mut En, w: &mut World, src: DaemonId, dst: DaemonId, wire: Wire)
         return;
     }
     let mut fx = Vec::new();
+    // Cost-attribution profiling: credit the in-flight latency of every
+    // messenger carried in this frame (a no-op with profiling off).
+    w.daemons[i].profile_transport(&wire, now.saturating_sub(sent_at));
     let cost = w.daemons[i].on_wire_at(now, wire, &mut fx);
     let (_, end) = w.cpus[i].run(now, cost);
     w.last_work = w.last_work.max(end);
@@ -492,6 +495,9 @@ fn recover(en: &mut En, w: &mut World, successor: DaemonId, victim: DaemonId) {
         let lat = now.saturating_sub(k);
         w.stats.add(Metric::RecoveryLatencyNs, lat);
         w.stats.record(Metric::RecoveryLatencyNs, lat);
+        // The messengers the restore just revived sat behind the crash
+        // for exactly this long: charge it to their `stall` phase.
+        w.daemons[si].profile_recovery_stall(lat);
     }
     let cost = w.cfg.costs.hop_recv_ns + bytes * w.cfg.costs.per_byte_copy_ns;
     let (_, end) = w.cpus[si].run(now, cost);
@@ -554,8 +560,13 @@ impl SimCluster {
     /// # Panics
     ///
     /// Panics if the topology size differs from `cfg.daemons`.
-    pub fn with_daemon_topology(cfg: ClusterConfig, topo: DaemonTopology) -> Self {
+    pub fn with_daemon_topology(mut cfg: ClusterConfig, topo: DaemonTopology) -> Self {
         assert_eq!(topo.len(), cfg.daemons, "topology size mismatch");
+        // The profiler's output (phase ledgers, pc samples) rides the
+        // trace stream: profiling implies tracing.
+        if cfg.profile {
+            cfg.trace.enabled = true;
+        }
         // Every stats key the cluster emits must be a registered typed
         // metric; debug builds assert it at the emission site.
         msgr_sim::install_key_validator(Metric::validator);

@@ -86,7 +86,11 @@ impl ThreadCluster {
     ///
     /// [`ClusterError::Config`] — optimistic virtual time and fault
     /// injection are only supported on the simulation platform.
-    pub fn new(cfg: ClusterConfig) -> Result<Self, ClusterError> {
+    pub fn new(mut cfg: ClusterConfig) -> Result<Self, ClusterError> {
+        // Profiler output rides the trace stream: profiling implies tracing.
+        if cfg.profile {
+            cfg.trace.enabled = true;
+        }
         if cfg.vt_mode == VtMode::Optimistic {
             return Err(ClusterError::Config(
                 "optimistic virtual time requires the simulation platform".to_string(),
@@ -415,6 +419,9 @@ fn run_daemon(
     mut store: Option<FileStore>,
     ckpt_every: Duration,
 ) {
+    // On threads the recorder's `rt` stays 0 for trace determinism, so
+    // the profiler (if on) keeps its own monotonic clock instead.
+    daemon.profile_wallclock();
     let mut fx: Vec<Effect> = Vec::new();
     let mut last_ckpt = Instant::now();
     loop {

@@ -1,0 +1,413 @@
+//! Post-hoc cost attribution over merged traces.
+//!
+//! The runtime side of the profiler (`msgr-core::profiling`) emits two
+//! extra event kinds into the trace stream when profiling is enabled:
+//! `phase_ledger` — one per messenger local stay, decomposing its
+//! residence time into queue / verify / exec / enc / xport / park /
+//! stall — and `pc_sample` — op-count-triggered VM program-counter hits
+//! folded to source lines. This crate turns a merged trace containing
+//! those events into the three artifacts `msgr profile` prints:
+//!
+//! 1. **Phase breakdown** ([`Profile::phase_breakdown`]): where the
+//!    cluster's messenger-seconds went, as fractions that sum to 1 *by
+//!    construction* (every ledger's `total` is the sum of its phases).
+//! 2. **Folded stacks** ([`Profile::folded`]): `workload;frame;line N`
+//!    lines, directly loadable by speedscope or inferno's flamegraph
+//!    tools.
+//! 3. **Critical path** ([`Profile::critical_path`]): the longest causal
+//!    chain from an injection to a retirement, stitched across daemons
+//!    through the sender-side partial ledgers (`parent` field), with
+//!    per-edge phase attribution.
+//!
+//! Everything here is deterministic: ledgers and samples are folded
+//! through ordered maps, so equal traces produce byte-identical reports.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use msgr_trace::{EventKind, Trace};
+
+/// The seven attributed phases, in canonical report order.
+pub const PHASES: [&str; 7] = ["queue", "verify", "exec", "enc", "xport", "park", "stall"];
+
+/// One `phase_ledger` event, decoded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ledger {
+    /// Daemon that emitted the ledger.
+    pub daemon: u16,
+    /// Messenger id at the terminal disposition (retire / fault / hop).
+    pub mid: u64,
+    /// Messenger id at arrival/injection — the transport join key.
+    pub born: u64,
+    /// For sender-side partial ledgers: the id of the messenger that
+    /// forked this one. 0 for full (receiver-side) ledgers.
+    pub parent: u64,
+    /// Phase nanoseconds, in [`PHASES`] order.
+    pub phases: [u64; 7],
+    /// Sum of the phases (emitted explicitly by the runtime).
+    pub total: u64,
+}
+
+/// A decoded profile: every ledger and pc sample in the trace.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Full (receiver-side) ledgers, in trace order.
+    pub ledgers: Vec<Ledger>,
+    /// Sender-side partial ledgers (`parent != 0`), in trace order.
+    pub forks: Vec<Ledger>,
+    /// Aggregated pc samples keyed `(program, func, line)`.
+    pub samples: BTreeMap<(u64, u32, u32), u64>,
+}
+
+impl Profile {
+    /// Extract the profiler's events from a merged trace.
+    pub fn from_trace(trace: &Trace) -> Profile {
+        let mut p = Profile::default();
+        for ev in &trace.events {
+            match &ev.kind {
+                EventKind::PhaseLedger {
+                    mid,
+                    born,
+                    parent,
+                    queue,
+                    verify,
+                    exec,
+                    enc,
+                    xport,
+                    park,
+                    stall,
+                    total,
+                } => {
+                    let l = Ledger {
+                        daemon: ev.daemon,
+                        mid: *mid,
+                        born: *born,
+                        parent: *parent,
+                        phases: [*queue, *verify, *exec, *enc, *xport, *park, *stall],
+                        total: *total,
+                    };
+                    if l.parent == 0 {
+                        p.ledgers.push(l);
+                    } else {
+                        p.forks.push(l);
+                    }
+                }
+                EventKind::PcSample { prog, func, line, count } => {
+                    *p.samples.entry((*prog, *func, *line)).or_insert(0) += count;
+                }
+                _ => {}
+            }
+        }
+        p
+    }
+
+    /// Whether the trace carried any profiler output at all.
+    pub fn is_empty(&self) -> bool {
+        self.ledgers.is_empty() && self.forks.is_empty() && self.samples.is_empty()
+    }
+
+    /// Total attributed nanoseconds per phase, over every ledger (full
+    /// and partial), in [`PHASES`] order.
+    pub fn phase_totals(&self) -> [u64; 7] {
+        let mut t = [0u64; 7];
+        for l in self.ledgers.iter().chain(&self.forks) {
+            for (acc, v) in t.iter_mut().zip(l.phases) {
+                *acc += v;
+            }
+        }
+        t
+    }
+
+    /// Sum of every ledger's `total` — the denominator of the fractions.
+    pub fn attributed_total(&self) -> u64 {
+        self.ledgers.iter().chain(&self.forks).map(|l| l.total).sum()
+    }
+
+    /// The phase-breakdown report: one line per phase with nanoseconds
+    /// and fraction of the attributed total. Fractions sum to 1 (within
+    /// printing precision) because each ledger's total is its phase sum.
+    pub fn phase_breakdown(&self) -> String {
+        let totals = self.phase_totals();
+        let denom = self.attributed_total().max(1);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "phase breakdown: {} ledgers ({} partial), {} attributed ns",
+            self.ledgers.len() + self.forks.len(),
+            self.forks.len(),
+            self.attributed_total()
+        );
+        for (name, ns) in PHASES.iter().zip(totals) {
+            let _ =
+                writeln!(out, "  {name:<7} {ns:>16} ns  {}", fmt_frac(ns as f64 / denom as f64));
+        }
+        out
+    }
+
+    /// Folded-stack lines (`workload;frame;line N`), hottest first, ties
+    /// broken by key order — the flamegraph/speedscope collapsed format.
+    pub fn folded(&self) -> String {
+        let mut rows: Vec<(&(u64, u32, u32), &u64)> = self.samples.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        let mut out = String::new();
+        for ((prog, func, line), count) in rows {
+            let _ = writeln!(out, "prog_{prog:016x};f{func};L{line} {count}");
+        }
+        out
+    }
+
+    /// The longest causal chain from an injection to a terminal ledger.
+    ///
+    /// Nodes are full ledgers (one messenger local stay, weight =
+    /// `total`); an edge parent → child exists where a partial fork
+    /// ledger's `mid` matches the child's `born` and its `parent`
+    /// matches the parent ledger's `mid` (weight = the fork's sender-side
+    /// encode cost; the wire latency is already inside the child's
+    /// `xport`). Returns the chain root-first, with the edge cost that
+    /// *led into* each node.
+    pub fn critical_chain(&self) -> Vec<(Ledger, u64)> {
+        // born → index: the receiver-side ledger a fork lands in.
+        let by_born: BTreeMap<u64, usize> =
+            self.ledgers.iter().enumerate().map(|(i, l)| (l.born, i)).collect();
+        // mid → index: the sender-side ledger a fork came out of.
+        let by_mid: BTreeMap<u64, usize> =
+            self.ledgers.iter().enumerate().map(|(i, l)| (l.mid, i)).collect();
+        // Incoming edge per node: (parent index, edge ns). A messenger
+        // arrives exactly once, so at most one incoming edge exists.
+        let mut inbound: BTreeMap<usize, (usize, u64)> = BTreeMap::new();
+        for f in &self.forks {
+            if let (Some(&parent), Some(&child)) = (by_mid.get(&f.parent), by_born.get(&f.mid)) {
+                if parent != child {
+                    inbound.insert(child, (parent, f.total));
+                }
+            }
+        }
+        // Longest path ending at each node, by walking each node's
+        // unique ancestor chain (memoized; the graph is a forest of
+        // in-trees so this is linear overall).
+        let n = self.ledgers.len();
+        let mut best: Vec<Option<u64>> = vec![None; n];
+        fn dp(
+            i: usize,
+            ledgers: &[Ledger],
+            inbound: &BTreeMap<usize, (usize, u64)>,
+            best: &mut Vec<Option<u64>>,
+            depth: usize,
+        ) -> u64 {
+            if let Some(b) = best[i] {
+                return b;
+            }
+            // Depth guard: a malformed trace could alias mids into a
+            // cycle; bail out rather than recurse forever.
+            let v = match inbound.get(&i) {
+                Some(&(p, edge)) if depth < ledgers.len() => {
+                    ledgers[i].total + edge + dp(p, ledgers, inbound, best, depth + 1)
+                }
+                _ => ledgers[i].total,
+            };
+            best[i] = Some(v);
+            v
+        }
+        let mut end = None;
+        let mut end_ns = 0;
+        for i in 0..n {
+            let v = dp(i, &self.ledgers, &inbound, &mut best, 0);
+            // Strict > keeps the earliest (lowest-mid-order) chain on
+            // ties, so the report is deterministic.
+            if v > end_ns || end.is_none() {
+                end_ns = v;
+                end = Some(i);
+            }
+        }
+        let mut chain = Vec::new();
+        let mut cur = end;
+        let mut guard = 0;
+        while let Some(i) = cur {
+            let edge = inbound.get(&i).map(|&(_, e)| e).unwrap_or(0);
+            chain.push((self.ledgers[i], edge));
+            cur = inbound.get(&i).map(|&(p, _)| p);
+            guard += 1;
+            if guard > n {
+                break;
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Render [`Profile::critical_chain`] as the `msgr profile` report:
+    /// one hop per line, root first, with per-phase attribution.
+    pub fn critical_path(&self) -> String {
+        let chain = self.critical_chain();
+        let mut out = String::new();
+        if chain.is_empty() {
+            out.push_str("critical path: no full ledgers in trace\n");
+            return out;
+        }
+        let total: u64 = chain.iter().map(|(l, e)| l.total + e).sum();
+        let _ = writeln!(out, "critical path: {} hop(s), {} ns end-to-end", chain.len(), total);
+        for (l, edge) in &chain {
+            if *edge > 0 {
+                let _ = writeln!(out, "  | send+encode {edge} ns");
+            }
+            let phases: Vec<String> = PHASES
+                .iter()
+                .zip(l.phases)
+                .filter(|(_, v)| *v > 0)
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  d{} mid={} born={} total={} ns [{}]",
+                l.daemon,
+                l.mid,
+                l.born,
+                l.total,
+                phases.join(" ")
+            );
+        }
+        out
+    }
+
+    /// The full `msgr profile` report: breakdown, hot spots, critical
+    /// path. Deterministic for equal traces.
+    pub fn report(&self) -> String {
+        let mut out = self.phase_breakdown();
+        out.push('\n');
+        let folded = self.folded();
+        let spots = folded.lines().count();
+        let _ = writeln!(out, "vm hot spots: {spots} sampled (prog, func, line) site(s)");
+        for line in folded.lines().take(10) {
+            let _ = writeln!(out, "  {line}");
+        }
+        out.push('\n');
+        out.push_str(&self.critical_path());
+        out
+    }
+}
+
+/// Fixed-precision fraction formatting (no float-format drift).
+fn fmt_frac(f: f64) -> String {
+    format!("{:5.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msgr_trace::TraceEvent;
+
+    fn ledger_ev(daemon: u16, mid: u64, born: u64, parent: u64, phases: [u64; 7]) -> TraceEvent {
+        TraceEvent {
+            daemon,
+            seq: mid,
+            rt: mid,
+            vt: 0.0,
+            gvt: 0.0,
+            kind: EventKind::PhaseLedger {
+                mid,
+                born,
+                parent,
+                queue: phases[0],
+                verify: phases[1],
+                exec: phases[2],
+                enc: phases[3],
+                xport: phases[4],
+                park: phases[5],
+                stall: phases[6],
+                total: phases.iter().sum(),
+            },
+        }
+    }
+
+    fn trace(events: Vec<TraceEvent>) -> Trace {
+        Trace { events, dropped: 0, dropped_by: Vec::new() }
+    }
+
+    #[test]
+    fn fractions_sum_to_one_by_construction() {
+        let t = trace(vec![
+            ledger_ev(0, 1, 1, 0, [10, 0, 30, 5, 0, 0, 0]),
+            ledger_ev(1, 3, 2, 0, [0, 5, 50, 0, 20, 0, 0]),
+            ledger_ev(0, 2, 2, 1, [0, 0, 0, 15, 0, 0, 0]),
+        ]);
+        let p = Profile::from_trace(&t);
+        assert_eq!(p.ledgers.len(), 2);
+        assert_eq!(p.forks.len(), 1);
+        let totals = p.phase_totals();
+        assert_eq!(totals.iter().sum::<u64>(), p.attributed_total());
+        let text = p.phase_breakdown();
+        assert!(text.contains("exec"), "{text}");
+    }
+
+    #[test]
+    fn critical_path_stitches_across_daemons() {
+        // inject on d0 (mid 1) → fork (partial mid 2, parent 1) → full
+        // stay on d1 (born 2, retires as mid 2).
+        let t = trace(vec![
+            ledger_ev(0, 1, 1, 0, [10, 0, 30, 0, 0, 0, 0]),
+            ledger_ev(0, 2, 2, 1, [0, 0, 0, 15, 0, 0, 0]),
+            ledger_ev(1, 2, 2, 0, [5, 3, 40, 0, 25, 0, 0]),
+            // An unrelated, cheaper messenger.
+            ledger_ev(1, 9, 9, 0, [0, 0, 12, 0, 0, 0, 0]),
+        ]);
+        let p = Profile::from_trace(&t);
+        let chain = p.critical_chain();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].0.mid, 1);
+        assert_eq!(chain[0].1, 0, "root has no inbound edge");
+        assert_eq!(chain[1].0.daemon, 1);
+        assert_eq!(chain[1].1, 15, "edge carries the fork's encode cost");
+        let text = p.critical_path();
+        assert!(text.contains("2 hop(s)"), "{text}");
+        assert_eq!(40 + 15 + 73, 128);
+        assert!(text.contains("128 ns end-to-end"), "{text}");
+    }
+
+    #[test]
+    fn folded_stacks_sort_hottest_first() {
+        let t = trace(vec![
+            TraceEvent {
+                daemon: 0,
+                seq: 1,
+                rt: 0,
+                vt: 0.0,
+                gvt: 0.0,
+                kind: EventKind::PcSample { prog: 0xAB, func: 0, line: 7, count: 3 },
+            },
+            TraceEvent {
+                daemon: 1,
+                seq: 1,
+                rt: 1,
+                vt: 0.0,
+                gvt: 0.0,
+                kind: EventKind::PcSample { prog: 0xAB, func: 0, line: 9, count: 11 },
+            },
+            TraceEvent {
+                daemon: 0,
+                seq: 2,
+                rt: 2,
+                vt: 0.0,
+                gvt: 0.0,
+                kind: EventKind::PcSample { prog: 0xAB, func: 0, line: 7, count: 4 },
+            },
+        ]);
+        let p = Profile::from_trace(&t);
+        let folded = p.folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            ["prog_00000000000000ab;f0;L9 11", "prog_00000000000000ab;f0;L7 7"],
+            "same-site samples aggregate; hottest first"
+        );
+    }
+
+    #[test]
+    fn empty_profile_reports_cleanly() {
+        let p = Profile::from_trace(&trace(vec![]));
+        assert!(p.is_empty());
+        assert!(p.critical_path().contains("no full ledgers"));
+        assert_eq!(p.folded(), "");
+    }
+}

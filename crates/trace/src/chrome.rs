@@ -165,6 +165,7 @@ mod tests {
                 ev(0, 5, 6_000, EventKind::SpanEnd { name: "run".into() }),
             ],
             dropped: 0,
+            dropped_by: Vec::new(),
         };
         let doc = to_chrome(&trace);
         let parsed = json::parse(&doc).expect("chrome export parses as JSON");

@@ -240,6 +240,55 @@ pub enum EventKind {
         /// Snapshot version accepted.
         ver: u32,
     },
+    /// Profiler: a messenger's per-phase latency ledger, emitted at its
+    /// terminal local disposition (retire, fault, or hop away) when
+    /// profiling is enabled. All durations are nanoseconds: simulated on
+    /// the `sim` platform, monotonic wall-clock on `threads`.
+    PhaseLedger {
+        /// Final local messenger id (the id on the retire/fault/hop event).
+        mid: u64,
+        /// The id this messenger carried when it first became resident
+        /// here (arrival or injection). Parks re-identify the
+        /// continuation, so `born != mid` after a park; the transport
+        /// join key for the inbound hop edge is `born`.
+        born: u64,
+        /// For a *partial* sender-side ledger covering an outgoing
+        /// replica: the id of the parent that spawned it (0 for full
+        /// ledgers). Partial ledgers carry only the encode phase.
+        parent: u64,
+        /// Time runnable in a lane before execution started.
+        queue: u64,
+        /// Receive-time verification work attributed to this messenger.
+        verify: u64,
+        /// VM execution (bytecode ops + native calls).
+        exec: u64,
+        /// Serialize/encode + decode costs for migration.
+        enc: u64,
+        /// Transport in-flight time (sim only; 0 on threads).
+        xport: u64,
+        /// Parked on virtual time waiting for GVT.
+        park: u64,
+        /// Recovery stall: time between the host daemon's death and the
+        /// restore that revived this messenger.
+        stall: u64,
+        /// Sum of all phases — the messenger's locally-attributed
+        /// lifetime. Kept explicit so consumers need no arithmetic and
+        /// the fraction-sum invariant is checkable from one event.
+        total: u64,
+    },
+    /// Profiler: aggregated VM program-counter samples for one execution
+    /// segment, keyed by source line (op-count-triggered, deterministic
+    /// per seed).
+    PcSample {
+        /// Program content id (hex string on the wire, like `CodeCompile`).
+        prog: u64,
+        /// Function index within the program.
+        func: u32,
+        /// Source line (from the debug line table; 0 if unknown).
+        line: u32,
+        /// Samples attributed to this line during the segment.
+        count: u64,
+    },
     /// This daemon was permanently killed (volatile state destroyed).
     Kill,
     /// An application-level phase span opened (e.g. "compute").
@@ -287,6 +336,8 @@ impl EventKind {
             EventKind::CtrlDecide { .. } => "ctrl_decide",
             EventKind::GossipMerge { .. } => "gossip_merge",
             EventKind::CkptReplica { .. } => "ckpt_replica",
+            EventKind::PhaseLedger { .. } => "phase_ledger",
+            EventKind::PcSample { .. } => "pc_sample",
             EventKind::Kill => "kill",
             EventKind::SpanBegin { .. } => "span_begin",
             EventKind::SpanEnd { .. } => "span_end",
@@ -410,6 +461,32 @@ impl TraceEvent {
             EventKind::CkptReplica { owner, ver } => {
                 let _ = write!(out, ",\"owner\":{owner},\"ver\":{ver}");
             }
+            EventKind::PhaseLedger {
+                mid,
+                born,
+                parent,
+                queue,
+                verify,
+                exec,
+                enc,
+                xport,
+                park,
+                stall,
+                total,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"mid\":{mid},\"born\":{born},\"parent\":{parent},\"queue\":{queue},\
+                     \"verify\":{verify},\"exec\":{exec},\"enc\":{enc},\"xport\":{xport},\
+                     \"park\":{park},\"stall\":{stall},\"total\":{total}"
+                );
+            }
+            EventKind::PcSample { prog, func, line, count } => {
+                let _ = write!(
+                    out,
+                    ",\"prog\":\"{prog:016x}\",\"func\":{func},\"line\":{line},\"count\":{count}"
+                );
+            }
             EventKind::Kill => {}
             EventKind::SpanBegin { name } | EventKind::SpanEnd { name } => {
                 out.push_str(",\"name\":\"");
@@ -513,6 +590,25 @@ impl TraceEvent {
                 owner: req_u64(j, "owner")? as u16,
                 ver: req_u64(j, "ver")? as u32,
             },
+            "phase_ledger" => EventKind::PhaseLedger {
+                mid: req_u64(j, "mid")?,
+                born: req_u64(j, "born")?,
+                parent: req_u64(j, "parent")?,
+                queue: req_u64(j, "queue")?,
+                verify: req_u64(j, "verify")?,
+                exec: req_u64(j, "exec")?,
+                enc: req_u64(j, "enc")?,
+                xport: req_u64(j, "xport")?,
+                park: req_u64(j, "park")?,
+                stall: req_u64(j, "stall")?,
+                total: req_u64(j, "total")?,
+            },
+            "pc_sample" => EventKind::PcSample {
+                prog: req_hex_u64(j, "prog")?,
+                func: req_u64(j, "func")? as u32,
+                line: req_u64(j, "line")? as u32,
+                count: req_u64(j, "count")?,
+            },
             "kill" => EventKind::Kill,
             "span_begin" => EventKind::SpanBegin { name: req_str(j, "name")? },
             "span_end" => EventKind::SpanEnd { name: req_str(j, "name")? },
@@ -595,6 +691,20 @@ mod tests {
             EventKind::CtrlDecide { victim: 3, successor: 4, seq: 1 },
             EventKind::GossipMerge { from: 6 },
             EventKind::CkptReplica { owner: 3, ver: 12 },
+            EventKind::PhaseLedger {
+                mid: 42,
+                born: 17,
+                parent: 0,
+                queue: 1_000,
+                verify: 0,
+                exec: 44_000,
+                enc: 9_300,
+                xport: 120_000,
+                park: 0,
+                stall: 2_500_000,
+                total: 2_674_300,
+            },
+            EventKind::PcSample { prog: 0xE2D4_66F1_0A9B_3C47, func: 0, line: 7, count: 512 },
             EventKind::Kill,
             EventKind::SpanBegin { name: "compute".to_string() },
             EventKind::SpanEnd { name: "compute".to_string() },

@@ -44,21 +44,32 @@ pub struct Trace {
     pub events: Vec<TraceEvent>,
     /// Events lost to ring-buffer bounds, summed over daemons.
     pub dropped: u64,
+    /// Per-daemon drop attribution: `(daemon, oldest events dropped)`,
+    /// nonzero entries only, sorted by daemon. A truncated ring means
+    /// the *oldest* window of that daemon's stream is missing — any
+    /// profile or post-mortem built on this trace is partial.
+    pub dropped_by: Vec<(u16, u64)>,
 }
 
 impl Trace {
-    /// Merge per-daemon drains into canonical order.
-    pub fn from_parts(parts: Vec<(Vec<TraceEvent>, u64)>) -> Trace {
+    /// Merge per-daemon drains into canonical order. Each part is
+    /// `(daemon, events, dropped)` as returned by a recorder drain.
+    pub fn from_parts(parts: Vec<(u16, Vec<TraceEvent>, u64)>) -> Trace {
         let mut events = Vec::new();
         let mut dropped = 0;
-        for (evs, d) in parts {
+        let mut dropped_by = Vec::new();
+        for (d, evs, n) in parts {
             events.extend(evs);
-            dropped += d;
+            dropped += n;
+            if n > 0 {
+                dropped_by.push((d, n));
+            }
         }
+        dropped_by.sort_unstable();
         events.sort_by(|a, b| {
             (a.rt, a.daemon, a.seq).partial_cmp(&(b.rt, b.daemon, b.seq)).expect("total order")
         });
-        Trace { events, dropped }
+        Trace { events, dropped, dropped_by }
     }
 
     /// Count events of each kind, in first-seen order.
@@ -79,10 +90,23 @@ impl Trace {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\"trace\":\"msgr\",\"version\":1,\"events\":{},\"dropped\":{}}}\n",
+            "{{\"trace\":\"msgr\",\"version\":1,\"events\":{},\"dropped\":{}",
             self.events.len(),
             self.dropped
         ));
+        // Per-daemon attribution only when something was actually lost,
+        // so drop-free traces keep their historical header bytes.
+        if !self.dropped_by.is_empty() {
+            out.push_str(",\"dropped_by\":[");
+            for (i, (d, n)) in self.dropped_by.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{d},{n}]"));
+            }
+            out.push(']');
+        }
+        out.push_str("}\n");
         for ev in &self.events {
             ev.write_jsonl(&mut out);
             out.push('\n');
@@ -111,6 +135,21 @@ impl Trace {
             h.get("events").and_then(json::Json::as_u64).ok_or("line 1: missing event count")?;
         let dropped =
             h.get("dropped").and_then(json::Json::as_u64).ok_or("line 1: missing drop count")?;
+        // Optional (absent on drop-free and pre-attribution traces).
+        let mut dropped_by = Vec::new();
+        if let Some(arr) = h.get("dropped_by").and_then(json::Json::as_arr) {
+            for entry in arr {
+                let pair = entry.as_arr().ok_or("line 1: malformed dropped_by entry")?;
+                match pair {
+                    [d, n] => {
+                        let d = d.as_u64().ok_or("line 1: malformed dropped_by daemon")? as u16;
+                        let n = n.as_u64().ok_or("line 1: malformed dropped_by count")?;
+                        dropped_by.push((d, n));
+                    }
+                    _ => return Err("line 1: dropped_by entries must be [daemon, n]".to_string()),
+                }
+            }
+        }
         let mut events = Vec::new();
         for (idx, line) in lines {
             if line.is_empty() {
@@ -126,7 +165,7 @@ impl Trace {
                 events.len()
             ));
         }
-        Ok(Trace { events, dropped })
+        Ok(Trace { events, dropped, dropped_by })
     }
 
     /// A human-readable run summary: totals, per-kind counts, and the
@@ -148,6 +187,16 @@ impl Trace {
             span as f64 / 1e6,
             self.dropped
         );
+        if !self.dropped_by.is_empty() {
+            let _ = writeln!(
+                out,
+                "WARNING: flight-recorder rings truncated — the oldest window of these daemons' \
+                 streams is missing:"
+            );
+            for (d, n) in &self.dropped_by {
+                let _ = writeln!(out, "  daemon {d}: {n} oldest event(s) dropped");
+            }
+        }
         let mut counts = self.counts();
         counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         for (name, n) in counts {
@@ -220,6 +269,12 @@ impl Trace {
         if self.dropped != other.dropped {
             out.push(format!("drop counts differ: {} vs {}", self.dropped, other.dropped));
         }
+        if self.dropped_by != other.dropped_by {
+            out.push(format!(
+                "per-daemon drop attributions differ: {:?} vs {:?}",
+                self.dropped_by, other.dropped_by
+            ));
+        }
         if self.events.len() != other.events.len() {
             out.push(format!(
                 "event counts differ: {} vs {}",
@@ -255,6 +310,7 @@ mod tests {
     fn sample() -> Trace {
         Trace::from_parts(vec![
             (
+                1,
                 vec![
                     ev(1, 1, 500, EventKind::MsgrArrive { mid: 3 }),
                     ev(1, 2, 500, EventKind::MsgrRetire { mid: 3 }),
@@ -262,6 +318,7 @@ mod tests {
                 1,
             ),
             (
+                0,
                 vec![
                     ev(0, 1, 0, EventKind::MsgrInject { mid: 3 }),
                     ev(0, 2, 100, EventKind::MsgrHop { mid: 3, to: 1, bytes: 40 }),
@@ -278,6 +335,26 @@ mod tests {
             t.events.iter().map(|e| (e.rt, e.daemon, e.seq)).collect();
         assert_eq!(stamps, [(0, 0, 1), (100, 0, 2), (500, 1, 1), (500, 1, 2)]);
         assert_eq!(t.dropped, 1);
+        assert_eq!(t.dropped_by, [(1, 1)]);
+    }
+
+    #[test]
+    fn dropped_by_survives_jsonl_and_is_absent_when_clean() {
+        let t = sample();
+        let doc = t.to_jsonl();
+        assert!(doc.lines().next().unwrap().contains("\"dropped_by\":[[1,1]]"));
+        assert_eq!(Trace::from_jsonl(&doc).expect("valid"), t);
+        let clean = Trace::from_parts(vec![(0, vec![ev(0, 1, 0, EventKind::Kill)], 0)]);
+        let doc = clean.to_jsonl();
+        assert!(!doc.contains("dropped_by"), "drop-free headers keep their historical bytes");
+        assert_eq!(Trace::from_jsonl(&doc).expect("valid"), clean);
+    }
+
+    #[test]
+    fn summary_warns_about_truncated_rings() {
+        let s = sample().summary();
+        assert!(s.contains("rings truncated"));
+        assert!(s.contains("daemon 1: 1 oldest event(s) dropped"));
     }
 
     #[test]
@@ -324,6 +401,7 @@ mod tests {
                 ev(1, 1, 3_000_000, EventKind::Restore { victim: 2, nodes: 4, messengers: 2 }),
             ],
             dropped: 0,
+            dropped_by: Vec::new(),
         };
         let s = t.summary();
         assert!(s.contains("recovery timeline:"));

@@ -159,6 +159,9 @@ metrics! {
     NetQueueingNs = "net_queueing_ns": Counter, Nanos;
     // ---- tracing ----
     TraceDropped = "trace_dropped": Counter, Count;
+    // ---- profiler (emitted only with profiling enabled) ----
+    ProfLedgers = "prof_ledgers": Counter, Count;
+    ProfSamples = "prof_samples": Counter, Count;
     // ---- PVM baseline ----
     Exited = "exited": Counter, Count;
     Spawns = "spawns": Counter, Count;

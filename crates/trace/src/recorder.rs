@@ -78,6 +78,11 @@ impl FlightRecorder {
         self.enabled
     }
 
+    /// The daemon this recorder belongs to.
+    pub fn daemon(&self) -> u16 {
+        self.daemon
+    }
+
     /// Whether node-variable accesses should be recorded.
     pub fn node_vars(&self) -> bool {
         self.node_vars

@@ -278,11 +278,14 @@ pub fn run(
     fuel: u64,
 ) -> Result<Yield, VmError> {
     let mut ops: u64 = 0;
-    let out = run_inner(cp, program, m, env, fuel, &mut ops);
+    let interval = env.sample_interval();
+    let mut next = if interval == 0 { u64::MAX } else { interval };
+    let out = run_inner(cp, program, m, env, fuel, &mut ops, &mut next, interval);
     env.charge_ops(ops);
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_inner(
     cp: &CompiledProgram,
     program: &Program,
@@ -290,6 +293,8 @@ fn run_inner(
     env: &mut dyn Env,
     fuel: u64,
     ops: &mut u64,
+    next: &mut u64,
+    interval: u64,
 ) -> Result<Yield, VmError> {
     // Once a span deopts, finish the segment on singles: the fault that
     // forced the deopt is about to re-fire with exact interpreter state.
@@ -297,6 +302,17 @@ fn run_inner(
     loop {
         if *ops >= fuel {
             return Err(VmError::FuelExhausted);
+        }
+        if *ops >= *next {
+            // Bulk-charged superinstructions (fused loops, inlined calls,
+            // spans) attribute all their ops to the head pc of the next
+            // dispatch — per-superinstruction attribution, same key space
+            // as the interpreter's flat profile.
+            if let Some(f) = m.frames.last() {
+                let crossings = (*ops - *next) / interval + 1;
+                env.pc_sample(u32::from(f.func.0), f.pc, crossings);
+                *next += crossings * interval;
+            }
         }
         let vtime = m.vtime;
         let frame = m.frames.last_mut().ok_or(VmError::Corrupt("no active frame"))?;

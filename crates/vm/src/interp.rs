@@ -35,6 +35,18 @@ pub trait Env {
     fn charge_ops(&mut self, ops: u64) {
         let _ = ops;
     }
+    /// Profiler sampling interval in executed ops; 0 disables sampling
+    /// (the default — the dispatch loop then pays one branch per op and
+    /// nothing else).
+    fn sample_interval(&self) -> u64 {
+        0
+    }
+    /// Profiler hook: the executed-op counter crossed `count` sampling
+    /// interval boundaries while the messenger was at `(func, pc)`.
+    /// Deterministic per seed: the trigger is op count, not wall clock.
+    fn pc_sample(&mut self, func: u32, pc: u32, count: u64) {
+        let _ = (func, pc, count);
+    }
 }
 
 /// An [`Env`] with no node variables and no natives; node-variable writes
@@ -227,7 +239,9 @@ pub fn run(
     fuel: u64,
 ) -> Result<Yield, VmError> {
     let mut ops: u64 = 0;
-    let out = run_inner(program, m, env, fuel, &mut ops);
+    let interval = env.sample_interval();
+    let mut next = if interval == 0 { u64::MAX } else { interval };
+    let out = run_inner(program, m, env, fuel, &mut ops, &mut next, interval);
     env.charge_ops(ops);
     out
 }
@@ -238,10 +252,21 @@ fn run_inner(
     env: &mut dyn Env,
     fuel: u64,
     ops: &mut u64,
+    next: &mut u64,
+    interval: u64,
 ) -> Result<Yield, VmError> {
     loop {
         if *ops >= fuel {
             return Err(VmError::FuelExhausted);
+        }
+        if *ops >= *next {
+            // Attribute every interval boundary the previous op crossed
+            // to the current program counter (flat profile, no stacks).
+            if let Some(f) = m.frames.last() {
+                let crossings = (*ops - *next) / interval + 1;
+                env.pc_sample(u32::from(f.func.0), f.pc, crossings);
+                *next += crossings * interval;
+            }
         }
         let frame = m.frames.last_mut().ok_or(VmError::Corrupt("no active frame"))?;
         let func = program.func(frame.func);

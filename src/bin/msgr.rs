@@ -34,10 +34,17 @@
 //!     --succession MODE    who buries a dead daemon: `quorum` (majority
 //!                          decree, the default) or `deterministic`
 //!                          (next-alive rule, the ablation baseline)
+//!     --profile            cost-attribution profiling: per-messenger
+//!                          phase ledgers + VM pc samples ride the trace
+//!                          stream (implies tracing; also MSGR_PROFILE=1)
 //! msgr trace  record  script.mc --out FILE [run options]
 //! msgr trace  summary FILE                   # validate + summarize
+//!                                            # (exit 1 if rings truncated)
 //! msgr trace  chrome  IN OUT                 # convert to Chrome trace_event
 //! msgr trace  diff    A B                    # compare two trace files
+//! msgr profile FILE [--folded OUT]           # cost attribution over a trace
+//!                                            # recorded with `run --profile`
+//! msgr metrics --list                        # the typed metric registry
 //! ```
 //!
 //! Examples:
@@ -153,6 +160,12 @@ fn main() -> ExitCode {
     if cmd == "trace" {
         return trace_cmd(rest);
     }
+    if cmd == "profile" {
+        return profile_cmd(rest);
+    }
+    if cmd == "metrics" {
+        return metrics_cmd(rest);
+    }
     let (path, opts) = match rest.split_first() {
         Some((p, o)) => (p.as_str(), o),
         None => return fail_internal("missing script path"),
@@ -194,6 +207,68 @@ fn main() -> ExitCode {
         "run" => run(&source, opts),
         other => fail_internal(format!("unknown command `{other}`")),
     }
+}
+
+/// `msgr profile FILE [--folded OUT]`: cost attribution over a merged
+/// trace recorded with `run --profile`.
+fn profile_cmd(args: &[String]) -> ExitCode {
+    let (path, rest) = match args.split_first() {
+        Some((p, r)) => (p.as_str(), r),
+        None => return fail_internal("usage: msgr profile FILE [--folded OUT]"),
+    };
+    let mut folded_out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(o) = it.next() {
+        match o.as_str() {
+            "--folded" => match it.next() {
+                Some(f) => folded_out = Some(f.clone()),
+                None => return fail_internal("--folded needs a file"),
+            },
+            other => return fail_internal(format!("unknown option `{other}`")),
+        }
+    }
+    let t = match load_trace(path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let p = messengers::prof::Profile::from_trace(&t);
+    if p.is_empty() {
+        return fail(format!(
+            "`{path}` carries no profiler events; record it with `msgr run --profile --trace`"
+        ));
+    }
+    print!("{}", p.report());
+    if let Some(out) = folded_out {
+        let folded = p.folded();
+        if let Err(e) = std::fs::write(&out, &folded) {
+            return fail_internal(format!("cannot write `{out}`: {e}"));
+        }
+        println!("\nfolded stacks: {} line(s) -> {out}", folded.lines().count());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `msgr metrics --list`: print the typed metric registry.
+fn metrics_cmd(args: &[String]) -> ExitCode {
+    use messengers::trace::{Metric, MetricKind, Unit};
+    if args != ["--list"] {
+        return fail_internal("usage: msgr metrics --list");
+    }
+    for &m in Metric::ALL {
+        let kind = match m.kind() {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        };
+        let unit = match m.unit() {
+            Unit::Count => "count",
+            Unit::Bytes => "bytes",
+            Unit::Nanos => "ns",
+            Unit::Ops => "ops",
+        };
+        println!("{:<28} {kind:<9} {unit}", m.name());
+    }
+    ExitCode::SUCCESS
 }
 
 /// Load and schema-validate a trace file. `Err(code)` is already the
@@ -251,6 +326,15 @@ fn trace_cmd(args: &[String]) -> ExitCode {
             match load_trace(path) {
                 Ok(t) => {
                     print!("{}", t.summary());
+                    if t.dropped > 0 {
+                        // Truncated rings mean the oldest window of those
+                        // daemons' streams is missing: a finding, since
+                        // any analysis over this trace is partial.
+                        return fail(format!(
+                            "{} event(s) lost to flight-recorder ring bounds",
+                            t.dropped
+                        ));
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(code) => code,
@@ -337,6 +421,7 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
     let mut exec: Option<ExecMode> = None;
     let mut replication: Option<usize> = None;
     let mut succession: Option<Succession> = None;
+    let mut profile = false;
 
     let mut it = opts.iter();
     while let Some(opt) = it.next() {
@@ -380,6 +465,7 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
                     seed = Some(take("a seed")?.parse().map_err(|_| "bad seed".to_string())?);
                 }
                 "--trace" => trace_out = Some(take("a file")?),
+                "--profile" => profile = true,
                 "--exec" => {
                     let mode = take("`interp` or `compiled`")?;
                     exec = Some(
@@ -465,6 +551,11 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
                             .or_else(|| cluster.node_var(0, &name, var));
                         println!("{node}.{var} = {}", v.unwrap_or(Value::Null));
                     }
+                    if profile {
+                        if let Some(t) = &report.trace {
+                            print!("{}", messengers::prof::Profile::from_trace(t).report());
+                        }
+                    }
                     if let (Some(path), Some(t)) = (&trace_out, &report.trace) {
                         if let Err(e) = std::fs::write(path, t.to_jsonl()) {
                             return fail_internal(format!("cannot write `{path}`: {e}"));
@@ -505,6 +596,9 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
         if trace_out.is_some() {
             cfg.trace = TraceConfig::on();
         }
+        // The platform constructor forces tracing on when profiling: the
+        // phase ledgers travel in the trace stream.
+        cfg.profile = cfg.profile || profile;
         match ThreadCluster::new(cfg) {
             Ok(c) => drive!(c, wall_seconds, "wall seconds"),
             Err(e) => fail(e),
@@ -529,6 +623,7 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
         if trace_out.is_some() || has_kill {
             cfg.trace = TraceConfig::on();
         }
+        cfg.profile = cfg.profile || profile;
         let mut cluster = SimCluster::new(cfg);
         if let Some(t) = &topology {
             if let Err(e) = cluster.build(t) {
@@ -563,6 +658,11 @@ fn run(source: &str, opts: &[String]) -> ExitCode {
                 }
                 if has_kill {
                     print_recovery(&report.stats, report.trace.as_ref());
+                }
+                if profile {
+                    if let Some(t) = &report.trace {
+                        print!("{}", messengers::prof::Profile::from_trace(t).report());
+                    }
                 }
                 if let (Some(path), Some(t)) = (&trace_out, &report.trace) {
                     if let Err(e) = std::fs::write(path, t.to_jsonl()) {

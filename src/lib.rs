@@ -77,6 +77,7 @@ pub use msgr_apps as apps;
 pub use msgr_core as core;
 pub use msgr_gvt as gvt;
 pub use msgr_lang as lang;
+pub use msgr_prof as prof;
 pub use msgr_pvm as pvm;
 pub use msgr_sim as sim;
 pub use msgr_trace as trace;

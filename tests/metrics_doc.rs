@@ -1,0 +1,69 @@
+//! DESIGN.md §8's metric registry table is generated documentation:
+//! every row must match `Metric::ALL` exactly — same names, same kinds,
+//! same units, same order. This test is the sync enforcement; if it
+//! fails, regenerate the table from `msgr metrics --list`.
+
+use messengers::trace::{Metric, MetricKind, Unit};
+
+fn kind_str(k: MetricKind) -> &'static str {
+    match k {
+        MetricKind::Counter => "counter",
+        MetricKind::Gauge => "gauge",
+        MetricKind::Histogram => "histogram",
+    }
+}
+
+fn unit_str(u: Unit) -> &'static str {
+    match u {
+        Unit::Count => "count",
+        Unit::Bytes => "bytes",
+        Unit::Nanos => "ns",
+        Unit::Ops => "ops",
+    }
+}
+
+#[test]
+fn design_doc_metric_table_matches_the_registry() {
+    let doc = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md"))
+        .expect("read DESIGN.md");
+
+    // Scope to §8 so tables elsewhere in the doc can't satisfy us.
+    let start = doc.find("## 8. Observability").expect("DESIGN.md lost §8");
+    let end = doc[start..].find("\n## 9.").map(|i| start + i).unwrap_or(doc.len());
+    let section = &doc[start..end];
+
+    // Registry rows look like: | `name` | kind | unit | meaning |
+    let mut rows: Vec<(String, String, String)> = Vec::new();
+    for line in section.lines() {
+        let Some(rest) = line.strip_prefix("| `") else { continue };
+        let mut cols = rest.split('|').map(str::trim);
+        let name = cols.next().unwrap_or("").trim_end_matches('`').to_string();
+        let (Some(kind), Some(unit)) = (cols.next(), cols.next()) else {
+            panic!("malformed registry row in DESIGN.md §8: {line:?}");
+        };
+        rows.push((name, kind.to_string(), unit.to_string()));
+    }
+
+    let registry: Vec<(String, String, String)> = Metric::ALL
+        .iter()
+        .map(|m| {
+            (m.name().to_string(), kind_str(m.kind()).to_string(), unit_str(m.unit()).to_string())
+        })
+        .collect();
+
+    assert_eq!(
+        rows.len(),
+        registry.len(),
+        "DESIGN.md §8 documents {} metrics but the registry has {} — \
+         regenerate the table with `msgr metrics --list`",
+        rows.len(),
+        registry.len()
+    );
+    for (i, (doc_row, reg_row)) in rows.iter().zip(&registry).enumerate() {
+        assert_eq!(
+            doc_row, reg_row,
+            "DESIGN.md §8 row {i} drifted from the registry — \
+             regenerate the table with `msgr metrics --list`"
+        );
+    }
+}
